@@ -1,0 +1,75 @@
+// Experiment C1 (Prop 3.2): containment via satisfiability — the witness
+// query p1[¬(inverse(p2)[¬↑])] decided by the facade. Series: containment
+// checks of growing path lengths under a schema, both holding and failing
+// cases (the failing ones produce counterexample witnesses).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/reductions/containment.h"
+
+namespace xpathsat {
+namespace {
+
+Dtd ChainDtd(int depth) {
+  Dtd d;
+  d.SetRoot("r");
+  std::string prev = "r";
+  for (int i = 1; i <= depth; ++i) {
+    std::string cur = "T" + std::to_string(i);
+    d.SetProduction(prev, Regex::Symbol(cur));
+    prev = cur;
+  }
+  d.SetProduction(prev, Regex::Epsilon());
+  d.SetRoot("r");
+  return d;
+}
+
+std::unique_ptr<PathExpr> LabelChain(int n) {
+  std::vector<std::unique_ptr<PathExpr>> parts;
+  for (int i = 1; i <= n; ++i) {
+    parts.push_back(PathExpr::Label("T" + std::to_string(i)));
+  }
+  return PathExpr::SeqAll(std::move(parts));
+}
+
+std::unique_ptr<PathExpr> WildChain(int n) {
+  std::vector<std::unique_ptr<PathExpr>> parts;
+  for (int i = 0; i < n; ++i) {
+    parts.push_back(PathExpr::Axis(PathKind::kChildAny));
+  }
+  return PathExpr::SeqAll(std::move(parts));
+}
+
+void BM_C1_ContainedPair(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Dtd d = ChainDtd(n + 1);
+  auto p1 = LabelChain(n);
+  auto p2 = WildChain(n);
+  for (auto _ : state) {
+    ContainmentReport r = DecideContainment(*p1, *p2, d);
+    BenchCheck(r.decided() && r.contained(), "labels ⊆ wildcards must hold");
+  }
+  state.counters["path_len"] = n;
+}
+
+BENCHMARK(BM_C1_ContainedPair)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+
+void BM_C1_NotContainedPair(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Dtd d = ChainDtd(n + 1);
+  auto p1 = WildChain(n);
+  // p2 demands one extra step: wildcards of length n are not contained.
+  auto p2 = WildChain(n + 1);
+  for (auto _ : state) {
+    ContainmentReport r = DecideContainment(*p1, *p2, d);
+    BenchCheck(r.decided() && !r.contained(), "shorter ⊄ longer");
+    BenchCheck(r.witness.decision.witness.has_value(),
+               "non-containment must come with a counterexample");
+  }
+  state.counters["path_len"] = n;
+}
+
+BENCHMARK(BM_C1_NotContainedPair)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,54 @@
+// Experiment F3 (Fig. 3, Prop 5.1): Q3SAT into X(↓,[],¬) with a
+// quantifier-shaped DTD; decided by the bounded-model procedure with the
+// exact Cor 6.2 depth bound and validated against QBF expansion. Expect the
+// PSPACE-hardness shape: time grows exponentially with the number of
+// variables (doubling per ∀ quantifier).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/reductions/encodings.h"
+#include "src/reductions/q3sat.h"
+#include "src/sat/bounded_model.h"
+
+namespace xpathsat {
+namespace {
+
+void BM_Fig3_Q3SatDownNeg(benchmark::State& state) {
+  int num_vars = static_cast<int>(state.range(0));
+  Rng rng(7 + num_vars);
+  Q3SatInstance inst = RandomQ3Sat(num_vars, num_vars + 1, &rng);
+  bool expected = QbfSolve(inst);
+  SatEncoding enc = EncodeQ3SatDownNeg(inst);
+  BoundedModelOptions bounds;
+  bounds.max_depth = 2 * num_vars + 1;
+  bounds.max_star = 1;
+  bounds.max_trees = 50000000;
+  for (auto _ : state) {
+    SatDecision r = BoundedModelSat(*enc.query, enc.dtd, bounds);
+    BenchCheck(r.verdict != SatVerdict::kUnknown, r.note);
+    BenchCheck(r.sat() == expected, "disagrees with the QBF solver");
+  }
+  int foralls = 0;
+  for (int v = 1; v <= num_vars; ++v) foralls += inst.is_forall[v];
+  state.counters["vars"] = num_vars;
+  state.counters["foralls"] = foralls;
+  state.counters["valid"] = expected;
+  state.counters["query_size"] = enc.query->Size();
+}
+
+BENCHMARK(BM_Fig3_Q3SatDownNeg)->DenseRange(3, 7)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig3_QbfReference(benchmark::State& state) {
+  int num_vars = static_cast<int>(state.range(0));
+  Rng rng(7 + num_vars);
+  Q3SatInstance inst = RandomQ3Sat(num_vars, num_vars + 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QbfSolve(inst));
+  }
+  state.counters["vars"] = num_vars;
+}
+
+BENCHMARK(BM_Fig3_QbfReference)->DenseRange(3, 7)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,68 @@
+// Experiment F4 (Fig. 4, Thm 5.4): the two-register-machine encoding into the
+// undecidable fragment X(↓,↑,↓*,↑*,∪,[],=,¬). The problem is undecidable, so
+// the series exercises the *sound* direction: machines halting in k steps
+// produce computation trees of size Θ(k²) whose evaluation validates the
+// encoding; the bounded decider finds the witness for the minimal machine.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/reductions/two_register.h"
+#include "src/sat/bounded_model.h"
+#include "src/xpath/evaluator.h"
+
+namespace xpathsat {
+namespace {
+
+// Add to r1 k times, then drain it, then halt: halts in 2k+1 steps.
+TwoRegisterMachine CountUpDown(int k) {
+  TwoRegisterMachine m;
+  m.instructions.resize(k + 2);
+  for (int i = 0; i < k; ++i) m.instructions[i] = {true, 1, i + 1, 0};
+  m.instructions[k] = {false, 1, k + 1, k};  // drain r1, then state k+1
+  m.final_state = k + 1;
+  return m;
+}
+
+void BM_Fig4_ComputationTreeValidation(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  TwoRegisterMachine m = CountUpDown(k);
+  BenchCheck(TrmHalts(m, 10 * k + 10), "machine should halt");
+  TrmEncoding enc = EncodeTrm(m);
+  XmlTree tree = TrmComputationTree(m, 10 * k + 10);
+  BenchCheck(enc.dtd.Validate(tree).ok(), "computation tree conformance");
+  for (auto _ : state) {
+    bool sat = Satisfies(tree, *enc.query);
+    BenchCheck(sat, "halting run must satisfy the Thm 5.4 encoding");
+  }
+  state.counters["halt_steps"] = 2 * k + 1;
+  state.counters["tree_nodes"] = tree.size();
+  state.counters["query_size"] = enc.query->Size();
+}
+
+BENCHMARK(BM_Fig4_ComputationTreeValidation)
+    ->DenseRange(1, 9, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fig4_BoundedWitnessSearch(benchmark::State& state) {
+  // The minimal halting machine: sub r1 (zero) -> final.
+  TwoRegisterMachine m;
+  m.instructions.push_back({false, 1, 1, 0});
+  m.instructions.push_back({});
+  m.final_state = 1;
+  TrmEncoding enc = EncodeTrm(m);
+  BoundedModelOptions bounds;
+  bounds.max_depth = 4;
+  bounds.max_star = 1;
+  bounds.max_nodes = 40;
+  bounds.max_trees = 1000000;
+  bounds.max_fresh_values = 2;
+  for (auto _ : state) {
+    SatDecision r = BoundedModelSat(*enc.query, enc.dtd, bounds);
+    BenchCheck(r.sat(), "bounded search must find the halting witness");
+  }
+}
+
+BENCHMARK(BM_Fig4_BoundedWitnessSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xpathsat

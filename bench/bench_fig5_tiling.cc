@@ -1,0 +1,113 @@
+// Experiments F5/F7 (Figs. 5 and 7, Thms 5.6 / 6.7(2)): two-player corridor
+// tiling into X(↑,[],=,¬) (snapshot chains) and X(↓,↓*,[],¬) (game trees).
+// EXPTIME-hardness is exercised through: (a) the reference minimax solver's
+// exponential state space in the corridor width; (b) encoding construction
+// costs (polynomial, as the reductions promise); (c) evaluator validation of
+// winning-play artifacts against both encodings.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/reductions/tiling.h"
+#include "src/xpath/evaluator.h"
+
+namespace xpathsat {
+namespace {
+
+TilingSystem AlternatingRows(int width, int tiles) {
+  TilingSystem sys;
+  sys.num_tiles = tiles;
+  for (int a = 0; a < tiles; ++a) {
+    sys.horizontal.insert({a, a});
+    sys.vertical.insert({a, (a + 1) % tiles});
+  }
+  sys.top.assign(width, 0);
+  sys.bottom.assign(width, tiles == 1 ? 0 : 1);
+  return sys;
+}
+
+void BM_Fig5_GameSolver(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  int tiles = static_cast<int>(state.range(1));
+  TilingSystem sys = AlternatingRows(width, tiles);
+  bool wins = false;
+  for (auto _ : state) {
+    wins = PlayerOneWins(sys);
+    benchmark::DoNotOptimize(wins);
+  }
+  BenchCheck(wins, "deterministic alternating corridor is a Player I win");
+  state.counters["width"] = width;
+  state.counters["tiles"] = tiles;
+}
+
+BENCHMARK(BM_Fig5_GameSolver)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({4, 2})
+    ->Args({6, 2})
+    ->Args({4, 3})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fig5_UpwardEncodingConstruction(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  TilingSystem sys = AlternatingRows(width, 2);
+  int query_size = 0;
+  for (auto _ : state) {
+    TilingEncoding enc = EncodeTilingUpward(sys);
+    query_size = enc.query->Size();
+    benchmark::DoNotOptimize(enc);
+  }
+  state.counters["width"] = width;
+  state.counters["query_size"] = query_size;
+}
+
+BENCHMARK(BM_Fig5_UpwardEncodingConstruction)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fig7_GameTreeEncodingConstruction(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  TilingSystem sys = AlternatingRows(width, 2);
+  int query_size = 0;
+  for (auto _ : state) {
+    TilingEncoding enc = EncodeTilingGameTree(sys);
+    query_size = enc.query->Size();
+    benchmark::DoNotOptimize(enc);
+  }
+  state.counters["width"] = width;
+  state.counters["query_size"] = query_size;
+}
+
+BENCHMARK(BM_Fig7_GameTreeEncodingConstruction)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fig5_WinningChainValidation(benchmark::State& state) {
+  // Single-tile deterministic play: the winning snapshot chain of length 3.
+  TilingSystem sys;
+  sys.num_tiles = 1;
+  sys.horizontal = {{0, 0}};
+  sys.vertical = {{0, 0}};
+  sys.top = {0, 0};
+  sys.bottom = {0, 0};
+  TilingEncoding enc = EncodeTilingUpward(sys);
+  XmlTree t;
+  NodeId r = t.CreateRoot("r");
+  const char* h[] = {"2", "1", "2"};
+  for (int i = 0; i < 3; ++i) {
+    NodeId c = t.AddChild(r, "C");
+    t.SetAttr(c, "h", h[i]);
+    t.SetAttr(c, "t1", "d0");
+    t.SetAttr(c, "t2", "d0");
+    t.SetAttr(c, "k", "k" + std::to_string(i));
+    t.SetAttr(c, "next", "k" + std::to_string(i + 1));
+  }
+  BenchCheck(enc.dtd.Validate(t).ok(), "chain conformance");
+  for (auto _ : state) {
+    BenchCheck(Satisfies(t, *enc.query), "winning chain must satisfy");
+  }
+}
+
+BENCHMARK(BM_Fig5_WinningChainValidation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,97 @@
+// Experiment F9 (Fig. 9, Prop 7.2): 3SAT into X(→,[]) under a fixed,
+// disjunction-free, nonrecursive DTD. Series: (a) encoding construction;
+// (b) exhaustive validation of the gadget trees over all 2^m assignments
+// against DPLL — the exponential assignment space is exactly the hardness
+// the reduction banks on.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/reductions/encodings.h"
+#include "src/reductions/threesat.h"
+#include "src/xpath/evaluator.h"
+
+namespace xpathsat {
+namespace {
+
+XmlTree SiblingWitness(const ThreeSatInstance& inst,
+                       const std::vector<bool>& assign) {
+  int n = static_cast<int>(inst.clauses.size());
+  auto occurs = [&](int var, bool negated, int clause) {
+    for (const Literal& l : inst.clauses[clause]) {
+      if (l.var == var && l.negated == negated) return true;
+    }
+    return false;
+  };
+  XmlTree t;
+  NodeId r = t.CreateRoot("r");
+  t.AddChild(r, "S0");
+  for (int j = 1; j <= inst.num_vars; ++j) {
+    t.AddChild(r, "S");
+    NodeId x = t.AddChild(r, "X");
+    t.AddChild(x, "S");
+    for (int branch = 0; branch < 2; ++branch) {
+      NodeId l = t.AddChild(x, "L");
+      t.AddChild(l, "S");
+      bool branch_assigned = (branch == 0) == assign[j];
+      int len = branch_assigned ? n : n + 1;
+      for (int i = 1; i <= len; ++i) {
+        NodeId c = t.AddChild(l, "C");
+        t.AddChild(c, "S");
+        if (i <= n && occurs(j, branch == 1, i - 1)) t.AddChild(c, "T");
+        t.AddChild(c, "S");
+      }
+      t.AddChild(l, "S");
+    }
+    t.AddChild(x, "S");
+  }
+  t.AddChild(r, "S0");
+  return t;
+}
+
+void BM_Fig9_ExhaustiveGadgetSweep(benchmark::State& state) {
+  int num_vars = static_cast<int>(state.range(0));
+  Rng rng(300 + num_vars);
+  ThreeSatInstance inst = RandomThreeSat(num_vars, num_vars + 1, &rng);
+  bool expected = DpllSolve(inst);
+  SatEncoding enc = EncodeThreeSatSibling(inst);
+  for (auto _ : state) {
+    bool any = false;
+    for (int mask = 0; mask < (1 << num_vars); ++mask) {
+      std::vector<bool> assign(num_vars + 1, false);
+      for (int j = 1; j <= num_vars; ++j) assign[j] = (mask >> (j - 1)) & 1;
+      XmlTree t = SiblingWitness(inst, assign);
+      any |= Satisfies(t, *enc.query);
+      if (any) break;
+    }
+    BenchCheck(any == expected, "gadget sweep disagrees with DPLL");
+  }
+  state.counters["vars"] = num_vars;
+  state.counters["assignments"] = 1 << num_vars;
+  state.counters["query_size"] = enc.query->Size();
+  state.counters["satisfiable"] = expected;
+}
+
+BENCHMARK(BM_Fig9_ExhaustiveGadgetSweep)
+    ->DenseRange(3, 7)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig9_EncodingConstruction(benchmark::State& state) {
+  int num_vars = static_cast<int>(state.range(0));
+  Rng rng(300 + num_vars);
+  ThreeSatInstance inst = RandomThreeSat(num_vars, 2 * num_vars, &rng);
+  int query_size = 0;
+  for (auto _ : state) {
+    SatEncoding enc = EncodeThreeSatSibling(inst);
+    query_size = enc.query->Size();
+    benchmark::DoNotOptimize(enc);
+  }
+  state.counters["vars"] = num_vars;
+  state.counters["query_size"] = query_size;
+}
+
+BENCHMARK(BM_Fig9_EncodingConstruction)
+    ->DenseRange(4, 16, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xpathsat

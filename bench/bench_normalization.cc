@@ -1,0 +1,87 @@
+// Experiment N1 (Prop 3.3): cost of the normalization pipeline — N(D)
+// (linear in |D|) and the query rewriting f(p) (the paper gives
+// O(|p|·|D|³); our ∇/Π skip expressions give O(|p|·|D|²) output size for
+// parse-tree chains). Also times the tree re-normalization used in tests.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/xml/generator.h"
+#include "src/xml/normalize.h"
+#include "src/xpath/rewrites.h"
+
+namespace xpathsat {
+namespace {
+
+// A DTD with nested regexes so normalization has real work to do.
+Dtd NestedDtd(int width) {
+  Dtd d;
+  d.SetRoot("r");
+  std::vector<Regex> parts;
+  for (int i = 0; i < width; ++i) {
+    std::string a = "A" + std::to_string(i);
+    std::string b = "B" + std::to_string(i);
+    parts.push_back(Regex::Star(Regex::Union(
+        {Regex::Concat({Regex::Symbol(a), Regex::Symbol(b)}), Regex::Epsilon()})));
+    d.SetProduction(a, Regex::Epsilon());
+    d.SetProduction(b, Regex::Epsilon());
+  }
+  d.SetProduction("r", Regex::Concat(std::move(parts)));
+  d.SetRoot("r");
+  return d;
+}
+
+void BM_N1_NormalizeDtd(benchmark::State& state) {
+  Dtd d = NestedDtd(static_cast<int>(state.range(0)));
+  int out_size = 0;
+  for (auto _ : state) {
+    NormalizedDtd n = NormalizeDtd(d);
+    out_size = n.dtd.Size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["dtd_size"] = d.Size();
+  state.counters["normalized_size"] = out_size;
+}
+
+BENCHMARK(BM_N1_NormalizeDtd)->RangeMultiplier(2)->Range(4, 128)->Unit(benchmark::kMicrosecond);
+
+void BM_N1_RewriteQuery(benchmark::State& state) {
+  Dtd d = NestedDtd(static_cast<int>(state.range(0)));
+  NormalizedDtd n = NormalizeDtd(d);
+  // Query with a few steps of each flavor.
+  auto p = PathExpr::Seq(
+      PathExpr::Axis(PathKind::kDescOrSelf),
+      PathExpr::Seq(PathExpr::Label("A0"),
+                    PathExpr::Seq(PathExpr::Axis(PathKind::kParent),
+                                  PathExpr::Label("B0"))));
+  int out_size = 0;
+  for (auto _ : state) {
+    Result<std::unique_ptr<PathExpr>> fp = RewriteForNormalizedDtd(*p, d, n);
+    BenchCheck(fp.ok(), fp.error());
+    out_size = fp.value()->Size();
+    benchmark::DoNotOptimize(fp);
+  }
+  state.counters["dtd_size"] = d.Size();
+  state.counters["rewritten_size"] = out_size;
+}
+
+BENCHMARK(BM_N1_RewriteQuery)->RangeMultiplier(2)->Range(4, 128)->Unit(benchmark::kMicrosecond);
+
+void BM_N1_NormalizeTree(benchmark::State& state) {
+  Dtd d = NestedDtd(8);
+  NormalizedDtd n = NormalizeDtd(d);
+  Rng rng(5);
+  RandomTreeOptions opt;
+  opt.max_nodes = static_cast<int>(state.range(0));
+  XmlTree t = GenerateRandomTree(d, &rng, opt);
+  for (auto _ : state) {
+    Result<XmlTree> t2 = NormalizeTree(t, d, n);
+    BenchCheck(t2.ok(), t2.error());
+    benchmark::DoNotOptimize(t2);
+  }
+  state.counters["tree_nodes"] = t.size();
+}
+
+BENCHMARK(BM_N1_NormalizeTree)->RangeMultiplier(4)->Range(16, 1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,189 @@
+// Experiment T1: the Sec. 8 summary matrix, empirically. One benchmark per
+// (fragment, DTD class) cell of the paper's complexity table, each running
+// the dispatching facade on a family of instances scaled by `n`:
+//
+//   X(↓,↓*,∪)            any DTD          PTIME    (Thm 4.1)
+//   X(→,←)               any DTD          PTIME    (Thm 7.1)
+//   X(↓,↓*,∪,[])         djfree DTD       PTIME    (Thm 6.8(1))
+//   X(↓,↓*,∪,[])         no DTD           PTIME    (Thm 6.11(1))
+//   X(↓,↑,[],=)          no DTD           PTIME    (Thm 6.11(2))
+//   X(↓,[])              any DTD          NP-c     (Prop 4.2, Thm 4.4)
+//   X(∪,[])              fixed DTD        NP-c     (Thm 6.6(1))
+//   X(↓,[],¬)            any DTD          PSPACE-c (Prop 5.1, Thm 5.2)
+//
+// Read the output as the table: PTIME rows grow polynomially in n; the
+// NP/PSPACE rows grow exponentially. Absolute numbers are machine-specific;
+// the paper's claim is the shape and the tractability frontier.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/reductions/encodings.h"
+#include "src/reductions/q3sat.h"
+#include "src/reductions/threesat.h"
+#include "src/sat/satisfiability.h"
+
+namespace xpathsat {
+namespace {
+
+// --- PTIME rows --------------------------------------------------------------
+
+void BM_T1_DownDsUnion_AnyDtd(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Dtd d;
+  d.SetRoot("r");
+  std::string prev = "r";
+  for (int i = 1; i <= n; ++i) {
+    std::string cur = "T" + std::to_string(i);
+    d.SetProduction(prev, Regex::Union({Regex::Symbol(cur), Regex::Epsilon()}));
+    prev = cur;
+  }
+  d.SetProduction(prev, Regex::Epsilon());
+  d.SetRoot("r");
+  std::vector<std::unique_ptr<PathExpr>> parts;
+  parts.push_back(PathExpr::Axis(PathKind::kDescOrSelf));
+  parts.push_back(PathExpr::Label("T" + std::to_string(n)));
+  auto p = PathExpr::SeqAll(std::move(parts));
+  for (auto _ : state) {
+    SatReport r = DecideSatisfiability(*p, d);
+    BenchCheck(r.sat(), "deep label reachable");
+    BenchCheck(r.algorithm.find("Thm 4.1") != std::string::npos, r.algorithm);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_T1_DownDsUnion_AnyDtd)->RangeMultiplier(2)->Range(4, 64)->Unit(benchmark::kMicrosecond);
+
+void BM_T1_Sibling_AnyDtd(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Dtd d;
+  d.SetRoot("r");
+  d.SetProduction("r", Regex::Star(Regex::Symbol("A")));
+  d.SetProduction("A", Regex::Epsilon());
+  d.SetRoot("r");
+  std::vector<std::unique_ptr<PathExpr>> steps;
+  steps.push_back(PathExpr::Label("A"));
+  for (int i = 0; i < n; ++i) steps.push_back(PathExpr::Axis(PathKind::kRightSib));
+  auto p = PathExpr::SeqAll(std::move(steps));
+  for (auto _ : state) {
+    SatReport r = DecideSatisfiability(*p, d);
+    BenchCheck(r.sat(), "sibling walk satisfiable");
+    BenchCheck(r.algorithm.find("Thm 7.1") != std::string::npos, r.algorithm);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_T1_Sibling_AnyDtd)->RangeMultiplier(2)->Range(4, 64)->Unit(benchmark::kMicrosecond);
+
+void BM_T1_DownQual_DjfreeDtd(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Dtd d;
+  d.SetRoot("r");
+  std::vector<Regex> word;
+  for (int i = 0; i < n; ++i) {
+    std::string a = "A" + std::to_string(i);
+    word.push_back(Regex::Star(Regex::Symbol(a)));
+    d.SetProduction(a, Regex::Epsilon());
+  }
+  d.SetProduction("r", Regex::Concat(std::move(word)));
+  d.SetRoot("r");
+  std::vector<std::unique_ptr<Qualifier>> qs;
+  for (int i = 0; i < n; ++i) {
+    qs.push_back(Qualifier::Path(PathExpr::Label("A" + std::to_string(i))));
+  }
+  auto p = PathExpr::Filter(PathExpr::Empty(), Qualifier::AndAll(std::move(qs)));
+  for (auto _ : state) {
+    SatReport r = DecideSatisfiability(*p, d);
+    BenchCheck(r.sat(), "djfree conjunction satisfiable");
+    BenchCheck(r.algorithm.find("Thm 6.8(1)") != std::string::npos, r.algorithm);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_T1_DownQual_DjfreeDtd)->RangeMultiplier(2)->Range(4, 64)->Unit(benchmark::kMicrosecond);
+
+void BM_T1_DownQual_NoDtd(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<std::unique_ptr<Qualifier>> qs;
+  for (int i = 0; i < n; ++i) {
+    qs.push_back(Qualifier::Path(PathExpr::Label("A" + std::to_string(i))));
+  }
+  auto p = PathExpr::Filter(PathExpr::Empty(), Qualifier::AndAll(std::move(qs)));
+  for (auto _ : state) {
+    SatReport r = DecideSatisfiabilityNoDtd(*p);
+    BenchCheck(r.sat(), "no-DTD conjunction satisfiable");
+    BenchCheck(r.algorithm.find("Thm 6.11(1)") != std::string::npos,
+               r.algorithm);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_T1_DownQual_NoDtd)->RangeMultiplier(2)->Range(4, 64)->Unit(benchmark::kMicrosecond);
+
+void BM_T1_UpDownData_NoDtd(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<std::unique_ptr<PathExpr>> down;
+  for (int i = 0; i < n; ++i) down.push_back(PathExpr::Label("A"));
+  auto p = PathExpr::Filter(
+      PathExpr::SeqAll(std::move(down)),
+      Qualifier::AttrJoin(PathExpr::Empty(), "v", CmpOp::kEq,
+                          PathExpr::Axis(PathKind::kParent), "v"));
+  for (auto _ : state) {
+    SatReport r = DecideSatisfiabilityNoDtd(*p);
+    BenchCheck(r.sat(), "CQ query satisfiable");
+    BenchCheck(r.algorithm.find("Thm 6.11(2)") != std::string::npos,
+               r.algorithm);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_T1_UpDownData_NoDtd)->RangeMultiplier(2)->Range(4, 64)->Unit(benchmark::kMicrosecond);
+
+// --- Intractable rows --------------------------------------------------------
+
+void BM_T1_DownQual_AnyDtd_NP(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(500 + n);
+  ThreeSatInstance inst = RandomThreeSat(n, 2 * n, &rng);
+  bool expected = DpllSolve(inst);
+  SatEncoding enc = EncodeThreeSatDownQual(inst);
+  for (auto _ : state) {
+    SatReport r = DecideSatisfiability(*enc.query, enc.dtd);
+    BenchCheck(r.decision.verdict != SatVerdict::kUnknown, "cap hit");
+    BenchCheck(r.sat() == expected, "disagrees with DPLL");
+    BenchCheck(r.algorithm.find("Thm 4.4") != std::string::npos, r.algorithm);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_T1_DownQual_AnyDtd_NP)->DenseRange(4, 12, 2)->Unit(benchmark::kMicrosecond);
+
+void BM_T1_UnionQual_FixedDtd_NP(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(600 + n);
+  ThreeSatInstance inst = RandomThreeSat(n, 2 * n, &rng);
+  bool expected = DpllSolve(inst);
+  SatEncoding enc = EncodeThreeSatUnionQual(inst);
+  for (auto _ : state) {
+    SatReport r = DecideSatisfiability(*enc.query, enc.dtd);
+    BenchCheck(r.decision.verdict != SatVerdict::kUnknown, "cap hit");
+    BenchCheck(r.sat() == expected, "disagrees with DPLL");
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_T1_UnionQual_FixedDtd_NP)->DenseRange(4, 12, 2)->Unit(benchmark::kMicrosecond);
+
+void BM_T1_DownNeg_AnyDtd_PSPACE(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(7 + n);
+  Q3SatInstance inst = RandomQ3Sat(n, n + 1, &rng);
+  bool expected = QbfSolve(inst);
+  SatEncoding enc = EncodeQ3SatDownNeg(inst);
+  SatOptions opt;
+  opt.bounded_caps.max_trees = 50000000;
+  for (auto _ : state) {
+    SatReport r = DecideSatisfiability(*enc.query, enc.dtd, opt);
+    BenchCheck(r.decision.verdict != SatVerdict::kUnknown, "cap hit");
+    BenchCheck(r.sat() == expected, "disagrees with QBF");
+    BenchCheck(r.algorithm.find("bounded-model") != std::string::npos,
+               r.algorithm);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_T1_DownNeg_AnyDtd_PSPACE)->DenseRange(3, 6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xpathsat

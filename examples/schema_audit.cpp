@@ -1,0 +1,64 @@
+// Schema evolution audit: before shipping a DTD change, check which queries
+// of a deployed workload become unsatisfiable under the new schema — dead
+// queries are exactly the integrations the change silently breaks. (This is
+// the "consistency of XML specifications" use case of the paper's intro.)
+#include <cstdio>
+#include <vector>
+
+#include "src/sat/satisfiability.h"
+#include "src/xml/dtd.h"
+#include "src/xpath/parser.h"
+
+using namespace xpathsat;
+
+int main() {
+  Result<Dtd> v1 = Dtd::Parse(R"(root feed
+feed -> entry*
+entry -> title, summary, (media + eps)
+title -> eps
+summary -> eps
+media -> thumb, thumb*
+thumb -> eps
+)");
+  // v2 drops <summary>, renames media/thumb nesting, and makes media
+  // exclusive with a new <script> extension point.
+  Result<Dtd> v2 = Dtd::Parse(R"(root feed
+feed -> entry*
+entry -> title, (media + script)
+title -> eps
+media -> image*
+image -> eps
+script -> eps
+thumb -> eps
+summary -> eps
+)");
+  if (!v1.ok() || !v2.ok()) {
+    std::fprintf(stderr, "DTD error\n");
+    return 1;
+  }
+
+  std::vector<const char*> workload = {
+      "entry/title",
+      "entry/summary",
+      "entry/media/thumb",
+      "entry/media",
+      ".[entry[media] && entry[script]]",
+      "entry[media && script]",
+      "**/thumb",
+  };
+
+  std::printf("%-40s %-10s %-10s\n", "query", "v1", "v2");
+  for (const char* q : workload) {
+    auto p = ParsePath(q);
+    if (!p.ok()) continue;
+    SatReport r1 = DecideSatisfiability(*p.value(), v1.value());
+    SatReport r2 = DecideSatisfiability(*p.value(), v2.value());
+    auto verdict = [](const SatReport& r) {
+      return r.sat() ? "live" : (r.unsat() ? "DEAD" : "?");
+    };
+    const char* marker =
+        (r1.sat() && r2.unsat()) ? "   <-- broken by the migration" : "";
+    std::printf("%-40s %-10s %-10s%s\n", q, verdict(r1), verdict(r2), marker);
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "src/automata/nfa.h"
+
+namespace xpathsat {
+
+std::set<int> Nfa::Step(const std::set<int>& states,
+                        const std::string& symbol) const {
+  std::set<int> out;
+  for (int s : states) {
+    for (const auto& [sym, t] : trans[s]) {
+      if (sym == symbol) out.insert(t);
+    }
+  }
+  return out;
+}
+
+std::set<int> Nfa::StepBack(const std::set<int>& states,
+                            const std::string& symbol) const {
+  std::set<int> out;
+  for (int s = 0; s < num_states; ++s) {
+    for (const auto& [sym, t] : trans[s]) {
+      if (sym == symbol && states.count(t)) out.insert(s);
+    }
+  }
+  return out;
+}
+
+bool Nfa::Matches(const std::vector<std::string>& word) const {
+  std::set<int> cur = {start};
+  for (const auto& sym : word) {
+    cur = Step(cur, sym);
+    if (cur.empty()) return false;
+  }
+  for (int s : cur) {
+    if (accepting[s]) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Result of the Glushkov recursion for a subexpression: first/last position
+// sets and nullability. Positions are 1-based; state 0 is the start state.
+struct Glu {
+  std::set<int> first;
+  std::set<int> last;
+  bool nullable = false;
+};
+
+class GlushkovBuilder {
+ public:
+  Nfa Build(const Regex& re) {
+    Glu g = Walk(re);
+    Nfa nfa;
+    nfa.num_states = static_cast<int>(symbols_.size()) + 1;
+    nfa.start = 0;
+    nfa.accepting.assign(nfa.num_states, false);
+    nfa.trans.assign(nfa.num_states, {});
+    nfa.accepting[0] = g.nullable;
+    for (int p : g.last) nfa.accepting[p] = true;
+    for (int p : g.first) nfa.trans[0].emplace_back(symbols_[p - 1], p);
+    for (const auto& [from, to] : follow_) {
+      nfa.trans[from].emplace_back(symbols_[to - 1], to);
+    }
+    return nfa;
+  }
+
+ private:
+  Glu Walk(const Regex& re) {
+    Glu g;
+    switch (re.kind()) {
+      case Regex::Kind::kEpsilon:
+        g.nullable = true;
+        return g;
+      case Regex::Kind::kSymbol: {
+        symbols_.push_back(re.symbol());
+        int p = static_cast<int>(symbols_.size());
+        g.first = {p};
+        g.last = {p};
+        g.nullable = false;
+        return g;
+      }
+      case Regex::Kind::kConcat: {
+        g.nullable = true;
+        std::set<int> carry_last;  // last positions of the prefix so far
+        bool prefix_nullable = true;
+        for (const Regex& c : re.children()) {
+          Glu gc = Walk(c);
+          for (int a : carry_last) {
+            for (int b : gc.first) follow_.emplace_back(a, b);
+          }
+          if (prefix_nullable) g.first.insert(gc.first.begin(), gc.first.end());
+          if (gc.nullable) {
+            carry_last.insert(gc.last.begin(), gc.last.end());
+          } else {
+            carry_last = gc.last;
+          }
+          prefix_nullable = prefix_nullable && gc.nullable;
+          g.nullable = g.nullable && gc.nullable;
+        }
+        g.last = carry_last;
+        return g;
+      }
+      case Regex::Kind::kUnion: {
+        g.nullable = false;
+        for (const Regex& c : re.children()) {
+          Glu gc = Walk(c);
+          g.first.insert(gc.first.begin(), gc.first.end());
+          g.last.insert(gc.last.begin(), gc.last.end());
+          g.nullable = g.nullable || gc.nullable;
+        }
+        return g;
+      }
+      case Regex::Kind::kStar: {
+        Glu gc = Walk(re.children()[0]);
+        for (int a : gc.last) {
+          for (int b : gc.first) follow_.emplace_back(a, b);
+        }
+        g.first = gc.first;
+        g.last = gc.last;
+        g.nullable = true;
+        return g;
+      }
+    }
+    return g;
+  }
+
+  std::vector<std::string> symbols_;            // position -> symbol (1-based)
+  std::vector<std::pair<int, int>> follow_;     // follow edges
+};
+
+}  // namespace
+
+Nfa BuildGlushkov(const Regex& re) { return GlushkovBuilder().Build(re); }
+
+}  // namespace xpathsat

@@ -1,0 +1,42 @@
+// Glushkov (position) automata for DTD content models.
+//
+// Used for conformance checking (does a children word belong to P(A)?) and by
+// the sibling-axis decision procedure of Theorem 7.1, which walks content-model
+// automata forwards and backwards.
+#ifndef XPATHSAT_AUTOMATA_NFA_H_
+#define XPATHSAT_AUTOMATA_NFA_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/xml/regex.h"
+
+namespace xpathsat {
+
+/// A nondeterministic finite automaton over element-type names with a single
+/// start state and no epsilon transitions (Glushkov form).
+struct Nfa {
+  int num_states = 0;
+  int start = 0;
+  std::vector<bool> accepting;
+  /// Per-state outgoing transitions (symbol, target).
+  std::vector<std::vector<std::pair<std::string, int>>> trans;
+
+  /// Subset-simulation step.
+  std::set<int> Step(const std::set<int>& states, const std::string& symbol) const;
+  /// True iff the word is in the language.
+  bool Matches(const std::vector<std::string>& word) const;
+  /// States backward-reachable via `symbol` from any state in `states`
+  /// (i.e. {q : exists q' in states with q --symbol--> q'}).
+  std::set<int> StepBack(const std::set<int>& states, const std::string& symbol) const;
+};
+
+/// Builds the Glushkov automaton of a content-model regex. Linear in the
+/// number of symbol occurrences (quadratic transitions worst case).
+Nfa BuildGlushkov(const Regex& re);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_AUTOMATA_NFA_H_

@@ -1,0 +1,44 @@
+#include "src/automata/stream.h"
+
+#include <functional>
+
+namespace xpathsat {
+
+Stream StreamOfTree(const XmlTree& tree, NodeId selected) {
+  Stream out;
+  if (tree.empty()) return out;
+  std::function<void(NodeId)> walk = [&](NodeId n) {
+    out.push_back({true, tree.label(n), n == selected});
+    for (NodeId c : tree.children(n)) walk(c);
+    out.push_back({false, tree.label(n), false});
+  };
+  walk(tree.root());
+  return out;
+}
+
+int StreamPositionOf(const XmlTree& tree, NodeId node) {
+  int pos = -1;
+  int index = 0;
+  std::function<void(NodeId)> walk = [&](NodeId n) {
+    if (n == node) pos = index;
+    ++index;
+    for (NodeId c : tree.children(n)) walk(c);
+    ++index;
+  };
+  walk(tree.root());
+  return pos;
+}
+
+std::string StreamToString(const Stream& s) {
+  std::string out;
+  for (const auto& t : s) {
+    if (t.is_open) {
+      out += "<" + t.label + (t.selected ? "*" : "") + ">";
+    } else {
+      out += "</" + t.label + ">";
+    }
+  }
+  return out;
+}
+
+}  // namespace xpathsat

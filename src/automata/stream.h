@@ -1,0 +1,34 @@
+// Streamed-document coding of XML trees (Sec. 7.3.1): stream(T) over the
+// alphabet {<A>, </A>} and stream(T, m) over XMLsel, where the opening tag of
+// the selected node m is labeled true and all others false.
+#ifndef XPATHSAT_AUTOMATA_STREAM_H_
+#define XPATHSAT_AUTOMATA_STREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/xml/tree.h"
+
+namespace xpathsat {
+
+/// One tape symbol of a streamed document.
+struct StreamToken {
+  bool is_open = true;     ///< opening tag vs closing tag
+  std::string label;
+  bool selected = false;   ///< only meaningful for opening tags
+};
+
+using Stream = std::vector<StreamToken>;
+
+/// stream(T, selected); pass kNullNode for plain stream(T).
+Stream StreamOfTree(const XmlTree& tree, NodeId selected = kNullNode);
+
+/// Index of the opening tag of `node` in stream(T, ·).
+int StreamPositionOf(const XmlTree& tree, NodeId node);
+
+/// Debug form, e.g. "<r><A*></A></r>" (the '*' marks the selected tag).
+std::string StreamToString(const Stream& s);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_AUTOMATA_STREAM_H_

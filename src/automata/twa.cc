@@ -1,0 +1,177 @@
+#include "src/automata/twa.h"
+
+#include <functional>
+
+namespace xpathsat {
+
+TwaFormula TwaFormula::True() {
+  TwaFormula f;
+  f.kind = Kind::kTrue;
+  return f;
+}
+
+TwaFormula TwaFormula::False() {
+  TwaFormula f;
+  f.kind = Kind::kFalse;
+  return f;
+}
+
+TwaFormula TwaFormula::Atom(TwaDir dir, int state) {
+  TwaFormula f;
+  f.kind = Kind::kAtom;
+  f.dir = dir;
+  f.state = state;
+  return f;
+}
+
+TwaFormula TwaFormula::Guard(int guard_index) {
+  TwaFormula f;
+  f.kind = Kind::kGuard;
+  f.state = guard_index;
+  return f;
+}
+
+TwaFormula TwaFormula::And(std::vector<TwaFormula> parts) {
+  if (parts.empty()) return True();
+  if (parts.size() == 1) return std::move(parts[0]);
+  TwaFormula f;
+  f.kind = Kind::kAnd;
+  f.children = std::move(parts);
+  return f;
+}
+
+TwaFormula TwaFormula::Or(std::vector<TwaFormula> parts) {
+  if (parts.empty()) return False();
+  if (parts.size() == 1) return std::move(parts[0]);
+  TwaFormula f;
+  f.kind = Kind::kOr;
+  f.children = std::move(parts);
+  return f;
+}
+
+bool TwaFormula::Eval(const std::function<bool(TwaDir, int)>& val,
+                      const std::function<bool(int)>& guard) const {
+  switch (kind) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kAtom:
+      return val(dir, state);
+    case Kind::kGuard:
+      return guard && guard(state);
+    case Kind::kAnd:
+      for (const auto& c : children) {
+        if (!c.Eval(val, guard)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& c : children) {
+        if (c.Eval(val, guard)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool TwaFormula::TrueUnderEmpty(const std::function<bool(int)>& guard) const {
+  return Eval([](TwaDir, int) { return false; }, guard);
+}
+
+TwaFormula TwaFormula::Shifted(int offset) const {
+  TwaFormula f = *this;
+  if (f.kind == Kind::kAtom) f.state += offset;  // guards stay global
+  for (auto& c : f.children) c = c.Shifted(offset);
+  return f;
+}
+
+std::string TwaFormula::ToString() const {
+  switch (kind) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kAtom: {
+      const char* d = dir == TwaDir::kLeft ? "<" : (dir == TwaDir::kRight ? ">" : "=");
+      return std::string("(") + d + "," + std::to_string(state) + ")";
+    }
+    case Kind::kGuard:
+      return "[g" + std::to_string(state) + "]";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind == Kind::kAnd ? " & " : " | ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += sep;
+        out += children[i].ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "";
+}
+
+void Twa::Set(int state, TokKind kind, const std::string& label, TwaFormula f) {
+  delta[{state, static_cast<int>(kind), label}] = std::move(f);
+}
+
+void Twa::SetAny(int state, TokKind kind, TwaFormula f) {
+  delta[{state, static_cast<int>(kind), ""}] = std::move(f);
+}
+
+const TwaFormula& Twa::DeltaFor(int state, const StreamToken& token) const {
+  static const TwaFormula kFalseFormula = TwaFormula::False();
+  int kind = token.is_open
+                 ? (token.selected ? static_cast<int>(TokKind::kOpenTrue)
+                                   : static_cast<int>(TokKind::kOpenFalse))
+                 : static_cast<int>(TokKind::kClose);
+  auto it = delta.find({state, kind, token.label});
+  if (it != delta.end()) return it->second;
+  it = delta.find({state, kind, ""});
+  if (it != delta.end()) return it->second;
+  return kFalseFormula;
+}
+
+bool TwaAccepts(const Twa& a, const Stream& stream, int start_pos,
+                const std::function<bool(int, int)>& guard_at) {
+  const int len = static_cast<int>(stream.size());
+  if (start_pos < 0 || start_pos >= len) return false;
+  // acc[i][q]: an accepting finite run subtree exists from (i, q).
+  std::vector<std::vector<char>> acc(len, std::vector<char>(a.num_states, 0));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < len; ++i) {
+      auto guard = [&](int g) { return guard_at && guard_at(g, i); };
+      for (int q = 0; q < a.num_states; ++q) {
+        if (acc[i][q]) continue;
+        const TwaFormula& theta = a.DeltaFor(q, stream[i]);
+        bool v = false;
+        if (a.accepting[q] && theta.TrueUnderEmpty(guard)) {
+          v = true;  // leaf
+        } else {
+          v = theta.Eval(
+              [&](TwaDir dir, int q2) {
+                int j = i + static_cast<int>(dir);
+                if (j < 0 || j >= len) return false;
+                return acc[j][q2] != 0;
+              },
+              guard);
+        }
+        if (v) {
+          acc[i][q] = 1;
+          changed = true;
+        }
+      }
+    }
+  }
+  auto guard0 = [&](int g) { return guard_at && guard_at(g, start_pos); };
+  return a.initial.Eval(
+      [&](TwaDir dir, int q) {
+        (void)dir;  // initial atoms are kStay by construction
+        return acc[start_pos][q] != 0;
+      },
+      guard0);
+}
+
+}  // namespace xpathsat

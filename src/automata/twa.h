@@ -1,0 +1,82 @@
+// Two-way alternating (selection) automata over streamed documents
+// (Sec. 7.3.2): transition formulas in B+(DIR × Q), acceptance via finite
+// run forests, and a polynomial-time acceptance solver on a fixed stream
+// (alternating reachability as a monotone least fixpoint).
+#ifndef XPATHSAT_AUTOMATA_TWA_H_
+#define XPATHSAT_AUTOMATA_TWA_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/automata/stream.h"
+
+namespace xpathsat {
+
+/// Tape-head directions.
+enum class TwaDir { kLeft = -1, kStay = 0, kRight = 1 };
+
+/// Positive Boolean formula over (direction, state) atoms, plus position
+/// guards (references to precomputed qualifier truth tables, used by the
+/// trans(p1[q]) composition).
+struct TwaFormula {
+  enum class Kind { kTrue, kFalse, kAtom, kGuard, kAnd, kOr };
+  Kind kind = Kind::kFalse;
+  TwaDir dir = TwaDir::kStay;  // kAtom
+  int state = 0;               // kAtom: state id; kGuard: guard index
+  std::vector<TwaFormula> children;
+
+  static TwaFormula True();
+  static TwaFormula False();
+  static TwaFormula Atom(TwaDir dir, int state);
+  static TwaFormula Guard(int guard_index);
+  static TwaFormula And(std::vector<TwaFormula> parts);
+  static TwaFormula Or(std::vector<TwaFormula> parts);
+
+  /// Evaluates under valuations of run atoms and position guards.
+  bool Eval(const std::function<bool(TwaDir, int)>& val,
+            const std::function<bool(int)>& guard) const;
+  /// True iff satisfied with all run atoms false (guards still evaluated).
+  bool TrueUnderEmpty(const std::function<bool(int)>& guard) const;
+  /// Shifts all state indices by `offset` (guards are global, unshifted).
+  TwaFormula Shifted(int offset) const;
+  std::string ToString() const;
+};
+
+/// The kind of tape symbol a transition matches.
+enum class TokKind { kOpenFalse = 0, kOpenTrue = 1, kClose = 2 };
+
+/// A two-way alternating (selection) automaton. Transitions are keyed by
+/// (state, token kind, label); a missing entry with empty-label fallback
+/// means the per-kind default for that state (kFalse if also absent).
+struct Twa {
+  int num_states = 0;
+  TwaFormula initial;  ///< B+ over states (atoms' directions must be kStay)
+  std::vector<bool> accepting;
+  /// (state, kind, label) -> formula; label "" = any label (fallback).
+  std::map<std::tuple<int, int, std::string>, TwaFormula> delta;
+  /// Critical states C (2WASA bookkeeping for the trans composition).
+  std::set<int> critical;
+
+  /// Sets delta for a specific label.
+  void Set(int state, TokKind kind, const std::string& label, TwaFormula f);
+  /// Sets the any-label fallback.
+  void SetAny(int state, TokKind kind, TwaFormula f);
+  /// Looks up the transition formula for a token.
+  const TwaFormula& DeltaFor(int state, const StreamToken& token) const;
+};
+
+/// Acceptance of (stream, start position) by least-fixpoint evaluation of the
+/// alternating reachability recurrence. Leaves must carry accepting states
+/// (finite-run acceptance of Sec. 7.3.2). `guard_at` valuates guard atoms at
+/// a stream position.
+bool TwaAccepts(
+    const Twa& a, const Stream& stream, int start_pos,
+    const std::function<bool(int, int)>& guard_at = nullptr);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_AUTOMATA_TWA_H_

@@ -1,0 +1,470 @@
+#include "src/automata/xpath_to_twa.h"
+
+#include <set>
+
+namespace xpathsat {
+
+namespace {
+
+TwaFormula Go(TwaDir dir, int state) { return TwaFormula::Atom(dir, state); }
+
+// Effective transition formula with the any-label fallback applied.
+TwaFormula Lookup(const Twa& a, int state, TokKind kind,
+                  const std::string& label) {
+  auto it = a.delta.find({state, static_cast<int>(kind), label});
+  if (it != a.delta.end()) return it->second;
+  it = a.delta.find({state, static_cast<int>(kind), ""});
+  if (it != a.delta.end()) return it->second;
+  return TwaFormula::False();
+}
+
+// Label keys with specific entries for a state under the given kinds.
+std::set<std::string> LabelKeys(const Twa& a, int state,
+                                std::initializer_list<TokKind> kinds) {
+  std::set<std::string> keys = {""};
+  for (const auto& [key, f] : a.delta) {
+    (void)f;
+    if (std::get<0>(key) != state) continue;
+    for (TokKind k : kinds) {
+      if (std::get<1>(key) == static_cast<int>(k)) keys.insert(std::get<2>(key));
+    }
+  }
+  return keys;
+}
+
+bool QualifierDataFree(const Qualifier& q);
+
+bool PathDataFree(const PathExpr& p) {
+  if (p.qual && !QualifierDataFree(*p.qual)) return false;
+  if (p.lhs && !PathDataFree(*p.lhs)) return false;
+  if (p.rhs && !PathDataFree(*p.rhs)) return false;
+  return true;
+}
+
+bool QualifierDataFree(const Qualifier& q) {
+  if (q.kind == QualKind::kAttrCmpConst || q.kind == QualKind::kAttrJoin) {
+    return false;
+  }
+  if (q.path && !PathDataFree(*q.path)) return false;
+  if (q.q1 && !QualifierDataFree(*q.q1)) return false;
+  if (q.q2 && !QualifierDataFree(*q.q2)) return false;
+  return true;
+}
+
+}  // namespace
+
+Twa TwasaBuilder::Atomic(PathKind kind, const std::string& label) {
+  const int D = max_depth_ + 1;  // skip-state depth bound
+  Twa a;
+  a.initial = Go(TwaDir::kStay, 0);
+  switch (kind) {
+    case PathKind::kEmpty: {
+      a.num_states = 1;
+      a.SetAny(0, TokKind::kOpenTrue, TwaFormula::True());
+      break;
+    }
+    case PathKind::kLabel:
+    case PathKind::kChildAny: {
+      // 0: context open; 1: child-level scan; 1+i: skip depth i.
+      a.num_states = 2 + D;
+      a.SetAny(0, TokKind::kOpenFalse, Go(TwaDir::kRight, 1));
+      a.SetAny(0, TokKind::kOpenTrue, Go(TwaDir::kRight, 1));
+      if (kind == PathKind::kChildAny) {
+        a.SetAny(1, TokKind::kOpenTrue, TwaFormula::True());
+      } else {
+        a.Set(1, TokKind::kOpenTrue, label, TwaFormula::True());
+        a.SetAny(1, TokKind::kOpenTrue, Go(TwaDir::kRight, 2));
+      }
+      a.SetAny(1, TokKind::kOpenFalse, Go(TwaDir::kRight, 2));
+      for (int i = 1; i <= D; ++i) {
+        int s = 1 + i;
+        if (i < D) {
+          a.SetAny(s, TokKind::kOpenFalse, Go(TwaDir::kRight, s + 1));
+          a.SetAny(s, TokKind::kOpenTrue, Go(TwaDir::kRight, s + 1));
+        }
+        a.SetAny(s, TokKind::kClose, Go(TwaDir::kRight, i == 1 ? 1 : s - 1));
+      }
+      a.accepting.assign(a.num_states, false);
+      a.accepting[1] = true;
+      a.critical = {1};
+      return a;
+    }
+    case PathKind::kParent: {
+      // 0: context open; 1: left scan at sibling level; 1+i: skip depth i.
+      a.num_states = 2 + D;
+      a.SetAny(0, TokKind::kOpenFalse, Go(TwaDir::kLeft, 1));
+      a.SetAny(0, TokKind::kOpenTrue, Go(TwaDir::kLeft, 1));
+      a.SetAny(1, TokKind::kOpenTrue, TwaFormula::True());
+      a.SetAny(1, TokKind::kClose, Go(TwaDir::kLeft, 2));
+      for (int i = 1; i <= D; ++i) {
+        int s = 1 + i;
+        if (i < D) a.SetAny(s, TokKind::kClose, Go(TwaDir::kLeft, s + 1));
+        a.SetAny(s, TokKind::kOpenFalse, Go(TwaDir::kLeft, i == 1 ? 1 : s - 1));
+        a.SetAny(s, TokKind::kOpenTrue, Go(TwaDir::kLeft, i == 1 ? 1 : s - 1));
+      }
+      a.accepting.assign(a.num_states, false);
+      a.accepting[1] = true;
+      a.critical = {1};
+      return a;
+    }
+    case PathKind::kRightSib: {
+      // 0: context open; i in 1..D: own-subtree depth; D+1: check sibling.
+      a.num_states = D + 2;
+      a.SetAny(0, TokKind::kOpenFalse, Go(TwaDir::kRight, 1));
+      a.SetAny(0, TokKind::kOpenTrue, Go(TwaDir::kRight, 1));
+      for (int i = 1; i <= D; ++i) {
+        if (i < D) {
+          a.SetAny(i, TokKind::kOpenFalse, Go(TwaDir::kRight, i + 1));
+          a.SetAny(i, TokKind::kOpenTrue, Go(TwaDir::kRight, i + 1));
+        }
+        a.SetAny(i, TokKind::kClose,
+                 Go(TwaDir::kRight, i == 1 ? D + 1 : i - 1));
+      }
+      a.SetAny(D + 1, TokKind::kOpenTrue, TwaFormula::True());
+      a.accepting.assign(a.num_states, false);
+      a.accepting[D + 1] = true;
+      a.critical = {D + 1};
+      return a;
+    }
+    case PathKind::kLeftSib: {
+      // 0: context open; 1: immediate-left check; 1+i: skip depth i
+      // (accept at the left sibling's open, i.e. depth 1).
+      a.num_states = 2 + D;
+      a.SetAny(0, TokKind::kOpenFalse, Go(TwaDir::kLeft, 1));
+      a.SetAny(0, TokKind::kOpenTrue, Go(TwaDir::kLeft, 1));
+      a.SetAny(1, TokKind::kClose, Go(TwaDir::kLeft, 2));
+      a.SetAny(2, TokKind::kOpenTrue, TwaFormula::True());
+      a.SetAny(2, TokKind::kClose, Go(TwaDir::kLeft, 3));
+      for (int i = 2; i <= D; ++i) {
+        int s = 1 + i;
+        if (i < D) a.SetAny(s, TokKind::kClose, Go(TwaDir::kLeft, s + 1));
+        a.SetAny(s, TokKind::kOpenFalse, Go(TwaDir::kLeft, s - 1));
+        a.SetAny(s, TokKind::kOpenTrue, Go(TwaDir::kLeft, s - 1));
+      }
+      a.accepting.assign(a.num_states, false);
+      a.accepting[2] = true;
+      a.critical = {2};
+      return a;
+    }
+    case PathKind::kRightSibStar: {
+      // 0: context open (self); i in 1..D: subtree skip; D+1: sibling check.
+      a.num_states = D + 2;
+      a.SetAny(0, TokKind::kOpenTrue, TwaFormula::True());
+      a.SetAny(0, TokKind::kOpenFalse, Go(TwaDir::kRight, 1));
+      for (int i = 1; i <= D; ++i) {
+        if (i < D) {
+          a.SetAny(i, TokKind::kOpenFalse, Go(TwaDir::kRight, i + 1));
+          a.SetAny(i, TokKind::kOpenTrue, Go(TwaDir::kRight, i + 1));
+        }
+        a.SetAny(i, TokKind::kClose,
+                 Go(TwaDir::kRight, i == 1 ? D + 1 : i - 1));
+      }
+      a.SetAny(D + 1, TokKind::kOpenTrue, TwaFormula::True());
+      a.SetAny(D + 1, TokKind::kOpenFalse, Go(TwaDir::kRight, 1));
+      a.accepting.assign(a.num_states, false);
+      a.accepting[0] = true;
+      a.accepting[D + 1] = true;
+      a.critical = {0, D + 1};
+      return a;
+    }
+    case PathKind::kLeftSibStar: {
+      // 0: self; 1: left scan at sibling level; 1+i: skip depth i (accept at
+      // sibling opens, depth 1, then continue left).
+      a.num_states = 2 + D;
+      a.SetAny(0, TokKind::kOpenTrue, TwaFormula::True());
+      a.SetAny(0, TokKind::kOpenFalse, Go(TwaDir::kLeft, 1));
+      a.SetAny(1, TokKind::kClose, Go(TwaDir::kLeft, 2));
+      a.SetAny(2, TokKind::kOpenTrue, TwaFormula::True());
+      a.SetAny(2, TokKind::kOpenFalse, Go(TwaDir::kLeft, 1));
+      a.SetAny(2, TokKind::kClose, Go(TwaDir::kLeft, 3));
+      for (int i = 2; i <= D; ++i) {
+        int s = 1 + i;
+        if (i < D) a.SetAny(s, TokKind::kClose, Go(TwaDir::kLeft, s + 1));
+        a.SetAny(s, TokKind::kOpenFalse, Go(TwaDir::kLeft, s - 1));
+        a.SetAny(s, TokKind::kOpenTrue, Go(TwaDir::kLeft, s - 1));
+      }
+      a.accepting.assign(a.num_states, false);
+      a.accepting[0] = true;
+      a.accepting[2] = true;
+      a.critical = {0, 2};
+      return a;
+    }
+    case PathKind::kDescOrSelf: {
+      // 0: self; i in 1..D: inside subtree at depth i.
+      a.num_states = 1 + D;
+      a.SetAny(0, TokKind::kOpenTrue, TwaFormula::True());
+      a.SetAny(0, TokKind::kOpenFalse, Go(TwaDir::kRight, 1));
+      for (int i = 1; i <= D; ++i) {
+        a.SetAny(i, TokKind::kOpenTrue, TwaFormula::True());
+        if (i < D) a.SetAny(i, TokKind::kOpenFalse, Go(TwaDir::kRight, i + 1));
+        if (i >= 2) a.SetAny(i, TokKind::kClose, Go(TwaDir::kRight, i - 1));
+      }
+      a.accepting.assign(a.num_states, true);
+      for (int i = 0; i <= D; ++i) a.critical.insert(i);
+      return a;
+    }
+    case PathKind::kAncOrSelf: {
+      // 0: self; 1: leftward ancestor scan; 1+i: sibling-subtree skip.
+      a.num_states = 2 + D;
+      a.SetAny(0, TokKind::kOpenTrue, TwaFormula::True());
+      a.SetAny(0, TokKind::kOpenFalse, Go(TwaDir::kLeft, 1));
+      a.SetAny(1, TokKind::kOpenTrue, TwaFormula::True());
+      a.SetAny(1, TokKind::kOpenFalse, Go(TwaDir::kLeft, 1));
+      a.SetAny(1, TokKind::kClose, Go(TwaDir::kLeft, 2));
+      for (int i = 1; i <= D; ++i) {
+        int s = 1 + i;
+        if (i < D) a.SetAny(s, TokKind::kClose, Go(TwaDir::kLeft, s + 1));
+        a.SetAny(s, TokKind::kOpenFalse, Go(TwaDir::kLeft, i == 1 ? 1 : s - 1));
+        a.SetAny(s, TokKind::kOpenTrue, Go(TwaDir::kLeft, i == 1 ? 1 : s - 1));
+      }
+      a.accepting.assign(a.num_states, false);
+      a.accepting[0] = true;
+      a.accepting[1] = true;
+      a.critical = {0, 1};
+      return a;
+    }
+    default:
+      break;
+  }
+  a.num_states = std::max(a.num_states, 1);
+  a.accepting.assign(a.num_states, false);
+  a.accepting[0] = true;
+  a.critical = {0};
+  return a;
+}
+
+Result<Twa> TwasaBuilder::Compose(Twa a, Twa b) {
+  const int offset = a.num_states;
+  Twa out;
+  out.num_states = a.num_states + b.num_states;
+  out.initial = a.initial;
+  out.accepting.assign(out.num_states, false);
+  for (int q = 0; q < b.num_states; ++q) {
+    out.accepting[offset + q] = b.accepting[q];
+  }
+  for (int q : b.critical) out.critical.insert(offset + q);
+  // b's transitions, shifted.
+  for (const auto& [key, f] : b.delta) {
+    out.delta[{std::get<0>(key) + offset, std::get<1>(key), std::get<2>(key)}] =
+        f.Shifted(offset);
+  }
+  TwaFormula theta_b = b.initial.Shifted(offset);
+  // a's transitions, with the Claim 7.6 rewiring.
+  for (int q = 0; q < a.num_states; ++q) {
+    // Close transitions carry over unchanged.
+    for (const auto& l : LabelKeys(a, q, {TokKind::kClose})) {
+      auto it = a.delta.find({q, static_cast<int>(TokKind::kClose), l});
+      if (it != a.delta.end()) {
+        out.delta[{q, static_cast<int>(TokKind::kClose), l}] = it->second;
+      }
+    }
+    bool crit = a.critical.count(q) > 0;
+    for (const auto& l :
+         LabelKeys(a, q, {TokKind::kOpenFalse, TokKind::kOpenTrue})) {
+      TwaFormula fF = Lookup(a, q, TokKind::kOpenFalse, l);
+      TwaFormula fT = Lookup(a, q, TokKind::kOpenTrue, l);
+      TwaFormula nf =
+          crit ? TwaFormula::Or([&] {
+              std::vector<TwaFormula> v;
+              v.push_back(fF);
+              v.push_back(TwaFormula::And({fT, theta_b}));
+              return v;
+            }())
+               : fF;
+      out.delta[{q, static_cast<int>(TokKind::kOpenFalse), l}] = nf;
+      out.delta[{q, static_cast<int>(TokKind::kOpenTrue), l}] = nf;
+    }
+  }
+  return out;
+}
+
+Result<Twa> TwasaBuilder::UnionOf(Twa a, Twa b) {
+  const int offset = a.num_states;
+  Twa out = std::move(a);
+  out.num_states += b.num_states;
+  out.initial = TwaFormula::Or([&] {
+    std::vector<TwaFormula> v;
+    v.push_back(out.initial);
+    v.push_back(b.initial.Shifted(offset));
+    return v;
+  }());
+  out.accepting.resize(out.num_states, false);
+  for (int q = 0; q < b.num_states; ++q) {
+    out.accepting[offset + q] = b.accepting[q];
+  }
+  for (int q : b.critical) out.critical.insert(offset + q);
+  for (const auto& [key, f] : b.delta) {
+    out.delta[{std::get<0>(key) + offset, std::get<1>(key), std::get<2>(key)}] =
+        f.Shifted(offset);
+  }
+  return out;
+}
+
+Result<Twa> TwasaBuilder::FilterOf(Twa a, int guard_id) {
+  Twa out = std::move(a);
+  for (int q : out.critical) {
+    for (const auto& l : LabelKeys(out, q, {TokKind::kOpenTrue})) {
+      TwaFormula fT = Lookup(out, q, TokKind::kOpenTrue, l);
+      out.delta[{q, static_cast<int>(TokKind::kOpenTrue), l}] =
+          TwaFormula::And({fT, TwaFormula::Guard(guard_id)});
+    }
+  }
+  return out;
+}
+
+Result<Twa> TwasaBuilder::TransPath(const PathExpr& p) {
+  if (!PathDataFree(p)) {
+    return Result<Twa>::Error(
+        "data-value comparisons are outside the Claim 7.6 fragment");
+  }
+  switch (p.kind) {
+    case PathKind::kSeq: {
+      Result<Twa> a = TransPath(*p.lhs);
+      if (!a.ok()) return a;
+      Result<Twa> b = TransPath(*p.rhs);
+      if (!b.ok()) return b;
+      return Compose(std::move(a).value(), std::move(b).value());
+    }
+    case PathKind::kUnion: {
+      Result<Twa> a = TransPath(*p.lhs);
+      if (!a.ok()) return a;
+      Result<Twa> b = TransPath(*p.rhs);
+      if (!b.ok()) return b;
+      return UnionOf(std::move(a).value(), std::move(b).value());
+    }
+    case PathKind::kFilter: {
+      Result<Twa> a = TransPath(*p.lhs);
+      if (!a.ok()) return a;
+      guards_.push_back(p.qual.get());
+      return FilterOf(std::move(a).value(),
+                      static_cast<int>(guards_.size()) - 1);
+    }
+    default:
+      return Atomic(p.kind, p.label);
+  }
+}
+
+Result<Twa> TwasaBuilder::QTransPath(const PathExpr& p) {
+  Result<Twa> r = TransPath(p);
+  if (!r.ok()) return r;
+  Twa a = std::move(r).value();
+  // Collapse the selection: δ'(q,<N>) = δ(q,(N,false)) ∨ δ(q,(N,true)).
+  for (int q = 0; q < a.num_states; ++q) {
+    for (const auto& l :
+         LabelKeys(a, q, {TokKind::kOpenFalse, TokKind::kOpenTrue})) {
+      TwaFormula fF = Lookup(a, q, TokKind::kOpenFalse, l);
+      TwaFormula fT = Lookup(a, q, TokKind::kOpenTrue, l);
+      TwaFormula nf = TwaFormula::Or([&] {
+        std::vector<TwaFormula> v;
+        v.push_back(fF);
+        v.push_back(fT);
+        return v;
+      }());
+      a.delta[{q, static_cast<int>(TokKind::kOpenFalse), l}] = nf;
+      a.delta[{q, static_cast<int>(TokKind::kOpenTrue), l}] = nf;
+    }
+  }
+  return a;
+}
+
+TwasaChecker::TwasaChecker(const XmlTree& tree)
+    : tree_(tree),
+      plain_(StreamOfTree(tree)),
+      builder_(tree.Height() + 2) {}
+
+Result<std::vector<char>> TwasaChecker::QualTable(const Qualifier& q) {
+  auto it = tables_.find(&q);
+  if (it != tables_.end()) return it->second;
+  const int len = static_cast<int>(plain_.size());
+  std::vector<char> table(len, 0);
+  switch (q.kind) {
+    case QualKind::kLabelTest:
+      for (int i = 0; i < len; ++i) {
+        table[i] = plain_[i].is_open && plain_[i].label == q.label;
+      }
+      break;
+    case QualKind::kAnd:
+    case QualKind::kOr: {
+      Result<std::vector<char>> t1 = QualTable(*q.q1);
+      if (!t1.ok()) return t1;
+      Result<std::vector<char>> t2 = QualTable(*q.q2);
+      if (!t2.ok()) return t2;
+      for (int i = 0; i < len; ++i) {
+        table[i] = q.kind == QualKind::kAnd
+                       ? (t1.value()[i] && t2.value()[i])
+                       : (t1.value()[i] || t2.value()[i]);
+      }
+      break;
+    }
+    case QualKind::kNot: {
+      Result<std::vector<char>> t1 = QualTable(*q.q1);
+      if (!t1.ok()) return t1;
+      for (int i = 0; i < len; ++i) {
+        table[i] = plain_[i].is_open && !t1.value()[i];
+      }
+      break;
+    }
+    case QualKind::kPath: {
+      size_t guards_before = builder_.guards().size();
+      Result<Twa> a = builder_.QTransPath(*q.path);
+      if (!a.ok()) return Result<std::vector<char>>::Error(a.error());
+      // Tables for the guards this automaton introduced (strictly nested
+      // qualifiers, so the recursion terminates).
+      for (size_t g = guards_before; g < builder_.guards().size(); ++g) {
+        const Qualifier* gq = builder_.guards()[g];
+        if (!tables_.count(gq)) {
+          Result<std::vector<char>> t = QualTable(*gq);
+          if (!t.ok()) return t;
+        }
+      }
+      auto guard_at = [this](int g, int pos) { return GuardValue(g, pos); };
+      for (int i = 0; i < len; ++i) {
+        if (!plain_[i].is_open) continue;
+        table[i] = TwaAccepts(a.value(), plain_, i, guard_at);
+      }
+      break;
+    }
+    default:
+      return Result<std::vector<char>>::Error(
+          "data-value qualifiers are outside the Claim 7.6 fragment");
+  }
+  tables_[&q] = table;
+  return table;
+}
+
+bool TwasaChecker::GuardValue(int guard, int pos) {
+  const Qualifier* q = builder_.guards()[guard];
+  auto it = tables_.find(q);
+  if (it == tables_.end()) {
+    Result<std::vector<char>> t = QualTable(*q);
+    if (!t.ok()) return false;
+    it = tables_.find(q);
+  }
+  return it->second[pos] != 0;
+}
+
+Result<bool> TwasaChecker::PathHolds(const PathExpr& p, NodeId from,
+                                     NodeId to) {
+  size_t guards_before = builder_.guards().size();
+  Result<Twa> a = builder_.TransPath(p);
+  if (!a.ok()) return Result<bool>::Error(a.error());
+  for (size_t g = guards_before; g < builder_.guards().size(); ++g) {
+    const Qualifier* gq = builder_.guards()[g];
+    if (!tables_.count(gq)) {
+      Result<std::vector<char>> t = QualTable(*gq);
+      if (!t.ok()) return Result<bool>::Error(t.error());
+    }
+  }
+  Stream selected = StreamOfTree(tree_, to);
+  int pos = StreamPositionOf(tree_, from);
+  auto guard_at = [this](int g, int pos2) { return GuardValue(g, pos2); };
+  return TwaAccepts(a.value(), selected, pos, guard_at);
+}
+
+Result<bool> TwasaChecker::QualHolds(const Qualifier& q, NodeId at) {
+  Result<std::vector<char>> t = QualTable(q);
+  if (!t.ok()) return Result<bool>::Error(t.error());
+  return t.value()[StreamPositionOf(tree_, at)] != 0;
+}
+
+}  // namespace xpathsat

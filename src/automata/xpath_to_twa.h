@@ -1,0 +1,80 @@
+// The trans/qtrans translation of Claim 7.6: XPath expressions in
+// X(↓,↓*,↑,↑*,→,←,→*,←*,∪,[],¬) (no data values) become two-way alternating
+// selection automata over streamed documents; qualifiers become position
+// predicates.
+//
+// The provided source text of the paper lost the contents of Figure 10 (the
+// per-axis transition tables), so the base automata here are reconstructed
+// operationally: skip states count tag depth up to the given bound (the
+// nonrecursive-DTD bound of Lemma 7.5), critical states accept on the
+// selected opening tag, and the composition rules for p1/p2, p1 ∪ p2 and
+// p1[q] follow the Claim 7.6 text (θ-injection at critical states). Nested
+// qualifiers — including negation — are handled exactly via precomputed
+// position tables (guard atoms) rather than formula dualization, which keeps
+// complementation exact under the finite-run semantics.
+//
+// TwasaChecker validates the construction: on any tree, automaton acceptance
+// must coincide with the reference evaluator (property-tested).
+#ifndef XPATHSAT_AUTOMATA_XPATH_TO_TWA_H_
+#define XPATHSAT_AUTOMATA_XPATH_TO_TWA_H_
+
+#include <memory>
+
+#include "src/automata/twa.h"
+#include "src/util/status.h"
+#include "src/xml/tree.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// Builds trans(p) (a selection automaton) for paths without data values.
+/// Guard atoms reference qualifiers registered in `guards` (owned by the
+/// caller via TwasaChecker or manually).
+class TwasaBuilder {
+ public:
+  /// `max_depth`: bound on document depth (skip-state count).
+  explicit TwasaBuilder(int max_depth) : max_depth_(max_depth) {}
+
+  /// trans(p). Fails on data-value comparisons.
+  Result<Twa> TransPath(const PathExpr& p);
+  /// qtrans(p): trans with the selection collapsed (Claim 7.6 case (9)).
+  Result<Twa> QTransPath(const PathExpr& p);
+  /// Qualifiers registered as guards, in registration order.
+  const std::vector<const Qualifier*>& guards() const { return guards_; }
+
+ private:
+  Twa Atomic(PathKind kind, const std::string& label);
+  Result<Twa> Compose(Twa a, Twa b);         // p1/p2
+  Result<Twa> UnionOf(Twa a, Twa b);         // p1 ∪ p2
+  Result<Twa> FilterOf(Twa a, int guard_id); // p1[q]
+
+  int max_depth_;
+  std::vector<const Qualifier*> guards_;
+};
+
+/// Membership checker: evaluates paths/qualifiers on a tree through the
+/// automaton construction (ground truth for the Sec. 7.4 machinery).
+class TwasaChecker {
+ public:
+  explicit TwasaChecker(const XmlTree& tree);
+
+  /// T |= p(from, to) via trans(p) on stream(T, to) at pos(from).
+  Result<bool> PathHolds(const PathExpr& p, NodeId from, NodeId to);
+  /// T |= q(at) via the qualifier table machinery.
+  Result<bool> QualHolds(const Qualifier& q, NodeId at);
+
+ private:
+  /// Truth table of a qualifier per stream position (open tags only).
+  Result<std::vector<char>> QualTable(const Qualifier& q);
+  bool GuardValue(int guard, int pos);
+
+  const XmlTree& tree_;
+  Stream plain_;
+  TwasaBuilder builder_;
+  std::map<const Qualifier*, std::vector<char>> tables_;
+  std::string error_;
+};
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_AUTOMATA_XPATH_TO_TWA_H_

@@ -1,0 +1,33 @@
+#include "src/reductions/containment.h"
+
+#include "src/xpath/rewrites.h"
+
+namespace xpathsat {
+
+std::unique_ptr<PathExpr> ContainmentWitnessQuery(const PathExpr& p1,
+                                                  const PathExpr& p2) {
+  // p1[¬(inverse(p2)[¬↑])]: a node reached by p1 from which the root cannot
+  // be reached by tracing p2 back ([¬↑] is the root test).
+  std::unique_ptr<PathExpr> back = PathExpr::Filter(
+      InversePath(p2),
+      Qualifier::Not(Qualifier::Path(PathExpr::Axis(PathKind::kParent))));
+  return PathExpr::Filter(p1.Clone(),
+                          Qualifier::Not(Qualifier::Path(std::move(back))));
+}
+
+std::unique_ptr<PathExpr> BooleanContainmentWitnessQuery(const Qualifier& q1,
+                                                         const Qualifier& q2) {
+  return PathExpr::Filter(
+      PathExpr::Empty(),
+      Qualifier::And(q1.Clone(), Qualifier::Not(q2.Clone())));
+}
+
+ContainmentReport DecideContainment(const PathExpr& p1, const PathExpr& p2,
+                                    const Dtd& dtd, const SatOptions& options) {
+  std::unique_ptr<PathExpr> witness = ContainmentWitnessQuery(p1, p2);
+  ContainmentReport out;
+  out.witness = DecideSatisfiability(*witness, dtd, options);
+  return out;
+}
+
+}  // namespace xpathsat

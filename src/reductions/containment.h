@@ -1,0 +1,42 @@
+// Containment ↔ satisfiability (Proposition 3.2):
+//   (1) SAT reduces to the complement of CNT;
+//   (2) Boolean queries ε[q1] ⊆ ε[q2]  iff  (ε[q1 ∧ ¬q2], D) unsatisfiable;
+//   (3) inverse-closed fragments: p1 ⊆ p2 under D iff
+//       (p1[¬(inverse(p2)[¬↑])], D) is unsatisfiable.
+#ifndef XPATHSAT_REDUCTIONS_CONTAINMENT_H_
+#define XPATHSAT_REDUCTIONS_CONTAINMENT_H_
+
+#include <memory>
+
+#include "src/sat/satisfiability.h"
+#include "src/xml/dtd.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// The query p1[¬(inverse(p2)[¬↑])] of Prop 3.2(3): satisfiable iff p1 ⊄ p2.
+std::unique_ptr<PathExpr> ContainmentWitnessQuery(const PathExpr& p1,
+                                                  const PathExpr& p2);
+
+/// The Boolean-fragment query ε[q1 ∧ ¬q2] of Prop 3.2(2).
+std::unique_ptr<PathExpr> BooleanContainmentWitnessQuery(const Qualifier& q1,
+                                                         const Qualifier& q2);
+
+/// Outcome of a containment check.
+struct ContainmentReport {
+  /// kSat of the witness query means NOT contained; kUnsat means contained.
+  SatReport witness;
+  bool contained() const { return witness.unsat(); }
+  bool decided() const {
+    return witness.decision.verdict != SatVerdict::kUnknown;
+  }
+};
+
+/// Decides p1 ⊆ p2 under D via the Prop 3.2(3) reduction.
+ContainmentReport DecideContainment(const PathExpr& p1, const PathExpr& p2,
+                                    const Dtd& dtd,
+                                    const SatOptions& options = {});
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_REDUCTIONS_CONTAINMENT_H_

@@ -1,0 +1,516 @@
+#include "src/reductions/encodings.h"
+
+#include <vector>
+
+namespace xpathsat {
+
+namespace {
+
+using PathPtr = std::unique_ptr<PathExpr>;
+using QualPtr = std::unique_ptr<Qualifier>;
+
+PathPtr Lbl(const std::string& l) { return PathExpr::Label(l); }
+PathPtr Wild() { return PathExpr::Axis(PathKind::kChildAny); }
+PathPtr Up() { return PathExpr::Axis(PathKind::kParent); }
+PathPtr Right() { return PathExpr::Axis(PathKind::kRightSib); }
+
+// l / l / ... (k label steps).
+PathPtr LblChain(const std::string& l, int k) {
+  std::vector<PathPtr> steps;
+  for (int i = 0; i < k; ++i) steps.push_back(Lbl(l));
+  return PathExpr::SeqAll(std::move(steps));
+}
+
+// ↓^k (k >= 1).
+PathPtr WildChain(int k) {
+  std::vector<PathPtr> steps;
+  for (int i = 0; i < k; ++i) steps.push_back(Wild());
+  return PathExpr::SeqAll(std::move(steps));
+}
+
+PathPtr SeqOf(std::vector<PathPtr> parts) {
+  return PathExpr::SeqAll(std::move(parts));
+}
+
+template <typename... T>
+std::vector<PathPtr> MakeVector(T... parts) {
+  std::vector<PathPtr> v;
+  (v.push_back(std::move(parts)), ...);
+  return v;
+}
+
+std::string Num(const std::string& base, int i) {
+  return base + std::to_string(i);
+}
+
+}  // namespace
+
+// --- Prop 4.2(1), Fig. 1 (left): X(↓,[]) with a φ-dependent DTD -------------
+
+SatEncoding EncodeThreeSatDownQual(const ThreeSatInstance& inst) {
+  SatEncoding out;
+  Dtd& d = out.dtd;
+  d.SetRoot("r");
+  // r -> X1,...,Xm ; Xj -> Tj + Fj ; Tj -> clauses with xj ; Fj -> with !xj.
+  std::vector<Regex> root_word;
+  for (int j = 1; j <= inst.num_vars; ++j) {
+    root_word.push_back(Regex::Symbol(Num("X", j)));
+  }
+  d.SetProduction("r", Regex::Concat(std::move(root_word)));
+  for (int j = 1; j <= inst.num_vars; ++j) {
+    d.SetProduction(Num("X", j),
+                    Regex::Union({Regex::Symbol(Num("T", j)),
+                                  Regex::Symbol(Num("F", j))}));
+    std::vector<Regex> pos, neg;
+    for (size_t i = 0; i < inst.clauses.size(); ++i) {
+      for (const Literal& l : inst.clauses[i]) {
+        if (l.var != j) continue;
+        (l.negated ? neg : pos)
+            .push_back(Regex::Symbol(Num("C", static_cast<int>(i) + 1)));
+      }
+    }
+    d.SetProduction(Num("T", j), pos.empty() ? Regex::Epsilon()
+                                             : Regex::Concat(std::move(pos)));
+    d.SetProduction(Num("F", j), neg.empty() ? Regex::Epsilon()
+                                             : Regex::Concat(std::move(neg)));
+  }
+  for (size_t i = 0; i < inst.clauses.size(); ++i) {
+    d.SetProduction(Num("C", static_cast<int>(i) + 1), Regex::Epsilon());
+  }
+  d.SetRoot("r");
+  // XP(φ) = ε[↓/↓/C1 ∧ ... ∧ ↓/↓/Cn].
+  std::vector<QualPtr> qs;
+  for (size_t i = 0; i < inst.clauses.size(); ++i) {
+    qs.push_back(Qualifier::Path(
+        SeqOf(MakeVector(Wild(), Wild(), Lbl(Num("C", static_cast<int>(i) + 1))))));
+  }
+  out.query = PathExpr::Filter(PathExpr::Empty(), Qualifier::AndAll(std::move(qs)));
+  return out;
+}
+
+// --- Prop 4.2(2) / Thm 6.6(1), Fig. 1 (right): X(∪,[]) with a fixed DTD ----
+
+SatEncoding EncodeThreeSatUnionQual(const ThreeSatInstance& inst) {
+  SatEncoding out;
+  Dtd& d = out.dtd;
+  d.SetRoot("r");
+  d.SetProduction("r", Regex::Symbol("X"));
+  // X -> (X + eps), (T + F)
+  d.SetProduction(
+      "X", Regex::Concat({Regex::Union({Regex::Symbol("X"), Regex::Epsilon()}),
+                          Regex::Union({Regex::Symbol("T"), Regex::Symbol("F")})}));
+  d.SetProduction("T", Regex::Epsilon());
+  d.SetProduction("F", Regex::Epsilon());
+  d.SetRoot("r");
+  // XP(φ) = ε[XP(C1) ∧ ... ∧ XP(Cn)], XP(xi) = X^i/T, XP(!xi) = X^i/F.
+  std::vector<QualPtr> qs;
+  for (const auto& clause : inst.clauses) {
+    std::vector<QualPtr> lits;
+    for (const Literal& l : clause) {
+      lits.push_back(Qualifier::Path(PathExpr::Seq(
+          LblChain("X", l.var), Lbl(l.negated ? "F" : "T"))));
+    }
+    qs.push_back(Qualifier::OrAll(std::move(lits)));
+  }
+  out.query = PathExpr::Filter(PathExpr::Empty(), Qualifier::AndAll(std::move(qs)));
+  return out;
+}
+
+// --- Prop 4.3: X(↓,↑), DTD of Prop 4.2(1) ----------------------------------
+
+SatEncoding EncodeThreeSatUpDown(const ThreeSatInstance& inst) {
+  SatEncoding out = EncodeThreeSatDownQual(inst);
+  // XP(φ) = ↓²/C1/↑³/↓²/C2/↑³/.../↓²/Cn.
+  std::vector<PathPtr> steps;
+  for (size_t i = 0; i < inst.clauses.size(); ++i) {
+    if (i > 0) {
+      steps.push_back(Up());
+      steps.push_back(Up());
+      steps.push_back(Up());
+    }
+    steps.push_back(Wild());
+    steps.push_back(Wild());
+    steps.push_back(Lbl(Num("C", static_cast<int>(i) + 1)));
+  }
+  out.query = SeqOf(std::move(steps));
+  return out;
+}
+
+// --- Thm 6.6(2), Fig. 6: X(↓,[]) with a fixed DTD ---------------------------
+
+SatEncoding EncodeThreeSatFixedDown(const ThreeSatInstance& inst) {
+  int m = inst.num_vars;
+  int n = static_cast<int>(inst.clauses.size());
+  SatEncoding out;
+  Dtd& d = out.dtd;
+  d.SetRoot("r");
+  d.SetProduction("r", Regex::Union({Regex::Symbol("X"), Regex::Symbol("Ex")}));
+  d.SetProduction(
+      "X", Regex::Concat({Regex::Symbol("L"),
+                          Regex::Union({Regex::Symbol("X"), Regex::Symbol("Ex")})}));
+  d.SetProduction(
+      "L", Regex::Union({Regex::Symbol("L"),
+                         Regex::Concat({Regex::Symbol("T"), Regex::Symbol("F")})}));
+  d.SetProduction(
+      "C", Regex::Concat({Regex::Union({Regex::Symbol("TC"), Regex::Symbol("FC")}),
+                          Regex::Union({Regex::Symbol("C"), Regex::Symbol("Ec")})}));
+  d.SetProduction("T", Regex::Symbol("C"));
+  d.SetProduction("F", Regex::Symbol("C"));
+  d.SetProduction("Ex", Regex::Epsilon());
+  d.SetProduction("Ec", Regex::Epsilon());
+  d.SetProduction("TC", Regex::Epsilon());
+  d.SetProduction("FC", Regex::Epsilon());
+  d.SetRoot("r");
+
+  std::vector<QualPtr> qs;
+  // qv = X^m[Ex]: exactly m Xs on the X chain.
+  qs.push_back(Qualifier::Path(
+      PathExpr::Filter(LblChain("X", m), Qualifier::Path(Lbl("Ex")))));
+  // qc: connections between clauses and literals.
+  auto occurs = [&](int var, bool negated, int clause) {
+    for (const Literal& l : inst.clauses[clause]) {
+      if (l.var == var && l.negated == negated) return true;
+    }
+    return false;
+  };
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      // qT(i,j) = X^j / L^{m-j+1} / T / C^i / (TC or FC)
+      qs.push_back(Qualifier::Path(SeqOf(MakeVector(
+          LblChain("X", j), LblChain("L", m - j + 1), Lbl("T"),
+          LblChain("C", i), Lbl(occurs(j, false, i - 1) ? "TC" : "FC")))));
+      // qF(i,j): same under F, keyed by negative occurrence.
+      qs.push_back(Qualifier::Path(SeqOf(MakeVector(
+          LblChain("X", j), LblChain("L", m - j + 1), Lbl("F"),
+          LblChain("C", i), Lbl(occurs(j, true, i - 1) ? "TC" : "FC")))));
+    }
+  }
+  // qa: exactly one of the two C chains under Xj has n elements.
+  for (int j = 1; j <= m; ++j) {
+    qs.push_back(Qualifier::Path(PathExpr::Filter(
+        LblChain("X", j),
+        Qualifier::And(
+            Qualifier::Path(SeqOf(MakeVector(LblChain("L", m - j + 1), Wild(),
+                                             LblChain("C", n), Lbl("Ec")))),
+            Qualifier::Path(SeqOf(MakeVector(LblChain("L", m - j + 1), Wild(),
+                                             LblChain("C", n + 1),
+                                             Lbl("Ec"))))))));
+  }
+  // qφ: each clause satisfied on the assigned (length-n) chain.
+  for (int i = 1; i <= n; ++i) {
+    std::vector<PathPtr> steps;
+    steps.push_back(WildChain(m));
+    steps.push_back(Lbl("L"));
+    steps.push_back(Wild());
+    PathPtr ci = LblChain("C", i);
+    QualPtr inner = Qualifier::And(
+        Qualifier::Path(Lbl("TC")),
+        i == n ? Qualifier::Path(Lbl("Ec"))
+               : Qualifier::Path(PathExpr::Seq(LblChain("C", n - i), Lbl("Ec"))));
+    steps.push_back(PathExpr::Filter(std::move(ci), std::move(inner)));
+    qs.push_back(Qualifier::Path(SeqOf(std::move(steps))));
+  }
+  out.query = PathExpr::Filter(PathExpr::Empty(), Qualifier::AndAll(std::move(qs)));
+  return out;
+}
+
+// --- Thm 6.9(1): X(∪,[],=) with a disjunction-free DTD ----------------------
+
+SatEncoding EncodeThreeSatDjfreeAttr(const ThreeSatInstance& inst) {
+  SatEncoding out;
+  Dtd& d = out.dtd;
+  d.SetRoot("r");
+  d.SetProduction("r", Regex::Symbol("X"));
+  d.SetProduction("X", Regex::Epsilon());
+  for (int i = 1; i <= inst.num_vars; ++i) d.AddAttr("X", Num("x", i));
+  d.SetRoot("r");
+
+  std::vector<QualPtr> qs;
+  // Qt: every variable attribute is 0 or 1.
+  for (int i = 1; i <= inst.num_vars; ++i) {
+    qs.push_back(Qualifier::Or(
+        Qualifier::AttrCmpConst(PathExpr::Empty(), Num("x", i), CmpOp::kEq, "1"),
+        Qualifier::AttrCmpConst(PathExpr::Empty(), Num("x", i), CmpOp::kEq, "0")));
+  }
+  for (const auto& clause : inst.clauses) {
+    std::vector<QualPtr> lits;
+    for (const Literal& l : clause) {
+      lits.push_back(Qualifier::AttrCmpConst(
+          PathExpr::Empty(), Num("x", l.var), CmpOp::kEq, l.negated ? "0" : "1"));
+    }
+    qs.push_back(Qualifier::OrAll(std::move(lits)));
+  }
+  out.query =
+      PathExpr::Filter(Lbl("X"), Qualifier::AndAll(std::move(qs)));
+  return out;
+}
+
+// --- Thm 6.9(2), Fig. 8: X(↓,[],=) with a disjunction-free DTD --------------
+
+SatEncoding EncodeThreeSatDjfreeDown(const ThreeSatInstance& inst) {
+  int m = inst.num_vars;
+  int n = static_cast<int>(inst.clauses.size());
+  SatEncoding out;
+  Dtd& d = out.dtd;
+  d.SetRoot("r");
+  std::vector<Regex> root_word;
+  for (int i = 1; i <= n; ++i) root_word.push_back(Regex::Symbol(Num("C", i)));
+  for (int j = 1; j <= m; ++j) root_word.push_back(Regex::Symbol(Num("L", j)));
+  d.SetProduction("r", Regex::Concat(std::move(root_word)));
+  for (int i = 1; i <= n; ++i) {
+    d.SetProduction(Num("C", i),
+                    Regex::Concat({Regex::Symbol("Lp1"), Regex::Symbol("Lp2"),
+                                   Regex::Symbol("Lp3")}));
+  }
+  for (int j = 1; j <= m; ++j) {
+    d.SetProduction(Num("L", j),
+                    Regex::Concat({Regex::Symbol("Xp"), Regex::Symbol("Xn")}));
+  }
+  for (const char* t : {"Lp1", "Lp2", "Lp3", "Xp", "Xn"}) {
+    d.SetProduction(t, Regex::Epsilon());
+    d.AddAttr(t, "v");
+  }
+  d.SetRoot("r");
+
+  std::vector<QualPtr> qs;
+  // t_j: the two truth nodes under Lj carry a 1 and a 0.
+  for (int j = 1; j <= m; ++j) {
+    qs.push_back(Qualifier::Path(PathExpr::Filter(
+        Lbl(Num("L", j)),
+        Qualifier::And(
+            Qualifier::AttrCmpConst(Wild(), "v", CmpOp::kEq, "1"),
+            Qualifier::AttrCmpConst(Wild(), "v", CmpOp::kEq, "0")))));
+  }
+  // q_j: literal value nodes join to the variable assignment nodes.
+  for (int i = 1; i <= n; ++i) {
+    for (int s = 0; s < 3; ++s) {
+      const Literal& l = inst.clauses[i - 1][s];
+      qs.push_back(Qualifier::AttrJoin(
+          PathExpr::Seq(Lbl(Num("C", i)), Lbl(Num("Lp", s + 1))), "v",
+          CmpOp::kEq,
+          PathExpr::Seq(Lbl(Num("L", l.var)), Lbl(l.negated ? "Xn" : "Xp")),
+          "v"));
+    }
+  }
+  // Q_j: one literal of each clause is true.
+  for (int i = 1; i <= n; ++i) {
+    qs.push_back(Qualifier::AttrCmpConst(
+        PathExpr::Seq(Lbl(Num("C", i)), Wild()), "v", CmpOp::kEq, "1"));
+  }
+  out.query = PathExpr::Filter(PathExpr::Empty(), Qualifier::AndAll(std::move(qs)));
+  return out;
+}
+
+// --- Prop 7.2, Fig. 9: X(→,[]) with a fixed nonrecursive djfree DTD ---------
+
+SatEncoding EncodeThreeSatSibling(const ThreeSatInstance& inst) {
+  int m = inst.num_vars;
+  int n = static_cast<int>(inst.clauses.size());
+  SatEncoding out;
+  Dtd& d = out.dtd;
+  d.SetRoot("r");
+  // r -> S0,(S,X)*,S0 ; X -> S,L,L,S ; L -> S,C*,S ; C -> S,T*,S.
+  d.SetProduction(
+      "r", Regex::Concat(
+               {Regex::Symbol("S0"),
+                Regex::Star(Regex::Concat({Regex::Symbol("S"), Regex::Symbol("X")})),
+                Regex::Symbol("S0")}));
+  d.SetProduction("X", Regex::Concat({Regex::Symbol("S"), Regex::Symbol("L"),
+                                      Regex::Symbol("L"), Regex::Symbol("S")}));
+  d.SetProduction("L", Regex::Concat({Regex::Symbol("S"),
+                                      Regex::Star(Regex::Symbol("C")),
+                                      Regex::Symbol("S")}));
+  d.SetProduction("C", Regex::Concat({Regex::Symbol("S"),
+                                      Regex::Star(Regex::Symbol("T")),
+                                      Regex::Symbol("S")}));
+  d.SetProduction("S0", Regex::Epsilon());
+  d.SetProduction("S", Regex::Epsilon());
+  d.SetProduction("T", Regex::Epsilon());
+  d.SetRoot("r");
+
+  auto rights = [&](int k) {
+    std::vector<PathPtr> steps;
+    for (int i = 0; i < k; ++i) steps.push_back(Right());
+    return steps;
+  };
+  // Xj as a path from the root: S0 then 2j rights.
+  auto var_path = [&](int j) {
+    std::vector<PathPtr> steps;
+    steps.push_back(Lbl("S0"));
+    auto r = rights(2 * j);
+    for (auto& s : r) steps.push_back(std::move(s));
+    return SeqOf(std::move(steps));
+  };
+
+  std::vector<QualPtr> qs;
+  // qv: exactly m (S,X) pairs under the root.
+  {
+    std::vector<PathPtr> steps;
+    steps.push_back(Lbl("S0"));
+    auto r = rights(2 * m);
+    for (auto& s : r) steps.push_back(std::move(s));
+    steps.push_back(PathExpr::Filter(Right(), Qualifier::LabelTest("S0")));
+    qs.push_back(Qualifier::Path(SeqOf(std::move(steps))));
+  }
+  // qc: chain contents under the first (true) and second (false) L.
+  auto occurs = [&](int var, bool negated, int clause) {
+    for (const Literal& l : inst.clauses[clause]) {
+      if (l.var == var && l.negated == negated) return true;
+    }
+    return false;
+  };
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      for (int branch = 0; branch < 2; ++branch) {
+        std::vector<PathPtr> steps;
+        steps.push_back(var_path(j));
+        steps.push_back(Lbl("S"));
+        steps.push_back(Right());  // first L
+        if (branch == 1) steps.push_back(Right());  // second L
+        steps.push_back(Lbl("S"));
+        auto r = rights(i);
+        for (auto& s : r) steps.push_back(std::move(s));  // C_i
+        steps.push_back(Lbl("S"));
+        bool has_tile = occurs(j, branch == 1, i - 1);
+        steps.push_back(PathExpr::Filter(
+            Right(), Qualifier::LabelTest(has_tile ? "T" : "S")));
+        qs.push_back(Qualifier::Path(SeqOf(std::move(steps))));
+      }
+    }
+  }
+  // qa: one L has exactly n C children, the other exactly n+1.
+  for (int j = 1; j <= m; ++j) {
+    auto exact = [&](int len) {
+      std::vector<PathPtr> steps;
+      steps.push_back(Lbl("L"));
+      steps.push_back(Lbl("S"));
+      auto r = rights(len + 1);
+      for (auto& s : r) steps.push_back(std::move(s));
+      return Qualifier::Path(PathExpr::Filter(SeqOf(std::move(steps)),
+                                              Qualifier::LabelTest("S")));
+    };
+    qs.push_back(Qualifier::Path(PathExpr::Filter(
+        var_path(j), Qualifier::And(exact(n), exact(n + 1)))));
+  }
+  // qφ: each clause true on the assigned (length-n) branch.
+  for (int i = 1; i <= n; ++i) {
+    std::vector<PathPtr> steps;
+    steps.push_back(Lbl("X"));
+    // L with exactly n C children.
+    std::vector<PathPtr> len_steps;
+    len_steps.push_back(Lbl("S"));
+    auto r1 = rights(n + 1);
+    for (auto& s : r1) len_steps.push_back(std::move(s));
+    steps.push_back(PathExpr::Filter(
+        Lbl("L"), Qualifier::Path(PathExpr::Filter(
+                      SeqOf(std::move(len_steps)), Qualifier::LabelTest("S")))));
+    steps.push_back(Lbl("S"));
+    auto r2 = rights(i);
+    for (auto& s : r2) steps.push_back(std::move(s));
+    steps.push_back(PathExpr::Filter(PathExpr::Empty(),
+                                     Qualifier::Path(Lbl("T"))));
+    qs.push_back(Qualifier::Path(SeqOf(std::move(steps))));
+  }
+  out.query = PathExpr::Filter(PathExpr::Empty(), Qualifier::AndAll(std::move(qs)));
+  return out;
+}
+
+// --- Prop 5.1, Fig. 3: Q3SAT -> X(↓,[],¬) -----------------------------------
+
+namespace {
+
+// XP(C) encoding the NEGATION of clause C (variables sorted ascending).
+PathPtr NegatedClausePath(const std::array<Literal, 3>& clause,
+                          bool numbered_types) {
+  std::vector<PathPtr> steps;
+  int prev = 0;
+  for (int k = 0; k < 3; ++k) {
+    int var = clause[k].var;
+    int gap = (k == 0) ? 2 * var - 2 : 2 * (var - prev) - 2;
+    if (gap > 0) steps.push_back(WildChain(gap));
+    steps.push_back(Lbl(numbered_types ? Num("X", var) : "X"));
+    // Z = F if the variable appears positively, T if negatively.
+    std::string z = clause[k].negated ? "T" : "F";
+    steps.push_back(Lbl(numbered_types ? Num(z, var) : z));
+    prev = var;
+  }
+  return SeqOf(std::move(steps));
+}
+
+}  // namespace
+
+SatEncoding EncodeQ3SatDownNeg(const Q3SatInstance& inst) {
+  int m = inst.matrix.num_vars;
+  SatEncoding out;
+  Dtd& d = out.dtd;
+  d.SetRoot("r");
+  d.SetProduction("r", Regex::Symbol("X1"));
+  for (int i = 1; i <= m; ++i) {
+    Regex ti = Regex::Symbol(Num("T", i));
+    Regex fi = Regex::Symbol(Num("F", i));
+    d.SetProduction(Num("X", i),
+                    inst.is_forall[i] ? Regex::Concat({ti, fi})
+                                      : Regex::Union({ti, fi}));
+    Regex next = (i < m) ? Regex::Symbol(Num("X", i + 1)) : Regex::Epsilon();
+    d.SetProduction(Num("T", i), next);
+    d.SetProduction(Num("F", i), next);
+  }
+  d.SetRoot("r");
+  std::vector<QualPtr> qs;
+  for (const auto& clause : inst.matrix.clauses) {
+    qs.push_back(Qualifier::Not(
+        Qualifier::Path(NegatedClausePath(clause, /*numbered_types=*/true))));
+  }
+  out.query = PathExpr::Filter(PathExpr::Empty(), Qualifier::AndAll(std::move(qs)));
+  return out;
+}
+
+// --- Thm 6.7(1): Q3SAT -> X(↓,[],¬) with a fixed DTD ------------------------
+
+SatEncoding EncodeQ3SatFixedNeg(const Q3SatInstance& inst) {
+  int m = inst.matrix.num_vars;
+  SatEncoding out;
+  Dtd& d = out.dtd;
+  d.SetRoot("r");
+  d.SetProduction("r", Regex::Symbol("X"));
+  d.SetProduction("X", Regex::Concat({Regex::Star(Regex::Symbol("T")),
+                                      Regex::Star(Regex::Symbol("F"))}));
+  d.SetProduction("T", Regex::Symbol("X"));
+  d.SetProduction("F", Regex::Symbol("X"));
+  d.SetRoot("r");
+
+  std::vector<QualPtr> qs;
+  for (int i = 1; i <= m; ++i) {
+    // Level path ↓^{2(i-1)}/X.
+    auto level = [&]() {
+      std::vector<PathPtr> steps;
+      if (i > 1) steps.push_back(WildChain(2 * (i - 1)));
+      steps.push_back(Lbl("X"));
+      return SeqOf(std::move(steps));
+    };
+    if (inst.is_forall[i]) {
+      // ¬ level[¬(T ∧ F)]: every X at this level has both children.
+      qs.push_back(Qualifier::Not(Qualifier::Path(PathExpr::Filter(
+          level(), Qualifier::Not(Qualifier::And(Qualifier::Path(Lbl("T")),
+                                                 Qualifier::Path(Lbl("F"))))))));
+    } else {
+      // Exactly one truth value (the paper's no-DTD repair, Cor 6.15(1)):
+      // ¬ level[(T ∧ F) ∨ (¬T ∧ ¬F)].
+      qs.push_back(Qualifier::Not(Qualifier::Path(PathExpr::Filter(
+          level(),
+          Qualifier::Or(
+              Qualifier::And(Qualifier::Path(Lbl("T")),
+                             Qualifier::Path(Lbl("F"))),
+              Qualifier::And(Qualifier::Not(Qualifier::Path(Lbl("T"))),
+                             Qualifier::Not(Qualifier::Path(Lbl("F")))))))));
+    }
+  }
+  for (const auto& clause : inst.matrix.clauses) {
+    qs.push_back(Qualifier::Not(
+        Qualifier::Path(NegatedClausePath(clause, /*numbered_types=*/false))));
+  }
+  out.query = PathExpr::Filter(PathExpr::Empty(), Qualifier::AndAll(std::move(qs)));
+  return out;
+}
+
+}  // namespace xpathsat

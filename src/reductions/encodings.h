@@ -1,0 +1,48 @@
+// The DTD+query encodings used in the paper's lower-bound proofs. Each
+// function builds the exact construction from the cited proof; the test suite
+// validates every encoding against a reference solver (DPLL / QBF expansion).
+//
+//   EncodeThreeSatDownQual   Prop 4.2(1), Fig. 1 (left):  3SAT -> X(↓,[])
+//   EncodeThreeSatUnionQual  Prop 4.2(2), Fig. 1 (right): 3SAT -> X(∪,[])
+//                            (the DTD is fixed: also Thm 6.6(1))
+//   EncodeThreeSatUpDown     Prop 4.3: 3SAT -> X(↓,↑)
+//   EncodeThreeSatFixedDown  Thm 6.6(2), Fig. 6: 3SAT -> X(↓,[]), fixed DTD
+//   EncodeThreeSatDjfreeAttr Thm 6.9(1): 3SAT -> X(∪,[],=), djfree DTD
+//   EncodeThreeSatDjfreeDown Thm 6.9(2), Fig. 8: 3SAT -> X(↓,[],=), djfree
+//   EncodeThreeSatSibling    Prop 7.2, Fig. 9: 3SAT -> X(→,[]), fixed djfree
+//                            nonrecursive DTD
+//   EncodeQ3SatDownNeg       Prop 5.1, Fig. 3: Q3SAT -> X(↓,[],¬)
+//   EncodeQ3SatFixedNeg      Thm 6.7(1): Q3SAT -> X(↓,[],¬), fixed DTD
+//                            (with the "exactly one truth value" repair for
+//                            existential variables, cf. Cor 6.15(1))
+#ifndef XPATHSAT_REDUCTIONS_ENCODINGS_H_
+#define XPATHSAT_REDUCTIONS_ENCODINGS_H_
+
+#include <memory>
+
+#include "src/reductions/q3sat.h"
+#include "src/reductions/threesat.h"
+#include "src/xml/dtd.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// A satisfiability instance produced by a reduction.
+struct SatEncoding {
+  Dtd dtd;
+  std::unique_ptr<PathExpr> query;
+};
+
+SatEncoding EncodeThreeSatDownQual(const ThreeSatInstance& inst);
+SatEncoding EncodeThreeSatUnionQual(const ThreeSatInstance& inst);
+SatEncoding EncodeThreeSatUpDown(const ThreeSatInstance& inst);
+SatEncoding EncodeThreeSatFixedDown(const ThreeSatInstance& inst);
+SatEncoding EncodeThreeSatDjfreeAttr(const ThreeSatInstance& inst);
+SatEncoding EncodeThreeSatDjfreeDown(const ThreeSatInstance& inst);
+SatEncoding EncodeThreeSatSibling(const ThreeSatInstance& inst);
+SatEncoding EncodeQ3SatDownNeg(const Q3SatInstance& inst);
+SatEncoding EncodeQ3SatFixedNeg(const Q3SatInstance& inst);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_REDUCTIONS_ENCODINGS_H_

@@ -1,0 +1,54 @@
+#include "src/reductions/q3sat.h"
+
+#include <functional>
+
+namespace xpathsat {
+
+std::string Q3SatInstance::ToString() const {
+  std::string out;
+  for (int v = 1; v <= matrix.num_vars; ++v) {
+    out += (is_forall[v] ? "A" : "E");
+    out += "x" + std::to_string(v) + " ";
+  }
+  return out + matrix.ToString();
+}
+
+Q3SatInstance RandomQ3Sat(int num_vars, int num_clauses, Rng* rng) {
+  Q3SatInstance inst;
+  inst.matrix = RandomThreeSat(num_vars, num_clauses, rng);
+  inst.is_forall.assign(num_vars + 1, false);
+  for (int v = 1; v <= num_vars; ++v) inst.is_forall[v] = rng->Percent(50);
+  return inst;
+}
+
+bool QbfSolve(const Q3SatInstance& inst) {
+  std::vector<bool> assign(inst.matrix.num_vars + 1, false);
+  std::function<bool(int)> go = [&](int v) -> bool {
+    if (v > inst.matrix.num_vars) {
+      for (const auto& clause : inst.matrix.clauses) {
+        bool sat = false;
+        for (int j = 0; j < 3; ++j) {
+          if (assign[clause[j].var] != clause[j].negated) {
+            sat = true;
+            break;
+          }
+        }
+        if (!sat) return false;
+      }
+      return true;
+    }
+    assign[v] = true;
+    bool t = go(v + 1);
+    if (inst.is_forall[v]) {
+      if (!t) return false;
+      assign[v] = false;
+      return go(v + 1);
+    }
+    if (t) return true;
+    assign[v] = false;
+    return go(v + 1);
+  };
+  return go(1);
+}
+
+}  // namespace xpathsat

@@ -1,0 +1,28 @@
+// Q3SAT substrate: quantified Boolean sentences Q1x1...Qmxm E with E in 3CNF,
+// a random generator, and a recursive reference evaluator used to validate
+// the PSPACE-hardness encodings (Prop 5.1, Thm 6.7(1), Prop 7.3).
+#ifndef XPATHSAT_REDUCTIONS_Q3SAT_H_
+#define XPATHSAT_REDUCTIONS_Q3SAT_H_
+
+#include "src/reductions/threesat.h"
+
+namespace xpathsat {
+
+/// A Q3SAT instance: prefix of quantifiers over the matrix's variables.
+struct Q3SatInstance {
+  ThreeSatInstance matrix;
+  /// is_forall[v] for v in [1, matrix.num_vars]; index 0 unused.
+  std::vector<bool> is_forall;
+
+  std::string ToString() const;
+};
+
+/// Random instance with the given quantifier count.
+Q3SatInstance RandomQ3Sat(int num_vars, int num_clauses, Rng* rng);
+
+/// Reference evaluation by quantifier expansion (exponential; small m only).
+bool QbfSolve(const Q3SatInstance& inst);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_REDUCTIONS_Q3SAT_H_

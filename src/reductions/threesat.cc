@@ -1,0 +1,115 @@
+#include "src/reductions/threesat.h"
+
+#include <algorithm>
+
+namespace xpathsat {
+
+std::string ThreeSatInstance::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += "(";
+    for (int j = 0; j < 3; ++j) {
+      if (j > 0) out += " | ";
+      if (clauses[i][j].negated) out += "!";
+      out += "x" + std::to_string(clauses[i][j].var);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+ThreeSatInstance RandomThreeSat(int num_vars, int num_clauses, Rng* rng) {
+  ThreeSatInstance inst;
+  if (num_vars < 3) num_vars = 3;  // clauses need three distinct variables
+  inst.num_vars = num_vars;
+  for (int c = 0; c < num_clauses; ++c) {
+    // Three distinct variables, sorted (required by the Q3SAT encodings).
+    int a = rng->IntIn(1, num_vars);
+    int b = a;
+    while (b == a) b = rng->IntIn(1, num_vars);
+    int d = a;
+    while (d == a || d == b) d = rng->IntIn(1, num_vars);
+    std::array<int, 3> vars = {a, b, d};
+    std::sort(vars.begin(), vars.end());
+    std::array<Literal, 3> clause;
+    for (int j = 0; j < 3; ++j) {
+      clause[j].var = vars[j];
+      clause[j].negated = rng->Percent(50);
+    }
+    inst.clauses.push_back(clause);
+  }
+  return inst;
+}
+
+namespace {
+
+// 0 = unassigned, 1 = true, 2 = false.
+bool Dpll(const ThreeSatInstance& inst, std::vector<int>* assign) {
+  bool changed = true;
+  std::vector<std::pair<int, int>> trail;  // (var, old value) for undo
+  while (changed) {
+    changed = false;
+    for (const auto& clause : inst.clauses) {
+      int unassigned = -1;
+      int satisfied = 0;
+      int false_count = 0;
+      for (int j = 0; j < 3; ++j) {
+        int v = (*assign)[clause[j].var];
+        if (v == 0) {
+          unassigned = j;
+        } else if ((v == 1) != clause[j].negated) {
+          ++satisfied;
+        } else {
+          ++false_count;
+        }
+      }
+      if (satisfied > 0) continue;
+      if (false_count == 3) {
+        for (auto it = trail.rbegin(); it != trail.rend(); ++it) {
+          (*assign)[it->first] = it->second;
+        }
+        return false;
+      }
+      if (false_count == 2 && unassigned >= 0) {
+        const Literal& l = clause[unassigned];
+        trail.emplace_back(l.var, 0);
+        (*assign)[l.var] = l.negated ? 2 : 1;
+        changed = true;
+      }
+    }
+  }
+  int branch = 0;
+  for (int v = 1; v <= inst.num_vars; ++v) {
+    if ((*assign)[v] == 0) {
+      branch = v;
+      break;
+    }
+  }
+  if (branch == 0) return true;
+  for (int val : {1, 2}) {
+    (*assign)[branch] = val;
+    if (Dpll(inst, assign)) return true;
+  }
+  (*assign)[branch] = 0;
+  for (auto it = trail.rbegin(); it != trail.rend(); ++it) {
+    (*assign)[it->first] = it->second;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool DpllSolve(const ThreeSatInstance& inst, std::vector<bool>* assignment) {
+  std::vector<int> assign(inst.num_vars + 1, 0);
+  if (!Dpll(inst, &assign)) return false;
+  if (assignment != nullptr) {
+    assignment->assign(inst.num_vars + 1, false);
+    for (int v = 1; v <= inst.num_vars; ++v) {
+      (*assignment)[v] = (assign[v] == 1);
+    }
+  }
+  return true;
+}
+
+}  // namespace xpathsat

@@ -1,0 +1,41 @@
+// 3SAT substrate: instances, a random generator (clauses over three distinct
+// variables, as required by the paper's encodings), and a DPLL reference
+// solver used to validate every 3SAT-based reduction.
+#ifndef XPATHSAT_REDUCTIONS_THREESAT_H_
+#define XPATHSAT_REDUCTIONS_THREESAT_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace xpathsat {
+
+/// A literal: variable index in [1, num_vars], possibly negated.
+struct Literal {
+  int var = 1;
+  bool negated = false;
+};
+
+/// A 3SAT instance: conjunction of 3-literal clauses.
+struct ThreeSatInstance {
+  int num_vars = 0;
+  std::vector<std::array<Literal, 3>> clauses;
+
+  /// Human-readable form, e.g. "(x1 | !x2 | x3) & ...".
+  std::string ToString() const;
+};
+
+/// Random instance; every clause uses three distinct variables.
+/// Requires num_vars >= 3.
+ThreeSatInstance RandomThreeSat(int num_vars, int num_clauses, Rng* rng);
+
+/// DPLL with unit propagation. Fills `assignment` (1-based) when satisfiable
+/// and the pointer is non-null.
+bool DpllSolve(const ThreeSatInstance& inst,
+               std::vector<bool>* assignment = nullptr);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_REDUCTIONS_THREESAT_H_

@@ -1,0 +1,555 @@
+#include "src/reductions/tiling.h"
+
+#include <map>
+#include <string>
+
+namespace xpathsat {
+
+namespace {
+
+struct GameState {
+  std::vector<int> window;  // last n tiles (window[n-1] = most recent)
+  int col = 0;              // 0-based column of the next placement
+
+  bool operator<(const GameState& o) const {
+    if (col != o.col) return col < o.col;
+    return window < o.window;
+  }
+};
+
+}  // namespace
+
+bool PlayerOneWins(const TilingSystem& sys) {
+  const int n = sys.width();
+  auto legal = [&](const GameState& s, int d) {
+    if (s.col > 0 && !sys.horizontal.count({s.window[n - 1], d})) return false;
+    return sys.vertical.count({s.window[0], d}) > 0;
+  };
+  auto next = [&](const GameState& s, int d) {
+    GameState t;
+    t.window.assign(s.window.begin() + 1, s.window.end());
+    t.window.push_back(d);
+    t.col = (s.col + 1) % n;
+    return t;
+  };
+  auto win_now = [&](const GameState& s, int d) {
+    if (s.col != n - 1) return false;
+    GameState t = next(s, d);
+    return t.window == sys.bottom;
+  };
+
+  // Reachable states.
+  GameState init;
+  init.window = sys.top;
+  init.col = 0;
+  std::set<GameState> reachable = {init};
+  std::vector<GameState> work = {init};
+  while (!work.empty()) {
+    GameState s = work.back();
+    work.pop_back();
+    for (int d = 0; d < sys.num_tiles; ++d) {
+      if (!legal(s, d)) continue;
+      GameState t = next(s, d);
+      if (reachable.insert(t).second) work.push_back(t);
+    }
+  }
+
+  // Least fixpoint of "Player I forces a win" (mover: I iff col even).
+  std::map<GameState, bool> win;
+  for (const auto& s : reachable) win[s] = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& s : reachable) {
+      if (win[s]) continue;
+      bool player_one = (s.col % 2 == 0);
+      bool value;
+      bool any_legal = false;
+      if (player_one) {
+        value = false;
+        for (int d = 0; d < sys.num_tiles; ++d) {
+          if (!legal(s, d)) continue;
+          any_legal = true;
+          if (win_now(s, d) || win[next(s, d)]) {
+            value = true;
+            break;
+          }
+        }
+        // No legal move: Player I is stuck and loses (value stays false).
+      } else {
+        value = true;
+        for (int d = 0; d < sys.num_tiles; ++d) {
+          if (!legal(s, d)) continue;
+          any_legal = true;
+          if (!(win_now(s, d) || win[next(s, d)])) {
+            value = false;
+            break;
+          }
+        }
+        // No legal move: Player II is stuck and loses.
+        if (!any_legal) value = true;
+      }
+      if (value && !win[s]) {
+        win[s] = true;
+        changed = true;
+      }
+    }
+  }
+  return win[init];
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5.6 (Fig. 5): X(↑,[],=,¬) with the fixed DTD r -> C*.
+// Snapshot nodes C carry @h (column of the newest tile @t_n), @t1..@tn (the
+// window, @tn newest), @k (snapshot id) and @next (successor pointer).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using PathPtr = std::unique_ptr<PathExpr>;
+using QualPtr = std::unique_ptr<Qualifier>;
+
+PathPtr Lbl(const std::string& l) { return PathExpr::Label(l); }
+PathPtr Up() { return PathExpr::Axis(PathKind::kParent); }
+
+std::string TileName(int d) { return "d" + std::to_string(d); }
+std::string TAttr(int i) { return "t" + std::to_string(i); }
+
+// ε/@a op "c"
+QualPtr SelfAttr(const std::string& a, CmpOp op, const std::string& c) {
+  return Qualifier::AttrCmpConst(PathExpr::Empty(), a, op, c);
+}
+
+// ε/@next = ↑/C[inner]/@k  — "some other snapshot with property `inner` is my
+// successor".
+QualPtr SuccessorWith(QualPtr inner) {
+  return Qualifier::AttrJoin(
+      PathExpr::Empty(), "next", CmpOp::kEq,
+      PathExpr::Seq(Up(), PathExpr::Filter(Lbl("C"), std::move(inner))), "k");
+}
+
+QualPtr AndV(std::vector<QualPtr> v) { return Qualifier::AndAll(std::move(v)); }
+QualPtr OrV(std::vector<QualPtr> v) { return Qualifier::OrAll(std::move(v)); }
+
+}  // namespace
+
+TilingEncoding EncodeTilingUpward(const TilingSystem& sys) {
+  const int n = sys.width();
+  const int k = sys.num_tiles;
+  TilingEncoding out;
+  Dtd& d = out.dtd;
+  d.SetRoot("r");
+  d.SetProduction("r", Regex::Star(Regex::Symbol("C")));
+  d.SetProduction("C", Regex::Epsilon());
+  d.AddAttr("C", "h");
+  d.AddAttr("C", "k");
+  d.AddAttr("C", "next");
+  for (int i = 1; i <= n; ++i) d.AddAttr("C", TAttr(i));
+  d.SetRoot("r");
+
+  std::vector<QualPtr> qs;
+
+  // Q(h,t): attribute ranges. Violation: h outside [1,n] or some ti not a
+  // tile.
+  {
+    std::vector<QualPtr> bad;
+    {
+      std::vector<QualPtr> hs;
+      for (int i = 1; i <= n; ++i) {
+        hs.push_back(SelfAttr("h", CmpOp::kNeq, std::to_string(i)));
+      }
+      bad.push_back(AndV(std::move(hs)));
+    }
+    for (int i = 1; i <= n; ++i) {
+      std::vector<QualPtr> ts;
+      for (int j = 0; j < k; ++j) {
+        ts.push_back(SelfAttr(TAttr(i), CmpOp::kNeq, TileName(j)));
+      }
+      bad.push_back(AndV(std::move(ts)));
+    }
+    qs.push_back(Qualifier::Not(
+        Qualifier::Path(PathExpr::Filter(Lbl("C"), OrV(std::move(bad))))));
+  }
+
+  // Qu: @k is a key for (h, t1..tn). Violation: same k, different attribute.
+  {
+    std::vector<QualPtr> bad;
+    for (int i = 1; i <= n; ++i) {
+      bad.push_back(Qualifier::And(
+          SelfAttr("h", CmpOp::kEq, std::to_string(i)),
+          Qualifier::AttrJoin(
+              PathExpr::Empty(), "k", CmpOp::kEq,
+              PathExpr::Seq(Up(),
+                            PathExpr::Filter(Lbl("C"),
+                                             SelfAttr("h", CmpOp::kNeq,
+                                                      std::to_string(i)))),
+              "k")));
+    }
+    for (int i = 1; i <= n; ++i) {
+      for (int j = 0; j < k; ++j) {
+        bad.push_back(Qualifier::And(
+            SelfAttr(TAttr(i), CmpOp::kEq, TileName(j)),
+            Qualifier::AttrJoin(
+                PathExpr::Empty(), "k", CmpOp::kEq,
+                PathExpr::Seq(Up(), PathExpr::Filter(
+                                        Lbl("C"), SelfAttr(TAttr(i), CmpOp::kNeq,
+                                                           TileName(j)))),
+                "k")));
+      }
+    }
+    qs.push_back(Qualifier::Not(
+        Qualifier::Path(PathExpr::Filter(Lbl("C"), OrV(std::move(bad))))));
+  }
+
+  // Qs: successor consistency. Violation: my successor has the wrong column
+  // or fails the window shift t'_{i-1} = t_i.
+  {
+    std::vector<QualPtr> bad;
+    bad.push_back(Qualifier::And(
+        SelfAttr("h", CmpOp::kEq, std::to_string(n)),
+        SuccessorWith(SelfAttr("h", CmpOp::kNeq, "1"))));
+    for (int i = 1; i < n; ++i) {
+      bad.push_back(Qualifier::And(
+          SelfAttr("h", CmpOp::kEq, std::to_string(i)),
+          SuccessorWith(SelfAttr("h", CmpOp::kNeq, std::to_string(i + 1)))));
+    }
+    for (int i = 2; i <= n; ++i) {
+      for (int j = 0; j < k; ++j) {
+        bad.push_back(Qualifier::And(
+            SelfAttr(TAttr(i), CmpOp::kEq, TileName(j)),
+            SuccessorWith(SelfAttr(TAttr(i - 1), CmpOp::kNeq, TileName(j)))));
+      }
+    }
+    qs.push_back(Qualifier::Not(
+        Qualifier::Path(PathExpr::Filter(Lbl("C"), OrV(std::move(bad))))));
+  }
+
+  // Q0: the initial snapshot (the referee's top row, column n).
+  {
+    std::vector<QualPtr> init;
+    init.push_back(SelfAttr("h", CmpOp::kEq, std::to_string(n)));
+    for (int i = 1; i <= n; ++i) {
+      init.push_back(SelfAttr(TAttr(i), CmpOp::kEq, TileName(sys.top[i - 1])));
+    }
+    qs.push_back(
+        Qualifier::Path(PathExpr::Filter(Lbl("C"), AndV(std::move(init)))));
+  }
+
+  // Qc: adjacency. Violation at placement time: vertical (t1, successor.tn)
+  // not in V, or horizontal (t_{n-1}, t_n) not in H when h != 1.
+  {
+    std::vector<QualPtr> bad;
+    for (int x = 0; x < k; ++x) {
+      for (int y = 0; y < k; ++y) {
+        if (sys.vertical.count({x, y})) continue;
+        bad.push_back(Qualifier::And(
+            SelfAttr(TAttr(1), CmpOp::kEq, TileName(x)),
+            SuccessorWith(SelfAttr(TAttr(n), CmpOp::kEq, TileName(y)))));
+      }
+    }
+    if (n >= 2) {
+      for (int x = 0; x < k; ++x) {
+        for (int y = 0; y < k; ++y) {
+          if (sys.horizontal.count({x, y})) continue;
+          bad.push_back(AndV([&] {
+            std::vector<QualPtr> v;
+            v.push_back(SelfAttr("h", CmpOp::kNeq, "1"));
+            v.push_back(SelfAttr(TAttr(n - 1), CmpOp::kEq, TileName(x)));
+            v.push_back(SelfAttr(TAttr(n), CmpOp::kEq, TileName(y)));
+            return v;
+          }()));
+        }
+      }
+    }
+    if (!bad.empty()) {
+      qs.push_back(Qualifier::Not(
+          Qualifier::Path(PathExpr::Filter(Lbl("C"), OrV(std::move(bad))))));
+    }
+  }
+
+  // Qp: play continues unless the bottom row is matched at h = n.
+  {
+    QualPtr has_succ = Qualifier::AttrJoin(PathExpr::Empty(), "next",
+                                           CmpOp::kEq,
+                                           PathExpr::Seq(Up(), Lbl("C")), "k");
+    std::vector<QualPtr> bad;
+    for (int i = 1; i < n; ++i) {
+      bad.push_back(Qualifier::And(
+          SelfAttr("h", CmpOp::kEq, std::to_string(i)),
+          Qualifier::Not(has_succ->Clone())));
+    }
+    std::vector<QualPtr> unmatched;
+    for (int i = 1; i <= n; ++i) {
+      unmatched.push_back(
+          SelfAttr(TAttr(i), CmpOp::kNeq, TileName(sys.bottom[i - 1])));
+    }
+    bad.push_back(AndV([&] {
+      std::vector<QualPtr> v;
+      v.push_back(SelfAttr("h", CmpOp::kEq, std::to_string(n)));
+      v.push_back(OrV(std::move(unmatched)));
+      v.push_back(Qualifier::Not(has_succ->Clone()));
+      return v;
+    }()));
+    qs.push_back(Qualifier::Not(
+        Qualifier::Path(PathExpr::Filter(Lbl("C"), OrV(std::move(bad))))));
+  }
+
+  // Q∀: after a Player I move (h odd), every legal Player II tile has a
+  // successor snapshot playing it.
+  {
+    std::vector<QualPtr> bad;
+    for (int i = 1; i <= n; i += 2) {
+      for (int j = 0; j < k; ++j) {
+        // Legality of tile j: H with the last tile, V with the tile above.
+        std::vector<QualPtr> h_ok, v_ok;
+        for (int x = 0; x < k; ++x) {
+          if (sys.horizontal.count({x, j})) {
+            h_ok.push_back(SelfAttr(TAttr(n), CmpOp::kEq, TileName(x)));
+          }
+          if (sys.vertical.count({x, j})) {
+            v_ok.push_back(SelfAttr(TAttr(1), CmpOp::kEq, TileName(x)));
+          }
+        }
+        if (h_ok.empty() || v_ok.empty()) continue;  // tile j never legal here
+        bad.push_back(AndV([&] {
+          std::vector<QualPtr> v;
+          v.push_back(SelfAttr("h", CmpOp::kEq, std::to_string(i)));
+          v.push_back(OrV(std::move(h_ok)));
+          v.push_back(OrV(std::move(v_ok)));
+          v.push_back(Qualifier::Not(
+              SuccessorWith(SelfAttr(TAttr(n), CmpOp::kEq, TileName(j)))));
+          return v;
+        }()));
+      }
+    }
+    if (!bad.empty()) {
+      qs.push_back(Qualifier::Not(
+          Qualifier::Path(PathExpr::Filter(Lbl("C"), OrV(std::move(bad))))));
+    }
+  }
+
+  out.query =
+      PathExpr::Filter(PathExpr::Empty(), Qualifier::AndAll(std::move(qs)));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 6.7(2) (Fig. 7): X(↓,↓*,[],¬) with a fixed DTD. Game trees with
+// Y1/Y2 plies, tile values as C-chain lengths, W/L win/lose markers.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+PathPtr Dos() { return PathExpr::Axis(PathKind::kDescOrSelf); }
+
+// C^i (i >= 1 label steps).
+PathPtr CChain(int i) {
+  std::vector<PathPtr> v;
+  for (int j = 0; j < i; ++j) v.push_back(Lbl("C"));
+  return PathExpr::SeqAll(std::move(v));
+}
+
+// C^i/Ec : the C chain has exactly i elements.
+QualPtr TileIs(int i) {
+  return Qualifier::Path(PathExpr::Seq(CChain(i), Lbl("Ec")));
+}
+
+// A play move: Y1 or Y2 (W/L mark decided branches and are not moves).
+PathPtr MoveStep() {
+  return PathExpr::Filter(
+      PathExpr::Axis(PathKind::kChildAny),
+      Qualifier::Or(Qualifier::LabelTest("Y1"), Qualifier::LabelTest("Y2")));
+}
+
+// A move or a row separator Er.
+PathPtr MoveOrRowStep() {
+  std::vector<QualPtr> alts;
+  for (const char* l : {"Y1", "Y2", "Er"}) {
+    alts.push_back(Qualifier::LabelTest(l));
+  }
+  return PathExpr::Filter(PathExpr::Axis(PathKind::kChildAny),
+                          Qualifier::OrAll(std::move(alts)));
+}
+
+PathPtr Chain(PathPtr (*step)(), int i) {
+  if (i <= 0) return PathExpr::Empty();
+  std::vector<PathPtr> v;
+  for (int j = 0; j < i; ++j) v.push_back(step());
+  return PathExpr::SeqAll(std::move(v));
+}
+
+}  // namespace
+
+TilingEncoding EncodeTilingGameTree(const TilingSystem& sys) {
+  const int n = sys.width();
+  const int k = sys.num_tiles;
+  TilingEncoding out;
+  Dtd& d = out.dtd;
+  d.SetRoot("r");
+  // Fixed DTD of Thm 6.7(2).
+  d.SetProduction("r", Regex::Symbol("Y1"));
+  d.SetProduction(
+      "Y1", Regex::Concat({Regex::Symbol("C"),
+                           Regex::Union({Regex::Star(Regex::Symbol("Y2")),
+                                         Regex::Symbol("L")})}));
+  d.SetProduction(
+      "Y2", Regex::Concat({Regex::Symbol("C"),
+                           Regex::Union({Regex::Symbol("Y1"), Regex::Symbol("Er"),
+                                         Regex::Symbol("Eg"), Regex::Symbol("W")})}));
+  d.SetProduction("W", Regex::Union({Regex::Symbol("W"), Regex::Symbol("Er"),
+                                     Regex::Symbol("Eg")}));
+  d.SetProduction("L", Regex::Union({Regex::Symbol("L"), Regex::Symbol("Er"),
+                                     Regex::Symbol("Eg")}));
+  d.SetProduction("Er", Regex::Union({Regex::Symbol("Y1"), Regex::Symbol("W"),
+                                      Regex::Symbol("L")}));
+  d.SetProduction("Eg", Regex::Epsilon());
+  d.SetProduction("C", Regex::Union({Regex::Symbol("C"), Regex::Symbol("Ec")}));
+  d.SetProduction("Ec", Regex::Epsilon());
+  d.SetRoot("r");
+
+  // Transcription notes (see DESIGN.md): Player I never plays an invalid
+  // tile (no L anywhere); Player II tries every tile after each Player I
+  // move, with genuinely illegal tries terminated by a W marker (Player I
+  // wins those branches); every legal line must end the game (Eg) right
+  // after a row matching the bottom vector.
+  std::vector<QualPtr> qs;
+
+  // No L: Player I only plays valid tiles.
+  qs.push_back(
+      Qualifier::Not(Qualifier::Path(PathExpr::Seq(Dos(), Lbl("L")))));
+  // W never follows a row separator (it marks illegal Player II moves only).
+  qs.push_back(Qualifier::Not(Qualifier::Path(PathExpr::Filter(
+      PathExpr::Seq(Dos(), Lbl("Er")), Qualifier::Path(Lbl("W"))))));
+  // Qone: every move plays a tile in X (C-chain length <= k).
+  for (const char* y : {"Y1", "Y2"}) {
+    qs.push_back(Qualifier::Not(Qualifier::Path(PathExpr::Filter(
+        PathExpr::Seq(Dos(), Lbl(y)), Qualifier::Path(CChain(k + 1))))));
+  }
+  // Qall: every Player I move is answered by all k Player II tiles.
+  {
+    std::vector<QualPtr> all;
+    for (int j = 1; j <= k; ++j) {
+      all.push_back(Qualifier::Path(PathExpr::Filter(Lbl("Y2"), TileIs(j))));
+    }
+    qs.push_back(Qualifier::Not(Qualifier::Path(PathExpr::Filter(
+        PathExpr::Seq(Dos(), Lbl("Y1")),
+        Qualifier::Not(Qualifier::AndAll(std::move(all)))))));
+  }
+  // Qn: rows have exactly n moves. Row starts: the root and every Er.
+  {
+    auto row_start_paths = [&]() {
+      std::vector<PathPtr> starts;
+      starts.push_back(PathExpr::Empty());
+      starts.push_back(PathExpr::Seq(Dos(), Lbl("Er")));
+      return starts;
+    };
+    for (int i = 1; i < n; ++i) {
+      for (auto& start : row_start_paths()) {
+        qs.push_back(Qualifier::Not(Qualifier::Path(PathExpr::Filter(
+            PathExpr::Seq(std::move(start), Chain(&MoveStep, i)),
+            Qualifier::Or(Qualifier::Path(Lbl("Er")),
+                          Qualifier::Path(Lbl("Eg")))))));
+      }
+    }
+    for (auto& start : row_start_paths()) {
+      qs.push_back(Qualifier::Not(Qualifier::Path(
+          PathExpr::Seq(std::move(start), Chain(&MoveStep, n + 1)))));
+    }
+  }
+  // Player I horizontal: no Y2[x]/Y1[y] with (x,y) not in H (same row by
+  // construction: row-crossing Player I moves hang under Er).
+  for (int x = 0; x < k; ++x) {
+    for (int y = 0; y < k; ++y) {
+      if (sys.horizontal.count({x, y})) continue;
+      qs.push_back(Qualifier::Not(Qualifier::Path(PathExpr::Filter(
+          PathExpr::Seq(
+              PathExpr::Seq(Dos(), PathExpr::Filter(Lbl("Y2"), TileIs(x + 1))),
+              Lbl("Y1")),
+          TileIs(y + 1)))));
+    }
+  }
+  // Player I vertical: the move n+1 tree-steps below (crossing exactly one
+  // Er, by Qn) sits in the same column one row lower.
+  for (int x = 0; x < k; ++x) {
+    for (int y = 0; y < k; ++y) {
+      if (sys.vertical.count({x, y})) continue;
+      qs.push_back(Qualifier::Not(Qualifier::Path(PathExpr::Filter(
+          PathExpr::Seq(
+              PathExpr::Seq(Dos(), PathExpr::Filter(MoveStep(), TileIs(x + 1))),
+              PathExpr::Seq(Chain(&MoveOrRowStep, n),
+                            PathExpr::Filter(Lbl("Y1"),
+                                             Qualifier::Path(PathExpr::Empty())))),
+          TileIs(y + 1)))));
+    }
+  }
+  // First-row vertical for Player I columns (odd columns; Player II's
+  // illegal first-row tries are W-terminated instead).
+  for (int col = 1; col <= n; col += 2) {
+    for (int y = 0; y < k; ++y) {
+      if (sys.vertical.count({sys.top[col - 1], y})) continue;
+      qs.push_back(Qualifier::Not(Qualifier::Path(
+          PathExpr::Filter(Chain(&MoveStep, col), TileIs(y + 1)))));
+    }
+  }
+  // No cheating: a legal Player II move must not be W-terminated.
+  // Interior rows: above tile a (n+1 steps up), predecessor tile h.
+  for (int a = 0; a < k; ++a) {
+    for (int h = 0; h < k; ++h) {
+      for (int y = 0; y < k; ++y) {
+        if (!sys.vertical.count({a, y}) || !sys.horizontal.count({h, y})) {
+          continue;
+        }
+        std::vector<PathPtr> steps;
+        steps.push_back(Dos());
+        steps.push_back(PathExpr::Filter(MoveStep(), TileIs(a + 1)));
+        if (n >= 2) steps.push_back(Chain(&MoveOrRowStep, n - 1));
+        steps.push_back(PathExpr::Filter(MoveStep(), TileIs(h + 1)));
+        steps.push_back(PathExpr::Filter(
+            Lbl("Y2"),
+            Qualifier::And(TileIs(y + 1), Qualifier::Path(Lbl("W")))));
+        qs.push_back(Qualifier::Not(
+            Qualifier::Path(PathExpr::SeqAll(std::move(steps)))));
+      }
+    }
+  }
+  // First row (even columns): above tile is the referee's top row.
+  for (int col = 2; col <= n; col += 2) {
+    for (int h = 0; h < k; ++h) {
+      for (int y = 0; y < k; ++y) {
+        if (!sys.vertical.count({sys.top[col - 1], y}) ||
+            !sys.horizontal.count({h, y})) {
+          continue;
+        }
+        std::vector<PathPtr> steps;
+        if (col >= 2) steps.push_back(Chain(&MoveStep, col - 2));
+        steps.push_back(PathExpr::Filter(MoveStep(), TileIs(h + 1)));
+        steps.push_back(PathExpr::Filter(
+            Lbl("Y2"),
+            Qualifier::And(TileIs(y + 1), Qualifier::Path(Lbl("W")))));
+        qs.push_back(Qualifier::Not(
+            Qualifier::Path(PathExpr::SeqAll(std::move(steps)))));
+      }
+    }
+  }
+  // Q(1,b): the game may end (Eg) only right after a row matching b.
+  for (int col = 1; col <= n; ++col) {
+    for (int y = 0; y < k; ++y) {
+      if (y == sys.bottom[col - 1]) continue;
+      std::vector<PathPtr> steps;
+      steps.push_back(Dos());
+      steps.push_back(PathExpr::Filter(MoveStep(), TileIs(y + 1)));
+      if (col < n) steps.push_back(Chain(&MoveStep, n - col));
+      PathPtr path = PathExpr::SeqAll(std::move(steps));
+      qs.push_back(Qualifier::Not(Qualifier::Path(
+          PathExpr::Filter(std::move(path), Qualifier::Path(Lbl("Eg"))))));
+    }
+  }
+  // The game ends somewhere.
+  qs.push_back(Qualifier::Path(PathExpr::Seq(Dos(), Lbl("Eg"))));
+
+  out.query =
+      PathExpr::Filter(PathExpr::Empty(), Qualifier::AndAll(std::move(qs)));
+  return out;
+}
+
+}  // namespace xpathsat

@@ -1,0 +1,55 @@
+// Two-player corridor tiling (TPG-CT, Chlebus 1986) and the EXPTIME-hardness
+// encodings of Theorem 5.6 (Fig. 5, X(↑,[],=,¬) with a fixed DTD) and
+// Theorem 6.7(2) (Fig. 7, X(↓,↓*,[],¬) with a fixed DTD).
+//
+// The reference solver computes whether Player I has a winning strategy by a
+// least-fixpoint minimax over the (window, column) state space — exponential
+// in the corridor width, so validation uses small corridors only.
+#ifndef XPATHSAT_REDUCTIONS_TILING_H_
+#define XPATHSAT_REDUCTIONS_TILING_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/xml/dtd.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// A corridor tiling game instance ((X,H,V,t,b), n). Tiles are 0..num_tiles-1;
+/// the corridor width n = top.size() = bottom.size() must be even.
+struct TilingSystem {
+  int num_tiles = 1;
+  std::set<std::pair<int, int>> horizontal;  ///< allowed (left, right)
+  std::set<std::pair<int, int>> vertical;    ///< allowed (above, below)
+  std::vector<int> top;
+  std::vector<int> bottom;
+
+  int width() const { return static_cast<int>(top.size()); }
+};
+
+/// Does Player I have a winning strategy? Exact least-fixpoint minimax over
+/// reachable (window, column) states. Exponential in width; small inputs only.
+/// Player semantics per Sec. 5.3.3: players alternate (I first), a player
+/// unable to move loses, and Player I wins when a completed row equals b.
+bool PlayerOneWins(const TilingSystem& sys);
+
+/// A tiling encoding: DTD (fixed, instance-independent) plus query.
+struct TilingEncoding {
+  Dtd dtd;
+  std::unique_ptr<PathExpr> query;
+};
+
+/// Theorem 5.6 (Fig. 5): TPG-CT -> SAT(X(↑,[],=,¬)). The DTD (r -> C*) is
+/// fixed up to the attribute list (which depends on the width n).
+TilingEncoding EncodeTilingUpward(const TilingSystem& sys);
+
+/// Theorem 6.7(2) (Fig. 7): TPG-CT -> SAT(X(↓,↓*,[],¬)) under a fixed DTD.
+/// The game-tree structural qualifiers are constructed per the proof; see
+/// DESIGN.md for the transcription notes.
+TilingEncoding EncodeTilingGameTree(const TilingSystem& sys);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_REDUCTIONS_TILING_H_

@@ -1,0 +1,341 @@
+#include "src/reductions/two_register.h"
+
+#include <string>
+
+namespace xpathsat {
+
+std::vector<TrmConfig> SimulateTrm(const TwoRegisterMachine& m,
+                                   int max_steps) {
+  std::vector<TrmConfig> run;
+  TrmConfig c;
+  run.push_back(c);
+  for (int step = 0; step < max_steps; ++step) {
+    if (c.state == m.final_state ||
+        c.state >= static_cast<int>(m.instructions.size()) || c.state < 0) {
+      break;
+    }
+    const TrmInstruction& ins = m.instructions[c.state];
+    long long& reg = (ins.reg == 1) ? c.r1 : c.r2;
+    if (ins.is_add) {
+      ++reg;
+      c.state = ins.j;
+    } else if (reg == 0) {
+      c.state = ins.j;
+    } else {
+      --reg;
+      c.state = ins.k;
+    }
+    run.push_back(c);
+    if (c.state == m.final_state && c.r1 == 0 && c.r2 == 0) break;
+  }
+  return run;
+}
+
+bool TrmHalts(const TwoRegisterMachine& m, int max_steps) {
+  std::vector<TrmConfig> run = SimulateTrm(m, max_steps);
+  const TrmConfig& last = run.back();
+  return last.state == m.final_state && last.r1 == 0 && last.r2 == 0;
+}
+
+namespace {
+
+using PathPtr = std::unique_ptr<PathExpr>;
+using QualPtr = std::unique_ptr<Qualifier>;
+
+PathPtr Lbl(const std::string& l) { return PathExpr::Label(l); }
+PathPtr Wild() { return PathExpr::Axis(PathKind::kChildAny); }
+PathPtr Dos() { return PathExpr::Axis(PathKind::kDescOrSelf); }
+PathPtr Up() { return PathExpr::Axis(PathKind::kParent); }
+
+PathPtr Seq2(PathPtr a, PathPtr b) {
+  return PathExpr::Seq(std::move(a), std::move(b));
+}
+
+// ↑*[label()=R]/↑ : the enclosing register element's C node.
+PathPtr UpToC(const std::string& reg_label) {
+  return Seq2(PathExpr::Filter(PathExpr::Axis(PathKind::kAncOrSelf),
+                               Qualifier::LabelTest(reg_label)),
+              Up());
+}
+
+// reg/↓/↓* : all chain nodes of this C's register `reg_label`.
+PathPtr ChainNodes(const std::string& reg_label) {
+  return PathExpr::SeqAll([&] {
+    std::vector<PathPtr> v;
+    v.push_back(Lbl(reg_label));
+    v.push_back(Wild());
+    v.push_back(Dos());
+    return v;
+  }());
+}
+
+// R[¬chain_sym]: the register is zero.
+QualPtr RegisterZero(const std::string& reg_label,
+                     const std::string& chain_sym) {
+  return Qualifier::Path(PathExpr::Filter(
+      Lbl(reg_label), Qualifier::Not(Qualifier::Path(Lbl(chain_sym)))));
+}
+
+// The violation qualifier "register `reg` of the next C differs from this
+// C's register" (set equality of ids), used for registers that must stay
+// unchanged.
+QualPtr RegisterChanged(const std::string& reg, const std::string& sym) {
+  (void)sym;
+  // ∃ x in chain(c1) with id not in chain(c2):
+  QualPtr d1 = Qualifier::Path(PathExpr::Filter(
+      ChainNodes(reg),
+      Qualifier::Not(Qualifier::AttrJoin(
+          PathExpr::Empty(), "id", CmpOp::kEq,
+          PathExpr::SeqAll([&] {
+            std::vector<PathPtr> v;
+            v.push_back(UpToC(reg));
+            v.push_back(Lbl("C"));
+            v.push_back(ChainNodes(reg));
+            return v;
+          }()),
+          "id"))));
+  // ∃ y in chain(c2) with id not in chain(c1):
+  QualPtr d2 = Qualifier::Path(PathExpr::Filter(
+      Seq2(Lbl("C"), ChainNodes(reg)),
+      Qualifier::Not(Qualifier::AttrJoin(
+          PathExpr::Empty(), "id", CmpOp::kEq,
+          PathExpr::SeqAll([&] {
+            std::vector<PathPtr> v;
+            v.push_back(UpToC(reg));
+            v.push_back(Up());
+            v.push_back(ChainNodes(reg));
+            return v;
+          }()),
+          "id"))));
+  return Qualifier::Or(std::move(d1), std::move(d2));
+}
+
+// Violation: chain(c2) is NOT chain(c1) plus one element.
+QualPtr IncrementViolation(const std::string& reg, const std::string& sym) {
+  // ∃ x in chain(c1) with id not among the non-last nodes of chain(c2):
+  QualPtr d1 = Qualifier::Path(PathExpr::Filter(
+      ChainNodes(reg),
+      Qualifier::Not(Qualifier::AttrJoin(
+          PathExpr::Empty(), "id", CmpOp::kEq,
+          PathExpr::SeqAll([&] {
+            std::vector<PathPtr> v;
+            v.push_back(UpToC(reg));
+            v.push_back(Lbl("C"));
+            v.push_back(PathExpr::Filter(ChainNodes(reg),
+                                         Qualifier::Path(Lbl(sym))));
+            return v;
+          }()),
+          "id"))));
+  // ∃ non-last y in chain(c2) with id not in chain(c1):
+  QualPtr d2 = Qualifier::Path(PathExpr::Filter(
+      Seq2(Lbl("C"), ChainNodes(reg)),
+      Qualifier::And(
+          Qualifier::Path(Lbl(sym)),
+          Qualifier::Not(Qualifier::AttrJoin(
+              PathExpr::Empty(), "id", CmpOp::kEq,
+              PathExpr::SeqAll([&] {
+                std::vector<PathPtr> v;
+                v.push_back(UpToC(reg));
+                v.push_back(Up());
+                v.push_back(ChainNodes(reg));
+                return v;
+              }()),
+              "id")))));
+  // Gap repair: chain(c2) may not be empty after an increment.
+  QualPtr d3 = Qualifier::Path(PathExpr::Seq(
+      Lbl("C"), PathExpr::Filter(
+                    Lbl(reg), Qualifier::Not(Qualifier::Path(Lbl(sym))))));
+  return Qualifier::OrAll([&] {
+    std::vector<QualPtr> v;
+    v.push_back(std::move(d1));
+    v.push_back(std::move(d2));
+    v.push_back(std::move(d3));
+    return v;
+  }());
+}
+
+// Violation: chain(c2) is NOT chain(c1) minus its last element.
+QualPtr DecrementViolation(const std::string& reg, const std::string& sym) {
+  // ∃ non-last x in chain(c1) with id not in chain(c2):
+  QualPtr d1 = Qualifier::Path(PathExpr::Filter(
+      ChainNodes(reg),
+      Qualifier::And(
+          Qualifier::Path(Lbl(sym)),
+          Qualifier::Not(Qualifier::AttrJoin(
+              PathExpr::Empty(), "id", CmpOp::kEq,
+              PathExpr::SeqAll([&] {
+                std::vector<PathPtr> v;
+                v.push_back(UpToC(reg));
+                v.push_back(Lbl("C"));
+                v.push_back(ChainNodes(reg));
+                return v;
+              }()),
+              "id")))));
+  // ∃ y in chain(c2) with id not among non-last nodes of chain(c1):
+  QualPtr d2 = Qualifier::Path(PathExpr::Filter(
+      Seq2(Lbl("C"), ChainNodes(reg)),
+      Qualifier::Not(Qualifier::AttrJoin(
+          PathExpr::Empty(), "id", CmpOp::kEq,
+          PathExpr::SeqAll([&] {
+            std::vector<PathPtr> v;
+            v.push_back(UpToC(reg));
+            v.push_back(Up());
+            v.push_back(PathExpr::Filter(ChainNodes(reg),
+                                         Qualifier::Path(Lbl(sym))));
+            return v;
+          }()),
+          "id"))));
+  return Qualifier::Or(std::move(d1), std::move(d2));
+}
+
+// Violation: next state differs from `state`.
+QualPtr NextStateNot(int state) {
+  return Qualifier::AttrCmpConst(Lbl("C"), "s", CmpOp::kNeq,
+                                 std::to_string(state));
+}
+
+QualPtr StateIs(int state) {
+  return Qualifier::AttrCmpConst(PathExpr::Empty(), "s", CmpOp::kEq,
+                                 std::to_string(state));
+}
+
+}  // namespace
+
+TrmEncoding EncodeTrm(const TwoRegisterMachine& m) {
+  TrmEncoding out;
+  Dtd& d = out.dtd;
+  d.SetRoot("r");
+  d.SetProduction("r", Regex::Symbol("C"));
+  d.SetProduction("C", Regex::Union({Regex::Concat({Regex::Symbol("C"),
+                                                    Regex::Symbol("R1"),
+                                                    Regex::Symbol("R2")}),
+                                     Regex::Epsilon()}));
+  d.SetProduction("R1",
+                  Regex::Union({Regex::Symbol("Xc"), Regex::Epsilon()}));
+  d.SetProduction("R2",
+                  Regex::Union({Regex::Symbol("Yc"), Regex::Epsilon()}));
+  d.SetProduction("Xc", Regex::Union({Regex::Symbol("Xc"), Regex::Epsilon()}));
+  d.SetProduction("Yc", Regex::Union({Regex::Symbol("Yc"), Regex::Epsilon()}));
+  d.AddAttr("C", "s");
+  d.AddAttr("Xc", "id");
+  d.AddAttr("Yc", "id");
+  d.SetRoot("r");
+
+  std::vector<QualPtr> qs;
+  // Q_start: the first C codes (0,0,0).
+  qs.push_back(Qualifier::Path(PathExpr::Filter(
+      Lbl("C"), Qualifier::And(Qualifier::And(StateIs(0),
+                                              RegisterZero("R1", "Xc")),
+                               RegisterZero("R2", "Yc")))));
+  // Q_halting: the final ID (f,0,0) is reached.
+  qs.push_back(Qualifier::Path(PathExpr::Filter(
+      Seq2(Dos(), Lbl("C")),
+      Qualifier::And(Qualifier::And(StateIs(m.final_state),
+                                    RegisterZero("R1", "Xc")),
+                     RegisterZero("R2", "Yc")))));
+  // Local keys for both chain kinds.
+  for (const char* sym : {"Xc", "Yc"}) {
+    qs.push_back(Qualifier::Not(Qualifier::Path(PathExpr::Filter(
+        Seq2(Dos(), Lbl(sym)),
+        Qualifier::AttrJoin(PathExpr::Empty(), "id", CmpOp::kEq,
+                            Seq2(Wild(), Dos()), "id")))));
+  }
+  // Transitions.
+  for (size_t i = 0; i < m.instructions.size(); ++i) {
+    if (static_cast<int>(i) == m.final_state) continue;
+    const TrmInstruction& ins = m.instructions[i];
+    const std::string reg = ins.reg == 1 ? "R1" : "R2";
+    const std::string sym = ins.reg == 1 ? "Xc" : "Yc";
+    const std::string other_reg = ins.reg == 1 ? "R2" : "R1";
+    const std::string other_sym = ins.reg == 1 ? "Yc" : "Xc";
+    QualPtr violation;
+    if (ins.is_add) {
+      violation = Qualifier::OrAll([&] {
+        std::vector<QualPtr> v;
+        v.push_back(NextStateNot(ins.j));
+        v.push_back(IncrementViolation(reg, sym));
+        v.push_back(RegisterChanged(other_reg, other_sym));
+        return v;
+      }());
+    } else {
+      // Zero branch: register zero -> state j, both registers unchanged.
+      QualPtr zero = Qualifier::And(
+          RegisterZero(reg, sym),
+          Qualifier::OrAll([&] {
+            std::vector<QualPtr> v;
+            v.push_back(NextStateNot(ins.j));
+            // The register must stay empty in c2.
+            v.push_back(Qualifier::Path(PathExpr::Seq(
+                Lbl("C"),
+                PathExpr::Filter(Lbl(reg), Qualifier::Path(Lbl(sym))))));
+            v.push_back(RegisterChanged(other_reg, other_sym));
+            return v;
+          }()));
+      // Nonzero branch: decrement -> state k.
+      QualPtr nonzero = Qualifier::And(
+          Qualifier::Path(PathExpr::Filter(Lbl(reg),
+                                           Qualifier::Path(Lbl(sym)))),
+          Qualifier::OrAll([&] {
+            std::vector<QualPtr> v;
+            v.push_back(NextStateNot(ins.k));
+            v.push_back(DecrementViolation(reg, sym));
+            v.push_back(RegisterChanged(other_reg, other_sym));
+            return v;
+          }()));
+      violation = Qualifier::Or(std::move(zero), std::move(nonzero));
+    }
+    qs.push_back(Qualifier::Not(Qualifier::Path(PathExpr::Filter(
+        Seq2(Dos(), Lbl("C")),
+        Qualifier::And(StateIs(static_cast<int>(i)), std::move(violation))))));
+  }
+  out.query =
+      PathExpr::Filter(PathExpr::Empty(), Qualifier::AndAll(std::move(qs)));
+  return out;
+}
+
+XmlTree TrmComputationTree(const TwoRegisterMachine& m, int max_steps) {
+  std::vector<TrmConfig> run = SimulateTrm(m, max_steps);
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("r");
+  NodeId prev_c = kNullNode;
+  for (size_t t = 0; t < run.size(); ++t) {
+    NodeId c = tree.AddChild(t == 0 ? root : prev_c, "C");
+    tree.SetAttr(c, "s", std::to_string(run[t].state));
+    // Children order must match the production (C, R1, R2): add the next C
+    // first. We instead add C later via ordering trick: build register
+    // subtrees after the child C is appended on the next iteration is not
+    // possible with append-only children, so C comes first, registers after.
+    prev_c = c;
+  }
+  // The last configuration's C gets one trailing childless C so that its
+  // (C,R1,R2) production can be satisfied when registers are attached below.
+  // Re-walk the chain to attach registers in production order.
+  // Note: children of each C are appended as [C_next, R1, R2].
+  NodeId cur = tree.children(root)[0];
+  for (size_t t = 0; t < run.size(); ++t) {
+    NodeId next_c = kNullNode;
+    if (t + 1 < run.size()) {
+      next_c = tree.children(cur).empty() ? kNullNode : tree.children(cur)[0];
+    } else {
+      // Trailing childless C completes the production of the last config.
+      next_c = tree.AddChild(cur, "C");
+      tree.SetAttr(next_c, "s", std::to_string(run[t].state));
+    }
+    NodeId r1 = tree.AddChild(cur, "R1");
+    NodeId chain = r1;
+    for (long long k = 0; k < run[t].r1; ++k) {
+      chain = tree.AddChild(chain, "Xc");
+      tree.SetAttr(chain, "id", "x" + std::to_string(k));
+    }
+    NodeId r2 = tree.AddChild(cur, "R2");
+    chain = r2;
+    for (long long k = 0; k < run[t].r2; ++k) {
+      chain = tree.AddChild(chain, "Yc");
+      tree.SetAttr(chain, "id", "y" + std::to_string(k));
+    }
+    cur = next_c;
+  }
+  return tree;
+}
+
+}  // namespace xpathsat

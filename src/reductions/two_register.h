@@ -1,0 +1,64 @@
+// Two-register machines (2RM) and the undecidability reduction of Theorem 5.4
+// (Fig. 4): SAT(X(↓,↑,↓*,↑*,∪,[],=,¬)) encodes the 2RM halting problem.
+//
+// Because the target problem is undecidable, the reduction is validated in
+// its sound direction: machines that halt within k steps yield encodings
+// satisfied by the canonical computation tree (which we construct from the
+// simulator's run and check with the evaluator), and the bounded decider
+// finds witnesses for tiny machines.
+#ifndef XPATHSAT_REDUCTIONS_TWO_REGISTER_H_
+#define XPATHSAT_REDUCTIONS_TWO_REGISTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/xml/dtd.h"
+#include "src/xml/tree.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// One 2RM instruction (Sec. 5.3.1).
+struct TrmInstruction {
+  bool is_add = true;
+  int reg = 1;  ///< 1 or 2
+  int j = 0;    ///< next state (addition), zero-branch (subtraction)
+  int k = 0;    ///< nonzero-branch (subtraction)
+};
+
+/// A 2RM: instruction i executes at state i; `final_state` has no instruction.
+struct TwoRegisterMachine {
+  std::vector<TrmInstruction> instructions;
+  int final_state = 0;
+};
+
+/// An instantaneous description (i, m, n).
+struct TrmConfig {
+  int state = 0;
+  long long r1 = 0, r2 = 0;
+};
+
+/// Runs M from (0,0,0); returns the configurations visited (including the
+/// start). Stops at the final state, at a state without instruction, or after
+/// max_steps (whichever first).
+std::vector<TrmConfig> SimulateTrm(const TwoRegisterMachine& m,
+                                   int max_steps);
+
+/// True iff M reaches (final_state, 0, 0) within max_steps.
+bool TrmHalts(const TwoRegisterMachine& m, int max_steps);
+
+/// The encoding of Theorem 5.4: fixed DTD plus query such that (query, dtd)
+/// is satisfiable iff M halts.
+struct TrmEncoding {
+  Dtd dtd;
+  std::unique_ptr<PathExpr> query;
+};
+TrmEncoding EncodeTrm(const TwoRegisterMachine& m);
+
+/// The canonical computation tree for a halting run (Fig. 4), conforming to
+/// the encoding's DTD and — for halting machines — satisfying the query.
+XmlTree TrmComputationTree(const TwoRegisterMachine& m, int max_steps);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_REDUCTIONS_TWO_REGISTER_H_

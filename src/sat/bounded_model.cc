@@ -1,0 +1,252 @@
+#include "src/sat/bounded_model.h"
+
+#include <functional>
+#include <map>
+
+#include "src/xml/generator.h"
+#include "src/xpath/evaluator.h"
+#include "src/xpath/features.h"
+
+namespace xpathsat {
+
+namespace {
+
+// Enumerates all words of L(re) with every Kleene star unrolled at most
+// `star_cap` times; invokes `k` for each word accumulated in `cur`. `k`
+// returning true aborts the enumeration (a model was found).
+bool EnumWords(const Regex& re, int star_cap, std::vector<std::string>* cur,
+               const std::function<bool()>& k) {
+  switch (re.kind()) {
+    case Regex::Kind::kEpsilon:
+      return k();
+    case Regex::Kind::kSymbol: {
+      cur->push_back(re.symbol());
+      bool stop = k();
+      cur->pop_back();
+      return stop;
+    }
+    case Regex::Kind::kConcat: {
+      // Fold the continuation over the parts, right to left.
+      std::function<bool(size_t)> go = [&](size_t i) -> bool {
+        if (i == re.children().size()) return k();
+        return EnumWords(re.children()[i], star_cap, cur,
+                         [&go, i]() { return go(i + 1); });
+      };
+      return go(0);
+    }
+    case Regex::Kind::kUnion: {
+      for (const Regex& c : re.children()) {
+        if (EnumWords(c, star_cap, cur, k)) return true;
+      }
+      return false;
+    }
+    case Regex::Kind::kStar: {
+      std::function<bool(int)> reps = [&](int n) -> bool {
+        if (n == 0) return k();
+        return EnumWords(re.children()[0], star_cap, cur,
+                         [&reps, n]() { return reps(n - 1); });
+      };
+      for (int n = 0; n <= star_cap; ++n) {
+        if (reps(n)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+class Enumerator {
+ public:
+  Enumerator(const PathExpr& p, const Dtd& dtd,
+             const BoundedModelOptions& options)
+      : p_(p), dtd_(dtd), options_(options) {
+    Features f = DetectFeatures(p);
+    has_data_ = f.data_values;
+    if (has_data_) {
+      std::set<std::string> consts;
+      CollectQueryConstants(p, &consts);
+      for (const auto& c : consts) domain_.push_back(c);
+      for (int i = 0; i < options_.max_fresh_values; ++i) {
+        domain_.push_back("_v" + std::to_string(i));
+      }
+    }
+    min_sizes_ = MinimalExpansionSizes(dtd);
+  }
+
+  SatDecision Run() {
+    if (!min_sizes_.count(dtd_.root())) {
+      return SatDecision::Unsat("root element type is nonterminating");
+    }
+    XmlTree tree;
+    tree.CreateRoot(dtd_.root());
+    std::vector<std::pair<NodeId, int>> open = {{tree.root(), 0}};
+    bool stop = Expand(&tree, &open, 0);
+    if (stop && found_) {
+      return SatDecision::Sat(std::move(*found_),
+                              "bounded-model search, " +
+                                  std::to_string(trees_) + " trees examined");
+    }
+    if (cap_hit_) {
+      return SatDecision::Unknown("tree enumeration cap (" +
+                                  std::to_string(options_.max_trees) +
+                                  ") reached");
+    }
+    return SatDecision::Unsat("bounded space exhausted (" +
+                              std::to_string(trees_) + " trees)");
+  }
+
+ private:
+  // Expands open[idx..]; open grows as children are appended. Returns true to
+  // abort the search (found or cap).
+  bool Expand(XmlTree* tree, std::vector<std::pair<NodeId, int>>* open,
+              size_t idx) {
+    if (idx == open->size()) return CheckComplete(tree);
+    auto [node, depth] = (*open)[idx];
+    const Regex& prod = dtd_.Production(tree->label(node));
+    std::vector<std::string> word;
+    return EnumWords(prod, options_.max_star, &word, [&]() -> bool {
+      // Prune: respect depth / node caps, and only use terminating types that
+      // can still finish within the remaining depth.
+      if (!word.empty() && depth + 1 > options_.max_depth) return false;
+      if (tree->size() + static_cast<int>(word.size()) > options_.max_nodes) {
+        return false;
+      }
+      for (const auto& sym : word) {
+        if (!min_sizes_.count(sym)) return false;  // nonterminating
+      }
+      int checkpoint = tree->size();
+      size_t open_checkpoint = open->size();
+      for (const auto& sym : word) {
+        open->emplace_back(tree->AddChild(node, sym), depth + 1);
+      }
+      bool stop = Expand(tree, open, idx + 1);
+      if (!stop) {
+        open->resize(open_checkpoint);
+        tree->TruncateTo(checkpoint);
+      }
+      return stop;
+    });
+  }
+
+  bool CheckComplete(XmlTree* tree) {
+    if (++trees_ > options_.max_trees) {
+      cap_hit_ = true;
+      return true;
+    }
+    // Collect attribute slots required by the DTD.
+    std::vector<std::pair<NodeId, std::string>> slots;
+    for (NodeId id = 0; id < tree->size(); ++id) {
+      for (const auto& a : dtd_.Attrs(tree->label(id))) {
+        slots.emplace_back(id, a);
+      }
+    }
+    if (!has_data_ || slots.empty()) {
+      for (const auto& [id, a] : slots) tree->SetAttr(id, a, "0");
+      if (Satisfies(*tree, p_)) {
+        found_ = *tree;
+        return true;
+      }
+      return false;
+    }
+    // Enumerate value assignments over constants + fresh values. Complete for
+    // equality patterns whenever max_fresh_values >= #slots.
+    std::function<bool(size_t)> assign = [&](size_t i) -> bool {
+      if (i == slots.size()) {
+        if (Satisfies(*tree, p_)) {
+          found_ = *tree;
+          return true;
+        }
+        return false;
+      }
+      for (const auto& v : domain_) {
+        tree->SetAttr(slots[i].first, slots[i].second, v);
+        if (assign(i + 1)) return true;
+      }
+      return false;
+    };
+    return assign(0);
+  }
+
+  const PathExpr& p_;
+  const Dtd& dtd_;
+  BoundedModelOptions options_;
+  bool has_data_ = false;
+  std::vector<std::string> domain_;
+  std::map<std::string, long long> min_sizes_;
+  long long trees_ = 0;
+  bool cap_hit_ = false;
+  std::optional<XmlTree> found_;
+};
+
+// Length of the longest simple path in the DTD graph from the root
+// (an upper bound on tree depth for nonrecursive DTDs).
+int NonrecursiveDepth(const Dtd& dtd) {
+  auto cm = dtd.ChildMap();
+  std::map<std::string, int> memo;
+  std::function<int(const std::string&)> depth =
+      [&](const std::string& t) -> int {
+    auto it = memo.find(t);
+    if (it != memo.end()) return it->second;
+    memo[t] = 0;
+    int best = 0;
+    for (const auto& c : cm[t]) {
+      int d = depth(c) + 1;
+      if (d > best) best = d;
+    }
+    memo[t] = best;
+    return best;
+  };
+  return depth(dtd.root());
+}
+
+}  // namespace
+
+SatDecision BoundedModelSat(const PathExpr& p, const Dtd& dtd,
+                            const BoundedModelOptions& options) {
+  return Enumerator(p, dtd, options).Run();
+}
+
+DerivedBounds DeriveBoundsChecked(const PathExpr& p, const Dtd& dtd,
+                                  const BoundedModelOptions& cap) {
+  DerivedBounds out;
+  out.options = cap;
+  Features f = DetectFeatures(p);
+  int psize = p.Size();
+  long long justified_depth = -1;  // -1: no small-model depth bound applies
+  if (!dtd.IsRecursive()) {
+    // Every conforming tree has depth <= the DTD-graph depth (Sec. 6.1).
+    justified_depth = NonrecursiveDepth(dtd);
+  } else if (!f.HasRecursion()) {
+    // Thm 5.5-style: only the top levels the query can inspect matter; below
+    // that a minimal completion suffices, whose extra depth is bounded by the
+    // tallest minimal expansion.
+    auto sizes = MinimalExpansionSizes(dtd);
+    long long extra = 0;
+    for (const auto& [t, s] : sizes) extra = std::max(extra, s);
+    justified_depth = std::min(DownwardDepth(p), psize) + extra;
+  }
+  if (justified_depth >= 0) {
+    out.options.max_depth =
+        static_cast<int>(std::min<long long>(cap.max_depth, justified_depth));
+  }
+  // Width: the witness(n, T0) argument of Thm 5.5 adds at most one child per
+  // subquery step, and star repetitions are only ever needed as witnesses
+  // (mandatory concat children are always generated regardless of the star
+  // cap). Sibling axes make thinning arguments delicate, so there we fall
+  // back to the conservative |D| + |p| bound of the paper.
+  long long justified_star =
+      f.HasSibling() ? static_cast<long long>(dtd.Size()) + psize
+                     : std::min<long long>(psize, CountSteps(p) + 1);
+  out.options.max_star =
+      static_cast<int>(std::min<long long>(cap.max_star, justified_star));
+  out.complete = justified_depth >= 0 && cap.max_depth >= justified_depth &&
+                 (!dtd.HasStar() || cap.max_star >= justified_star);
+  return out;
+}
+
+BoundedModelOptions DeriveBounds(const PathExpr& p, const Dtd& dtd,
+                                 const BoundedModelOptions& cap) {
+  return DeriveBoundsChecked(p, dtd, cap).options;
+}
+
+}  // namespace xpathsat

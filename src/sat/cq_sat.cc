@@ -1,0 +1,303 @@
+#include "src/sat/cq_sat.h"
+
+#include <map>
+
+namespace xpathsat {
+
+namespace {
+
+// Union-find over dense int ids.
+class UnionFind {
+ public:
+  int Make() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return parent_.back();
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+  int size() const { return static_cast<int>(parent_.size()); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+struct ChildConjunct {
+  int parent, child;
+};
+struct LabelConjunct {
+  int var;
+  std::string label;
+};
+struct CmpConjunct {
+  int x;
+  std::string a;
+  CmpOp op;
+  // Either a second (var, attr) pair or a constant.
+  bool vs_const = false;
+  int y = -1;
+  std::string b;
+  std::string constant;
+};
+
+class CqTranslator {
+ public:
+  bool Translate(const PathExpr& p) {
+    root_var_ = NewVar();
+    int end = TransPath(p, root_var_);
+    return end >= 0;
+  }
+
+  int NewVar() {
+    ++num_vars_;
+    return num_vars_ - 1;
+  }
+
+  // Returns the endpoint variable, or -1 when out of fragment.
+  int TransPath(const PathExpr& p, int from) {
+    switch (p.kind) {
+      case PathKind::kEmpty:
+        return from;
+      case PathKind::kLabel: {
+        int y = NewVar();
+        children_.push_back({from, y});
+        labels_.push_back({y, p.label});
+        return y;
+      }
+      case PathKind::kChildAny: {
+        int y = NewVar();
+        children_.push_back({from, y});
+        return y;
+      }
+      case PathKind::kParent: {
+        int y = NewVar();
+        children_.push_back({y, from});
+        return y;
+      }
+      case PathKind::kSeq: {
+        int mid = TransPath(*p.lhs, from);
+        if (mid < 0) return -1;
+        return TransPath(*p.rhs, mid);
+      }
+      case PathKind::kFilter: {
+        int end = TransPath(*p.lhs, from);
+        if (end < 0) return -1;
+        if (!TransQual(*p.qual, end)) return -1;
+        return end;
+      }
+      default:
+        return -1;  // union / recursion / sibling: not conjunctive
+    }
+  }
+
+  bool TransQual(const Qualifier& q, int at) {
+    switch (q.kind) {
+      case QualKind::kPath:
+        return TransPath(*q.path, at) >= 0;
+      case QualKind::kLabelTest:
+        labels_.push_back({at, q.label});
+        return true;
+      case QualKind::kAttrCmpConst: {
+        int x = TransPath(*q.path, at);
+        if (x < 0) return false;
+        CmpConjunct c;
+        c.x = x;
+        c.a = q.attr;
+        c.op = q.op;
+        c.vs_const = true;
+        c.constant = q.constant;
+        cmps_.push_back(std::move(c));
+        return true;
+      }
+      case QualKind::kAttrJoin: {
+        int x = TransPath(*q.path, at);
+        if (x < 0) return false;
+        int y = TransPath(*q.path2, at);
+        if (y < 0) return false;
+        CmpConjunct c;
+        c.x = x;
+        c.a = q.attr;
+        c.op = q.op;
+        c.y = y;
+        c.b = q.attr2;
+        cmps_.push_back(std::move(c));
+        return true;
+      }
+      case QualKind::kAnd:
+        return TransQual(*q.q1, at) && TransQual(*q.q2, at);
+      default:
+        return false;  // or / not
+    }
+  }
+
+  int num_vars_ = 0;
+  int root_var_ = -1;
+  std::vector<ChildConjunct> children_;
+  std::vector<LabelConjunct> labels_;
+  std::vector<CmpConjunct> cmps_;
+};
+
+}  // namespace
+
+Result<SatDecision> CqSat(const PathExpr& p) {
+  CqTranslator tr;
+  if (!tr.Translate(p)) {
+    return Result<SatDecision>::Error(
+        "query outside X(down,up,[],=): union/negation/recursion/sibling not "
+        "supported by the Thm 6.11(2) procedure");
+  }
+
+  // E: smallest equivalence with sibling-parent closure (children determine
+  // parents) — iterate to fixpoint.
+  UnionFind e;
+  for (int i = 0; i < tr.num_vars_; ++i) e.Make();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < tr.children_.size(); ++i) {
+      for (size_t j = i + 1; j < tr.children_.size(); ++j) {
+        if (e.Find(tr.children_[i].child) == e.Find(tr.children_[j].child) &&
+            e.Find(tr.children_[i].parent) != e.Find(tr.children_[j].parent)) {
+          e.Union(tr.children_[i].parent, tr.children_[j].parent);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // E2 over (E-class, attr) pairs and constants.
+  UnionFind e2;
+  std::map<std::pair<int, std::string>, int> slot_id;
+  std::map<std::string, int> const_id;
+  auto slot = [&](int var, const std::string& attr) {
+    auto key = std::make_pair(e.Find(var), attr);
+    auto it = slot_id.find(key);
+    if (it != slot_id.end()) return it->second;
+    int id = e2.Make();
+    slot_id[key] = id;
+    return id;
+  };
+  auto cnst = [&](const std::string& c) {
+    auto it = const_id.find(c);
+    if (it != const_id.end()) return it->second;
+    int id = e2.Make();
+    const_id[c] = id;
+    return id;
+  };
+  for (const auto& c : tr.cmps_) {
+    if (c.op != CmpOp::kEq) continue;
+    if (c.vs_const) {
+      e2.Union(slot(c.x, c.a), cnst(c.constant));
+    } else {
+      e2.Union(slot(c.x, c.a), slot(c.y, c.b));
+    }
+  }
+
+  // Cogency.
+  for (const auto& c : tr.cmps_) {
+    if (c.op != CmpOp::kNeq) continue;
+    int lhs = slot(c.x, c.a);
+    int rhs = c.vs_const ? cnst(c.constant) : slot(c.y, c.b);
+    if (e2.Find(lhs) == e2.Find(rhs)) {
+      return SatDecision::Unsat("inequality within one E2 class (not cogent)");
+    }
+  }
+  {
+    std::map<int, std::string> class_const;
+    for (const auto& [c, id] : const_id) {
+      int rep = e2.Find(id);
+      auto it = class_const.find(rep);
+      if (it != class_const.end() && it->second != c) {
+        return SatDecision::Unsat("two distinct constants equated (not cogent)");
+      }
+      class_const[rep] = c;
+    }
+  }
+  std::map<int, std::string> class_label;
+  for (const auto& l : tr.labels_) {
+    int rep = e.Find(l.var);
+    auto it = class_label.find(rep);
+    if (it != class_label.end() && it->second != l.label) {
+      return SatDecision::Unsat("conflicting labels on one node (not cogent)");
+    }
+    class_label[rep] = l.label;
+  }
+  int root_rep = e.Find(tr.root_var_);
+  std::map<int, int> parent_of;  // E-class -> E-class
+  for (const auto& c : tr.children_) {
+    int pr = e.Find(c.parent), cr = e.Find(c.child);
+    if (cr == root_rep) {
+      return SatDecision::Unsat("the root would need a parent (not cogent)");
+    }
+    auto it = parent_of.find(cr);
+    if (it != parent_of.end() && it->second != pr) {
+      // Should not happen after the E closure.
+      return SatDecision::Unsat("node with two parents");
+    }
+    parent_of[cr] = pr;
+  }
+  // Acyclicity of the child relation of CM(Q).
+  for (const auto& [start, unused] : parent_of) {
+    (void)unused;
+    int cur = start, steps = 0;
+    while (parent_of.count(cur)) {
+      cur = parent_of[cur];
+      if (++steps > tr.num_vars_ + 1) {
+        return SatDecision::Unsat("cyclic child relation");
+      }
+    }
+  }
+
+  // Build CM(Q) as an XML tree: root class first, parentless classes attach
+  // under the root; then assign attribute values per E2 class.
+  std::set<int> classes;
+  for (int v = 0; v < tr.num_vars_; ++v) classes.insert(e.Find(v));
+  XmlTree tree;
+  std::map<int, NodeId> node_of;
+  auto label_of = [&](int rep) {
+    auto it = class_label.find(rep);
+    return it != class_label.end() ? it->second : std::string("Z");
+  };
+  tree.CreateRoot(label_of(root_rep));
+  node_of[root_rep] = tree.root();
+  // Repeatedly place classes whose parent is placed; attach orphans to root.
+  bool progress = true;
+  while (node_of.size() < classes.size() && progress) {
+    progress = false;
+    for (int c : classes) {
+      if (node_of.count(c)) continue;
+      auto it = parent_of.find(c);
+      NodeId parent;
+      if (it == parent_of.end()) {
+        parent = tree.root();
+      } else if (node_of.count(it->second)) {
+        parent = node_of[it->second];
+      } else {
+        continue;
+      }
+      node_of[c] = tree.AddChild(parent, label_of(c));
+      progress = true;
+    }
+  }
+  // Attribute values: constants where present, else fresh per E2 class.
+  std::map<int, std::string> class_value;
+  for (const auto& [c, id] : const_id) class_value[e2.Find(id)] = c;
+  int fresh = 0;
+  for (const auto& [key, id] : slot_id) {
+    int rep = e2.Find(id);
+    auto it = class_value.find(rep);
+    if (it == class_value.end()) {
+      class_value[rep] = "_v" + std::to_string(fresh++);
+    }
+    tree.SetAttr(node_of[key.first], key.second, class_value[rep]);
+  }
+  return SatDecision::Sat(std::move(tree),
+                          "Thm 6.11(2) canonical model CM(Q)");
+}
+
+}  // namespace xpathsat

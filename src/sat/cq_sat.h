@@ -1,0 +1,21 @@
+// SAT(X(↓,↑,[],=)) in the absence of DTDs, in PTIME (Theorem 6.11(2)):
+// translation into conjunctive queries over the `doc` signature
+// (Root, P_a, Rchild, R_{a,b,op}), equivalence closures E and E2, the cogency
+// test, and the canonical model CM(Q) as witness.
+#ifndef XPATHSAT_SAT_CQ_SAT_H_
+#define XPATHSAT_SAT_CQ_SAT_H_
+
+#include "src/sat/decision.h"
+#include "src/util/status.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// Decides satisfiability of p in X(↓,↑,[],=) (label tests allowed; no
+/// union/disjunction, negation, recursion, or sibling axes) with no DTD.
+/// Produces the canonical model as witness on kSat.
+Result<SatDecision> CqSat(const PathExpr& p);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_SAT_CQ_SAT_H_

@@ -1,0 +1,67 @@
+#include "src/sat/decision.h"
+
+namespace xpathsat {
+
+void CollectQueryLabels(const PathExpr& p, std::set<std::string>* labels,
+                        std::set<std::string>* attrs) {
+  if (p.kind == PathKind::kLabel) labels->insert(p.label);
+  if (p.lhs) CollectQueryLabels(*p.lhs, labels, attrs);
+  if (p.rhs) CollectQueryLabels(*p.rhs, labels, attrs);
+  if (p.qual) CollectQueryLabels(*p.qual, labels, attrs);
+}
+
+void CollectQueryLabels(const Qualifier& q, std::set<std::string>* labels,
+                        std::set<std::string>* attrs) {
+  if (q.kind == QualKind::kLabelTest) labels->insert(q.label);
+  if (q.kind == QualKind::kAttrCmpConst) attrs->insert(q.attr);
+  if (q.kind == QualKind::kAttrJoin) {
+    attrs->insert(q.attr);
+    attrs->insert(q.attr2);
+  }
+  if (q.path) CollectQueryLabels(*q.path, labels, attrs);
+  if (q.path2) CollectQueryLabels(*q.path2, labels, attrs);
+  if (q.q1) CollectQueryLabels(*q.q1, labels, attrs);
+  if (q.q2) CollectQueryLabels(*q.q2, labels, attrs);
+}
+
+void CollectQueryConstants(const PathExpr& p, std::set<std::string>* consts) {
+  if (p.lhs) CollectQueryConstants(*p.lhs, consts);
+  if (p.rhs) CollectQueryConstants(*p.rhs, consts);
+  if (p.qual) CollectQueryConstants(*p.qual, consts);
+}
+
+void CollectQueryConstants(const Qualifier& q, std::set<std::string>* consts) {
+  if (q.kind == QualKind::kAttrCmpConst) consts->insert(q.constant);
+  if (q.path) CollectQueryConstants(*q.path, consts);
+  if (q.path2) CollectQueryConstants(*q.path2, consts);
+  if (q.q1) CollectQueryConstants(*q.q1, consts);
+  if (q.q2) CollectQueryConstants(*q.q2, consts);
+}
+
+std::vector<Dtd> UniversalDtds(const PathExpr& p) {
+  std::set<std::string> labels, attrs;
+  CollectQueryLabels(p, &labels, &attrs);
+  // A fresh label X not mentioned in p.
+  std::string fresh = "X";
+  while (labels.count(fresh)) fresh += "_";
+  labels.insert(fresh);
+
+  std::vector<Regex> members;
+  for (const auto& l : labels) members.push_back(Regex::Symbol(l));
+  Regex content = Regex::Star(Regex::Union(std::move(members)));
+
+  std::vector<Dtd> out;
+  for (const auto& root : labels) {
+    Dtd d;
+    d.SetRoot(root);
+    for (const auto& l : labels) {
+      d.SetProduction(l, content);
+      for (const auto& a : attrs) d.AddAttr(l, a);
+    }
+    d.SetRoot(root);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace xpathsat

@@ -1,0 +1,82 @@
+// Common types for the satisfiability decision procedures, plus the
+// universal-DTD construction D_p of Proposition 3.1 that reduces DTD-less
+// satisfiability to SAT(X).
+#ifndef XPATHSAT_SAT_DECISION_H_
+#define XPATHSAT_SAT_DECISION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/xml/dtd.h"
+#include "src/xml/tree.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// Verdict of a decision procedure.
+enum class SatVerdict {
+  kSat,      ///< a conforming satisfying tree exists (witness attached)
+  kUnsat,    ///< no conforming satisfying tree exists
+  kUnknown,  ///< resource caps were hit before the search space was exhausted
+};
+
+/// Outcome of a decision procedure.
+struct SatDecision {
+  SatVerdict verdict = SatVerdict::kUnknown;
+  /// Satisfying conforming tree, when verdict == kSat and the procedure
+  /// produces witnesses.
+  std::optional<XmlTree> witness;
+  /// Free-form diagnostics (algorithm notes, cap reports).
+  std::string note;
+
+  bool sat() const { return verdict == SatVerdict::kSat; }
+  bool unsat() const { return verdict == SatVerdict::kUnsat; }
+
+  static SatDecision Sat(XmlTree witness, std::string note = "") {
+    SatDecision d;
+    d.verdict = SatVerdict::kSat;
+    d.witness = std::move(witness);
+    d.note = std::move(note);
+    return d;
+  }
+  static SatDecision SatNoWitness(std::string note = "") {
+    SatDecision d;
+    d.verdict = SatVerdict::kSat;
+    d.note = std::move(note);
+    return d;
+  }
+  static SatDecision Unsat(std::string note = "") {
+    SatDecision d;
+    d.verdict = SatVerdict::kUnsat;
+    d.note = std::move(note);
+    return d;
+  }
+  static SatDecision Unknown(std::string note = "") {
+    SatDecision d;
+    d.verdict = SatVerdict::kUnknown;
+    d.note = std::move(note);
+    return d;
+  }
+};
+
+/// Collects the element labels mentioned by a query (as subqueries `A` or
+/// label tests lab() = A) and the attribute names it mentions.
+void CollectQueryLabels(const PathExpr& p, std::set<std::string>* labels,
+                        std::set<std::string>* attrs);
+void CollectQueryLabels(const Qualifier& q, std::set<std::string>* labels,
+                        std::set<std::string>* attrs);
+
+/// Collects the constants compared against in the query.
+void CollectQueryConstants(const PathExpr& p, std::set<std::string>* consts);
+void CollectQueryConstants(const Qualifier& q, std::set<std::string>* consts);
+
+/// The universal DTDs D_p of Proposition 3.1: Ele = labels of p plus a fresh
+/// label X, production A -> (A1 + ... + An)* for every A, R(A) = all
+/// attributes of p, one DTD per choice of root. Satisfiability of p in the
+/// absence of DTDs equals satisfiability of (p, D) for some D in this family.
+std::vector<Dtd> UniversalDtds(const PathExpr& p);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_SAT_DECISION_H_

@@ -1,0 +1,186 @@
+#include "src/sat/djfree_sat.h"
+
+#include <map>
+
+#include "src/xml/normalize.h"
+#include "src/xpath/features.h"
+#include "src/xpath/rewrites.h"
+
+namespace xpathsat {
+
+namespace {
+
+bool PathInFragment(const PathExpr& p);
+
+bool QualInFragment(const Qualifier& q) {
+  switch (q.kind) {
+    case QualKind::kPath:
+      return PathInFragment(*q.path);
+    case QualKind::kLabelTest:
+      return true;
+    case QualKind::kAnd:
+    case QualKind::kOr:
+      return QualInFragment(*q.q1) && QualInFragment(*q.q2);
+    default:
+      return false;  // negation / data values
+  }
+}
+
+bool PathInFragment(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kEmpty:
+    case PathKind::kLabel:
+    case PathKind::kChildAny:
+    case PathKind::kDescOrSelf:
+      return true;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+      return PathInFragment(*p.lhs) && PathInFragment(*p.rhs);
+    case PathKind::kFilter:
+      return PathInFragment(*p.lhs) && QualInFragment(*p.qual);
+    default:
+      return false;
+  }
+}
+
+// reach/sat dynamic program over a normalized disjunction-free DTD.
+class DjFreeSolver {
+ public:
+  explicit DjFreeSolver(const Dtd& dtd) : dtd_(dtd) {
+    term_ = dtd.TerminatingTypes();
+    for (const auto& t : dtd.types()) {
+      if (!term_.count(t.name)) continue;
+      std::set<std::string> syms;
+      t.content.CollectSymbols(&syms);
+      for (const auto& b : syms) {
+        // Normalized disjunction-free: concat children are mandatory (so all
+        // terminate if A does); star children exist iff terminating.
+        if (term_.count(b)) edges_[t.name].insert(b);
+      }
+      std::set<std::string>& r = closure_[t.name];
+      r.insert(t.name);
+    }
+    // Reflexive-transitive closure.
+    for (auto& [a, r] : closure_) {
+      std::vector<std::string> stack = {a};
+      while (!stack.empty()) {
+        std::string cur = stack.back();
+        stack.pop_back();
+        for (const auto& b : edges_[cur]) {
+          if (r.insert(b).second) stack.push_back(b);
+        }
+      }
+    }
+  }
+
+  bool Decide(const PathExpr& p) { return !Reach(&p, dtd_.root()).empty(); }
+
+  const std::set<std::string>& Reach(const PathExpr* p, const std::string& a) {
+    auto key = std::make_pair(static_cast<const void*>(p), a);
+    auto it = reach_.find(key);
+    if (it != reach_.end()) return it->second;
+    std::set<std::string> r;
+    if (term_.count(a)) {
+      switch (p->kind) {
+        case PathKind::kEmpty:
+          r = {a};
+          break;
+        case PathKind::kLabel:
+          if (edges_[a].count(p->label)) r = {p->label};
+          break;
+        case PathKind::kChildAny:
+          r = edges_[a];
+          break;
+        case PathKind::kDescOrSelf:
+          r = closure_[a];
+          break;
+        case PathKind::kSeq:
+          for (const auto& b : Reach(p->lhs.get(), a)) {
+            const auto& r2 = Reach(p->rhs.get(), b);
+            r.insert(r2.begin(), r2.end());
+          }
+          break;
+        case PathKind::kUnion: {
+          r = Reach(p->lhs.get(), a);
+          const auto& r2 = Reach(p->rhs.get(), a);
+          r.insert(r2.begin(), r2.end());
+          break;
+        }
+        case PathKind::kFilter:
+          for (const auto& b : Reach(p->lhs.get(), a)) {
+            if (Sat(p->qual.get(), b)) r.insert(b);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    return reach_[key] = std::move(r);
+  }
+
+  bool Sat(const Qualifier* q, const std::string& a) {
+    auto key = std::make_pair(static_cast<const void*>(q), a);
+    auto it = sat_.find(key);
+    if (it != sat_.end()) return it->second;
+    bool v = false;
+    switch (q->kind) {
+      case QualKind::kPath:
+        v = !Reach(q->path.get(), a).empty();
+        break;
+      case QualKind::kLabelTest:
+        v = (q->label == a);
+        break;
+      case QualKind::kAnd:
+        // Decomposition is sound for normalized disjunction-free DTDs.
+        v = Sat(q->q1.get(), a) && Sat(q->q2.get(), a);
+        break;
+      case QualKind::kOr:
+        v = Sat(q->q1.get(), a) || Sat(q->q2.get(), a);
+        break;
+      default:
+        v = false;
+    }
+    return sat_[key] = v;
+  }
+
+ private:
+  const Dtd& dtd_;
+  std::set<std::string> term_;
+  std::map<std::string, std::set<std::string>> edges_;
+  std::map<std::string, std::set<std::string>> closure_;
+  std::map<std::pair<const void*, std::string>, std::set<std::string>> reach_;
+  std::map<std::pair<const void*, std::string>, bool> sat_;
+};
+
+}  // namespace
+
+Result<SatDecision> DisjunctionFreeSat(const PathExpr& p, const Dtd& dtd) {
+  if (!PathInFragment(p)) {
+    return Result<SatDecision>::Error(
+        "query outside X(down,ds,union,[]): negation/data/upward/sibling not "
+        "supported by the Thm 6.8(1) procedure");
+  }
+  if (!dtd.IsDisjunctionFree()) {
+    return Result<SatDecision>::Error("DTD is not disjunction-free");
+  }
+  NormalizedDtd norm = NormalizeDtd(dtd);
+  Result<std::unique_ptr<PathExpr>> fp = RewriteForNormalizedDtd(p, dtd, norm);
+  if (!fp.ok()) return Result<SatDecision>::Error(fp.error());
+  DjFreeSolver solver(norm.dtd);
+  if (solver.Decide(*fp.value())) {
+    return SatDecision::SatNoWitness("Thm 6.8(1) reach/sat DP (normalized)");
+  }
+  return SatDecision::Unsat("Thm 6.8(1) reach/sat DP (normalized)");
+}
+
+Result<SatDecision> UpDownDisjunctionFreeSat(const PathExpr& p,
+                                             const Dtd& dtd) {
+  Result<UpDownRewrite> rw = RewriteUpDownToQualifiers(p);
+  if (!rw.ok()) return Result<SatDecision>::Error(rw.error());
+  if (rw.value().always_unsat) {
+    return SatDecision::Unsat("query ascends above the root (Thm 6.8(2))");
+  }
+  return DisjunctionFreeSat(*rw.value().path, dtd);
+}
+
+}  // namespace xpathsat

@@ -1,0 +1,29 @@
+// SAT(X(↓,↓*,∪,[])) under disjunction-free DTDs in PTIME (Theorem 6.8(1)),
+// and the X(↓,↑) case via the qualifier-introducing rewriting (Theorem
+// 6.8(2)).
+//
+// Pipeline: normalize the DTD (Prop 3.3 keeps it disjunction-free), rewrite
+// the query with f(p), then run the reach/sat dynamic program. Soundness of
+// the qualifier decomposition sat([q1∧q2],A) = sat([q1],A) ∧ sat([q2],A)
+// relies on the normalized disjunction-free production forms B1,...,Bn / B*.
+#ifndef XPATHSAT_SAT_DJFREE_SAT_H_
+#define XPATHSAT_SAT_DJFREE_SAT_H_
+
+#include "src/sat/decision.h"
+#include "src/util/status.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// Decides (p, dtd) for p in X(↓,↓*,∪,[]) (label tests allowed; no negation,
+/// data values, upward or sibling axes) and disjunction-free `dtd`.
+Result<SatDecision> DisjunctionFreeSat(const PathExpr& p, const Dtd& dtd);
+
+/// Decides (p, dtd) for p in X(↓,↑) (steps only) and disjunction-free `dtd`,
+/// by rewriting into X(↓,[]) (Thm 6.8(2)) and delegating.
+Result<SatDecision> UpDownDisjunctionFreeSat(const PathExpr& p,
+                                             const Dtd& dtd);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_SAT_DJFREE_SAT_H_

@@ -1,0 +1,45 @@
+// Proposition 6.4: under fixed, nonrecursive DTDs, satisfiability of
+// X(↓,↓*,↑,↑*,∪,[],¬) is PTIME (in the query alone): a star-free
+// nonrecursive DTD has constantly many tree instances, and Claim 6.5 bounds
+// the branching g(n) needed when stars are present.
+//
+// We implement the proof's two ingredients:
+//   * EliminateStars: A -> ... B* ... becomes the bounded disjunction
+//     eps + B + BB + ... + B^g (the D -> D' transformation of the proof);
+//   * FixedDtdSat: enumerate the (finitely many) instances of the star-free
+//     DTD and evaluate the query on each.
+//
+// Claim 6.5's g(n) is a tower-of-isomorphism-types bound; the implementation
+// takes g as an option (default |p|, which suffices for the existential
+// witnesses and is cross-validated against the bounded oracle in tests).
+#ifndef XPATHSAT_SAT_FIXED_DTD_SAT_H_
+#define XPATHSAT_SAT_FIXED_DTD_SAT_H_
+
+#include "src/sat/decision.h"
+#include "src/util/status.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// Replaces every Kleene star in every production by
+/// eps + inner + ... + inner^g.
+Dtd EliminateStars(const Dtd& dtd, int g);
+
+/// Options for FixedDtdSat.
+struct FixedDtdOptions {
+  /// Star-branching bound g; 0 derives max(2, |p|).
+  int branch_bound = 0;
+  /// Cap on enumerated instances before returning kUnknown.
+  long long max_instances = 2000000;
+};
+
+/// Decides (p, dtd) for nonrecursive `dtd` by exhaustive instance
+/// enumeration (Prop 6.4). Rejects recursive DTDs and data-value queries
+/// (the proposition's star-free data case needs no enumeration of values;
+/// use BoundedModelSat for data).
+Result<SatDecision> FixedDtdSat(const PathExpr& p, const Dtd& dtd,
+                                const FixedDtdOptions& options = {});
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_SAT_FIXED_DTD_SAT_H_

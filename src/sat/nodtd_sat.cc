@@ -1,0 +1,200 @@
+#include "src/sat/nodtd_sat.h"
+
+#include <map>
+
+namespace xpathsat {
+
+namespace {
+
+bool PathInFragment(const PathExpr& p);
+
+bool QualInFragment(const Qualifier& q) {
+  switch (q.kind) {
+    case QualKind::kPath:
+      return PathInFragment(*q.path);
+    case QualKind::kLabelTest:
+      return true;
+    case QualKind::kAnd:
+    case QualKind::kOr:
+      return QualInFragment(*q.q1) && QualInFragment(*q.q2);
+    default:
+      return false;
+  }
+}
+
+bool PathInFragment(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kEmpty:
+    case PathKind::kLabel:
+    case PathKind::kChildAny:
+    case PathKind::kDescOrSelf:
+      return true;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+      return PathInFragment(*p.lhs) && PathInFragment(*p.rhs);
+    case PathKind::kFilter:
+      return PathInFragment(*p.lhs) && QualInFragment(*p.qual);
+    default:
+      return false;
+  }
+}
+
+class NoDtdSolver {
+ public:
+  explicit NoDtdSolver(const PathExpr& p) : p_(p) {
+    std::set<std::string> labels, attrs;
+    CollectQueryLabels(p, &labels, &attrs);
+    std::string fresh = "X";
+    while (labels.count(fresh)) fresh += "_";
+    labels.insert(fresh);
+    for (const auto& l : labels) ele_.push_back(l);
+  }
+
+  SatDecision Solve() {
+    for (const auto& a : ele_) {
+      if (!Reach(&p_, a).empty()) {
+        XmlTree tree;
+        tree.CreateRoot(a);
+        const std::string& b = *Reach(&p_, a).begin();
+        Build(&tree, tree.root(), &p_, b);
+        return SatDecision::Sat(std::move(tree), "Thm 6.11(1) sat/reach DP");
+      }
+    }
+    return SatDecision::Unsat("conflicting label tests (Thm 6.11(1))");
+  }
+
+ private:
+  const std::set<std::string>& Reach(const PathExpr* p, const std::string& a) {
+    auto key = std::make_pair(static_cast<const void*>(p), a);
+    auto it = reach_.find(key);
+    if (it != reach_.end()) return it->second;
+    std::set<std::string> r;
+    switch (p->kind) {
+      case PathKind::kEmpty:
+        r = {a};
+        break;
+      case PathKind::kLabel:
+        r = {p->label};
+        break;
+      case PathKind::kChildAny:
+      case PathKind::kDescOrSelf:
+        r.insert(ele_.begin(), ele_.end());
+        if (p->kind == PathKind::kDescOrSelf) r.insert(a);
+        break;
+      case PathKind::kSeq:
+        for (const auto& b : Reach(p->lhs.get(), a)) {
+          const auto& r2 = Reach(p->rhs.get(), b);
+          r.insert(r2.begin(), r2.end());
+        }
+        break;
+      case PathKind::kUnion: {
+        r = Reach(p->lhs.get(), a);
+        const auto& r2 = Reach(p->rhs.get(), a);
+        r.insert(r2.begin(), r2.end());
+        break;
+      }
+      case PathKind::kFilter:
+        for (const auto& b : Reach(p->lhs.get(), a)) {
+          if (Sat(p->qual.get(), b)) r.insert(b);
+        }
+        break;
+      default:
+        break;
+    }
+    return reach_[key] = std::move(r);
+  }
+
+  bool Sat(const Qualifier* q, const std::string& a) {
+    switch (q->kind) {
+      case QualKind::kPath:
+        return !Reach(q->path.get(), a).empty();
+      case QualKind::kLabelTest:
+        return q->label == a;
+      case QualKind::kAnd:
+        // Sound without DTDs: separate branches realize each conjunct.
+        return Sat(q->q1.get(), a) && Sat(q->q2.get(), a);
+      case QualKind::kOr:
+        return Sat(q->q1.get(), a) || Sat(q->q2.get(), a);
+      default:
+        return false;
+    }
+  }
+
+  // Realizes p from node u ending at a node labeled b (b in reach(p, lab(u))).
+  // Returns the endpoint.
+  NodeId Build(XmlTree* t, NodeId u, const PathExpr* p, const std::string& b) {
+    switch (p->kind) {
+      case PathKind::kEmpty:
+        return u;
+      case PathKind::kLabel:
+      case PathKind::kChildAny:
+        return t->AddChild(u, b);
+      case PathKind::kDescOrSelf:
+        if (b == t->label(u)) return u;
+        return t->AddChild(u, b);
+      case PathKind::kSeq: {
+        for (const auto& c : Reach(p->lhs.get(), t->label(u))) {
+          if (Reach(p->rhs.get(), c).count(b)) {
+            NodeId mid = Build(t, u, p->lhs.get(), c);
+            return Build(t, mid, p->rhs.get(), b);
+          }
+        }
+        return u;  // unreachable by construction
+      }
+      case PathKind::kUnion:
+        if (Reach(p->lhs.get(), t->label(u)).count(b)) {
+          return Build(t, u, p->lhs.get(), b);
+        }
+        return Build(t, u, p->rhs.get(), b);
+      case PathKind::kFilter: {
+        NodeId end = Build(t, u, p->lhs.get(), b);
+        BuildQual(t, end, p->qual.get());
+        return end;
+      }
+      default:
+        return u;
+    }
+  }
+
+  void BuildQual(XmlTree* t, NodeId u, const Qualifier* q) {
+    switch (q->kind) {
+      case QualKind::kPath: {
+        const auto& r = Reach(q->path.get(), t->label(u));
+        if (!r.empty()) Build(t, u, q->path.get(), *r.begin());
+        return;
+      }
+      case QualKind::kLabelTest:
+        return;
+      case QualKind::kAnd:
+        BuildQual(t, u, q->q1.get());
+        BuildQual(t, u, q->q2.get());
+        return;
+      case QualKind::kOr:
+        if (Sat(q->q1.get(), t->label(u))) {
+          BuildQual(t, u, q->q1.get());
+        } else {
+          BuildQual(t, u, q->q2.get());
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  const PathExpr& p_;
+  std::vector<std::string> ele_;
+  std::map<std::pair<const void*, std::string>, std::set<std::string>> reach_;
+};
+
+}  // namespace
+
+Result<SatDecision> NoDtdSat(const PathExpr& p) {
+  if (!PathInFragment(p)) {
+    return Result<SatDecision>::Error(
+        "query outside X(down,ds,union,[]): negation/data/upward/sibling not "
+        "supported by the Thm 6.11(1) procedure");
+  }
+  return NoDtdSolver(p).Solve();
+}
+
+}  // namespace xpathsat

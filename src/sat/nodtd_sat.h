@@ -1,0 +1,23 @@
+// Satisfiability of X(↓,↓*,∪,[]) in the absence of DTDs (Theorem 6.11(1)):
+// cubic-time sat/reach dynamic program over the labels of the query plus one
+// fresh label, with witness construction Tree(p).
+//
+// Corollary (also Thm 6.11(1)): label-test-free queries in this fragment are
+// always satisfiable.
+#ifndef XPATHSAT_SAT_NODTD_SAT_H_
+#define XPATHSAT_SAT_NODTD_SAT_H_
+
+#include "src/sat/decision.h"
+#include "src/util/status.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// Decides satisfiability of p in X(↓,↓*,∪,[]) (label tests allowed; no
+/// negation, data values, upward or sibling axes) with no DTD constraint.
+/// Produces a witness tree on kSat.
+Result<SatDecision> NoDtdSat(const PathExpr& p);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_SAT_NODTD_SAT_H_

@@ -1,0 +1,278 @@
+#include "src/sat/reach_sat.h"
+
+#include <functional>
+#include <map>
+
+#include "src/xml/generator.h"
+#include "src/xpath/evaluator.h"
+
+namespace xpathsat {
+
+namespace {
+
+// True iff p lies in X(↓,↓*,∪).
+bool InFragment(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kEmpty:
+    case PathKind::kLabel:
+    case PathKind::kChildAny:
+    case PathKind::kDescOrSelf:
+      return true;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+      return InFragment(*p.lhs) && InFragment(*p.rhs);
+    default:
+      return false;
+  }
+}
+
+// Does L(re) contain a word with an occurrence of `target` in which every
+// symbol is terminating?
+bool HasWordContaining(const Regex& re, const std::string& target,
+                       const std::set<std::string>& term) {
+  std::function<bool(const Regex&)> usable = [&](const Regex& r) -> bool {
+    switch (r.kind()) {
+      case Regex::Kind::kEpsilon:
+        return true;
+      case Regex::Kind::kSymbol:
+        return term.count(r.symbol()) > 0;
+      case Regex::Kind::kConcat: {
+        for (const Regex& c : r.children()) {
+          if (!usable(c)) return false;
+        }
+        return true;
+      }
+      case Regex::Kind::kUnion: {
+        for (const Regex& c : r.children()) {
+          if (usable(c)) return true;
+        }
+        return false;
+      }
+      case Regex::Kind::kStar:
+        return true;
+    }
+    return false;
+  };
+  std::function<bool(const Regex&)> with = [&](const Regex& r) -> bool {
+    switch (r.kind()) {
+      case Regex::Kind::kEpsilon:
+        return false;
+      case Regex::Kind::kSymbol:
+        return r.symbol() == target && term.count(target) > 0;
+      case Regex::Kind::kConcat: {
+        for (size_t i = 0; i < r.children().size(); ++i) {
+          if (!with(r.children()[i])) continue;
+          bool rest_ok = true;
+          for (size_t j = 0; j < r.children().size(); ++j) {
+            if (j != i && !usable(r.children()[j])) {
+              rest_ok = false;
+              break;
+            }
+          }
+          if (rest_ok) return true;
+        }
+        return false;
+      }
+      case Regex::Kind::kUnion: {
+        for (const Regex& c : r.children()) {
+          if (with(c)) return true;
+        }
+        return false;
+      }
+      case Regex::Kind::kStar:
+        return with(r.children()[0]);
+    }
+    return false;
+  };
+  return with(re);
+}
+
+using ReachTable = std::map<const PathExpr*, std::map<std::string, std::set<std::string>>>;
+
+class ReachSolver {
+ public:
+  ReachSolver(const PathExpr& p, const Dtd& dtd) : p_(p), dtd_(dtd) {
+    term_ = dtd.TerminatingTypes();
+    // DTD-graph edges restricted to realizable children.
+    for (const auto& t : dtd.types()) {
+      if (!term_.count(t.name)) continue;
+      std::set<std::string> syms;
+      t.content.CollectSymbols(&syms);
+      for (const auto& b : syms) {
+        if (HasWordContaining(t.content, b, term_)) edges_[t.name].insert(b);
+      }
+    }
+    // Reflexive-transitive closure for ↓*.
+    for (const auto& t : dtd.types()) {
+      if (!term_.count(t.name)) continue;
+      std::set<std::string>& r = closure_[t.name];
+      r.insert(t.name);
+      std::vector<std::string> stack = {t.name};
+      while (!stack.empty()) {
+        std::string cur = stack.back();
+        stack.pop_back();
+        for (const auto& b : edges_[cur]) {
+          if (r.insert(b).second) stack.push_back(b);
+        }
+      }
+    }
+  }
+
+  SatDecision Solve() {
+    if (!term_.count(dtd_.root())) {
+      return SatDecision::Unsat("root element type is nonterminating");
+    }
+    const std::set<std::string>& res = Reach(&p_, dtd_.root());
+    if (res.empty()) return SatDecision::Unsat("reach(p, r) is empty");
+    // Build Tree(p, D): realize a path to some B in reach(p, r).
+    const std::string& target = *res.begin();
+    std::vector<std::string> chain;
+    BuildPath(&p_, dtd_.root(), target, &chain);
+    XmlTree tree = RealizeChain(chain);
+    return SatDecision::Sat(std::move(tree), "Thm 4.1 reach DP");
+  }
+
+ private:
+  const std::set<std::string>& Reach(const PathExpr* p, const std::string& a) {
+    auto& per_type = table_[p];
+    auto it = per_type.find(a);
+    if (it != per_type.end()) return it->second;
+    std::set<std::string> r;
+    switch (p->kind) {
+      case PathKind::kEmpty:
+        r = {a};
+        break;
+      case PathKind::kLabel:
+        if (edges_[a].count(p->label)) r = {p->label};
+        break;
+      case PathKind::kChildAny:
+        r = edges_[a];
+        break;
+      case PathKind::kDescOrSelf:
+        r = closure_[a];
+        break;
+      case PathKind::kUnion: {
+        r = Reach(p->lhs.get(), a);
+        const auto& r2 = Reach(p->rhs.get(), a);
+        r.insert(r2.begin(), r2.end());
+        break;
+      }
+      case PathKind::kSeq: {
+        for (const auto& b : Reach(p->lhs.get(), a)) {
+          const auto& r2 = Reach(p->rhs.get(), b);
+          r.insert(r2.begin(), r2.end());
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return per_type[a] = std::move(r);
+  }
+
+  // path(p, A, B) of the Thm 4.1 proof: labels of a chain from A to B.
+  void BuildPath(const PathExpr* p, const std::string& a, const std::string& b,
+                 std::vector<std::string>* out) {
+    switch (p->kind) {
+      case PathKind::kEmpty:
+        return;  // a == b
+      case PathKind::kLabel:
+      case PathKind::kChildAny:
+        out->push_back(b);
+        return;
+      case PathKind::kDescOrSelf: {
+        // Shortest DTD-graph path from a to b (possibly empty when a == b).
+        if (a == b) return;
+        std::map<std::string, std::string> pred;
+        std::vector<std::string> queue = {a};
+        pred[a] = a;
+        for (size_t i = 0; i < queue.size(); ++i) {
+          std::string cur = queue[i];
+          if (cur == b) break;
+          for (const auto& c : edges_[cur]) {
+            if (!pred.count(c)) {
+              pred[c] = cur;
+              queue.push_back(c);
+            }
+          }
+        }
+        std::vector<std::string> rev;
+        for (std::string cur = b; cur != a; cur = pred[cur]) rev.push_back(cur);
+        out->insert(out->end(), rev.rbegin(), rev.rend());
+        return;
+      }
+      case PathKind::kUnion: {
+        if (Reach(p->lhs.get(), a).count(b)) {
+          BuildPath(p->lhs.get(), a, b, out);
+        } else {
+          BuildPath(p->rhs.get(), a, b, out);
+        }
+        return;
+      }
+      case PathKind::kSeq: {
+        for (const auto& c : Reach(p->lhs.get(), a)) {
+          if (Reach(p->rhs.get(), c).count(b)) {
+            BuildPath(p->lhs.get(), a, c, out);
+            BuildPath(p->rhs.get(), c, b, out);
+            return;
+          }
+        }
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  // Realizes the chain below the root and completes to a conforming tree.
+  XmlTree RealizeChain(const std::vector<std::string>& chain) {
+    auto sizes = MinimalExpansionSizes(dtd_);
+    XmlTree tree;
+    NodeId cur = tree.CreateRoot(dtd_.root());
+    std::vector<NodeId> pending;  // nodes needing minimal expansion
+    for (const auto& next : chain) {
+      for (const auto& a : dtd_.Attrs(tree.label(cur))) {
+        tree.SetAttr(cur, a, "0");
+      }
+      std::vector<std::string> word;
+      int tpos = 0;
+      if (!MinimalWordContaining(dtd_.Production(tree.label(cur)), next, sizes,
+                                 &word, &tpos)) {
+        break;  // unreachable by construction; keep the tree well formed
+      }
+      NodeId next_node = kNullNode;
+      for (size_t i = 0; i < word.size(); ++i) {
+        NodeId c = tree.AddChild(cur, word[i]);
+        if (static_cast<int>(i) == tpos) {
+          next_node = c;
+        } else {
+          pending.push_back(c);
+        }
+      }
+      cur = next_node;
+    }
+    pending.push_back(cur);
+    for (NodeId n : pending) ExpandMinimally(dtd_, &tree, n);
+    return tree;
+  }
+
+  const PathExpr& p_;
+  const Dtd& dtd_;
+  std::set<std::string> term_;
+  std::map<std::string, std::set<std::string>> edges_;
+  std::map<std::string, std::set<std::string>> closure_;
+  ReachTable table_;
+};
+
+}  // namespace
+
+Result<SatDecision> ReachSat(const PathExpr& p, const Dtd& dtd) {
+  if (!InFragment(p)) {
+    return Result<SatDecision>::Error(
+        "query outside X(down,ds,union): qualifiers/upward/sibling axes not "
+        "supported by the Thm 4.1 procedure");
+  }
+  return ReachSolver(p, dtd).Solve();
+}
+
+}  // namespace xpathsat

@@ -1,0 +1,25 @@
+// SAT(X(↓,↓*,∪)) in PTIME — the reach(p',A) dynamic program of Theorem 4.1,
+// including the witness-tree construction Tree(p, D).
+//
+// Works directly on arbitrary DTDs: the DTD-graph edge (A,B) is present iff
+// some word of L(P(A)) contains B with every symbol terminating, which is the
+// exact condition for B to appear as a child of an A element in a conforming
+// tree.
+#ifndef XPATHSAT_SAT_REACH_SAT_H_
+#define XPATHSAT_SAT_REACH_SAT_H_
+
+#include "src/sat/decision.h"
+#include "src/util/status.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// Decides satisfiability of (p, dtd) for p in X(↓,↓*,∪) (no qualifiers, no
+/// data values, no upward or sibling axes). O(|p| · |D|²) after edge setup.
+/// Returns an error if p is outside the fragment. Produces a witness tree on
+/// kSat.
+Result<SatDecision> ReachSat(const PathExpr& p, const Dtd& dtd);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_SAT_REACH_SAT_H_

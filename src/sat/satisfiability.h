@@ -1,0 +1,60 @@
+// The public entry point: detects the query's fragment and the DTD class and
+// dispatches to the best decision procedure, reproducing the complexity
+// landscape of the paper (Sec. 8 summary):
+//
+//   X(↓,↓*,∪)                                 -> Thm 4.1 reach DP (PTIME)
+//   X(→,←) chains                             -> Thm 7.1 NFA chains (PTIME)
+//   X(↓,↓*,∪,[]) + disjunction-free DTD       -> Thm 6.8(1) DP (PTIME)
+//   X(↓,↑) + disjunction-free DTD             -> Thm 6.8(2) rewrite (PTIME)
+//   positive fragments                        -> Thm 4.4 skeletons (NP)
+//   negation fragments                        -> bounded-model search with
+//     bounds from Thm 5.5 / Cor 6.2 (PSPACE..NEXPTIME regimes; kUnknown when
+//     no small-model bound applies and caps are hit — the general
+//     data+negation+recursion fragment is undecidable, Thm 5.4)
+//
+// The absence-of-DTD variants dispatch to Thm 6.11 procedures or reduce via
+// the universal DTDs of Prop 3.1.
+#ifndef XPATHSAT_SAT_SATISFIABILITY_H_
+#define XPATHSAT_SAT_SATISFIABILITY_H_
+
+#include <string>
+
+#include "src/sat/bounded_model.h"
+#include "src/sat/decision.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// Outcome of the facade: the decision plus which algorithm ran.
+struct SatReport {
+  SatDecision decision;
+  std::string algorithm;
+  bool sat() const { return decision.sat(); }
+  bool unsat() const { return decision.unsat(); }
+};
+
+/// Resource caps for the fallback procedures. The defaults allow deeper
+/// trees than raw BoundedModelOptions so that the justified small-model
+/// bounds of nonrecursive instances are met (completeness); DeriveBounds
+/// shrinks them per instance.
+struct SatOptions {
+  BoundedModelOptions bounded_caps = [] {
+    BoundedModelOptions b;
+    b.max_depth = 24;
+    b.max_nodes = 400;
+    b.max_star = 12;  // DeriveBounds shrinks to the justified witness count
+    return b;
+  }();
+};
+
+/// SAT(X): is there a tree T with T |= D and T |= p?
+SatReport DecideSatisfiability(const PathExpr& p, const Dtd& dtd,
+                               const SatOptions& options = {});
+
+/// Satisfiability in the absence of DTDs (Sec. 6.4).
+SatReport DecideSatisfiabilityNoDtd(const PathExpr& p,
+                                    const SatOptions& options = {});
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_SAT_SATISFIABILITY_H_

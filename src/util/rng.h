@@ -1,0 +1,41 @@
+// Deterministic, seedable RNG used by generators and property tests so that
+// every randomized test and benchmark is reproducible.
+#ifndef XPATHSAT_UTIL_RNG_H_
+#define XPATHSAT_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace xpathsat {
+
+/// SplitMix64-based deterministic RNG. Not cryptographic; stable across
+/// platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int IntIn(int lo, int hi) {
+    return lo + static_cast<int>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli(p) with p expressed in percent.
+  bool Percent(int p) { return static_cast<int>(Below(100)) < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_UTIL_RNG_H_

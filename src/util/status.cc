@@ -1,0 +1,4 @@
+#include "src/util/status.h"
+
+// Status/Result are header-only; this translation unit anchors the target.
+namespace xpathsat {}

@@ -1,0 +1,67 @@
+// Lightweight Status / Result<T> error handling (Arrow/RocksDB idiom).
+// The library does not use exceptions; fallible public APIs return Status or
+// Result<T>.
+#ifndef XPATHSAT_UTIL_STATUS_H_
+#define XPATHSAT_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace xpathsat {
+
+/// Outcome of a fallible operation that produces no value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a failed status carrying a human-readable message.
+  static Status Error(std::string message) { return Status(std::move(message)); }
+  /// Constructs an OK status.
+  static Status Ok() { return Status(); }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return !message_.has_value(); }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+/// Outcome of a fallible operation producing a T on success.
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Failure. The error message must be nonempty.
+  static Result<T> Error(std::string message) {
+    Result<T> r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+  /// The value; must only be called when ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+  /// The error message; empty when ok().
+  const std::string& error() const { return error_; }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_UTIL_STATUS_H_

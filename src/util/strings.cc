@@ -1,0 +1,23 @@
+#include "src/util/strings.h"
+
+namespace xpathsat {
+
+std::string Join(const std::vector<std::string>& items, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string NumberedName(const std::string& base, int i) {
+  if (i <= 1) return base;
+  return base + std::to_string(i);
+}
+
+}  // namespace xpathsat

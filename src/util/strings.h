@@ -1,0 +1,21 @@
+// Small string helpers shared across modules.
+#ifndef XPATHSAT_UTIL_STRINGS_H_
+#define XPATHSAT_UTIL_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace xpathsat {
+
+/// Joins the items with the given separator.
+std::string Join(const std::vector<std::string>& items, const std::string& sep);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// "A", "A2", "A3", ... — name with a numeric suffix for i >= 2.
+std::string NumberedName(const std::string& base, int i);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_UTIL_STRINGS_H_

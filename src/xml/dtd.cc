@@ -1,0 +1,305 @@
+#include "src/xml/dtd.h"
+
+#include <functional>
+
+#include "src/automata/nfa.h"
+
+namespace xpathsat {
+
+int Dtd::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+int Dtd::EnsureType(const std::string& name) {
+  int i = IndexOf(name);
+  if (i >= 0) return i;
+  ElementType t;
+  t.name = name;
+  types_.push_back(std::move(t));
+  i = static_cast<int>(types_.size()) - 1;
+  index_[name] = i;
+  if (root_.empty()) root_ = name;
+  return i;
+}
+
+void Dtd::SetProduction(const std::string& name, Regex content) {
+  types_[EnsureType(name)].content = std::move(content);
+  // Referenced child types become declared types with default eps content.
+  std::set<std::string> syms;
+  types_[IndexOf(name)].content.CollectSymbols(&syms);
+  for (const auto& s : syms) EnsureType(s);
+}
+
+void Dtd::AddAttr(const std::string& name, const std::string& attr) {
+  ElementType& t = types_[EnsureType(name)];
+  for (const auto& a : t.attrs) {
+    if (a == attr) return;
+  }
+  t.attrs.push_back(attr);
+}
+
+void Dtd::SetRoot(const std::string& name) {
+  EnsureType(name);
+  root_ = name;
+}
+
+bool Dtd::HasType(const std::string& name) const { return IndexOf(name) >= 0; }
+
+const Regex& Dtd::Production(const std::string& name) const {
+  return types_[IndexOf(name)].content;
+}
+
+const std::vector<std::string>& Dtd::Attrs(const std::string& name) const {
+  static const std::vector<std::string> kEmpty;
+  int i = IndexOf(name);
+  return i < 0 ? kEmpty : types_[i].attrs;
+}
+
+std::vector<std::string> Dtd::TypeNames() const {
+  std::vector<std::string> names;
+  names.reserve(types_.size());
+  for (const auto& t : types_) names.push_back(t.name);
+  return names;
+}
+
+int Dtd::Size() const {
+  int n = 0;
+  for (const auto& t : types_) n += 1 + t.content.Size();
+  return n;
+}
+
+std::set<std::string> Dtd::TerminatingTypes() const {
+  // Fixpoint: A is terminating iff some word in L(P(A)) uses only terminating
+  // types. "Some word uses only types in S" is decidable by restricting the
+  // regex to S and testing language non-emptiness (every regex here denotes a
+  // nonempty language over its symbols, so we test whether a word over S
+  // exists).
+  std::set<std::string> term;
+  std::function<bool(const Regex&, const std::set<std::string>&)> has_word =
+      [&](const Regex& re, const std::set<std::string>& allowed) -> bool {
+    switch (re.kind()) {
+      case Regex::Kind::kEpsilon:
+        return true;
+      case Regex::Kind::kSymbol:
+        return allowed.count(re.symbol()) > 0;
+      case Regex::Kind::kConcat: {
+        for (const Regex& c : re.children()) {
+          if (!has_word(c, allowed)) return false;
+        }
+        return true;
+      }
+      case Regex::Kind::kUnion: {
+        for (const Regex& c : re.children()) {
+          if (has_word(c, allowed)) return true;
+        }
+        return false;
+      }
+      case Regex::Kind::kStar:
+        return true;  // ε is always available
+    }
+    return false;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& t : types_) {
+      if (term.count(t.name)) continue;
+      if (has_word(t.content, term)) {
+        term.insert(t.name);
+        changed = true;
+      }
+    }
+  }
+  return term;
+}
+
+bool Dtd::AllTypesTerminating() const {
+  return TerminatingTypes().size() == types_.size();
+}
+
+std::map<std::string, std::set<std::string>> Dtd::ChildMap() const {
+  std::map<std::string, std::set<std::string>> m;
+  for (const auto& t : types_) {
+    std::set<std::string> syms;
+    t.content.CollectSymbols(&syms);
+    m[t.name] = std::move(syms);
+  }
+  return m;
+}
+
+std::set<std::string> Dtd::ReachableFrom(const std::string& from) const {
+  auto cm = ChildMap();
+  std::set<std::string> seen;
+  std::vector<std::string> stack;
+  for (const auto& c : cm[from]) {
+    if (seen.insert(c).second) stack.push_back(c);
+  }
+  while (!stack.empty()) {
+    std::string cur = stack.back();
+    stack.pop_back();
+    for (const auto& c : cm[cur]) {
+      if (seen.insert(c).second) stack.push_back(c);
+    }
+  }
+  return seen;
+}
+
+bool Dtd::IsRecursive() const {
+  for (const auto& t : types_) {
+    auto reach = ReachableFrom(t.name);
+    if (reach.count(t.name)) return true;
+  }
+  return false;
+}
+
+bool Dtd::IsDisjunctionFree() const {
+  for (const auto& t : types_) {
+    if (t.content.ContainsDisjunction()) return false;
+  }
+  return true;
+}
+
+bool Dtd::HasStar() const {
+  for (const auto& t : types_) {
+    if (t.content.ContainsStar()) return true;
+  }
+  return false;
+}
+
+bool Dtd::IsNormalized() const {
+  for (const auto& t : types_) {
+    const Regex& re = t.content;
+    switch (re.kind()) {
+      case Regex::Kind::kEpsilon:
+        break;
+      case Regex::Kind::kSymbol:
+        break;  // B1,...,Bn with n = 1
+      case Regex::Kind::kStar:
+        if (re.children()[0].kind() != Regex::Kind::kSymbol) return false;
+        break;
+      case Regex::Kind::kConcat:
+      case Regex::Kind::kUnion: {
+        for (const Regex& c : re.children()) {
+          if (c.kind() != Regex::Kind::kSymbol) return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+Status Dtd::Validate(const XmlTree& tree) const {
+  if (tree.empty()) return Status::Error("empty tree");
+  if (tree.label(tree.root()) != root_) {
+    return Status::Error("root label '" + tree.label(tree.root()) +
+                         "' differs from root type '" + root_ + "'");
+  }
+  // Cache one Glushkov automaton per element type.
+  std::map<std::string, Nfa> nfas;
+  for (const auto& t : types_) nfas[t.name] = BuildGlushkov(t.content);
+
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    const std::string& label = tree.label(id);
+    int ti = IndexOf(label);
+    if (ti < 0) {
+      return Status::Error("undeclared element type '" + label + "'");
+    }
+    std::vector<std::string> word;
+    for (NodeId c : tree.children(id)) word.push_back(tree.label(c));
+    if (!nfas[label].Matches(word)) {
+      return Status::Error("children of a '" + label +
+                           "' element do not match its content model");
+    }
+    // Attribute sets must be exactly R(A), each with a value.
+    const auto& declared = types_[ti].attrs;
+    for (const auto& a : declared) {
+      if (tree.GetAttr(id, a) == nullptr) {
+        return Status::Error("element '" + label + "' misses attribute '" + a +
+                             "'");
+      }
+    }
+    if (tree.node(id).attrs.size() != declared.size()) {
+      return Status::Error("element '" + label + "' carries an undeclared attribute");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Dtd> Dtd::Parse(const std::string& text) {
+  Dtd d;
+  bool root_set = false;
+  size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++lineno;
+    // Trim.
+    size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    size_t e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    if (line.empty() || line[0] == '#') continue;
+
+    auto err = [&](const std::string& msg) {
+      return Result<Dtd>::Error("line " + std::to_string(lineno) + ": " + msg);
+    };
+
+    if (line.rfind("root ", 0) == 0) {
+      d.SetRoot(line.substr(5));
+      root_set = true;
+      continue;
+    }
+    if (line.rfind("attrs ", 0) == 0) {
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) return err("missing ':' in attrs line");
+      std::string name = line.substr(6, colon - 6);
+      size_t nb = name.find_last_not_of(" \t");
+      name = name.substr(0, nb + 1);
+      std::string rest = line.substr(colon + 1);
+      size_t i = 0;
+      while (i < rest.size()) {
+        while (i < rest.size() && std::isspace(static_cast<unsigned char>(rest[i]))) ++i;
+        size_t j = i;
+        while (j < rest.size() && !std::isspace(static_cast<unsigned char>(rest[j]))) ++j;
+        if (j > i) d.AddAttr(name, rest.substr(i, j - i));
+        i = j;
+      }
+      continue;
+    }
+    size_t arrow = line.find("->");
+    if (arrow == std::string::npos) return err("expected 'NAME -> regex'");
+    std::string name = line.substr(0, arrow);
+    size_t nb = name.find_last_not_of(" \t");
+    if (nb == std::string::npos) return err("empty type name");
+    name = name.substr(0, nb + 1);
+    Result<Regex> re = Regex::Parse(line.substr(arrow + 2));
+    if (!re.ok()) return err(re.error());
+    if (!root_set && d.types_.empty()) {
+      d.SetRoot(name);
+      root_set = true;
+    }
+    d.SetProduction(name, std::move(re).value());
+  }
+  if (d.types_.empty()) return Result<Dtd>::Error("no productions");
+  return d;
+}
+
+std::string Dtd::ToString() const {
+  std::string out = "root " + root_ + "\n";
+  for (const auto& t : types_) {
+    out += t.name + " -> " + t.content.ToString() + "\n";
+    if (!t.attrs.empty()) {
+      out += "attrs " + t.name + ":";
+      for (const auto& a : t.attrs) out += " " + a;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace xpathsat

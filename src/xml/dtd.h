@@ -1,0 +1,99 @@
+// DTDs in the paper's representation D = (Ele, Att, P, R, r) (Sec. 2.1), with
+// the structural analyses the algorithms depend on: terminating element types,
+// recursion, disjunction-freeness, star-freeness, normal form, DTD graphs, and
+// conformance checking of XML trees.
+#ifndef XPATHSAT_XML_DTD_H_
+#define XPATHSAT_XML_DTD_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/xml/regex.h"
+#include "src/xml/tree.h"
+
+namespace xpathsat {
+
+/// One element type: its name, content model P(A) and attribute set R(A).
+struct ElementType {
+  std::string name;
+  Regex content = Regex::Epsilon();
+  std::vector<std::string> attrs;
+};
+
+/// A DTD D = (Ele, Att, P, R, r).
+class Dtd {
+ public:
+  Dtd() = default;
+
+  /// Adds (or replaces) the production `name -> content`.
+  void SetProduction(const std::string& name, Regex content);
+  /// Declares attribute `attr` on element type `name` (adds the type if new).
+  void AddAttr(const std::string& name, const std::string& attr);
+  /// Sets the root element type (adds the type if new).
+  void SetRoot(const std::string& name);
+
+  /// True iff `name` is a declared element type.
+  bool HasType(const std::string& name) const;
+  /// Content model of `name`; type must exist.
+  const Regex& Production(const std::string& name) const;
+  /// Attribute set R(name); empty for unknown types.
+  const std::vector<std::string>& Attrs(const std::string& name) const;
+  /// All element types, in declaration order.
+  const std::vector<ElementType>& types() const { return types_; }
+  /// Names of all element types in declaration order.
+  std::vector<std::string> TypeNames() const;
+  /// The root element type name.
+  const std::string& root() const { return root_; }
+  /// |D|: number of types plus total content-model sizes.
+  int Size() const;
+
+  /// Element types with a finite tree expansion (Sec. 2.1). Computed by the
+  /// linear-time fixpoint corresponding to CFG emptiness.
+  std::set<std::string> TerminatingTypes() const;
+  /// True iff every declared type is terminating.
+  bool AllTypesTerminating() const;
+  /// True iff the dependency graph of D has a cycle (Sec. 2.1).
+  bool IsRecursive() const;
+  /// True iff no production contains disjunction '+'.
+  bool IsDisjunctionFree() const;
+  /// True iff no production contains a Kleene star.
+  bool HasStar() const;
+  /// True iff every production has the normal form
+  /// eps | B1,...,Bn | B1+...+Bn | B* (Sec. 2.1).
+  bool IsNormalized() const;
+
+  /// DTD-graph adjacency: child types mentioned in P(A), per type A.
+  std::map<std::string, std::set<std::string>> ChildMap() const;
+  /// Types reachable from `from` in the DTD graph (excluding `from` unless on
+  /// a cycle).
+  std::set<std::string> ReachableFrom(const std::string& from) const;
+
+  /// Conformance check T |= D: root label, declared labels, children words in
+  /// the content-model languages, attribute sets exactly R(A).
+  Status Validate(const XmlTree& tree) const;
+
+  /// Parses the textual format:
+  ///   root NAME
+  ///   NAME -> regex
+  ///   attrs NAME: a b c
+  /// Lines starting with '#' are comments. The first production's left-hand
+  /// side is the root if no `root` line is given.
+  static Result<Dtd> Parse(const std::string& text);
+  /// Textual form in the format accepted by Parse.
+  std::string ToString() const;
+
+ private:
+  int IndexOf(const std::string& name) const;
+  int EnsureType(const std::string& name);
+
+  std::vector<ElementType> types_;
+  std::map<std::string, int> index_;
+  std::string root_;
+};
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_XML_DTD_H_

@@ -1,0 +1,315 @@
+#include "src/xml/generator.h"
+
+#include <functional>
+#include <limits>
+
+namespace xpathsat {
+
+namespace {
+constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
+
+// Minimal total symbol cost of any word in L(re); kInf if none avoids
+// unusable symbols.
+long long MinWordCost(const Regex& re,
+                      const std::map<std::string, long long>& cost) {
+  switch (re.kind()) {
+    case Regex::Kind::kEpsilon:
+      return 0;
+    case Regex::Kind::kSymbol: {
+      auto it = cost.find(re.symbol());
+      return it == cost.end() ? kInf : it->second;
+    }
+    case Regex::Kind::kConcat: {
+      long long sum = 0;
+      for (const Regex& c : re.children()) {
+        long long x = MinWordCost(c, cost);
+        if (x >= kInf) return kInf;
+        sum += x;
+      }
+      return sum;
+    }
+    case Regex::Kind::kUnion: {
+      long long best = kInf;
+      for (const Regex& c : re.children()) {
+        long long x = MinWordCost(c, cost);
+        if (x < best) best = x;
+      }
+      return best;
+    }
+    case Regex::Kind::kStar:
+      return 0;
+  }
+  return kInf;
+}
+
+}  // namespace
+
+std::map<std::string, long long> MinimalExpansionSizes(const Dtd& dtd) {
+  std::map<std::string, long long> size;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& t : dtd.types()) {
+      long long w = MinWordCost(t.content, size);
+      if (w >= kInf) continue;
+      long long total = 1 + w;
+      auto it = size.find(t.name);
+      if (it == size.end() || total < it->second) {
+        size[t.name] = total;
+        changed = true;
+      }
+    }
+  }
+  return size;
+}
+
+bool MinimalWord(const Regex& re, const std::map<std::string, long long>& cost,
+                 std::vector<std::string>* out) {
+  switch (re.kind()) {
+    case Regex::Kind::kEpsilon:
+      return true;
+    case Regex::Kind::kSymbol: {
+      if (!cost.count(re.symbol())) return false;
+      out->push_back(re.symbol());
+      return true;
+    }
+    case Regex::Kind::kConcat: {
+      for (const Regex& c : re.children()) {
+        if (!MinimalWord(c, cost, out)) return false;
+      }
+      return true;
+    }
+    case Regex::Kind::kUnion: {
+      long long best = kInf;
+      const Regex* arg = nullptr;
+      for (const Regex& c : re.children()) {
+        long long x = MinWordCost(c, cost);
+        if (x < best) {
+          best = x;
+          arg = &c;
+        }
+      }
+      if (arg == nullptr || best >= kInf) return false;
+      return MinimalWord(*arg, cost, out);
+    }
+    case Regex::Kind::kStar:
+      return true;  // zero repetitions
+  }
+  return false;
+}
+
+long long MinWordCostContaining(const Regex& re, const std::string& target,
+                                const std::map<std::string, long long>& cost) {
+  switch (re.kind()) {
+    case Regex::Kind::kEpsilon:
+      return kInfWordCost;
+    case Regex::Kind::kSymbol: {
+      if (re.symbol() != target) return kInfWordCost;
+      auto it = cost.find(target);
+      return it == cost.end() ? kInfWordCost : it->second;
+    }
+    case Regex::Kind::kConcat: {
+      // Choose the part that carries the target; the rest are minimal.
+      long long best = kInfWordCost;
+      const auto& cs = re.children();
+      std::vector<long long> without(cs.size());
+      long long total_without = 0;
+      for (size_t i = 0; i < cs.size(); ++i) {
+        without[i] = MinWordCost(cs[i], cost);
+        if (without[i] >= kInf) return kInfWordCost;
+        total_without += without[i];
+      }
+      for (size_t i = 0; i < cs.size(); ++i) {
+        long long with_i = MinWordCostContaining(cs[i], target, cost);
+        if (with_i >= kInfWordCost) continue;
+        best = std::min(best, total_without - without[i] + with_i);
+      }
+      return best;
+    }
+    case Regex::Kind::kUnion: {
+      long long best = kInfWordCost;
+      for (const Regex& c : re.children()) {
+        best = std::min(best, MinWordCostContaining(c, target, cost));
+      }
+      return best;
+    }
+    case Regex::Kind::kStar:
+      // One repetition carries the target; all others are empty.
+      return MinWordCostContaining(re.children()[0], target, cost);
+  }
+  return kInfWordCost;
+}
+
+bool MinimalWordContaining(const Regex& re, const std::string& target,
+                           const std::map<std::string, long long>& cost,
+                           std::vector<std::string>* out, int* target_index) {
+  switch (re.kind()) {
+    case Regex::Kind::kEpsilon:
+      return false;
+    case Regex::Kind::kSymbol: {
+      if (re.symbol() != target || !cost.count(target)) return false;
+      *target_index = static_cast<int>(out->size());
+      out->push_back(target);
+      return true;
+    }
+    case Regex::Kind::kConcat: {
+      const auto& cs = re.children();
+      long long best = kInfWordCost;
+      size_t arg = cs.size();
+      std::vector<long long> without(cs.size());
+      long long total_without = 0;
+      for (size_t i = 0; i < cs.size(); ++i) {
+        without[i] = MinWordCost(cs[i], cost);
+        if (without[i] >= kInf) return false;
+        total_without += without[i];
+      }
+      for (size_t i = 0; i < cs.size(); ++i) {
+        long long with_i = MinWordCostContaining(cs[i], target, cost);
+        if (with_i >= kInfWordCost) continue;
+        long long total = total_without - without[i] + with_i;
+        if (total < best) {
+          best = total;
+          arg = i;
+        }
+      }
+      if (arg == cs.size()) return false;
+      for (size_t i = 0; i < cs.size(); ++i) {
+        if (i == arg) {
+          if (!MinimalWordContaining(cs[i], target, cost, out, target_index)) {
+            return false;
+          }
+        } else {
+          if (!MinimalWord(cs[i], cost, out)) return false;
+        }
+      }
+      return true;
+    }
+    case Regex::Kind::kUnion: {
+      long long best = kInfWordCost;
+      const Regex* arg = nullptr;
+      for (const Regex& c : re.children()) {
+        long long x = MinWordCostContaining(c, target, cost);
+        if (x < best) {
+          best = x;
+          arg = &c;
+        }
+      }
+      if (arg == nullptr) return false;
+      return MinimalWordContaining(*arg, target, cost, out, target_index);
+    }
+    case Regex::Kind::kStar:
+      return MinimalWordContaining(re.children()[0], target, cost, out,
+                                   target_index);
+  }
+  return false;
+}
+
+void ExpandMinimally(const Dtd& dtd, XmlTree* tree, NodeId node) {
+  auto sizes = MinimalExpansionSizes(dtd);
+  std::function<void(NodeId)> expand = [&](NodeId id) {
+    const std::string& label = tree->label(id);
+    for (const auto& a : dtd.Attrs(label)) tree->SetAttr(id, a, "0");
+    std::vector<std::string> word;
+    MinimalWord(dtd.Production(label), sizes, &word);
+    for (const auto& sym : word) {
+      NodeId c = tree->AddChild(id, sym);
+      expand(c);
+    }
+  };
+  expand(node);
+}
+
+XmlTree GenerateMinimalTree(const Dtd& dtd) {
+  XmlTree tree;
+  tree.CreateRoot(dtd.root());
+  ExpandMinimally(dtd, &tree, tree.root());
+  return tree;
+}
+
+namespace {
+
+// Chooses a pseudo-random word of L(re), keeping the projected subtree cost
+// within `budget` (falls back to minimal choices when the budget is tight).
+void RandomWord(const Regex& re, const std::map<std::string, long long>& sizes,
+                Rng* rng, long long* budget, int star_cap,
+                std::vector<std::string>* out) {
+  switch (re.kind()) {
+    case Regex::Kind::kEpsilon:
+      return;
+    case Regex::Kind::kSymbol: {
+      out->push_back(re.symbol());
+      auto it = sizes.find(re.symbol());
+      *budget -= (it == sizes.end() ? 1 : it->second);
+      return;
+    }
+    case Regex::Kind::kConcat: {
+      for (const Regex& c : re.children()) {
+        RandomWord(c, sizes, rng, budget, star_cap, out);
+      }
+      return;
+    }
+    case Regex::Kind::kUnion: {
+      // Pick uniformly among affordable branches; fall back to cheapest.
+      std::vector<const Regex*> affordable;
+      long long best = kInf;
+      const Regex* cheapest = nullptr;
+      for (const Regex& c : re.children()) {
+        long long x = MinWordCost(c, sizes);
+        if (x < best) {
+          best = x;
+          cheapest = &c;
+        }
+        if (x < kInf && x <= *budget) affordable.push_back(&c);
+      }
+      const Regex* pick =
+          affordable.empty()
+              ? cheapest
+              : affordable[rng->Below(affordable.size())];
+      if (pick != nullptr) RandomWord(*pick, sizes, rng, budget, star_cap, out);
+      return;
+    }
+    case Regex::Kind::kStar: {
+      const Regex& inner = re.children()[0];
+      long long unit = MinWordCost(inner, sizes);
+      if (unit >= kInf) return;
+      int k = rng->IntIn(0, star_cap);
+      for (int i = 0; i < k; ++i) {
+        if (unit > *budget) break;
+        RandomWord(inner, sizes, rng, budget, star_cap, out);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+XmlTree GenerateRandomTree(const Dtd& dtd, Rng* rng,
+                           const RandomTreeOptions& options) {
+  auto sizes = MinimalExpansionSizes(dtd);
+  XmlTree tree;
+  tree.CreateRoot(dtd.root());
+  long long budget = options.max_nodes;
+  // Iterative worklist so deep recursion cannot overflow on large budgets.
+  std::vector<NodeId> work = {tree.root()};
+  while (!work.empty()) {
+    NodeId id = work.back();
+    work.pop_back();
+    const std::string label = tree.label(id);
+    for (const auto& a : dtd.Attrs(label)) {
+      const auto& pool = options.attr_values;
+      tree.SetAttr(id, a, pool.empty() ? "0" : pool[rng->Below(pool.size())]);
+    }
+    std::vector<std::string> word;
+    if (budget > 0) {
+      RandomWord(dtd.Production(label), sizes, rng, &budget, options.star_cap,
+                 &word);
+    } else {
+      MinimalWord(dtd.Production(label), sizes, &word);
+    }
+    for (const auto& sym : word) work.push_back(tree.AddChild(id, sym));
+  }
+  return tree;
+}
+
+}  // namespace xpathsat

@@ -1,0 +1,65 @@
+// Tree generation from DTDs: minimal conforming trees (used to complete
+// partial witnesses, cf. the "expand the tree into a finite XML tree
+// conforming to D" step of Theorem 4.1) and randomized conforming trees (used
+// by property tests and benchmarks).
+#ifndef XPATHSAT_XML_GENERATOR_H_
+#define XPATHSAT_XML_GENERATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/xml/dtd.h"
+#include "src/xml/tree.h"
+
+namespace xpathsat {
+
+/// Per-type minimal conforming subtree sizes (node counts); nonterminating
+/// types are absent from the map.
+std::map<std::string, long long> MinimalExpansionSizes(const Dtd& dtd);
+
+/// Chooses a minimum-total-cost word in L(re), where the cost of a symbol is
+/// given by `cost` (symbols absent from `cost` are unusable). Returns false if
+/// no word avoids unusable symbols.
+bool MinimalWord(const Regex& re, const std::map<std::string, long long>& cost,
+                 std::vector<std::string>* out);
+
+/// Minimum total symbol cost of a word in L(re) containing `target` at least
+/// once; returns a value >= kInfWordCost when impossible.
+long long MinWordCostContaining(const Regex& re, const std::string& target,
+                                const std::map<std::string, long long>& cost);
+
+/// Sentinel cost for "no such word".
+inline constexpr long long kInfWordCost = (1LL << 60);
+
+/// Chooses a minimum-cost word of L(re) containing `target`, writing it to
+/// `out` and the index of the chosen target occurrence to `target_index`.
+/// Returns false when no such word exists.
+bool MinimalWordContaining(const Regex& re, const std::string& target,
+                           const std::map<std::string, long long>& cost,
+                           std::vector<std::string>* out, int* target_index);
+
+/// Builds the minimal conforming tree of `dtd` rooted at the root type.
+/// Requires the root type to be terminating.
+XmlTree GenerateMinimalTree(const Dtd& dtd);
+
+/// Expands node `node` (already labeled with a terminating type) with a
+/// minimal conforming subtree.
+void ExpandMinimally(const Dtd& dtd, XmlTree* tree, NodeId node);
+
+/// Options for randomized generation.
+struct RandomTreeOptions {
+  int max_nodes = 60;      ///< soft budget on the node count
+  int star_cap = 3;        ///< max repetitions chosen for any Kleene star
+  std::vector<std::string> attr_values = {"0", "1", "2"};  ///< value pool
+};
+
+/// Generates a pseudo-random tree conforming to `dtd` (requires all types
+/// reachable from the root to be terminating). Deterministic given `rng`.
+XmlTree GenerateRandomTree(const Dtd& dtd, Rng* rng,
+                           const RandomTreeOptions& options = {});
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_XML_GENERATOR_H_

@@ -1,0 +1,360 @@
+#include "src/xml/normalize.h"
+
+#include <functional>
+#include <map>
+#include <tuple>
+
+namespace xpathsat {
+
+namespace {
+
+// Fresh-name allocator avoiding collisions with existing type names.
+class FreshNames {
+ public:
+  explicit FreshNames(const Dtd& dtd) {
+    for (const auto& t : dtd.types()) used_.insert(t.name);
+  }
+  std::string Next(const std::string& hint) {
+    for (int i = counter_;; ++i) {
+      std::string name = "N" + std::to_string(i) + "_" + hint;
+      if (!used_.count(name)) {
+        used_.insert(name);
+        counter_ = i + 1;
+        return name;
+      }
+    }
+  }
+
+ private:
+  std::set<std::string> used_;
+  int counter_ = 0;
+};
+
+class Normalizer {
+ public:
+  explicit Normalizer(const Dtd& dtd) : dtd_(dtd), fresh_(dtd) {}
+
+  NormalizedDtd Run() {
+    NormalizedDtd out;
+    out.dtd.SetRoot(dtd_.root());
+    for (const auto& t : dtd_.types()) {
+      EmitProduction(t.name, t.content, &out);
+      for (const auto& a : t.attrs) out.dtd.AddAttr(t.name, a);
+    }
+    out.dtd.SetRoot(dtd_.root());
+    return out;
+  }
+
+ private:
+  // Returns the element type denoting subexpression `re`: the symbol itself
+  // when `re` is a symbol, otherwise a fresh type with its own production.
+  std::string TypeFor(const Regex& re, const std::string& hint,
+                      NormalizedDtd* out) {
+    if (re.kind() == Regex::Kind::kSymbol) return re.symbol();
+    std::string name = fresh_.Next(hint);
+    out->new_types.insert(name);
+    EmitProduction(name, re, out);
+    return name;
+  }
+
+  void EmitProduction(const std::string& name, const Regex& re,
+                      NormalizedDtd* out) {
+    switch (re.kind()) {
+      case Regex::Kind::kEpsilon:
+        out->dtd.SetProduction(name, Regex::Epsilon());
+        return;
+      case Regex::Kind::kSymbol:
+        out->dtd.SetProduction(name, re);
+        return;
+      case Regex::Kind::kConcat: {
+        std::vector<Regex> parts;
+        for (const Regex& c : re.children()) {
+          parts.push_back(Regex::Symbol(TypeFor(c, name, out)));
+        }
+        out->dtd.SetProduction(name, Regex::Concat(std::move(parts)));
+        return;
+      }
+      case Regex::Kind::kUnion: {
+        std::vector<Regex> parts;
+        for (const Regex& c : re.children()) {
+          if (c.kind() == Regex::Kind::kEpsilon) {
+            // ε member of a disjunction becomes a fresh empty element type.
+            std::string e = fresh_.Next(name + "_eps");
+            out->new_types.insert(e);
+            out->dtd.SetProduction(e, Regex::Epsilon());
+            parts.push_back(Regex::Symbol(e));
+          } else {
+            parts.push_back(Regex::Symbol(TypeFor(c, name, out)));
+          }
+        }
+        out->dtd.SetProduction(name, Regex::Union(std::move(parts)));
+        return;
+      }
+      case Regex::Kind::kStar: {
+        const Regex& inner = re.children()[0];
+        if (inner.kind() == Regex::Kind::kEpsilon) {
+          out->dtd.SetProduction(name, Regex::Epsilon());
+          return;
+        }
+        out->dtd.SetProduction(
+            name, Regex::Star(Regex::Symbol(TypeFor(inner, name, out))));
+        return;
+      }
+    }
+  }
+
+  const Dtd& dtd_;
+  FreshNames fresh_;
+};
+
+}  // namespace
+
+NormalizedDtd NormalizeDtd(const Dtd& dtd) { return Normalizer(dtd).Run(); }
+
+std::vector<std::vector<std::string>> NewTypeDescentChains(
+    const NormalizedDtd& norm) {
+  // Each new type sits at a unique position of one production's parse tree, so
+  // it has a unique chain from its closest old ancestor. BFS from old types.
+  std::map<std::string, std::vector<std::string>> chain;
+  auto child_map = norm.dtd.ChildMap();
+  std::vector<std::string> work;
+  for (const auto& t : norm.dtd.types()) {
+    if (norm.new_types.count(t.name)) continue;  // old type
+    for (const auto& c : child_map[t.name]) {
+      if (norm.new_types.count(c) && !chain.count(c)) {
+        chain[c] = {c};
+        work.push_back(c);
+      }
+    }
+  }
+  while (!work.empty()) {
+    std::string cur = work.back();
+    work.pop_back();
+    for (const auto& c : child_map[cur]) {
+      if (norm.new_types.count(c) && !chain.count(c)) {
+        chain[c] = chain[cur];
+        chain[c].push_back(c);
+        work.push_back(c);
+      }
+    }
+  }
+  std::vector<std::vector<std::string>> out;
+  out.reserve(chain.size());
+  for (auto& [name, seq] : chain) out.push_back(seq);
+  return out;
+}
+
+namespace {
+
+// Derivation-based re-normalizer: parses each old node's children word against
+// the (unambiguous, parse-tree-shaped) grammar of N(D) rooted at the node's
+// type and materializes the derivation as new-typed internal nodes.
+class TreeNormalizer {
+ public:
+  TreeNormalizer(const XmlTree& tree, const Dtd& dtd, const NormalizedDtd& norm)
+      : tree_(tree), dtd_(dtd), norm_(norm) {}
+
+  Result<XmlTree> Run() {
+    if (tree_.empty()) return Result<XmlTree>::Error("empty tree");
+    XmlTree out;
+    out.CreateRoot(tree_.label(tree_.root()));
+    CopyAttrs(tree_.root(), out.root(), &out);
+    if (!ExpandOldNode(tree_.root(), out.root(), &out)) {
+      return Result<XmlTree>::Error("tree does not conform to the DTD");
+    }
+    return out;
+  }
+
+ private:
+  void CopyAttrs(NodeId src, NodeId dst, XmlTree* out) {
+    for (const auto& kv : tree_.node(src).attrs) {
+      out->SetAttr(dst, kv.first, kv.second);
+    }
+  }
+
+  // Expands the children of old node `src` under `dst` in the output.
+  bool ExpandOldNode(NodeId src, NodeId dst, XmlTree* out) {
+    const std::vector<NodeId>& kids = tree_.children(src);
+    const std::string& label = tree_.label(src);
+    if (!norm_.dtd.HasType(label)) return false;
+    return DeriveChildren(src, label, kids, 0, static_cast<int>(kids.size()),
+                          dst, out);
+  }
+
+  // Can type `name` (in N(D)) derive exactly the old-children segment [i,j)?
+  bool CanDerive(NodeId ctx, const std::string& name,
+                 const std::vector<NodeId>& kids, int i, int j) {
+    if (!norm_.new_types.count(name)) {
+      // Old type: consumes exactly one child with this label.
+      return j == i + 1 && tree_.label(kids[i]) == name;
+    }
+    auto key = std::make_tuple(ctx, name, i, j);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    memo_[key] = false;  // provisional (grammar is acyclic through new types)
+    bool ok = CanDeriveRegex(ctx, norm_.dtd.Production(name), kids, i, j);
+    memo_[key] = ok;
+    return ok;
+  }
+
+  bool CanDeriveRegex(NodeId ctx, const Regex& re,
+                      const std::vector<NodeId>& kids, int i, int j) {
+    switch (re.kind()) {
+      case Regex::Kind::kEpsilon:
+        return i == j;
+      case Regex::Kind::kSymbol:
+        return CanDerive(ctx, re.symbol(), kids, i, j);
+      case Regex::Kind::kConcat:
+        return CanDeriveSeq(ctx, re.children(), 0, kids, i, j);
+      case Regex::Kind::kUnion: {
+        for (const Regex& c : re.children()) {
+          if (CanDeriveRegex(ctx, c, kids, i, j)) return true;
+        }
+        return false;
+      }
+      case Regex::Kind::kStar: {
+        if (i == j) return true;
+        // Split off a nonempty prefix derived by the inner expression.
+        for (int m = i + 1; m <= j; ++m) {
+          if (CanDeriveRegex(ctx, re.children()[0], kids, i, m) &&
+              CanDeriveRegex(ctx, re, kids, m, j)) {
+            return true;
+          }
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+
+  bool CanDeriveSeq(NodeId ctx, const std::vector<Regex>& parts, size_t k,
+                    const std::vector<NodeId>& kids, int i, int j) {
+    if (k == parts.size()) return i == j;
+    for (int m = i; m <= j; ++m) {
+      if (CanDeriveRegex(ctx, parts[k], kids, i, m) &&
+          CanDeriveSeq(ctx, parts, k + 1, kids, m, j)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Materializes a derivation of segment [i,j) from the word of P'(name),
+  // appending children under `dst`.
+  bool DeriveChildren(NodeId ctx, const std::string& name,
+                      const std::vector<NodeId>& kids, int i, int j, NodeId dst,
+                      XmlTree* out) {
+    const Regex& re = norm_.dtd.Production(name);
+    return BuildRegex(ctx, re, kids, i, j, dst, out);
+  }
+
+  // Emits the children corresponding to one word symbol `sym` deriving [i,j).
+  bool BuildSymbol(NodeId ctx, const std::string& sym,
+                   const std::vector<NodeId>& kids, int i, int j, NodeId dst,
+                   XmlTree* out) {
+    if (!norm_.new_types.count(sym)) {
+      if (!(j == i + 1 && tree_.label(kids[i]) == sym)) return false;
+      NodeId c = out->AddChild(dst, sym);
+      CopyAttrs(kids[i], c, out);
+      return ExpandOldNode(kids[i], c, out);
+    }
+    NodeId c = out->AddChild(dst, sym);
+    return DeriveChildren(ctx, sym, kids, i, j, c, out);
+  }
+
+  bool BuildRegex(NodeId ctx, const Regex& re, const std::vector<NodeId>& kids,
+                  int i, int j, NodeId dst, XmlTree* out) {
+    switch (re.kind()) {
+      case Regex::Kind::kEpsilon:
+        return i == j;
+      case Regex::Kind::kSymbol:
+        return BuildSymbol(ctx, re.symbol(), kids, i, j, dst, out);
+      case Regex::Kind::kConcat:
+        return BuildSeq(ctx, re.children(), 0, kids, i, j, dst, out);
+      case Regex::Kind::kUnion: {
+        for (const Regex& c : re.children()) {
+          if (CanDeriveRegex(ctx, c, kids, i, j)) {
+            return BuildRegex(ctx, c, kids, i, j, dst, out);
+          }
+        }
+        return false;
+      }
+      case Regex::Kind::kStar: {
+        if (i == j) return true;
+        for (int m = i + 1; m <= j; ++m) {
+          if (CanDeriveRegex(ctx, re.children()[0], kids, i, m) &&
+              CanDeriveRegex(ctx, re, kids, m, j)) {
+            if (!BuildRegex(ctx, re.children()[0], kids, i, m, dst, out)) {
+              return false;
+            }
+            return BuildRegex(ctx, re, kids, m, j, dst, out);
+          }
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+
+  bool BuildSeq(NodeId ctx, const std::vector<Regex>& parts, size_t k,
+                const std::vector<NodeId>& kids, int i, int j, NodeId dst,
+                XmlTree* out) {
+    if (k == parts.size()) return i == j;
+    for (int m = i; m <= j; ++m) {
+      if (CanDeriveRegex(ctx, parts[k], kids, i, m) &&
+          CanDeriveSeq(ctx, parts, k + 1, kids, m, j)) {
+        if (!BuildRegex(ctx, parts[k], kids, i, m, dst, out)) return false;
+        return BuildSeq(ctx, parts, k + 1, kids, m, j, dst, out);
+      }
+    }
+    return false;
+  }
+
+  const XmlTree& tree_;
+  const Dtd& dtd_;
+  const NormalizedDtd& norm_;
+  std::map<std::tuple<NodeId, std::string, int, int>, bool> memo_;
+};
+
+}  // namespace
+
+Result<XmlTree> NormalizeTree(const XmlTree& tree, const Dtd& dtd,
+                              const NormalizedDtd& norm) {
+  return TreeNormalizer(tree, dtd, norm).Run();
+}
+
+}  // namespace xpathsat
+
+namespace xpathsat {
+
+namespace {
+
+void SpliceFrontier(const XmlTree& src, const NormalizedDtd& norm, NodeId from,
+                    XmlTree* out, NodeId dst) {
+  for (NodeId c : src.children(from)) {
+    if (norm.new_types.count(src.label(c))) {
+      SpliceFrontier(src, norm, c, out, dst);
+    } else {
+      NodeId n = out->AddChild(dst, src.label(c));
+      for (const auto& kv : src.node(c).attrs) {
+        out->SetAttr(n, kv.first, kv.second);
+      }
+      SpliceFrontier(src, norm, c, out, n);
+    }
+  }
+}
+
+}  // namespace
+
+XmlTree DenormalizeTree(const XmlTree& tree, const NormalizedDtd& norm) {
+  XmlTree out;
+  if (tree.empty()) return out;
+  out.CreateRoot(tree.label(tree.root()));
+  for (const auto& kv : tree.node(tree.root()).attrs) {
+    out.SetAttr(out.root(), kv.first, kv.second);
+  }
+  SpliceFrontier(tree, norm, tree.root(), &out, out.root());
+  return out;
+}
+
+}  // namespace xpathsat

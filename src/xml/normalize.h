@@ -1,0 +1,49 @@
+// DTD normalization N(D) (Proposition 3.3): every production becomes
+//   eps | B1,...,Bn | B1+...+Bn | B*
+// by introducing fresh element types for the internal nodes of content-model
+// parse trees (and for ε members of disjunctions). Also provides the
+// corresponding tree transformation T |= D  ->  T' |= N(D) used in the proof.
+#ifndef XPATHSAT_XML_NORMALIZE_H_
+#define XPATHSAT_XML_NORMALIZE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/xml/dtd.h"
+#include "src/xml/tree.h"
+
+namespace xpathsat {
+
+/// The result of normalizing a DTD.
+struct NormalizedDtd {
+  Dtd dtd;                          ///< N(D)
+  std::set<std::string> new_types;  ///< element types of N(D) not in D
+};
+
+/// Computes N(D). Linear in |D|; does not introduce regex operators not
+/// already present in D (ε members of disjunctions become fresh empty types).
+NormalizedDtd NormalizeDtd(const Dtd& dtd);
+
+/// For each new element type, the unique chain of new types leading to it from
+/// its closest old ancestor (the chain ends at that type). Used to build the
+/// skip expressions ∇ and Π of the query rewriting f(p).
+std::vector<std::vector<std::string>> NewTypeDescentChains(
+    const NormalizedDtd& norm);
+
+/// Transforms a tree conforming to D into one conforming to N(D), embedding T
+/// into T' as in the proof of Proposition 3.3 (old nodes keep labels and
+/// attributes; parse-tree internal nodes appear as new-typed elements).
+/// Fails if `tree` does not conform to `dtd`.
+Result<XmlTree> NormalizeTree(const XmlTree& tree, const Dtd& dtd,
+                              const NormalizedDtd& norm);
+
+/// The inverse direction of Prop 3.3: removes the new-typed nodes of a tree
+/// conforming to N(D), splicing their frontiers, yielding a tree conforming
+/// to D.
+XmlTree DenormalizeTree(const XmlTree& tree, const NormalizedDtd& norm);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_XML_NORMALIZE_H_

@@ -1,0 +1,270 @@
+#include "src/xml/regex.h"
+
+#include <cctype>
+
+namespace xpathsat {
+
+Regex Regex::Epsilon() {
+  Regex r;
+  r.kind_ = Kind::kEpsilon;
+  return r;
+}
+
+Regex Regex::Symbol(std::string name) {
+  Regex r;
+  r.kind_ = Kind::kSymbol;
+  r.symbol_ = std::move(name);
+  return r;
+}
+
+Regex Regex::Concat(std::vector<Regex> parts) {
+  std::vector<Regex> flat;
+  for (auto& p : parts) {
+    if (p.kind_ == Kind::kConcat) {
+      for (auto& c : p.children_) flat.push_back(std::move(c));
+    } else if (p.kind_ == Kind::kEpsilon) {
+      // ε is the unit of concatenation.
+    } else {
+      flat.push_back(std::move(p));
+    }
+  }
+  if (flat.empty()) return Epsilon();
+  if (flat.size() == 1) return std::move(flat[0]);
+  Regex r;
+  r.kind_ = Kind::kConcat;
+  r.children_ = std::move(flat);
+  return r;
+}
+
+Regex Regex::Union(std::vector<Regex> parts) {
+  std::vector<Regex> flat;
+  for (auto& p : parts) {
+    if (p.kind_ == Kind::kUnion) {
+      for (auto& c : p.children_) flat.push_back(std::move(c));
+    } else {
+      flat.push_back(std::move(p));
+    }
+  }
+  if (flat.size() == 1) return std::move(flat[0]);
+  Regex r;
+  r.kind_ = Kind::kUnion;
+  r.children_ = std::move(flat);
+  return r;
+}
+
+Regex Regex::Star(Regex inner) {
+  Regex r;
+  r.kind_ = Kind::kStar;
+  r.children_.push_back(std::move(inner));
+  return r;
+}
+
+namespace {
+
+// Recursive-descent parser for the content-model syntax.
+class RegexParser {
+ public:
+  explicit RegexParser(const std::string& text) : text_(text) {}
+
+  Result<Regex> Parse() {
+    Result<Regex> r = ParseUnion();
+    if (!r.ok()) return r;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Result<Regex>::Error("trailing input in regex at position " +
+                                  std::to_string(pos_));
+    }
+    return r;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Regex> ParseUnion() {
+    Result<Regex> first = ParseConcat();
+    if (!first.ok()) return first;
+    std::vector<Regex> parts;
+    parts.push_back(std::move(first).value());
+    while (Consume('+')) {
+      Result<Regex> next = ParseConcat();
+      if (!next.ok()) return next;
+      parts.push_back(std::move(next).value());
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return Regex::Union(std::move(parts));
+  }
+
+  Result<Regex> ParseConcat() {
+    Result<Regex> first = ParseUnit();
+    if (!first.ok()) return first;
+    std::vector<Regex> parts;
+    parts.push_back(std::move(first).value());
+    while (Consume(',')) {
+      Result<Regex> next = ParseUnit();
+      if (!next.ok()) return next;
+      parts.push_back(std::move(next).value());
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return Regex::Concat(std::move(parts));
+  }
+
+  Result<Regex> ParseUnit() {
+    Result<Regex> atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    Regex r = std::move(atom).value();
+    while (Consume('*')) r = Regex::Star(std::move(r));
+    return r;
+  }
+
+  Result<Regex> ParseAtom() {
+    SkipSpace();
+    if (Consume('(')) {
+      Result<Regex> inner = ParseUnion();
+      if (!inner.ok()) return inner;
+      if (!Consume(')')) return Result<Regex>::Error("expected ')' in regex");
+      return inner;
+    }
+    if (pos_ >= text_.size()) return Result<Regex>::Error("unexpected end of regex");
+    char c = text_[pos_];
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return Result<Regex>::Error(std::string("unexpected character '") + c +
+                                  "' in regex");
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string name = text_.substr(start, pos_ - start);
+    if (name == "eps") return Regex::Epsilon();
+    return Regex::Symbol(std::move(name));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Regex> Regex::Parse(const std::string& text) {
+  return RegexParser(text).Parse();
+}
+
+std::string Regex::ToString() const {
+  switch (kind_) {
+    case Kind::kEpsilon:
+      return "eps";
+    case Kind::kSymbol:
+      return symbol_;
+    case Kind::kConcat: {
+      std::string out;
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        const Regex& c = children_[i];
+        if (c.kind_ == Kind::kUnion) {
+          out += "(" + c.ToString() + ")";
+        } else {
+          out += c.ToString();
+        }
+      }
+      return out;
+    }
+    case Kind::kUnion: {
+      std::string out;
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += " + ";
+        out += children_[i].ToString();
+      }
+      return out;
+    }
+    case Kind::kStar: {
+      const Regex& c = children_[0];
+      if (c.kind_ == Kind::kSymbol || c.kind_ == Kind::kEpsilon) {
+        return c.ToString() + "*";
+      }
+      return "(" + c.ToString() + ")*";
+    }
+  }
+  return "";
+}
+
+int Regex::Size() const {
+  int n = 1;
+  for (const Regex& c : children_) n += c.Size();
+  return n;
+}
+
+void Regex::CollectSymbols(std::set<std::string>* out) const {
+  if (kind_ == Kind::kSymbol) out->insert(symbol_);
+  for (const Regex& c : children_) c.CollectSymbols(out);
+}
+
+bool Regex::Nullable() const {
+  switch (kind_) {
+    case Kind::kEpsilon:
+      return true;
+    case Kind::kSymbol:
+      return false;
+    case Kind::kConcat: {
+      for (const Regex& c : children_) {
+        if (!c.Nullable()) return false;
+      }
+      return true;
+    }
+    case Kind::kUnion: {
+      for (const Regex& c : children_) {
+        if (c.Nullable()) return true;
+      }
+      return false;
+    }
+    case Kind::kStar:
+      return true;
+  }
+  return false;
+}
+
+bool Regex::ContainsDisjunction() const {
+  if (kind_ == Kind::kUnion) return true;
+  for (const Regex& c : children_) {
+    if (c.ContainsDisjunction()) return true;
+  }
+  return false;
+}
+
+bool Regex::ContainsStar() const {
+  if (kind_ == Kind::kStar) return true;
+  for (const Regex& c : children_) {
+    if (c.ContainsStar()) return true;
+  }
+  return false;
+}
+
+bool Regex::Equals(const Regex& other) const {
+  if (kind_ != other.kind_) return false;
+  if (symbol_ != other.symbol_) return false;
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i].Equals(other.children_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace xpathsat

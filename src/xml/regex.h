@@ -1,0 +1,66 @@
+// Regular expressions over element-type names, used as DTD content models.
+//
+// Concrete syntax (paper notation, Sec. 2.1): ',' is concatenation, '+' is
+// disjunction, postfix '*' is Kleene star, 'eps' is the empty word.
+// Example: "A, (B + C)*, D".
+#ifndef XPATHSAT_XML_REGEX_H_
+#define XPATHSAT_XML_REGEX_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace xpathsat {
+
+/// A content-model regular expression. Value type (deep copies).
+class Regex {
+ public:
+  enum class Kind { kEpsilon, kSymbol, kConcat, kUnion, kStar };
+
+  /// The empty word ε.
+  static Regex Epsilon();
+  /// A single element-type name.
+  static Regex Symbol(std::string name);
+  /// Concatenation r1, r2, ..., rn. Flattens nested concatenations.
+  static Regex Concat(std::vector<Regex> parts);
+  /// Disjunction r1 + r2 + ... + rn. Flattens nested disjunctions.
+  static Regex Union(std::vector<Regex> parts);
+  /// Kleene star r*.
+  static Regex Star(Regex inner);
+
+  /// Parses the textual syntax above.
+  static Result<Regex> Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  /// Symbol name; only valid for kSymbol.
+  const std::string& symbol() const { return symbol_; }
+  /// Subexpressions (kConcat/kUnion: the parts; kStar: exactly one).
+  const std::vector<Regex>& children() const { return children_; }
+
+  /// Textual form in the paper's syntax.
+  std::string ToString() const;
+  /// Number of AST nodes; contributes to |D|.
+  int Size() const;
+  /// Inserts every symbol occurring in the expression into `out`.
+  void CollectSymbols(std::set<std::string>* out) const;
+  /// True iff ε is in the language.
+  bool Nullable() const;
+  /// True iff the expression contains a disjunction ('+').
+  bool ContainsDisjunction() const;
+  /// True iff the expression contains a Kleene star.
+  bool ContainsStar() const;
+  /// Structural equality.
+  bool Equals(const Regex& other) const;
+
+ private:
+  Regex() = default;
+  Kind kind_ = Kind::kEpsilon;
+  std::string symbol_;
+  std::vector<Regex> children_;
+};
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_XML_REGEX_H_

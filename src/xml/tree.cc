@@ -1,0 +1,117 @@
+#include "src/xml/tree.h"
+
+namespace xpathsat {
+
+NodeId XmlTree::CreateRoot(const std::string& label) {
+  nodes_.clear();
+  XmlNode n;
+  n.label = label;
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+NodeId XmlTree::AddChild(NodeId parent, const std::string& label) {
+  XmlNode n;
+  n.label = label;
+  n.parent = parent;
+  n.index_in_parent = static_cast<int>(nodes_[parent].children.size());
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void XmlTree::SetAttr(NodeId node, const std::string& name,
+                      const std::string& value) {
+  for (auto& kv : nodes_[node].attrs) {
+    if (kv.first == name) {
+      kv.second = value;
+      return;
+    }
+  }
+  nodes_[node].attrs.emplace_back(name, value);
+}
+
+const std::string* XmlTree::GetAttr(NodeId id, const std::string& name) const {
+  for (const auto& kv : nodes_[id].attrs) {
+    if (kv.first == name) return &kv.second;
+  }
+  return nullptr;
+}
+
+NodeId XmlTree::NextSibling(NodeId id) const {
+  NodeId p = nodes_[id].parent;
+  if (p == kNullNode) return kNullNode;
+  const auto& sibs = nodes_[p].children;
+  size_t i = static_cast<size_t>(nodes_[id].index_in_parent);
+  if (i + 1 < sibs.size()) return sibs[i + 1];
+  return kNullNode;
+}
+
+NodeId XmlTree::PrevSibling(NodeId id) const {
+  NodeId p = nodes_[id].parent;
+  if (p == kNullNode) return kNullNode;
+  const auto& sibs = nodes_[p].children;
+  int i = nodes_[id].index_in_parent;
+  if (i > 0) return sibs[i - 1];
+  return kNullNode;
+}
+
+int XmlTree::Depth(NodeId id) const {
+  int d = 0;
+  while (nodes_[id].parent != kNullNode) {
+    id = nodes_[id].parent;
+    ++d;
+  }
+  return d;
+}
+
+int XmlTree::Height() const {
+  int h = -1;
+  for (NodeId id = 0; id < size(); ++id) {
+    int d = Depth(id);
+    if (d > h) h = d;
+  }
+  return h;
+}
+
+bool XmlTree::IsAncestorOrSelf(NodeId anc, NodeId id) const {
+  while (id != kNullNode) {
+    if (id == anc) return true;
+    id = nodes_[id].parent;
+  }
+  return false;
+}
+
+void XmlTree::TruncateTo(int new_size) {
+  while (static_cast<int>(nodes_.size()) > new_size && !nodes_.empty()) {
+    NodeId last = static_cast<NodeId>(nodes_.size()) - 1;
+    NodeId p = nodes_[last].parent;
+    if (p != kNullNode) nodes_[p].children.pop_back();
+    nodes_.pop_back();
+  }
+}
+
+void XmlTree::AppendString(NodeId id, std::string* out) const {
+  const XmlNode& n = nodes_[id];
+  *out += "<" + n.label;
+  for (const auto& kv : n.attrs) {
+    *out += " " + kv.first + "=\"" + kv.second + "\"";
+  }
+  if (n.children.empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += ">";
+  for (NodeId c : n.children) AppendString(c, out);
+  *out += "</" + n.label + ">";
+}
+
+std::string XmlTree::ToString() const {
+  if (nodes_.empty()) return "";
+  std::string out;
+  AppendString(root(), &out);
+  return out;
+}
+
+}  // namespace xpathsat

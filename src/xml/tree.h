@@ -1,0 +1,85 @@
+// XML trees: finite, ordered, node-labeled trees with string-valued attributes
+// (the data model of Sec. 2.1 of the paper).
+#ifndef XPATHSAT_XML_TREE_H_
+#define XPATHSAT_XML_TREE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xpathsat {
+
+/// Index of a node within an XmlTree.
+using NodeId = int;
+/// Sentinel for "no node" (e.g. parent of the root).
+inline constexpr NodeId kNullNode = -1;
+
+/// One node of an XML tree. Attributes are name/value pairs in insertion order.
+struct XmlNode {
+  std::string label;
+  NodeId parent = kNullNode;
+  int index_in_parent = 0;
+  std::vector<NodeId> children;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// An ordered XML tree stored in a flat node arena. Node ids are stable.
+class XmlTree {
+ public:
+  /// Creates an empty tree; call CreateRoot before anything else.
+  XmlTree() = default;
+
+  /// Creates the root node. Must be the first node created.
+  NodeId CreateRoot(const std::string& label);
+  /// Appends a new last child under `parent`.
+  NodeId AddChild(NodeId parent, const std::string& label);
+  /// Sets (or overwrites) attribute `name` on `node`.
+  void SetAttr(NodeId node, const std::string& name, const std::string& value);
+
+  /// Number of nodes.
+  int size() const { return static_cast<int>(nodes_.size()); }
+  /// True iff the tree has no nodes.
+  bool empty() const { return nodes_.empty(); }
+  /// The root node id (0); tree must be nonempty.
+  NodeId root() const { return 0; }
+  /// Node accessor.
+  const XmlNode& node(NodeId id) const { return nodes_[id]; }
+
+  /// Label of `id`.
+  const std::string& label(NodeId id) const { return nodes_[id].label; }
+  /// Parent of `id`, or kNullNode for the root.
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+  /// Children of `id` in document order.
+  const std::vector<NodeId>& children(NodeId id) const {
+    return nodes_[id].children;
+  }
+  /// Attribute value, or nullptr if absent.
+  const std::string* GetAttr(NodeId id, const std::string& name) const;
+
+  /// Immediate right sibling, or kNullNode.
+  NodeId NextSibling(NodeId id) const;
+  /// Immediate left sibling, or kNullNode.
+  NodeId PrevSibling(NodeId id) const;
+  /// Depth of `id` (root has depth 0).
+  int Depth(NodeId id) const;
+  /// Maximum node depth in the tree (empty tree: -1).
+  int Height() const;
+  /// True iff `anc` is `id` or an ancestor of `id`.
+  bool IsAncestorOrSelf(NodeId anc, NodeId id) const;
+
+  /// Removes all nodes with id >= new_size. Valid because nodes are appended
+  /// in creation order, so the removed nodes are the last children of their
+  /// parents. Used by backtracking searches.
+  void TruncateTo(int new_size);
+
+  /// Serializes as nested tags, e.g. <r><A a="1"/></r>.
+  std::string ToString() const;
+
+ private:
+  void AppendString(NodeId id, std::string* out) const;
+  std::vector<XmlNode> nodes_;
+};
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_XML_TREE_H_

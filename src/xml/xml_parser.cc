@@ -1,0 +1,132 @@
+#include "src/xml/xml_parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace xpathsat {
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(const std::string& text) : text_(text) {}
+
+  Result<XmlTree> Parse() {
+    SkipSpace();
+    Result<XmlTree> out = [&]() -> Result<XmlTree> {
+      XmlTree tree;
+      if (!ParseElement(&tree, kNullNode)) return Fail();
+      return tree;
+    }();
+    if (!out.ok()) return out;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Result<XmlTree>::Error("trailing content after the root element");
+    }
+    return out;
+  }
+
+ private:
+  Result<XmlTree> Fail() {
+    return Result<XmlTree>::Error(error_.empty() ? "malformed XML" : error_);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Expect(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    error_ = std::string("expected '") + c + "' at position " +
+             std::to_string(pos_);
+    return false;
+  }
+
+  bool ParseName(std::string* out) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      error_ = "expected a name at position " + std::to_string(pos_);
+      return false;
+    }
+    *out = text_.substr(start, pos_ - start);
+    return true;
+  }
+
+  bool ParseElement(XmlTree* tree, NodeId parent) {
+    if (!Expect('<')) return false;
+    std::string name;
+    if (!ParseName(&name)) return false;
+    NodeId node =
+        parent == kNullNode ? tree->CreateRoot(name) : tree->AddChild(parent, name);
+    // Attributes.
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        error_ = "unterminated tag";
+        return false;
+      }
+      if (text_[pos_] == '/' || text_[pos_] == '>') break;
+      std::string attr;
+      if (!ParseName(&attr)) return false;
+      SkipSpace();
+      if (!Expect('=')) return false;
+      SkipSpace();
+      if (!Expect('"')) return false;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      if (pos_ >= text_.size()) {
+        error_ = "unterminated attribute value";
+        return false;
+      }
+      tree->SetAttr(node, attr, text_.substr(start, pos_ - start));
+      ++pos_;  // closing quote
+    }
+    if (text_[pos_] == '/') {
+      ++pos_;
+      return Expect('>');
+    }
+    ++pos_;  // '>'
+    // Children until the closing tag.
+    for (;;) {
+      SkipSpace();
+      if (pos_ + 1 >= text_.size()) {
+        error_ = "missing closing tag for '" + name + "'";
+        return false;
+      }
+      if (text_[pos_] == '<' && text_[pos_ + 1] == '/') {
+        pos_ += 2;
+        std::string closing;
+        if (!ParseName(&closing)) return false;
+        if (closing != name) {
+          error_ = "mismatched closing tag '" + closing + "' for '" + name + "'";
+          return false;
+        }
+        return Expect('>');
+      }
+      if (!ParseElement(tree, node)) return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<XmlTree> ParseXml(const std::string& text) {
+  return XmlParser(text).Parse();
+}
+
+}  // namespace xpathsat

@@ -1,0 +1,21 @@
+// Parser for the XML subset emitted by XmlTree::ToString():
+// nested tags with double-quoted attributes, no text nodes, no entities.
+// Completes the round trip used by tools and tests.
+#ifndef XPATHSAT_XML_XML_PARSER_H_
+#define XPATHSAT_XML_XML_PARSER_H_
+
+#include <string>
+
+#include "src/util/status.h"
+#include "src/xml/tree.h"
+
+namespace xpathsat {
+
+/// Parses `<r a="1"><A/></r>`-style documents. Whitespace between tags is
+/// ignored; text content is not supported (the paper's model carries data in
+/// attributes only).
+Result<XmlTree> ParseXml(const std::string& text);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_XML_XML_PARSER_H_

@@ -1,0 +1,264 @@
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+std::unique_ptr<PathExpr> PathExpr::Empty() {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = PathKind::kEmpty;
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Label(std::string l) {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = PathKind::kLabel;
+  p->label = std::move(l);
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Axis(PathKind kind) {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = kind;
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Seq(std::unique_ptr<PathExpr> a,
+                                        std::unique_ptr<PathExpr> b) {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = PathKind::kSeq;
+  p->lhs = std::move(a);
+  p->rhs = std::move(b);
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::SeqAll(
+    std::vector<std::unique_ptr<PathExpr>> parts) {
+  std::unique_ptr<PathExpr> out = std::move(parts[0]);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    out = Seq(std::move(out), std::move(parts[i]));
+  }
+  return out;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Union(std::unique_ptr<PathExpr> a,
+                                          std::unique_ptr<PathExpr> b) {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = PathKind::kUnion;
+  p->lhs = std::move(a);
+  p->rhs = std::move(b);
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::UnionAll(
+    std::vector<std::unique_ptr<PathExpr>> parts) {
+  std::unique_ptr<PathExpr> out = std::move(parts[0]);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    out = Union(std::move(out), std::move(parts[i]));
+  }
+  return out;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Filter(std::unique_ptr<PathExpr> p,
+                                           std::unique_ptr<Qualifier> q) {
+  auto f = std::make_unique<PathExpr>();
+  f->kind = PathKind::kFilter;
+  f->lhs = std::move(p);
+  f->qual = std::move(q);
+  return f;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Clone() const {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = kind;
+  p->label = label;
+  if (lhs) p->lhs = lhs->Clone();
+  if (rhs) p->rhs = rhs->Clone();
+  if (qual) p->qual = qual->Clone();
+  return p;
+}
+
+namespace {
+
+// Wraps `s` in parentheses when `need` holds.
+std::string MaybeParen(const std::string& s, bool need) {
+  return need ? "(" + s + ")" : s;
+}
+
+}  // namespace
+
+std::string PathExpr::ToString() const {
+  switch (kind) {
+    case PathKind::kEmpty:
+      return ".";
+    case PathKind::kLabel:
+      return label;
+    case PathKind::kChildAny:
+      return "*";
+    case PathKind::kDescOrSelf:
+      return "**";
+    case PathKind::kParent:
+      return "^";
+    case PathKind::kAncOrSelf:
+      return "^^";
+    case PathKind::kRightSib:
+      return ">";
+    case PathKind::kLeftSib:
+      return "<";
+    case PathKind::kRightSibStar:
+      return ">>";
+    case PathKind::kLeftSibStar:
+      return "<<";
+    case PathKind::kSeq:
+      return MaybeParen(lhs->ToString(), lhs->kind == PathKind::kUnion) + "/" +
+             MaybeParen(rhs->ToString(), rhs->kind == PathKind::kUnion);
+    case PathKind::kUnion:
+      return lhs->ToString() + "|" + rhs->ToString();
+    case PathKind::kFilter:
+      return MaybeParen(lhs->ToString(), lhs->kind == PathKind::kSeq ||
+                                             lhs->kind == PathKind::kUnion) +
+             "[" + qual->ToString() + "]";
+  }
+  return "";
+}
+
+int PathExpr::Size() const {
+  int n = 1;
+  if (lhs) n += lhs->Size();
+  if (rhs) n += rhs->Size();
+  if (qual) n += qual->Size();
+  return n;
+}
+
+std::unique_ptr<Qualifier> Qualifier::Path(std::unique_ptr<PathExpr> p) {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = QualKind::kPath;
+  q->path = std::move(p);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::LabelTest(std::string label) {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = QualKind::kLabelTest;
+  q->label = std::move(label);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::AttrCmpConst(std::unique_ptr<PathExpr> p,
+                                                   std::string attr, CmpOp op,
+                                                   std::string constant) {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = QualKind::kAttrCmpConst;
+  q->path = std::move(p);
+  q->attr = std::move(attr);
+  q->op = op;
+  q->constant = std::move(constant);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::AttrJoin(std::unique_ptr<PathExpr> p1,
+                                               std::string attr1, CmpOp op,
+                                               std::unique_ptr<PathExpr> p2,
+                                               std::string attr2) {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = QualKind::kAttrJoin;
+  q->path = std::move(p1);
+  q->attr = std::move(attr1);
+  q->op = op;
+  q->path2 = std::move(p2);
+  q->attr2 = std::move(attr2);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::And(std::unique_ptr<Qualifier> a,
+                                          std::unique_ptr<Qualifier> b) {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = QualKind::kAnd;
+  q->q1 = std::move(a);
+  q->q2 = std::move(b);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::AndAll(
+    std::vector<std::unique_ptr<Qualifier>> parts) {
+  std::unique_ptr<Qualifier> out = std::move(parts[0]);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    out = And(std::move(out), std::move(parts[i]));
+  }
+  return out;
+}
+
+std::unique_ptr<Qualifier> Qualifier::Or(std::unique_ptr<Qualifier> a,
+                                         std::unique_ptr<Qualifier> b) {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = QualKind::kOr;
+  q->q1 = std::move(a);
+  q->q2 = std::move(b);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::OrAll(
+    std::vector<std::unique_ptr<Qualifier>> parts) {
+  std::unique_ptr<Qualifier> out = std::move(parts[0]);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    out = Or(std::move(out), std::move(parts[i]));
+  }
+  return out;
+}
+
+std::unique_ptr<Qualifier> Qualifier::Not(std::unique_ptr<Qualifier> q) {
+  auto n = std::make_unique<Qualifier>();
+  n->kind = QualKind::kNot;
+  n->q1 = std::move(q);
+  return n;
+}
+
+std::unique_ptr<Qualifier> Qualifier::Clone() const {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = kind;
+  q->label = label;
+  q->attr = attr;
+  q->attr2 = attr2;
+  q->constant = constant;
+  q->op = op;
+  if (path) q->path = path->Clone();
+  if (path2) q->path2 = path2->Clone();
+  if (q1) q->q1 = q1->Clone();
+  if (q2) q->q2 = q2->Clone();
+  return q;
+}
+
+std::string Qualifier::ToString() const {
+  switch (kind) {
+    case QualKind::kPath:
+      return MaybeParen(path->ToString(), path->kind == PathKind::kUnion);
+    case QualKind::kLabelTest:
+      return "label()=" + label;
+    case QualKind::kAttrCmpConst:
+      return MaybeParen(path->ToString(), path->kind == PathKind::kUnion) +
+             "/@" + attr + (op == CmpOp::kEq ? "=" : "!=") + "\"" + constant +
+             "\"";
+    case QualKind::kAttrJoin:
+      return MaybeParen(path->ToString(), path->kind == PathKind::kUnion) +
+             "/@" + attr + (op == CmpOp::kEq ? "=" : "!=") +
+             MaybeParen(path2->ToString(), path2->kind == PathKind::kUnion) +
+             "/@" + attr2;
+    case QualKind::kAnd:
+      return MaybeParen(q1->ToString(), q1->kind == QualKind::kOr) + " && " +
+             MaybeParen(q2->ToString(), q2->kind == QualKind::kOr);
+    case QualKind::kOr:
+      return q1->ToString() + " || " + q2->ToString();
+    case QualKind::kNot:
+      return "!(" + q1->ToString() + ")";
+  }
+  return "";
+}
+
+int Qualifier::Size() const {
+  int n = 1;
+  if (path) n += path->Size();
+  if (path2) n += path2->Size();
+  if (q1) n += q1->Size();
+  if (q2) n += q2->Size();
+  return n;
+}
+
+}  // namespace xpathsat

@@ -1,0 +1,133 @@
+// Abstract syntax for the XPath class X(↓,↓*,↑,↑*,←,→,←*,→*,∪,[],=,¬) of
+// Sec. 2.2 and Sec. 7.1:
+//
+//   p ::= ε | l | ↓ | ↓* | ↑ | ↑* | → | →* | ← | ←* | p/p | p ∪ p | p[q]
+//   q ::= p | lab() = A | p/@a op 'c' | p/@a op p'/@b | q∧q | q∨q | ¬q
+//
+// Concrete text syntax (used by the parser and printer):
+//   .  label  *  **  ^  ^^  >  >>  <  <<  p/p  p|p  p[q]
+//   label()=A   p/@a="c"   p/@a!=p2/@b   q&&q  q||q  !q  (...)
+#ifndef XPATHSAT_XPATH_AST_H_
+#define XPATHSAT_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xpathsat {
+
+struct Qualifier;
+
+/// Comparison operator on data values: '=' or '!='.
+enum class CmpOp { kEq, kNeq };
+
+/// Path expression node kinds.
+enum class PathKind {
+  kEmpty,         // ε (self)
+  kLabel,         // l (child with label l)
+  kChildAny,      // ↓ (wildcard child)
+  kDescOrSelf,    // ↓* (descendant-or-self)
+  kParent,        // ↑
+  kAncOrSelf,     // ↑*
+  kRightSib,      // → (immediate right sibling)
+  kLeftSib,       // ← (immediate left sibling)
+  kRightSibStar,  // →* (self or right sibling)
+  kLeftSibStar,   // ←* (self or left sibling)
+  kSeq,           // p1/p2
+  kUnion,         // p1 ∪ p2
+  kFilter,        // p[q]
+};
+
+/// A path expression. Tree-owned via unique_ptr.
+struct PathExpr {
+  PathKind kind = PathKind::kEmpty;
+  std::string label;               ///< kLabel only
+  std::unique_ptr<PathExpr> lhs;   ///< kSeq/kUnion/kFilter
+  std::unique_ptr<PathExpr> rhs;   ///< kSeq/kUnion
+  std::unique_ptr<Qualifier> qual; ///< kFilter
+
+  /// ε.
+  static std::unique_ptr<PathExpr> Empty();
+  /// Label step l.
+  static std::unique_ptr<PathExpr> Label(std::string l);
+  /// Axis step (any kind without children; kLabel via Label()).
+  static std::unique_ptr<PathExpr> Axis(PathKind kind);
+  /// p1/p2.
+  static std::unique_ptr<PathExpr> Seq(std::unique_ptr<PathExpr> a,
+                                       std::unique_ptr<PathExpr> b);
+  /// Left-folded p1/p2/.../pn (n >= 1).
+  static std::unique_ptr<PathExpr> SeqAll(
+      std::vector<std::unique_ptr<PathExpr>> parts);
+  /// p1 ∪ p2.
+  static std::unique_ptr<PathExpr> Union(std::unique_ptr<PathExpr> a,
+                                         std::unique_ptr<PathExpr> b);
+  /// Left-folded p1 ∪ ... ∪ pn (n >= 1).
+  static std::unique_ptr<PathExpr> UnionAll(
+      std::vector<std::unique_ptr<PathExpr>> parts);
+  /// p[q].
+  static std::unique_ptr<PathExpr> Filter(std::unique_ptr<PathExpr> p,
+                                          std::unique_ptr<Qualifier> q);
+
+  /// Deep copy.
+  std::unique_ptr<PathExpr> Clone() const;
+  /// Concrete text syntax (parseable by ParsePath).
+  std::string ToString() const;
+  /// |p|: number of AST nodes (paths and qualifiers).
+  int Size() const;
+};
+
+/// Qualifier node kinds.
+enum class QualKind {
+  kPath,          // p (some node reachable via p)
+  kLabelTest,     // lab() = A
+  kAttrCmpConst,  // p/@a op 'c'
+  kAttrJoin,      // p/@a op p'/@b
+  kAnd,
+  kOr,
+  kNot,
+};
+
+/// A qualifier (Boolean node test).
+struct Qualifier {
+  QualKind kind = QualKind::kPath;
+  std::unique_ptr<PathExpr> path;   ///< kPath/kAttrCmpConst/kAttrJoin (lhs)
+  std::unique_ptr<PathExpr> path2;  ///< kAttrJoin (rhs)
+  std::string label;                ///< kLabelTest
+  std::string attr;                 ///< kAttrCmpConst/kAttrJoin (lhs attr)
+  std::string attr2;                ///< kAttrJoin (rhs attr)
+  std::string constant;             ///< kAttrCmpConst
+  CmpOp op = CmpOp::kEq;
+  std::unique_ptr<Qualifier> q1, q2;  ///< kAnd/kOr (both), kNot (q1)
+
+  static std::unique_ptr<Qualifier> Path(std::unique_ptr<PathExpr> p);
+  static std::unique_ptr<Qualifier> LabelTest(std::string label);
+  static std::unique_ptr<Qualifier> AttrCmpConst(std::unique_ptr<PathExpr> p,
+                                                 std::string attr, CmpOp op,
+                                                 std::string constant);
+  static std::unique_ptr<Qualifier> AttrJoin(std::unique_ptr<PathExpr> p1,
+                                             std::string attr1, CmpOp op,
+                                             std::unique_ptr<PathExpr> p2,
+                                             std::string attr2);
+  static std::unique_ptr<Qualifier> And(std::unique_ptr<Qualifier> a,
+                                        std::unique_ptr<Qualifier> b);
+  /// Left-folded conjunction (n >= 1).
+  static std::unique_ptr<Qualifier> AndAll(
+      std::vector<std::unique_ptr<Qualifier>> parts);
+  static std::unique_ptr<Qualifier> Or(std::unique_ptr<Qualifier> a,
+                                       std::unique_ptr<Qualifier> b);
+  /// Left-folded disjunction (n >= 1).
+  static std::unique_ptr<Qualifier> OrAll(
+      std::vector<std::unique_ptr<Qualifier>> parts);
+  static std::unique_ptr<Qualifier> Not(std::unique_ptr<Qualifier> q);
+
+  /// Deep copy.
+  std::unique_ptr<Qualifier> Clone() const;
+  /// Concrete text syntax.
+  std::string ToString() const;
+  /// Number of AST nodes.
+  int Size() const;
+};
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_XPATH_AST_H_

@@ -1,0 +1,158 @@
+#include "src/xpath/evaluator.h"
+
+#include <algorithm>
+
+namespace xpathsat {
+
+namespace {
+
+void SortUnique(std::vector<NodeId>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+void CollectSubtree(const XmlTree& tree, NodeId n, std::vector<NodeId>* out) {
+  out->push_back(n);
+  for (NodeId c : tree.children(n)) CollectSubtree(tree, c, out);
+}
+
+}  // namespace
+
+std::vector<NodeId> EvalPath(const XmlTree& tree, const PathExpr& p,
+                             const std::vector<NodeId>& from) {
+  std::vector<NodeId> out;
+  switch (p.kind) {
+    case PathKind::kEmpty:
+      out = from;
+      break;
+    case PathKind::kLabel:
+      for (NodeId n : from) {
+        for (NodeId c : tree.children(n)) {
+          if (tree.label(c) == p.label) out.push_back(c);
+        }
+      }
+      break;
+    case PathKind::kChildAny:
+      for (NodeId n : from) {
+        for (NodeId c : tree.children(n)) out.push_back(c);
+      }
+      break;
+    case PathKind::kDescOrSelf:
+      for (NodeId n : from) CollectSubtree(tree, n, &out);
+      break;
+    case PathKind::kParent:
+      for (NodeId n : from) {
+        if (tree.parent(n) != kNullNode) out.push_back(tree.parent(n));
+      }
+      break;
+    case PathKind::kAncOrSelf:
+      for (NodeId n : from) {
+        NodeId cur = n;
+        while (cur != kNullNode) {
+          out.push_back(cur);
+          cur = tree.parent(cur);
+        }
+      }
+      break;
+    case PathKind::kRightSib:
+      for (NodeId n : from) {
+        NodeId s = tree.NextSibling(n);
+        if (s != kNullNode) out.push_back(s);
+      }
+      break;
+    case PathKind::kLeftSib:
+      for (NodeId n : from) {
+        NodeId s = tree.PrevSibling(n);
+        if (s != kNullNode) out.push_back(s);
+      }
+      break;
+    case PathKind::kRightSibStar:
+      for (NodeId n : from) {
+        NodeId cur = n;
+        while (cur != kNullNode) {
+          out.push_back(cur);
+          cur = tree.NextSibling(cur);
+        }
+      }
+      break;
+    case PathKind::kLeftSibStar:
+      for (NodeId n : from) {
+        NodeId cur = n;
+        while (cur != kNullNode) {
+          out.push_back(cur);
+          cur = tree.PrevSibling(cur);
+        }
+      }
+      break;
+    case PathKind::kSeq: {
+      std::vector<NodeId> mid = EvalPath(tree, *p.lhs, from);
+      return EvalPath(tree, *p.rhs, mid);
+    }
+    case PathKind::kUnion: {
+      out = EvalPath(tree, *p.lhs, from);
+      std::vector<NodeId> r = EvalPath(tree, *p.rhs, from);
+      out.insert(out.end(), r.begin(), r.end());
+      break;
+    }
+    case PathKind::kFilter: {
+      std::vector<NodeId> mid = EvalPath(tree, *p.lhs, from);
+      for (NodeId n : mid) {
+        if (EvalQualifier(tree, *p.qual, n)) out.push_back(n);
+      }
+      break;
+    }
+  }
+  SortUnique(&out);
+  return out;
+}
+
+bool EvalQualifier(const XmlTree& tree, const Qualifier& q, NodeId n) {
+  switch (q.kind) {
+    case QualKind::kPath:
+      return !EvalPath(tree, *q.path, {n}).empty();
+    case QualKind::kLabelTest:
+      return tree.label(n) == q.label;
+    case QualKind::kAttrCmpConst: {
+      for (NodeId m : EvalPath(tree, *q.path, {n})) {
+        const std::string* v = tree.GetAttr(m, q.attr);
+        if (v == nullptr) continue;
+        if (q.op == CmpOp::kEq ? (*v == q.constant) : (*v != q.constant)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case QualKind::kAttrJoin: {
+      std::vector<NodeId> l = EvalPath(tree, *q.path, {n});
+      std::vector<NodeId> r = EvalPath(tree, *q.path2, {n});
+      for (NodeId a : l) {
+        const std::string* va = tree.GetAttr(a, q.attr);
+        if (va == nullptr) continue;
+        for (NodeId b : r) {
+          const std::string* vb = tree.GetAttr(b, q.attr2);
+          if (vb == nullptr) continue;
+          if (q.op == CmpOp::kEq ? (*va == *vb) : (*va != *vb)) return true;
+        }
+      }
+      return false;
+    }
+    case QualKind::kAnd:
+      return EvalQualifier(tree, *q.q1, n) && EvalQualifier(tree, *q.q2, n);
+    case QualKind::kOr:
+      return EvalQualifier(tree, *q.q1, n) || EvalQualifier(tree, *q.q2, n);
+    case QualKind::kNot:
+      return !EvalQualifier(tree, *q.q1, n);
+  }
+  return false;
+}
+
+bool Satisfies(const XmlTree& tree, const PathExpr& p) {
+  if (tree.empty()) return false;
+  return SatisfiesAt(tree, p, tree.root());
+}
+
+bool SatisfiesAt(const XmlTree& tree, const PathExpr& p, NodeId context) {
+  return !EvalPath(tree, p, {context}).empty();
+}
+
+}  // namespace xpathsat

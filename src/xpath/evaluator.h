@@ -1,0 +1,30 @@
+// Reference evaluator implementing the binary-relation semantics of Sec. 2.2
+// (and the sibling-axis extension of Sec. 7.1). Used as ground truth by the
+// deciders' witness checks, the property tests, and the automaton validation.
+#ifndef XPATHSAT_XPATH_EVALUATOR_H_
+#define XPATHSAT_XPATH_EVALUATOR_H_
+
+#include <vector>
+
+#include "src/xml/tree.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// n[[p]]: all nodes reachable from any context node in `from` via `p`.
+/// Returns a sorted, duplicate-free vector.
+std::vector<NodeId> EvalPath(const XmlTree& tree, const PathExpr& p,
+                             const std::vector<NodeId>& from);
+
+/// T |= q(n): qualifier truth at a node.
+bool EvalQualifier(const XmlTree& tree, const Qualifier& q, NodeId n);
+
+/// T |= p at the root: r[[p]] nonempty.
+bool Satisfies(const XmlTree& tree, const PathExpr& p);
+
+/// T |= p at an arbitrary context node.
+bool SatisfiesAt(const XmlTree& tree, const PathExpr& p, NodeId context);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_XPATH_EVALUATOR_H_

@@ -1,0 +1,192 @@
+#include "src/xpath/features.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace xpathsat {
+
+namespace {
+
+void Merge(Features* a, const Features& b) {
+  a->label_step |= b.label_step;
+  a->wildcard |= b.wildcard;
+  a->descendant |= b.descendant;
+  a->parent |= b.parent;
+  a->ancestor |= b.ancestor;
+  a->right_sib |= b.right_sib;
+  a->left_sib |= b.left_sib;
+  a->right_sib_star |= b.right_sib_star;
+  a->left_sib_star |= b.left_sib_star;
+  a->union_op |= b.union_op;
+  a->qualifier |= b.qualifier;
+  a->negation |= b.negation;
+  a->data_values |= b.data_values;
+  a->label_test |= b.label_test;
+}
+
+}  // namespace
+
+Features DetectFeatures(const PathExpr& p) {
+  Features f;
+  switch (p.kind) {
+    case PathKind::kEmpty: break;
+    case PathKind::kLabel: f.label_step = true; break;
+    case PathKind::kChildAny: f.wildcard = true; break;
+    case PathKind::kDescOrSelf: f.descendant = true; break;
+    case PathKind::kParent: f.parent = true; break;
+    case PathKind::kAncOrSelf: f.ancestor = true; break;
+    case PathKind::kRightSib: f.right_sib = true; break;
+    case PathKind::kLeftSib: f.left_sib = true; break;
+    case PathKind::kRightSibStar: f.right_sib_star = true; break;
+    case PathKind::kLeftSibStar: f.left_sib_star = true; break;
+    case PathKind::kSeq:
+      Merge(&f, DetectFeatures(*p.lhs));
+      Merge(&f, DetectFeatures(*p.rhs));
+      break;
+    case PathKind::kUnion:
+      f.union_op = true;
+      Merge(&f, DetectFeatures(*p.lhs));
+      Merge(&f, DetectFeatures(*p.rhs));
+      break;
+    case PathKind::kFilter:
+      f.qualifier = true;
+      Merge(&f, DetectFeatures(*p.lhs));
+      Merge(&f, DetectFeatures(*p.qual));
+      break;
+  }
+  return f;
+}
+
+Features DetectFeatures(const Qualifier& q) {
+  Features f;
+  switch (q.kind) {
+    case QualKind::kPath:
+      Merge(&f, DetectFeatures(*q.path));
+      break;
+    case QualKind::kLabelTest:
+      f.label_test = true;
+      break;
+    case QualKind::kAttrCmpConst:
+      f.data_values = true;
+      Merge(&f, DetectFeatures(*q.path));
+      break;
+    case QualKind::kAttrJoin:
+      f.data_values = true;
+      Merge(&f, DetectFeatures(*q.path));
+      Merge(&f, DetectFeatures(*q.path2));
+      break;
+    case QualKind::kAnd:
+      Merge(&f, DetectFeatures(*q.q1));
+      Merge(&f, DetectFeatures(*q.q2));
+      break;
+    case QualKind::kOr:
+      f.union_op = true;
+      Merge(&f, DetectFeatures(*q.q1));
+      Merge(&f, DetectFeatures(*q.q2));
+      break;
+    case QualKind::kNot:
+      f.negation = true;
+      Merge(&f, DetectFeatures(*q.q1));
+      break;
+  }
+  return f;
+}
+
+namespace {
+int CapDepth(long long d) {
+  return d >= kUnboundedDepth ? kUnboundedDepth : static_cast<int>(d);
+}
+}  // namespace
+
+int DownwardDepth(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kEmpty:
+    case PathKind::kParent:
+    case PathKind::kAncOrSelf:
+    case PathKind::kRightSib:
+    case PathKind::kLeftSib:
+    case PathKind::kRightSibStar:
+    case PathKind::kLeftSibStar:
+      return 0;
+    case PathKind::kLabel:
+    case PathKind::kChildAny:
+      return 1;
+    case PathKind::kDescOrSelf:
+      return kUnboundedDepth;
+    case PathKind::kSeq:
+      return CapDepth(static_cast<long long>(DownwardDepth(*p.lhs)) +
+                      DownwardDepth(*p.rhs));
+    case PathKind::kUnion:
+      return std::max(DownwardDepth(*p.lhs), DownwardDepth(*p.rhs));
+    case PathKind::kFilter:
+      return CapDepth(static_cast<long long>(DownwardDepth(*p.lhs)) +
+                      DownwardDepth(*p.qual));
+  }
+  return kUnboundedDepth;
+}
+
+int DownwardDepth(const Qualifier& q) {
+  switch (q.kind) {
+    case QualKind::kPath:
+      return DownwardDepth(*q.path);
+    case QualKind::kLabelTest:
+      return 0;
+    case QualKind::kAttrCmpConst:
+      return DownwardDepth(*q.path);
+    case QualKind::kAttrJoin:
+      return std::max(DownwardDepth(*q.path), DownwardDepth(*q.path2));
+    case QualKind::kAnd:
+    case QualKind::kOr:
+      return std::max(DownwardDepth(*q.q1), DownwardDepth(*q.q2));
+    case QualKind::kNot:
+      return DownwardDepth(*q.q1);
+  }
+  return kUnboundedDepth;
+}
+
+int CountSteps(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kEmpty:
+      return 0;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+      return CapDepth(static_cast<long long>(CountSteps(*p.lhs)) +
+                      CountSteps(*p.rhs));
+    case PathKind::kFilter:
+      return CapDepth(static_cast<long long>(CountSteps(*p.lhs)) +
+                      CountSteps(*p.qual));
+    default:
+      return 1;
+  }
+}
+
+int CountSteps(const Qualifier& q) {
+  long long n = 0;
+  if (q.path) n += CountSteps(*q.path);
+  if (q.path2) n += CountSteps(*q.path2);
+  if (q.q1) n += CountSteps(*q.q1);
+  if (q.q2) n += CountSteps(*q.q2);
+  return CapDepth(n);
+}
+
+std::string Features::FragmentName() const {
+  std::vector<std::string> ops;
+  if (label_step || wildcard) ops.push_back("down");
+  if (descendant) ops.push_back("ds");
+  if (parent) ops.push_back("up");
+  if (ancestor) ops.push_back("as");
+  if (right_sib || left_sib) ops.push_back("sib");
+  if (right_sib_star || left_sib_star) ops.push_back("sib*");
+  if (union_op) ops.push_back("union");
+  if (qualifier) ops.push_back("[]");
+  if (data_values) ops.push_back("=");
+  if (negation) ops.push_back("not");
+  std::string out = "X(";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ops[i];
+  }
+  return out + ")";
+}
+
+}  // namespace xpathsat

@@ -1,0 +1,63 @@
+// Fragment detection: which of the paper's operators a query uses. The
+// satisfiability facade uses this to dispatch to the right decision procedure,
+// mirroring the fragment notation X(↓,↓*,↑,↑*,∪,[],=,¬) of Sec. 2.2.
+#ifndef XPATHSAT_XPATH_FEATURES_H_
+#define XPATHSAT_XPATH_FEATURES_H_
+
+#include <string>
+
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// Operator usage of a query.
+struct Features {
+  bool label_step = false;     // l
+  bool wildcard = false;       // ↓
+  bool descendant = false;     // ↓*
+  bool parent = false;         // ↑
+  bool ancestor = false;       // ↑*
+  bool right_sib = false;      // →
+  bool left_sib = false;       // ←
+  bool right_sib_star = false; // →*
+  bool left_sib_star = false;  // ←*
+  bool union_op = false;       // ∪ or ∨
+  bool qualifier = false;      // [ ]
+  bool negation = false;       // ¬
+  bool data_values = false;    // = / != comparisons
+  bool label_test = false;     // lab() = A
+
+  /// ↑ or ↑*.
+  bool HasUpward() const { return parent || ancestor; }
+  /// ↓* or ↑*.
+  bool HasRecursion() const { return descendant || ancestor; }
+  /// Any sibling axis.
+  bool HasSibling() const {
+    return right_sib || left_sib || right_sib_star || left_sib_star;
+  }
+  /// No negation (the positive fragments of Sec. 4).
+  bool IsPositive() const { return !negation; }
+
+  /// Paper-style fragment name, e.g. "X(down,ds,up,union,[],=,not)".
+  std::string FragmentName() const;
+};
+
+/// Detects the operators used by a path / qualifier.
+Features DetectFeatures(const PathExpr& p);
+Features DetectFeatures(const Qualifier& q);
+
+/// Conservative bound on the depth below the context node a query can
+/// inspect. Recursive axes yield kUnboundedDepth.
+inline constexpr int kUnboundedDepth = 1 << 20;
+int DownwardDepth(const PathExpr& p);
+int DownwardDepth(const Qualifier& q);
+
+/// Number of navigation steps (labels, axes) in the query — an upper bound on
+/// the number of witness children any single node needs (the witness(n, T0)
+/// argument of Thm 5.5 adds at most one child per subquery step).
+int CountSteps(const PathExpr& p);
+int CountSteps(const Qualifier& q);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_XPATH_FEATURES_H_

@@ -1,0 +1,376 @@
+#include "src/xpath/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace xpathsat {
+
+namespace {
+
+enum class Tok {
+  kName, kString, kDot, kStar, kDStar, kCaret, kDCaret, kGt, kDGt, kLt, kDLt,
+  kSlash, kPipe, kDPipe, kLBracket, kRBracket, kLParen, kRParen, kBang, kNeq,
+  kEq, kAmpAmp, kAt, kEnd, kError,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Tokenize(); }
+
+  const Token& Peek(int ahead = 0) const {
+    size_t i = cursor_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Take() {
+    Token t = Peek();
+    if (cursor_ < tokens_.size() - 1) ++cursor_;
+    return t;
+  }
+  bool Consume(Tok kind) {
+    if (Peek().kind == kind) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+  size_t cursor() const { return cursor_; }
+  void set_cursor(size_t c) { cursor_ = c; }
+  const std::string& error() const { return error_; }
+
+ private:
+  void Push(Tok kind, std::string text, size_t pos) {
+    tokens_.push_back({kind, std::move(text), pos});
+  }
+
+  void Tokenize() {
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      size_t pos = i;
+      auto two = [&](char next) {
+        return i + 1 < text_.size() && text_[i + 1] == next;
+      };
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                text_[j] == '_')) {
+          ++j;
+        }
+        Push(Tok::kName, text_.substr(i, j - i), pos);
+        i = j;
+        continue;
+      }
+      switch (c) {
+        case '"': {
+          size_t j = i + 1;
+          while (j < text_.size() && text_[j] != '"') ++j;
+          if (j >= text_.size()) {
+            error_ = "unterminated string literal";
+            Push(Tok::kError, "", pos);
+            Push(Tok::kEnd, "", pos);
+            return;
+          }
+          Push(Tok::kString, text_.substr(i + 1, j - i - 1), pos);
+          i = j + 1;
+          break;
+        }
+        case '.': Push(Tok::kDot, ".", pos); ++i; break;
+        case '*':
+          if (two('*')) { Push(Tok::kDStar, "**", pos); i += 2; }
+          else { Push(Tok::kStar, "*", pos); ++i; }
+          break;
+        case '^':
+          if (two('^')) { Push(Tok::kDCaret, "^^", pos); i += 2; }
+          else { Push(Tok::kCaret, "^", pos); ++i; }
+          break;
+        case '>':
+          if (two('>')) { Push(Tok::kDGt, ">>", pos); i += 2; }
+          else { Push(Tok::kGt, ">", pos); ++i; }
+          break;
+        case '<':
+          if (two('<')) { Push(Tok::kDLt, "<<", pos); i += 2; }
+          else { Push(Tok::kLt, "<", pos); ++i; }
+          break;
+        case '/': Push(Tok::kSlash, "/", pos); ++i; break;
+        case '|':
+          if (two('|')) { Push(Tok::kDPipe, "||", pos); i += 2; }
+          else { Push(Tok::kPipe, "|", pos); ++i; }
+          break;
+        case '[': Push(Tok::kLBracket, "[", pos); ++i; break;
+        case ']': Push(Tok::kRBracket, "]", pos); ++i; break;
+        case '(': Push(Tok::kLParen, "(", pos); ++i; break;
+        case ')': Push(Tok::kRParen, ")", pos); ++i; break;
+        case '!':
+          if (two('=')) { Push(Tok::kNeq, "!=", pos); i += 2; }
+          else { Push(Tok::kBang, "!", pos); ++i; }
+          break;
+        case '=': Push(Tok::kEq, "=", pos); ++i; break;
+        case '&':
+          if (two('&')) { Push(Tok::kAmpAmp, "&&", pos); i += 2; }
+          else {
+            error_ = "single '&'";
+            Push(Tok::kError, "&", pos);
+            ++i;
+          }
+          break;
+        case '@': Push(Tok::kAt, "@", pos); ++i; break;
+        default:
+          error_ = std::string("unexpected character '") + c + "'";
+          Push(Tok::kError, std::string(1, c), pos);
+          ++i;
+          break;
+      }
+      if (!error_.empty()) break;
+    }
+    Push(Tok::kEnd, "", text_.size());
+  }
+
+  const std::string& text_;
+  std::vector<Token> tokens_;
+  size_t cursor_ = 0;
+  std::string error_;
+};
+
+using PathPtr = std::unique_ptr<PathExpr>;
+using QualPtr = std::unique_ptr<Qualifier>;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  Result<PathPtr> ParseFullPath() {
+    if (!lex_.error().empty()) return Result<PathPtr>::Error(lex_.error());
+    PathPtr p = ParseUnionPath();
+    if (p == nullptr) return Result<PathPtr>::Error(error_);
+    if (lex_.Peek().kind != Tok::kEnd) {
+      return Result<PathPtr>::Error("trailing input at position " +
+                                    std::to_string(lex_.Peek().pos));
+    }
+    return p;
+  }
+
+  Result<QualPtr> ParseFullQualifier() {
+    if (!lex_.error().empty()) return Result<QualPtr>::Error(lex_.error());
+    QualPtr q = ParseQualOr();
+    if (q == nullptr) return Result<QualPtr>::Error(error_);
+    if (lex_.Peek().kind != Tok::kEnd) {
+      return Result<QualPtr>::Error("trailing input at position " +
+                                    std::to_string(lex_.Peek().pos));
+    }
+    return q;
+  }
+
+ private:
+  PathPtr Fail(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = msg + " at position " + std::to_string(lex_.Peek().pos);
+    }
+    return nullptr;
+  }
+  QualPtr FailQ(const std::string& msg) {
+    Fail(msg);
+    return nullptr;
+  }
+
+  PathPtr ParseUnionPath() {
+    PathPtr first = ParseSeqPath();
+    if (!first) return nullptr;
+    while (lex_.Peek().kind == Tok::kPipe) {
+      lex_.Take();
+      PathPtr next = ParseSeqPath();
+      if (!next) return nullptr;
+      first = PathExpr::Union(std::move(first), std::move(next));
+    }
+    return first;
+  }
+
+  PathPtr ParseSeqPath() {
+    PathPtr first = ParsePostfix();
+    if (!first) return nullptr;
+    while (lex_.Peek().kind == Tok::kSlash) {
+      // Stop before "/@": that belongs to an attribute comparison.
+      if (lex_.Peek(1).kind == Tok::kAt) break;
+      lex_.Take();
+      PathPtr next = ParsePostfix();
+      if (!next) return nullptr;
+      first = PathExpr::Seq(std::move(first), std::move(next));
+    }
+    return first;
+  }
+
+  PathPtr ParsePostfix() {
+    PathPtr p = ParsePrimary();
+    if (!p) return nullptr;
+    while (lex_.Peek().kind == Tok::kLBracket) {
+      lex_.Take();
+      QualPtr q = ParseQualOr();
+      if (!q) return nullptr;
+      if (!lex_.Consume(Tok::kRBracket)) return Fail("expected ']'");
+      p = PathExpr::Filter(std::move(p), std::move(q));
+    }
+    return p;
+  }
+
+  PathPtr ParsePrimary() {
+    const Token& t = lex_.Peek();
+    switch (t.kind) {
+      case Tok::kDot: lex_.Take(); return PathExpr::Empty();
+      case Tok::kName: return PathExpr::Label(lex_.Take().text);
+      case Tok::kStar: lex_.Take(); return PathExpr::Axis(PathKind::kChildAny);
+      case Tok::kDStar: lex_.Take(); return PathExpr::Axis(PathKind::kDescOrSelf);
+      case Tok::kCaret: lex_.Take(); return PathExpr::Axis(PathKind::kParent);
+      case Tok::kDCaret: lex_.Take(); return PathExpr::Axis(PathKind::kAncOrSelf);
+      case Tok::kGt: lex_.Take(); return PathExpr::Axis(PathKind::kRightSib);
+      case Tok::kDGt: lex_.Take(); return PathExpr::Axis(PathKind::kRightSibStar);
+      case Tok::kLt: lex_.Take(); return PathExpr::Axis(PathKind::kLeftSib);
+      case Tok::kDLt: lex_.Take(); return PathExpr::Axis(PathKind::kLeftSibStar);
+      case Tok::kLParen: {
+        lex_.Take();
+        PathPtr p = ParseUnionPath();
+        if (!p) return nullptr;
+        if (!lex_.Consume(Tok::kRParen)) return Fail("expected ')'");
+        return p;
+      }
+      default:
+        return Fail("expected a path step");
+    }
+  }
+
+  QualPtr ParseQualOr() {
+    QualPtr first = ParseQualAnd();
+    if (!first) return nullptr;
+    while (lex_.Peek().kind == Tok::kDPipe) {
+      lex_.Take();
+      QualPtr next = ParseQualAnd();
+      if (!next) return nullptr;
+      first = Qualifier::Or(std::move(first), std::move(next));
+    }
+    return first;
+  }
+
+  QualPtr ParseQualAnd() {
+    QualPtr first = ParseQualNot();
+    if (!first) return nullptr;
+    while (lex_.Peek().kind == Tok::kAmpAmp) {
+      lex_.Take();
+      QualPtr next = ParseQualNot();
+      if (!next) return nullptr;
+      first = Qualifier::And(std::move(first), std::move(next));
+    }
+    return first;
+  }
+
+  QualPtr ParseQualNot() {
+    if (lex_.Consume(Tok::kBang)) {
+      QualPtr q = ParseQualNot();
+      if (!q) return nullptr;
+      return Qualifier::Not(std::move(q));
+    }
+    return ParseQualPrim();
+  }
+
+  QualPtr ParseQualPrim() {
+    // label()=A
+    if (lex_.Peek().kind == Tok::kName &&
+        (lex_.Peek().text == "label" || lex_.Peek().text == "lab") &&
+        lex_.Peek(1).kind == Tok::kLParen && lex_.Peek(2).kind == Tok::kRParen) {
+      lex_.Take();
+      lex_.Take();
+      lex_.Take();
+      if (!lex_.Consume(Tok::kEq)) return FailQ("expected '=' after label()");
+      if (lex_.Peek().kind != Tok::kName) {
+        return FailQ("expected element name after label()=");
+      }
+      return Qualifier::LabelTest(lex_.Take().text);
+    }
+    // Parenthesized qualifier vs. parenthesized path: try the qualifier
+    // reading first; backtrack if the parse does not close cleanly.
+    if (lex_.Peek().kind == Tok::kLParen) {
+      size_t save = lex_.cursor();
+      lex_.Take();
+      QualPtr q = ParseQualOr();
+      if (q && lex_.Consume(Tok::kRParen)) {
+        Tok next = lex_.Peek().kind;
+        if (next == Tok::kRBracket || next == Tok::kAmpAmp ||
+            next == Tok::kDPipe || next == Tok::kRParen || next == Tok::kEnd) {
+          return q;
+        }
+      }
+      lex_.set_cursor(save);
+      error_.clear();
+    }
+    return ParsePathQualifier();
+  }
+
+  // Parses: p | p/@a op "c" | p/@a op p2/@b | @a op ...  (with p = ε).
+  QualPtr ParsePathQualifier() {
+    PathPtr p;
+    if (lex_.Peek().kind == Tok::kAt) {
+      p = PathExpr::Empty();
+    } else {
+      p = ParseUnionPath();
+      if (!p) return nullptr;
+      if (!(lex_.Peek().kind == Tok::kSlash && lex_.Peek(1).kind == Tok::kAt)) {
+        return Qualifier::Path(std::move(p));
+      }
+      lex_.Take();  // '/'
+    }
+    if (!lex_.Consume(Tok::kAt)) return FailQ("expected '@'");
+    if (lex_.Peek().kind != Tok::kName) return FailQ("expected attribute name");
+    std::string attr = lex_.Take().text;
+    CmpOp op;
+    if (lex_.Consume(Tok::kEq)) {
+      op = CmpOp::kEq;
+    } else if (lex_.Consume(Tok::kNeq)) {
+      op = CmpOp::kNeq;
+    } else {
+      return FailQ("expected '=' or '!=' after attribute");
+    }
+    if (lex_.Peek().kind == Tok::kString) {
+      std::string c = lex_.Take().text;
+      return Qualifier::AttrCmpConst(std::move(p), std::move(attr), op,
+                                     std::move(c));
+    }
+    PathPtr p2;
+    if (lex_.Peek().kind == Tok::kAt) {
+      p2 = PathExpr::Empty();
+    } else {
+      p2 = ParseUnionPath();
+      if (!p2) return nullptr;
+      if (!lex_.Consume(Tok::kSlash)) {
+        return FailQ("expected '/@' on right-hand side of comparison");
+      }
+    }
+    if (!lex_.Consume(Tok::kAt)) return FailQ("expected '@'");
+    if (lex_.Peek().kind != Tok::kName) return FailQ("expected attribute name");
+    std::string attr2 = lex_.Take().text;
+    return Qualifier::AttrJoin(std::move(p), std::move(attr), op,
+                               std::move(p2), std::move(attr2));
+  }
+
+  Lexer lex_;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PathExpr>> ParsePath(const std::string& text) {
+  return Parser(text).ParseFullPath();
+}
+
+Result<std::unique_ptr<Qualifier>> ParseQualifier(const std::string& text) {
+  return Parser(text).ParseFullQualifier();
+}
+
+}  // namespace xpathsat

@@ -1,0 +1,27 @@
+// Parser for the concrete XPath syntax documented in ast.h.
+//
+// Path syntax:    .  NAME  *  **  ^  ^^  >  >>  <  <<  p/p  p|p  p[q]  (p)
+// Qualifier:      p  label()=NAME  p/@a="c"  p/@a!=p2/@b  q&&q  q||q  !q  (q)
+//
+// Constants in data-value comparisons must be double-quoted. `label` is a
+// reserved word inside qualifiers (label tests); use a different element name.
+#ifndef XPATHSAT_XPATH_PARSER_H_
+#define XPATHSAT_XPATH_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/util/status.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// Parses a path expression; the whole input must be consumed.
+Result<std::unique_ptr<PathExpr>> ParsePath(const std::string& text);
+
+/// Parses a qualifier; the whole input must be consumed.
+Result<std::unique_ptr<Qualifier>> ParseQualifier(const std::string& text);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_XPATH_PARSER_H_

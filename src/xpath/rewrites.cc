@@ -1,0 +1,455 @@
+#include "src/xpath/rewrites.h"
+
+#include <functional>
+#include <vector>
+
+namespace xpathsat {
+
+std::unique_ptr<PathExpr> InversePath(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kEmpty:
+      return PathExpr::Empty();
+    case PathKind::kLabel:
+      // inverse(l) = ε[lab() = l]/↑
+      return PathExpr::Seq(
+          PathExpr::Filter(PathExpr::Empty(), Qualifier::LabelTest(p.label)),
+          PathExpr::Axis(PathKind::kParent));
+    case PathKind::kChildAny:
+      return PathExpr::Axis(PathKind::kParent);
+    case PathKind::kDescOrSelf:
+      return PathExpr::Axis(PathKind::kAncOrSelf);
+    case PathKind::kParent:
+      return PathExpr::Axis(PathKind::kChildAny);
+    case PathKind::kAncOrSelf:
+      return PathExpr::Axis(PathKind::kDescOrSelf);
+    case PathKind::kRightSib:
+      return PathExpr::Axis(PathKind::kLeftSib);
+    case PathKind::kLeftSib:
+      return PathExpr::Axis(PathKind::kRightSib);
+    case PathKind::kRightSibStar:
+      return PathExpr::Axis(PathKind::kLeftSibStar);
+    case PathKind::kLeftSibStar:
+      return PathExpr::Axis(PathKind::kRightSibStar);
+    case PathKind::kSeq:
+      return PathExpr::Seq(InversePath(*p.rhs), InversePath(*p.lhs));
+    case PathKind::kUnion:
+      return PathExpr::Union(InversePath(*p.lhs), InversePath(*p.rhs));
+    case PathKind::kFilter:
+      // inverse(p1[q]) = ε[q]/inverse(p1)
+      return PathExpr::Seq(PathExpr::Filter(PathExpr::Empty(), p.qual->Clone()),
+                           InversePath(*p.lhs));
+  }
+  return PathExpr::Empty();
+}
+
+namespace {
+
+// Builder for the f(p) rewriting of Prop 3.3.
+class NormalizedRewriter {
+ public:
+  NormalizedRewriter(const Dtd& original, const NormalizedDtd& norm) {
+    for (const auto& t : original.types()) old_labels_.push_back(t.name);
+    chains_ = NewTypeDescentChains(norm);
+  }
+
+  Result<std::unique_ptr<PathExpr>> Rewrite(const PathExpr& p) {
+    std::unique_ptr<PathExpr> out = RewritePath(p);
+    if (out == nullptr) {
+      return Result<std::unique_ptr<PathExpr>>::Error(error_);
+    }
+    return out;
+  }
+
+ private:
+  // ∇ (skip downward): ε ∪ the label chains of new types.
+  std::unique_ptr<PathExpr> SkipDown() const {
+    std::vector<std::unique_ptr<PathExpr>> parts;
+    parts.push_back(PathExpr::Empty());
+    for (const auto& chain : chains_) {
+      std::vector<std::unique_ptr<PathExpr>> steps;
+      for (const auto& t : chain) steps.push_back(PathExpr::Label(t));
+      parts.push_back(PathExpr::SeqAll(std::move(steps)));
+    }
+    return PathExpr::UnionAll(std::move(parts));
+  }
+
+  // ∨_{A in old Ele} lab() = A.
+  std::unique_ptr<Qualifier> IsOld() const {
+    std::vector<std::unique_ptr<Qualifier>> tests;
+    for (const auto& a : old_labels_) tests.push_back(Qualifier::LabelTest(a));
+    return Qualifier::OrAll(std::move(tests));
+  }
+
+  // ∪_{A in old Ele} A as a single wildcard-with-old-label step.
+  std::unique_ptr<PathExpr> AnyOldChild() const {
+    return PathExpr::Filter(PathExpr::Axis(PathKind::kChildAny), IsOld());
+  }
+
+  std::unique_ptr<PathExpr> Fail(const std::string& msg) {
+    if (error_.empty()) error_ = msg;
+    return nullptr;
+  }
+
+  std::unique_ptr<PathExpr> RewritePath(const PathExpr& p) {
+    switch (p.kind) {
+      case PathKind::kEmpty:
+        return PathExpr::Empty();
+      case PathKind::kLabel:
+        // f(A) = ∇/A.
+        return PathExpr::Seq(SkipDown(), PathExpr::Label(p.label));
+      case PathKind::kChildAny:
+        // f(↓) = ∇/(any old-labeled child).
+        return PathExpr::Seq(SkipDown(), AnyOldChild());
+      case PathKind::kDescOrSelf:
+        // f(↓*) = ε ∪ ↓*/(any old-labeled child).
+        return PathExpr::Union(
+            PathExpr::Empty(),
+            PathExpr::Seq(PathExpr::Axis(PathKind::kDescOrSelf),
+                          AnyOldChild()));
+      case PathKind::kParent: {
+        // f(↑) = ↑[isOld] ∪ the reversed new-type chains followed by ↑.
+        std::vector<std::unique_ptr<PathExpr>> parts;
+        parts.push_back(
+            PathExpr::Filter(PathExpr::Axis(PathKind::kParent), IsOld()));
+        for (const auto& chain : chains_) {
+          std::vector<std::unique_ptr<PathExpr>> steps;
+          for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+            steps.push_back(PathExpr::Filter(PathExpr::Axis(PathKind::kParent),
+                                             Qualifier::LabelTest(*it)));
+          }
+          steps.push_back(PathExpr::Axis(PathKind::kParent));
+          parts.push_back(PathExpr::SeqAll(std::move(steps)));
+        }
+        return PathExpr::UnionAll(std::move(parts));
+      }
+      case PathKind::kAncOrSelf:
+        // f(↑*) = ε ∪ ↑*[isOld] excluding self-duplication is harmless.
+        return PathExpr::Union(
+            PathExpr::Empty(),
+            PathExpr::Filter(PathExpr::Axis(PathKind::kAncOrSelf), IsOld()));
+      case PathKind::kRightSib:
+      case PathKind::kLeftSib:
+      case PathKind::kRightSibStar:
+      case PathKind::kLeftSibStar:
+        return Fail("f(p) is undefined for sibling axes (Prop 3.3)");
+      case PathKind::kSeq: {
+        auto l = RewritePath(*p.lhs);
+        if (!l) return nullptr;
+        auto r = RewritePath(*p.rhs);
+        if (!r) return nullptr;
+        return PathExpr::Seq(std::move(l), std::move(r));
+      }
+      case PathKind::kUnion: {
+        auto l = RewritePath(*p.lhs);
+        if (!l) return nullptr;
+        auto r = RewritePath(*p.rhs);
+        if (!r) return nullptr;
+        return PathExpr::Union(std::move(l), std::move(r));
+      }
+      case PathKind::kFilter: {
+        auto l = RewritePath(*p.lhs);
+        if (!l) return nullptr;
+        auto q = RewriteQual(*p.qual);
+        if (!q) return nullptr;
+        return PathExpr::Filter(std::move(l), std::move(q));
+      }
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<Qualifier> RewriteQual(const Qualifier& q) {
+    switch (q.kind) {
+      case QualKind::kPath: {
+        auto p = RewritePath(*q.path);
+        if (!p) return nullptr;
+        return Qualifier::Path(std::move(p));
+      }
+      case QualKind::kLabelTest:
+        return Qualifier::LabelTest(q.label);
+      case QualKind::kAttrCmpConst: {
+        auto p = RewritePath(*q.path);
+        if (!p) return nullptr;
+        return Qualifier::AttrCmpConst(std::move(p), q.attr, q.op, q.constant);
+      }
+      case QualKind::kAttrJoin: {
+        auto p1 = RewritePath(*q.path);
+        if (!p1) return nullptr;
+        auto p2 = RewritePath(*q.path2);
+        if (!p2) return nullptr;
+        return Qualifier::AttrJoin(std::move(p1), q.attr, q.op, std::move(p2),
+                                   q.attr2);
+      }
+      case QualKind::kAnd: {
+        auto a = RewriteQual(*q.q1);
+        if (!a) return nullptr;
+        auto b = RewriteQual(*q.q2);
+        if (!b) return nullptr;
+        return Qualifier::And(std::move(a), std::move(b));
+      }
+      case QualKind::kOr: {
+        auto a = RewriteQual(*q.q1);
+        if (!a) return nullptr;
+        auto b = RewriteQual(*q.q2);
+        if (!b) return nullptr;
+        return Qualifier::Or(std::move(a), std::move(b));
+      }
+      case QualKind::kNot: {
+        auto a = RewriteQual(*q.q1);
+        if (!a) return nullptr;
+        return Qualifier::Not(std::move(a));
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<std::string> old_labels_;
+  std::vector<std::vector<std::string>> chains_;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PathExpr>> RewriteForNormalizedDtd(
+    const PathExpr& p, const Dtd& original, const NormalizedDtd& norm) {
+  return NormalizedRewriter(original, norm).Rewrite(p);
+}
+
+namespace {
+
+std::unique_ptr<PathExpr> AxisChainUnion(PathKind axis, int depth_bound) {
+  std::vector<std::unique_ptr<PathExpr>> parts;
+  parts.push_back(PathExpr::Empty());
+  std::unique_ptr<PathExpr> chain;
+  for (int k = 1; k <= depth_bound; ++k) {
+    chain = chain ? PathExpr::Seq(std::move(chain), PathExpr::Axis(axis))
+                  : PathExpr::Axis(axis);
+    parts.push_back(chain->Clone());
+  }
+  return PathExpr::UnionAll(std::move(parts));
+}
+
+std::unique_ptr<Qualifier> EliminateRecursionQual(const Qualifier& q, int k);
+
+std::unique_ptr<PathExpr> EliminateRecursionPath(const PathExpr& p, int k) {
+  switch (p.kind) {
+    case PathKind::kDescOrSelf:
+      return AxisChainUnion(PathKind::kChildAny, k);
+    case PathKind::kAncOrSelf:
+      return AxisChainUnion(PathKind::kParent, k);
+    case PathKind::kSeq:
+      return PathExpr::Seq(EliminateRecursionPath(*p.lhs, k),
+                           EliminateRecursionPath(*p.rhs, k));
+    case PathKind::kUnion:
+      return PathExpr::Union(EliminateRecursionPath(*p.lhs, k),
+                             EliminateRecursionPath(*p.rhs, k));
+    case PathKind::kFilter:
+      return PathExpr::Filter(EliminateRecursionPath(*p.lhs, k),
+                              EliminateRecursionQual(*p.qual, k));
+    default:
+      return p.Clone();
+  }
+}
+
+std::unique_ptr<Qualifier> EliminateRecursionQual(const Qualifier& q, int k) {
+  auto out = q.Clone();
+  switch (q.kind) {
+    case QualKind::kPath:
+      out->path = EliminateRecursionPath(*q.path, k);
+      break;
+    case QualKind::kAttrCmpConst:
+      out->path = EliminateRecursionPath(*q.path, k);
+      break;
+    case QualKind::kAttrJoin:
+      out->path = EliminateRecursionPath(*q.path, k);
+      out->path2 = EliminateRecursionPath(*q.path2, k);
+      break;
+    case QualKind::kAnd:
+    case QualKind::kOr:
+      out->q1 = EliminateRecursionQual(*q.q1, k);
+      if (q.q2) out->q2 = EliminateRecursionQual(*q.q2, k);
+      break;
+    case QualKind::kNot:
+      out->q1 = EliminateRecursionQual(*q.q1, k);
+      break;
+    case QualKind::kLabelTest:
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<PathExpr> EliminateRecursion(const PathExpr& p,
+                                             int depth_bound) {
+  return EliminateRecursionPath(p, depth_bound);
+}
+
+namespace {
+
+// Flattens a pure step sequence (ε, labels, ↓, ↑); fails on anything else.
+bool FlattenSteps(const PathExpr& p, std::vector<const PathExpr*>* out) {
+  switch (p.kind) {
+    case PathKind::kSeq:
+      return FlattenSteps(*p.lhs, out) && FlattenSteps(*p.rhs, out);
+    case PathKind::kEmpty:
+    case PathKind::kLabel:
+    case PathKind::kChildAny:
+    case PathKind::kParent:
+      out->push_back(&p);
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<UpDownRewrite> RewriteUpDownToQualifiers(const PathExpr& p) {
+  std::vector<const PathExpr*> steps;
+  if (!FlattenSteps(p, &steps)) {
+    return Result<UpDownRewrite>::Error(
+        "query is not in X(down,up): only ε, label, ↓, ↑ steps allowed");
+  }
+  // Entries simulate the navigation; popping on ↑ turns the popped downward
+  // step into a qualifier on the node below (rules (1)-(4) of Thm 6.8(2)).
+  struct Entry {
+    std::unique_ptr<PathExpr> step;  // ε for the virtual root entry
+    std::vector<std::unique_ptr<Qualifier>> quals;
+  };
+  std::vector<Entry> stack;
+  stack.push_back({PathExpr::Empty(), {}});
+  for (const PathExpr* s : steps) {
+    switch (s->kind) {
+      case PathKind::kEmpty:
+        break;  // identity
+      case PathKind::kLabel:
+      case PathKind::kChildAny:
+        stack.push_back({s->Clone(), {}});
+        break;
+      case PathKind::kParent: {
+        if (stack.size() == 1) {
+          // ↑ above the context root: unsatisfiable at the root.
+          UpDownRewrite out;
+          out.always_unsat = true;
+          return out;
+        }
+        Entry e = std::move(stack.back());
+        stack.pop_back();
+        std::unique_ptr<PathExpr> path = std::move(e.step);
+        for (auto& q : e.quals) {
+          path = PathExpr::Filter(std::move(path), std::move(q));
+        }
+        stack.back().quals.push_back(Qualifier::Path(std::move(path)));
+        break;
+      }
+      default:
+        return Result<UpDownRewrite>::Error("unexpected step");
+    }
+  }
+  // Assemble ε[q...]/s1[q...]/s2[q...]
+  std::vector<std::unique_ptr<PathExpr>> parts;
+  for (size_t i = 0; i < stack.size(); ++i) {
+    Entry& e = stack[i];
+    if (i == 0 && e.quals.empty()) continue;  // skip bare virtual root
+    std::unique_ptr<PathExpr> part = std::move(e.step);
+    for (auto& q : e.quals) {
+      part = PathExpr::Filter(std::move(part), std::move(q));
+    }
+    parts.push_back(std::move(part));
+  }
+  UpDownRewrite out;
+  if (parts.empty()) {
+    out.path = PathExpr::Empty();
+  } else {
+    out.path = PathExpr::SeqAll(std::move(parts));
+  }
+  return out;
+}
+
+namespace {
+
+// X(↓,[]) -> X(↓,↑): descent with depth accounting.
+struct Descent {
+  std::unique_ptr<PathExpr> path;
+  int depth = 0;
+  bool ok = false;
+};
+
+Descent DescendPath(const PathExpr& p);
+
+// Round trip for a qualifier: a path that starts and ends at the same node.
+std::unique_ptr<PathExpr> QualRoundTrip(const Qualifier& q) {
+  switch (q.kind) {
+    case QualKind::kPath: {
+      Descent d = DescendPath(*q.path);
+      if (!d.ok) return nullptr;
+      std::unique_ptr<PathExpr> out = std::move(d.path);
+      for (int i = 0; i < d.depth; ++i) {
+        out = PathExpr::Seq(std::move(out), PathExpr::Axis(PathKind::kParent));
+      }
+      return out;
+    }
+    case QualKind::kAnd: {
+      auto a = QualRoundTrip(*q.q1);
+      if (!a) return nullptr;
+      auto b = QualRoundTrip(*q.q2);
+      if (!b) return nullptr;
+      return PathExpr::Seq(std::move(a), std::move(b));
+    }
+    default:
+      return nullptr;  // label tests / or / not / data not expressible
+  }
+}
+
+Descent DescendPath(const PathExpr& p) {
+  Descent out;
+  switch (p.kind) {
+    case PathKind::kEmpty:
+      out.path = PathExpr::Empty();
+      out.depth = 0;
+      out.ok = true;
+      return out;
+    case PathKind::kLabel:
+    case PathKind::kChildAny:
+      out.path = p.Clone();
+      out.depth = 1;
+      out.ok = true;
+      return out;
+    case PathKind::kSeq: {
+      Descent a = DescendPath(*p.lhs);
+      if (!a.ok) return out;
+      Descent b = DescendPath(*p.rhs);
+      if (!b.ok) return out;
+      out.path = PathExpr::Seq(std::move(a.path), std::move(b.path));
+      out.depth = a.depth + b.depth;
+      out.ok = true;
+      return out;
+    }
+    case PathKind::kFilter: {
+      Descent a = DescendPath(*p.lhs);
+      if (!a.ok) return out;
+      auto trip = QualRoundTrip(*p.qual);
+      if (!trip) return out;
+      out.path = PathExpr::Seq(std::move(a.path), std::move(trip));
+      out.depth = a.depth;
+      out.ok = true;
+      return out;
+    }
+    default:
+      return out;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PathExpr>> RewriteQualifiersToUpDown(const PathExpr& p) {
+  Descent d = DescendPath(p);
+  if (!d.ok) {
+    return Result<std::unique_ptr<PathExpr>>::Error(
+        "query outside the label-test-free fragment X(down,[]) "
+        "(Thm 6.6(3) rewriting)");
+  }
+  return std::move(d.path);
+}
+
+}  // namespace xpathsat

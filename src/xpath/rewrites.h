@@ -1,0 +1,55 @@
+// Query rewritings used throughout the paper:
+//  * inverse(p)            — Prop 3.2 / Marx & de Rijke, for containment↔sat;
+//  * f(p) for N(D)         — Prop 3.3, evaluation-preserving rewriting onto
+//                            normalized DTDs;
+//  * recursion elimination — Prop 6.1, ↓* -> ε∪↓∪...∪↓^k under nonrecursive
+//                            DTDs;
+//  * X(↓,↑) -> X(↓,[])     — Thm 6.8(2) rewriting (qualifier introduction);
+//  * X(↓,[]) -> X(↓,↑)     — Thm 6.6(3) rewriting (qualifier elimination,
+//                            label-test-free queries).
+#ifndef XPATHSAT_XPATH_REWRITES_H_
+#define XPATHSAT_XPATH_REWRITES_H_
+
+#include <memory>
+
+#include "src/util/status.h"
+#include "src/xml/dtd.h"
+#include "src/xml/normalize.h"
+#include "src/xpath/ast.h"
+
+namespace xpathsat {
+
+/// inverse(p): for any tree and nodes n, n', T |= p(n,n') iff
+/// T |= inverse(p)(n',n). Defined for all fragments (sibling axes included by
+/// the obvious extension). Label steps become ε[label()=l]/↑.
+std::unique_ptr<PathExpr> InversePath(const PathExpr& p);
+
+/// f(p) of Proposition 3.3: rewrites `p` so that for trees T |= D embedded in
+/// T' |= N(D), T |= p iff T' |= f(p). Requires: no sibling axes.
+Result<std::unique_ptr<PathExpr>> RewriteForNormalizedDtd(
+    const PathExpr& p, const Dtd& original, const NormalizedDtd& norm);
+
+/// Replaces every ↓* by ε∪↓∪...∪↓^depth_bound and every ↑* by ε∪↑∪...∪↑^k
+/// (Prop 6.1; sound and complete under nonrecursive DTDs with depth ≤ k).
+std::unique_ptr<PathExpr> EliminateRecursion(const PathExpr& p,
+                                             int depth_bound);
+
+/// Result of the X(↓,↑) -> X(↓,[]) rewriting.
+struct UpDownRewrite {
+  /// True when the query ascends above the root and is hence unsatisfiable.
+  bool always_unsat = false;
+  /// The equivalent X(↓,[]) query (null iff always_unsat).
+  std::unique_ptr<PathExpr> path;
+};
+
+/// Thm 6.8(2): rewrites a query of X(↓,↑) (steps only: labels, ↓, ↑, ε) into
+/// an equivalent (at any context node) X(↓,[]) query.
+Result<UpDownRewrite> RewriteUpDownToQualifiers(const PathExpr& p);
+
+/// Thm 6.6(3) / Benedikt et al. 2005: rewrites a label-test-free, union-free,
+/// negation-free, data-free X(↓,[]) query into an equivalent X(↓,↑) query.
+Result<std::unique_ptr<PathExpr>> RewriteQualifiersToUpDown(const PathExpr& p);
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_XPATH_REWRITES_H_

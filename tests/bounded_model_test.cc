@@ -1,0 +1,113 @@
+#include "src/sat/bounded_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xml/dtd.h"
+#include "src/xpath/evaluator.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+TEST(BoundedModelTest, BasicSatAndUnsat) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, (B + C)\nA -> eps\nB -> eps\nC -> eps\n");
+  BoundedModelOptions opt;
+  opt.max_depth = 3;
+  SatDecision sat = BoundedModelSat(*Path("A"), d, opt);
+  EXPECT_TRUE(sat.sat());
+  ASSERT_TRUE(sat.witness.has_value());
+  EXPECT_TRUE(d.Validate(*sat.witness).ok());
+  EXPECT_TRUE(BoundedModelSat(*Path("B"), d, opt).sat());
+  EXPECT_TRUE(BoundedModelSat(*Path(".[B && C]"), d, opt).unsat());
+  EXPECT_TRUE(BoundedModelSat(*Path("Z"), d, opt).unsat());
+}
+
+TEST(BoundedModelTest, NegationSemantics) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  BoundedModelOptions opt;
+  opt.max_depth = 2;
+  opt.max_star = 2;
+  // "no A child" is satisfiable (empty star).
+  EXPECT_TRUE(BoundedModelSat(*Path(".[!(A)]"), d, opt).sat());
+  // "some A and no A" is not.
+  EXPECT_TRUE(BoundedModelSat(*Path(".[A && !(A)]"), d, opt).unsat());
+}
+
+TEST(BoundedModelTest, DataValues) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, A\nA -> eps\nattrs A: v\n");
+  BoundedModelOptions opt;
+  opt.max_depth = 2;
+  // Two A children with different values.
+  SatDecision diff = BoundedModelSat(*Path(".[A/@v!=A/@v]"), d, opt);
+  EXPECT_TRUE(diff.sat());
+  ASSERT_TRUE(diff.witness.has_value());
+  EXPECT_TRUE(Satisfies(*diff.witness, *Path(".[A/@v!=A/@v]")));
+  // A value equal to a constant.
+  EXPECT_TRUE(BoundedModelSat(*Path(".[A/@v=\"7\"]"), d, opt).sat());
+  // Contradiction: some A equal and not equal to the same constant is fine
+  // (two As), but a single forced A cannot be both.
+  Dtd single = ParseDtdOrDie("root r\nr -> A\nA -> eps\nattrs A: v\n");
+  EXPECT_TRUE(
+      BoundedModelSat(*Path(".[A/@v=\"7\" && A/@v!=\"7\"]"), single, opt)
+          .unsat());
+}
+
+TEST(BoundedModelTest, Example21And22FromPaper) {
+  // Example 2.1/2.2: the 3SAT DTD for φ = (x1 ∨ x2 ∨ ¬x3) with the X(∪,[])
+  // query; φ is satisfiable, so the instance is too.
+  Dtd d = ParseDtdOrDie(
+      "root r\nr -> X1, X2, X3\nX1 -> T + F\nX2 -> T + F\nX3 -> T + F\n"
+      "T -> eps\nF -> eps\n");
+  auto q = Path(".[X1/T || X2/T || X3/F]");
+  BoundedModelOptions opt;
+  opt.max_depth = 2;
+  SatDecision r = BoundedModelSat(*q, d, opt);
+  EXPECT_TRUE(r.sat());
+  // An unsatisfiable φ: (x1) ∧ (¬x1).
+  auto q2 = Path(".[X1/T && X1/F]");
+  EXPECT_TRUE(BoundedModelSat(*q2, d, opt).unsat());
+}
+
+TEST(BoundedModelTest, DepthCapReportsUnsatWithinBounds) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A\nA -> (A + eps)\n");
+  BoundedModelOptions opt;
+  opt.max_depth = 3;
+  // A chain of length 5 needs depth 5: not found within depth 3.
+  EXPECT_TRUE(BoundedModelSat(*Path("A/A/A/A/A"), d, opt).unsat());
+  EXPECT_TRUE(BoundedModelSat(*Path("A/A/A"), d, opt).sat());
+}
+
+TEST(BoundedModelTest, TreeCapYieldsUnknown) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> A*\n");
+  BoundedModelOptions opt;
+  opt.max_depth = 6;
+  opt.max_star = 3;
+  opt.max_trees = 5;
+  SatDecision r = BoundedModelSat(*Path("A/A/A/A/A/A/A"), d, opt);
+  EXPECT_EQ(r.verdict, SatVerdict::kUnknown);
+}
+
+TEST(BoundedModelTest, DeriveBoundsNonrecursiveDtd) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A\nA -> B\nB -> eps\n");
+  BoundedModelOptions cap;
+  cap.max_depth = 50;
+  BoundedModelOptions b = DeriveBounds(*Path("A[!(B)]"), d, cap);
+  EXPECT_EQ(b.max_depth, 2);  // DTD depth
+}
+
+TEST(BoundedModelTest, DeriveBoundsNonrecursiveQuery) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A\nA -> A + eps\n");
+  BoundedModelOptions cap;
+  cap.max_depth = 50;
+  BoundedModelOptions b = DeriveBounds(*Path("A[!(A)]"), d, cap);
+  EXPECT_LE(b.max_depth, 50);
+  EXPECT_GE(b.max_depth, 4);
+}
+
+TEST(BoundedModelTest, NonterminatingRoot) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A\nA -> A\n");
+  EXPECT_TRUE(BoundedModelSat(*Path("."), d, {}).unsat());
+}
+
+}  // namespace
+}  // namespace xpathsat

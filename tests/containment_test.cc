@@ -1,0 +1,102 @@
+#include "src/reductions/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xml/generator.h"
+#include "src/xpath/evaluator.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+const char* kDtd =
+    "root r\nr -> A, (B + C)\nA -> D*\nB -> D\nC -> eps\nD -> eps\n";
+
+TEST(ContainmentTest, ReflexiveAndUnion) {
+  Dtd d = ParseDtdOrDie(kDtd);
+  EXPECT_TRUE(DecideContainment(*Path("A"), *Path("A"), d).contained());
+  EXPECT_TRUE(DecideContainment(*Path("A"), *Path("A|B"), d).contained());
+  EXPECT_FALSE(DecideContainment(*Path("A|B"), *Path("A"), d).contained());
+  EXPECT_TRUE(DecideContainment(*Path("A/D"), *Path("*/D"), d).contained());
+  EXPECT_FALSE(DecideContainment(*Path("*/D"), *Path("A/D"), d).contained());
+}
+
+TEST(ContainmentTest, DtdMakesContainmentsHold) {
+  Dtd d = ParseDtdOrDie(kDtd);
+  // Under this DTD every D sits under A or B, so **/D ⊆ (A|B)/D.
+  EXPECT_TRUE(
+      DecideContainment(*Path("**/D"), *Path("A/D|B/D"), d).contained());
+  // Without the DTD this containment fails.
+  Dtd loose = ParseDtdOrDie(
+      "root r\nr -> A*, D*\nA -> D*\nB -> D*\nD -> eps\n");
+  EXPECT_FALSE(
+      DecideContainment(*Path("**/D"), *Path("A/D|B/D"), loose).contained());
+}
+
+TEST(ContainmentTest, WildcardVsLabel) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A\nA -> eps\n");
+  // Under r -> A, the only child is an A: * ⊆ A.
+  EXPECT_TRUE(DecideContainment(*Path("*"), *Path("A"), d).contained());
+  Dtd d2 = ParseDtdOrDie("root r\nr -> A + B\nA -> eps\nB -> eps\n");
+  EXPECT_FALSE(DecideContainment(*Path("*"), *Path("A"), d2).contained());
+}
+
+TEST(ContainmentTest, BooleanFragmentReduction) {
+  Dtd d = ParseDtdOrDie(kDtd);
+  // ε[q1] ⊆ ε[q2] iff ε[q1 ∧ ¬q2] unsatisfiable (Prop 3.2(2)).
+  auto w = BooleanContainmentWitnessQuery(*Qual("A && B"), *Qual("A"));
+  SatReport r = DecideSatisfiability(*w, d);
+  EXPECT_TRUE(r.unsat());  // contained
+  auto w2 = BooleanContainmentWitnessQuery(*Qual("A"), *Qual("B"));
+  SatReport r2 = DecideSatisfiability(*w2, d);
+  EXPECT_TRUE(r2.sat());  // not contained (C-branch trees)
+}
+
+TEST(ContainmentTest, WitnessDemonstratesNonContainment) {
+  Dtd d = ParseDtdOrDie(kDtd);
+  ContainmentReport r = DecideContainment(*Path("*/D"), *Path("A/D"), d);
+  ASSERT_FALSE(r.contained());
+  ASSERT_TRUE(r.witness.decision.witness.has_value());
+  const XmlTree& t = *r.witness.decision.witness;
+  EXPECT_TRUE(d.Validate(t).ok());
+  // On the witness, some node is reached by p1 but not by p2.
+  auto res1 = EvalPath(t, *Path("*/D"), {t.root()});
+  auto res2 = EvalPath(t, *Path("A/D"), {t.root()});
+  bool strict = false;
+  for (NodeId n : res1) {
+    if (!std::binary_search(res2.begin(), res2.end(), n)) strict = true;
+  }
+  EXPECT_TRUE(strict) << t.ToString();
+}
+
+class ContainmentSampling : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContainmentSampling, ContainedPairsHoldOnRandomTrees) {
+  Rng rng(GetParam() * 53);
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  RandomPathOptions opt;
+  opt.allow_upward = true;
+  for (int round = 0; round < 6; ++round) {
+    Dtd d = RandomDtd(&rng, /*recursive=*/false);
+    auto p1 = RandomPath(&rng, labels, 2, opt);
+    auto p2 = RandomPath(&rng, labels, 2, opt);
+    ContainmentReport r = DecideContainment(*p1, *p2, d);
+    if (!r.decided() || !r.contained()) continue;
+    // Sample conforming trees; containment must hold on each.
+    for (int s = 0; s < 10; ++s) {
+      XmlTree t = GenerateRandomTree(d, &rng);
+      auto res1 = EvalPath(t, *p1, {t.root()});
+      auto res2 = EvalPath(t, *p2, {t.root()});
+      for (NodeId n : res1) {
+        EXPECT_TRUE(std::binary_search(res2.begin(), res2.end(), n))
+            << p1->ToString() << " vs " << p2->ToString() << " on "
+            << t.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentSampling, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,80 @@
+// Corollary 5.7: containment bounds for fragments with negation, obtained
+// through Prop 3.2. These tests exercise the reductions themselves — Boolean
+// queries (Prop 3.2(2)) and inverse-closed fragments (Prop 3.2(3)) — on
+// fragments with negation, which prior work had not covered.
+#include <gtest/gtest.h>
+
+#include "src/reductions/containment.h"
+#include "src/xml/generator.h"
+#include "src/xpath/evaluator.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+const char* kDtd =
+    "root r\nr -> A*, (B + C)\nA -> D + eps\nB -> eps\nC -> eps\nD -> eps\n";
+
+TEST(Corollary57Test, BooleanFragmentWithNegation) {
+  Dtd d = ParseDtdOrDie(kDtd);
+  // ε[¬B] ⊆ ε[C]: under this DTD, no B implies C (exclusive disjunction).
+  auto w1 = BooleanContainmentWitnessQuery(*Qual("!B"), *Qual("C"));
+  EXPECT_TRUE(DecideSatisfiability(*w1, d).unsat());
+  // ε[¬C] ⊆ ε[B] symmetrically.
+  auto w2 = BooleanContainmentWitnessQuery(*Qual("!C"), *Qual("B"));
+  EXPECT_TRUE(DecideSatisfiability(*w2, d).unsat());
+  // ε[A] ⊄ ε[A[D]]: an A without D exists.
+  auto w3 = BooleanContainmentWitnessQuery(*Qual("A"), *Qual("A[D]"));
+  EXPECT_TRUE(DecideSatisfiability(*w3, d).sat());
+  // ε[A[D]] ⊆ ε[A].
+  auto w4 = BooleanContainmentWitnessQuery(*Qual("A[D]"), *Qual("A"));
+  EXPECT_TRUE(DecideSatisfiability(*w4, d).unsat());
+}
+
+TEST(Corollary57Test, InverseClosedReduction) {
+  Dtd d = ParseDtdOrDie(kDtd);
+  // A/D ⊆ */D and the converse (the only D parents are As).
+  EXPECT_TRUE(DecideContainment(*Path("A/D"), *Path("*/D"), d).contained());
+  EXPECT_TRUE(DecideContainment(*Path("*/D"), *Path("A/D"), d).contained());
+  // B ⊄ C.
+  EXPECT_FALSE(DecideContainment(*Path("B"), *Path("C"), d).contained());
+}
+
+class Corollary57Sampling : public ::testing::TestWithParam<int> {};
+
+TEST_P(Corollary57Sampling, BooleanContainmentMatchesSampledSemantics) {
+  Rng rng(GetParam() * 151);
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  RandomPathOptions opt;
+  opt.allow_negation = true;
+  for (int round = 0; round < 6; ++round) {
+    Dtd d = RandomDtd(&rng, /*recursive=*/false);
+    auto q1 = RandomQualifier(&rng, labels, 2, opt);
+    auto q2 = RandomQualifier(&rng, labels, 2, opt);
+    auto w = BooleanContainmentWitnessQuery(*q1, *q2);
+    SatReport r = DecideSatisfiability(*w, d);
+    if (r.decision.verdict == SatVerdict::kUnknown) continue;
+    if (r.unsat()) {
+      // Claimed containment: must hold on sampled conforming trees.
+      for (int s = 0; s < 12; ++s) {
+        XmlTree t = GenerateRandomTree(d, &rng);
+        if (EvalQualifier(t, *q1, t.root())) {
+          EXPECT_TRUE(EvalQualifier(t, *q2, t.root()))
+              << q1->ToString() << " vs " << q2->ToString() << " on "
+              << t.ToString();
+        }
+      }
+    } else if (r.decision.witness.has_value()) {
+      // Claimed non-containment: the witness is a counterexample.
+      const XmlTree& t = *r.decision.witness;
+      EXPECT_TRUE(d.Validate(t).ok());
+      EXPECT_TRUE(EvalQualifier(t, *q1, t.root()));
+      EXPECT_FALSE(EvalQualifier(t, *q2, t.root()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Corollary57Sampling, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,110 @@
+#include "src/sat/cq_sat.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xpath/evaluator.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+TEST(CqSatTest, SimpleDownward) {
+  for (const char* q : {"A", "A/B", "A[B && C]", "*[label()=A]/B", "."}) {
+    Result<SatDecision> r = CqSat(*Path(q));
+    ASSERT_TRUE(r.ok()) << q << ": " << r.error();
+    EXPECT_TRUE(r.value().sat()) << q;
+    ASSERT_TRUE(r.value().witness.has_value());
+    EXPECT_TRUE(Satisfies(*r.value().witness, *Path(q)))
+        << q << " vs " << r.value().witness->ToString();
+  }
+}
+
+TEST(CqSatTest, UpwardFromRootIsUnsat) {
+  EXPECT_TRUE(CqSat(*Path("^")).value().unsat());
+  EXPECT_TRUE(CqSat(*Path("A/^/^")).value().unsat());
+  EXPECT_TRUE(CqSat(*Path("A/^")).value().sat());
+  EXPECT_TRUE(CqSat(*Path("A/B/^/^/A")).value().sat());
+}
+
+TEST(CqSatTest, ParentMergingForcesLabelConflicts) {
+  // A child and B child of the same node via up-down: fine. But the parent of
+  // the same node cannot be both labeled A and B.
+  EXPECT_TRUE(CqSat(*Path("A/B/^[label()=A]")).value().sat());
+  EXPECT_TRUE(CqSat(*Path("A/B/^[label()=B]")).value().unsat());
+  EXPECT_TRUE(CqSat(*Path(".[label()=A && label()=B]")).value().unsat());
+}
+
+TEST(CqSatTest, DataValues) {
+  // Equality join across branches: satisfiable.
+  EXPECT_TRUE(CqSat(*Path(".[A/@a=B/@b]")).value().sat());
+  // a = "1" and a != "1" on the same reached node: the two path copies are
+  // distinct nodes, hence satisfiable.
+  EXPECT_TRUE(CqSat(*Path(".[A/@a=\"1\" && A/@a!=\"1\"]")).value().sat());
+  // But on the SAME node (self paths) it is contradictory.
+  EXPECT_TRUE(
+      CqSat(*Path("A[./@a=\"1\" && ./@a!=\"1\"]")).value().unsat());
+  // Chained constants: x = "1", x = y, y = "2" -> contradiction.
+  EXPECT_TRUE(CqSat(*Path("A[./@x=\"1\" && ./@x=./@y && ./@y=\"2\"]"))
+                  .value()
+                  .unsat());
+  EXPECT_TRUE(CqSat(*Path("A[./@x=\"1\" && ./@x=./@y && ./@y=\"1\"]"))
+                  .value()
+                  .sat());
+  // Self-inequality.
+  EXPECT_TRUE(CqSat(*Path("A[./@x!=./@x]")).value().unsat());
+  EXPECT_TRUE(CqSat(*Path("A[./@x!=./@y]")).value().sat());
+}
+
+TEST(CqSatTest, WitnessesCarryValues) {
+  auto p = Path(".[A/@a=\"42\" && A/@a=B/@b]");
+  Result<SatDecision> r = CqSat(*p);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().sat());
+  EXPECT_TRUE(Satisfies(*r.value().witness, *p))
+      << r.value().witness->ToString();
+}
+
+TEST(CqSatTest, ParentUniquenessMerges) {
+  // Two ways up from the same node must reach the same parent: A/^ and the
+  // root coincide; requiring the parent to be labeled differently from the
+  // root label test is a conflict.
+  auto p = Path(".[label()=R]/A/^[label()=Q]");
+  EXPECT_TRUE(CqSat(*p).value().unsat());
+  auto p2 = Path(".[label()=R]/A/^[label()=R]");
+  EXPECT_TRUE(CqSat(*p2).value().sat());
+}
+
+TEST(CqSatTest, RejectsOutOfFragment) {
+  EXPECT_FALSE(CqSat(*Path("A|B")).ok());
+  EXPECT_FALSE(CqSat(*Path("A[B || C]")).ok());
+  EXPECT_FALSE(CqSat(*Path("A[!(B)]")).ok());
+  EXPECT_FALSE(CqSat(*Path("**/A")).ok());
+  EXPECT_FALSE(CqSat(*Path("A/>")).ok());
+}
+
+class CqWitnessProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CqWitnessProperty, SatAnswersCarryVerifiedWitnesses) {
+  Rng rng(GetParam() * 31);
+  std::vector<std::string> labels = {"A", "B", "C"};
+  RandomPathOptions opt;
+  opt.allow_union = false;
+  opt.allow_recursion = false;
+  opt.allow_upward = true;
+  opt.allow_data = true;
+  for (int round = 0; round < 30; ++round) {
+    auto p = RandomPath(&rng, labels, 3, opt);
+    Result<SatDecision> r = CqSat(*p);
+    if (!r.ok()) continue;
+    if (r.value().sat()) {
+      ASSERT_TRUE(r.value().witness.has_value());
+      EXPECT_TRUE(Satisfies(*r.value().witness, *p))
+          << p->ToString() << " vs " << r.value().witness->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CqWitnessProperty, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace xpathsat

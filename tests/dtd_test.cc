@@ -1,0 +1,134 @@
+#include "src/xml/dtd.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+const char* kExample21 =  // Example 2.1 of the paper (3SAT DTD shape)
+    "root r\n"
+    "r -> X1, X2\n"
+    "X1 -> T + F\n"
+    "X2 -> T + F\n"
+    "T -> eps\n"
+    "F -> eps\n";
+
+TEST(DtdTest, ParseAndQuery) {
+  Dtd d = ParseDtdOrDie(kExample21);
+  EXPECT_EQ(d.root(), "r");
+  EXPECT_TRUE(d.HasType("X1"));
+  EXPECT_TRUE(d.HasType("T"));
+  EXPECT_FALSE(d.HasType("Z"));
+  EXPECT_EQ(d.Production("X1").ToString(), "T + F");
+}
+
+TEST(DtdTest, ParseRoundTrip) {
+  Dtd d = ParseDtdOrDie(kExample21);
+  Dtd d2 = ParseDtdOrDie(d.ToString());
+  EXPECT_EQ(d.ToString(), d2.ToString());
+}
+
+TEST(DtdTest, ParseErrors) {
+  EXPECT_FALSE(Dtd::Parse("").ok());
+  EXPECT_FALSE(Dtd::Parse("r - X").ok());
+  EXPECT_FALSE(Dtd::Parse("r -> (").ok());
+  EXPECT_FALSE(Dtd::Parse("attrs r a b").ok());  // missing ':'
+}
+
+TEST(DtdTest, Analyses) {
+  Dtd d = ParseDtdOrDie(kExample21);
+  EXPECT_FALSE(d.IsRecursive());
+  EXPECT_FALSE(d.IsDisjunctionFree());
+  EXPECT_FALSE(d.HasStar());
+  EXPECT_TRUE(d.IsNormalized());
+  EXPECT_TRUE(d.AllTypesTerminating());
+
+  Dtd rec = ParseDtdOrDie("root r\nr -> A\nA -> A + eps\n");
+  EXPECT_TRUE(rec.IsRecursive());
+  EXPECT_TRUE(rec.AllTypesTerminating());
+
+  Dtd nonterm = ParseDtdOrDie("root r\nr -> A\nA -> A\n");
+  EXPECT_TRUE(nonterm.IsRecursive());
+  EXPECT_FALSE(nonterm.AllTypesTerminating());
+  EXPECT_EQ(nonterm.TerminatingTypes().size(), 0u);  // r needs A
+
+  Dtd djf = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  EXPECT_TRUE(djf.IsDisjunctionFree());
+  EXPECT_TRUE(djf.HasStar());
+}
+
+TEST(DtdTest, NotNormalized) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, (B + C)\nA -> eps\nB -> eps\nC -> eps\n");
+  EXPECT_FALSE(d.IsNormalized());
+}
+
+TEST(DtdTest, ReachableAndChildMap) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A\nA -> B*\nB -> eps\nC -> eps\n");
+  auto cm = d.ChildMap();
+  EXPECT_EQ(cm["r"], (std::set<std::string>{"A"}));
+  EXPECT_EQ(cm["A"], (std::set<std::string>{"B"}));
+  auto reach = d.ReachableFrom("r");
+  EXPECT_TRUE(reach.count("A"));
+  EXPECT_TRUE(reach.count("B"));
+  EXPECT_FALSE(reach.count("C"));
+  EXPECT_FALSE(reach.count("r"));
+}
+
+TEST(DtdTest, ValidateAcceptsConformingTree) {
+  Dtd d = ParseDtdOrDie(kExample21);
+  XmlTree t;
+  NodeId r = t.CreateRoot("r");
+  NodeId x1 = t.AddChild(r, "X1");
+  t.AddChild(x1, "T");
+  NodeId x2 = t.AddChild(r, "X2");
+  t.AddChild(x2, "F");
+  EXPECT_TRUE(d.Validate(t).ok()) << d.Validate(t).message();
+}
+
+TEST(DtdTest, ValidateRejectsBadTrees) {
+  Dtd d = ParseDtdOrDie(kExample21);
+  {
+    XmlTree t;
+    t.CreateRoot("X1");  // wrong root
+    EXPECT_FALSE(d.Validate(t).ok());
+  }
+  {
+    XmlTree t;
+    NodeId r = t.CreateRoot("r");
+    t.AddChild(r, "X1");  // missing X2, X1 missing T/F child
+    EXPECT_FALSE(d.Validate(t).ok());
+  }
+  {
+    XmlTree t;
+    NodeId r = t.CreateRoot("r");
+    NodeId x1 = t.AddChild(r, "X1");
+    t.AddChild(x1, "T");
+    NodeId x2 = t.AddChild(r, "X2");
+    t.AddChild(x2, "T");
+    t.AddChild(x2, "F");  // X2 -> T + F: not both
+    EXPECT_FALSE(d.Validate(t).ok());
+  }
+}
+
+TEST(DtdTest, ValidateChecksAttributes) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A\nA -> eps\nattrs A: x y\n");
+  XmlTree t;
+  NodeId r = t.CreateRoot("r");
+  NodeId a = t.AddChild(r, "A");
+  EXPECT_FALSE(d.Validate(t).ok());  // missing attributes
+  t.SetAttr(a, "x", "1");
+  t.SetAttr(a, "y", "2");
+  EXPECT_TRUE(d.Validate(t).ok());
+  t.SetAttr(a, "z", "3");  // undeclared
+  EXPECT_FALSE(d.Validate(t).ok());
+}
+
+TEST(DtdTest, SizeCountsTypesAndRegexes) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B\nA -> eps\nB -> eps\n");
+  EXPECT_GT(d.Size(), 3);
+}
+
+}  // namespace
+}  // namespace xpathsat

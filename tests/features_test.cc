@@ -1,0 +1,55 @@
+#include "src/xpath/features.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+TEST(FeaturesTest, DetectsOperators) {
+  Features f = DetectFeatures(*Path("A/**[B || C]/^"));
+  EXPECT_TRUE(f.label_step);
+  EXPECT_TRUE(f.descendant);
+  EXPECT_TRUE(f.parent);
+  EXPECT_TRUE(f.union_op);  // || counts as ∪ (paper convention)
+  EXPECT_TRUE(f.qualifier);
+  EXPECT_FALSE(f.negation);
+  EXPECT_FALSE(f.data_values);
+  EXPECT_TRUE(f.HasUpward());
+  EXPECT_TRUE(f.HasRecursion());
+  EXPECT_TRUE(f.IsPositive());
+}
+
+TEST(FeaturesTest, NegationAndData) {
+  Features f = DetectFeatures(*Path("A[!(B) && ./@a=\"1\"]"));
+  EXPECT_TRUE(f.negation);
+  EXPECT_TRUE(f.data_values);
+  EXPECT_FALSE(f.IsPositive());
+  EXPECT_FALSE(f.HasRecursion());
+}
+
+TEST(FeaturesTest, Sibling) {
+  Features f = DetectFeatures(*Path("A/>/<<"));
+  EXPECT_TRUE(f.right_sib);
+  EXPECT_TRUE(f.left_sib_star);
+  EXPECT_TRUE(f.HasSibling());
+}
+
+TEST(FeaturesTest, LabelTestIsNotALabelStep) {
+  Features f = DetectFeatures(*Path("*[label()=A]"));
+  EXPECT_TRUE(f.label_test);
+  EXPECT_FALSE(f.label_step);
+  EXPECT_TRUE(f.wildcard);
+}
+
+TEST(FeaturesTest, FragmentNames) {
+  EXPECT_EQ(DetectFeatures(*Path("A/B")).FragmentName(), "X(down)");
+  EXPECT_EQ(DetectFeatures(*Path("A[B]|C")).FragmentName(),
+            "X(down,union,[])");
+  EXPECT_EQ(DetectFeatures(*Path("A[!(B)]")).FragmentName(),
+            "X(down,[],not)");
+}
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,70 @@
+#include "src/sat/fixed_dtd_sat.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sat/bounded_model.h"
+#include "src/xpath/features.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+TEST(EliminateStarsTest, BoundedDisjunction) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  Dtd e = EliminateStars(d, 2);
+  EXPECT_FALSE(e.HasStar());
+  EXPECT_EQ(e.Production("r").ToString(), "eps + A + A, A");
+  // Nested stars are eliminated inside-out.
+  Dtd d2 = ParseDtdOrDie("root r\nr -> (A, B*)*\nA -> eps\nB -> eps\n");
+  EXPECT_FALSE(EliminateStars(d2, 2).HasStar());
+}
+
+TEST(FixedDtdSatTest, MatchesTheorems) {
+  // Prop 6.4 example: fixed nonrecursive DTD, negation allowed.
+  Dtd d = ParseDtdOrDie("root r\nr -> A*, B\nA -> C + eps\nB -> eps\nC -> eps\n");
+  EXPECT_TRUE(FixedDtdSat(*Path("A[C]"), d).value().sat());
+  EXPECT_TRUE(FixedDtdSat(*Path(".[A[C] && A[!(C)]]"), d).value().sat());
+  EXPECT_TRUE(FixedDtdSat(*Path(".[!(A) && !(B)]"), d).value().unsat());
+  EXPECT_TRUE(FixedDtdSat(*Path("B[C]"), d).value().unsat());
+  EXPECT_TRUE(FixedDtdSat(*Path(".[!(A)]"), d).value().sat());
+}
+
+TEST(FixedDtdSatTest, RejectsRecursiveDtdAndData) {
+  Dtd rec = ParseDtdOrDie("root r\nr -> A\nA -> A + eps\n");
+  EXPECT_FALSE(FixedDtdSat(*Path("A"), rec).ok());
+  Dtd d = ParseDtdOrDie("root r\nr -> A\nA -> eps\nattrs A: v\n");
+  EXPECT_FALSE(FixedDtdSat(*Path(".[A/@v=\"1\"]"), d).ok());
+}
+
+class FixedDtdVsOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedDtdVsOracle, AgreesWithBoundedModel) {
+  Rng rng(GetParam() * 83);
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  RandomPathOptions opt;
+  opt.allow_negation = true;
+  opt.allow_upward = true;
+  for (int round = 0; round < 6; ++round) {
+    Dtd d = RandomDtd(&rng, /*recursive=*/false);
+    auto p = RandomPath(&rng, labels, 3, opt);
+    FixedDtdOptions fopt;
+    fopt.branch_bound = 3;
+    fopt.max_instances = 400000;
+    Result<SatDecision> fast = FixedDtdSat(*p, d, fopt);
+    ASSERT_TRUE(fast.ok()) << p->ToString();
+    if (fast.value().verdict == SatVerdict::kUnknown) continue;
+    BoundedModelOptions bounds;
+    bounds.max_depth = 5;
+    bounds.max_star = 3;
+    bounds.max_trees = 400000;
+    SatDecision slow = BoundedModelSat(*p, d, bounds);
+    if (slow.verdict == SatVerdict::kUnknown) continue;
+    EXPECT_EQ(fast.value().sat(), slow.sat())
+        << p->ToString() << "\n" << d.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedDtdVsOracle, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace xpathsat

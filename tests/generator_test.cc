@@ -1,0 +1,71 @@
+#include "src/xml/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+TEST(GeneratorTest, MinimalSizes) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> C\nB -> eps\nC -> eps\n");
+  auto sizes = MinimalExpansionSizes(d);
+  EXPECT_EQ(sizes["C"], 1);
+  EXPECT_EQ(sizes["A"], 2);
+  EXPECT_EQ(sizes["B"], 1);
+  EXPECT_EQ(sizes["r"], 3);  // r + A + C (star takes zero)
+}
+
+TEST(GeneratorTest, MinimalSizesSkipNonterminating) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A + B\nA -> A\nB -> eps\n");
+  auto sizes = MinimalExpansionSizes(d);
+  EXPECT_FALSE(sizes.count("A"));
+  EXPECT_EQ(sizes["r"], 2);  // picks the B branch
+}
+
+TEST(GeneratorTest, MinimalTreeConforms) {
+  Dtd d = ParseDtdOrDie(
+      "root r\nr -> A, (B + C)*, D\nA -> eps\nB -> A\nC -> eps\nD -> B + eps\n"
+      "attrs D: v\n");
+  XmlTree t = GenerateMinimalTree(d);
+  EXPECT_TRUE(d.Validate(t).ok()) << d.Validate(t).message() << "\n"
+                                  << t.ToString();
+}
+
+TEST(GeneratorTest, MinimalWordContaining) {
+  Regex re = Regex::Parse("A, (B + C)*, D").value();
+  std::map<std::string, long long> cost = {
+      {"A", 1}, {"B", 5}, {"C", 2}, {"D", 1}};
+  std::vector<std::string> word;
+  int tpos = -1;
+  ASSERT_TRUE(MinimalWordContaining(re, "B", cost, &word, &tpos));
+  ASSERT_EQ(word.size(), 3u);
+  EXPECT_EQ(word[tpos], "B");
+  EXPECT_EQ(word[0], "A");
+  EXPECT_EQ(word[2], "D");
+
+  word.clear();
+  EXPECT_FALSE(MinimalWordContaining(re, "Z", cost, &word, &tpos));
+}
+
+class RandomTreeConformance : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTreeConformance, RandomTreesConform) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    bool recursive = rng.Percent(50);
+    Dtd d = RandomDtd(&rng, recursive, /*allow_attrs=*/true);
+    RandomTreeOptions opt;
+    opt.max_nodes = rng.IntIn(5, 80);
+    XmlTree t = GenerateRandomTree(d, &rng, opt);
+    Status s = d.Validate(t);
+    EXPECT_TRUE(s.ok()) << s.message() << "\nDTD:\n"
+                        << d.ToString() << "tree: " << t.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeConformance,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,59 @@
+#include "src/sat/nodtd_sat.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xpath/evaluator.h"
+#include "src/xpath/features.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+TEST(NoDtdSatTest, LabelTestFreeQueriesAlwaysSat) {
+  // Thm 6.11(1): without label tests, every X(↓,↓*,∪,[]) query is satisfiable.
+  for (const char* q : {"A", "A/B/C", "**/A[B && C/D]", "A|B", "*/*/*",
+                        ".[A && B && C]", "A[**/B]"}) {
+    Result<SatDecision> r = NoDtdSat(*Path(q));
+    ASSERT_TRUE(r.ok()) << q;
+    EXPECT_TRUE(r.value().sat()) << q;
+  }
+}
+
+TEST(NoDtdSatTest, ConflictingLabelTests) {
+  EXPECT_TRUE(NoDtdSat(*Path(".[label()=A && label()=B]")).value().unsat());
+  EXPECT_TRUE(NoDtdSat(*Path("*[label()=A][label()=B]")).value().unsat());
+  EXPECT_TRUE(NoDtdSat(*Path("*[label()=A && label()=A]")).value().sat());
+  EXPECT_TRUE(
+      NoDtdSat(*Path(".[label()=A && label()=B || C]")).value().sat());
+  EXPECT_TRUE(NoDtdSat(*Path("A[label()=B]")).value().unsat());
+  EXPECT_TRUE(NoDtdSat(*Path("A/.[label()=A]")).value().sat());
+}
+
+TEST(NoDtdSatTest, WitnessesSatisfyTheQuery) {
+  Rng rng(3);
+  std::vector<std::string> labels = {"A", "B", "C"};
+  int sat_count = 0;
+  for (int round = 0; round < 60; ++round) {
+    auto p = RandomPath(&rng, labels, 4);
+    Result<SatDecision> r = NoDtdSat(*p);
+    ASSERT_TRUE(r.ok()) << p->ToString();
+    if (r.value().sat()) {
+      ++sat_count;
+      ASSERT_TRUE(r.value().witness.has_value());
+      EXPECT_TRUE(Satisfies(*r.value().witness, *p))
+          << p->ToString() << " not satisfied by "
+          << r.value().witness->ToString();
+    }
+  }
+  EXPECT_GT(sat_count, 30);  // most random positive queries are satisfiable
+}
+
+TEST(NoDtdSatTest, RejectsOutOfFragment) {
+  EXPECT_FALSE(NoDtdSat(*Path("A[!(B)]")).ok());
+  EXPECT_FALSE(NoDtdSat(*Path("A/^")).ok());
+  EXPECT_FALSE(NoDtdSat(*Path("A/>")).ok());
+  EXPECT_FALSE(NoDtdSat(*Path("A[./@v=\"0\"]")).ok());
+}
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,105 @@
+#include "src/xpath/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+class PathRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PathRoundTrip, ParsePrintParse) {
+  const char* text = GetParam();
+  Result<std::unique_ptr<PathExpr>> r = ParsePath(text);
+  ASSERT_TRUE(r.ok()) << text << ": " << r.error();
+  std::string printed = r.value()->ToString();
+  Result<std::unique_ptr<PathExpr>> r2 = ParsePath(printed);
+  ASSERT_TRUE(r2.ok()) << printed << ": " << r2.error();
+  EXPECT_EQ(printed, r2.value()->ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PathRoundTrip,
+    ::testing::Values(
+        ".", "A", "*", "**", "^", "^^", ">", ">>", "<", "<<", "A/B",
+        "A/*/B", "A|B", "(A|B)/C", "A[B]", "A[B && C]", "A[B || C]",
+        "A[!(B)]", ".[label()=A]", "A[./@a=\"1\"]", "A[B/@a!=\"c\"]",
+        "A[B/@a=C/@b]", "A[@a=@b]", "**/A[^^[label()=B]]",
+        "A/(B|C)/D", "(A/B)[C]", "A[B[C[D]]]", ".[!(A) && (B || !(C))]",
+        "X1/T|X2/F", "A[./@id=*/(**)/@id]", ">>[label()=S]",
+        "A[.[label()=B]/C]"));
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParsePath("").ok());
+  EXPECT_FALSE(ParsePath("A/").ok());
+  EXPECT_FALSE(ParsePath("A[").ok());
+  EXPECT_FALSE(ParsePath("A]").ok());
+  EXPECT_FALSE(ParsePath("A[]").ok());
+  EXPECT_FALSE(ParsePath("|A").ok());
+  EXPECT_FALSE(ParsePath("A[@a=]").ok());
+  EXPECT_FALSE(ParsePath("A[@a=\"unclosed]").ok());
+  EXPECT_FALSE(ParsePath("A & B").ok());
+}
+
+TEST(ParserTest, QualifierShapes) {
+  EXPECT_EQ(Qual("A && B")->kind, QualKind::kAnd);
+  EXPECT_EQ(Qual("A || B")->kind, QualKind::kOr);
+  EXPECT_EQ(Qual("!A")->kind, QualKind::kNot);
+  EXPECT_EQ(Qual("label()=A")->kind, QualKind::kLabelTest);
+  EXPECT_EQ(Qual("@a=\"1\"")->kind, QualKind::kAttrCmpConst);
+  EXPECT_EQ(Qual("@a!=B/@b")->kind, QualKind::kAttrJoin);
+  EXPECT_EQ(Qual("A/B")->kind, QualKind::kPath);
+  EXPECT_EQ(Qual("(A || B) && C")->kind, QualKind::kAnd);
+}
+
+TEST(ParserTest, PrecedenceAndGrouping) {
+  // && binds tighter than ||.
+  auto q = Qual("A || B && C");
+  ASSERT_EQ(q->kind, QualKind::kOr);
+  EXPECT_EQ(q->q2->kind, QualKind::kAnd);
+  // Union is lowest in paths: A|B/C = A | (B/C).
+  auto p = Path("A|B/C");
+  ASSERT_EQ(p->kind, PathKind::kUnion);
+  EXPECT_EQ(p->rhs->kind, PathKind::kSeq);
+  // Filter binds to the last step: A/B[q] = A/(B[q]).
+  p = Path("A/B[C]");
+  ASSERT_EQ(p->kind, PathKind::kSeq);
+  EXPECT_EQ(p->rhs->kind, PathKind::kFilter);
+  // (A/B)[q] filters the whole sequence.
+  p = Path("(A/B)[C]");
+  EXPECT_EQ(p->kind, PathKind::kFilter);
+}
+
+TEST(ParserTest, ParenthesizedPathVsQualifier) {
+  // '(A|B)/C' inside a qualifier is a path, not a qualifier group.
+  auto q = Qual("(A|B)/C");
+  ASSERT_EQ(q->kind, QualKind::kPath);
+  EXPECT_EQ(q->path->kind, PathKind::kSeq);
+  // '(A)' resolves to a path test as well.
+  EXPECT_EQ(Qual("(A)")->kind, QualKind::kPath);
+}
+
+class RandomPrintParse : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPrintParse, RandomAstsRoundTrip) {
+  Rng rng(GetParam());
+  RandomPathOptions opt;
+  opt.allow_negation = true;
+  opt.allow_upward = true;
+  opt.allow_sibling = true;
+  opt.allow_data = true;
+  std::vector<std::string> labels = {"A", "B", "C"};
+  for (int round = 0; round < 50; ++round) {
+    auto p = RandomPath(&rng, labels, 4, opt);
+    std::string s1 = p->ToString();
+    Result<std::unique_ptr<PathExpr>> back = ParsePath(s1);
+    ASSERT_TRUE(back.ok()) << s1 << ": " << back.error();
+    EXPECT_EQ(back.value()->ToString(), s1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrintParse, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,103 @@
+// Cross-validation sweep: every specialized decider must agree with the
+// bounded-model oracle (and with each other) on randomized small instances.
+#include <gtest/gtest.h>
+
+#include "src/sat/bounded_model.h"
+#include "src/sat/djfree_sat.h"
+#include "src/sat/reach_sat.h"
+#include "src/sat/skeleton_sat.h"
+#include "src/xpath/evaluator.h"
+#include "src/xpath/features.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+class DeciderAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeciderAgreement, ReachVsSkeletonOnQualifierFreeQueries) {
+  Rng rng(GetParam() * 211);
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  RandomPathOptions opt;
+  opt.allow_filter = false;
+  for (int round = 0; round < 10; ++round) {
+    Dtd d = RandomDtd(&rng, rng.Percent(40));
+    auto p = RandomPath(&rng, labels, 3, opt);
+    Result<SatDecision> reach = ReachSat(*p, d);
+    ASSERT_TRUE(reach.ok());
+    Result<SatDecision> skel = SkeletonSat(*p, d);
+    ASSERT_TRUE(skel.ok());
+    if (skel.value().verdict == SatVerdict::kUnknown) continue;
+    EXPECT_EQ(reach.value().sat(), skel.value().sat())
+        << p->ToString() << "\n" << d.ToString();
+  }
+}
+
+TEST_P(DeciderAgreement, DjfreeVsSkeletonOnDisjunctionFreeDtds) {
+  Rng rng(GetParam() * 223 + 7);
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  for (int round = 0; round < 10; ++round) {
+    Dtd d = RandomDtd(&rng, /*recursive=*/false);
+    if (!d.IsDisjunctionFree()) continue;
+    auto p = RandomPath(&rng, labels, 3);
+    Result<SatDecision> fast = DisjunctionFreeSat(*p, d);
+    ASSERT_TRUE(fast.ok());
+    Result<SatDecision> skel = SkeletonSat(*p, d);
+    ASSERT_TRUE(skel.ok());
+    if (skel.value().verdict == SatVerdict::kUnknown) continue;
+    EXPECT_EQ(fast.value().sat(), skel.value().sat())
+        << p->ToString() << "\n" << d.ToString();
+  }
+}
+
+TEST_P(DeciderAgreement, SatAnswersComeWithValidWitnesses) {
+  Rng rng(GetParam() * 239 + 11);
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  RandomPathOptions opt;
+  opt.allow_upward = true;
+  opt.allow_data = true;
+  for (int round = 0; round < 10; ++round) {
+    Dtd d = RandomDtd(&rng, rng.Percent(30), /*allow_attrs=*/true);
+    auto p = RandomPath(&rng, labels, 3, opt);
+    Result<SatDecision> r = SkeletonSat(*p, d);
+    ASSERT_TRUE(r.ok()) << p->ToString();
+    if (r.value().sat()) {
+      ASSERT_TRUE(r.value().witness.has_value());
+      EXPECT_TRUE(d.Validate(*r.value().witness).ok())
+          << p->ToString() << "\n"
+          << d.Validate(*r.value().witness).message() << "\n"
+          << r.value().witness->ToString();
+      EXPECT_TRUE(Satisfies(*r.value().witness, *p))
+          << p->ToString() << "\n" << r.value().witness->ToString();
+    }
+  }
+}
+
+TEST_P(DeciderAgreement, OracleSatisfiableImpliesSkeletonSatisfiable) {
+  // Completeness direction: whatever the bounded oracle finds, the skeleton
+  // search must also find (positive fragment).
+  Rng rng(GetParam() * 241 + 13);
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  RandomPathOptions opt;
+  opt.allow_upward = true;
+  for (int round = 0; round < 6; ++round) {
+    Dtd d = RandomDtd(&rng, rng.Percent(30));
+    auto p = RandomPath(&rng, labels, 3, opt);
+    BoundedModelOptions bounds;
+    bounds.max_depth = 4;
+    bounds.max_star = 2;
+    bounds.max_trees = 100000;
+    SatDecision oracle = BoundedModelSat(*p, d, bounds);
+    if (!oracle.sat()) continue;
+    Result<SatDecision> skel = SkeletonSat(*p, d);
+    ASSERT_TRUE(skel.ok());
+    EXPECT_TRUE(skel.value().sat())
+        << p->ToString() << "\n" << d.ToString() << "\noracle witness: "
+        << oracle.witness->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeciderAgreement, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace xpathsat

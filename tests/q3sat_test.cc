@@ -1,0 +1,91 @@
+#include "src/reductions/q3sat.h"
+
+#include <gtest/gtest.h>
+
+#include "src/reductions/encodings.h"
+#include "src/sat/bounded_model.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+TEST(QbfTest, KnownInstances) {
+  // ∃x1∃x2∃x3 (x1|x2|x3): true.
+  Q3SatInstance a;
+  a.matrix.num_vars = 3;
+  a.matrix.clauses.push_back(
+      {Literal{1, false}, Literal{2, false}, Literal{3, false}});
+  a.is_forall.assign(4, false);
+  EXPECT_TRUE(QbfSolve(a));
+  // ∀x1∃x2∃x3 (x1|x2|x3): still true (pick x2).
+  a.is_forall[1] = true;
+  EXPECT_TRUE(QbfSolve(a));
+  // ∀x1∀x2∀x3 (x1|x2|x3): false (all-false assignment).
+  a.is_forall.assign(4, true);
+  EXPECT_FALSE(QbfSolve(a));
+}
+
+TEST(QbfTest, ForallMakesItHarder) {
+  Rng rng(9);
+  for (int round = 0; round < 20; ++round) {
+    Q3SatInstance q = RandomQ3Sat(4, rng.IntIn(2, 8), &rng);
+    bool with_quantifiers = QbfSolve(q);
+    Q3SatInstance all_exists = q;
+    all_exists.is_forall.assign(q.matrix.num_vars + 1, false);
+    bool pure_sat = QbfSolve(all_exists);
+    // ∃-relaxation can only make the sentence "more true".
+    if (with_quantifiers) EXPECT_TRUE(pure_sat);
+  }
+}
+
+class Prop51EncodingAgree : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prop51EncodingAgree, MatchesQbf) {
+  Rng rng(GetParam() * 199);
+  Q3SatInstance inst = RandomQ3Sat(4, rng.IntIn(2, 6), &rng);
+  bool expected = QbfSolve(inst);
+  SatEncoding enc = EncodeQ3SatDownNeg(inst);
+  EXPECT_FALSE(enc.dtd.IsRecursive());
+  BoundedModelOptions bounds;
+  bounds.max_depth = 2 * inst.matrix.num_vars + 1;
+  bounds.max_star = 1;
+  bounds.max_trees = 2000000;
+  SatDecision got = BoundedModelSat(*enc.query, enc.dtd, bounds);
+  ASSERT_NE(got.verdict, SatVerdict::kUnknown) << got.note;
+  EXPECT_EQ(got.sat(), expected) << inst.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop51EncodingAgree, ::testing::Range(1, 13));
+
+class FixedNegEncodingAgree : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedNegEncodingAgree, MatchesQbf) {
+  Rng rng(GetParam() * 277);
+  Q3SatInstance inst = RandomQ3Sat(3, rng.IntIn(2, 5), &rng);
+  bool expected = QbfSolve(inst);
+  SatEncoding enc = EncodeQ3SatFixedNeg(inst);
+  EXPECT_TRUE(enc.dtd.IsRecursive());  // the fixed DTD is recursive
+  BoundedModelOptions bounds;
+  bounds.max_depth = 2 * inst.matrix.num_vars + 1;
+  bounds.max_star = 1;  // one T and one F per X suffice
+  bounds.max_nodes = 200;
+  bounds.max_trees = 4000000;
+  SatDecision got = BoundedModelSat(*enc.query, enc.dtd, bounds);
+  if (got.verdict == SatVerdict::kUnknown) GTEST_SKIP() << got.note;
+  EXPECT_EQ(got.sat(), expected) << inst.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedNegEncodingAgree, ::testing::Range(1, 9));
+
+TEST(Q3SatEncodings, FixedDtdIsInstanceIndependent) {
+  Rng rng(3);
+  Q3SatInstance a = RandomQ3Sat(3, 3, &rng);
+  Q3SatInstance b = RandomQ3Sat(5, 6, &rng);
+  EXPECT_EQ(EncodeQ3SatFixedNeg(a).dtd.ToString(),
+            EncodeQ3SatFixedNeg(b).dtd.ToString());
+  EXPECT_NE(EncodeQ3SatDownNeg(a).dtd.ToString(),
+            EncodeQ3SatDownNeg(b).dtd.ToString());
+}
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,94 @@
+#include "src/sat/satisfiability.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xpath/evaluator.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+TEST(SatisfiabilityTest, DispatchesToReachDp) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  SatReport r = DecideSatisfiability(*Path("A"), d);
+  EXPECT_TRUE(r.sat());
+  EXPECT_NE(r.algorithm.find("Thm 4.1"), std::string::npos) << r.algorithm;
+}
+
+TEST(SatisfiabilityTest, DispatchesToSiblingChains) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B\nA -> eps\nB -> eps\n");
+  SatReport r = DecideSatisfiability(*Path("A/>"), d);
+  EXPECT_TRUE(r.sat());
+  EXPECT_NE(r.algorithm.find("Thm 7.1"), std::string::npos) << r.algorithm;
+}
+
+TEST(SatisfiabilityTest, DispatchesToDisjunctionFreeDp) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  SatReport r = DecideSatisfiability(*Path(".[A && B]"), d);
+  EXPECT_TRUE(r.sat());
+  EXPECT_NE(r.algorithm.find("Thm 6.8(1)"), std::string::npos) << r.algorithm;
+}
+
+TEST(SatisfiabilityTest, DispatchesToSkeletons) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A + B\nA -> eps\nB -> eps\n");
+  SatReport r = DecideSatisfiability(*Path(".[A || B]"), d);
+  EXPECT_TRUE(r.sat());
+  EXPECT_NE(r.algorithm.find("Thm 4.4"), std::string::npos) << r.algorithm;
+  SatReport r2 = DecideSatisfiability(*Path(".[A && B]"), d);
+  EXPECT_TRUE(r2.unsat());
+}
+
+TEST(SatisfiabilityTest, NegationFallsBackToBoundedModel) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A + B\nA -> eps\nB -> eps\n");
+  SatReport r = DecideSatisfiability(*Path(".[!(A)]"), d);
+  EXPECT_TRUE(r.sat());
+  EXPECT_NE(r.algorithm.find("bounded-model"), std::string::npos);
+  EXPECT_TRUE(DecideSatisfiability(*Path(".[!(A) && !(B)]"), d).unsat());
+}
+
+TEST(SatisfiabilityTest, NoDtdVariants) {
+  SatReport r = DecideSatisfiabilityNoDtd(*Path("A[B && C]"));
+  EXPECT_TRUE(r.sat());
+  EXPECT_NE(r.algorithm.find("Thm 6.11(1)"), std::string::npos) << r.algorithm;
+
+  SatReport r2 = DecideSatisfiabilityNoDtd(*Path("A/^[label()=B]"));
+  EXPECT_NE(r2.algorithm.find("Thm 6.11(2)"), std::string::npos)
+      << r2.algorithm;
+}
+
+TEST(SatisfiabilityTest, NoDtdCqCases) {
+  // The parent of a child reached from the root IS the root; a label test on
+  // it is satisfiable (the root can be labeled B).
+  SatReport r = DecideSatisfiabilityNoDtd(*Path("A/^[label()=B]"));
+  EXPECT_TRUE(r.sat());
+  // But two different labels on the root conflict.
+  SatReport r2 =
+      DecideSatisfiabilityNoDtd(*Path(".[label()=A]/B/^[label()=C]"));
+  EXPECT_TRUE(r2.unsat());
+}
+
+TEST(SatisfiabilityTest, NoDtdGeneralFallback) {
+  // Negation without DTD goes through universal DTDs (Prop 3.1).
+  SatReport r = DecideSatisfiabilityNoDtd(*Path("A[!(B)]"));
+  EXPECT_TRUE(r.sat());
+  EXPECT_NE(r.algorithm.find("Prop 3.1"), std::string::npos) << r.algorithm;
+  SatReport r2 =
+      DecideSatisfiabilityNoDtd(*Path(".[A && !(A)]"));
+  EXPECT_TRUE(r2.unsat());
+}
+
+TEST(SatisfiabilityTest, WitnessesAreVerifiable) {
+  Dtd d = ParseDtdOrDie(
+      "root r\nr -> A, (B + C)\nA -> eps\nB -> eps\nC -> eps\n");
+  for (const char* q : {"A", ".[A && B]", "B|C", ".[!(B)]"}) {
+    SatReport r = DecideSatisfiability(*Path(q), d);
+    EXPECT_TRUE(r.sat()) << q;
+    if (r.decision.witness.has_value()) {
+      EXPECT_TRUE(d.Validate(*r.decision.witness).ok()) << q;
+      EXPECT_TRUE(Satisfies(*r.decision.witness, *Path(q))) << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpathsat

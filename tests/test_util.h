@@ -1,0 +1,221 @@
+// Shared helpers for the test suite: parse-or-die wrappers and random
+// generators for DTDs and queries (used by the cross-validation property
+// tests).
+#ifndef XPATHSAT_TESTS_TEST_UTIL_H_
+#define XPATHSAT_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/xml/dtd.h"
+#include "src/xpath/ast.h"
+#include "src/xpath/parser.h"
+
+namespace xpathsat {
+
+/// Parses a path; fails the test on error.
+inline std::unique_ptr<PathExpr> Path(const std::string& text) {
+  Result<std::unique_ptr<PathExpr>> r = ParsePath(text);
+  EXPECT_TRUE(r.ok()) << "parse error in '" << text << "': " << r.error();
+  return r.ok() ? std::move(r).value() : PathExpr::Empty();
+}
+
+/// Parses a qualifier; fails the test on error.
+inline std::unique_ptr<Qualifier> Qual(const std::string& text) {
+  Result<std::unique_ptr<Qualifier>> r = ParseQualifier(text);
+  EXPECT_TRUE(r.ok()) << "parse error in '" << text << "': " << r.error();
+  return r.ok() ? std::move(r).value()
+                : Qualifier::Path(PathExpr::Empty());
+}
+
+/// Parses a DTD; fails the test on error.
+inline Dtd ParseDtdOrDie(const std::string& text) {
+  Result<Dtd> r = Dtd::Parse(text);
+  EXPECT_TRUE(r.ok()) << "DTD parse error: " << r.error();
+  return r.ok() ? std::move(r).value() : Dtd();
+}
+
+/// Feature switches for RandomPath.
+struct RandomPathOptions {
+  bool allow_union = true;
+  bool allow_filter = true;
+  bool allow_negation = false;
+  bool allow_upward = false;
+  bool allow_recursion = true;
+  bool allow_sibling = false;
+  bool allow_data = false;
+  std::vector<std::string> attrs = {"a", "b"};
+  std::vector<std::string> constants = {"0", "1"};
+};
+
+std::unique_ptr<Qualifier> RandomQualifier(Rng* rng,
+                                           const std::vector<std::string>& labels,
+                                           int depth,
+                                           const RandomPathOptions& opt);
+
+/// Random query over the given label alphabet with bounded AST depth.
+inline std::unique_ptr<PathExpr> RandomPath(Rng* rng,
+                                            const std::vector<std::string>& labels,
+                                            int depth,
+                                            const RandomPathOptions& opt = {}) {
+  if (depth <= 0) {
+    switch (rng->IntIn(0, 2)) {
+      case 0:
+        return PathExpr::Empty();
+      case 1:
+        return PathExpr::Label(labels[rng->Below(labels.size())]);
+      default:
+        return PathExpr::Axis(PathKind::kChildAny);
+    }
+  }
+  int roll = rng->IntIn(0, 11);
+  switch (roll) {
+    case 0:
+      return PathExpr::Empty();
+    case 1:
+    case 2:
+      return PathExpr::Label(labels[rng->Below(labels.size())]);
+    case 3:
+      return PathExpr::Axis(PathKind::kChildAny);
+    case 4:
+      if (opt.allow_recursion) return PathExpr::Axis(PathKind::kDescOrSelf);
+      return PathExpr::Label(labels[rng->Below(labels.size())]);
+    case 5:
+      if (opt.allow_upward) {
+        return PathExpr::Axis(rng->Percent(50) && opt.allow_recursion
+                                  ? PathKind::kAncOrSelf
+                                  : PathKind::kParent);
+      }
+      return PathExpr::Axis(PathKind::kChildAny);
+    case 6:
+      if (opt.allow_sibling) {
+        static const PathKind kSibs[] = {PathKind::kRightSib, PathKind::kLeftSib,
+                                         PathKind::kRightSibStar,
+                                         PathKind::kLeftSibStar};
+        return PathExpr::Axis(kSibs[rng->IntIn(0, 3)]);
+      }
+      return PathExpr::Empty();
+    case 7:
+    case 8:
+      return PathExpr::Seq(RandomPath(rng, labels, depth - 1, opt),
+                           RandomPath(rng, labels, depth - 1, opt));
+    case 9:
+      if (opt.allow_union) {
+        return PathExpr::Union(RandomPath(rng, labels, depth - 1, opt),
+                               RandomPath(rng, labels, depth - 1, opt));
+      }
+      return PathExpr::Seq(RandomPath(rng, labels, depth - 1, opt),
+                           RandomPath(rng, labels, depth - 1, opt));
+    default:
+      if (opt.allow_filter) {
+        return PathExpr::Filter(RandomPath(rng, labels, depth - 1, opt),
+                                RandomQualifier(rng, labels, depth - 1, opt));
+      }
+      return PathExpr::Label(labels[rng->Below(labels.size())]);
+  }
+}
+
+inline std::unique_ptr<Qualifier> RandomQualifier(
+    Rng* rng, const std::vector<std::string>& labels, int depth,
+    const RandomPathOptions& opt) {
+  if (depth <= 0) {
+    if (rng->Percent(50)) {
+      return Qualifier::LabelTest(labels[rng->Below(labels.size())]);
+    }
+    return Qualifier::Path(RandomPath(rng, labels, 0, opt));
+  }
+  int roll = rng->IntIn(0, 9);
+  switch (roll) {
+    case 0:
+    case 1:
+      return Qualifier::Path(RandomPath(rng, labels, depth - 1, opt));
+    case 2:
+      return Qualifier::LabelTest(labels[rng->Below(labels.size())]);
+    case 3:
+    case 4:
+      return Qualifier::And(RandomQualifier(rng, labels, depth - 1, opt),
+                            RandomQualifier(rng, labels, depth - 1, opt));
+    case 5:
+      if (opt.allow_union) {
+        return Qualifier::Or(RandomQualifier(rng, labels, depth - 1, opt),
+                             RandomQualifier(rng, labels, depth - 1, opt));
+      }
+      return Qualifier::And(RandomQualifier(rng, labels, depth - 1, opt),
+                            RandomQualifier(rng, labels, depth - 1, opt));
+    case 6:
+    case 7:
+      if (opt.allow_negation) {
+        return Qualifier::Not(RandomQualifier(rng, labels, depth - 1, opt));
+      }
+      return Qualifier::Path(RandomPath(rng, labels, depth - 1, opt));
+    default:
+      if (opt.allow_data) {
+        if (rng->Percent(50)) {
+          return Qualifier::AttrCmpConst(
+              RandomPath(rng, labels, depth - 1, opt),
+              opt.attrs[rng->Below(opt.attrs.size())],
+              rng->Percent(70) ? CmpOp::kEq : CmpOp::kNeq,
+              opt.constants[rng->Below(opt.constants.size())]);
+        }
+        return Qualifier::AttrJoin(RandomPath(rng, labels, depth - 1, opt),
+                                   opt.attrs[rng->Below(opt.attrs.size())],
+                                   rng->Percent(70) ? CmpOp::kEq : CmpOp::kNeq,
+                                   RandomPath(rng, labels, depth - 1, opt),
+                                   opt.attrs[rng->Below(opt.attrs.size())]);
+      }
+      return Qualifier::Path(RandomPath(rng, labels, depth - 1, opt));
+  }
+}
+
+/// Random small DTD over labels r, A, B, C (r is the root). `recursive`
+/// permits back-references (termination is still guaranteed via ε fallbacks).
+inline Dtd RandomDtd(Rng* rng, bool recursive = false, bool allow_attrs = false) {
+  std::vector<std::string> names = {"r", "A", "B", "C"};
+  Dtd d;
+  d.SetRoot("r");
+  for (size_t i = 0; i < names.size(); ++i) {
+    // Candidate children: later types, plus (optionally) any type.
+    std::vector<std::string> cands;
+    for (size_t j = recursive ? 0 : i + 1; j < names.size(); ++j) {
+      if (!recursive && j == i) continue;
+      cands.push_back(names[j]);
+    }
+    Regex re = Regex::Epsilon();
+    if (!cands.empty()) {
+      std::vector<Regex> parts;
+      int n_parts = rng->IntIn(1, 2);
+      for (int p = 0; p < n_parts; ++p) {
+        const std::string& c = cands[rng->Below(cands.size())];
+        switch (rng->IntIn(0, 2)) {
+          case 0:
+            parts.push_back(Regex::Symbol(c));
+            break;
+          case 1:
+            parts.push_back(Regex::Star(Regex::Symbol(c)));
+            break;
+          default:
+            parts.push_back(
+                Regex::Union({Regex::Symbol(c), Regex::Epsilon()}));
+            break;
+        }
+      }
+      re = Regex::Concat(std::move(parts));
+    }
+    // Guarantee termination under recursion: make the production optional.
+    if (recursive && re.kind() != Regex::Kind::kEpsilon) {
+      re = Regex::Union({std::move(re), Regex::Epsilon()});
+    }
+    d.SetProduction(names[i], std::move(re));
+    if (allow_attrs && rng->Percent(50)) d.AddAttr(names[i], "a");
+  }
+  d.SetRoot("r");
+  return d;
+}
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,177 @@
+#include "src/reductions/tiling.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xpath/evaluator.h"
+#include "src/xpath/features.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+// One tile, all adjacencies allowed: Player I trivially wins (the first
+// completed row matches the bottom vector).
+TilingSystem TrivialWin() {
+  TilingSystem sys;
+  sys.num_tiles = 1;
+  sys.horizontal = {{0, 0}};
+  sys.vertical = {{0, 0}};
+  sys.top = {0, 0};
+  sys.bottom = {0, 0};
+  return sys;
+}
+
+// Two tiles; the bottom row requires tile 1 but V only allows 0 below
+// anything: unreachable, Player II wins by playing forever... except V
+// allows nothing below 1, so play dies; Player I loses either way.
+TilingSystem Unwinnable() {
+  TilingSystem sys;
+  sys.num_tiles = 2;
+  sys.horizontal = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  sys.vertical = {{0, 0}, {1, 0}};  // only tile 0 can ever be placed
+  sys.top = {0, 0};
+  sys.bottom = {1, 1};
+  return sys;
+}
+
+// Two tiles, alternating-row corridor: rows of 0s and rows of 1s; bottom is
+// the 1-row, reachable after one ply row.
+TilingSystem AlternatingWin() {
+  TilingSystem sys;
+  sys.num_tiles = 2;
+  sys.horizontal = {{0, 0}, {1, 1}};
+  sys.vertical = {{0, 1}, {1, 0}};
+  sys.top = {0, 0};
+  sys.bottom = {1, 1};
+  return sys;
+}
+
+TEST(TilingGameTest, ReferenceSolver) {
+  EXPECT_TRUE(PlayerOneWins(TrivialWin()));
+  EXPECT_FALSE(PlayerOneWins(Unwinnable()));
+  EXPECT_TRUE(PlayerOneWins(AlternatingWin()));
+}
+
+TEST(TilingGameTest, PlayerTwoCanSpoil) {
+  // Two tiles, everything adjacent; bottom all-0. Player II can always place
+  // tile 1 somewhere in a row, so no completed row ever equals the bottom.
+  TilingSystem sys;
+  sys.num_tiles = 2;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      sys.horizontal.insert({a, b});
+      sys.vertical.insert({a, b});
+    }
+  }
+  sys.top = {0, 0};
+  sys.bottom = {0, 0};
+  EXPECT_FALSE(PlayerOneWins(sys));
+}
+
+// --- Thm 5.6 encoding (Fig. 5) ----------------------------------------------
+
+// The snapshot-chain tree for the deterministic single-tile play.
+XmlTree TrivialWinChain() {
+  // Snapshots: initial (top row, h=2), then two moves ending at h=2 matching
+  // the bottom row; all tiles are d0.
+  XmlTree t;
+  NodeId r = t.CreateRoot("r");
+  const char* h[] = {"2", "1", "2"};
+  for (int i = 0; i < 3; ++i) {
+    NodeId c = t.AddChild(r, "C");
+    t.SetAttr(c, "h", h[i]);
+    t.SetAttr(c, "t1", "d0");
+    t.SetAttr(c, "t2", "d0");
+    t.SetAttr(c, "k", "k" + std::to_string(i));
+    t.SetAttr(c, "next", "k" + std::to_string(i + 1));
+  }
+  return t;
+}
+
+TEST(TilingEncodingTest, UpwardEncodingAcceptsAWinningChain) {
+  TilingSystem sys = TrivialWin();
+  TilingEncoding enc = EncodeTilingUpward(sys);
+  XmlTree t = TrivialWinChain();
+  ASSERT_TRUE(enc.dtd.Validate(t).ok()) << enc.dtd.Validate(t).message();
+  EXPECT_TRUE(Satisfies(t, *enc.query)) << t.ToString();
+}
+
+TEST(TilingEncodingTest, UpwardEncodingRejectsABadChain) {
+  TilingSystem sys = Unwinnable();
+  TilingEncoding enc = EncodeTilingUpward(sys);
+  // The trivial chain uses tiles d0 only; the bottom row needs d1, and V
+  // forbids placing d1 — the query must reject this chain.
+  XmlTree t = TrivialWinChain();
+  ASSERT_TRUE(enc.dtd.Validate(t).ok());
+  EXPECT_FALSE(Satisfies(t, *enc.query));
+}
+
+TEST(TilingEncodingTest, UpwardEncodingUsesTheRightFragment) {
+  TilingEncoding enc = EncodeTilingUpward(TrivialWin());
+  Features f = DetectFeatures(*enc.query);
+  EXPECT_TRUE(f.negation);
+  EXPECT_TRUE(f.data_values);
+  EXPECT_TRUE(f.parent);
+  EXPECT_FALSE(f.descendant);
+  EXPECT_FALSE(f.HasSibling());
+  // The DTD shape is the fixed r -> C* of Thm 5.6.
+  EXPECT_EQ(enc.dtd.Production("r").ToString(), "C*");
+  EXPECT_FALSE(enc.dtd.Production("r").ContainsDisjunction());
+}
+
+// --- Thm 6.7(2) encoding (Fig. 7) -------------------------------------------
+
+// Game tree for the trivial single-tile instance: I plays d0, II tries d0
+// (its only tile), the row completes matching b, game ends.
+XmlTree TrivialWinGameTree() {
+  XmlTree t;
+  NodeId r = t.CreateRoot("r");
+  NodeId y1 = t.AddChild(r, "Y1");
+  NodeId c1 = t.AddChild(y1, "C");
+  t.AddChild(c1, "Ec");
+  NodeId y2 = t.AddChild(y1, "Y2");
+  NodeId c2 = t.AddChild(y2, "C");
+  t.AddChild(c2, "Ec");
+  t.AddChild(y2, "Eg");
+  return t;
+}
+
+TEST(TilingEncodingTest, GameTreeEncodingAcceptsAWinningTree) {
+  TilingSystem sys = TrivialWin();
+  TilingEncoding enc = EncodeTilingGameTree(sys);
+  XmlTree t = TrivialWinGameTree();
+  ASSERT_TRUE(enc.dtd.Validate(t).ok()) << enc.dtd.Validate(t).message();
+  EXPECT_TRUE(Satisfies(t, *enc.query)) << t.ToString();
+}
+
+TEST(TilingEncodingTest, GameTreeEncodingRejectsWrongBottom) {
+  TilingSystem sys = TrivialWin();
+  sys.num_tiles = 2;
+  sys.horizontal = {{0, 0}, {1, 1}, {0, 1}, {1, 0}};
+  sys.vertical = {{0, 0}, {1, 1}, {0, 1}, {1, 0}};
+  sys.bottom = {1, 1};
+  TilingEncoding enc = EncodeTilingGameTree(sys);
+  // The all-d0 game tree completes a (0,0) row and ends: Eg after a row not
+  // matching b violates Q(1,b); also Player II must try tile d1.
+  XmlTree t = TrivialWinGameTree();
+  ASSERT_TRUE(enc.dtd.Validate(t).ok());
+  EXPECT_FALSE(Satisfies(t, *enc.query));
+}
+
+TEST(TilingEncodingTest, GameTreeEncodingUsesTheRightFragment) {
+  TilingEncoding enc = EncodeTilingGameTree(TrivialWin());
+  Features f = DetectFeatures(*enc.query);
+  EXPECT_TRUE(f.negation);
+  EXPECT_TRUE(f.descendant);
+  EXPECT_FALSE(f.data_values);
+  EXPECT_FALSE(f.HasUpward());
+  EXPECT_FALSE(f.HasSibling());
+}
+
+TEST(TilingEncodingTest, FixedDtds) {
+  EXPECT_EQ(EncodeTilingGameTree(TrivialWin()).dtd.ToString(),
+            EncodeTilingGameTree(AlternatingWin()).dtd.ToString());
+}
+
+}  // namespace
+}  // namespace xpathsat

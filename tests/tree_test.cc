@@ -1,0 +1,85 @@
+#include "src/xml/tree.h"
+
+#include <gtest/gtest.h>
+
+namespace xpathsat {
+namespace {
+
+XmlTree SampleTree() {
+  // <r><A a="1"><C/></A><B/><A/></r>
+  XmlTree t;
+  NodeId r = t.CreateRoot("r");
+  NodeId a1 = t.AddChild(r, "A");
+  t.SetAttr(a1, "a", "1");
+  t.AddChild(a1, "C");
+  t.AddChild(r, "B");
+  t.AddChild(r, "A");
+  return t;
+}
+
+TEST(TreeTest, Structure) {
+  XmlTree t = SampleTree();
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.label(t.root()), "r");
+  ASSERT_EQ(t.children(t.root()).size(), 3u);
+  NodeId a1 = t.children(t.root())[0];
+  EXPECT_EQ(t.label(a1), "A");
+  EXPECT_EQ(t.parent(a1), t.root());
+  EXPECT_EQ(t.Depth(a1), 1);
+  EXPECT_EQ(t.Depth(t.children(a1)[0]), 2);
+  EXPECT_EQ(t.Height(), 2);
+}
+
+TEST(TreeTest, Siblings) {
+  XmlTree t = SampleTree();
+  NodeId a1 = t.children(t.root())[0];
+  NodeId b = t.children(t.root())[1];
+  NodeId a2 = t.children(t.root())[2];
+  EXPECT_EQ(t.NextSibling(a1), b);
+  EXPECT_EQ(t.NextSibling(b), a2);
+  EXPECT_EQ(t.NextSibling(a2), kNullNode);
+  EXPECT_EQ(t.PrevSibling(a1), kNullNode);
+  EXPECT_EQ(t.PrevSibling(b), a1);
+  EXPECT_EQ(t.NextSibling(t.root()), kNullNode);
+}
+
+TEST(TreeTest, Attrs) {
+  XmlTree t = SampleTree();
+  NodeId a1 = t.children(t.root())[0];
+  ASSERT_NE(t.GetAttr(a1, "a"), nullptr);
+  EXPECT_EQ(*t.GetAttr(a1, "a"), "1");
+  EXPECT_EQ(t.GetAttr(a1, "b"), nullptr);
+  t.SetAttr(a1, "a", "2");
+  EXPECT_EQ(*t.GetAttr(a1, "a"), "2");
+  EXPECT_EQ(t.node(a1).attrs.size(), 1u);
+}
+
+TEST(TreeTest, AncestorOrSelf) {
+  XmlTree t = SampleTree();
+  NodeId a1 = t.children(t.root())[0];
+  NodeId c = t.children(a1)[0];
+  EXPECT_TRUE(t.IsAncestorOrSelf(t.root(), c));
+  EXPECT_TRUE(t.IsAncestorOrSelf(a1, c));
+  EXPECT_TRUE(t.IsAncestorOrSelf(c, c));
+  EXPECT_FALSE(t.IsAncestorOrSelf(c, a1));
+}
+
+TEST(TreeTest, ToStringSerialization) {
+  XmlTree t = SampleTree();
+  EXPECT_EQ(t.ToString(), "<r><A a=\"1\"><C/></A><B/><A/></r>");
+}
+
+TEST(TreeTest, TruncateTo) {
+  XmlTree t = SampleTree();
+  int checkpoint = t.size();
+  NodeId extra = t.AddChild(t.root(), "B");
+  t.AddChild(extra, "C");
+  EXPECT_EQ(t.size(), checkpoint + 2);
+  t.TruncateTo(checkpoint);
+  EXPECT_EQ(t.size(), checkpoint);
+  EXPECT_EQ(t.children(t.root()).size(), 3u);
+  EXPECT_EQ(t.ToString(), "<r><A a=\"1\"><C/></A><B/><A/></r>");
+}
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,122 @@
+#include "src/automata/xpath_to_twa.h"
+
+#include <gtest/gtest.h>
+
+#include "src/automata/stream.h"
+#include "src/xml/generator.h"
+#include "src/xpath/evaluator.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+TEST(StreamTest, Coding) {
+  XmlTree t;
+  NodeId r = t.CreateRoot("r");
+  NodeId a = t.AddChild(r, "A");
+  t.AddChild(r, "B");
+  Stream s = StreamOfTree(t, a);
+  EXPECT_EQ(StreamToString(s), "<r><A*></A><B></B></r>");
+  EXPECT_EQ(StreamPositionOf(t, r), 0);
+  EXPECT_EQ(StreamPositionOf(t, a), 1);
+  EXPECT_EQ(static_cast<int>(s.size()), 2 * t.size());
+}
+
+// Axis-by-axis agreement between trans(p) acceptance and the evaluator's
+// binary relation, over a fixed handmade tree.
+class AxisRelation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AxisRelation, MatchesEvaluatorRelation) {
+  XmlTree t;
+  NodeId r = t.CreateRoot("r");
+  NodeId a1 = t.AddChild(r, "A");
+  t.AddChild(a1, "C");
+  NodeId b = t.AddChild(r, "B");
+  t.AddChild(b, "C");
+  t.AddChild(r, "A");
+  auto p = Path(GetParam());
+  TwasaChecker checker(t);
+  for (NodeId n = 0; n < t.size(); ++n) {
+    std::vector<NodeId> reach = EvalPath(t, *p, {n});
+    for (NodeId m = 0; m < t.size(); ++m) {
+      bool expect = std::binary_search(reach.begin(), reach.end(), m);
+      Result<bool> got = checker.PathHolds(*p, n, m);
+      ASSERT_TRUE(got.ok()) << got.error();
+      ASSERT_EQ(got.value(), expect)
+          << GetParam() << " n=" << n << " m=" << m << " tree=" << t.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Axes, AxisRelation,
+    ::testing::Values(".", "A", "B", "*", "^", "**", "^^", ">", "<", ">>",
+                      "<<", "A/C", "*/C", "C/^", "A/>", "B/</.", "**/C",
+                      "A|B", "A[C]", "*[label()=B]", "*[C]/C", "A[!(C)]",
+                      ".[A && B]", "*[> && <]", "C/^^[label()=r]"));
+
+class TwaVsEvaluator : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwaVsEvaluator, RandomPathsAgree) {
+  Rng rng(GetParam() * 97);
+  RandomPathOptions opt;
+  opt.allow_upward = true;
+  opt.allow_sibling = true;
+  opt.allow_negation = true;
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  for (int round = 0; round < 6; ++round) {
+    Dtd d = RandomDtd(&rng, rng.Percent(40));
+    XmlTree t = GenerateRandomTree(d, &rng);
+    auto p = RandomPath(&rng, labels, 3, opt);
+    TwasaChecker checker(t);
+    for (NodeId n = 0; n < t.size(); ++n) {
+      std::vector<NodeId> reach = EvalPath(t, *p, {n});
+      for (NodeId m = 0; m < t.size(); ++m) {
+        bool expect = std::binary_search(reach.begin(), reach.end(), m);
+        Result<bool> got = checker.PathHolds(*p, n, m);
+        ASSERT_TRUE(got.ok()) << got.error();
+        ASSERT_EQ(got.value(), expect)
+            << p->ToString() << " n=" << n << " m=" << m
+            << " tree=" << t.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwaVsEvaluator, ::testing::Range(1, 13));
+
+class QualTableVsEvaluator : public ::testing::TestWithParam<int> {};
+
+TEST_P(QualTableVsEvaluator, RandomQualifiersAgree) {
+  Rng rng(GetParam() * 131);
+  RandomPathOptions opt;
+  opt.allow_upward = true;
+  opt.allow_sibling = true;
+  opt.allow_negation = true;
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  for (int round = 0; round < 8; ++round) {
+    Dtd d = RandomDtd(&rng, rng.Percent(40));
+    XmlTree t = GenerateRandomTree(d, &rng);
+    auto q = RandomQualifier(&rng, labels, 3, opt);
+    TwasaChecker checker(t);
+    for (NodeId n = 0; n < t.size(); ++n) {
+      bool expect = EvalQualifier(t, *q, n);
+      Result<bool> got = checker.QualHolds(*q, n);
+      ASSERT_TRUE(got.ok()) << got.error();
+      ASSERT_EQ(got.value(), expect)
+          << q->ToString() << " n=" << n << " tree=" << t.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QualTableVsEvaluator, ::testing::Range(1, 13));
+
+TEST(TwaTest, RejectsDataValues) {
+  XmlTree t;
+  t.CreateRoot("r");
+  TwasaChecker checker(t);
+  EXPECT_FALSE(checker.PathHolds(*Path("A[./@v=\"1\"]"), 0, 0).ok());
+}
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,105 @@
+#include "src/reductions/two_register.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sat/bounded_model.h"
+#include "src/xpath/evaluator.h"
+#include "src/xpath/features.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+// State 0: if r1 == 0 go to 1 (halt) else decrement and stay.
+TwoRegisterMachine ImmediateHalt() {
+  TwoRegisterMachine m;
+  m.instructions.push_back({/*is_add=*/false, /*reg=*/1, /*j=*/1, /*k=*/0});
+  m.instructions.push_back({});  // placeholder; state 1 is final
+  m.final_state = 1;
+  return m;
+}
+
+// Add to r1 twice, then subtract twice, then halt.
+TwoRegisterMachine AddSubHalt() {
+  TwoRegisterMachine m;
+  m.instructions.resize(5);
+  m.instructions[0] = {true, 1, 1, 0};    // add r1 -> state 1
+  m.instructions[1] = {true, 1, 2, 0};    // add r1 -> state 2
+  m.instructions[2] = {false, 1, 4, 3};   // r1>0: dec -> 3; r1==0 -> 4
+  m.instructions[3] = {false, 1, 4, 3};   // keep decrementing
+  m.instructions[4] = {};                 // final
+  m.final_state = 4;
+  return m;
+}
+
+// Increment forever: never halts.
+TwoRegisterMachine Diverge() {
+  TwoRegisterMachine m;
+  m.instructions.push_back({true, 1, 0, 0});
+  m.final_state = 1;  // unreachable
+  return m;
+}
+
+TEST(TrmTest, Simulator) {
+  EXPECT_TRUE(TrmHalts(ImmediateHalt(), 10));
+  EXPECT_TRUE(TrmHalts(AddSubHalt(), 10));
+  EXPECT_FALSE(TrmHalts(Diverge(), 1000));
+  std::vector<TrmConfig> run = SimulateTrm(AddSubHalt(), 10);
+  ASSERT_EQ(run.size(), 6u);
+  EXPECT_EQ(run[2].r1, 2);
+  EXPECT_EQ(run.back().state, 4);
+  EXPECT_EQ(run.back().r1, 0);
+}
+
+TEST(TrmTest, ComputationTreeConformsAndSatisfies) {
+  for (auto machine : {ImmediateHalt(), AddSubHalt()}) {
+    TrmEncoding enc = EncodeTrm(machine);
+    XmlTree t = TrmComputationTree(machine, 20);
+    Status s = enc.dtd.Validate(t);
+    ASSERT_TRUE(s.ok()) << s.message() << "\n" << t.ToString();
+    EXPECT_TRUE(Satisfies(t, *enc.query))
+        << "halting run should satisfy the Thm 5.4 encoding\n"
+        << t.ToString();
+  }
+}
+
+TEST(TrmTest, DivergingRunDoesNotSatisfy) {
+  TwoRegisterMachine m = Diverge();
+  TrmEncoding enc = EncodeTrm(m);
+  XmlTree t = TrmComputationTree(m, 5);  // truncated diverging run
+  ASSERT_TRUE(enc.dtd.Validate(t).ok());
+  EXPECT_FALSE(Satisfies(t, *enc.query));
+}
+
+TEST(TrmTest, BoundedSearchFindsTheHaltingWitness) {
+  TwoRegisterMachine m = ImmediateHalt();
+  TrmEncoding enc = EncodeTrm(m);
+  BoundedModelOptions bounds;
+  bounds.max_depth = 4;
+  bounds.max_star = 1;
+  bounds.max_nodes = 40;
+  bounds.max_trees = 1000000;
+  bounds.max_fresh_values = 2;
+  SatDecision got = BoundedModelSat(*enc.query, enc.dtd, bounds);
+  ASSERT_NE(got.verdict, SatVerdict::kUnknown) << got.note;
+  EXPECT_TRUE(got.sat());
+  if (got.witness.has_value()) {
+    EXPECT_TRUE(Satisfies(*got.witness, *enc.query));
+  }
+}
+
+TEST(TrmTest, EncodingDtdIsFixed) {
+  EXPECT_EQ(EncodeTrm(ImmediateHalt()).dtd.ToString(),
+            EncodeTrm(AddSubHalt()).dtd.ToString());
+}
+
+TEST(TrmTest, QueryUsesTheUndecidableFragment) {
+  Features f = DetectFeatures(*EncodeTrm(AddSubHalt()).query);
+  EXPECT_TRUE(f.negation);
+  EXPECT_TRUE(f.data_values);
+  EXPECT_TRUE(f.descendant);
+  EXPECT_TRUE(f.HasUpward());
+}
+
+}  // namespace
+}  // namespace xpathsat

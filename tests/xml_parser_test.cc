@@ -1,0 +1,52 @@
+#include "src/xml/xml_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xml/generator.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+TEST(XmlParserTest, SimpleDocuments) {
+  Result<XmlTree> t = ParseXml("<r><A a=\"1\"><C/></A><B/></r>");
+  ASSERT_TRUE(t.ok()) << t.error();
+  EXPECT_EQ(t.value().ToString(), "<r><A a=\"1\"><C/></A><B/></r>");
+  EXPECT_EQ(t.value().size(), 4);
+  EXPECT_EQ(*t.value().GetAttr(t.value().children(0)[0], "a"), "1");
+}
+
+TEST(XmlParserTest, WhitespaceTolerant) {
+  Result<XmlTree> t = ParseXml("  <r>\n  <A  a = \"x y\" />\n</r>\n");
+  ASSERT_TRUE(t.ok()) << t.error();
+  EXPECT_EQ(t.value().ToString(), "<r><A a=\"x y\"/></r>");
+}
+
+TEST(XmlParserTest, Errors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<r>").ok());
+  EXPECT_FALSE(ParseXml("<r></s>").ok());
+  EXPECT_FALSE(ParseXml("<r/><r/>").ok());
+  EXPECT_FALSE(ParseXml("<r a=1/>").ok());
+  EXPECT_FALSE(ParseXml("<r a=\"1/>").ok());
+  EXPECT_FALSE(ParseXml("<r><A></r>").ok());
+}
+
+class XmlRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlRoundTrip, RandomTreesRoundTrip) {
+  Rng rng(GetParam() * 61);
+  for (int round = 0; round < 15; ++round) {
+    Dtd d = RandomDtd(&rng, rng.Percent(40), /*allow_attrs=*/true);
+    XmlTree t = GenerateRandomTree(d, &rng);
+    Result<XmlTree> back = ParseXml(t.ToString());
+    ASSERT_TRUE(back.ok()) << back.error() << "\n" << t.ToString();
+    EXPECT_EQ(back.value().ToString(), t.ToString());
+    EXPECT_TRUE(d.Validate(back.value()).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTrip, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace xpathsat
