@@ -4,7 +4,9 @@
 
 #include "src/sat/bounded_model.h"
 #include "src/sat/djfree_sat.h"
+#include "src/sat/fixed_dtd_sat.h"
 #include "src/sat/reach_sat.h"
+#include "src/sat/sibling_sat.h"
 #include "src/sat/skeleton_sat.h"
 #include "src/xpath/evaluator.h"
 #include "src/xpath/features.h"
@@ -14,6 +16,27 @@ namespace xpathsat {
 namespace {
 
 class DeciderAgreement : public ::testing::TestWithParam<int> {};
+
+// Random query in the X(→,←) chain fragment of Thm 7.1: levels of a downward
+// step (label or wildcard) followed by immediate-sibling moves.
+std::unique_ptr<PathExpr> RandomSiblingChain(
+    Rng* rng, const std::vector<std::string>& labels) {
+  std::unique_ptr<PathExpr> p;
+  int levels = rng->IntIn(1, 3);
+  for (int level = 0; level < levels; ++level) {
+    std::unique_ptr<PathExpr> step =
+        rng->Percent(30) ? PathExpr::Axis(PathKind::kChildAny)
+                         : PathExpr::Label(labels[rng->Below(labels.size())]);
+    p = p ? PathExpr::Seq(std::move(p), std::move(step)) : std::move(step);
+    int moves = rng->IntIn(0, 2);
+    for (int m = 0; m < moves; ++m) {
+      p = PathExpr::Seq(std::move(p),
+                        PathExpr::Axis(rng->Percent(50) ? PathKind::kRightSib
+                                                        : PathKind::kLeftSib));
+    }
+  }
+  return p;
+}
 
 TEST_P(DeciderAgreement, ReachVsSkeletonOnQualifierFreeQueries) {
   Rng rng(GetParam() * 211);
@@ -25,6 +48,9 @@ TEST_P(DeciderAgreement, ReachVsSkeletonOnQualifierFreeQueries) {
     auto p = RandomPath(&rng, labels, 3, opt);
     Result<SatDecision> reach = ReachSat(*p, d);
     ASSERT_TRUE(reach.ok());
+    // Thm 4.1 is a PTIME decision procedure: no resource caps, no punting.
+    EXPECT_NE(reach.value().verdict, SatVerdict::kUnknown)
+        << p->ToString() << "\n" << d.ToString();
     Result<SatDecision> skel = SkeletonSat(*p, d);
     ASSERT_TRUE(skel.ok());
     if (skel.value().verdict == SatVerdict::kUnknown) continue;
@@ -42,6 +68,9 @@ TEST_P(DeciderAgreement, DjfreeVsSkeletonOnDisjunctionFreeDtds) {
     auto p = RandomPath(&rng, labels, 3);
     Result<SatDecision> fast = DisjunctionFreeSat(*p, d);
     ASSERT_TRUE(fast.ok());
+    // Thm 6.8(1) is a PTIME decision procedure: kUnknown is a bug.
+    EXPECT_NE(fast.value().verdict, SatVerdict::kUnknown)
+        << p->ToString() << "\n" << d.ToString();
     Result<SatDecision> skel = SkeletonSat(*p, d);
     ASSERT_TRUE(skel.ok());
     if (skel.value().verdict == SatVerdict::kUnknown) continue;
@@ -97,7 +126,74 @@ TEST_P(DeciderAgreement, OracleSatisfiableImpliesSkeletonSatisfiable) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, DeciderAgreement, ::testing::Range(1, 16));
+TEST_P(DeciderAgreement, SiblingChainsAgreeWithOracle) {
+  Rng rng(GetParam() * 251 + 17);
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  for (int round = 0; round < 12; ++round) {
+    Dtd d = RandomDtd(&rng, rng.Percent(30));
+    auto p = RandomSiblingChain(&rng, labels);
+    Result<SatDecision> fast = SiblingChainSat(*p, d);
+    ASSERT_TRUE(fast.ok()) << p->ToString();
+    // Thm 7.1 is a PTIME decision procedure: kUnknown is a bug.
+    ASSERT_NE(fast.value().verdict, SatVerdict::kUnknown)
+        << p->ToString() << "\n" << d.ToString();
+    BoundedModelOptions caps;
+    caps.max_depth = 5;
+    caps.max_star = 3;
+    caps.max_trees = 200000;
+    DerivedBounds db = DeriveBoundsChecked(*p, d, caps);
+    SatDecision oracle = BoundedModelSat(*p, d, db.options);
+    if (oracle.sat()) {
+      EXPECT_TRUE(fast.value().sat())
+          << p->ToString() << "\n" << d.ToString() << "\noracle witness: "
+          << oracle.witness->ToString();
+    } else if (oracle.unsat() && db.complete) {
+      EXPECT_TRUE(fast.value().unsat())
+          << p->ToString() << "\n" << d.ToString();
+    }
+  }
+}
+
+TEST_P(DeciderAgreement, FixedDtdAgreesWithOracleUnderNegation) {
+  Rng rng(GetParam() * 257 + 19);
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  RandomPathOptions opt;
+  opt.allow_negation = true;
+  opt.allow_upward = true;
+  for (int round = 0; round < 6; ++round) {
+    Dtd d = RandomDtd(&rng, /*recursive=*/false);
+    auto p = RandomPath(&rng, labels, 3, opt);
+    // g = 4 matches the oracle's star cap below, so any witness the oracle
+    // can enumerate fits the star-eliminated DTD and vice versa.
+    FixedDtdOptions fopt;
+    fopt.branch_bound = 4;
+    Result<SatDecision> fast = FixedDtdSat(*p, d, fopt);
+    ASSERT_TRUE(fast.ok()) << p->ToString();
+    if (fast.value().verdict == SatVerdict::kUnknown) continue;  // cap hit
+    BoundedModelOptions caps;
+    caps.max_depth = 6;
+    caps.max_star = 4;
+    caps.max_trees = 200000;
+    DerivedBounds db = DeriveBoundsChecked(*p, d, caps);
+    SatDecision oracle = BoundedModelSat(*p, d, db.options);
+    if (oracle.sat()) {
+      EXPECT_TRUE(fast.value().sat())
+          << p->ToString() << "\n" << d.ToString() << "\noracle witness: "
+          << oracle.witness->ToString();
+    } else if (oracle.unsat() && db.complete) {
+      EXPECT_TRUE(fast.value().unsat())
+          << p->ToString() << "\n" << d.ToString();
+    }
+    if (fast.value().sat() && fast.value().witness.has_value()) {
+      EXPECT_TRUE(d.Validate(*fast.value().witness).ok())
+          << p->ToString() << "\n" << fast.value().witness->ToString();
+      EXPECT_TRUE(Satisfies(*fast.value().witness, *p))
+          << p->ToString() << "\n" << fast.value().witness->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeciderAgreement, ::testing::Range(1, 41));
 
 }  // namespace
 }  // namespace xpathsat

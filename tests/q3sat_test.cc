@@ -34,7 +34,9 @@ TEST(QbfTest, ForallMakesItHarder) {
     all_exists.is_forall.assign(q.matrix.num_vars + 1, false);
     bool pure_sat = QbfSolve(all_exists);
     // ∃-relaxation can only make the sentence "more true".
-    if (with_quantifiers) EXPECT_TRUE(pure_sat);
+    if (with_quantifiers) {
+      EXPECT_TRUE(pure_sat);
+    }
   }
 }
 
