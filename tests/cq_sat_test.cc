@@ -96,6 +96,8 @@ TEST_P(CqWitnessProperty, SatAnswersCarryVerifiedWitnesses) {
     auto p = RandomPath(&rng, labels, 3, opt);
     Result<SatDecision> r = CqSat(*p);
     if (!r.ok()) continue;
+    // Thm 6.11(2) is a PTIME decision procedure: never kUnknown in-fragment.
+    ASSERT_NE(r.value().verdict, SatVerdict::kUnknown) << p->ToString();
     if (r.value().sat()) {
       ASSERT_TRUE(r.value().witness.has_value());
       EXPECT_TRUE(Satisfies(*r.value().witness, *p))

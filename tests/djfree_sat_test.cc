@@ -66,6 +66,9 @@ TEST_P(DjfreeVsOracle, AgreesWithBoundedModel) {
     auto p = RandomPath(&rng, labels, 3);
     Result<SatDecision> fast = DisjunctionFreeSat(*p, d);
     ASSERT_TRUE(fast.ok()) << p->ToString();
+    // Thm 6.8(1) is a PTIME decision procedure: kUnknown would silently read
+    // as unsat in the agreement check below, so rule it out explicitly.
+    ASSERT_NE(fast.value().verdict, SatVerdict::kUnknown) << p->ToString();
     BoundedModelOptions bounds;
     bounds.max_depth = 5;
     bounds.max_star = 3;

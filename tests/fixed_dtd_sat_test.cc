@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/sat/bounded_model.h"
+#include "src/xpath/evaluator.h"
 #include "src/xpath/features.h"
 #include "tests/test_util.h"
 
@@ -61,6 +62,14 @@ TEST_P(FixedDtdVsOracle, AgreesWithBoundedModel) {
     if (slow.verdict == SatVerdict::kUnknown) continue;
     EXPECT_EQ(fast.value().sat(), slow.sat())
         << p->ToString() << "\n" << d.ToString();
+    if (fast.value().sat()) {
+      ASSERT_TRUE(fast.value().witness.has_value()) << p->ToString();
+      // Witnesses of the star-eliminated DTD must conform to the original.
+      EXPECT_TRUE(d.Validate(*fast.value().witness).ok())
+          << p->ToString() << "\n" << fast.value().witness->ToString();
+      EXPECT_TRUE(Satisfies(*fast.value().witness, *p))
+          << p->ToString() << "\n" << fast.value().witness->ToString();
+    }
   }
 }
 

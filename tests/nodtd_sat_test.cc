@@ -37,6 +37,8 @@ TEST(NoDtdSatTest, WitnessesSatisfyTheQuery) {
     auto p = RandomPath(&rng, labels, 4);
     Result<SatDecision> r = NoDtdSat(*p);
     ASSERT_TRUE(r.ok()) << p->ToString();
+    // Thm 6.11(1) is a PTIME decision procedure: never kUnknown in-fragment.
+    ASSERT_NE(r.value().verdict, SatVerdict::kUnknown) << p->ToString();
     if (r.value().sat()) {
       ++sat_count;
       ASSERT_TRUE(r.value().witness.has_value());

@@ -76,6 +76,9 @@ TEST_P(ReachVsOracle, AgreesWithBoundedModel) {
     auto p = RandomPath(&rng, labels, 3, opt);
     Result<SatDecision> fast = ReachSat(*p, d);
     ASSERT_TRUE(fast.ok()) << p->ToString();
+    // Thm 4.1 is a PTIME decision procedure: kUnknown would silently read as
+    // unsat in the agreement check below, so rule it out explicitly.
+    ASSERT_NE(fast.value().verdict, SatVerdict::kUnknown) << p->ToString();
     BoundedModelOptions bounds;
     bounds.max_depth = 6;
     bounds.max_star = 2;

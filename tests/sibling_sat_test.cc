@@ -120,6 +120,9 @@ TEST_P(SiblingVsOracle, AgreesWithBoundedModel) {
     auto p = PathExpr::SeqAll(std::move(steps));
     Result<SatDecision> fast = SiblingChainSat(*p, d);
     ASSERT_TRUE(fast.ok()) << p->ToString();
+    // Thm 7.1 is a PTIME decision procedure: kUnknown would silently read as
+    // unsat in the agreement check below, so rule it out explicitly.
+    ASSERT_NE(fast.value().verdict, SatVerdict::kUnknown) << p->ToString();
     BoundedModelOptions bounds;
     bounds.max_depth = 5;
     bounds.max_star = 3;
