@@ -1,0 +1,244 @@
+// Engine throughput: cold vs warm compiled-artifact caches, 1..N threads,
+// against the one-shot DecideSatisfiability loop a naive server would run.
+//
+// Standalone main (not Google Benchmark) so it builds everywhere and can
+// emit BENCH_engine.json via the BenchReport helper. Also a validation pass:
+// every engine verdict is cross-checked against the facade (BenchCheck).
+//
+// The workload models the target scenario of the engine: one catalog DTD,
+// thousands of requests drawn from a few hundred distinct queries spanning
+// the PTIME fragments (Thm 4.1 reach, Thm 7.1 sibling chains, Thm 6.8(1)
+// filters) plus a slice of NP skeleton-search traffic.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/engine/sat_engine.h"
+#include "src/sat/satisfiability.h"
+#include "src/util/rng.h"
+#include "src/xml/dtd.h"
+#include "src/xpath/parser.h"
+
+using namespace xpathsat;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A realistically sized publishing schema (30 element types): per-call DTD
+// analysis on something of this size is exactly the redundant work the
+// engine's compiled-artifact cache exists to remove. Disjunction-free, as
+// the paper observes real DTDs overwhelmingly are (Sec. 6), so filter
+// queries route to the PTIME Thm 6.8(1) decider.
+Dtd MakeCatalogDtd() {
+  Result<Dtd> d = Dtd::Parse(R"(root catalog
+catalog -> frontmatter, section*, backmatter
+frontmatter -> title, subtitle, author*, legal
+subtitle -> eps
+author -> name, affiliation
+name -> eps
+affiliation -> eps
+legal -> para*
+section -> heading, para*, item*, figure*, subsection*, appendix
+subsection -> heading, para*, item*, figure*
+heading -> eps
+para -> emph, xref
+emph -> eps
+xref -> eps
+item -> title, price, variant*, note*
+title -> eps
+price -> amount, range*
+amount -> eps
+range -> amount, amount
+variant -> swatch, swatch*
+swatch -> eps
+note -> ref, para*
+ref -> eps
+figure -> caption, image*, table*
+caption -> eps
+image -> eps
+table -> row, row*
+row -> cell*
+cell -> para*
+appendix -> note*
+backmatter -> index, colophon
+index -> entrylist*
+entrylist -> eps
+colophon -> eps
+)");
+  BenchCheck(d.ok(), "catalog DTD parses: " + d.error());
+  BenchCheck(d.value().IsDisjunctionFree(), "catalog DTD is dj-free");
+  return std::move(d).value();
+}
+
+// A few hundred distinct query texts over the catalog labels, weighted
+// toward the PTIME fragments.
+std::vector<std::string> MakeQueryPool(Rng* rng, int distinct) {
+  const std::vector<std::string> labels = {
+      "catalog", "section", "subsection", "item",   "title", "price",
+      "variant", "swatch",  "note",       "ref",    "para",  "figure",
+      "caption", "image",   "table",      "row",    "cell",  "heading",
+      "author",  "name",    "amount",     "emph",   "xref"};
+  auto label = [&] { return labels[rng->Below(labels.size())]; };
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<size_t>(distinct));
+  for (int i = 0; i < distinct; ++i) {
+    std::string q;
+    switch (rng->IntIn(0, 9)) {
+      case 0:  // deep child chains (Thm 4.1)
+        q = "section/item/" + label();
+        break;
+      case 1:
+      case 2:
+        q = "**/" + label();
+        break;
+      case 3:
+        q = label() + "|**/" + label();
+        break;
+      case 4:
+        q = "*/" + label() + "/*";
+        break;
+      case 5:
+        q = "section/**/" + label();
+        break;
+      case 6:  // sibling chains (Thm 7.1)
+        q = "section/" + std::string(rng->Percent(50) ? "item/>" : "heading/>");
+        break;
+      case 7:
+        q = "section/item/>/" + std::string(rng->Percent(50) ? ">" : "<");
+        break;
+      case 8:  // filters (Thm 6.8(1) on the dj-free schema)
+        q = "section/item[" + label() + "]";
+        break;
+      default:
+        q = "section/figure[table/row]|subsection/item[" + label() + "]";
+        break;
+    }
+    pool.push_back(std::move(q));
+  }
+  return pool;
+}
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = BenchJsonPath(argc, argv, "BENCH_engine.json");
+  // --no-speedup-check: keep the verdict cross-checks but skip the timing
+  // assertion (sanitized CI runs distort the ratio; ASan/UBSan failures
+  // must still fail the binary).
+  bool check_speedup = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--no-speedup-check") check_speedup = false;
+  }
+  const int kDistinct = 200;
+  const int kRequests = 2000;
+  Rng rng(0xbadc0ffee);
+
+  Dtd dtd = MakeCatalogDtd();
+  std::vector<std::string> pool = MakeQueryPool(&rng, kDistinct);
+
+  // Audit traffic wants verdicts, not witness trees — both sides of the
+  // comparison run verdict-only so the measurement isolates the caching.
+  SatOptions sat_options;
+  sat_options.compute_witness = false;
+
+  std::vector<SatRequest> workload;
+  workload.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    SatRequest r;
+    r.query = pool[rng.Below(pool.size())];
+    r.dtd = &dtd;
+    r.options = sat_options;
+    workload.push_back(std::move(r));
+  }
+
+  BenchReport report;
+
+  // Baseline: the naive per-request path (parse + one-shot facade).
+  std::vector<SatVerdict> expected;
+  expected.reserve(workload.size());
+  Clock::time_point t0 = Clock::now();
+  for (const SatRequest& r : workload) {
+    Result<std::unique_ptr<PathExpr>> p = ParsePath(r.query);
+    BenchCheck(p.ok(), "workload query parses: " + r.query);
+    expected.push_back(
+        DecideSatisfiability(*p.value(), dtd, sat_options).decision.verdict);
+  }
+  double baseline_s = Seconds(t0, Clock::now());
+  report.Add("facade_loop_requests_per_s", kRequests / baseline_s, "req/s");
+
+  // Engine, cold: fresh caches, first pass pays compilation + parsing.
+  auto check_round = [&](const std::vector<SatResponse>& round,
+                         const char* what) {
+    BenchCheck(round.size() == expected.size(), "round size");
+    for (size_t i = 0; i < round.size(); ++i) {
+      BenchCheck(round[i].status.ok(),
+                 std::string(what) + ": " + round[i].status.message());
+      BenchCheck(round[i].report.decision.verdict == expected[i],
+                 std::string(what) + ": engine vs facade disagree on " +
+                     workload[i].query);
+    }
+  };
+
+  {
+    SatEngineOptions opt;
+    opt.num_threads = 1;
+    SatEngine engine(opt);
+    t0 = Clock::now();
+    std::vector<SatResponse> cold = engine.RunBatch(workload);
+    double cold_s = Seconds(t0, Clock::now());
+    check_round(cold, "cold");
+    report.Add("engine_cold_1thread_requests_per_s", kRequests / cold_s,
+               "req/s");
+
+    // Warm: artifacts and queries cached; several rounds, best-of to damp
+    // scheduler noise.
+    double warm_best_s = 1e100;
+    for (int round = 0; round < 3; ++round) {
+      t0 = Clock::now();
+      std::vector<SatResponse> warm = engine.RunBatch(workload);
+      double warm_s = Seconds(t0, Clock::now());
+      check_round(warm, "warm");
+      if (warm_s < warm_best_s) warm_best_s = warm_s;
+    }
+    report.Add("engine_warm_1thread_requests_per_s", kRequests / warm_best_s,
+               "req/s");
+    report.Add("warm_speedup_vs_facade_loop", baseline_s / warm_best_s, "x");
+  }
+
+  // Thread scaling on warm caches.
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) hw = 1;
+  for (int threads = 2; threads <= hw && threads <= 8; threads *= 2) {
+    SatEngineOptions opt;
+    opt.num_threads = threads;
+    SatEngine engine(opt);
+    engine.RunBatch(workload);  // warm up
+    t0 = Clock::now();
+    std::vector<SatResponse> warm = engine.RunBatch(workload);
+    double warm_s = Seconds(t0, Clock::now());
+    check_round(warm, "warm-mt");
+    char name[64];
+    std::snprintf(name, sizeof(name), "engine_warm_%dthread_requests_per_s",
+                  threads);
+    report.Add(name, kRequests / warm_s, "req/s");
+  }
+
+  // The acceptance bar of the batch-engine PR: warm single-DTD/many-queries
+  // throughput must beat the facade loop by >= 3x.
+  if (check_speedup) {
+    BenchCheck(report.Get("warm_speedup_vs_facade_loop") >= 3.0,
+               "warm engine >= 3x facade loop");
+  }
+
+  report.WriteJson(json_path, "engine_throughput");
+  return 0;
+}

@@ -1,0 +1,211 @@
+#include "src/engine/sat_engine.h"
+
+#include <future>
+#include <utility>
+
+#include "src/xpath/parser.h"
+
+namespace xpathsat {
+
+SatEngine::SatEngine(const SatEngineOptions& options)
+    : options_(options), pool_(options.num_threads) {
+  if (options_.dtd_cache_capacity < 1) options_.dtd_cache_capacity = 1;
+  if (options_.query_cache_capacity < 2) options_.query_cache_capacity = 2;
+}
+
+std::shared_ptr<const CompiledDtd> SatEngine::LookupDtd(const Dtd& dtd,
+                                                        uint64_t fp,
+                                                        bool* hit) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = dtd_index_.find(fp);
+    if (it != dtd_index_.end()) {
+      std::shared_ptr<const CompiledDtd> cached = it->second->second;
+      // Verify the hit: a fingerprint collision (64-bit FNV; constructible
+      // by an adversary) must never serve verdicts for the wrong schema.
+      if (cached->dtd.EquivalentTo(dtd)) {
+        dtd_lru_.splice(dtd_lru_.begin(), dtd_lru_, it->second);
+        if (hit) *hit = true;
+        return cached;
+      }
+    }
+  }
+  // Compile outside the lock: a slow compilation must not serialize the
+  // pool. Two racing threads may compile the same DTD; the first insert wins.
+  std::shared_ptr<const CompiledDtd> compiled = CompiledDtd::Compile(dtd);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dtd_index_.find(fp);
+  if (it != dtd_index_.end()) {
+    if (it->second->second->dtd.EquivalentTo(dtd)) {
+      dtd_lru_.splice(dtd_lru_.begin(), dtd_lru_, it->second);
+      if (hit) *hit = true;  // raced: someone else filled it first
+      return it->second->second;
+    }
+    // Colliding slot stays with its current owner; serve this request from
+    // the fresh artifacts without caching them.
+    if (hit) *hit = false;
+    return compiled;
+  }
+  dtd_lru_.emplace_front(fp, compiled);
+  dtd_index_[fp] = dtd_lru_.begin();
+  while (dtd_lru_.size() > options_.dtd_cache_capacity) {
+    dtd_index_.erase(dtd_lru_.back().first);
+    dtd_lru_.pop_back();
+  }
+  if (hit) *hit = false;
+  return compiled;
+}
+
+std::shared_ptr<const CompiledDtd> SatEngine::CompileAndCache(const Dtd& dtd) {
+  return LookupDtd(dtd, dtd.Fingerprint(), nullptr);
+}
+
+std::shared_ptr<const SatEngine::CachedQuery> SatEngine::LookupQuery(
+    const std::string& text, bool* hit, std::string* parse_error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = query_index_.find(text);
+    if (it != query_index_.end()) {
+      query_lru_.splice(query_lru_.begin(), query_lru_, it->second);
+      *hit = true;
+      return it->second->second;
+    }
+  }
+  Result<std::unique_ptr<PathExpr>> parsed = ParsePath(text);
+  if (!parsed.ok()) {
+    *hit = false;
+    *parse_error = parsed.error();
+    return nullptr;
+  }
+  auto entry = std::make_shared<CachedQuery>();
+  entry->ast = std::shared_ptr<const PathExpr>(std::move(parsed).value());
+  entry->features = DetectFeatures(*entry->ast);
+  entry->canonical = entry->ast->ToString();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Textual variants of one query share the canonical entry.
+  auto canon_it = query_index_.find(entry->canonical);
+  std::shared_ptr<const CachedQuery> result;
+  if (canon_it != query_index_.end()) {
+    query_lru_.splice(query_lru_.begin(), query_lru_, canon_it->second);
+    result = canon_it->second->second;
+  } else {
+    query_lru_.emplace_front(entry->canonical, entry);
+    query_index_[entry->canonical] = query_lru_.begin();
+    result = entry;
+  }
+  if (text != result->canonical && !query_index_.count(text)) {
+    query_lru_.emplace_front(text, result);
+    query_index_[text] = query_lru_.begin();
+  }
+  while (query_lru_.size() > options_.query_cache_capacity) {
+    query_index_.erase(query_lru_.back().first);
+    query_lru_.pop_back();
+  }
+  *hit = false;
+  return result;
+}
+
+SatResponse SatEngine::RunOne(const SatRequest& request,
+                              Clock::time_point batch_start,
+                              BatchContext* ctx) {
+  SatResponse resp;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (request.dtd == nullptr) {
+    resp.status = Status::Error("request has no DTD");
+    return resp;
+  }
+  if (request.deadline_ms > 0 &&
+      Clock::now() - batch_start >=
+          std::chrono::milliseconds(request.deadline_ms)) {
+    resp.status = Status::Ok();
+    resp.report.decision =
+        SatDecision::Unknown("deadline expired before execution started");
+    resp.report.algorithm = "deadline";
+    deadline_expirations_.fetch_add(1, std::memory_order_relaxed);
+    return resp;
+  }
+
+  bool query_hit = false;
+  std::string parse_error;
+  std::shared_ptr<const CachedQuery> query =
+      LookupQuery(request.query, &query_hit, &parse_error);
+  (query_hit ? query_cache_hits_ : query_cache_misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (query == nullptr) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    resp.status = Status::Error("query parse error: " + parse_error);
+    return resp;
+  }
+  resp.query_cache_hit = query_hit;
+  resp.fragment = query->features.FragmentName();
+
+  bool dtd_hit = false;
+  std::shared_ptr<const CompiledDtd> compiled;
+  if (ctx != nullptr) {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    auto it = ctx->resolved.find(request.dtd);
+    if (it != ctx->resolved.end()) {
+      compiled = it->second;
+      dtd_hit = true;  // resolved earlier in this batch => artifacts existed
+    }
+  }
+  if (compiled == nullptr) {
+    // First request of the batch (or a Run() call) for this DTD: hash,
+    // verify, and resolve through the engine cache. Two racing firsts for
+    // one DTD both land here; the engine cache dedupes the compilation.
+    compiled = LookupDtd(*request.dtd, request.dtd->Fingerprint(), &dtd_hit);
+    if (ctx != nullptr) {
+      std::lock_guard<std::mutex> lock(ctx->mu);
+      ctx->resolved.emplace(request.dtd, compiled);
+    }
+  }
+  (dtd_hit ? dtd_cache_hits_ : dtd_cache_misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+  resp.dtd_cache_hit = dtd_hit;
+  resp.dtd_fingerprint = compiled->fingerprint;
+
+  Clock::time_point start = Clock::now();
+  resp.report = DecideSatisfiability(*query->ast, query->features, *compiled,
+                                     request.options);
+  resp.elapsed_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+  resp.status = Status::Ok();
+  return resp;
+}
+
+std::vector<SatResponse> SatEngine::RunBatch(
+    const std::vector<SatRequest>& batch) {
+  Clock::time_point batch_start = Clock::now();
+  BatchContext ctx;
+  std::vector<std::future<SatResponse>> futures;
+  futures.reserve(batch.size());
+  for (const SatRequest& request : batch) {
+    futures.push_back(pool_.Submit([this, &request, batch_start, &ctx] {
+      return RunOne(request, batch_start, &ctx);
+    }));
+  }
+  std::vector<SatResponse> responses;
+  responses.reserve(batch.size());
+  for (std::future<SatResponse>& f : futures) responses.push_back(f.get());
+  return responses;
+}
+
+SatResponse SatEngine::Run(const SatRequest& request) {
+  return RunOne(request, Clock::now(), nullptr);
+}
+
+SatEngineStats SatEngine::stats() const {
+  SatEngineStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.dtd_cache_hits = dtd_cache_hits_.load(std::memory_order_relaxed);
+  s.dtd_cache_misses = dtd_cache_misses_.load(std::memory_order_relaxed);
+  s.query_cache_hits = query_cache_hits_.load(std::memory_order_relaxed);
+  s.query_cache_misses = query_cache_misses_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.deadline_expirations =
+      deadline_expirations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace xpathsat

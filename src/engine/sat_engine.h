@@ -1,0 +1,166 @@
+// The batch satisfiability engine: the serving layer above the Sec. 8
+// dispatch facade.
+//
+// DecideSatisfiability re-parses, re-classifies, and re-compiles its inputs
+// on every call. Realistic workloads (schema audits, query pruning) decide
+// thousands of queries against a handful of DTDs, so the engine caches both
+// sides of a request:
+//   * a CompiledDtd cache keyed by Dtd::Fingerprint() — the per-DTD
+//     artifacts (class, label graph, content-model NFAs, normal form) are
+//     compiled once and shared, immutably, across queries and threads;
+//   * a query cache keyed by the canonical ToString() printing of the parsed
+//     AST (with a raw-text alias so byte-identical requests skip the parser
+//     entirely) holding the AST plus its fragment profile.
+// Batches execute on a fixed-size ThreadPool with per-request SatOptions and
+// a per-request deadline cap.
+//
+// Verdict parity: for every request the engine returns exactly what
+// DecideSatisfiability(parse(query), dtd, options) returns — the caches only
+// remove redundant work, never change routing (enforced by the randomized
+// cross-check in tests/engine_test.cc).
+#ifndef XPATHSAT_ENGINE_SAT_ENGINE_H_
+#define XPATHSAT_ENGINE_SAT_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/sat/satisfiability.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+#include "src/xml/dtd.h"
+#include "src/xpath/ast.h"
+#include "src/xpath/features.h"
+
+namespace xpathsat {
+
+/// Engine-wide configuration.
+struct SatEngineOptions {
+  /// Worker threads; values < 1 use hardware_concurrency.
+  int num_threads = 0;
+  /// Compiled DTDs kept (LRU by fingerprint). Must be >= 1.
+  size_t dtd_cache_capacity = 64;
+  /// Cached query keys kept (LRU; canonical entries plus raw aliases).
+  /// Must be >= 2 (an entry and its alias).
+  size_t query_cache_capacity = 4096;
+};
+
+/// One batch item: a query in concrete syntax against a parsed DTD.
+struct SatRequest {
+  std::string query;
+  /// Borrowed: must outlive the RunBatch/Run call. Batches are expected to
+  /// point many requests at few DTDs.
+  const Dtd* dtd = nullptr;
+  /// Per-request resource caps, forwarded to the dispatch.
+  SatOptions options;
+  /// Deadline in milliseconds from batch submission; requests still queued
+  /// when it expires return kUnknown without running (a request that starts
+  /// in time runs to completion). 0 disables the cap.
+  int64_t deadline_ms = 0;
+};
+
+/// One batch result.
+struct SatResponse {
+  /// Parse/validation outcome; `report` is meaningful only when ok().
+  Status status;
+  SatReport report;
+  /// Fragment profile of the (cached) query, e.g. "X(down,ds,union)".
+  std::string fragment;
+  uint64_t dtd_fingerprint = 0;
+  bool dtd_cache_hit = false;
+  bool query_cache_hit = false;
+  /// Decision time in microseconds (excludes queue wait).
+  double elapsed_us = 0.0;
+};
+
+/// Monotonic counters over the engine's lifetime.
+struct SatEngineStats {
+  uint64_t requests = 0;
+  uint64_t dtd_cache_hits = 0;
+  uint64_t dtd_cache_misses = 0;
+  uint64_t query_cache_hits = 0;
+  uint64_t query_cache_misses = 0;
+  uint64_t parse_errors = 0;
+  uint64_t deadline_expirations = 0;
+};
+
+class SatEngine {
+ public:
+  explicit SatEngine(const SatEngineOptions& options = {});
+
+  /// Decides every request concurrently on the pool; responses are in request
+  /// order. Blocks until the batch completes. Must not be called from inside
+  /// one of the engine's own worker jobs.
+  std::vector<SatResponse> RunBatch(const std::vector<SatRequest>& batch);
+
+  /// Decides one request on the calling thread (same caches, no queueing;
+  /// the deadline is measured from this call).
+  SatResponse Run(const SatRequest& request);
+
+  /// Compiles `dtd` through the cache (the warm-up path; RunBatch uses this
+  /// internally). Hit/miss counters are only bumped by request execution.
+  std::shared_ptr<const CompiledDtd> CompileAndCache(const Dtd& dtd);
+
+  SatEngineStats stats() const;
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  struct CachedQuery {
+    std::shared_ptr<const PathExpr> ast;
+    Features features;
+    std::string canonical;
+  };
+
+  using Clock = std::chrono::steady_clock;
+
+  // Per-batch memo: each distinct borrowed Dtd* is fingerprinted, verified
+  // against the cache, and resolved to its artifacts once per RunBatch; the
+  // batch's other requests reuse the resolution by pointer identity (the
+  // borrow contract makes the pointee immutable for the whole call).
+  struct BatchContext {
+    std::mutex mu;
+    std::map<const Dtd*, std::shared_ptr<const CompiledDtd>> resolved;
+  };
+
+  SatResponse RunOne(const SatRequest& request, Clock::time_point batch_start,
+                     BatchContext* ctx);
+  std::shared_ptr<const CompiledDtd> LookupDtd(const Dtd& dtd, uint64_t fp,
+                                               bool* hit);
+  std::shared_ptr<const CachedQuery> LookupQuery(const std::string& text,
+                                                 bool* hit,
+                                                 std::string* parse_error);
+
+  SatEngineOptions options_;
+
+  mutable std::mutex mu_;
+  // DTD cache: LRU list of (fingerprint, artifacts), most recent first.
+  std::list<std::pair<uint64_t, std::shared_ptr<const CompiledDtd>>> dtd_lru_;
+  std::map<uint64_t, decltype(dtd_lru_)::iterator> dtd_index_;
+  // Query cache: keys are canonical printings plus raw-text aliases, all
+  // pointing at shared entries (an entry dies when its last key is evicted).
+  std::list<std::pair<std::string, std::shared_ptr<const CachedQuery>>>
+      query_lru_;
+  std::map<std::string, decltype(query_lru_)::iterator> query_index_;
+
+  // Counters are atomics so the request hot path never takes mu_ just to
+  // account for itself.
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> dtd_cache_hits_{0};
+  std::atomic<uint64_t> dtd_cache_misses_{0};
+  std::atomic<uint64_t> query_cache_hits_{0};
+  std::atomic<uint64_t> query_cache_misses_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> deadline_expirations_{0};
+
+  ThreadPool pool_;  // last member: workers must die before the caches
+};
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_ENGINE_SAT_ENGINE_H_

@@ -1,0 +1,179 @@
+#include "src/sat/compiled_dtd.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/xml/generator.h"
+
+namespace xpathsat {
+
+bool HasWordContaining(const Regex& re, const std::string& target,
+                       const std::set<std::string>& term) {
+  // usable(r): L(r) has a word whose symbols all terminate.
+  std::function<bool(const Regex&)> usable = [&](const Regex& r) -> bool {
+    switch (r.kind()) {
+      case Regex::Kind::kEpsilon:
+        return true;
+      case Regex::Kind::kSymbol:
+        return term.count(r.symbol()) > 0;
+      case Regex::Kind::kConcat: {
+        for (const Regex& c : r.children()) {
+          if (!usable(c)) return false;
+        }
+        return true;
+      }
+      case Regex::Kind::kUnion: {
+        for (const Regex& c : r.children()) {
+          if (usable(c)) return true;
+        }
+        return false;
+      }
+      case Regex::Kind::kStar:
+        return true;
+    }
+    return false;
+  };
+  // with(r): such a word containing an occurrence of `target`.
+  std::function<bool(const Regex&)> with = [&](const Regex& r) -> bool {
+    switch (r.kind()) {
+      case Regex::Kind::kEpsilon:
+        return false;
+      case Regex::Kind::kSymbol:
+        return r.symbol() == target && term.count(target) > 0;
+      case Regex::Kind::kConcat: {
+        for (size_t i = 0; i < r.children().size(); ++i) {
+          if (!with(r.children()[i])) continue;
+          bool rest_ok = true;
+          for (size_t j = 0; j < r.children().size(); ++j) {
+            if (j != i && !usable(r.children()[j])) {
+              rest_ok = false;
+              break;
+            }
+          }
+          if (rest_ok) return true;
+        }
+        return false;
+      }
+      case Regex::Kind::kUnion: {
+        for (const Regex& c : r.children()) {
+          if (with(c)) return true;
+        }
+        return false;
+      }
+      case Regex::Kind::kStar:
+        return with(r.children()[0]);
+    }
+    return false;
+  };
+  return with(re);
+}
+
+namespace {
+
+// Reflexive-transitive closure of `edges` over the keys of `closure` (which
+// must be pre-seeded with {a} per terminating type a).
+void CloseReflexiveTransitive(
+    const std::map<std::string, std::set<std::string>>& edges,
+    std::map<std::string, std::set<std::string>>* closure) {
+  for (auto& [a, r] : *closure) {
+    std::vector<std::string> stack = {a};
+    while (!stack.empty()) {
+      std::string cur = stack.back();
+      stack.pop_back();
+      auto it = edges.find(cur);
+      if (it == edges.end()) continue;
+      for (const std::string& b : it->second) {
+        if (r.insert(b).second) stack.push_back(b);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::set<std::string>& LabelGraph::Edges(const std::string& type) const {
+  static const std::set<std::string> kEmpty;
+  auto it = edges.find(type);
+  return it == edges.end() ? kEmpty : it->second;
+}
+
+const std::set<std::string>& LabelGraph::Closure(
+    const std::string& type) const {
+  static const std::set<std::string> kEmpty;
+  auto it = closure.find(type);
+  return it == closure.end() ? kEmpty : it->second;
+}
+
+LabelGraph LabelGraph::Build(const Dtd& dtd) {
+  LabelGraph g;
+  g.terminating = dtd.TerminatingTypes();
+  for (const ElementType& t : dtd.types()) {
+    if (!g.terminating.count(t.name)) continue;
+    std::set<std::string> syms;
+    t.content.CollectSymbols(&syms);
+    for (const std::string& b : syms) {
+      if (HasWordContaining(t.content, b, g.terminating)) {
+        g.edges[t.name].insert(b);
+      }
+    }
+    g.closure[t.name].insert(t.name);
+  }
+  CloseReflexiveTransitive(g.edges, &g.closure);
+  return g;
+}
+
+LabelGraph LabelGraph::BuildNormalizedDisjunctionFree(const Dtd& dtd) {
+  LabelGraph g;
+  g.terminating = dtd.TerminatingTypes();
+  for (const ElementType& t : dtd.types()) {
+    if (!g.terminating.count(t.name)) continue;
+    std::set<std::string> syms;
+    t.content.CollectSymbols(&syms);
+    for (const std::string& b : syms) {
+      // Normalized disjunction-free: concat children are mandatory (so all
+      // terminate if the parent does); star children exist iff terminating.
+      if (g.terminating.count(b)) g.edges[t.name].insert(b);
+    }
+    g.closure[t.name].insert(t.name);
+  }
+  CloseReflexiveTransitive(g.edges, &g.closure);
+  return g;
+}
+
+std::map<std::string, Nfa> BuildTerminatingRestrictedNfas(
+    const Dtd& dtd, const std::set<std::string>& terminating) {
+  std::map<std::string, Nfa> nfas;
+  for (const ElementType& t : dtd.types()) {
+    if (!terminating.count(t.name)) continue;
+    Nfa nfa = BuildGlushkov(t.content);
+    // Restrict to terminating symbols: only those children can exist.
+    for (auto& out : nfa.trans) {
+      out.erase(std::remove_if(out.begin(), out.end(),
+                               [&](const std::pair<std::string, int>& e) {
+                                 return !terminating.count(e.first);
+                               }),
+                out.end());
+    }
+    nfas.emplace(t.name, std::move(nfa));
+  }
+  return nfas;
+}
+
+std::shared_ptr<const CompiledDtd> CompiledDtd::Compile(const Dtd& dtd) {
+  auto cd = std::make_shared<CompiledDtd>();
+  cd->dtd = dtd;
+  cd->fingerprint = dtd.Fingerprint();
+  cd->disjunction_free = dtd.IsDisjunctionFree();
+  cd->graph = LabelGraph::Build(dtd);
+  cd->min_sizes = MinimalExpansionSizes(dtd);
+  cd->content_nfas = BuildTerminatingRestrictedNfas(dtd, cd->graph.terminating);
+  cd->norm = NormalizeDtd(dtd);
+  if (cd->disjunction_free) {
+    cd->norm_graph = LabelGraph::BuildNormalizedDisjunctionFree(cd->norm.dtd);
+  }
+  return cd;
+}
+
+}  // namespace xpathsat

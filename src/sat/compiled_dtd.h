@@ -1,0 +1,86 @@
+// Precompiled per-DTD artifacts shared by the decision procedures.
+//
+// Every decider in this directory starts by analyzing the DTD: terminating
+// types (Sec. 2.1), the realizable-child label graph and its closure (the
+// edge relation of the Thm 4.1 reach DP), per-production Glushkov automata
+// (Thm 7.1), the normal form N(D) of Prop 3.3, and minimal expansion sizes
+// for witness construction. In batch workloads thousands of queries share a
+// handful of DTDs, so CompiledDtd hoists all of that out of the per-query
+// path: compile once, decide many. The one-shot entry points
+// (ReachSat(p, dtd), DecideSatisfiability(p, dtd), ...) are unchanged and
+// keep building only what they need.
+#ifndef XPATHSAT_SAT_COMPILED_DTD_H_
+#define XPATHSAT_SAT_COMPILED_DTD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/automata/nfa.h"
+#include "src/xml/dtd.h"
+#include "src/xml/normalize.h"
+
+namespace xpathsat {
+
+/// Does L(re) contain a word with an occurrence of `target` in which every
+/// symbol is terminating? This is the exact condition for `target` to appear
+/// as a child of an A element (with P(A) = re) in some conforming tree
+/// (Thm 4.1 edge relation).
+bool HasWordContaining(const Regex& re, const std::string& target,
+                       const std::set<std::string>& term);
+
+/// The DTD graph restricted to realizable children, plus its
+/// reflexive-transitive closure over terminating types.
+struct LabelGraph {
+  std::set<std::string> terminating;
+  std::map<std::string, std::set<std::string>> edges;
+  std::map<std::string, std::set<std::string>> closure;
+
+  /// Edge / closure lookups that never mutate (safe to share across threads).
+  const std::set<std::string>& Edges(const std::string& type) const;
+  const std::set<std::string>& Closure(const std::string& type) const;
+
+  /// Realizable-child graph of an arbitrary DTD (HasWordContaining edges).
+  static LabelGraph Build(const Dtd& dtd);
+  /// Graph of a *normalized disjunction-free* DTD, where every mentioned
+  /// terminating symbol is realizable (concat children are mandatory, star
+  /// children optional) — the edge rule of the Thm 6.8(1) solver.
+  static LabelGraph BuildNormalizedDisjunctionFree(const Dtd& dtd);
+};
+
+/// Glushkov automata of every terminating type's content model, transitions
+/// restricted to terminating symbols (only those children can exist in a
+/// conforming tree). Shared by the Thm 7.1 one-shot path and Compile so the
+/// restriction rule cannot drift between them.
+std::map<std::string, Nfa> BuildTerminatingRestrictedNfas(
+    const Dtd& dtd, const std::set<std::string>& terminating);
+
+/// Immutable bundle of per-DTD artifacts. Compile once (O(|D|) up to the
+/// closure computation), then share across queries and threads via
+/// shared_ptr<const CompiledDtd>.
+struct CompiledDtd {
+  Dtd dtd;               ///< the source DTD (owning copy)
+  uint64_t fingerprint;  ///< Dtd::Fingerprint() of `dtd` (the cache key)
+  bool disjunction_free = false;
+
+  /// Thm 4.1 artifacts: realizable-child graph + closure (general DTDs).
+  LabelGraph graph;
+  /// Per-type minimal conforming subtree sizes (witness realization).
+  std::map<std::string, long long> min_sizes;
+  /// Thm 7.1 artifacts: Glushkov automata of the content models, transitions
+  /// restricted to terminating symbols; only terminating types appear.
+  std::map<std::string, Nfa> content_nfas;
+  /// Prop 3.3 normal form N(D) (used by Thm 6.8(1) and Thm 4.4).
+  NormalizedDtd norm;
+  /// Graph of norm.dtd under the normalized disjunction-free edge rule;
+  /// only populated when disjunction_free.
+  LabelGraph norm_graph;
+
+  static std::shared_ptr<const CompiledDtd> Compile(const Dtd& dtd);
+};
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_SAT_COMPILED_DTD_H_

@@ -43,35 +43,13 @@ bool PathInFragment(const PathExpr& p) {
   }
 }
 
-// reach/sat dynamic program over a normalized disjunction-free DTD.
+// reach/sat dynamic program over a normalized disjunction-free DTD whose
+// label graph is precomputed (and possibly shared across threads — all
+// mutable memo state is solver-local).
 class DjFreeSolver {
  public:
-  explicit DjFreeSolver(const Dtd& dtd) : dtd_(dtd) {
-    term_ = dtd.TerminatingTypes();
-    for (const auto& t : dtd.types()) {
-      if (!term_.count(t.name)) continue;
-      std::set<std::string> syms;
-      t.content.CollectSymbols(&syms);
-      for (const auto& b : syms) {
-        // Normalized disjunction-free: concat children are mandatory (so all
-        // terminate if A does); star children exist iff terminating.
-        if (term_.count(b)) edges_[t.name].insert(b);
-      }
-      std::set<std::string>& r = closure_[t.name];
-      r.insert(t.name);
-    }
-    // Reflexive-transitive closure.
-    for (auto& [a, r] : closure_) {
-      std::vector<std::string> stack = {a};
-      while (!stack.empty()) {
-        std::string cur = stack.back();
-        stack.pop_back();
-        for (const auto& b : edges_[cur]) {
-          if (r.insert(b).second) stack.push_back(b);
-        }
-      }
-    }
-  }
+  DjFreeSolver(const Dtd& dtd, const LabelGraph& graph)
+      : dtd_(dtd), graph_(graph) {}
 
   bool Decide(const PathExpr& p) { return !Reach(&p, dtd_.root()).empty(); }
 
@@ -80,19 +58,19 @@ class DjFreeSolver {
     auto it = reach_.find(key);
     if (it != reach_.end()) return it->second;
     std::set<std::string> r;
-    if (term_.count(a)) {
+    if (graph_.terminating.count(a)) {
       switch (p->kind) {
         case PathKind::kEmpty:
           r = {a};
           break;
         case PathKind::kLabel:
-          if (edges_[a].count(p->label)) r = {p->label};
+          if (graph_.Edges(a).count(p->label)) r = {p->label};
           break;
         case PathKind::kChildAny:
-          r = edges_[a];
+          r = graph_.Edges(a);
           break;
         case PathKind::kDescOrSelf:
-          r = closure_[a];
+          r = graph_.Closure(a);
           break;
         case PathKind::kSeq:
           for (const auto& b : Reach(p->lhs.get(), a)) {
@@ -145,32 +123,51 @@ class DjFreeSolver {
 
  private:
   const Dtd& dtd_;
-  std::set<std::string> term_;
-  std::map<std::string, std::set<std::string>> edges_;
-  std::map<std::string, std::set<std::string>> closure_;
+  const LabelGraph& graph_;
   std::map<std::pair<const void*, std::string>, std::set<std::string>> reach_;
   std::map<std::pair<const void*, std::string>, bool> sat_;
 };
 
-}  // namespace
+Result<SatDecision> FragmentError() {
+  return Result<SatDecision>::Error(
+      "query outside X(down,ds,union,[]): negation/data/upward/sibling not "
+      "supported by the Thm 6.8(1) procedure");
+}
 
-Result<SatDecision> DisjunctionFreeSat(const PathExpr& p, const Dtd& dtd) {
-  if (!PathInFragment(p)) {
-    return Result<SatDecision>::Error(
-        "query outside X(down,ds,union,[]): negation/data/upward/sibling not "
-        "supported by the Thm 6.8(1) procedure");
-  }
-  if (!dtd.IsDisjunctionFree()) {
-    return Result<SatDecision>::Error("DTD is not disjunction-free");
-  }
-  NormalizedDtd norm = NormalizeDtd(dtd);
-  Result<std::unique_ptr<PathExpr>> fp = RewriteForNormalizedDtd(p, dtd, norm);
+// The per-query pipeline over precomputed (original, normal form, graph).
+// Callers have already checked PathInFragment.
+Result<SatDecision> DjFreeImpl(const PathExpr& p, const Dtd& original,
+                               const NormalizedDtd& norm,
+                               const LabelGraph& norm_graph) {
+  Result<std::unique_ptr<PathExpr>> fp =
+      RewriteForNormalizedDtd(p, original, norm);
   if (!fp.ok()) return Result<SatDecision>::Error(fp.error());
-  DjFreeSolver solver(norm.dtd);
+  DjFreeSolver solver(norm.dtd, norm_graph);
   if (solver.Decide(*fp.value())) {
     return SatDecision::SatNoWitness("Thm 6.8(1) reach/sat DP (normalized)");
   }
   return SatDecision::Unsat("Thm 6.8(1) reach/sat DP (normalized)");
+}
+
+}  // namespace
+
+Result<SatDecision> DisjunctionFreeSat(const PathExpr& p, const Dtd& dtd) {
+  if (!PathInFragment(p)) return FragmentError();  // before any DTD-side work
+  if (!dtd.IsDisjunctionFree()) {
+    return Result<SatDecision>::Error("DTD is not disjunction-free");
+  }
+  NormalizedDtd norm = NormalizeDtd(dtd);
+  LabelGraph graph = LabelGraph::BuildNormalizedDisjunctionFree(norm.dtd);
+  return DjFreeImpl(p, dtd, norm, graph);
+}
+
+Result<SatDecision> DisjunctionFreeSat(const PathExpr& p,
+                                       const CompiledDtd& compiled) {
+  if (!PathInFragment(p)) return FragmentError();
+  if (!compiled.disjunction_free) {
+    return Result<SatDecision>::Error("DTD is not disjunction-free");
+  }
+  return DjFreeImpl(p, compiled.dtd, compiled.norm, compiled.norm_graph);
 }
 
 Result<SatDecision> UpDownDisjunctionFreeSat(const PathExpr& p,
@@ -181,6 +178,16 @@ Result<SatDecision> UpDownDisjunctionFreeSat(const PathExpr& p,
     return SatDecision::Unsat("query ascends above the root (Thm 6.8(2))");
   }
   return DisjunctionFreeSat(*rw.value().path, dtd);
+}
+
+Result<SatDecision> UpDownDisjunctionFreeSat(const PathExpr& p,
+                                             const CompiledDtd& compiled) {
+  Result<UpDownRewrite> rw = RewriteUpDownToQualifiers(p);
+  if (!rw.ok()) return Result<SatDecision>::Error(rw.error());
+  if (rw.value().always_unsat) {
+    return SatDecision::Unsat("query ascends above the root (Thm 6.8(2))");
+  }
+  return DisjunctionFreeSat(*rw.value().path, compiled);
 }
 
 }  // namespace xpathsat

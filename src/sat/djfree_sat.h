@@ -9,6 +9,7 @@
 #ifndef XPATHSAT_SAT_DJFREE_SAT_H_
 #define XPATHSAT_SAT_DJFREE_SAT_H_
 
+#include "src/sat/compiled_dtd.h"
 #include "src/sat/decision.h"
 #include "src/util/status.h"
 #include "src/xpath/ast.h"
@@ -19,10 +20,20 @@ namespace xpathsat {
 /// data values, upward or sibling axes) and disjunction-free `dtd`.
 Result<SatDecision> DisjunctionFreeSat(const PathExpr& p, const Dtd& dtd);
 
+/// Same decision over precompiled artifacts (normal form + normalized label
+/// graph); only the per-query f(p) rewriting and DP remain. Thread-safe for
+/// concurrent calls sharing one CompiledDtd.
+Result<SatDecision> DisjunctionFreeSat(const PathExpr& p,
+                                       const CompiledDtd& compiled);
+
 /// Decides (p, dtd) for p in X(↓,↑) (steps only) and disjunction-free `dtd`,
 /// by rewriting into X(↓,[]) (Thm 6.8(2)) and delegating.
 Result<SatDecision> UpDownDisjunctionFreeSat(const PathExpr& p,
                                              const Dtd& dtd);
+
+/// Precompiled-artifact variant of the Thm 6.8(2) procedure.
+Result<SatDecision> UpDownDisjunctionFreeSat(const PathExpr& p,
+                                             const CompiledDtd& compiled);
 
 }  // namespace xpathsat
 

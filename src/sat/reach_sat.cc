@@ -1,10 +1,9 @@
 #include "src/sat/reach_sat.h"
 
-#include <functional>
 #include <map>
 
+#include "src/sat/compiled_dtd.h"
 #include "src/xml/generator.h"
-#include "src/xpath/evaluator.h"
 
 namespace xpathsat {
 
@@ -26,104 +25,25 @@ bool InFragment(const PathExpr& p) {
   }
 }
 
-// Does L(re) contain a word with an occurrence of `target` in which every
-// symbol is terminating?
-bool HasWordContaining(const Regex& re, const std::string& target,
-                       const std::set<std::string>& term) {
-  std::function<bool(const Regex&)> usable = [&](const Regex& r) -> bool {
-    switch (r.kind()) {
-      case Regex::Kind::kEpsilon:
-        return true;
-      case Regex::Kind::kSymbol:
-        return term.count(r.symbol()) > 0;
-      case Regex::Kind::kConcat: {
-        for (const Regex& c : r.children()) {
-          if (!usable(c)) return false;
-        }
-        return true;
-      }
-      case Regex::Kind::kUnion: {
-        for (const Regex& c : r.children()) {
-          if (usable(c)) return true;
-        }
-        return false;
-      }
-      case Regex::Kind::kStar:
-        return true;
-    }
-    return false;
-  };
-  std::function<bool(const Regex&)> with = [&](const Regex& r) -> bool {
-    switch (r.kind()) {
-      case Regex::Kind::kEpsilon:
-        return false;
-      case Regex::Kind::kSymbol:
-        return r.symbol() == target && term.count(target) > 0;
-      case Regex::Kind::kConcat: {
-        for (size_t i = 0; i < r.children().size(); ++i) {
-          if (!with(r.children()[i])) continue;
-          bool rest_ok = true;
-          for (size_t j = 0; j < r.children().size(); ++j) {
-            if (j != i && !usable(r.children()[j])) {
-              rest_ok = false;
-              break;
-            }
-          }
-          if (rest_ok) return true;
-        }
-        return false;
-      }
-      case Regex::Kind::kUnion: {
-        for (const Regex& c : r.children()) {
-          if (with(c)) return true;
-        }
-        return false;
-      }
-      case Regex::Kind::kStar:
-        return with(r.children()[0]);
-    }
-    return false;
-  };
-  return with(re);
-}
-
 using ReachTable = std::map<const PathExpr*, std::map<std::string, std::set<std::string>>>;
 
+// The per-query DP over a (possibly shared, immutable) label graph. All
+// mutable state is solver-local so concurrent solvers can share one graph.
 class ReachSolver {
  public:
-  ReachSolver(const PathExpr& p, const Dtd& dtd) : p_(p), dtd_(dtd) {
-    term_ = dtd.TerminatingTypes();
-    // DTD-graph edges restricted to realizable children.
-    for (const auto& t : dtd.types()) {
-      if (!term_.count(t.name)) continue;
-      std::set<std::string> syms;
-      t.content.CollectSymbols(&syms);
-      for (const auto& b : syms) {
-        if (HasWordContaining(t.content, b, term_)) edges_[t.name].insert(b);
-      }
-    }
-    // Reflexive-transitive closure for ↓*.
-    for (const auto& t : dtd.types()) {
-      if (!term_.count(t.name)) continue;
-      std::set<std::string>& r = closure_[t.name];
-      r.insert(t.name);
-      std::vector<std::string> stack = {t.name};
-      while (!stack.empty()) {
-        std::string cur = stack.back();
-        stack.pop_back();
-        for (const auto& b : edges_[cur]) {
-          if (r.insert(b).second) stack.push_back(b);
-        }
-      }
-    }
-  }
+  ReachSolver(const PathExpr& p, const Dtd& dtd, const LabelGraph& graph,
+              const std::map<std::string, long long>* min_sizes)
+      : p_(p), dtd_(dtd), graph_(graph), min_sizes_(min_sizes) {}
 
-  SatDecision Solve() {
-    if (!term_.count(dtd_.root())) {
+  SatDecision Solve(bool build_witness) {
+    if (!graph_.terminating.count(dtd_.root())) {
       return SatDecision::Unsat("root element type is nonterminating");
     }
     const std::set<std::string>& res = Reach(&p_, dtd_.root());
     if (res.empty()) return SatDecision::Unsat("reach(p, r) is empty");
+    if (!build_witness) {
+      return SatDecision::SatNoWitness("Thm 4.1 reach DP (witness skipped)");
+    }
     // Build Tree(p, D): realize a path to some B in reach(p, r).
     const std::string& target = *res.begin();
     std::vector<std::string> chain;
@@ -143,13 +63,13 @@ class ReachSolver {
         r = {a};
         break;
       case PathKind::kLabel:
-        if (edges_[a].count(p->label)) r = {p->label};
+        if (graph_.Edges(a).count(p->label)) r = {p->label};
         break;
       case PathKind::kChildAny:
-        r = edges_[a];
+        r = graph_.Edges(a);
         break;
       case PathKind::kDescOrSelf:
-        r = closure_[a];
+        r = graph_.Closure(a);
         break;
       case PathKind::kUnion: {
         r = Reach(p->lhs.get(), a);
@@ -189,7 +109,7 @@ class ReachSolver {
         for (size_t i = 0; i < queue.size(); ++i) {
           std::string cur = queue[i];
           if (cur == b) break;
-          for (const auto& c : edges_[cur]) {
+          for (const auto& c : graph_.Edges(cur)) {
             if (!pred.count(c)) {
               pred[c] = cur;
               queue.push_back(c);
@@ -226,7 +146,10 @@ class ReachSolver {
 
   // Realizes the chain below the root and completes to a conforming tree.
   XmlTree RealizeChain(const std::vector<std::string>& chain) {
-    auto sizes = MinimalExpansionSizes(dtd_);
+    std::map<std::string, long long> local_sizes;
+    if (min_sizes_ == nullptr) local_sizes = MinimalExpansionSizes(dtd_);
+    const std::map<std::string, long long>& sizes =
+        min_sizes_ ? *min_sizes_ : local_sizes;
     XmlTree tree;
     NodeId cur = tree.CreateRoot(dtd_.root());
     std::vector<NodeId> pending;  // nodes needing minimal expansion
@@ -258,21 +181,31 @@ class ReachSolver {
 
   const PathExpr& p_;
   const Dtd& dtd_;
-  std::set<std::string> term_;
-  std::map<std::string, std::set<std::string>> edges_;
-  std::map<std::string, std::set<std::string>> closure_;
+  const LabelGraph& graph_;
+  const std::map<std::string, long long>* min_sizes_;
   ReachTable table_;
 };
 
+Result<SatDecision> FragmentError() {
+  return Result<SatDecision>::Error(
+      "query outside X(down,ds,union): qualifiers/upward/sibling axes not "
+      "supported by the Thm 4.1 procedure");
+}
+
 }  // namespace
 
-Result<SatDecision> ReachSat(const PathExpr& p, const Dtd& dtd) {
-  if (!InFragment(p)) {
-    return Result<SatDecision>::Error(
-        "query outside X(down,ds,union): qualifiers/upward/sibling axes not "
-        "supported by the Thm 4.1 procedure");
-  }
-  return ReachSolver(p, dtd).Solve();
+Result<SatDecision> ReachSat(const PathExpr& p, const Dtd& dtd,
+                             bool build_witness) {
+  if (!InFragment(p)) return FragmentError();  // before the O(|D|²) setup
+  LabelGraph graph = LabelGraph::Build(dtd);
+  return ReachSolver(p, dtd, graph, nullptr).Solve(build_witness);
+}
+
+Result<SatDecision> ReachSat(const PathExpr& p, const CompiledDtd& compiled,
+                             bool build_witness) {
+  if (!InFragment(p)) return FragmentError();
+  return ReachSolver(p, compiled.dtd, compiled.graph, &compiled.min_sizes)
+      .Solve(build_witness);
 }
 
 }  // namespace xpathsat

@@ -8,6 +8,7 @@
 #ifndef XPATHSAT_SAT_REACH_SAT_H_
 #define XPATHSAT_SAT_REACH_SAT_H_
 
+#include "src/sat/compiled_dtd.h"
 #include "src/sat/decision.h"
 #include "src/util/status.h"
 #include "src/xpath/ast.h"
@@ -16,9 +17,16 @@ namespace xpathsat {
 
 /// Decides satisfiability of (p, dtd) for p in X(↓,↓*,∪) (no qualifiers, no
 /// data values, no upward or sibling axes). O(|p| · |D|²) after edge setup.
-/// Returns an error if p is outside the fragment. Produces a witness tree on
-/// kSat.
-Result<SatDecision> ReachSat(const PathExpr& p, const Dtd& dtd);
+/// Returns an error if p is outside the fragment. Produces the Tree(p, D)
+/// witness on kSat unless `build_witness` is false (the realization costs
+/// more than the reach DP; verdict-only callers skip it).
+Result<SatDecision> ReachSat(const PathExpr& p, const Dtd& dtd,
+                             bool build_witness = true);
+
+/// Same decision over precompiled artifacts: skips the edge/closure setup.
+/// Thread-safe for concurrent calls sharing one CompiledDtd.
+Result<SatDecision> ReachSat(const PathExpr& p, const CompiledDtd& compiled,
+                             bool build_witness = true);
 
 }  // namespace xpathsat
 

@@ -21,34 +21,40 @@ SatReport Report(SatDecision d, std::string algorithm) {
   return r;
 }
 
-}  // namespace
-
-SatReport DecideSatisfiability(const PathExpr& p, const Dtd& dtd,
-                               const SatOptions& options) {
-  Features f = DetectFeatures(p);
+// The Sec. 8 dispatch, written once for all entry points: `compiled` is
+// null for the one-shot facade (each decider builds its own DTD artifacts)
+// and non-null for the batch engine (artifacts reused across queries).
+SatReport Dispatch(const PathExpr& p, const Features& f, const Dtd& dtd,
+                   const CompiledDtd* compiled, const SatOptions& options) {
 
   // X(↓,↓*,∪): Thm 4.1 (PTIME).
   if (!f.qualifier && !f.negation && !f.data_values && !f.HasUpward() &&
       !f.HasSibling()) {
-    Result<SatDecision> r = ReachSat(p, dtd);
+    Result<SatDecision> r = compiled
+                                ? ReachSat(p, *compiled, options.compute_witness)
+                                : ReachSat(p, dtd, options.compute_witness);
     if (r.ok()) return Report(std::move(r).value(), "reach-dp (Thm 4.1)");
   }
 
   // X(→,←) chains: Thm 7.1 (PTIME).
   if (!f.qualifier && !f.negation && !f.data_values && !f.HasUpward() &&
       !f.descendant && !f.union_op && !f.right_sib_star && !f.left_sib_star) {
-    Result<SatDecision> r = SiblingChainSat(p, dtd);
+    Result<SatDecision> r =
+        compiled ? SiblingChainSat(p, *compiled) : SiblingChainSat(p, dtd);
     if (r.ok()) return Report(std::move(r).value(), "sibling-nfa (Thm 7.1)");
   }
 
   // Disjunction-free DTDs: Thm 6.8 (PTIME).
-  if (dtd.IsDisjunctionFree() && !f.negation && !f.data_values &&
-      !f.HasSibling()) {
+  bool disjunction_free =
+      compiled ? compiled->disjunction_free : dtd.IsDisjunctionFree();
+  if (disjunction_free && !f.negation && !f.data_values && !f.HasSibling()) {
     if (!f.HasUpward()) {
-      Result<SatDecision> r = DisjunctionFreeSat(p, dtd);
+      Result<SatDecision> r = compiled ? DisjunctionFreeSat(p, *compiled)
+                                       : DisjunctionFreeSat(p, dtd);
       if (r.ok()) return Report(std::move(r).value(), "djfree-dp (Thm 6.8(1))");
     } else if (!f.qualifier && !f.union_op && !f.HasRecursion()) {
-      Result<SatDecision> r = UpDownDisjunctionFreeSat(p, dtd);
+      Result<SatDecision> r = compiled ? UpDownDisjunctionFreeSat(p, *compiled)
+                                       : UpDownDisjunctionFreeSat(p, dtd);
       if (r.ok()) {
         return Report(std::move(r).value(), "updown-rewrite (Thm 6.8(2))");
       }
@@ -57,7 +63,9 @@ SatReport DecideSatisfiability(const PathExpr& p, const Dtd& dtd,
 
   // Positive fragment: Thm 4.4 (NP).
   if (f.IsPositive() && !f.HasSibling()) {
-    Result<SatDecision> r = SkeletonSat(p, dtd);
+    Result<SatDecision> r = compiled
+                                ? SkeletonSat(p, *compiled, options.skeleton_caps)
+                                : SkeletonSat(p, dtd, options.skeleton_caps);
     if (r.ok()) return Report(std::move(r).value(), "skeleton (Thm 4.4)");
   }
 
@@ -72,6 +80,24 @@ SatReport DecideSatisfiability(const PathExpr& p, const Dtd& dtd,
     d.note += "; bounded space not known to be exhaustive";
   }
   return Report(std::move(d), "bounded-model (Thm 5.5 / Cor 6.2 bounds)");
+}
+
+}  // namespace
+
+SatReport DecideSatisfiability(const PathExpr& p, const Dtd& dtd,
+                               const SatOptions& options) {
+  return Dispatch(p, DetectFeatures(p), dtd, nullptr, options);
+}
+
+SatReport DecideSatisfiability(const PathExpr& p, const CompiledDtd& compiled,
+                               const SatOptions& options) {
+  return Dispatch(p, DetectFeatures(p), compiled.dtd, &compiled, options);
+}
+
+SatReport DecideSatisfiability(const PathExpr& p, const Features& features,
+                               const CompiledDtd& compiled,
+                               const SatOptions& options) {
+  return Dispatch(p, features, compiled.dtd, &compiled, options);
 }
 
 SatReport DecideSatisfiabilityNoDtd(const PathExpr& p,

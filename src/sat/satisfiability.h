@@ -20,8 +20,11 @@
 #include <string>
 
 #include "src/sat/bounded_model.h"
+#include "src/sat/compiled_dtd.h"
 #include "src/sat/decision.h"
+#include "src/sat/skeleton_sat.h"
 #include "src/xpath/ast.h"
+#include "src/xpath/features.h"
 
 namespace xpathsat {
 
@@ -45,10 +48,33 @@ struct SatOptions {
     b.max_star = 12;  // DeriveBounds shrinks to the justified witness count
     return b;
   }();
+  /// Caps for the Thm 4.4 skeleton search (NP cells); the defaults derive
+  /// the paper's bounds per instance. Tighten max_steps for latency-capped
+  /// batch traffic (kUnknown on cap hit).
+  SkeletonSatOptions skeleton_caps;
+  /// When false, procedures MAY skip constructing a satisfying witness tree
+  /// on kSat (verdicts are unchanged). Batch audit traffic wants verdicts,
+  /// and the Tree(p, D) realization of Thm 4.1 costs more than the reach DP
+  /// itself. Procedures whose witness falls out of the search for free still
+  /// attach it.
+  bool compute_witness = true;
 };
 
 /// SAT(X): is there a tree T with T |= D and T |= p?
 SatReport DecideSatisfiability(const PathExpr& p, const Dtd& dtd,
+                               const SatOptions& options = {});
+
+/// Same dispatch over precompiled per-DTD artifacts: the fragment routing is
+/// identical (same verdicts, same algorithms), but the DTD-side setup the
+/// deciders normally rebuild per call is reused. Thread-safe for concurrent
+/// calls sharing one CompiledDtd; used by the batch SatEngine.
+SatReport DecideSatisfiability(const PathExpr& p, const CompiledDtd& compiled,
+                               const SatOptions& options = {});
+
+/// As above with a precomputed fragment profile (`features` must equal
+/// DetectFeatures(p) — the engine's query cache stores it alongside the AST).
+SatReport DecideSatisfiability(const PathExpr& p, const Features& features,
+                               const CompiledDtd& compiled,
                                const SatOptions& options = {});
 
 /// Satisfiability in the absence of DTDs (Sec. 6.4).

@@ -70,25 +70,15 @@ bool MakeGroups(const std::vector<const PathExpr*>& steps,
   return true;
 }
 
+// The level-by-level chain check over precomputed terminating-restricted
+// Glushkov automata (possibly shared across threads — the memo is
+// solver-local).
 class SiblingSolver {
  public:
-  SiblingSolver(const Dtd& dtd, const std::vector<Group>& groups)
-      : dtd_(dtd), groups_(groups) {
-    term_ = dtd.TerminatingTypes();
-    for (const auto& t : dtd.types()) {
-      if (!term_.count(t.name)) continue;
-      Nfa nfa = BuildGlushkov(t.content);
-      // Restrict to terminating symbols: only those children can exist.
-      for (auto& out : nfa.trans) {
-        out.erase(std::remove_if(out.begin(), out.end(),
-                                 [&](const std::pair<std::string, int>& e) {
-                                   return !term_.count(e.first);
-                                 }),
-                  out.end());
-      }
-      nfas_.emplace(t.name, std::move(nfa));
-    }
-  }
+  SiblingSolver(const Dtd& dtd, const std::vector<Group>& groups,
+                const std::set<std::string>& term,
+                const std::map<std::string, Nfa>& nfas)
+      : dtd_(dtd), groups_(groups), term_(term), nfas_(nfas) {}
 
   bool Solve() {
     if (!term_.count(dtd_.root())) return false;
@@ -239,32 +229,66 @@ class SiblingSolver {
 
   const Dtd& dtd_;
   const std::vector<Group>& groups_;
-  std::set<std::string> term_;
-  std::map<std::string, Nfa> nfas_;
+  const std::set<std::string>& term_;
+  const std::map<std::string, Nfa>& nfas_;
   std::map<std::pair<size_t, std::string>, bool> memo_;
 };
+
+// Parses the query into groups (or a fragment/root-sibling outcome) so both
+// entry points can reject before any DTD-side work.
+struct ParsedChain {
+  bool in_fragment = false;
+  bool root_sibling = false;
+  std::vector<Group> groups;
+};
+
+ParsedChain ParseChain(const PathExpr& p) {
+  ParsedChain out;
+  std::vector<const PathExpr*> steps;
+  if (!Flatten(p, &steps)) return out;
+  if (!MakeGroups(steps, &out.groups, &out.root_sibling)) return out;
+  out.in_fragment = true;
+  return out;
+}
+
+Result<SatDecision> SiblingChainSatImpl(const ParsedChain& chain,
+                                        const Dtd& dtd,
+                                        const std::set<std::string>& term,
+                                        const std::map<std::string, Nfa>& nfas) {
+  if (chain.root_sibling) {
+    return SatDecision::Unsat("sibling move at the root (Thm 7.1)");
+  }
+  if (SiblingSolver(dtd, chain.groups, term, nfas).Solve()) {
+    return SatDecision::SatNoWitness("Thm 7.1 NFA chain procedure");
+  }
+  return SatDecision::Unsat("Thm 7.1 NFA chain procedure");
+}
+
+Result<SatDecision> FragmentError() {
+  return Result<SatDecision>::Error(
+      "query outside X(sib): only label, wildcard, ->, <- steps allowed by "
+      "the Thm 7.1 procedure");
+}
 
 }  // namespace
 
 Result<SatDecision> SiblingChainSat(const PathExpr& p, const Dtd& dtd) {
-  std::vector<const PathExpr*> steps;
-  if (!Flatten(p, &steps)) {
-    return Result<SatDecision>::Error(
-        "query outside X(sib): only label, wildcard, ->, <- steps allowed by "
-        "the Thm 7.1 procedure");
-  }
-  std::vector<Group> groups;
-  bool root_sibling = false;
-  if (!MakeGroups(steps, &groups, &root_sibling)) {
-    return Result<SatDecision>::Error("unexpected step");
-  }
-  if (root_sibling) {
+  ParsedChain chain = ParseChain(p);
+  if (!chain.in_fragment) return FragmentError();  // before NFA construction
+  if (chain.root_sibling) {
     return SatDecision::Unsat("sibling move at the root (Thm 7.1)");
   }
-  if (SiblingSolver(dtd, groups).Solve()) {
-    return SatDecision::SatNoWitness("Thm 7.1 NFA chain procedure");
-  }
-  return SatDecision::Unsat("Thm 7.1 NFA chain procedure");
+  std::set<std::string> term = dtd.TerminatingTypes();
+  std::map<std::string, Nfa> nfas = BuildTerminatingRestrictedNfas(dtd, term);
+  return SiblingChainSatImpl(chain, dtd, term, nfas);
+}
+
+Result<SatDecision> SiblingChainSat(const PathExpr& p,
+                                    const CompiledDtd& compiled) {
+  ParsedChain chain = ParseChain(p);
+  if (!chain.in_fragment) return FragmentError();
+  return SiblingChainSatImpl(chain, compiled.dtd, compiled.graph.terminating,
+                             compiled.content_nfas);
 }
 
 }  // namespace xpathsat

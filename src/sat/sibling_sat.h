@@ -12,6 +12,7 @@
 #ifndef XPATHSAT_SAT_SIBLING_SAT_H_
 #define XPATHSAT_SAT_SIBLING_SAT_H_
 
+#include "src/sat/compiled_dtd.h"
 #include "src/sat/decision.h"
 #include "src/util/status.h"
 #include "src/xpath/ast.h"
@@ -21,6 +22,11 @@ namespace xpathsat {
 /// Decides (p, dtd) for p in X(→,←) extended with wildcard downward steps.
 /// Returns an error if p is outside the fragment.
 Result<SatDecision> SiblingChainSat(const PathExpr& p, const Dtd& dtd);
+
+/// Same decision over precompiled content-model automata. Thread-safe for
+/// concurrent calls sharing one CompiledDtd.
+Result<SatDecision> SiblingChainSat(const PathExpr& p,
+                                    const CompiledDtd& compiled);
 
 }  // namespace xpathsat
 

@@ -605,14 +605,15 @@ class SkeletonSearch {
 
 }  // namespace
 
-Result<SatDecision> SkeletonSat(const PathExpr& p, const Dtd& dtd,
-                                const SkeletonSatOptions& options) {
+// The per-query search over a (possibly precomputed) normal form.
+static Result<SatDecision> SkeletonSatImpl(const PathExpr& p, const Dtd& dtd,
+                                           const NormalizedDtd& norm,
+                                           const SkeletonSatOptions& options) {
   if (!PathPositive(p)) {
     return Result<SatDecision>::Error(
         "query outside the positive fragment X(down,ds,up,as,union,[],=): "
         "negation/sibling axes not supported by the Thm 4.4 procedure");
   }
-  NormalizedDtd norm = NormalizeDtd(dtd);
   Result<std::unique_ptr<PathExpr>> fp = RewriteForNormalizedDtd(p, dtd, norm);
   if (!fp.ok()) return Result<SatDecision>::Error(fp.error());
   int psize = p.Size();
@@ -637,6 +638,16 @@ Result<SatDecision> SkeletonSat(const PathExpr& p, const Dtd& dtd,
     d.witness = DenormalizeTree(*d.witness, norm);
   }
   return d;
+}
+
+Result<SatDecision> SkeletonSat(const PathExpr& p, const Dtd& dtd,
+                                const SkeletonSatOptions& options) {
+  return SkeletonSatImpl(p, dtd, NormalizeDtd(dtd), options);
+}
+
+Result<SatDecision> SkeletonSat(const PathExpr& p, const CompiledDtd& compiled,
+                                const SkeletonSatOptions& options) {
+  return SkeletonSatImpl(p, compiled.dtd, compiled.norm, options);
 }
 
 }  // namespace xpathsat

@@ -18,6 +18,7 @@
 #ifndef XPATHSAT_SAT_SKELETON_SAT_H_
 #define XPATHSAT_SAT_SKELETON_SAT_H_
 
+#include "src/sat/compiled_dtd.h"
 #include "src/sat/decision.h"
 #include "src/util/status.h"
 #include "src/xpath/ast.h"
@@ -42,6 +43,11 @@ struct SkeletonSatOptions {
 /// Decides (p, dtd) for positive p (no negation; data values, qualifiers,
 /// union, upward and recursive axes all allowed; no sibling axes).
 Result<SatDecision> SkeletonSat(const PathExpr& p, const Dtd& dtd,
+                                const SkeletonSatOptions& options = {});
+
+/// Same decision reusing the precompiled normal form N(D). Thread-safe for
+/// concurrent calls sharing one CompiledDtd.
+Result<SatDecision> SkeletonSat(const PathExpr& p, const CompiledDtd& compiled,
                                 const SkeletonSatOptions& options = {});
 
 }  // namespace xpathsat

@@ -1,0 +1,62 @@
+// Deterministic 64-bit hashing helpers (FNV-1a based). Used for cache keys —
+// DTD fingerprints, canonical-query keys — that must be stable across runs
+// and platforms (unlike std::hash, which libstdc++/libc++ are free to vary).
+#ifndef XPATHSAT_UTIL_HASHING_H_
+#define XPATHSAT_UTIL_HASHING_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xpathsat {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte string, continuing from `seed`.
+inline uint64_t FnvHash(const std::string& bytes,
+                        uint64_t seed = kFnvOffsetBasis) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Order-sensitive combination of two hashes (boost::hash_combine style,
+/// widened to 64 bits).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Finalization mix (SplitMix64), used to spread commutatively accumulated
+/// sums over the whole 64-bit range.
+inline uint64_t HashMix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Accumulates element hashes so that the result is independent of insertion
+/// order (sum + xor of mixed values): the fingerprint of a *set* of parts.
+class UnorderedHashAccumulator {
+ public:
+  void Add(uint64_t element_hash) {
+    uint64_t m = HashMix(element_hash);
+    sum_ += m;
+    xor_ ^= m;
+    ++count_;
+  }
+  uint64_t Finish() const {
+    return HashMix(HashCombine(HashCombine(sum_, xor_), count_));
+  }
+
+ private:
+  uint64_t sum_ = 0;
+  uint64_t xor_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_UTIL_HASHING_H_

@@ -1,0 +1,93 @@
+// A fixed-size thread pool for batch execution. Workers pull std::function
+// jobs from a mutex-protected queue; Submit returns a std::future so callers
+// can block on individual items or the whole batch. Destruction drains the
+// queue (already-submitted jobs run to completion) and joins all workers.
+//
+// The pool is intentionally minimal: no work stealing, no priorities. The
+// SatEngine submits coarse-grained jobs (one satisfiability decision each),
+// so queue contention is negligible next to the work items.
+#ifndef XPATHSAT_UTIL_THREAD_POOL_H_
+#define XPATHSAT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace xpathsat {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; values < 1 fall back to
+  /// hardware_concurrency (and to 1 when even that is unknown).
+  explicit ThreadPool(int num_threads = 0) {
+    if (num_threads < 1) {
+      num_threads = static_cast<int>(std::thread::hardware_concurrency());
+      if (num_threads < 1) num_threads = 1;
+    }
+    workers_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result. Safe to call from
+  /// multiple threads (including from inside pool jobs — but beware that
+  /// blocking on a future from within a worker can deadlock a full pool).
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ with a drained queue
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_UTIL_THREAD_POOL_H_

@@ -1,8 +1,10 @@
 #include "src/xml/dtd.h"
 
+#include <algorithm>
 #include <functional>
 
 #include "src/automata/nfa.h"
+#include "src/util/hashing.h"
 
 namespace xpathsat {
 
@@ -151,6 +153,42 @@ bool Dtd::IsRecursive() const {
     if (reach.count(t.name)) return true;
   }
   return false;
+}
+
+uint64_t Dtd::Fingerprint() const {
+  UnorderedHashAccumulator acc;
+  for (const ElementType& t : types_) {
+    uint64_t h = FnvHash(t.name);
+    h = FnvHash("->", h);
+    h = FnvHash(t.content.ToString(), h);
+    std::vector<std::string> attrs = t.attrs;
+    std::sort(attrs.begin(), attrs.end());
+    UnorderedHashAccumulator attr_acc;
+    for (const std::string& a : attrs) attr_acc.Add(FnvHash(a));
+    h = HashCombine(h, attr_acc.Finish());
+    acc.Add(h);
+  }
+  return HashCombine(FnvHash(root_), acc.Finish());
+}
+
+bool Dtd::EquivalentTo(const Dtd& other) const {
+  if (root_ != other.root_ || types_.size() != other.types_.size()) {
+    return false;
+  }
+  auto signature = [](const Dtd& d) {
+    std::vector<std::string> sig;
+    sig.reserve(d.types_.size());
+    for (const ElementType& t : d.types_) {
+      std::vector<std::string> attrs = t.attrs;
+      std::sort(attrs.begin(), attrs.end());
+      std::string s = t.name + " -> " + t.content.ToString() + " @";
+      for (const std::string& a : attrs) s += " " + a;
+      sig.push_back(std::move(s));
+    }
+    std::sort(sig.begin(), sig.end());
+    return sig;
+  };
+  return signature(*this) == signature(other);
 }
 
 bool Dtd::IsDisjunctionFree() const {

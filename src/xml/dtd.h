@@ -5,6 +5,7 @@
 #ifndef XPATHSAT_XML_DTD_H_
 #define XPATHSAT_XML_DTD_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -49,6 +50,18 @@ class Dtd {
   const std::string& root() const { return root_; }
   /// |D|: number of types plus total content-model sizes.
   int Size() const;
+
+  /// Deterministic 64-bit fingerprint of (Ele, Att, P, R, r). Insensitive to
+  /// the declaration order of element types and of attributes within a type;
+  /// sensitive to the root, every production's content model, and every
+  /// attribute set. Stable across runs and platforms — the engine's
+  /// compiled-DTD cache key.
+  uint64_t Fingerprint() const;
+  /// The equivalence Fingerprint() hashes: same root and same set of
+  /// (type, content model, attribute set) triples, ignoring declaration
+  /// order. Cache hits verify this so a (constructible) fingerprint
+  /// collision can never serve verdicts for the wrong schema.
+  bool EquivalentTo(const Dtd& other) const;
 
   /// Element types with a finite tree expansion (Sec. 2.1). Computed by the
   /// linear-time fixpoint corresponding to CFG emptiness.

@@ -120,6 +120,22 @@ std::string PathExpr::ToString() const {
   return "";
 }
 
+namespace {
+
+template <typename T>
+bool PtrEquals(const std::unique_ptr<T>& a, const std::unique_ptr<T>& b) {
+  if ((a == nullptr) != (b == nullptr)) return false;
+  return a == nullptr || a->Equals(*b);
+}
+
+}  // namespace
+
+bool PathExpr::Equals(const PathExpr& other) const {
+  return kind == other.kind && label == other.label &&
+         PtrEquals(lhs, other.lhs) && PtrEquals(rhs, other.rhs) &&
+         PtrEquals(qual, other.qual);
+}
+
 int PathExpr::Size() const {
   int n = 1;
   if (lhs) n += lhs->Size();
@@ -250,6 +266,14 @@ std::string Qualifier::ToString() const {
       return "!(" + q1->ToString() + ")";
   }
   return "";
+}
+
+bool Qualifier::Equals(const Qualifier& other) const {
+  return kind == other.kind && label == other.label && attr == other.attr &&
+         attr2 == other.attr2 && constant == other.constant &&
+         op == other.op && PtrEquals(path, other.path) &&
+         PtrEquals(path2, other.path2) && PtrEquals(q1, other.q1) &&
+         PtrEquals(q2, other.q2);
 }
 
 int Qualifier::Size() const {

@@ -70,8 +70,13 @@ struct PathExpr {
 
   /// Deep copy.
   std::unique_ptr<PathExpr> Clone() const;
-  /// Concrete text syntax (parseable by ParsePath).
+  /// Concrete text syntax (parseable by ParsePath). ToString is canonical:
+  /// structurally equal ASTs print identically, and parsing a printed AST is
+  /// idempotent (parse(print(parse(s))) == parse(s)) — the engine's
+  /// query-cache key relies on this.
   std::string ToString() const;
+  /// Structural equality (same shape, labels, operators).
+  bool Equals(const PathExpr& other) const;
   /// |p|: number of AST nodes (paths and qualifiers).
   int Size() const;
 };
@@ -124,6 +129,8 @@ struct Qualifier {
   std::unique_ptr<Qualifier> Clone() const;
   /// Concrete text syntax.
   std::string ToString() const;
+  /// Structural equality.
+  bool Equals(const Qualifier& other) const;
   /// Number of AST nodes.
   int Size() const;
 };

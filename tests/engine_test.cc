@@ -1,0 +1,282 @@
+// SatEngine: verdict parity with the facade (including under concurrent
+// execution with shared caches — the ASan/UBSan CI job runs this suite),
+// cache behavior, deadlines, and per-request options.
+#include "src/engine/sat_engine.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sat/satisfiability.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+TEST(SatEngineTest, DecidesASmallBatch) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  SatEngineOptions opt;
+  opt.num_threads = 2;
+  SatEngine engine(opt);
+  std::vector<SatRequest> batch;
+  for (const char* q : {"A", "B", "C", "A/B", "**/B", "r"}) {
+    SatRequest r;
+    r.query = q;
+    r.dtd = &d;
+    batch.push_back(std::move(r));
+  }
+  std::vector<SatResponse> out = engine.RunBatch(batch);
+  ASSERT_EQ(out.size(), 6u);
+  for (const SatResponse& r : out) ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(out[0].report.sat());    // A
+  EXPECT_TRUE(out[1].report.sat());    // B
+  EXPECT_TRUE(out[2].report.unsat());  // C undeclared
+  EXPECT_TRUE(out[3].report.unsat());  // A has no children
+  EXPECT_TRUE(out[4].report.sat());    // **/B
+  EXPECT_TRUE(out[5].report.unsat());  // r below the root? no: r -> A,B*
+  EXPECT_EQ(out[0].dtd_fingerprint, d.Fingerprint());
+}
+
+TEST(SatEngineTest, ResponsesComeBackInRequestOrder) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  SatEngineOptions opt;
+  opt.num_threads = 4;
+  SatEngine engine(opt);
+  std::vector<SatRequest> batch;
+  for (int i = 0; i < 64; ++i) {
+    SatRequest r;
+    r.query = (i % 2 == 0) ? "A" : "B";  // alternating sat / unsat
+    r.dtd = &d;
+    batch.push_back(std::move(r));
+  }
+  std::vector<SatResponse> out = engine.RunBatch(batch);
+  ASSERT_EQ(out.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(out[static_cast<size_t>(i)].status.ok());
+    EXPECT_EQ(out[static_cast<size_t>(i)].report.sat(), i % 2 == 0) << i;
+  }
+}
+
+TEST(SatEngineTest, CachesHitOnRepeatedTraffic) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  SatEngine engine;
+  std::vector<SatRequest> batch;
+  for (const char* q : {"A", "B", "A/B"}) {
+    SatRequest r;
+    r.query = q;
+    r.dtd = &d;
+    batch.push_back(std::move(r));
+  }
+  std::vector<SatResponse> first = engine.RunBatch(batch);
+  std::vector<SatResponse> second = engine.RunBatch(batch);
+  // Round 2 is fully warm: every request hits both caches.
+  for (const SatResponse& r : second) {
+    EXPECT_TRUE(r.dtd_cache_hit);
+    EXPECT_TRUE(r.query_cache_hit);
+  }
+  SatEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 6u);
+  EXPECT_EQ(stats.dtd_cache_misses, 1u);  // compiled exactly once
+  EXPECT_EQ(stats.dtd_cache_hits, 5u);
+  EXPECT_EQ(stats.query_cache_misses, 3u);
+  EXPECT_EQ(stats.query_cache_hits, 3u);
+  EXPECT_EQ(stats.parse_errors, 0u);
+}
+
+TEST(SatEngineTest, TextualVariantsShareTheCanonicalEntry) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  SatEngine engine;
+  SatRequest a;
+  a.query = "(A)";  // prints canonically as "A"
+  a.dtd = &d;
+  SatRequest b;
+  b.query = "A";
+  b.dtd = &d;
+  ASSERT_TRUE(engine.Run(a).status.ok());
+  // The canonical key was inserted by the variant; the plain spelling hits.
+  SatResponse rb = engine.Run(b);
+  ASSERT_TRUE(rb.status.ok());
+  EXPECT_TRUE(rb.query_cache_hit);
+}
+
+TEST(SatEngineTest, ParseErrorsAreReportedPerRequest) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  SatEngine engine;
+  SatRequest bad;
+  bad.query = "A[[";
+  bad.dtd = &d;
+  SatRequest good;
+  good.query = "A";
+  good.dtd = &d;
+  std::vector<SatResponse> out = engine.RunBatch({bad, good});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].status.ok());
+  EXPECT_TRUE(out[1].status.ok());
+  EXPECT_TRUE(out[1].report.sat());
+  EXPECT_EQ(engine.stats().parse_errors, 1u);
+}
+
+TEST(SatEngineTest, MissingDtdIsAnError) {
+  SatEngine engine;
+  SatRequest r;
+  r.query = "A";
+  EXPECT_FALSE(engine.Run(r).status.ok());
+}
+
+TEST(SatEngineTest, PerRequestWitnessOptionIsHonored) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  SatEngine engine;
+  SatRequest with;
+  with.query = "A";
+  with.dtd = &d;
+  SatRequest without = with;
+  without.options.compute_witness = false;
+  SatResponse rw = engine.Run(with);
+  SatResponse rn = engine.Run(without);
+  ASSERT_TRUE(rw.status.ok());
+  ASSERT_TRUE(rn.status.ok());
+  EXPECT_TRUE(rw.report.sat());
+  EXPECT_TRUE(rn.report.sat());
+  EXPECT_TRUE(rw.report.decision.witness.has_value());
+  EXPECT_FALSE(rn.report.decision.witness.has_value());
+}
+
+TEST(SatEngineTest, QueuedRequestsExpireAtTheDeadline) {
+  // One worker; the head of the line is a block of NP skeleton searches
+  // (hundreds of microseconds each on a mid-size non-disjunction-free
+  // schema), so the queued tail with a 1ms deadline expires before pickup.
+  Dtd d = ParseDtdOrDie(R"(root catalog
+catalog -> section*
+section -> heading, item*, appendix
+heading -> eps
+item -> title, price, (variant + eps), note*
+title -> eps
+price -> eps
+variant -> swatch, swatch*
+swatch -> eps
+note -> ref
+ref -> eps
+appendix -> note*
+)");
+  SatEngineOptions opt;
+  opt.num_threads = 1;
+  SatEngine engine(opt);
+  std::vector<SatRequest> batch;
+  for (int i = 0; i < 80; ++i) {
+    SatRequest heavy;
+    heavy.query = "**/item[title && note]";
+    heavy.dtd = &d;
+    batch.push_back(std::move(heavy));
+  }
+  for (int i = 0; i < 30; ++i) {
+    SatRequest cheap;
+    cheap.query = "section/item";
+    cheap.dtd = &d;
+    cheap.deadline_ms = 1;
+    batch.push_back(std::move(cheap));
+  }
+  std::vector<SatResponse> out = engine.RunBatch(batch);
+  EXPECT_GE(engine.stats().deadline_expirations, 1u);
+  bool saw_expired = false;
+  for (size_t i = 80; i < out.size(); ++i) {
+    ASSERT_TRUE(out[i].status.ok());
+    if (out[i].report.algorithm == "deadline") {
+      saw_expired = true;
+      EXPECT_EQ(out[i].report.decision.verdict, SatVerdict::kUnknown);
+    } else {
+      EXPECT_TRUE(out[i].report.sat());
+    }
+  }
+  EXPECT_TRUE(saw_expired);
+}
+
+TEST(SatEngineTest, DtdCacheEvictsLeastRecentlyUsed) {
+  SatEngineOptions opt;
+  opt.dtd_cache_capacity = 2;
+  SatEngine engine(opt);
+  Dtd d1 = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  Dtd d2 = ParseDtdOrDie("root r\nr -> B*\nB -> eps\n");
+  Dtd d3 = ParseDtdOrDie("root r\nr -> C*\nC -> eps\n");
+  auto run = [&](const Dtd& d) {
+    SatRequest r;
+    r.query = "*";
+    r.dtd = &d;
+    SatResponse resp = engine.Run(r);
+    ASSERT_TRUE(resp.status.ok());
+  };
+  run(d1);  // miss
+  run(d2);  // miss
+  run(d3);  // miss, evicts d1
+  run(d1);  // miss again
+  EXPECT_EQ(engine.stats().dtd_cache_misses, 4u);
+  EXPECT_EQ(engine.stats().dtd_cache_hits, 0u);
+}
+
+class EngineFacadeParity : public ::testing::TestWithParam<int> {};
+
+// The acceptance-criteria cross-check: randomized queries over randomized
+// DTDs, engine verdicts (and algorithms) equal the facade's on every
+// request, with the batch running concurrently against shared caches.
+TEST_P(EngineFacadeParity, RandomizedAgreementUnderConcurrency) {
+  Rng rng(GetParam() * 157 + 29);
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  RandomPathOptions opt;
+  opt.allow_upward = true;
+  opt.allow_negation = true;
+  opt.allow_sibling = true;
+  // No data values: negation+data instances can stall the bounded oracle
+  // (see compiled_dtd_test.cc); data traffic is covered by the skeleton
+  // sweeps and the dedicated option/deadline tests here.
+
+  // A couple of DTDs per batch so both caches see interleaved traffic.
+  std::vector<Dtd> dtds;
+  for (int i = 0; i < 3; ++i) {
+    dtds.push_back(RandomDtd(&rng, rng.Percent(30), /*allow_attrs=*/true));
+  }
+
+  // Same small bounded-model caps on both sides: pathological negation
+  // instances stay fast and parity remains exact (possibly kUnknown-to-
+  // kUnknown).
+  SatOptions caps;
+  caps.bounded_caps.max_depth = 6;
+  caps.bounded_caps.max_nodes = 60;
+  caps.bounded_caps.max_star = 3;
+  caps.bounded_caps.max_trees = 20000;
+  caps.skeleton_caps.max_steps = 50000;
+
+  std::vector<SatRequest> batch;
+  std::vector<SatReport> expected;
+  for (int round = 0; round < 24; ++round) {
+    const Dtd& d = dtds[rng.Below(dtds.size())];
+    std::unique_ptr<PathExpr> p = RandomPath(&rng, labels, 3, opt);
+    expected.push_back(DecideSatisfiability(*p, d, caps));
+    SatRequest r;
+    r.query = p->ToString();
+    r.dtd = &d;
+    r.options = caps;
+    batch.push_back(std::move(r));
+  }
+
+  SatEngineOptions eopt;
+  eopt.num_threads = 4;
+  SatEngine engine(eopt);
+  // Two rounds: cold caches, then warm — parity must hold in both.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<SatResponse> out = engine.RunBatch(batch);
+    ASSERT_EQ(out.size(), batch.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_TRUE(out[i].status.ok()) << batch[i].query;
+      EXPECT_EQ(out[i].report.decision.verdict, expected[i].decision.verdict)
+          << "pass " << pass << ": " << batch[i].query;
+      EXPECT_EQ(out[i].report.algorithm, expected[i].algorithm)
+          << "pass " << pass << ": " << batch[i].query;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFacadeParity, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,135 @@
+// Dtd::Fingerprint — the engine's compiled-DTD cache key. Equal DTDs (up to
+// declaration order) must collide; semantically different DTDs must not.
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/xml/dtd.h"
+#include "src/xml/regex.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+Regex Sym(const std::string& s) { return Regex::Symbol(s); }
+
+TEST(FingerprintTest, EqualDtdsHaveEqualFingerprints) {
+  Dtd a = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  Dtd b = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FingerprintTest, ProductionDeclarationOrderIsIrrelevant) {
+  Dtd a, b;
+  a.SetRoot("r");
+  a.SetProduction("r", Regex::Concat({Sym("A"), Sym("B")}));
+  a.SetProduction("A", Regex::Epsilon());
+  a.SetProduction("B", Regex::Star(Sym("A")));
+
+  b.SetProduction("B", Regex::Star(Sym("A")));
+  b.SetProduction("A", Regex::Epsilon());
+  b.SetProduction("r", Regex::Concat({Sym("A"), Sym("B")}));
+  b.SetRoot("r");
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FingerprintTest, AttributeDeclarationOrderIsIrrelevant) {
+  Dtd a, b;
+  a.SetRoot("r");
+  a.AddAttr("r", "x");
+  a.AddAttr("r", "y");
+  b.SetRoot("r");
+  b.AddAttr("r", "y");
+  b.AddAttr("r", "x");
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FingerprintTest, RootChoiceChangesTheFingerprint) {
+  Dtd a = ParseDtdOrDie("root r\nr -> A\nA -> eps\n");
+  Dtd b = ParseDtdOrDie("root A\nr -> A\nA -> eps\n");
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FingerprintTest, ContentModelChangesTheFingerprint) {
+  Dtd a = ParseDtdOrDie("root r\nr -> A, B\nA -> eps\nB -> eps\n");
+  Dtd b = ParseDtdOrDie("root r\nr -> A + B\nA -> eps\nB -> eps\n");
+  Dtd c = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  EXPECT_NE(b.Fingerprint(), c.Fingerprint());
+}
+
+TEST(FingerprintTest, AttributeSetsChangeTheFingerprint) {
+  Dtd a = ParseDtdOrDie("root r\nr -> A\nA -> eps\n");
+  Dtd b = ParseDtdOrDie("root r\nr -> A\nA -> eps\nattrs A: x\n");
+  Dtd c = ParseDtdOrDie("root r\nr -> A\nA -> eps\nattrs r: x\n");
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  EXPECT_NE(b.Fingerprint(), c.Fingerprint());
+}
+
+TEST(FingerprintTest, SwappingProductionsBetweenTypesChanges) {
+  // The same multiset of content models assigned to different type names
+  // must not collide (the name participates in each production's hash).
+  Dtd a = ParseDtdOrDie("root r\nr -> A\nA -> B\nB -> eps\n");
+  Dtd b = ParseDtdOrDie("root r\nr -> A\nA -> eps\nB -> B\n");
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FingerprintTest, TextualRoundTripIsStable) {
+  Dtd d = ParseDtdOrDie(
+      "root r\nr -> A, (B + C)*\nA -> A + eps\nB -> eps\nC -> eps\n"
+      "attrs r: id lang\nattrs B: ref\n");
+  Dtd reparsed = ParseDtdOrDie(d.ToString());
+  EXPECT_EQ(d.Fingerprint(), reparsed.Fingerprint());
+}
+
+TEST(FingerprintTest, EquivalentToMatchesTheFingerprintEquivalence) {
+  // EquivalentTo is the relation Fingerprint hashes: the engine's cache
+  // verifies it on every hit, so agreement matters in both directions.
+  Dtd a, b;
+  a.SetRoot("r");
+  a.SetProduction("r", Regex::Concat({Sym("A"), Sym("B")}));
+  a.SetProduction("A", Regex::Epsilon());
+  a.AddAttr("A", "x");
+  a.AddAttr("A", "y");
+  b.SetProduction("A", Regex::Epsilon());
+  b.AddAttr("A", "y");
+  b.AddAttr("A", "x");
+  b.SetProduction("r", Regex::Concat({Sym("A"), Sym("B")}));
+  b.SetRoot("r");
+  EXPECT_TRUE(a.EquivalentTo(b));
+  EXPECT_TRUE(b.EquivalentTo(a));
+
+  Dtd c = ParseDtdOrDie("root r\nr -> A\nA -> eps\n");
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  EXPECT_FALSE(c.EquivalentTo(d));
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    Dtd x = RandomDtd(&rng, rng.Percent(50), true);
+    Dtd y = RandomDtd(&rng, rng.Percent(50), true);
+    EXPECT_TRUE(x.EquivalentTo(x));
+    EXPECT_EQ(x.EquivalentTo(y), x.Fingerprint() == y.Fingerprint());
+  }
+}
+
+TEST(FingerprintTest, NoCollisionsAcrossARandomFamily) {
+  // Every pair of textually distinct random DTDs in a 200-strong family gets
+  // a distinct fingerprint (64-bit space; a single collision here means the
+  // mixing is broken, not bad luck).
+  Rng rng(2026);
+  std::map<uint64_t, std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    Dtd d = RandomDtd(&rng, rng.Percent(50), /*allow_attrs=*/true);
+    std::string text = d.ToString();
+    auto [it, inserted] = seen.emplace(d.Fingerprint(), text);
+    if (!inserted) {
+      EXPECT_EQ(it->second, text)
+          << "fingerprint collision between distinct DTDs";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,89 @@
+// The canonical printer is the engine's query-cache key: ToString must
+// produce re-parseable text, and parsing must be idempotent on printed
+// output — parse(print(parse(s))) == parse(s) structurally (the property of
+// the ISSUE's canonical round-trip satellite).
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/xpath/ast.h"
+#include "src/xpath/parser.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+// One round-trip check on an arbitrary (possibly right-nested) AST.
+void CheckRoundTrip(const PathExpr& p0) {
+  const std::string s = p0.ToString();
+  Result<std::unique_ptr<PathExpr>> p1 = ParsePath(s);
+  ASSERT_TRUE(p1.ok()) << "printed query does not re-parse: '" << s << "': "
+                       << p1.error();
+  const std::string s1 = p1.value()->ToString();
+  Result<std::unique_ptr<PathExpr>> p2 = ParsePath(s1);
+  ASSERT_TRUE(p2.ok()) << "canonical printing does not re-parse: '" << s1
+                       << "': " << p2.error();
+  // Idempotence: the parser is a projection, and the printer is injective on
+  // its image.
+  EXPECT_TRUE(p1.value()->Equals(*p2.value()))
+      << "parse(print(parse(s))) != parse(s) for s = '" << s << "'";
+  EXPECT_EQ(s1, p2.value()->ToString())
+      << "canonical form is not a fixpoint for '" << s << "'";
+}
+
+TEST(PrinterRoundTripTest, HandPickedCorners) {
+  const char* cases[] = {
+      ".",
+      "A",
+      "*",
+      "**",
+      "A/B/C",
+      "A|B|C",
+      "A/(B|C)/D",
+      "(A|B)[C]",
+      "A[B && C || D]",
+      "A[!(B)]",
+      "A[label()=B]",
+      "A[./@x=\"0\"]",
+      "A[B/@x!=C/@y]",
+      "^/^^/A",
+      "A/>/</>>/<<",
+      "A[B[C[D]]]",
+      ".[.[.]]",
+      "A[!(B && !(C))]",
+  };
+  for (const char* s : cases) {
+    Result<std::unique_ptr<PathExpr>> p = ParsePath(s);
+    ASSERT_TRUE(p.ok()) << s << ": " << p.error();
+    CheckRoundTrip(*p.value());
+  }
+}
+
+TEST(PrinterRoundTripTest, EqualsIsStructural) {
+  auto a = Path("A/(B|C)");
+  EXPECT_TRUE(a->Equals(*a->Clone()));
+  EXPECT_FALSE(a->Equals(*Path("A/(C|B)")));
+  EXPECT_FALSE(a->Equals(*Path("A/B|C")));  // precedence: (A/B)|C
+  EXPECT_FALSE(Path("A[B]")->Equals(*Path("A[label()=B]")));
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripProperty, RandomQueriesOverTheFullGrammar) {
+  Rng rng(GetParam() * 7919 + 17);
+  std::vector<std::string> labels = {"A", "B", "C", "r"};
+  RandomPathOptions opt;
+  opt.allow_negation = true;
+  opt.allow_upward = true;
+  opt.allow_sibling = true;
+  opt.allow_data = true;
+  for (int round = 0; round < 40; ++round) {
+    std::unique_ptr<PathExpr> p = RandomPath(&rng, labels, 4, opt);
+    CheckRoundTrip(*p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace xpathsat

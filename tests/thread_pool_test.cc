@@ -1,0 +1,78 @@
+// The engine's ThreadPool: results come back through futures, work actually
+// runs concurrently-safe, and destruction drains the queue.
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xpathsat {
+namespace {
+
+TEST(ThreadPoolTest, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ReturnsResultsThroughFutures) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, RunsEveryJobExactlyOnce) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 1000; ++i) {
+      futures.push_back(pool.Submit(
+          [&count] { count.fetch_add(1, std::memory_order_relaxed); }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedJobs) {
+  std::atomic<int> count{0};
+  {
+    // One worker: most jobs are still queued when the destructor runs; all
+    // must still execute (shutdown drains, it does not drop).
+    ThreadPool pool(1);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, SingleThreadPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, MovableResultTypes) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return std::make_unique<int>(42); });
+  EXPECT_EQ(*f.get(), 42);
+}
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,326 @@
+// xpathsat_cli — batch satisfiability workload driver over the SatEngine.
+//
+// Request formats (lines starting with '#' and blank lines are ignored):
+//   * one DTD, many queries:
+//       xpathsat_cli --dtd schema.dtd --queries workload.txt
+//     where workload.txt holds one query per line;
+//   * a manifest of (DTD file, query) pairs:
+//       xpathsat_cli --manifest pairs.txt
+//     where each line is `<dtd-path> <query>` (first whitespace splits; DTD
+//     files are parsed once and shared across their lines).
+//
+// Options:
+//   --threads N       worker threads (default: hardware concurrency)
+//   --repeat K        run the workload K times through one engine (K >= 2
+//                     exercises the warm caches; default 1)
+//   --deadline-ms M   per-request deadline cap (default: none)
+//   --json FILE       also write per-request results + summary as JSON
+//   --quiet           suppress per-request lines (summary only)
+//
+// Per request it prints verdict, algorithm, decision time, and cache hits;
+// the summary reports verdict counts, throughput, and cache hit rates.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/engine/sat_engine.h"
+#include "src/xml/dtd.h"
+
+using namespace xpathsat;
+
+namespace {
+
+struct CliOptions {
+  std::string dtd_file;
+  std::string queries_file;
+  std::string manifest_file;
+  std::string json_file;
+  int threads = 0;
+  int repeat = 1;
+  long long deadline_ms = 0;
+  bool quiet = false;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--dtd FILE --queries FILE | --manifest FILE)\n"
+               "          [--threads N] [--repeat K] [--deadline-ms M]\n"
+               "          [--json FILE] [--quiet]\n",
+               argv0);
+}
+
+bool ReadLines(const std::string& path, std::vector<std::string>* out,
+               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim trailing CR (manifests written on other platforms) and skip
+    // comments / blank lines.
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+      line.pop_back();
+    }
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    out->push_back(line.substr(start));
+  }
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* VerdictName(const SatResponse& r) {
+  if (!r.status.ok()) return "error";
+  switch (r.report.decision.verdict) {
+    case SatVerdict::kSat: return "sat";
+    case SatVerdict::kUnsat: return "unsat";
+    case SatVerdict::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", what);
+        Usage(argv[0]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dtd") {
+      opt.dtd_file = next("--dtd");
+    } else if (arg == "--queries") {
+      opt.queries_file = next("--queries");
+    } else if (arg == "--manifest") {
+      opt.manifest_file = next("--manifest");
+    } else if (arg == "--json") {
+      opt.json_file = next("--json");
+    } else if (arg == "--threads") {
+      opt.threads = std::atoi(next("--threads"));
+    } else if (arg == "--repeat") {
+      opt.repeat = std::atoi(next("--repeat"));
+    } else if (arg == "--deadline-ms") {
+      opt.deadline_ms = std::atoll(next("--deadline-ms"));
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 1;
+    }
+  }
+  bool single_mode = !opt.dtd_file.empty() || !opt.queries_file.empty();
+  bool manifest_mode = !opt.manifest_file.empty();
+  if (single_mode == manifest_mode ||
+      (single_mode && (opt.dtd_file.empty() || opt.queries_file.empty()))) {
+    Usage(argv[0]);
+    return 1;
+  }
+  if (opt.repeat < 1) opt.repeat = 1;
+
+  // Load the workload: parse every referenced DTD once, keep it alive for
+  // the whole run (requests borrow the parsed Dtd objects).
+  std::map<std::string, std::unique_ptr<Dtd>> dtds;  // path -> parsed
+  auto load_dtd = [&](const std::string& path) -> const Dtd* {
+    auto it = dtds.find(path);
+    if (it != dtds.end()) return it->second.get();
+    std::string text, error;
+    if (!ReadFile(path, &text, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return nullptr;
+    }
+    Result<Dtd> parsed = Dtd::Parse(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "DTD parse error in %s: %s\n", path.c_str(),
+                   parsed.error().c_str());
+      return nullptr;
+    }
+    auto owned = std::make_unique<Dtd>(std::move(parsed).value());
+    const Dtd* ptr = owned.get();
+    dtds.emplace(path, std::move(owned));
+    return ptr;
+  };
+
+  std::vector<SatRequest> workload;
+  std::string error;
+  if (single_mode) {
+    const Dtd* dtd = load_dtd(opt.dtd_file);
+    if (dtd == nullptr) return 1;
+    std::vector<std::string> lines;
+    if (!ReadLines(opt.queries_file, &lines, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    for (const std::string& q : lines) {
+      SatRequest r;
+      r.query = q;
+      r.dtd = dtd;
+      r.deadline_ms = opt.deadline_ms;
+      workload.push_back(std::move(r));
+    }
+  } else {
+    std::vector<std::string> lines;
+    if (!ReadLines(opt.manifest_file, &lines, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    for (const std::string& line : lines) {
+      size_t split = line.find_first_of(" \t");
+      size_t qstart =
+          split == std::string::npos ? split : line.find_first_not_of(" \t", split);
+      if (qstart == std::string::npos) {
+        std::fprintf(stderr, "manifest line has no query: %s\n", line.c_str());
+        return 1;
+      }
+      std::string path = line.substr(0, split);
+      const Dtd* dtd = load_dtd(path);
+      if (dtd == nullptr) return 1;
+      SatRequest r;
+      r.query = line.substr(qstart);
+      r.dtd = dtd;
+      r.deadline_ms = opt.deadline_ms;
+      workload.push_back(std::move(r));
+    }
+  }
+  if (workload.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  SatEngineOptions engine_opt;
+  engine_opt.num_threads = opt.threads;
+  SatEngine engine(engine_opt);
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0 = Clock::now();
+  // Only the warmest (last) round is reported; don't hold earlier rounds'
+  // responses (and their witness trees) in memory.
+  std::vector<SatResponse> last;
+  for (int k = 0; k < opt.repeat; ++k) {
+    last = engine.RunBatch(workload);
+  }
+  double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  int n_sat = 0, n_unsat = 0, n_unknown = 0, n_error = 0;
+  for (size_t i = 0; i < last.size(); ++i) {
+    const SatResponse& r = last[i];
+    if (!r.status.ok()) {
+      ++n_error;
+    } else if (r.report.decision.verdict == SatVerdict::kSat) {
+      ++n_sat;
+    } else if (r.report.decision.verdict == SatVerdict::kUnsat) {
+      ++n_unsat;
+    } else {
+      ++n_unknown;
+    }
+    if (opt.quiet) continue;
+    if (!r.status.ok()) {
+      std::printf("[error  ] %-40s %s\n", workload[i].query.c_str(),
+                  r.status.message().c_str());
+      continue;
+    }
+    std::printf("[%-7s] %-40s %-32s %9.1fus dtd=%016llx%s%s\n", VerdictName(r),
+                workload[i].query.c_str(), r.report.algorithm.c_str(),
+                r.elapsed_us,
+                static_cast<unsigned long long>(r.dtd_fingerprint),
+                r.dtd_cache_hit ? " dtd-cached" : "",
+                r.query_cache_hit ? " q-cached" : "");
+  }
+
+  SatEngineStats stats = engine.stats();
+  size_t total = workload.size() * static_cast<size_t>(opt.repeat);
+  double throughput = total / (wall_ms / 1000.0);
+  std::printf(
+      "\n%zu request(s) x %d round(s) on %d thread(s): "
+      "%d sat, %d unsat, %d unknown, %d error\n"
+      "wall %.1f ms (%.0f req/s) | dtd cache %llu/%llu hits | "
+      "query cache %llu/%llu hits | %llu deadline expirations\n",
+      workload.size(), opt.repeat, engine.num_threads(), n_sat, n_unsat,
+      n_unknown, n_error, wall_ms, throughput,
+      static_cast<unsigned long long>(stats.dtd_cache_hits),
+      static_cast<unsigned long long>(stats.dtd_cache_hits +
+                                      stats.dtd_cache_misses),
+      static_cast<unsigned long long>(stats.query_cache_hits),
+      static_cast<unsigned long long>(stats.query_cache_hits +
+                                      stats.query_cache_misses),
+      static_cast<unsigned long long>(stats.deadline_expirations));
+
+  if (!opt.json_file.empty()) {
+    std::ofstream out(opt.json_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_file.c_str());
+      return 1;
+    }
+    out << "{\n  \"requests\": [\n";
+    for (size_t i = 0; i < last.size(); ++i) {
+      const SatResponse& r = last[i];
+      out << "    {\"query\": \"" << JsonEscape(workload[i].query)
+          << "\", \"verdict\": \"" << VerdictName(r) << "\", \"algorithm\": \""
+          << JsonEscape(r.status.ok() ? r.report.algorithm
+                                      : r.status.message())
+          << "\", \"elapsed_us\": " << r.elapsed_us
+          << ", \"dtd_cache_hit\": " << (r.dtd_cache_hit ? "true" : "false")
+          << ", \"query_cache_hit\": " << (r.query_cache_hit ? "true" : "false")
+          << "}" << (i + 1 < last.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"summary\": {\"requests\": " << workload.size()
+        << ", \"rounds\": " << opt.repeat
+        << ", \"threads\": " << engine.num_threads()
+        << ", \"sat\": " << n_sat << ", \"unsat\": " << n_unsat
+        << ", \"unknown\": " << n_unknown << ", \"error\": " << n_error
+        << ", \"wall_ms\": " << wall_ms
+        << ", \"requests_per_s\": " << throughput << "}\n}\n";
+  }
+  return n_error > 0 ? 2 : 0;
+}
