@@ -2,12 +2,16 @@
 // workload of XPath expressions from "for $x in p ..." constructs and the
 // document schema, statically remove the queries that can never select
 // anything, so the downstream computation c($x) is skipped entirely.
+//
+// Pruning runs on every template recompile against the same schema, so it
+// goes through the session-oriented SatEngine: the schema is registered
+// once, and the second compile pass (identical workload) is answered from
+// the verdict memo without running a single decision procedure.
 #include <cstdio>
 #include <vector>
 
-#include "src/sat/satisfiability.h"
+#include "src/engine/sat_engine.h"
 #include "src/xml/dtd.h"
-#include "src/xpath/parser.h"
 
 using namespace xpathsat;
 
@@ -45,21 +49,45 @@ attrs sku: code
       "orders",                                     // root label is not a child
   };
 
+  SatEngine engine;
+  DtdHandle schema = engine.RegisterDtd(dtd.value());
+  std::vector<SatRequest> batch;
+  for (const char* q : workload) {
+    SatRequest r;
+    r.query = q;
+    r.dtd = schema;
+    r.options.compute_witness = false;  // pruning needs verdicts only
+    batch.push_back(std::move(r));
+  }
+
   std::printf("%-58s %-8s %s\n", "query", "verdict", "algorithm");
   int pruned = 0;
-  for (const char* q : workload) {
-    Result<std::unique_ptr<PathExpr>> p = ParsePath(q);
-    if (!p.ok()) {
-      std::printf("%-58s %-8s %s\n", q, "ERROR", p.error().c_str());
+  std::vector<SatResponse> results = engine.RunBatch(batch);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SatResponse& r = results[i];
+    if (!r.status.ok()) {
+      std::printf("%-58s %-8s %s\n", workload[i], "ERROR",
+                  r.status.message().c_str());
       continue;
     }
-    SatReport r = DecideSatisfiability(*p.value(), dtd.value());
-    const char* verdict =
-        r.sat() ? "keep" : (r.unsat() ? "PRUNE" : "keep(?)");
-    if (r.unsat()) ++pruned;
-    std::printf("%-58s %-8s %s\n", q, verdict, r.algorithm.c_str());
+    const char* verdict = r.report.sat()
+                              ? "keep"
+                              : (r.report.unsat() ? "PRUNE" : "keep(?)");
+    if (r.report.unsat()) ++pruned;
+    std::printf("%-58s %-8s %s\n", workload[i], verdict,
+                r.report.algorithm.c_str());
   }
   std::printf("\n%d of %zu queries pruned at compile time.\n", pruned,
               workload.size());
+
+  // A template recompile repeats the identical workload: all memo hits, no
+  // decider runs.
+  std::vector<SatResponse> recompile = engine.RunBatch(batch);
+  int memo_hits = 0;
+  for (const SatResponse& r : recompile) {
+    if (r.status.ok() && r.memo_hit) ++memo_hits;
+  }
+  std::printf("recompile pass: %d of %zu verdicts served from the memo.\n",
+              memo_hits, recompile.size());
   return 0;
 }

@@ -3,11 +3,12 @@
 // queries are exactly the integrations the change silently breaks. (This is
 // the "consistency of XML specifications" use case of the paper's intro.)
 //
-// The audit runs through the batch SatEngine: the workload is decided
-// against both schema versions in one batch, so each DTD is compiled once
-// (class, label graph, content-model NFAs) and each query parsed once, then
-// shared across the whole audit — the intended serving path for workloads
-// like this (see also tools/xpathsat_cli.cc for the file-driven version).
+// The audit runs through the session-oriented SatEngine: each schema version
+// is registered once (RegisterDtd compiles the class, label graph, and
+// content-model NFAs behind a refcounted DtdHandle) and each query is parsed
+// once, then shared across the whole audit — the intended serving path for
+// workloads like this (see also tools/xpathsat_cli.cc for the file-driven
+// version).
 #include <cstdio>
 #include <vector>
 
@@ -52,12 +53,16 @@ summary -> eps
       "**/thumb",
   };
 
-  // One batch, both schema versions: request 2i decides query i against v1,
-  // request 2i+1 against v2. Audits need verdicts, not witness trees.
+  // Register both schema versions once; the handles pin the compiled
+  // artifacts, so the parsed Dtd objects are free to go out of scope. One
+  // batch: request 2i decides query i against v1, request 2i+1 against v2.
+  // Audits need verdicts, not witness trees.
   SatEngine engine;
+  DtdHandle h1 = engine.RegisterDtd(v1.value());
+  DtdHandle h2 = engine.RegisterDtd(v2.value());
   std::vector<SatRequest> batch;
   for (const char* q : workload) {
-    for (const Dtd* dtd : {&v1.value(), &v2.value()}) {
+    for (const DtdHandle& dtd : {h1, h2}) {
       SatRequest r;
       r.query = q;
       r.dtd = dtd;

@@ -1,16 +1,99 @@
 #include "src/engine/sat_engine.h"
 
-#include <future>
 #include <utility>
 
 #include "src/xpath/parser.h"
 
 namespace xpathsat {
 
+namespace engine_internal {
+
+// Shared state of one submitted request. The promise is fulfilled exactly
+// once, by whichever side wins the job's queued->{running,cancelled} CAS:
+// the worker (with the computed response), the deadline reaper, or a
+// TryCancel caller.
+struct TicketState {
+  uint64_t id = 0;
+  std::promise<SatResponse> promise;
+  std::shared_ptr<CancellableJob> job;
+};
+
+// Control block behind a DtdHandle: pins the compiled artifacts and retires
+// the registration (decrements the engine's live-handle gauge) when the last
+// handle copy is released. The gauge is held through a shared_ptr so release
+// stays safe even after the issuing engine is destroyed.
+struct DtdPin {
+  std::shared_ptr<const CompiledDtd> compiled;
+  uint64_t id = 0;
+  std::shared_ptr<std::atomic<uint64_t>> live;
+  ~DtdPin() {
+    if (live) live->fetch_sub(1, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace engine_internal
+
+namespace {
+
+void AppendRawU64(std::string* s, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    s->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// Memo key: the canonical printing (exact), a separator that cannot appear
+// in a printed query, then the raw fingerprint and options-digest bytes.
+std::string MemoKey(const std::string& canonical, uint64_t fingerprint,
+                    uint64_t options_digest) {
+  std::string key;
+  key.reserve(canonical.size() + 17);
+  key.append(canonical);
+  key.push_back('\0');
+  AppendRawU64(&key, fingerprint);
+  AppendRawU64(&key, options_digest);
+  return key;
+}
+
+SatResponse NotRunResponse(const char* algorithm, const char* why) {
+  SatResponse resp;
+  resp.status = Status::Ok();
+  resp.report.decision = SatDecision::Unknown(why);
+  resp.report.algorithm = algorithm;
+  return resp;
+}
+
+}  // namespace
+
+uint64_t DtdHandle::id() const { return pin_ ? pin_->id : 0; }
+
+uint64_t DtdHandle::fingerprint() const {
+  return pin_ ? pin_->compiled->fingerprint : 0;
+}
+
+std::shared_ptr<const CompiledDtd> DtdHandle::compiled() const {
+  return pin_ ? pin_->compiled : nullptr;
+}
+
 SatEngine::SatEngine(const SatEngineOptions& options)
-    : options_(options), pool_(options.num_threads) {
+    : options_(options),
+      live_handles_(std::make_shared<std::atomic<uint64_t>>(0)),
+      reaper_([this] { ReaperLoop(); }),
+      pool_(options.num_threads) {
   if (options_.dtd_cache_capacity < 1) options_.dtd_cache_capacity = 1;
   if (options_.query_cache_capacity < 2) options_.query_cache_capacity = 2;
+}
+
+SatEngine::~SatEngine() {
+  {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    reaper_stop_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
+  // pool_ is destroyed next (it is the last member): queued jobs drain and
+  // fulfil their promises while the caches are still alive. Deadlines no
+  // longer fire during the drain — shutdown runs work instead of expiring
+  // it.
 }
 
 std::shared_ptr<const CompiledDtd> SatEngine::LookupDtd(const Dtd& dtd,
@@ -41,8 +124,8 @@ std::shared_ptr<const CompiledDtd> SatEngine::LookupDtd(const Dtd& dtd,
       if (hit) *hit = true;  // raced: someone else filled it first
       return it->second->second;
     }
-    // Colliding slot stays with its current owner; serve this request from
-    // the fresh artifacts without caching them.
+    // Colliding slot stays with its current owner; serve this registration
+    // from the fresh artifacts without caching them.
     if (hit) *hit = false;
     return compiled;
   }
@@ -58,6 +141,28 @@ std::shared_ptr<const CompiledDtd> SatEngine::LookupDtd(const Dtd& dtd,
 
 std::shared_ptr<const CompiledDtd> SatEngine::CompileAndCache(const Dtd& dtd) {
   return LookupDtd(dtd, dtd.Fingerprint(), nullptr);
+}
+
+DtdHandle SatEngine::RegisterDtd(const Dtd& dtd) {
+  bool hit = false;
+  std::shared_ptr<const CompiledDtd> compiled =
+      LookupDtd(dtd, dtd.Fingerprint(), &hit);
+  (hit ? dtd_cache_hits_ : dtd_cache_misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+  auto pin = std::make_shared<engine_internal::DtdPin>();
+  pin->compiled = std::move(compiled);
+  pin->id = next_handle_id_.fetch_add(1, std::memory_order_relaxed);
+  pin->live = live_handles_;
+  live_handles_->fetch_add(1, std::memory_order_relaxed);
+  return DtdHandle(std::move(pin));
+}
+
+Result<DtdHandle> SatEngine::RegisterDtdText(const std::string& dtd_text) {
+  Result<Dtd> parsed = Dtd::Parse(dtd_text);
+  if (!parsed.ok()) {
+    return Result<DtdHandle>::Error("DTD parse error: " + parsed.error());
+  }
+  return RegisterDtd(parsed.value());
 }
 
 std::shared_ptr<const SatEngine::CachedQuery> SatEngine::LookupQuery(
@@ -106,24 +211,22 @@ std::shared_ptr<const SatEngine::CachedQuery> SatEngine::LookupQuery(
   return result;
 }
 
-SatResponse SatEngine::RunOne(const SatRequest& request,
-                              Clock::time_point batch_start,
-                              BatchContext* ctx) {
+SatResponse SatEngine::Execute(const SatRequest& request,
+                               Clock::time_point submitted) {
   SatResponse resp;
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  if (request.dtd == nullptr) {
-    resp.status = Status::Error("request has no DTD");
+  if (!request.dtd.valid()) {
+    resp.status = Status::Error("request has no DTD handle");
     return resp;
   }
   if (request.deadline_ms > 0 &&
-      Clock::now() - batch_start >=
+      Clock::now() - submitted >=
           std::chrono::milliseconds(request.deadline_ms)) {
-    resp.status = Status::Ok();
-    resp.report.decision =
-        SatDecision::Unknown("deadline expired before execution started");
-    resp.report.algorithm = "deadline";
+    // The reaper normally cancels expired queued work before a worker ever
+    // sees it; this check closes the race where a worker picks the job up
+    // in the same instant the deadline passes.
     deadline_expirations_.fetch_add(1, std::memory_order_relaxed);
-    return resp;
+    return NotRunResponse("deadline",
+                          "deadline expired before execution started");
   }
 
   bool query_hit = false;
@@ -140,30 +243,45 @@ SatResponse SatEngine::RunOne(const SatRequest& request,
   resp.query_cache_hit = query_hit;
   resp.fragment = query->features.FragmentName();
 
-  bool dtd_hit = false;
-  std::shared_ptr<const CompiledDtd> compiled;
-  if (ctx != nullptr) {
-    std::lock_guard<std::mutex> lock(ctx->mu);
-    auto it = ctx->resolved.find(request.dtd);
-    if (it != ctx->resolved.end()) {
-      compiled = it->second;
-      dtd_hit = true;  // resolved earlier in this batch => artifacts existed
-    }
-  }
-  if (compiled == nullptr) {
-    // First request of the batch (or a Run() call) for this DTD: hash,
-    // verify, and resolve through the engine cache. Two racing firsts for
-    // one DTD both land here; the engine cache dedupes the compilation.
-    compiled = LookupDtd(*request.dtd, request.dtd->Fingerprint(), &dtd_hit);
-    if (ctx != nullptr) {
-      std::lock_guard<std::mutex> lock(ctx->mu);
-      ctx->resolved.emplace(request.dtd, compiled);
-    }
-  }
-  (dtd_hit ? dtd_cache_hits_ : dtd_cache_misses_)
-      .fetch_add(1, std::memory_order_relaxed);
-  resp.dtd_cache_hit = dtd_hit;
+  // The handle pins the artifacts: no per-request fingerprinting, cache
+  // probe, or equivalence check — registration already paid for those.
+  std::shared_ptr<const CompiledDtd> compiled = request.dtd.compiled();
   resp.dtd_fingerprint = compiled->fingerprint;
+
+  const bool memo_enabled = options_.memo_capacity > 0;
+  std::string memo_key;
+  if (memo_enabled) {
+    memo_key = MemoKey(query->canonical, compiled->fingerprint,
+                       request.options.Digest());
+    std::shared_ptr<const SatReport> memoized;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = memo_index_.find(memo_key);
+      if (it != memo_index_.end()) {
+        MemoEntry& entry = it->second->second;
+        // Same fingerprint does not imply the same schema (64-bit FNV):
+        // serve the memo only for the DTD it was computed against. Pointer
+        // equality is the fast path (handles share one CompiledDtd).
+        if (entry.compiled == compiled ||
+            entry.compiled->dtd.EquivalentTo(compiled->dtd)) {
+          // Refresh the pin after an eviction+recompile so subsequent hits
+          // for this handle take the pointer fast path, not the structural
+          // check under mu_.
+          entry.compiled = compiled;
+          memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
+          memoized = entry.report;
+        }
+      }
+    }
+    if (memoized != nullptr) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      resp.report = *memoized;
+      resp.memo_hit = true;
+      resp.status = Status::Ok();
+      return resp;
+    }
+    memo_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   Clock::time_point start = Clock::now();
   resp.report = DecideSatisfiability(*query->ast, query->features, *compiled,
@@ -171,28 +289,130 @@ SatResponse SatEngine::RunOne(const SatRequest& request,
   resp.elapsed_us =
       std::chrono::duration<double, std::micro>(Clock::now() - start).count();
   resp.status = Status::Ok();
+
+  if (memo_enabled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memo_index_.find(memo_key);
+    if (it != memo_index_.end()) {
+      // Raced with another thread (or the key is owned by a fingerprint-
+      // colliding schema): keep the incumbent entry.
+      memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
+    } else {
+      MemoEntry entry;
+      entry.compiled = compiled;
+      entry.report = std::make_shared<const SatReport>(resp.report);
+      memo_lru_.emplace_front(memo_key, std::move(entry));
+      memo_index_[memo_key] = memo_lru_.begin();
+      while (memo_lru_.size() > options_.memo_capacity) {
+        memo_index_.erase(memo_lru_.back().first);
+        memo_lru_.pop_back();
+      }
+    }
+  }
   return resp;
+}
+
+SatTicket SatEngine::Submit(SatRequest request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  auto state = std::make_shared<engine_internal::TicketState>();
+  state->id = next_ticket_id_.fetch_add(1, std::memory_order_relaxed);
+  state->job = std::make_shared<CancellableJob>();
+
+  SatTicket ticket;
+  ticket.id_ = state->id;
+  ticket.future_ = state->promise.get_future().share();
+  ticket.state_ = state;
+
+  const Clock::time_point submitted = Clock::now();
+  const int64_t deadline_ms = request.deadline_ms;
+  // The control block is fully published in the ticket state before the job
+  // can possibly start — Submit, TryCancel, and the reaper all go through
+  // the same CAS arbitration.
+  pool_.SubmitCancellable(
+      state->job, [this, state, request = std::move(request), submitted] {
+        // The promise is always fulfilled: an exception escaping a pool job
+        // would std::terminate the process (and break every ticket copy),
+        // so decider failures surface as error responses instead.
+        SatResponse resp;
+        try {
+          resp = Execute(request, submitted);
+        } catch (const std::exception& e) {
+          resp = SatResponse();
+          resp.status =
+              Status::Error(std::string("internal error: ") + e.what());
+        } catch (...) {
+          resp = SatResponse();
+          resp.status = Status::Error("internal error");
+        }
+        state->promise.set_value(std::move(resp));
+      });
+  if (deadline_ms > 0) {
+    {
+      std::lock_guard<std::mutex> lock(reaper_mu_);
+      deadlines_.push(DeadlineEntry{
+          submitted + std::chrono::milliseconds(deadline_ms), state});
+    }
+    reaper_cv_.notify_one();
+  }
+  return ticket;
+}
+
+bool SatEngine::TryCancel(const SatTicket& ticket) {
+  if (!ticket.valid()) return false;
+  if (!ticket.state_->job->TryCancel()) return false;
+  cancellations_.fetch_add(1, std::memory_order_relaxed);
+  ticket.state_->promise.set_value(
+      NotRunResponse("cancelled", "cancelled before execution started"));
+  return true;
+}
+
+void SatEngine::ReaperLoop() {
+  std::unique_lock<std::mutex> lock(reaper_mu_);
+  for (;;) {
+    if (reaper_stop_) return;
+    if (deadlines_.empty()) {
+      reaper_cv_.wait(lock);
+      continue;
+    }
+    const Clock::time_point when = deadlines_.top().when;
+    if (Clock::now() < when) {
+      // Woken early by a new (possibly earlier) deadline or by shutdown;
+      // loop re-evaluates either way.
+      reaper_cv_.wait_until(lock, when);
+      continue;
+    }
+    std::shared_ptr<engine_internal::TicketState> state =
+        deadlines_.top().state.lock();
+    deadlines_.pop();
+    if (state == nullptr) continue;  // completed and released long ago
+    lock.unlock();
+    // Outside the lock: Submit must never block behind promise fulfilment.
+    if (state->job->TryCancel()) {
+      deadline_expirations_.fetch_add(1, std::memory_order_relaxed);
+      state->promise.set_value(NotRunResponse(
+          "deadline", "deadline expired before execution started"));
+    }
+    lock.lock();
+  }
 }
 
 std::vector<SatResponse> SatEngine::RunBatch(
     const std::vector<SatRequest>& batch) {
-  Clock::time_point batch_start = Clock::now();
-  BatchContext ctx;
-  std::vector<std::future<SatResponse>> futures;
-  futures.reserve(batch.size());
-  for (const SatRequest& request : batch) {
-    futures.push_back(pool_.Submit([this, &request, batch_start, &ctx] {
-      return RunOne(request, batch_start, &ctx);
-    }));
-  }
+  std::vector<SatTicket> tickets;
+  tickets.reserve(batch.size());
+  for (const SatRequest& request : batch) tickets.push_back(Submit(request));
   std::vector<SatResponse> responses;
-  responses.reserve(batch.size());
-  for (std::future<SatResponse>& f : futures) responses.push_back(f.get());
+  responses.reserve(tickets.size());
+  for (const SatTicket& t : tickets) responses.push_back(t.Get());
   return responses;
 }
 
 SatResponse SatEngine::Run(const SatRequest& request) {
-  return RunOne(request, Clock::now(), nullptr);
+  return Submit(request).Get();
+}
+
+uint64_t SatEngine::live_dtd_handles() const {
+  return live_handles_->load(std::memory_order_relaxed);
 }
 
 SatEngineStats SatEngine::stats() const {
@@ -202,7 +422,10 @@ SatEngineStats SatEngine::stats() const {
   s.dtd_cache_misses = dtd_cache_misses_.load(std::memory_order_relaxed);
   s.query_cache_hits = query_cache_hits_.load(std::memory_order_relaxed);
   s.query_cache_misses = query_cache_misses_.load(std::memory_order_relaxed);
+  s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+  s.memo_misses = memo_misses_.load(std::memory_order_relaxed);
   s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.cancellations = cancellations_.load(std::memory_order_relaxed);
   s.deadline_expirations =
       deadline_expirations_.load(std::memory_order_relaxed);
   return s;

@@ -1,34 +1,53 @@
-// The batch satisfiability engine: the serving layer above the Sec. 8
-// dispatch facade.
+// The session-oriented satisfiability engine: the serving layer above the
+// Sec. 8 dispatch facade.
 //
 // DecideSatisfiability re-parses, re-classifies, and re-compiles its inputs
-// on every call. Realistic workloads (schema audits, query pruning) decide
-// thousands of queries against a handful of DTDs, so the engine caches both
-// sides of a request:
-//   * a CompiledDtd cache keyed by Dtd::Fingerprint() — the per-DTD
-//     artifacts (class, label graph, content-model NFAs, normal form) are
-//     compiled once and shared, immutably, across queries and threads;
-//   * a query cache keyed by the canonical ToString() printing of the parsed
+// on every call. Realistic workloads (schema audits, query pruning, steady
+// service traffic) decide thousands of queries against a handful of DTDs, so
+// the engine models a *session*: schemas are registered once, requests are
+// submitted asynchronously, and identical requests are answered from a memo
+// instead of re-running the deciders.
+//
+//   * RegisterDtd(dtd) -> DtdHandle: compiles the DTD through an LRU cache
+//     keyed by Dtd::Fingerprint() and returns a refcounted handle that PINS
+//     the CompiledDtd artifacts (class, label graph, content-model NFAs,
+//     normal form) while any copy is live — requests carry handles, so there
+//     is no borrowed-pointer outlive-the-call contract anywhere in the API.
+//   * Submit(request) -> SatTicket: enqueues the request on the pool and
+//     returns immediately with a stable request id plus a future for the
+//     response. TryCancel revokes still-queued tickets, and a deadline
+//     reaper thread cancels queued work the moment its deadline expires
+//     (work that started in time runs to completion). Run and RunBatch are
+//     thin wrappers over Submit — there is exactly one execution path.
+//   * Verdict memoization: an LRU cache keyed by (canonical query printing,
+//     DTD fingerprint, SatOptions::Digest()) sitting above the artifact
+//     caches; a repeat request returns the memoized SatReport without
+//     touching the deciders at all.
+//   * A query cache keyed by the canonical ToString() printing of the parsed
 //     AST (with a raw-text alias so byte-identical requests skip the parser
 //     entirely) holding the AST plus its fragment profile.
-// Batches execute on a fixed-size ThreadPool with per-request SatOptions and
-// a per-request deadline cap.
 //
 // Verdict parity: for every request the engine returns exactly what
-// DecideSatisfiability(parse(query), dtd, options) returns — the caches only
-// remove redundant work, never change routing (enforced by the randomized
-// cross-check in tests/engine_test.cc).
+// DecideSatisfiability(parse(query), dtd, options) returns — the caches and
+// the memo only remove redundant work, never change routing or verdicts
+// (enforced by the randomized cross-check in tests/engine_test.cc, which
+// covers memo-hit rounds and the Submit path).
 #ifndef XPATHSAT_ENGINE_SAT_ENGINE_H_
 #define XPATHSAT_ENGINE_SAT_ENGINE_H_
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <future>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/sat/satisfiability.h"
@@ -40,32 +59,74 @@
 
 namespace xpathsat {
 
+class SatEngine;
+
+namespace engine_internal {
+struct DtdPin;
+struct TicketState;
+}  // namespace engine_internal
+
 /// Engine-wide configuration.
 struct SatEngineOptions {
   /// Worker threads; values < 1 use hardware_concurrency.
   int num_threads = 0;
-  /// Compiled DTDs kept (LRU by fingerprint). Must be >= 1.
+  /// Compiled DTDs kept (LRU by fingerprint). Must be >= 1. Live DtdHandles
+  /// pin their artifacts regardless of eviction.
   size_t dtd_cache_capacity = 64;
   /// Cached query keys kept (LRU; canonical entries plus raw aliases).
   /// Must be >= 2 (an entry and its alias).
   size_t query_cache_capacity = 4096;
+  /// Memoized verdicts kept (LRU by (canonical query, DTD fingerprint,
+  /// options digest)). 0 disables verdict memoization entirely.
+  size_t memo_capacity = 8192;
 };
 
-/// One batch item: a query in concrete syntax against a parsed DTD.
+/// A refcounted registration of a compiled DTD with a SatEngine. Copyable
+/// and cheap to pass by value; the compiled artifacts stay alive while any
+/// copy (including copies inside in-flight requests) is live, and the
+/// registration is retired when the last copy is released. A
+/// default-constructed handle is invalid; requests carrying one fail with an
+/// error response. Handles may outlive the engine that issued them (the
+/// pinned artifacts are self-contained), but can only be *submitted* to a
+/// live engine.
+class DtdHandle {
+ public:
+  DtdHandle() = default;
+
+  bool valid() const { return pin_ != nullptr; }
+  /// Engine-unique registration id; 0 when invalid.
+  uint64_t id() const;
+  /// Fingerprint of the pinned DTD; 0 when invalid.
+  uint64_t fingerprint() const;
+  /// The pinned artifacts; nullptr when invalid.
+  std::shared_ptr<const CompiledDtd> compiled() const;
+
+ private:
+  friend class SatEngine;
+  explicit DtdHandle(std::shared_ptr<const engine_internal::DtdPin> pin)
+      : pin_(std::move(pin)) {}
+  std::shared_ptr<const engine_internal::DtdPin> pin_;
+};
+
+/// One request: a query in concrete syntax against a registered DTD.
 struct SatRequest {
   std::string query;
-  /// Borrowed: must outlive the RunBatch/Run call. Batches are expected to
-  /// point many requests at few DTDs.
-  const Dtd* dtd = nullptr;
-  /// Per-request resource caps, forwarded to the dispatch.
+  /// From SatEngine::RegisterDtd; the request owns a pin on the artifacts,
+  /// so the caller may release its own handle while the request is in
+  /// flight.
+  DtdHandle dtd;
+  /// Per-request resource caps, forwarded to the dispatch (and folded into
+  /// the memoization key via SatOptions::Digest()).
   SatOptions options;
-  /// Deadline in milliseconds from batch submission; requests still queued
-  /// when it expires return kUnknown without running (a request that starts
-  /// in time runs to completion). 0 disables the cap.
+  /// Deadline in milliseconds from Submit (RunBatch submits all requests up
+  /// front, so a batch shares one epoch). A request still queued when it
+  /// expires is cancelled by the reaper and resolves to kUnknown immediately
+  /// — it does not wait for a worker. A request that starts in time runs to
+  /// completion. 0 disables the cap.
   int64_t deadline_ms = 0;
 };
 
-/// One batch result.
+/// One response.
 struct SatResponse {
   /// Parse/validation outcome; `report` is meaningful only when ok().
   Status status;
@@ -73,41 +134,112 @@ struct SatResponse {
   /// Fragment profile of the (cached) query, e.g. "X(down,ds,union)".
   std::string fragment;
   uint64_t dtd_fingerprint = 0;
-  bool dtd_cache_hit = false;
   bool query_cache_hit = false;
-  /// Decision time in microseconds (excludes queue wait).
+  /// True when the verdict came from the memo (deciders never ran).
+  bool memo_hit = false;
+  /// Decision time in microseconds (excludes queue wait; ~0 on memo hits).
   double elapsed_us = 0.0;
+};
+
+/// Handle to a submitted request: a stable id plus a future for the
+/// response. Copyable; all copies observe the same response. A
+/// default-constructed ticket is invalid (Get/Wait must not be called).
+class SatTicket {
+ public:
+  SatTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// Engine-unique, monotonically increasing submission id; 0 when invalid.
+  uint64_t id() const { return id_; }
+
+  /// Blocks until the response is ready and returns it. Repeatable.
+  SatResponse Get() const { return future_.get(); }
+  /// True when the response is ready (Get will not block).
+  bool Ready() const {
+    return future_.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+  /// Waits up to `timeout_ms`; returns whether the response became ready.
+  bool WaitFor(int64_t timeout_ms) const {
+    return future_.wait_for(std::chrono::milliseconds(timeout_ms)) ==
+           std::future_status::ready;
+  }
+
+ private:
+  friend class SatEngine;
+  uint64_t id_ = 0;
+  std::shared_future<SatResponse> future_;
+  std::shared_ptr<engine_internal::TicketState> state_;
 };
 
 /// Monotonic counters over the engine's lifetime.
 struct SatEngineStats {
   uint64_t requests = 0;
+  /// RegisterDtd calls resolved from / compiled into the artifact cache.
   uint64_t dtd_cache_hits = 0;
   uint64_t dtd_cache_misses = 0;
   uint64_t query_cache_hits = 0;
   uint64_t query_cache_misses = 0;
+  /// Requests answered from / decided into the verdict memo. Requests that
+  /// never reach the memo (parse errors, cancellations, disabled memo) bump
+  /// neither counter.
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
   uint64_t parse_errors = 0;
+  /// Tickets revoked while queued via TryCancel.
+  uint64_t cancellations = 0;
+  /// Requests cancelled (or caught at pickup) because their deadline passed
+  /// before they started.
   uint64_t deadline_expirations = 0;
 };
 
 class SatEngine {
  public:
   explicit SatEngine(const SatEngineOptions& options = {});
+  ~SatEngine();
 
-  /// Decides every request concurrently on the pool; responses are in request
-  /// order. Blocks until the batch completes. Must not be called from inside
-  /// one of the engine's own worker jobs.
+  SatEngine(const SatEngine&) = delete;
+  SatEngine& operator=(const SatEngine&) = delete;
+
+  /// Registers `dtd` with the engine: compiles it through the artifact cache
+  /// (deduplicating against earlier registrations of an equivalent DTD) and
+  /// returns a handle pinning the artifacts. The Dtd itself is not retained;
+  /// the caller may destroy it as soon as this returns.
+  DtdHandle RegisterDtd(const Dtd& dtd);
+  /// Parses DTD source text and registers it. Errors are parse errors.
+  Result<DtdHandle> RegisterDtdText(const std::string& dtd_text);
+
+  /// Enqueues the request and returns immediately. The returned ticket's id
+  /// is unique and increases with submission order. The request (query text,
+  /// handle pin, options) is captured by value; the caller keeps nothing
+  /// alive.
+  SatTicket Submit(SatRequest request);
+
+  /// Revokes a still-queued ticket: returns true iff this call cancelled it,
+  /// in which case the response resolves immediately to kUnknown with
+  /// algorithm "cancelled". Returns false for invalid tickets and for
+  /// requests that already started, finished, or were already cancelled.
+  bool TryCancel(const SatTicket& ticket);
+
+  /// Submits every request up front and blocks for all responses; responses
+  /// are in request order. Equivalent to Submit + Get per item (single
+  /// execution path). Must not be called from inside one of the engine's own
+  /// worker jobs.
   std::vector<SatResponse> RunBatch(const std::vector<SatRequest>& batch);
 
-  /// Decides one request on the calling thread (same caches, no queueing;
-  /// the deadline is measured from this call).
+  /// Submits one request and blocks for its response (same path as Submit;
+  /// the deadline is measured from this call). Must not be called from
+  /// inside one of the engine's own worker jobs.
   SatResponse Run(const SatRequest& request);
 
-  /// Compiles `dtd` through the cache (the warm-up path; RunBatch uses this
-  /// internally). Hit/miss counters are only bumped by request execution.
+  /// Compiles `dtd` through the cache without registering a handle (cache
+  /// warm-up; RegisterDtd uses this internally).
   std::shared_ptr<const CompiledDtd> CompileAndCache(const Dtd& dtd);
 
   SatEngineStats stats() const;
+  /// Registrations currently pinned by live handles (a gauge, not a
+  /// counter).
+  uint64_t live_dtd_handles() const;
   int num_threads() const { return pool_.num_threads(); }
 
  private:
@@ -116,25 +248,23 @@ class SatEngine {
     Features features;
     std::string canonical;
   };
+  struct MemoEntry {
+    // The artifacts the memoized report was computed against: fingerprints
+    // can collide (64-bit FNV), so a hit must verify it is answering for the
+    // same schema before serving the report.
+    std::shared_ptr<const CompiledDtd> compiled;
+    std::shared_ptr<const SatReport> report;
+  };
 
   using Clock = std::chrono::steady_clock;
 
-  // Per-batch memo: each distinct borrowed Dtd* is fingerprinted, verified
-  // against the cache, and resolved to its artifacts once per RunBatch; the
-  // batch's other requests reuse the resolution by pointer identity (the
-  // borrow contract makes the pointee immutable for the whole call).
-  struct BatchContext {
-    std::mutex mu;
-    std::map<const Dtd*, std::shared_ptr<const CompiledDtd>> resolved;
-  };
-
-  SatResponse RunOne(const SatRequest& request, Clock::time_point batch_start,
-                     BatchContext* ctx);
+  SatResponse Execute(const SatRequest& request, Clock::time_point submitted);
   std::shared_ptr<const CompiledDtd> LookupDtd(const Dtd& dtd, uint64_t fp,
                                                bool* hit);
   std::shared_ptr<const CachedQuery> LookupQuery(const std::string& text,
                                                  bool* hit,
                                                  std::string* parse_error);
+  void ReaperLoop();
 
   SatEngineOptions options_;
 
@@ -147,6 +277,18 @@ class SatEngine {
   std::list<std::pair<std::string, std::shared_ptr<const CachedQuery>>>
       query_lru_;
   std::map<std::string, decltype(query_lru_)::iterator> query_index_;
+  // Verdict memo: LRU of (composite key -> entry). The key string is the
+  // canonical query printing followed by the raw 8-byte fingerprint and
+  // options digest (exact, not hashed — no collision surface beyond the
+  // fingerprint, which the entry verifies).
+  std::list<std::pair<std::string, MemoEntry>> memo_lru_;
+  std::map<std::string, decltype(memo_lru_)::iterator> memo_index_;
+
+  // Live-handle registry: shared with every DtdPin so handle release can
+  // retire its registration even after the engine is gone.
+  std::shared_ptr<std::atomic<uint64_t>> live_handles_;
+  std::atomic<uint64_t> next_handle_id_{1};
+  std::atomic<uint64_t> next_ticket_id_{1};
 
   // Counters are atomics so the request hot path never takes mu_ just to
   // account for itself.
@@ -155,8 +297,31 @@ class SatEngine {
   std::atomic<uint64_t> dtd_cache_misses_{0};
   std::atomic<uint64_t> query_cache_hits_{0};
   std::atomic<uint64_t> query_cache_misses_{0};
+  std::atomic<uint64_t> memo_hits_{0};
+  std::atomic<uint64_t> memo_misses_{0};
   std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> cancellations_{0};
   std::atomic<uint64_t> deadline_expirations_{0};
+
+  // Deadline reaper: min-heap of (expiry, ticket) drained by a dedicated
+  // thread that TryCancels expired still-queued work. Entries hold weak
+  // references: a request that completes (and whose ticket holders let go)
+  // frees its state immediately instead of staying pinned in the heap until
+  // its wall-clock expiry.
+  struct DeadlineEntry {
+    Clock::time_point when;
+    std::weak_ptr<engine_internal::TicketState> state;
+    bool operator>(const DeadlineEntry& other) const {
+      return when > other.when;
+    }
+  };
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      std::greater<DeadlineEntry>>
+      deadlines_;
+  bool reaper_stop_ = false;
+  std::thread reaper_;
 
   ThreadPool pool_;  // last member: workers must die before the caches
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/sat/cq_sat.h"
+#include "src/util/hashing.h"
 #include "src/sat/djfree_sat.h"
 #include "src/sat/nodtd_sat.h"
 #include "src/sat/reach_sat.h"
@@ -83,6 +84,24 @@ SatReport Dispatch(const PathExpr& p, const Features& f, const Dtd& dtd,
 }
 
 }  // namespace
+
+uint64_t SatOptions::Digest() const {
+  // Version tag: bump when fields are added/removed or the order changes so
+  // stale memo entries from an older encoding can never alias a new one.
+  uint64_t h = FnvHash("SatOptions/v1");
+  auto fold = [&h](uint64_t v) { h = HashCombine(h, HashMix(v)); };
+  fold(static_cast<uint64_t>(bounded_caps.max_depth));
+  fold(static_cast<uint64_t>(bounded_caps.max_star));
+  fold(static_cast<uint64_t>(bounded_caps.max_nodes));
+  fold(static_cast<uint64_t>(bounded_caps.max_trees));
+  fold(static_cast<uint64_t>(bounded_caps.max_fresh_values));
+  fold(static_cast<uint64_t>(skeleton_caps.max_nodes));
+  fold(static_cast<uint64_t>(skeleton_caps.max_desc_len));
+  fold(static_cast<uint64_t>(skeleton_caps.desc_repeat_cap));
+  fold(static_cast<uint64_t>(skeleton_caps.max_steps));
+  fold(compute_witness ? 1u : 0u);
+  return HashMix(h);
+}
 
 SatReport DecideSatisfiability(const PathExpr& p, const Dtd& dtd,
                                const SatOptions& options) {

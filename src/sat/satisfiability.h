@@ -17,6 +17,7 @@
 #ifndef XPATHSAT_SAT_SATISFIABILITY_H_
 #define XPATHSAT_SAT_SATISFIABILITY_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/sat/bounded_model.h"
@@ -58,6 +59,15 @@ struct SatOptions {
   /// itself. Procedures whose witness falls out of the search for free still
   /// attach it.
   bool compute_witness = true;
+
+  /// Canonical 64-bit digest over every field that can influence a verdict
+  /// (all resource caps plus compute_witness, which decides whether kSat
+  /// reports carry a witness tree). Two SatOptions with equal digests produce
+  /// identical SatReports for any (query, DTD) pair — this is the options
+  /// component of the engine's verdict-memoization key, so any new
+  /// semantically relevant field MUST be folded in here (and the version tag
+  /// bumped if the encoding changes).
+  uint64_t Digest() const;
 };
 
 /// SAT(X): is there a tree T with T |= D and T |= p?

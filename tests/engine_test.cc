@@ -1,10 +1,14 @@
 // SatEngine: verdict parity with the facade (including under concurrent
-// execution with shared caches — the ASan/UBSan CI job runs this suite),
-// cache behavior, deadlines, and per-request options.
+// execution with shared caches and on memo-hit rounds — the ASan/UBSan and
+// TSan CI jobs run this suite), DtdHandle registration/release, async
+// Submit/ticket ordering, TryCancel semantics, deadline-cancels-queued-work,
+// and verdict memoization.
 #include "src/engine/sat_engine.h"
 
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -15,139 +19,12 @@
 namespace xpathsat {
 namespace {
 
-TEST(SatEngineTest, DecidesASmallBatch) {
-  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
-  SatEngineOptions opt;
-  opt.num_threads = 2;
-  SatEngine engine(opt);
-  std::vector<SatRequest> batch;
-  for (const char* q : {"A", "B", "C", "A/B", "**/B", "r"}) {
-    SatRequest r;
-    r.query = q;
-    r.dtd = &d;
-    batch.push_back(std::move(r));
-  }
-  std::vector<SatResponse> out = engine.RunBatch(batch);
-  ASSERT_EQ(out.size(), 6u);
-  for (const SatResponse& r : out) ASSERT_TRUE(r.status.ok());
-  EXPECT_TRUE(out[0].report.sat());    // A
-  EXPECT_TRUE(out[1].report.sat());    // B
-  EXPECT_TRUE(out[2].report.unsat());  // C undeclared
-  EXPECT_TRUE(out[3].report.unsat());  // A has no children
-  EXPECT_TRUE(out[4].report.sat());    // **/B
-  EXPECT_TRUE(out[5].report.unsat());  // r below the root? no: r -> A,B*
-  EXPECT_EQ(out[0].dtd_fingerprint, d.Fingerprint());
-}
-
-TEST(SatEngineTest, ResponsesComeBackInRequestOrder) {
-  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
-  SatEngineOptions opt;
-  opt.num_threads = 4;
-  SatEngine engine(opt);
-  std::vector<SatRequest> batch;
-  for (int i = 0; i < 64; ++i) {
-    SatRequest r;
-    r.query = (i % 2 == 0) ? "A" : "B";  // alternating sat / unsat
-    r.dtd = &d;
-    batch.push_back(std::move(r));
-  }
-  std::vector<SatResponse> out = engine.RunBatch(batch);
-  ASSERT_EQ(out.size(), 64u);
-  for (int i = 0; i < 64; ++i) {
-    ASSERT_TRUE(out[static_cast<size_t>(i)].status.ok());
-    EXPECT_EQ(out[static_cast<size_t>(i)].report.sat(), i % 2 == 0) << i;
-  }
-}
-
-TEST(SatEngineTest, CachesHitOnRepeatedTraffic) {
-  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
-  SatEngine engine;
-  std::vector<SatRequest> batch;
-  for (const char* q : {"A", "B", "A/B"}) {
-    SatRequest r;
-    r.query = q;
-    r.dtd = &d;
-    batch.push_back(std::move(r));
-  }
-  std::vector<SatResponse> first = engine.RunBatch(batch);
-  std::vector<SatResponse> second = engine.RunBatch(batch);
-  // Round 2 is fully warm: every request hits both caches.
-  for (const SatResponse& r : second) {
-    EXPECT_TRUE(r.dtd_cache_hit);
-    EXPECT_TRUE(r.query_cache_hit);
-  }
-  SatEngineStats stats = engine.stats();
-  EXPECT_EQ(stats.requests, 6u);
-  EXPECT_EQ(stats.dtd_cache_misses, 1u);  // compiled exactly once
-  EXPECT_EQ(stats.dtd_cache_hits, 5u);
-  EXPECT_EQ(stats.query_cache_misses, 3u);
-  EXPECT_EQ(stats.query_cache_hits, 3u);
-  EXPECT_EQ(stats.parse_errors, 0u);
-}
-
-TEST(SatEngineTest, TextualVariantsShareTheCanonicalEntry) {
-  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
-  SatEngine engine;
-  SatRequest a;
-  a.query = "(A)";  // prints canonically as "A"
-  a.dtd = &d;
-  SatRequest b;
-  b.query = "A";
-  b.dtd = &d;
-  ASSERT_TRUE(engine.Run(a).status.ok());
-  // The canonical key was inserted by the variant; the plain spelling hits.
-  SatResponse rb = engine.Run(b);
-  ASSERT_TRUE(rb.status.ok());
-  EXPECT_TRUE(rb.query_cache_hit);
-}
-
-TEST(SatEngineTest, ParseErrorsAreReportedPerRequest) {
-  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
-  SatEngine engine;
-  SatRequest bad;
-  bad.query = "A[[";
-  bad.dtd = &d;
-  SatRequest good;
-  good.query = "A";
-  good.dtd = &d;
-  std::vector<SatResponse> out = engine.RunBatch({bad, good});
-  ASSERT_EQ(out.size(), 2u);
-  EXPECT_FALSE(out[0].status.ok());
-  EXPECT_TRUE(out[1].status.ok());
-  EXPECT_TRUE(out[1].report.sat());
-  EXPECT_EQ(engine.stats().parse_errors, 1u);
-}
-
-TEST(SatEngineTest, MissingDtdIsAnError) {
-  SatEngine engine;
-  SatRequest r;
-  r.query = "A";
-  EXPECT_FALSE(engine.Run(r).status.ok());
-}
-
-TEST(SatEngineTest, PerRequestWitnessOptionIsHonored) {
-  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
-  SatEngine engine;
-  SatRequest with;
-  with.query = "A";
-  with.dtd = &d;
-  SatRequest without = with;
-  without.options.compute_witness = false;
-  SatResponse rw = engine.Run(with);
-  SatResponse rn = engine.Run(without);
-  ASSERT_TRUE(rw.status.ok());
-  ASSERT_TRUE(rn.status.ok());
-  EXPECT_TRUE(rw.report.sat());
-  EXPECT_TRUE(rn.report.sat());
-  EXPECT_TRUE(rw.report.decision.witness.has_value());
-  EXPECT_FALSE(rn.report.decision.witness.has_value());
-}
-
-TEST(SatEngineTest, QueuedRequestsExpireAtTheDeadline) {
-  // One worker; the head of the line is a block of NP skeleton searches
-  // (hundreds of microseconds each on a mid-size non-disjunction-free
-  // schema), so the queued tail with a 1ms deadline expires before pickup.
-  Dtd d = ParseDtdOrDie(R"(root catalog
+// A mid-size non-disjunction-free schema whose `**/item[title && note]`
+// instances route to the NP skeleton search (hundreds of microseconds each):
+// the "heavy" traffic used to keep a single worker busy while queued work is
+// cancelled or expires.
+Dtd MakeHeavyDtd() {
+  return ParseDtdOrDie(R"(root catalog
 catalog -> section*
 section -> heading, item*, appendix
 heading -> eps
@@ -160,65 +37,460 @@ note -> ref
 ref -> eps
 appendix -> note*
 )");
+}
+
+TEST(SatEngineTest, DecidesASmallBatch) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  SatEngineOptions opt;
+  opt.num_threads = 2;
+  SatEngine engine(opt);
+  DtdHandle handle = engine.RegisterDtd(d);
+  std::vector<SatRequest> batch;
+  for (const char* q : {"A", "B", "C", "A/B", "**/B", "r"}) {
+    SatRequest r;
+    r.query = q;
+    r.dtd = handle;
+    batch.push_back(std::move(r));
+  }
+  std::vector<SatResponse> out = engine.RunBatch(batch);
+  ASSERT_EQ(out.size(), 6u);
+  for (const SatResponse& r : out) ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(out[0].report.sat());    // A
+  EXPECT_TRUE(out[1].report.sat());    // B
+  EXPECT_TRUE(out[2].report.unsat());  // C undeclared
+  EXPECT_TRUE(out[3].report.unsat());  // A has no children
+  EXPECT_TRUE(out[4].report.sat());    // **/B
+  EXPECT_TRUE(out[5].report.unsat());  // r below the root? no: r -> A,B*
+  EXPECT_EQ(out[0].dtd_fingerprint, d.Fingerprint());
+  EXPECT_EQ(handle.fingerprint(), d.Fingerprint());
+}
+
+TEST(SatEngineTest, ResponsesComeBackInRequestOrder) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  SatEngineOptions opt;
+  opt.num_threads = 4;
+  SatEngine engine(opt);
+  DtdHandle handle = engine.RegisterDtd(d);
+  std::vector<SatRequest> batch;
+  for (int i = 0; i < 64; ++i) {
+    SatRequest r;
+    r.query = (i % 2 == 0) ? "A" : "B";  // alternating sat / unsat
+    r.dtd = handle;
+    batch.push_back(std::move(r));
+  }
+  std::vector<SatResponse> out = engine.RunBatch(batch);
+  ASSERT_EQ(out.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(out[static_cast<size_t>(i)].status.ok());
+    EXPECT_EQ(out[static_cast<size_t>(i)].report.sat(), i % 2 == 0) << i;
+  }
+}
+
+TEST(SatEngineTest, RegisterDtdDeduplicatesEquivalentSchemas) {
+  Dtd d1 = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  // Same rules, different declaration order: same fingerprint, same
+  // artifacts.
+  Dtd d2 = ParseDtdOrDie("root r\nB -> eps\nA -> eps\nr -> A, B*\n");
+  SatEngine engine;
+  DtdHandle h1 = engine.RegisterDtd(d1);
+  DtdHandle h2 = engine.RegisterDtd(d2);
+  EXPECT_EQ(h1.fingerprint(), h2.fingerprint());
+  EXPECT_NE(h1.id(), h2.id());
+  EXPECT_EQ(h1.compiled(), h2.compiled());  // one compilation, shared pin
+  SatEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.dtd_cache_misses, 1u);
+  EXPECT_EQ(stats.dtd_cache_hits, 1u);
+}
+
+TEST(SatEngineTest, RegisterDtdTextParsesAndRejects) {
+  SatEngine engine;
+  Result<DtdHandle> good =
+      engine.RegisterDtdText("root r\nr -> A*\nA -> eps\n");
+  ASSERT_TRUE(good.ok()) << good.error();
+  EXPECT_TRUE(good.value().valid());
+  SatRequest r;
+  r.query = "A";
+  r.dtd = good.value();
+  SatResponse resp = engine.Run(r);
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_TRUE(resp.report.sat());
+
+  Result<DtdHandle> bad = engine.RegisterDtdText("this is not a DTD");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SatEngineTest, LiveHandleGaugeTracksReleases) {
+  SatEngine engine;
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  EXPECT_EQ(engine.live_dtd_handles(), 0u);
+  DtdHandle h1 = engine.RegisterDtd(d);
+  EXPECT_EQ(engine.live_dtd_handles(), 1u);
+  {
+    DtdHandle copy = h1;  // copies share one registration pin
+    EXPECT_EQ(copy.id(), h1.id());
+    DtdHandle h2 = engine.RegisterDtd(d);
+    EXPECT_NE(h2.id(), h1.id());
+    EXPECT_EQ(engine.live_dtd_handles(), 2u);
+  }
+  EXPECT_EQ(engine.live_dtd_handles(), 1u);
+  h1 = DtdHandle();
+  EXPECT_EQ(engine.live_dtd_handles(), 0u);
+}
+
+TEST(SatEngineTest, CachesHitOnRepeatedTraffic) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  SatEngine engine;
+  DtdHandle handle = engine.RegisterDtd(d);
+  std::vector<SatRequest> batch;
+  for (const char* q : {"A", "B", "A/B"}) {
+    SatRequest r;
+    r.query = q;
+    r.dtd = handle;
+    batch.push_back(std::move(r));
+  }
+  std::vector<SatResponse> first = engine.RunBatch(batch);
+  std::vector<SatResponse> second = engine.RunBatch(batch);
+  // Round 2 is fully warm: every request hits the query cache and the memo.
+  for (const SatResponse& r : second) {
+    EXPECT_TRUE(r.query_cache_hit);
+    EXPECT_TRUE(r.memo_hit);
+  }
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_FALSE(first[i].memo_hit);
+    EXPECT_EQ(first[i].report.decision.verdict,
+              second[i].report.decision.verdict);
+    EXPECT_EQ(first[i].report.algorithm, second[i].report.algorithm);
+  }
+  SatEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 6u);
+  EXPECT_EQ(stats.dtd_cache_misses, 1u);  // compiled exactly once
+  EXPECT_EQ(stats.query_cache_misses, 3u);
+  EXPECT_EQ(stats.query_cache_hits, 3u);
+  EXPECT_EQ(stats.memo_misses, 3u);
+  EXPECT_EQ(stats.memo_hits, 3u);
+  EXPECT_EQ(stats.parse_errors, 0u);
+}
+
+TEST(SatEngineTest, TextualVariantsShareTheCanonicalEntryAndMemo) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  SatEngine engine;
+  DtdHandle handle = engine.RegisterDtd(d);
+  SatRequest a;
+  a.query = "(A)";  // prints canonically as "A"
+  a.dtd = handle;
+  SatRequest b;
+  b.query = "A";
+  b.dtd = handle;
+  ASSERT_TRUE(engine.Run(a).status.ok());
+  // The canonical key was inserted by the variant; the plain spelling hits
+  // both the query cache and the memo (keyed by the canonical printing).
+  SatResponse rb = engine.Run(b);
+  ASSERT_TRUE(rb.status.ok());
+  EXPECT_TRUE(rb.query_cache_hit);
+  EXPECT_TRUE(rb.memo_hit);
+}
+
+TEST(SatEngineTest, MemoKeyedByOptionsDigest) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  SatEngine engine;
+  DtdHandle handle = engine.RegisterDtd(d);
+  SatRequest with;
+  with.query = "A";
+  with.dtd = handle;
+  SatRequest without = with;
+  without.options.compute_witness = false;
+  ASSERT_TRUE(engine.Run(with).status.ok());
+  // Different options digest: must NOT be served from the witness-carrying
+  // memo entry.
+  SatResponse rn = engine.Run(without);
+  ASSERT_TRUE(rn.status.ok());
+  EXPECT_FALSE(rn.memo_hit);
+  EXPECT_FALSE(rn.report.decision.witness.has_value());
+  // Repeat of each variant hits its own entry, witness setting preserved.
+  SatResponse rw2 = engine.Run(with);
+  SatResponse rn2 = engine.Run(without);
+  EXPECT_TRUE(rw2.memo_hit);
+  EXPECT_TRUE(rw2.report.decision.witness.has_value());
+  EXPECT_TRUE(rn2.memo_hit);
+  EXPECT_FALSE(rn2.report.decision.witness.has_value());
+}
+
+TEST(SatEngineTest, MemoCanBeDisabled) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  SatEngineOptions opt;
+  opt.memo_capacity = 0;
+  SatEngine engine(opt);
+  DtdHandle handle = engine.RegisterDtd(d);
+  SatRequest r;
+  r.query = "A";
+  r.dtd = handle;
+  ASSERT_TRUE(engine.Run(r).status.ok());
+  SatResponse again = engine.Run(r);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_FALSE(again.memo_hit);
+  EXPECT_EQ(engine.stats().memo_hits, 0u);
+  EXPECT_EQ(engine.stats().memo_misses, 0u);
+}
+
+TEST(SatEngineTest, MemoEvictsLeastRecentlyUsed) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  SatEngineOptions opt;
+  opt.memo_capacity = 2;
+  SatEngine engine(opt);
+  DtdHandle handle = engine.RegisterDtd(d);
+  auto run = [&](const char* q) {
+    SatRequest r;
+    r.query = q;
+    r.dtd = handle;
+    SatResponse resp = engine.Run(r);
+    EXPECT_TRUE(resp.status.ok());
+    return resp.memo_hit;
+  };
+  EXPECT_FALSE(run("A"));  // miss, insert
+  EXPECT_FALSE(run("B"));  // miss, insert
+  EXPECT_FALSE(run("C"));  // miss, insert, evicts A
+  EXPECT_FALSE(run("A"));  // miss again (evicted), evicts B
+  EXPECT_TRUE(run("C"));   // still resident
+}
+
+TEST(SatEngineTest, ParseErrorsAreReportedPerRequest) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  SatEngine engine;
+  DtdHandle handle = engine.RegisterDtd(d);
+  SatRequest bad;
+  bad.query = "A[[";
+  bad.dtd = handle;
+  SatRequest good;
+  good.query = "A";
+  good.dtd = handle;
+  std::vector<SatResponse> out = engine.RunBatch({bad, good});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].status.ok());
+  EXPECT_TRUE(out[1].status.ok());
+  EXPECT_TRUE(out[1].report.sat());
+  EXPECT_EQ(engine.stats().parse_errors, 1u);
+}
+
+TEST(SatEngineTest, MissingDtdHandleIsAnError) {
+  SatEngine engine;
+  SatRequest r;
+  r.query = "A";  // r.dtd left invalid
+  EXPECT_FALSE(engine.Run(r).status.ok());
+}
+
+TEST(SatEngineTest, PerRequestWitnessOptionIsHonored) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  SatEngine engine;
+  DtdHandle handle = engine.RegisterDtd(d);
+  SatRequest with;
+  with.query = "A";
+  with.dtd = handle;
+  SatRequest without = with;
+  without.options.compute_witness = false;
+  SatResponse rw = engine.Run(with);
+  SatResponse rn = engine.Run(without);
+  ASSERT_TRUE(rw.status.ok());
+  ASSERT_TRUE(rn.status.ok());
+  EXPECT_TRUE(rw.report.sat());
+  EXPECT_TRUE(rn.report.sat());
+  EXPECT_TRUE(rw.report.decision.witness.has_value());
+  EXPECT_FALSE(rn.report.decision.witness.has_value());
+}
+
+TEST(SatEngineTest, SubmitTicketsResolveOutOfOrder) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  SatEngineOptions opt;
+  opt.num_threads = 2;
+  SatEngine engine(opt);
+  DtdHandle handle = engine.RegisterDtd(d);
+  std::vector<SatTicket> tickets;
+  for (int i = 0; i < 32; ++i) {
+    SatRequest r;
+    r.query = (i % 2 == 0) ? "A" : "B";
+    r.dtd = handle;
+    tickets.push_back(engine.Submit(std::move(r)));
+  }
+  // Ids are stable and strictly increasing with submission order.
+  for (size_t i = 0; i + 1 < tickets.size(); ++i) {
+    EXPECT_LT(tickets[i].id(), tickets[i + 1].id());
+  }
+  // Consume in reverse: tickets are independent handles, order of Get does
+  // not matter, and repeated Get observes the same response.
+  for (size_t i = tickets.size(); i-- > 0;) {
+    SatResponse resp = tickets[i].Get();
+    ASSERT_TRUE(resp.status.ok());
+    EXPECT_EQ(resp.report.sat(), i % 2 == 0) << i;
+    SatResponse resp2 = tickets[i].Get();
+    EXPECT_EQ(resp2.report.decision.verdict, resp.report.decision.verdict);
+  }
+}
+
+TEST(SatEngineTest, RunBatchMatchesSubmitVerdicts) {
+  Dtd d = MakeHeavyDtd();
+  SatEngineOptions opt;
+  opt.num_threads = 2;
+  SatEngine engine(opt);
+  DtdHandle handle = engine.RegisterDtd(d);
+  std::vector<SatRequest> batch;
+  for (const char* q :
+       {"**/item[title]", "section/item", "**/swatch", "note/ref",
+        "**/item[title && note]", "bogus"}) {
+    SatRequest r;
+    r.query = q;
+    r.dtd = handle;
+    batch.push_back(std::move(r));
+  }
+  std::vector<SatResponse> via_batch = engine.RunBatch(batch);
+  std::vector<SatTicket> tickets;
+  for (const SatRequest& r : batch) tickets.push_back(engine.Submit(r));
+  ASSERT_EQ(via_batch.size(), tickets.size());
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    SatResponse via_submit = tickets[i].Get();
+    EXPECT_EQ(via_batch[i].status.ok(), via_submit.status.ok()) << i;
+    EXPECT_EQ(via_batch[i].report.decision.verdict,
+              via_submit.report.decision.verdict)
+        << batch[i].query;
+    EXPECT_EQ(via_batch[i].report.algorithm, via_submit.report.algorithm)
+        << batch[i].query;
+  }
+}
+
+TEST(SatEngineTest, TryCancelRevokesQueuedWork) {
+  Dtd d = MakeHeavyDtd();
   SatEngineOptions opt;
   opt.num_threads = 1;
+  opt.memo_capacity = 0;  // every heavy request does real work
   SatEngine engine(opt);
+  DtdHandle handle = engine.RegisterDtd(d);
+  // Head-of-line: heavy NP searches keep the single worker busy.
+  std::vector<SatTicket> heavy;
+  for (int i = 0; i < 40; ++i) {
+    SatRequest r;
+    r.query = "**/item[title && note]";
+    r.dtd = handle;
+    heavy.push_back(engine.Submit(std::move(r)));
+  }
+  std::vector<SatTicket> cheap;
+  for (int i = 0; i < 40; ++i) {
+    SatRequest r;
+    r.query = "section/item";
+    r.dtd = handle;
+    cheap.push_back(engine.Submit(std::move(r)));
+  }
+  uint64_t cancelled = 0;
+  for (const SatTicket& t : cheap) {
+    if (engine.TryCancel(t)) {
+      ++cancelled;
+      // Second cancel of the same ticket never succeeds.
+      EXPECT_FALSE(engine.TryCancel(t));
+    }
+  }
+  // The worker is still inside the heavy head: queued tail must be
+  // cancellable.
+  EXPECT_GE(cancelled, 1u);
+  for (const SatTicket& t : cheap) {
+    SatResponse resp = t.Get();  // cancelled tickets resolve immediately
+    ASSERT_TRUE(resp.status.ok());
+    if (resp.report.algorithm == "cancelled") {
+      EXPECT_EQ(resp.report.decision.verdict, SatVerdict::kUnknown);
+    } else {
+      EXPECT_TRUE(resp.report.sat());
+    }
+  }
+  for (const SatTicket& t : heavy) ASSERT_TRUE(t.Get().status.ok());
+  EXPECT_EQ(engine.stats().cancellations, cancelled);
+  // Completed tickets cannot be cancelled; invalid tickets are a no-op.
+  EXPECT_FALSE(engine.TryCancel(heavy[0]));
+  EXPECT_FALSE(engine.TryCancel(SatTicket()));
+}
+
+TEST(SatEngineTest, DeadlineCancelsStillQueuedWork) {
+  Dtd d = MakeHeavyDtd();
+  SatEngineOptions opt;
+  opt.num_threads = 1;
+  opt.memo_capacity = 0;
+  SatEngine engine(opt);
+  DtdHandle handle = engine.RegisterDtd(d);
   std::vector<SatRequest> batch;
   for (int i = 0; i < 80; ++i) {
     SatRequest heavy;
     heavy.query = "**/item[title && note]";
-    heavy.dtd = &d;
+    heavy.dtd = handle;
     batch.push_back(std::move(heavy));
   }
   for (int i = 0; i < 30; ++i) {
     SatRequest cheap;
     cheap.query = "section/item";
-    cheap.dtd = &d;
+    cheap.dtd = handle;
     cheap.deadline_ms = 1;
     batch.push_back(std::move(cheap));
   }
-  std::vector<SatResponse> out = engine.RunBatch(batch);
-  EXPECT_GE(engine.stats().deadline_expirations, 1u);
+  std::vector<SatTicket> tickets;
+  for (const SatRequest& r : batch) tickets.push_back(engine.Submit(r));
+  // The reaper cancels the queued tail at its deadline: the expired tickets
+  // resolve while the heavy head is still running (we can Get them before
+  // ever waiting on a heavy ticket).
   bool saw_expired = false;
-  for (size_t i = 80; i < out.size(); ++i) {
-    ASSERT_TRUE(out[i].status.ok());
-    if (out[i].report.algorithm == "deadline") {
+  for (size_t i = 80; i < tickets.size(); ++i) {
+    SatResponse resp = tickets[i].Get();
+    ASSERT_TRUE(resp.status.ok());
+    if (resp.report.algorithm == "deadline") {
       saw_expired = true;
-      EXPECT_EQ(out[i].report.decision.verdict, SatVerdict::kUnknown);
+      EXPECT_EQ(resp.report.decision.verdict, SatVerdict::kUnknown);
     } else {
-      EXPECT_TRUE(out[i].report.sat());
+      EXPECT_TRUE(resp.report.sat());
     }
   }
   EXPECT_TRUE(saw_expired);
+  EXPECT_GE(engine.stats().deadline_expirations, 1u);
+  for (size_t i = 0; i < 80; ++i) {
+    // Heavy requests had no deadline: all run to completion.
+    ASSERT_TRUE(tickets[i].Get().status.ok());
+  }
 }
 
-TEST(SatEngineTest, DtdCacheEvictsLeastRecentlyUsed) {
+TEST(SatEngineTest, HandleReleaseUnderLoadKeepsArtifactsAlive) {
+  // Requests pin the artifacts through their own handle copy: releasing the
+  // caller's handle (and evicting the DTD from the cache) while requests are
+  // in flight must not free the CompiledDtd under them. The ASan CI job
+  // turns any violation into a hard failure.
   SatEngineOptions opt;
-  opt.dtd_cache_capacity = 2;
+  opt.num_threads = 4;
+  opt.dtd_cache_capacity = 1;  // each round evicts the previous round's DTD
   SatEngine engine(opt);
-  Dtd d1 = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
-  Dtd d2 = ParseDtdOrDie("root r\nr -> B*\nB -> eps\n");
-  Dtd d3 = ParseDtdOrDie("root r\nr -> C*\nC -> eps\n");
-  auto run = [&](const Dtd& d) {
-    SatRequest r;
-    r.query = "*";
-    r.dtd = &d;
-    SatResponse resp = engine.Run(r);
-    ASSERT_TRUE(resp.status.ok());
-  };
-  run(d1);  // miss
-  run(d2);  // miss
-  run(d3);  // miss, evicts d1
-  run(d1);  // miss again
-  EXPECT_EQ(engine.stats().dtd_cache_misses, 4u);
-  EXPECT_EQ(engine.stats().dtd_cache_hits, 0u);
+  std::vector<std::string> labels = {"A", "B", "C"};
+  for (int round = 0; round < 6; ++round) {
+    std::string label = labels[static_cast<size_t>(round) % labels.size()];
+    std::string text = "root r\nr -> " + label + "*, X" +
+                       std::to_string(round) + "\n" + label + " -> eps\nX" +
+                       std::to_string(round) + " -> eps\n";
+    Result<DtdHandle> handle = engine.RegisterDtdText(text);
+    ASSERT_TRUE(handle.ok()) << handle.error();
+    std::vector<SatTicket> tickets;
+    for (int i = 0; i < 24; ++i) {
+      SatRequest r;
+      r.query = (i % 3 == 0) ? label : "**/" + label;
+      r.dtd = handle.value();
+      tickets.push_back(engine.Submit(std::move(r)));
+    }
+    // Drop the caller's handle while the round is still in flight.
+    handle = Result<DtdHandle>::Error("released");
+    for (const SatTicket& t : tickets) {
+      SatResponse resp = t.Get();
+      ASSERT_TRUE(resp.status.ok());
+      EXPECT_TRUE(resp.report.sat());
+    }
+  }
+  EXPECT_EQ(engine.live_dtd_handles(), 0u);
 }
 
 class EngineFacadeParity : public ::testing::TestWithParam<int> {};
 
 // The acceptance-criteria cross-check: randomized queries over randomized
 // DTDs, engine verdicts (and algorithms) equal the facade's on every
-// request, with the batch running concurrently against shared caches.
+// request, with the batch running concurrently against shared caches. Pass 0
+// is cold, pass 1 is warm (memo hits), pass 2 goes through bare Submit — the
+// memoized path must preserve parity bit-for-bit.
 TEST_P(EngineFacadeParity, RandomizedAgreementUnderConcurrency) {
   Rng rng(GetParam() * 157 + 29);
   std::vector<std::string> labels = {"A", "B", "C", "r"};
@@ -246,25 +518,36 @@ TEST_P(EngineFacadeParity, RandomizedAgreementUnderConcurrency) {
   caps.bounded_caps.max_trees = 20000;
   caps.skeleton_caps.max_steps = 50000;
 
+  SatEngineOptions eopt;
+  eopt.num_threads = 4;
+  SatEngine engine(eopt);
+  std::vector<DtdHandle> handles;
+  for (const Dtd& d : dtds) handles.push_back(engine.RegisterDtd(d));
+
   std::vector<SatRequest> batch;
   std::vector<SatReport> expected;
   for (int round = 0; round < 24; ++round) {
-    const Dtd& d = dtds[rng.Below(dtds.size())];
+    size_t pick = rng.Below(dtds.size());
     std::unique_ptr<PathExpr> p = RandomPath(&rng, labels, 3, opt);
-    expected.push_back(DecideSatisfiability(*p, d, caps));
+    expected.push_back(DecideSatisfiability(*p, dtds[pick], caps));
     SatRequest r;
     r.query = p->ToString();
-    r.dtd = &d;
+    r.dtd = handles[pick];
     r.options = caps;
     batch.push_back(std::move(r));
   }
 
-  SatEngineOptions eopt;
-  eopt.num_threads = 4;
-  SatEngine engine(eopt);
-  // Two rounds: cold caches, then warm — parity must hold in both.
-  for (int pass = 0; pass < 2; ++pass) {
-    std::vector<SatResponse> out = engine.RunBatch(batch);
+  // Three passes: cold caches, warm (memo hits), then bare Submit — parity
+  // must hold in all of them.
+  for (int pass = 0; pass < 3; ++pass) {
+    std::vector<SatResponse> out;
+    if (pass < 2) {
+      out = engine.RunBatch(batch);
+    } else {
+      std::vector<SatTicket> tickets;
+      for (const SatRequest& r : batch) tickets.push_back(engine.Submit(r));
+      for (const SatTicket& t : tickets) out.push_back(t.Get());
+    }
     ASSERT_EQ(out.size(), batch.size());
     for (size_t i = 0; i < out.size(); ++i) {
       ASSERT_TRUE(out[i].status.ok()) << batch[i].query;
@@ -272,8 +555,12 @@ TEST_P(EngineFacadeParity, RandomizedAgreementUnderConcurrency) {
           << "pass " << pass << ": " << batch[i].query;
       EXPECT_EQ(out[i].report.algorithm, expected[i].algorithm)
           << "pass " << pass << ": " << batch[i].query;
+      if (pass > 0) {
+        EXPECT_TRUE(out[i].memo_hit) << batch[i].query;
+      }
     }
   }
+  EXPECT_GE(engine.stats().memo_hits, 2u * batch.size());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFacadeParity, ::testing::Range(0, 12));

@@ -1,5 +1,8 @@
 #include "src/sat/satisfiability.h"
 
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/xpath/evaluator.h"
@@ -75,6 +78,45 @@ TEST(SatisfiabilityTest, NoDtdGeneralFallback) {
   SatReport r2 =
       DecideSatisfiabilityNoDtd(*Path(".[A && !(A)]"));
   EXPECT_TRUE(r2.unsat());
+}
+
+TEST(SatOptionsDigestTest, EqualOptionsHashEqual) {
+  SatOptions a;
+  SatOptions b;
+  EXPECT_EQ(a.Digest(), b.Digest());
+  a.bounded_caps.max_depth = 6;
+  b.bounded_caps.max_depth = 6;
+  EXPECT_EQ(a.Digest(), b.Digest());
+}
+
+TEST(SatOptionsDigestTest, EveryFieldIsSignificant) {
+  // The digest is the options component of the engine's memo key: a field
+  // change that does not change the digest would let a memoized report
+  // answer for different caps. Perturb each field one at a time.
+  const uint64_t base = SatOptions().Digest();
+  std::vector<SatOptions> variants(10);
+  variants[0].bounded_caps.max_depth += 1;
+  variants[1].bounded_caps.max_star += 1;
+  variants[2].bounded_caps.max_nodes += 1;
+  variants[3].bounded_caps.max_trees += 1;
+  variants[4].bounded_caps.max_fresh_values += 1;
+  variants[5].skeleton_caps.max_nodes += 1;
+  variants[6].skeleton_caps.max_desc_len += 1;
+  variants[7].skeleton_caps.desc_repeat_cap += 1;
+  variants[8].skeleton_caps.max_steps += 1;
+  variants[9].compute_witness = !variants[9].compute_witness;
+  std::vector<uint64_t> digests = {base};
+  for (size_t i = 0; i < variants.size(); ++i) {
+    uint64_t d = variants[i].Digest();
+    for (uint64_t seen : digests) {
+      EXPECT_NE(d, seen) << "variant " << i << " collides";
+    }
+    digests.push_back(d);
+  }
+  // Swapping values across order-sensitive positions must also change it.
+  SatOptions swapped;
+  std::swap(swapped.bounded_caps.max_depth, swapped.bounded_caps.max_star);
+  EXPECT_NE(swapped.Digest(), base);
 }
 
 TEST(SatisfiabilityTest, WitnessesAreVerifiable) {

@@ -74,5 +74,75 @@ TEST(ThreadPoolTest, MovableResultTypes) {
   EXPECT_EQ(*f.get(), 42);
 }
 
+TEST(CancellableJobTest, CancelledWhileQueuedNeverRuns) {
+  std::atomic<int> ran{0};
+  std::shared_ptr<CancellableJob> cancelled_job;
+  {
+    ThreadPool pool(1);
+    // Block the single worker so everything behind it stays queued.
+    std::promise<void> release;
+    std::future<void> released = release.get_future();
+    auto gate = pool.Submit([&released] { released.wait(); });
+    cancelled_job = pool.SubmitCancellable(
+        [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_EQ(cancelled_job->state(), CancellableJob::State::kQueued);
+    EXPECT_TRUE(cancelled_job->TryCancel());
+    EXPECT_TRUE(cancelled_job->cancelled());
+    // Only the first cancel wins.
+    EXPECT_FALSE(cancelled_job->TryCancel());
+    release.set_value();
+    gate.get();
+  }  // destructor drains the queue: the cancelled entry is popped, not run
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(cancelled_job->state(), CancellableJob::State::kCancelled);
+}
+
+TEST(CancellableJobTest, CompletedJobCannotBeCancelled) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  auto job = pool.SubmitCancellable(
+      [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  while (!job->done()) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_FALSE(job->TryCancel());
+  EXPECT_EQ(job->state(), CancellableJob::State::kDone);
+}
+
+TEST(CancellableJobTest, PrePublishedControlBlockIsHonored) {
+  ThreadPool pool(2);
+  auto job = std::make_shared<CancellableJob>();
+  std::promise<int> result;
+  std::future<int> f = result.get_future();
+  pool.SubmitCancellable(job, [&result] { result.set_value(7); });
+  EXPECT_EQ(f.get(), 7);
+  EXPECT_TRUE(job->done());
+}
+
+TEST(CancellableJobTest, RacingCancellersAndWorkersAgree) {
+  // Every job either runs exactly once (worker won the CAS) or never runs
+  // (the canceller won); TryCancel returns true for exactly the latter set.
+  // TSan runs this in CI to check the arbitration is race-free.
+  constexpr int kJobs = 400;
+  std::atomic<int> ran{0};
+  int cancelled = 0;
+  std::vector<std::shared_ptr<CancellableJob>> jobs;
+  jobs.reserve(kJobs);
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < kJobs; ++i) {
+      jobs.push_back(pool.SubmitCancellable(
+          [&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+    }
+    for (const auto& job : jobs) {
+      if (job->TryCancel()) ++cancelled;
+    }
+  }  // pool drained: every surviving job has run
+  EXPECT_EQ(ran.load() + cancelled, kJobs);
+  for (const auto& job : jobs) {
+    EXPECT_TRUE(job->state() == CancellableJob::State::kDone ||
+                job->state() == CancellableJob::State::kCancelled);
+  }
+}
+
 }  // namespace
 }  // namespace xpathsat

@@ -1,29 +1,54 @@
-// xpathsat_cli — batch satisfiability workload driver over the SatEngine.
+// xpathsat_cli — satisfiability workload driver over the session-oriented
+// SatEngine.
 //
-// Request formats (lines starting with '#' and blank lines are ignored):
+// Batch modes (lines starting with '#' and blank lines are ignored):
 //   * one DTD, many queries:
 //       xpathsat_cli --dtd schema.dtd --queries workload.txt
 //     where workload.txt holds one query per line;
 //   * a manifest of (DTD file, query) pairs:
 //       xpathsat_cli --manifest pairs.txt
 //     where each line is `<dtd-path> <query>` (first whitespace splits; DTD
-//     files are parsed once and shared across their lines).
+//     files are registered once and shared across their lines).
+//
+// Service mode (models steady-state traffic against one long-lived engine):
+//       xpathsat_cli --serve
+//     reads one command per stdin line:
+//       dtd NAME PATH     register the DTD file under NAME
+//       query NAME XPATH  submit XPATH against NAME (alias: q)
+//       drop NAME         release NAME's handle (in-flight requests keep
+//                         their own pins)
+//       flush             wait for and print pending responses (in
+//                         submission order; also triggered automatically
+//                         every 64 pending requests and at EOF)
+//       stats             print the engine stats summary
+//       quit              flush and exit
+//     Responses are printed as `NNN [verdict] query -- algorithm ...` where
+//     NNN is the submission id. Errors never abort the stream: they print as
+//     `error ...` lines and the loop continues.
 //
 // Options:
-//   --threads N       worker threads (default: hardware concurrency)
-//   --repeat K        run the workload K times through one engine (K >= 2
-//                     exercises the warm caches; default 1)
-//   --deadline-ms M   per-request deadline cap (default: none)
+//   --threads N       worker threads, N >= 1 (default: hardware concurrency)
+//   --repeat K        run the workload K >= 1 times through one engine
+//                     (K >= 2 exercises the warm caches and the verdict
+//                     memo; default 1)
+//   --deadline-ms M   per-request deadline cap, M >= 0; still-queued work is
+//                     cancelled when it expires (default 0: none)
+//   --no-memo         disable verdict memoization (repeat rounds then
+//                     re-run the deciders)
 //   --json FILE       also write per-request results + summary as JSON
+//                     (summary only in --serve mode)
 //   --quiet           suppress per-request lines (summary only)
 //
-// Per request it prints verdict, algorithm, decision time, and cache hits;
-// the summary reports verdict counts, throughput, and cache hit rates.
+// Numeric flags are validated: garbage, trailing junk, or out-of-range
+// values are a usage error, not a silent misconfiguration.
 #include <chrono>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -42,18 +67,41 @@ struct CliOptions {
   std::string queries_file;
   std::string manifest_file;
   std::string json_file;
-  int threads = 0;
-  int repeat = 1;
+  bool serve = false;
+  long long threads = 0;
+  long long repeat = 1;
   long long deadline_ms = 0;
+  bool no_memo = false;
   bool quiet = false;
 };
 
 void Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s (--dtd FILE --queries FILE | --manifest FILE)\n"
-               "          [--threads N] [--repeat K] [--deadline-ms M]\n"
-               "          [--json FILE] [--quiet]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s (--dtd FILE --queries FILE | --manifest FILE | --serve)\n"
+      "          [--threads N] [--repeat K] [--deadline-ms M] [--no-memo]\n"
+      "          [--json FILE] [--quiet]\n",
+      argv0);
+}
+
+/// Strict integer flag parsing: the whole argument must be a base-10 integer
+/// in [min_value, max_value]. Anything else (garbage, trailing junk,
+/// negative counts, overflow) is a usage error.
+long long ParseIntFlag(const char* argv0, const char* flag, const char* text,
+                       long long min_value, long long max_value) {
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < min_value ||
+      v > max_value) {
+    std::fprintf(stderr,
+                 "%s: invalid value '%s' (expected an integer in [%lld, "
+                 "%lld])\n",
+                 flag, text, min_value, max_value);
+    Usage(argv0);
+    std::exit(1);
+  }
+  return v;
 }
 
 bool ReadLines(const std::string& path, std::vector<std::string>* out,
@@ -121,6 +169,174 @@ const char* VerdictName(const SatResponse& r) {
   return "unknown";
 }
 
+SatEngine MakeEngine(const CliOptions& opt) {
+  SatEngineOptions engine_opt;
+  engine_opt.num_threads = static_cast<int>(opt.threads);
+  if (opt.no_memo) engine_opt.memo_capacity = 0;
+  return SatEngine(engine_opt);
+}
+
+void PrintStatsSummary(const SatEngine& engine) {
+  SatEngineStats stats = engine.stats();
+  std::printf(
+      "stats requests=%llu dtd-cache=%llu/%llu query-cache=%llu/%llu "
+      "memo=%llu/%llu parse-errors=%llu cancellations=%llu "
+      "deadline-expirations=%llu live-handles=%llu\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.dtd_cache_hits),
+      static_cast<unsigned long long>(stats.dtd_cache_hits +
+                                      stats.dtd_cache_misses),
+      static_cast<unsigned long long>(stats.query_cache_hits),
+      static_cast<unsigned long long>(stats.query_cache_hits +
+                                      stats.query_cache_misses),
+      static_cast<unsigned long long>(stats.memo_hits),
+      static_cast<unsigned long long>(stats.memo_hits + stats.memo_misses),
+      static_cast<unsigned long long>(stats.parse_errors),
+      static_cast<unsigned long long>(stats.cancellations),
+      static_cast<unsigned long long>(stats.deadline_expirations),
+      static_cast<unsigned long long>(engine.live_dtd_handles()));
+}
+
+void WriteJsonStats(std::ostream& out, const SatEngineStats& stats) {
+  out << "\"stats\": {\"requests\": " << stats.requests
+      << ", \"dtd_cache_hits\": " << stats.dtd_cache_hits
+      << ", \"dtd_cache_misses\": " << stats.dtd_cache_misses
+      << ", \"query_cache_hits\": " << stats.query_cache_hits
+      << ", \"query_cache_misses\": " << stats.query_cache_misses
+      << ", \"memo_hits\": " << stats.memo_hits
+      << ", \"memo_misses\": " << stats.memo_misses
+      << ", \"parse_errors\": " << stats.parse_errors
+      << ", \"cancellations\": " << stats.cancellations
+      << ", \"deadline_expirations\": " << stats.deadline_expirations << "}";
+}
+
+// ---------------------------------------------------------------------------
+// Service mode
+
+int RunServe(const CliOptions& opt) {
+  SatEngine engine = MakeEngine(opt);
+  std::map<std::string, DtdHandle> schemas;  // NAME -> live handle
+  struct Pending {
+    uint64_t id;
+    std::string query;
+    SatTicket ticket;
+  };
+  std::deque<Pending> pending;
+  constexpr size_t kPipelineWindow = 64;
+
+  auto flush = [&] {
+    while (!pending.empty()) {
+      Pending p = std::move(pending.front());
+      pending.pop_front();
+      SatResponse r = p.ticket.Get();
+      if (!r.status.ok()) {
+        std::printf("%llu [error  ] %s -- %s\n",
+                    static_cast<unsigned long long>(p.id), p.query.c_str(),
+                    r.status.message().c_str());
+        continue;
+      }
+      std::printf("%llu [%-7s] %s -- %s %.1fus%s%s\n",
+                  static_cast<unsigned long long>(p.id), VerdictName(r),
+                  p.query.c_str(), r.report.algorithm.c_str(), r.elapsed_us,
+                  r.query_cache_hit ? " q-cached" : "",
+                  r.memo_hit ? " memo" : "");
+    }
+    std::fflush(stdout);
+  };
+
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(std::cin, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream ss(line.substr(start));
+    std::string cmd;
+    ss >> cmd;
+    if (cmd == "dtd") {
+      std::string name, path;
+      ss >> name >> path;
+      if (name.empty() || path.empty()) {
+        std::printf("error dtd: usage: dtd NAME PATH\n");
+        continue;
+      }
+      std::string text, error;
+      if (!ReadFile(path, &text, &error)) {
+        std::printf("error dtd %s: %s\n", name.c_str(), error.c_str());
+        continue;
+      }
+      Result<DtdHandle> handle = engine.RegisterDtdText(text);
+      if (!handle.ok()) {
+        std::printf("error dtd %s: %s\n", name.c_str(),
+                    handle.error().c_str());
+        continue;
+      }
+      // Re-registering a name swaps the handle; in-flight requests keep
+      // their pins on the old artifacts.
+      schemas[name] = std::move(handle).value();
+      std::printf("ok dtd %s fp=%016llx\n", name.c_str(),
+                  static_cast<unsigned long long>(schemas[name].fingerprint()));
+    } else if (cmd == "query" || cmd == "q") {
+      std::string name;
+      ss >> name;
+      std::string query;
+      std::getline(ss, query);
+      size_t qs = query.find_first_not_of(" \t");
+      query = qs == std::string::npos ? std::string() : query.substr(qs);
+      if (name.empty() || query.empty()) {
+        std::printf("error query: usage: query NAME XPATH\n");
+        continue;
+      }
+      auto it = schemas.find(name);
+      if (it == schemas.end()) {
+        std::printf("error query: unknown DTD name '%s'\n", name.c_str());
+        continue;
+      }
+      SatRequest r;
+      r.query = query;
+      r.dtd = it->second;
+      r.deadline_ms = opt.deadline_ms;
+      r.options.compute_witness = false;  // service traffic wants verdicts
+      SatTicket ticket = engine.Submit(std::move(r));
+      uint64_t id = ticket.id();
+      pending.push_back(Pending{id, query, std::move(ticket)});
+      if (pending.size() >= kPipelineWindow) flush();
+    } else if (cmd == "drop") {
+      std::string name;
+      ss >> name;
+      if (schemas.erase(name) > 0) {
+        std::printf("ok drop %s\n", name.c_str());
+      } else {
+        std::printf("error drop: unknown DTD name '%s'\n", name.c_str());
+      }
+    } else if (cmd == "flush") {
+      flush();
+      std::printf("ok flush\n");
+    } else if (cmd == "stats") {
+      PrintStatsSummary(engine);
+    } else if (cmd == "quit") {
+      quit = true;
+    } else {
+      std::printf("error: unknown command '%s'\n", cmd.c_str());
+    }
+  }
+  flush();
+  PrintStatsSummary(engine);
+  if (!opt.json_file.empty()) {
+    std::ofstream out(opt.json_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_file.c_str());
+      return 1;
+    }
+    out << "{";
+    WriteJsonStats(out, engine.stats());
+    out << "}\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,12 +359,20 @@ int main(int argc, char** argv) {
       opt.manifest_file = next("--manifest");
     } else if (arg == "--json") {
       opt.json_file = next("--json");
+    } else if (arg == "--serve") {
+      opt.serve = true;
     } else if (arg == "--threads") {
-      opt.threads = std::atoi(next("--threads"));
+      opt.threads = ParseIntFlag(argv[0], "--threads", next("--threads"), 1,
+                                 1 << 20);
     } else if (arg == "--repeat") {
-      opt.repeat = std::atoi(next("--repeat"));
+      opt.repeat = ParseIntFlag(argv[0], "--repeat", next("--repeat"), 1,
+                                1000000);
     } else if (arg == "--deadline-ms") {
-      opt.deadline_ms = std::atoll(next("--deadline-ms"));
+      opt.deadline_ms = ParseIntFlag(argv[0], "--deadline-ms",
+                                     next("--deadline-ms"), 0,
+                                     1000LL * 1000 * 1000);
+    } else if (arg == "--no-memo") {
+      opt.no_memo = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -162,41 +386,43 @@ int main(int argc, char** argv) {
   }
   bool single_mode = !opt.dtd_file.empty() || !opt.queries_file.empty();
   bool manifest_mode = !opt.manifest_file.empty();
-  if (single_mode == manifest_mode ||
+  int modes = (single_mode ? 1 : 0) + (manifest_mode ? 1 : 0) +
+              (opt.serve ? 1 : 0);
+  if (modes != 1 ||
       (single_mode && (opt.dtd_file.empty() || opt.queries_file.empty()))) {
     Usage(argv[0]);
     return 1;
   }
-  if (opt.repeat < 1) opt.repeat = 1;
+  if (opt.serve) return RunServe(opt);
 
-  // Load the workload: parse every referenced DTD once, keep it alive for
-  // the whole run (requests borrow the parsed Dtd objects).
-  std::map<std::string, std::unique_ptr<Dtd>> dtds;  // path -> parsed
-  auto load_dtd = [&](const std::string& path) -> const Dtd* {
+  // Load the workload: register every referenced DTD once; requests carry
+  // handles, so the engine keeps the compiled artifacts alive — the parsed
+  // Dtd objects are not needed beyond registration.
+  SatEngine engine = MakeEngine(opt);
+  std::map<std::string, DtdHandle> dtds;  // path -> registered handle
+  auto load_dtd = [&](const std::string& path) -> DtdHandle {
     auto it = dtds.find(path);
-    if (it != dtds.end()) return it->second.get();
+    if (it != dtds.end()) return it->second;
     std::string text, error;
     if (!ReadFile(path, &text, &error)) {
       std::fprintf(stderr, "%s\n", error.c_str());
-      return nullptr;
+      return DtdHandle();
     }
-    Result<Dtd> parsed = Dtd::Parse(text);
-    if (!parsed.ok()) {
+    Result<DtdHandle> handle = engine.RegisterDtdText(text);
+    if (!handle.ok()) {
       std::fprintf(stderr, "DTD parse error in %s: %s\n", path.c_str(),
-                   parsed.error().c_str());
-      return nullptr;
+                   handle.error().c_str());
+      return DtdHandle();
     }
-    auto owned = std::make_unique<Dtd>(std::move(parsed).value());
-    const Dtd* ptr = owned.get();
-    dtds.emplace(path, std::move(owned));
-    return ptr;
+    dtds.emplace(path, handle.value());
+    return std::move(handle).value();
   };
 
   std::vector<SatRequest> workload;
   std::string error;
   if (single_mode) {
-    const Dtd* dtd = load_dtd(opt.dtd_file);
-    if (dtd == nullptr) return 1;
+    DtdHandle dtd = load_dtd(opt.dtd_file);
+    if (!dtd.valid()) return 1;
     std::vector<std::string> lines;
     if (!ReadLines(opt.queries_file, &lines, &error)) {
       std::fprintf(stderr, "%s\n", error.c_str());
@@ -224,8 +450,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::string path = line.substr(0, split);
-      const Dtd* dtd = load_dtd(path);
-      if (dtd == nullptr) return 1;
+      DtdHandle dtd = load_dtd(path);
+      if (!dtd.valid()) return 1;
       SatRequest r;
       r.query = line.substr(qstart);
       r.dtd = dtd;
@@ -238,16 +464,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  SatEngineOptions engine_opt;
-  engine_opt.num_threads = opt.threads;
-  SatEngine engine(engine_opt);
-
   using Clock = std::chrono::steady_clock;
   Clock::time_point t0 = Clock::now();
   // Only the warmest (last) round is reported; don't hold earlier rounds'
   // responses (and their witness trees) in memory.
   std::vector<SatResponse> last;
-  for (int k = 0; k < opt.repeat; ++k) {
+  for (long long k = 0; k < opt.repeat; ++k) {
     last = engine.RunBatch(workload);
   }
   double wall_ms =
@@ -274,18 +496,19 @@ int main(int argc, char** argv) {
                 workload[i].query.c_str(), r.report.algorithm.c_str(),
                 r.elapsed_us,
                 static_cast<unsigned long long>(r.dtd_fingerprint),
-                r.dtd_cache_hit ? " dtd-cached" : "",
-                r.query_cache_hit ? " q-cached" : "");
+                r.query_cache_hit ? " q-cached" : "",
+                r.memo_hit ? " memo" : "");
   }
 
   SatEngineStats stats = engine.stats();
   size_t total = workload.size() * static_cast<size_t>(opt.repeat);
   double throughput = total / (wall_ms / 1000.0);
   std::printf(
-      "\n%zu request(s) x %d round(s) on %d thread(s): "
+      "\n%zu request(s) x %lld round(s) on %d thread(s): "
       "%d sat, %d unsat, %d unknown, %d error\n"
       "wall %.1f ms (%.0f req/s) | dtd cache %llu/%llu hits | "
-      "query cache %llu/%llu hits | %llu deadline expirations\n",
+      "query cache %llu/%llu hits | memo %llu/%llu hits | "
+      "%llu cancellations | %llu deadline expirations\n",
       workload.size(), opt.repeat, engine.num_threads(), n_sat, n_unsat,
       n_unknown, n_error, wall_ms, throughput,
       static_cast<unsigned long long>(stats.dtd_cache_hits),
@@ -294,6 +517,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.query_cache_hits),
       static_cast<unsigned long long>(stats.query_cache_hits +
                                       stats.query_cache_misses),
+      static_cast<unsigned long long>(stats.memo_hits),
+      static_cast<unsigned long long>(stats.memo_hits + stats.memo_misses),
+      static_cast<unsigned long long>(stats.cancellations),
       static_cast<unsigned long long>(stats.deadline_expirations));
 
   if (!opt.json_file.empty()) {
@@ -310,8 +536,8 @@ int main(int argc, char** argv) {
           << JsonEscape(r.status.ok() ? r.report.algorithm
                                       : r.status.message())
           << "\", \"elapsed_us\": " << r.elapsed_us
-          << ", \"dtd_cache_hit\": " << (r.dtd_cache_hit ? "true" : "false")
           << ", \"query_cache_hit\": " << (r.query_cache_hit ? "true" : "false")
+          << ", \"memo_hit\": " << (r.memo_hit ? "true" : "false")
           << "}" << (i + 1 < last.size() ? "," : "") << "\n";
     }
     out << "  ],\n  \"summary\": {\"requests\": " << workload.size()
@@ -320,7 +546,9 @@ int main(int argc, char** argv) {
         << ", \"sat\": " << n_sat << ", \"unsat\": " << n_unsat
         << ", \"unknown\": " << n_unknown << ", \"error\": " << n_error
         << ", \"wall_ms\": " << wall_ms
-        << ", \"requests_per_s\": " << throughput << "}\n}\n";
+        << ", \"requests_per_s\": " << throughput << ", ";
+    WriteJsonStats(out, stats);
+    out << "}\n}\n";
   }
   return n_error > 0 ? 2 : 0;
 }
