@@ -12,15 +12,23 @@
 // the PTIME fragments (Thm 4.1 reach, Thm 7.1 sibling chains, Thm 6.8(1)
 // filters) plus a slice of NP skeleton-search traffic.
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/engine/sat_engine.h"
 #include "src/sat/satisfiability.h"
+#include "src/server/protocol.h"
+#include "src/server/socket_server.h"
+#include "src/util/net.h"
 #include "src/util/rng.h"
 #include "src/xml/dtd.h"
 #include "src/xpath/parser.h"
@@ -35,9 +43,9 @@ using Clock = std::chrono::steady_clock;
 // analysis on something of this size is exactly the redundant work the
 // engine's compiled-artifact cache exists to remove. Disjunction-free, as
 // the paper observes real DTDs overwhelmingly are (Sec. 6), so filter
-// queries route to the PTIME Thm 6.8(1) decider.
-Dtd MakeCatalogDtd() {
-  Result<Dtd> d = Dtd::Parse(R"(root catalog
+// queries route to the PTIME Thm 6.8(1) decider. Kept as source text so the
+// server round-trip phase can register it over the wire (`dtd NAME PATH`).
+constexpr char kCatalogDtdText[] = R"(root catalog
 catalog -> frontmatter, section*, backmatter
 frontmatter -> title, subtitle, author*, legal
 subtitle -> eps
@@ -71,7 +79,10 @@ backmatter -> index, colophon
 index -> entrylist*
 entrylist -> eps
 colophon -> eps
-)");
+)";
+
+Dtd MakeCatalogDtd() {
+  Result<Dtd> d = Dtd::Parse(kCatalogDtdText);
   BenchCheck(d.ok(), "catalog DTD parses: " + d.error());
   BenchCheck(d.value().IsDisjunctionFree(), "catalog DTD is dj-free");
   return std::move(d).value();
@@ -278,6 +289,134 @@ int main(int argc, char** argv) {
     check_round(drained, "submit-pipelined");
     report.Add("engine_submit_pipelined_1thread_requests_per_s",
                kRequests / pipelined_s, "req/s");
+  }
+
+  // Server round-trip: the same traffic through the network subsystem — a
+  // SocketServer on a unix socket, one client pipelining the whole stream
+  // and draining the out-of-order result lines. Same engine configuration
+  // as the Submit-pipelined phase (1 thread, memo off, warm artifact
+  // caches), so the delta IS the serving layer: line protocol, socket
+  // hops, and per-result write-back. Every wire verdict is still checked
+  // against the facade's.
+  {
+    SatEngineOptions opt;
+    opt.num_threads = 1;
+    opt.memo_capacity = 0;
+    SatEngine engine(opt);
+    server::SocketServerOptions server_opt;
+    server_opt.unix_path = "bench_engine.sock";  // short, cwd-relative
+    server::SocketServer server(&engine, server_opt);
+    Status started = server.Start();
+    BenchCheck(started.ok(), "server starts: " + started.message());
+
+    const char* dtd_path = "bench_engine_catalog.dtd";
+    {
+      std::ofstream out(dtd_path);
+      out << kCatalogDtdText;
+      BenchCheck(out.good(), "catalog DTD file written");
+    }
+    Result<net::ScopedFd> conn = net::ConnectUnix(server_opt.unix_path);
+    BenchCheck(conn.ok(), "client connects: " + conn.error());
+    const int fd = conn.value().get();
+
+    // Reply drain: result lines start with the ticket id; flush acks mark
+    // round boundaries. Ticket ids are engine-global and this client is
+    // alone, so id -> submission index is exact (warm round: 1..N, timed
+    // round: N+1..2N).
+    struct Drain {
+      std::mutex mu;
+      std::condition_variable cv;
+      std::vector<std::pair<uint64_t, std::string>> results;  // id, verdict
+      int flush_acks = 0;
+      bool eof = false;
+    } drain;
+    std::thread reader([fd, &drain] {
+      net::LineReader lr(fd, protocol::kMaxLineBytes);
+      std::string line, error;
+      for (;;) {
+        net::LineReader::Event ev = lr.ReadLine(&line, &error);
+        if (ev == net::LineReader::Event::kEof ||
+            ev == net::LineReader::Event::kError) {
+          std::lock_guard<std::mutex> lock(drain.mu);
+          drain.eof = true;
+          drain.cv.notify_all();
+          return;
+        }
+        if (ev != net::LineReader::Event::kLine) continue;
+        if (!line.empty() && line[0] >= '0' && line[0] <= '9') {
+          size_t open = line.find('[');
+          size_t close = line.find(']', open);
+          BenchCheck(open != std::string::npos && close != std::string::npos,
+                     "result line shape: " + line);
+          uint64_t id = std::strtoull(line.c_str(), nullptr, 10);
+          std::string verdict = line.substr(open + 1, close - open - 1);
+          while (!verdict.empty() && verdict.back() == ' ')
+            verdict.pop_back();
+          std::lock_guard<std::mutex> lock(drain.mu);
+          drain.results.emplace_back(id, std::move(verdict));
+        } else if (line == "ok flush") {
+          std::lock_guard<std::mutex> lock(drain.mu);
+          ++drain.flush_acks;
+          drain.cv.notify_all();
+        }
+      }
+    });
+    auto send = [fd](const std::string& s) {
+      Status sent = net::WriteAll(fd, s + "\n");
+      BenchCheck(sent.ok(), "send: " + sent.message());
+    };
+    auto wait_flush = [&drain](int count) {
+      std::unique_lock<std::mutex> lock(drain.mu);
+      drain.cv.wait(lock, [&] { return drain.flush_acks >= count || drain.eof; });
+      BenchCheck(drain.flush_acks >= count, "connection died mid-round");
+    };
+
+    send(std::string("dtd cat ") + dtd_path);
+    for (const std::string& q : sequence) send("q cat " + q);  // warm
+    send("flush");
+    wait_flush(1);
+
+    t0 = Clock::now();
+    for (const std::string& q : sequence) send("q cat " + q);  // timed
+    send("flush");
+    wait_flush(2);
+    double server_s = Seconds(t0, Clock::now());
+
+    send("quit");
+    {
+      std::unique_lock<std::mutex> lock(drain.mu);
+      drain.cv.wait(lock, [&] { return drain.eof; });
+    }
+    reader.join();
+    server.Stop();
+
+    // Verdict parity over the wire, by ticket id.
+    const char* names[] = {"?", "sat", "unsat", "unknown"};
+    auto verdict_name = [&](SatVerdict v) {
+      switch (v) {
+        case SatVerdict::kSat: return names[1];
+        case SatVerdict::kUnsat: return names[2];
+        case SatVerdict::kUnknown: return names[3];
+      }
+      return names[0];
+    };
+    size_t timed_results = 0;
+    for (const auto& [id, verdict] : drain.results) {
+      BenchCheck(id >= 1 && id <= 2ull * kRequests, "wire ticket id range");
+      if (id <= static_cast<uint64_t>(kRequests)) continue;  // warm round
+      size_t index = static_cast<size_t>(id) - kRequests - 1;
+      BenchCheck(verdict == verdict_name(expected[index]),
+                 "wire vs facade disagree on " + sequence[index]);
+      ++timed_results;
+    }
+    BenchCheck(timed_results == static_cast<size_t>(kRequests),
+               "every timed request came back over the wire");
+    report.Add("server_unix_roundtrip_requests_per_s", kRequests / server_s,
+               "req/s");
+    report.Add("server_roundtrip_fraction_of_submit_pipelined",
+               (kRequests / server_s) /
+                   report.Get("engine_submit_pipelined_1thread_requests_per_s"),
+               "x");
   }
 
   // Thread scaling on warm artifact caches (memo off: measures the decision

@@ -1,5 +1,6 @@
 #include "src/engine/sat_engine.h"
 
+#include <iterator>
 #include <utility>
 
 #include "src/xpath/parser.h"
@@ -11,11 +12,51 @@ namespace engine_internal {
 // Shared state of one submitted request. The promise is fulfilled exactly
 // once, by whichever side wins the job's queued->{running,cancelled} CAS:
 // the worker (with the computed response), the deadline reaper, or a
-// TryCancel caller.
+// TryCancel caller. All three go through Fulfill so completion callbacks
+// fire on every path.
 struct TicketState {
   uint64_t id = 0;
   std::promise<SatResponse> promise;
   std::shared_ptr<CancellableJob> job;
+  // The ticket's own view of the promise, so callbacks registered after
+  // completion can read the response without holding a SatTicket.
+  std::shared_future<SatResponse> future;
+
+  // Completion callbacks. `fulfilled` flips under cb_mu strictly BEFORE
+  // set_value (see Fulfill for why); a registration that observes
+  // fulfilled == true reads future.get(), blocking at most for the
+  // flip->set_value instant. A std::list so WaitAny can deregister its
+  // waiters by iterator when it returns — while fulfilled is still false
+  // the iterators are owned by this list; after the flip they belong to
+  // Fulfill's drained copy and must not be touched.
+  std::mutex cb_mu;
+  bool fulfilled = false;
+  std::list<std::function<void(const SatResponse&)>> callbacks;
+
+  // The single fulfilment point: drains the registered callbacks, resolves
+  // the promise, then runs the drained callbacks on the calling thread.
+  // `fulfilled` flips BEFORE set_value: once a caller has observed the
+  // ticket complete (Get/Ready/WaitFor returned), any later OnComplete is
+  // guaranteed to see fulfilled == true and run inline — flipping after
+  // set_value would leave a window where such a registration lands in the
+  // list and runs on this thread instead, racing the caller. A registration
+  // that sees fulfilled == true in the flip->set_value window merely blocks
+  // in future.get() for the instant until the value lands. Pending
+  // callbacks are moved out under cb_mu before running so a callback that
+  // registers another callback never deadlocks.
+  void Fulfill(SatResponse response) {
+    std::list<std::function<void(const SatResponse&)>> ready;
+    {
+      std::lock_guard<std::mutex> lock(cb_mu);
+      fulfilled = true;
+      ready.splice(ready.begin(), callbacks);
+    }
+    promise.set_value(std::move(response));
+    if (!ready.empty()) {
+      const SatResponse& r = future.get();
+      for (auto& cb : ready) cb(r);
+    }
+  }
 };
 
 // Control block behind a DtdHandle: pins the compiled artifacts and retires
@@ -72,6 +113,87 @@ uint64_t DtdHandle::fingerprint() const {
 
 std::shared_ptr<const CompiledDtd> DtdHandle::compiled() const {
   return pin_ ? pin_->compiled : nullptr;
+}
+
+void SatTicket::OnComplete(std::function<void(const SatResponse&)> cb) const {
+  {
+    std::lock_guard<std::mutex> lock(state_->cb_mu);
+    if (!state_->fulfilled) {
+      state_->callbacks.push_back(std::move(cb));
+      return;
+    }
+  }
+  // Already fulfilled (or mid-fulfilment): get() returns the response,
+  // blocking at most for the fulfilled->set_value instant.
+  cb(future_.get());
+}
+
+int SatTicket::WaitAny(const std::vector<SatTicket>& tickets,
+                       int64_t timeout_ms) {
+  using engine_internal::TicketState;
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    int ready = -1;
+  };
+  // Registrations are deregistered by iterator on every exit path, so a
+  // caller polling WaitAny in a loop over long-queued tickets does not
+  // accumulate dead closures in their callback lists (the header promises
+  // this). The weak capture covers the unavoidable race where a ticket
+  // fulfils between the wait ending and the cleanup below: the drained
+  // callback finds an expired waiter and does nothing.
+  struct Registration {
+    std::shared_ptr<TicketState> state;
+    std::list<std::function<void(const SatResponse&)>>::iterator where;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  std::vector<Registration> registrations;
+  bool any_valid = false;
+  int ready_now = -1;
+  for (size_t i = 0; i < tickets.size() && ready_now < 0; ++i) {
+    if (!tickets[i].valid()) continue;
+    any_valid = true;
+    std::shared_ptr<TicketState> state = tickets[i].state_;
+    std::lock_guard<std::mutex> lock(state->cb_mu);
+    if (state->fulfilled) {
+      ready_now = static_cast<int>(i);
+      break;
+    }
+    state->callbacks.push_back(
+        [weak = std::weak_ptr<Waiter>(waiter), i](const SatResponse&) {
+          std::shared_ptr<Waiter> w = weak.lock();
+          if (w == nullptr) return;
+          {
+            std::lock_guard<std::mutex> lock(w->mu);
+            if (w->ready < 0 || static_cast<size_t>(w->ready) > i) {
+              w->ready = static_cast<int>(i);
+            }
+          }
+          w->cv.notify_all();
+        });
+    auto where = std::prev(state->callbacks.end());
+    registrations.push_back(Registration{std::move(state), where});
+  }
+  int result = ready_now;
+  if (result < 0 && any_valid) {
+    std::unique_lock<std::mutex> lock(waiter->mu);
+    auto ready = [&] { return waiter->ready >= 0; };
+    if (timeout_ms < 0) {
+      waiter->cv.wait(lock, ready);
+    } else {
+      waiter->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                          ready);
+    }
+    result = waiter->ready;  // -1 on timeout
+  }
+  for (Registration& registration : registrations) {
+    std::lock_guard<std::mutex> lock(registration.state->cb_mu);
+    // After fulfilment the iterator belongs to Fulfill's drained list.
+    if (!registration.state->fulfilled) {
+      registration.state->callbacks.erase(registration.where);
+    }
+  }
+  return result;
 }
 
 SatEngine::SatEngine(const SatEngineOptions& options)
@@ -318,9 +440,11 @@ SatTicket SatEngine::Submit(SatRequest request) {
   state->id = next_ticket_id_.fetch_add(1, std::memory_order_relaxed);
   state->job = std::make_shared<CancellableJob>();
 
+  state->future = state->promise.get_future().share();
+
   SatTicket ticket;
   ticket.id_ = state->id;
-  ticket.future_ = state->promise.get_future().share();
+  ticket.future_ = state->future;
   ticket.state_ = state;
 
   const Clock::time_point submitted = Clock::now();
@@ -344,7 +468,7 @@ SatTicket SatEngine::Submit(SatRequest request) {
           resp = SatResponse();
           resp.status = Status::Error("internal error");
         }
-        state->promise.set_value(std::move(resp));
+        state->Fulfill(std::move(resp));
       });
   if (deadline_ms > 0) {
     {
@@ -361,7 +485,7 @@ bool SatEngine::TryCancel(const SatTicket& ticket) {
   if (!ticket.valid()) return false;
   if (!ticket.state_->job->TryCancel()) return false;
   cancellations_.fetch_add(1, std::memory_order_relaxed);
-  ticket.state_->promise.set_value(
+  ticket.state_->Fulfill(
       NotRunResponse("cancelled", "cancelled before execution started"));
   return true;
 }
@@ -389,7 +513,7 @@ void SatEngine::ReaperLoop() {
     // Outside the lock: Submit must never block behind promise fulfilment.
     if (state->job->TryCancel()) {
       deadline_expirations_.fetch_add(1, std::memory_order_relaxed);
-      state->promise.set_value(NotRunResponse(
+      state->Fulfill(NotRunResponse(
           "deadline", "deadline expired before execution started"));
     }
     lock.lock();

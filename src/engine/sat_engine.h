@@ -19,6 +19,10 @@
 //     reaper thread cancels queued work the moment its deadline expires
 //     (work that started in time runs to completion). Run and RunBatch are
 //     thin wrappers over Submit — there is exactly one execution path.
+//     Reactive callers use SatTicket::OnComplete (a callback fired on every
+//     fulfilment path: computed, cancelled, expired) or SatTicket::WaitAny
+//     instead of one blocking Get per ticket — this is what the socket
+//     server (src/server/) pipelines out-of-order responses with.
 //   * Verdict memoization: an LRU cache keyed by (canonical query printing,
 //     DTD fingerprint, SatOptions::Digest()) sitting above the artifact
 //     caches; a repeat request returns the memoized SatReport without
@@ -39,6 +43,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
@@ -143,7 +148,8 @@ struct SatResponse {
 
 /// Handle to a submitted request: a stable id plus a future for the
 /// response. Copyable; all copies observe the same response. A
-/// default-constructed ticket is invalid (Get/Wait must not be called).
+/// default-constructed ticket is invalid (Get/Wait/OnComplete must not be
+/// called).
 class SatTicket {
  public:
   SatTicket() = default;
@@ -164,6 +170,26 @@ class SatTicket {
     return future_.wait_for(std::chrono::milliseconds(timeout_ms)) ==
            std::future_status::ready;
   }
+
+  /// Registers `cb` to run exactly once with the response. If the ticket is
+  /// already complete, `cb` runs inline on the calling thread; otherwise it
+  /// runs on whichever thread fulfils the ticket — a pool worker, a
+  /// TryCancel caller, or the deadline reaper. Callbacks fire on EVERY
+  /// fulfilment path (computed responses, cancellations, deadline
+  /// expirations), which is what lets a server pipeline responses out of
+  /// order without one drain thread per ticket. Callbacks must be quick and
+  /// must not block on other engine work (they run on the fulfilling
+  /// thread). Multiple registrations all fire, in registration order.
+  void OnComplete(std::function<void(const SatResponse&)> cb) const;
+
+  /// Blocks until at least one ticket in `tickets` is ready and returns its
+  /// index (the lowest ready index observed). Returns -1 when `timeout_ms`
+  /// >= 0 elapses first, or immediately when every ticket is invalid.
+  /// `timeout_ms` < 0 waits without bound. Registered waiters are one-shot
+  /// and self-expiring: repeated WaitAny calls over the same tickets do not
+  /// accumulate live state.
+  static int WaitAny(const std::vector<SatTicket>& tickets,
+                     int64_t timeout_ms = -1);
 
  private:
   friend class SatEngine;

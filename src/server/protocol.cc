@@ -1,0 +1,211 @@
+#include "src/server/protocol.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace xpathsat {
+namespace protocol {
+
+namespace {
+
+/// Strips one leading token (non-whitespace run) from `*rest`; returns it.
+/// Leading whitespace is skipped first. Empty return means no token left.
+std::string TakeToken(std::string* rest) {
+  size_t start = rest->find_first_not_of(" \t");
+  if (start == std::string::npos) {
+    rest->clear();
+    return std::string();
+  }
+  size_t end = rest->find_first_of(" \t", start);
+  std::string token = rest->substr(start, end - start);
+  *rest = end == std::string::npos ? std::string() : rest->substr(end);
+  return token;
+}
+
+std::string TrimmedRemainder(const std::string& rest) {
+  size_t start = rest.find_first_not_of(" \t");
+  if (start == std::string::npos) return std::string();
+  size_t end = rest.find_last_not_of(" \t");
+  return rest.substr(start, end - start + 1);
+}
+
+ParseResult Error(const std::string& code, const std::string& detail) {
+  ParseResult r;
+  r.status = ParseStatus::kError;
+  r.error_line = FormatErr(code, detail);
+  return r;
+}
+
+ParseResult BadArgs(Verb verb, const char* usage) {
+  return Error("bad-args",
+               std::string(VerbName(verb)) + ": usage: " + usage);
+}
+
+}  // namespace
+
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kDtd: return "dtd";
+    case Verb::kQuery: return "query";
+    case Verb::kDrop: return "drop";
+    case Verb::kCancel: return "cancel";
+    case Verb::kFlush: return "flush";
+    case Verb::kStats: return "stats";
+    case Verb::kQuit: return "quit";
+  }
+  return "?";
+}
+
+const char* VerdictName(const SatResponse& response) {
+  if (!response.status.ok()) return "error";
+  switch (response.report.decision.verdict) {
+    case SatVerdict::kSat: return "sat";
+    case SatVerdict::kUnsat: return "unsat";
+    case SatVerdict::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+ParseResult ParseCommandLine(const std::string& line) {
+  if (line.size() > kMaxLineBytes) {
+    return Error("oversized-line",
+                 std::to_string(line.size()) + " bytes (max " +
+                     std::to_string(kMaxLineBytes) + ")");
+  }
+  std::string rest = line;
+  // Tolerate CR-LF input and trailing whitespace.
+  while (!rest.empty() && (rest.back() == '\r' || rest.back() == ' ' ||
+                           rest.back() == '\t')) {
+    rest.pop_back();
+  }
+  std::string verb_text = TakeToken(&rest);
+  if (verb_text.empty() || verb_text[0] == '#') {
+    ParseResult r;
+    r.status = ParseStatus::kEmpty;
+    return r;
+  }
+
+  ParseResult r;
+  r.status = ParseStatus::kCommand;
+  Command& cmd = r.command;
+  if (verb_text == "dtd") {
+    cmd.verb = Verb::kDtd;
+    cmd.name = TakeToken(&rest);
+    cmd.arg = TrimmedRemainder(rest);
+    if (cmd.name.empty() || cmd.arg.empty()) {
+      return BadArgs(Verb::kDtd, "dtd NAME PATH");
+    }
+  } else if (verb_text == "query" || verb_text == "q") {
+    cmd.verb = Verb::kQuery;
+    cmd.name = TakeToken(&rest);
+    cmd.arg = TrimmedRemainder(rest);
+    if (cmd.name.empty() || cmd.arg.empty()) {
+      return BadArgs(Verb::kQuery, "query NAME XPATH");
+    }
+  } else if (verb_text == "drop") {
+    cmd.verb = Verb::kDrop;
+    cmd.name = TakeToken(&rest);
+    if (cmd.name.empty() || !TrimmedRemainder(rest).empty()) {
+      return BadArgs(Verb::kDrop, "drop NAME");
+    }
+  } else if (verb_text == "cancel") {
+    cmd.verb = Verb::kCancel;
+    std::string id_text = TakeToken(&rest);
+    if (id_text.empty() || !TrimmedRemainder(rest).empty()) {
+      return BadArgs(Verb::kCancel, "cancel TICKET-ID");
+    }
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long id = std::strtoull(id_text.c_str(), &end, 10);
+    if (errno != 0 || end == id_text.c_str() || *end != '\0' ||
+        id_text[0] == '-' || id_text[0] == '+' || id == 0) {
+      return Error("bad-args", "cancel: '" + id_text +
+                                   "' is not a positive ticket id");
+    }
+    cmd.ticket_id = id;
+  } else if (verb_text == "flush" || verb_text == "stats" ||
+             verb_text == "quit") {
+    cmd.verb = verb_text == "flush"
+                   ? Verb::kFlush
+                   : (verb_text == "stats" ? Verb::kStats : Verb::kQuit);
+    if (!TrimmedRemainder(rest).empty()) {
+      return BadArgs(cmd.verb, verb_text.c_str());
+    }
+  } else {
+    return Error("unknown-verb", "'" + verb_text + "'");
+  }
+  return r;
+}
+
+std::string FormatCommand(const Command& command) {
+  switch (command.verb) {
+    case Verb::kDtd:
+      return "dtd " + command.name + " " + command.arg;
+    case Verb::kQuery:
+      return "query " + command.name + " " + command.arg;
+    case Verb::kDrop:
+      return "drop " + command.name;
+    case Verb::kCancel:
+      return "cancel " + std::to_string(command.ticket_id);
+    case Verb::kFlush:
+      return "flush";
+    case Verb::kStats:
+      return "stats";
+    case Verb::kQuit:
+      return "quit";
+  }
+  return std::string();
+}
+
+std::string FormatErr(const std::string& code, const std::string& detail) {
+  return "err " + code + " " + detail;
+}
+
+std::string FormatDtdAck(const std::string& name, uint64_t fingerprint) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return "ok dtd " + name + " fp=" + buf;
+}
+
+std::string FormatQueryAck(uint64_t ticket_id) {
+  return "ok query " + std::to_string(ticket_id);
+}
+
+std::string FormatResultLine(uint64_t ticket_id, const std::string& query,
+                             const SatResponse& response) {
+  char head[32];
+  std::snprintf(head, sizeof(head), "%llu [%-7s] ",
+                static_cast<unsigned long long>(ticket_id),
+                VerdictName(response));
+  if (!response.status.ok()) {
+    return head + query + " -- " + response.status.message();
+  }
+  char tail[64];
+  std::snprintf(tail, sizeof(tail), " %.1fus", response.elapsed_us);
+  return head + query + " -- " + response.report.algorithm + tail +
+         (response.query_cache_hit ? " q-cached" : "") +
+         (response.memo_hit ? " memo" : "");
+}
+
+std::string FormatStatsLine(const SatEngineStats& stats,
+                            uint64_t live_dtd_handles) {
+  std::ostringstream out;
+  out << "stats {\"requests\": " << stats.requests
+      << ", \"dtd_cache_hits\": " << stats.dtd_cache_hits
+      << ", \"dtd_cache_misses\": " << stats.dtd_cache_misses
+      << ", \"query_cache_hits\": " << stats.query_cache_hits
+      << ", \"query_cache_misses\": " << stats.query_cache_misses
+      << ", \"memo_hits\": " << stats.memo_hits
+      << ", \"memo_misses\": " << stats.memo_misses
+      << ", \"parse_errors\": " << stats.parse_errors
+      << ", \"cancellations\": " << stats.cancellations
+      << ", \"deadline_expirations\": " << stats.deadline_expirations
+      << ", \"live_dtd_handles\": " << live_dtd_handles << "}";
+  return out.str();
+}
+
+}  // namespace protocol
+}  // namespace xpathsat

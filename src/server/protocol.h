@@ -1,0 +1,122 @@
+// The xpathsat line protocol: one implementation of the request
+// parser and reply formatters, shared by `xpathsat_cli --serve` (stdin),
+// `xpathsat_server` (unix/TCP sockets), and `xpathsat_cli --connect`.
+//
+// Requests are single lines, verb first ('#'-comments and blank lines are
+// ignored):
+//
+//   dtd NAME PATH       register the DTD file at PATH under NAME
+//   query NAME XPATH    submit XPATH against NAME (alias: q)
+//   drop NAME           release NAME's handle
+//   cancel ID           cancel the still-queued ticket ID
+//   flush               block until every pending result line is emitted
+//   stats               engine statistics as one JSON line
+//   quit                flush and close the session
+//
+// Replies are single lines, tagged by their first token:
+//
+//   ok dtd NAME fp=FP          ok query ID        ok drop NAME
+//   ok cancel ID               ok flush           ok quit
+//   ID [verdict] XPATH -- ...  completion line for ticket ID (may arrive
+//                              out of submission order; [verdict] is one of
+//                              sat/unsat/unknown/error)
+//   stats {...}                single-line JSON, same field names as --json
+//   err CODE detail            structured error; CODE is a stable slug
+//                              (unknown-verb, bad-args, oversized-line,
+//                              unknown-dtd, unknown-ticket, not-cancellable,
+//                              dtd-parse, io)
+//
+// Malformed input (unknown verb, missing argument, oversized line) always
+// answers with an `err` line and keeps the session alive — nothing is
+// silently ignored.
+#ifndef XPATHSAT_SERVER_PROTOCOL_H_
+#define XPATHSAT_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/engine/sat_engine.h"
+
+namespace xpathsat {
+namespace protocol {
+
+/// Hard cap on one request line (bytes, excluding the newline). Lines beyond
+/// this answer with `err oversized-line` instead of growing buffers without
+/// bound.
+constexpr size_t kMaxLineBytes = 64 * 1024;
+
+enum class Verb {
+  kDtd,
+  kQuery,
+  kDrop,
+  kCancel,
+  kFlush,
+  kStats,
+  kQuit,
+};
+
+/// One parsed request line.
+struct Command {
+  Verb verb = Verb::kFlush;
+  std::string name;        // dtd/query/drop: the schema name
+  std::string arg;         // dtd: the path; query: the XPath text
+  uint64_t ticket_id = 0;  // cancel
+};
+
+enum class ParseStatus {
+  kCommand,  // `command` is valid
+  kEmpty,    // blank line or comment: nothing to do, nothing to answer
+  kError,    // malformed: answer with `error_line`
+};
+
+struct ParseResult {
+  ParseStatus status = ParseStatus::kEmpty;
+  Command command;
+  /// For kError: the complete `err CODE detail` reply line.
+  std::string error_line;
+};
+
+/// Parses one raw request line (without its newline). Enforces kMaxLineBytes
+/// and strict per-verb arity; every malformed shape yields a structured
+/// `err` line rather than a silent skip.
+ParseResult ParseCommandLine(const std::string& line);
+
+/// Prints a command back into its canonical line form.
+/// ParseCommandLine(FormatCommand(c)) reproduces `c` for every valid
+/// command (the round-trip property test pins this).
+std::string FormatCommand(const Command& command);
+
+/// Human verb name ("dtd", "query", ...).
+const char* VerbName(Verb verb);
+
+/// Verdict tag used in result lines: sat/unsat/unknown, or "error" for
+/// responses whose status is not ok.
+const char* VerdictName(const SatResponse& response);
+
+// --- Reply formatters (all return one line, no trailing newline) ---------
+
+/// `err CODE detail`.
+std::string FormatErr(const std::string& code, const std::string& detail);
+
+/// `ok dtd NAME fp=%016llx`.
+std::string FormatDtdAck(const std::string& name, uint64_t fingerprint);
+
+/// `ok query ID` — submission ack carrying the engine ticket id, which is
+/// the id a later `cancel` addresses and the tag on the result line.
+std::string FormatQueryAck(uint64_t ticket_id);
+
+/// `ID [verdict] XPATH -- algorithm elapsed-us [q-cached] [memo]`, or
+/// `ID [error  ] XPATH -- message` when the response failed.
+std::string FormatResultLine(uint64_t ticket_id, const std::string& query,
+                             const SatResponse& response);
+
+/// `stats {json}`: one line, field names mirroring the CLI's --json output
+/// (requests, dtd_cache_hits, ..., deadline_expirations) plus
+/// live_dtd_handles, so scripted clients parse instead of scraping.
+std::string FormatStatsLine(const SatEngineStats& stats,
+                            uint64_t live_dtd_handles);
+
+}  // namespace protocol
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_SERVER_PROTOCOL_H_

@@ -1,0 +1,175 @@
+#include "src/server/session.h"
+
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+namespace xpathsat {
+namespace server {
+
+// Result callbacks run on engine threads and may outlive the session object
+// by a few instructions (the callback's notify after its erase); everything
+// they touch lives here, behind a shared_ptr they hold.
+struct ServerSession::Shared {
+  LineSink sink;
+  std::mutex mu;
+  std::condition_variable cv;
+  // Engine ticket id -> ticket, while the result line is still owed. This
+  // is the cancellation surface: `cancel ID` resolves against this table.
+  std::map<uint64_t, SatTicket> inflight;
+};
+
+ServerSession::ServerSession(SatEngine* engine, SessionOptions options,
+                             LineSink sink)
+    : engine_(engine),
+      options_(options),
+      shared_(std::make_shared<Shared>()) {
+  shared_->sink = std::move(sink);
+}
+
+ServerSession::~ServerSession() { Drain(); }
+
+void ServerSession::EmitError(const std::string& code,
+                              const std::string& detail) {
+  shared_->sink(protocol::FormatErr(code, detail));
+}
+
+void ServerSession::Drain() {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  shared_->cv.wait(lock, [&] { return shared_->inflight.empty(); });
+}
+
+bool ServerSession::HandleLine(const std::string& line) {
+  if (closed_) return false;
+  protocol::ParseResult parsed = protocol::ParseCommandLine(line);
+  switch (parsed.status) {
+    case protocol::ParseStatus::kEmpty:
+      return true;
+    case protocol::ParseStatus::kError:
+      shared_->sink(parsed.error_line);
+      return true;
+    case protocol::ParseStatus::kCommand:
+      HandleCommand(parsed.command);
+      return !closed_;
+  }
+  return true;
+}
+
+void ServerSession::HandleCommand(const protocol::Command& command) {
+  using protocol::Verb;
+  switch (command.verb) {
+    case Verb::kDtd: {
+      std::ifstream in(command.arg);
+      if (!in) {
+        EmitError("io", "dtd " + command.name + ": cannot open " +
+                            command.arg);
+        return;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      Result<DtdHandle> handle = engine_->RegisterDtdText(text.str());
+      if (!handle.ok()) {
+        EmitError("dtd-parse", command.name + ": " + handle.error());
+        return;
+      }
+      // Re-registering a name swaps the handle; in-flight requests keep
+      // their own pins on the old artifacts.
+      schemas_[command.name] = std::move(handle).value();
+      shared_->sink(protocol::FormatDtdAck(
+          command.name, schemas_[command.name].fingerprint()));
+      return;
+    }
+    case Verb::kQuery: {
+      auto it = schemas_.find(command.name);
+      if (it == schemas_.end()) {
+        EmitError("unknown-dtd", "'" + command.name + "'");
+        return;
+      }
+      {
+        // Bound this session's outstanding work: block (back-pressuring
+        // the connection) until a completion frees a slot. Every ticket
+        // resolves — computed, cancelled, or expired — so this always
+        // makes progress.
+        const size_t cap =
+            options_.max_inflight < 1 ? 1 : options_.max_inflight;
+        std::unique_lock<std::mutex> lock(shared_->mu);
+        shared_->cv.wait(lock,
+                         [&] { return shared_->inflight.size() < cap; });
+      }
+      SatRequest request;
+      request.query = command.arg;
+      request.dtd = it->second;
+      request.deadline_ms = options_.deadline_ms;
+      request.options.compute_witness = options_.compute_witness;
+      SatTicket ticket = engine_->Submit(std::move(request));
+      const uint64_t id = ticket.id();
+      ++queries_submitted_;
+      {
+        std::lock_guard<std::mutex> lock(shared_->mu);
+        shared_->inflight.emplace(id, ticket);
+      }
+      // Ack first so the client learns the cancellable id before (never
+      // after) the result line can possibly arrive.
+      shared_->sink(protocol::FormatQueryAck(id));
+      ticket.OnComplete([shared = shared_, id,
+                         query = command.arg](const SatResponse& response) {
+        shared->sink(protocol::FormatResultLine(id, query, response));
+        {
+          std::lock_guard<std::mutex> lock(shared->mu);
+          shared->inflight.erase(id);
+        }
+        shared->cv.notify_all();
+      });
+      return;
+    }
+    case Verb::kDrop:
+      if (schemas_.erase(command.name) > 0) {
+        shared_->sink("ok drop " + command.name);
+      } else {
+        EmitError("unknown-dtd", "'" + command.name + "'");
+      }
+      return;
+    case Verb::kCancel: {
+      SatTicket ticket;
+      {
+        std::lock_guard<std::mutex> lock(shared_->mu);
+        auto it = shared_->inflight.find(command.ticket_id);
+        if (it != shared_->inflight.end()) ticket = it->second;
+      }
+      if (!ticket.valid()) {
+        EmitError("unknown-ticket",
+                  std::to_string(command.ticket_id) +
+                      " (never acked here, or already completed)");
+        return;
+      }
+      if (engine_->TryCancel(ticket)) {
+        // The cancelled ticket still resolves: its result line (algorithm
+        // "cancelled") was emitted by the completion callback just now.
+        shared_->sink("ok cancel " + std::to_string(command.ticket_id));
+      } else {
+        EmitError("not-cancellable",
+                  std::to_string(command.ticket_id) +
+                      " already started or finished");
+      }
+      return;
+    }
+    case Verb::kFlush:
+      Drain();
+      shared_->sink("ok flush");
+      return;
+    case Verb::kStats:
+      shared_->sink(protocol::FormatStatsLine(engine_->stats(),
+                                              engine_->live_dtd_handles()));
+      return;
+    case Verb::kQuit:
+      Drain();
+      shared_->sink("ok quit");
+      closed_ = true;
+      return;
+  }
+}
+
+}  // namespace server
+}  // namespace xpathsat

@@ -1,0 +1,101 @@
+// ServerSession: one client's view of a shared SatEngine, speaking the line
+// protocol (src/server/protocol.h). Both front ends sit on this class —
+// `xpathsat_cli --serve` feeds it stdin lines, `xpathsat_server` feeds it
+// socket lines — so there is exactly one protocol implementation.
+//
+// Each session owns
+//   * a DTD-handle namespace (NAME -> DtdHandle): names are per-connection,
+//     but the handles all pin artifacts in the ONE shared engine, so two
+//     clients registering the same schema share a compilation and hit each
+//     other's verdict memo entries;
+//   * an in-flight ticket table (engine ticket id -> SatTicket), which is
+//     what makes cancellation externally addressable: `cancel ID` works for
+//     any id this session was ack'd for and has not yet seen complete.
+//
+// Responses are pipelined: `query` answers immediately with `ok query ID`,
+// and the result line is emitted later — possibly out of submission order —
+// from the engine thread that completes the ticket (via
+// SatTicket::OnComplete). There is no per-ticket drain thread anywhere.
+//
+// Thread-safety: HandleLine must be called from one thread at a time (the
+// connection's reader), but the sink is invoked concurrently from engine
+// threads; sinks must be internally synchronized. The shared state that
+// callbacks touch outlives the session object itself (callbacks keep it
+// alive), so tearing a session down while results are in flight is safe —
+// Drain() is only needed when the caller wants every result emitted before
+// proceeding (flush/quit/EOF).
+#ifndef XPATHSAT_SERVER_SESSION_H_
+#define XPATHSAT_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/engine/sat_engine.h"
+#include "src/server/protocol.h"
+
+namespace xpathsat {
+namespace server {
+
+struct SessionOptions {
+  /// Per-request deadline cap forwarded to every submitted query (0: none).
+  int64_t deadline_ms = 0;
+  /// Service traffic wants verdicts; witnesses are off unless a front end
+  /// opts in.
+  bool compute_witness = false;
+  /// In-flight ticket cap per session: a `query` that would exceed it
+  /// blocks HandleLine until a completion frees a slot, back-pressuring the
+  /// connection (the reader stalls, so the kernel stalls the client's
+  /// sends) instead of queueing unbounded work in the shared engine. Must
+  /// be >= 1.
+  size_t max_inflight = 1024;
+};
+
+class ServerSession {
+ public:
+  /// `sink` emits one reply line (no trailing newline). It is called from
+  /// the session's own thread (acks, errors, stats) AND from engine
+  /// completion threads (result lines); it must be thread-safe and must not
+  /// block indefinitely. `engine` must outlive the session.
+  using LineSink = std::function<void(const std::string&)>;
+
+  ServerSession(SatEngine* engine, SessionOptions options, LineSink sink);
+  ~ServerSession();  // waits for in-flight results (Drain)
+
+  ServerSession(const ServerSession&) = delete;
+  ServerSession& operator=(const ServerSession&) = delete;
+
+  /// Processes one raw request line, emitting any replies through the sink.
+  /// Returns false when the session is over (quit); the caller should stop
+  /// feeding lines and let the session drain.
+  bool HandleLine(const std::string& line);
+
+  /// Emits an `err` line through the sink (transport-level errors the
+  /// session cannot detect itself, e.g. an oversized line swallowed by the
+  /// connection's LineReader).
+  void EmitError(const std::string& code, const std::string& detail);
+
+  /// Blocks until every submitted ticket's result line has been emitted.
+  void Drain();
+
+  /// Tickets submitted over this session's lifetime.
+  uint64_t queries_submitted() const { return queries_submitted_; }
+
+ private:
+  struct Shared;  // inflight table + sink; kept alive by result callbacks
+
+  void HandleCommand(const protocol::Command& command);
+
+  SatEngine* engine_;
+  SessionOptions options_;
+  std::shared_ptr<Shared> shared_;
+  std::map<std::string, DtdHandle> schemas_;
+  uint64_t queries_submitted_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace server
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_SERVER_SESSION_H_

@@ -1,0 +1,184 @@
+#include "src/server/socket_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace xpathsat {
+namespace server {
+
+namespace {
+// Cap on how long one reply write may block an engine completion thread
+// behind a client that stopped reading. After one expiry the connection is
+// latched dead and every further write is skipped, so a stuck client costs
+// the engine at most this once.
+constexpr int kSendTimeoutSeconds = 10;
+}  // namespace
+
+SocketServer::SocketServer(SatEngine* engine, SocketServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  if (started_.exchange(true)) return Status::Error("already started");
+  if (options_.unix_path.empty() && options_.tcp_port < 0) {
+    return Status::Error("no listener configured (unix path or tcp port)");
+  }
+  if (!options_.unix_path.empty()) {
+    Result<net::ScopedFd> fd = net::ListenUnix(options_.unix_path);
+    if (!fd.ok()) return Status::Error(fd.error());
+    listeners_.push_back(std::move(fd).value());
+    unix_bound_ = true;
+  }
+  if (options_.tcp_port >= 0) {
+    Result<net::ScopedFd> fd = net::ListenTcp(
+        options_.tcp_host, options_.tcp_port, &bound_tcp_port_);
+    if (!fd.ok()) {
+      listeners_.clear();
+      return Status::Error(fd.error());
+    }
+    listeners_.push_back(std::move(fd).value());
+  }
+  accept_threads_.reserve(listeners_.size());
+  for (const net::ScopedFd& listener : listeners_) {
+    int fd = listener.get();
+    accept_threads_.emplace_back([this, fd] { AcceptLoop(fd); });
+  }
+  return Status::Ok();
+}
+
+void SocketServer::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  // shutdown(2) — not close — wakes the blocked accept(2)s; the fds stay
+  // valid until the accept threads are joined.
+  for (const net::ScopedFd& listener : listeners_) {
+    ::shutdown(listener.get(), SHUT_RDWR);
+  }
+  for (std::thread& t : accept_threads_) t.join();
+  accept_threads_.clear();
+  listeners_.clear();
+  if (unix_bound_) ::unlink(options_.unix_path.c_str());
+
+  // Half-close every live connection: its reader sees EOF, its session
+  // drains (in-flight results are still written back), and the thread
+  // exits.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (Connection& c : connections_) {
+      ::shutdown(c.fd.get(), SHUT_RD);
+    }
+  }
+  for (;;) {
+    Connection* next = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (connections_.empty()) break;
+      next = &connections_.front();
+    }
+    next->thread.join();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.pop_front();
+  }
+}
+
+void SocketServer::ReapFinishedLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketServer::AcceptLoop(int listen_fd) {
+  for (;;) {
+    Result<net::ScopedFd> accepted = net::Accept(listen_fd);
+    if (!accepted.ok()) {
+      // Shutdown (or a transient accept failure while stopping) ends the
+      // loop; transient failures while serving retry after a beat so a
+      // persistent condition (EMFILE under fd pressure) cannot hot-spin.
+      if (stopping_.load()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load()) return;  // raced with Stop: drop the connection
+    ReapFinishedLocked();
+    connections_.emplace_back();
+    Connection* connection = &connections_.back();
+    connection->fd = std::move(accepted).value();
+    connection->thread =
+        std::thread([this, connection] { ServeConnection(connection); });
+  }
+}
+
+void SocketServer::ServeConnection(Connection* connection) {
+  connections_active_.fetch_add(1, std::memory_order_relaxed);
+  const int fd = connection->fd.get();
+  // The sink runs on engine completion threads, so it must never block the
+  // shared engine indefinitely behind one slow client: sends carry a
+  // timeout, and the first failed/timed-out write latches the connection
+  // dead — every later write (including the session drain's result lines)
+  // becomes a no-op instead of paying the timeout again. The reader side
+  // then sees the shutdown and tears the connection down.
+  timeval send_timeout;
+  send_timeout.tv_sec = kSendTimeoutSeconds;
+  send_timeout.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+               sizeof(send_timeout));
+  struct WriteState {
+    std::mutex mu;
+    bool dead = false;
+  };
+  auto write_state = std::make_shared<WriteState>();
+  {
+    ServerSession session(
+        engine_, options_.session,
+        [fd, write_state](const std::string& line) {
+          std::lock_guard<std::mutex> lock(write_state->mu);
+          if (write_state->dead) return;
+          if (!net::WriteAll(fd, line + "\n").ok()) {
+            write_state->dead = true;
+            ::shutdown(fd, SHUT_RDWR);  // unwedge the reader too
+          }
+        });
+    net::LineReader reader(fd, options_.max_line_bytes);
+    std::string line, error;
+    for (bool open = true; open;) {
+      switch (reader.ReadLine(&line, &error)) {
+        case net::LineReader::Event::kLine:
+          open = session.HandleLine(line);
+          break;
+        case net::LineReader::Event::kOversized:
+          session.EmitError(
+              "oversized-line",
+              "line exceeds " + std::to_string(options_.max_line_bytes) +
+                  " bytes; discarded");
+          break;
+        case net::LineReader::Event::kEof:
+        case net::LineReader::Event::kError:
+          open = false;
+          break;
+      }
+    }
+    // ~ServerSession drains: every in-flight result line is written before
+    // the socket closes.
+  }
+  // Full close happens at reap time (Stop may still poke this fd); the
+  // half-close here is what lets the peer see EOF as soon as its session
+  // ends rather than when the connection slot is reaped.
+  ::shutdown(fd, SHUT_RDWR);
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  connection->done.store(true, std::memory_order_release);
+}
+
+}  // namespace server
+}  // namespace xpathsat

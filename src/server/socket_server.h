@@ -1,0 +1,126 @@
+// SocketServer: the network front end over one long-lived SatEngine.
+//
+// Listens on a unix-domain socket and/or a loopback TCP port and speaks the
+// shared line protocol (src/server/protocol.h). Every accepted connection
+// gets its own ServerSession — its own DTD-name namespace and in-flight
+// ticket table — but all sessions share the ONE engine, so its compiled-DTD
+// cache, query cache, and verdict memo are shared across clients: client B
+// gets memo hits on traffic client A already decided.
+//
+// Concurrency model: one accept thread per listener plus one reader thread
+// per connection (finished connections are reaped as new ones arrive).
+// Result lines are NOT written by the reader thread — they are pipelined
+// out of order by the engine threads that complete each ticket, through the
+// session's completion callbacks, serialized per connection by a write
+// mutex. A connection doing a large batch therefore has results streaming
+// back while its reader is still parsing requests.
+//
+// Thread-per-connection is deliberate: sessions are few and long-lived
+// (clients multiplex many requests over one connection), so the scaling
+// pressure is on the engine, not the socket layer.
+//
+// Lifecycle: construct -> Start() -> ... -> Stop() (idempotent; also run by
+// the destructor). The engine must outlive Stop(). Stop shuts every
+// connection down, which drains each session — in-flight requests complete
+// and their result lines are flushed before the sockets close.
+#ifndef XPATHSAT_SERVER_SOCKET_SERVER_H_
+#define XPATHSAT_SERVER_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/sat_engine.h"
+#include "src/server/protocol.h"
+#include "src/server/session.h"
+#include "src/util/net.h"
+#include "src/util/status.h"
+
+namespace xpathsat {
+namespace server {
+
+struct SocketServerOptions {
+  /// Unix-domain listener path; empty disables. Prefer short relative paths
+  /// (sockaddr_un caps ~107 bytes).
+  std::string unix_path;
+  /// TCP listener port; -1 disables, 0 binds an ephemeral port (read it
+  /// back from tcp_port() after Start).
+  int tcp_port = -1;
+  /// TCP bind address; loopback by default — this server has no auth layer,
+  /// so binding wider than loopback is an explicit caller decision.
+  std::string tcp_host = "127.0.0.1";
+  /// Forwarded to every connection's session.
+  SessionOptions session;
+  /// Per-line byte cap before a connection's input is answered with
+  /// `err oversized-line` and discarded to the next newline.
+  size_t max_line_bytes = protocol::kMaxLineBytes;
+};
+
+class SocketServer {
+ public:
+  /// `engine` must outlive Stop().
+  SocketServer(SatEngine* engine, SocketServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Opens the configured listeners and starts accepting. Fails (and opens
+  /// nothing) when no listener is configured or a bind fails.
+  Status Start();
+
+  /// Stops accepting, shuts down every connection (sessions drain their
+  /// in-flight tickets first), and joins all threads. Idempotent.
+  void Stop();
+
+  /// Bound TCP port after Start (useful with tcp_port = 0); -1 when no TCP
+  /// listener.
+  int tcp_port() const { return bound_tcp_port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_active() const {
+    return connections_active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    net::ScopedFd fd;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop(int listen_fd);
+  void ServeConnection(Connection* connection);
+  void ReapFinishedLocked();
+
+  SatEngine* engine_;
+  SocketServerOptions options_;
+  int bound_tcp_port_ = -1;
+  // Whether ListenUnix actually bound (and thus created) the socket file:
+  // Stop must only unlink what Start created — never a pre-existing path a
+  // failed Start refused to touch.
+  bool unix_bound_ = false;
+
+  std::vector<net::ScopedFd> listeners_;
+  std::vector<std::thread> accept_threads_;
+
+  std::mutex conn_mu_;
+  std::list<Connection> connections_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_active_{0};
+};
+
+}  // namespace server
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_SERVER_SOCKET_SERVER_H_

@@ -1,0 +1,225 @@
+#include "src/util/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xpathsat {
+namespace net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void ScopedFd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ScopedFd> ListenUnix(const std::string& path, int backlog) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Result<ScopedFd>::Error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Result<ScopedFd>::Error(Errno("socket(unix)"));
+  // A stale socket file from a previous run would make bind fail with
+  // EADDRINUSE even though nothing is listening — but only ever remove a
+  // SOCKET: a mistyped path must not silently delete someone's file.
+  struct stat st;
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      return Result<ScopedFd>::Error(path +
+                                     " exists and is not a socket; refusing "
+                                     "to replace it");
+    }
+    ::unlink(path.c_str());
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Result<ScopedFd>::Error(Errno("bind(" + path + ")"));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Result<ScopedFd>::Error(Errno("listen(" + path + ")"));
+  }
+  return fd;
+}
+
+Result<ScopedFd> ListenTcp(const std::string& host, int port,
+                           int* actual_port, int backlog) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string bind_host = host.empty() ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, bind_host.c_str(), &addr.sin_addr) != 1) {
+    return Result<ScopedFd>::Error("bad listen address: " + bind_host);
+  }
+
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Result<ScopedFd>::Error(Errno("socket(tcp)"));
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Result<ScopedFd>::Error(
+        Errno("bind(" + bind_host + ":" + std::to_string(port) + ")"));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Result<ScopedFd>::Error(Errno("listen(tcp)"));
+  }
+  if (actual_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      return Result<ScopedFd>::Error(Errno("getsockname"));
+    }
+    *actual_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+Result<ScopedFd> Accept(int listen_fd) {
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return ScopedFd(fd);
+    if (errno == EINTR) continue;
+    return Result<ScopedFd>::Error(Errno("accept"));
+  }
+}
+
+Result<ScopedFd> ConnectUnix(const std::string& path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Result<ScopedFd>::Error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Result<ScopedFd>::Error(Errno("socket(unix)"));
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Result<ScopedFd>::Error(Errno("connect(" + path + ")"));
+  }
+  return fd;
+}
+
+Result<ScopedFd> ConnectTcp(const std::string& host, int port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string connect_host = host.empty() ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, connect_host.c_str(), &addr.sin_addr) != 1) {
+    return Result<ScopedFd>::Error("bad address: " + connect_host);
+  }
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Result<ScopedFd>::Error(Errno("socket(tcp)"));
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Result<ScopedFd>::Error(
+        Errno("connect(" + connect_host + ":" + std::to_string(port) + ")"));
+  }
+  return fd;
+}
+
+Status WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Error(Errno("send"));
+  }
+  return Status::Ok();
+}
+
+LineReader::Event LineReader::ReadLine(std::string* line, std::string* error) {
+  for (;;) {
+    // Consume what the buffer already holds.
+    size_t nl = buffer_.find('\n', scanned_);
+    if (nl != std::string::npos) {
+      if (discarding_) {
+        // Tail of an oversized line: swallow through the newline and resume
+        // normal framing.
+        buffer_.erase(0, nl + 1);
+        scanned_ = 0;
+        discarding_ = false;
+        continue;
+      }
+      if (nl > max_line_bytes_) {
+        // The whole oversized line arrived in one gulp (no incremental
+        // overflow was ever seen): still report it, never return it.
+        *line = buffer_.substr(0, 64);
+        buffer_.erase(0, nl + 1);
+        scanned_ = 0;
+        return Event::kOversized;
+      }
+      *line = buffer_.substr(0, nl);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      buffer_.erase(0, nl + 1);
+      scanned_ = 0;
+      return Event::kLine;
+    }
+    scanned_ = buffer_.size();
+    if (discarding_) {
+      buffer_.clear();  // still mid-oversized-line: drop and keep reading
+      scanned_ = 0;
+    } else if (buffer_.size() > max_line_bytes_) {
+      // Report once with a short prefix for the error message, then swallow
+      // the rest of the line.
+      *line = buffer_.substr(0, 64);
+      buffer_.clear();
+      scanned_ = 0;
+      discarding_ = true;
+      return Event::kOversized;
+    }
+    if (eof_) {
+      if (!discarding_ && !buffer_.empty()) {
+        // Unterminated final line.
+        *line = buffer_;
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        buffer_.clear();
+        scanned_ = 0;
+        return Event::kLine;
+      }
+      return Event::kEof;
+    }
+
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+    } else if (n == 0) {
+      eof_ = true;
+    } else if (errno != EINTR) {
+      *error = std::strerror(errno);
+      return Event::kError;
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace xpathsat

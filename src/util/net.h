@@ -1,0 +1,116 @@
+// Thin POSIX socket helpers for the serving layer: unix-domain and TCP
+// listeners/connectors, EINTR-safe full writes, and a bounded line reader.
+//
+// Everything here is transport plumbing — no protocol knowledge. The server
+// (src/server/) and the CLI's --connect client both sit on these so there is
+// exactly one place that handles partial reads/writes, SIGPIPE suppression,
+// and hostile line lengths.
+//
+// All functions return Status/Result and never throw; fds are plain ints
+// wrapped in ScopedFd for ownership.
+#ifndef XPATHSAT_UTIL_NET_H_
+#define XPATHSAT_UTIL_NET_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace xpathsat {
+namespace net {
+
+/// Owns a file descriptor; closes it on destruction. Movable, not copyable.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ~ScopedFd() { Close(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a unix-domain stream listener bound to `path` (unlinking a stale
+/// socket file first). The path must fit in sockaddr_un (~107 bytes) —
+/// callers should prefer short, working-directory-relative paths.
+Result<ScopedFd> ListenUnix(const std::string& path, int backlog = 64);
+
+/// Creates a TCP stream listener on `host:port` (host defaults to loopback;
+/// port 0 picks an ephemeral port). On success `*actual_port` (if non-null)
+/// receives the bound port.
+Result<ScopedFd> ListenTcp(const std::string& host, int port,
+                           int* actual_port, int backlog = 64);
+
+/// Blocking accept; returns the connected fd. EINTR is retried; other
+/// failures (including the listener being closed during shutdown) are
+/// errors.
+Result<ScopedFd> Accept(int listen_fd);
+
+/// Connects to a unix-domain listener at `path`.
+Result<ScopedFd> ConnectUnix(const std::string& path);
+
+/// Connects to `host:port` over TCP.
+Result<ScopedFd> ConnectTcp(const std::string& host, int port);
+
+/// Writes all of `data`, retrying short writes and EINTR. SIGPIPE is
+/// suppressed (MSG_NOSIGNAL); a peer hangup surfaces as an error Status.
+Status WriteAll(int fd, const std::string& data);
+
+/// Buffered newline-delimited reader with a hard per-line byte cap.
+///
+/// ReadLine returns one logical line (without the trailing '\n'; a trailing
+/// '\r' is stripped). A line longer than `max_line_bytes` is NEVER returned
+/// as a kLine — whether its newline was already buffered or the buffer
+/// outgrew the cap mid-line: the reader reports kOversized once (with a
+/// short prefix in *line), swallows input through the line's newline, and
+/// the stream stays usable — protocol code answers with a structured error
+/// instead of either buffering without bound or killing the connection.
+class LineReader {
+ public:
+  enum class Event {
+    kLine,       // *line holds the next line
+    kOversized,  // a too-long line was discarded; *line holds a prefix
+    kEof,        // clean end of stream (any unterminated tail is returned
+                 // first as a kLine)
+    kError,      // read(2) failure; *error holds strerror
+  };
+
+  explicit LineReader(int fd, size_t max_line_bytes)
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
+
+  /// Blocks for the next event. `line` and `error` must be non-null.
+  Event ReadLine(std::string* line, std::string* error);
+
+ private:
+  int fd_;
+  size_t max_line_bytes_;
+  std::string buffer_;   // bytes read but not yet consumed
+  size_t scanned_ = 0;   // prefix of buffer_ known to contain no '\n'
+  bool discarding_ = false;
+  bool eof_ = false;
+};
+
+}  // namespace net
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_UTIL_NET_H_

@@ -565,5 +565,130 @@ TEST_P(EngineFacadeParity, RandomizedAgreementUnderConcurrency) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFacadeParity, ::testing::Range(0, 12));
 
+// --- Completion callbacks and WaitAny ------------------------------------
+
+TEST(SatTicketCallbackTest, OnCompleteFiresWithTheResponse) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  SatEngine engine;
+  DtdHandle handle = engine.RegisterDtd(d);
+  SatRequest r;
+  r.query = "A";
+  r.dtd = handle;
+  SatTicket ticket = engine.Submit(r);
+  std::promise<SatResponse> seen;
+  ticket.OnComplete(
+      [&seen](const SatResponse& resp) { seen.set_value(resp); });
+  SatResponse via_cb = seen.get_future().get();
+  ASSERT_TRUE(via_cb.status.ok());
+  EXPECT_TRUE(via_cb.report.sat());
+  EXPECT_EQ(via_cb.report.algorithm, ticket.Get().report.algorithm);
+}
+
+TEST(SatTicketCallbackTest, RegistrationAfterCompletionRunsInline) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  SatEngine engine;
+  DtdHandle handle = engine.RegisterDtd(d);
+  SatRequest r;
+  r.query = "A";
+  r.dtd = handle;
+  SatTicket ticket = engine.Submit(r);
+  ticket.Get();  // complete first
+  bool fired = false;
+  ticket.OnComplete([&fired](const SatResponse& resp) {
+    fired = resp.status.ok() && resp.report.sat();
+  });
+  EXPECT_TRUE(fired);  // ran inline on this thread
+  // Multiple registrations all fire.
+  int count = 0;
+  ticket.OnComplete([&count](const SatResponse&) { ++count; });
+  ticket.OnComplete([&count](const SatResponse&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SatTicketCallbackTest, CallbacksFireOnCancellationPathsToo) {
+  // Head-of-line heavy traffic on one worker; the queued tail is cancelled
+  // and its callbacks must still fire (with algorithm "cancelled"). This is
+  // what lets a server promise exactly one result line per submission.
+  Dtd d = MakeHeavyDtd();
+  SatEngineOptions opt;
+  opt.num_threads = 1;
+  opt.memo_capacity = 0;
+  SatEngine engine(opt);
+  DtdHandle handle = engine.RegisterDtd(d);
+  for (int i = 0; i < 40; ++i) {
+    SatRequest heavy;
+    heavy.query = "**/item[title && note]";
+    heavy.dtd = handle;
+    engine.Submit(std::move(heavy));
+  }
+  SatRequest cheap;
+  cheap.query = "section/item";
+  cheap.dtd = handle;
+  SatTicket tail = engine.Submit(std::move(cheap));
+  std::promise<std::string> algorithm;
+  tail.OnComplete([&algorithm](const SatResponse& resp) {
+    algorithm.set_value(resp.report.algorithm);
+  });
+  ASSERT_TRUE(engine.TryCancel(tail));
+  // TryCancel fulfilled the ticket synchronously: the callback already ran.
+  std::future<std::string> f = algorithm.get_future();
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f.get(), "cancelled");
+}
+
+TEST(SatTicketCallbackTest, WaitAnyReturnsACompletedIndex) {
+  Dtd d = MakeHeavyDtd();
+  SatEngineOptions opt;
+  opt.num_threads = 2;
+  SatEngine engine(opt);
+  DtdHandle handle = engine.RegisterDtd(d);
+  std::vector<SatTicket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    SatRequest r;
+    r.query = (i % 2 == 0) ? "**/item[title && note]" : "section/item";
+    r.dtd = handle;
+    tickets.push_back(engine.Submit(std::move(r)));
+  }
+  int idx = SatTicket::WaitAny(tickets);
+  ASSERT_GE(idx, 0);
+  ASSERT_LT(idx, 8);
+  EXPECT_TRUE(tickets[static_cast<size_t>(idx)].Ready());
+  // Repeated calls keep returning ready work; drain everything this way.
+  for (const SatTicket& t : tickets) {
+    EXPECT_TRUE(SatTicket::WaitAny({t}) == 0);
+    EXPECT_TRUE(t.Get().status.ok());
+  }
+}
+
+TEST(SatTicketCallbackTest, WaitAnyTimesOutAndSkipsInvalid) {
+  EXPECT_EQ(SatTicket::WaitAny({}), -1);
+  EXPECT_EQ(SatTicket::WaitAny({SatTicket(), SatTicket()}), -1);
+
+  Dtd d = MakeHeavyDtd();
+  SatEngineOptions opt;
+  opt.num_threads = 1;
+  opt.memo_capacity = 0;
+  SatEngine engine(opt);
+  DtdHandle handle = engine.RegisterDtd(d);
+  // 40 heavy NP searches ahead of the probe: the queue cannot drain within
+  // the 1ms timeout, so WaitAny must report the timeout, not block.
+  std::vector<SatTicket> tickets;
+  for (int i = 0; i < 40; ++i) {
+    SatRequest heavy;
+    heavy.query = "**/item[title && note]";
+    heavy.dtd = handle;
+    engine.Submit(std::move(heavy));
+  }
+  SatRequest probe;
+  probe.query = "section/item";
+  probe.dtd = handle;
+  tickets.push_back(engine.Submit(std::move(probe)));
+  EXPECT_EQ(SatTicket::WaitAny(tickets, 1), -1);
+  // An invalid entry alongside a real one is skipped, not dereferenced.
+  tickets.insert(tickets.begin(), SatTicket());
+  EXPECT_EQ(SatTicket::WaitAny(tickets, -1), 1);
+  EXPECT_TRUE(tickets[1].Get().status.ok());
+}
+
 }  // namespace
 }  // namespace xpathsat

@@ -1,7 +1,8 @@
 # CTest driver for `xpathsat_cli --serve`: feeds an interleaved multi-DTD
-# request stream (including a mid-stream handle drop and protocol errors)
-# through one long-lived engine and checks the responses, then exercises the
-# numeric-flag validation paths.
+# request stream (including a mid-stream handle drop, a cancel of an
+# already-finished ticket, and every malformed-line shape) through one
+# long-lived engine and checks the shared-protocol replies, then exercises
+# the numeric-flag validation paths.
 #
 # Invoked as:
 #   cmake -DCLI=<xpathsat_cli> -DWORK_DIR=<scratch dir> -P run_cli_serve_test.cmake
@@ -13,6 +14,9 @@ file(MAKE_DIRECTORY ${WORK_DIR})
 file(WRITE ${WORK_DIR}/serve_a.dtd "root r\nr -> A, B*\nA -> eps\nB -> eps\n")
 file(WRITE ${WORK_DIR}/serve_b.dtd
      "root feed\nfeed -> entry*\nentry -> title, (media + eps)\ntitle -> eps\nmedia -> eps\n")
+# An oversized request line (> 64 KiB) must answer `err oversized-line`, not
+# silently vanish or kill the stream.
+string(REPEAT "x" 70000 oversized_payload)
 file(WRITE ${WORK_DIR}/serve_input.txt
 "# interleaved requests against two schemas through one engine session
 dtd a serve_a.dtd
@@ -28,6 +32,10 @@ q b entry/media
 drop a
 query a A
 nonsense-command
+query a
+cancel not-a-number
+cancel 424242
+query b ${oversized_payload}
 stats
 quit
 ")
@@ -52,17 +60,26 @@ endfunction()
 
 expect_contains("ok dtd a fp=")
 expect_contains("ok dtd b fp=")
+expect_contains("ok query 1")              # submissions are acked with ids
 expect_contains("[sat    ] A")              # declared in schema a
 expect_contains("[unsat  ] C")              # undeclared in schema a
 expect_contains("[sat    ] entry/title")    # schema b
 expect_contains("[unsat  ] media")          # not a child of feed's root
 expect_contains("[sat    ] entry/media")
 expect_contains(" memo")                    # repeat requests hit the memo
+expect_contains("ok flush")
 expect_contains("ok drop a")
-expect_contains("error query: unknown DTD name 'a'")
-expect_contains("error: unknown command 'nonsense-command'")
-expect_contains("stats requests=7")
-expect_contains("live-handles=1")           # b still registered, a dropped
+# Malformed input always answers a structured err line and keeps going.
+expect_contains("err unknown-dtd 'a'")
+expect_contains("err unknown-verb 'nonsense-command'")
+expect_contains("err bad-args query: usage: query NAME XPATH")
+expect_contains("err bad-args cancel: 'not-a-number' is not a positive ticket id")
+expect_contains("err unknown-ticket 424242")
+expect_contains("err oversized-line")
+# `stats` is one machine-readable JSON line mirroring the --json field names.
+expect_contains("stats {\"requests\": 7")
+expect_contains("\"live_dtd_handles\": 1")  # b still registered, a dropped
+expect_contains("ok quit")
 
 # Numeric-flag validation: garbage and out-of-range values must be usage
 # errors (nonzero exit, no run), on every numeric flag.
@@ -91,4 +108,4 @@ if(NOT ok_rv EQUAL 0)
   message(FATAL_ERROR "valid flags failed (${ok_rv}): ${ok_err}")
 endif()
 
-message(STATUS "cli serve stream + flag validation OK")
+message(STATUS "cli serve stream + protocol errors + flag validation OK")

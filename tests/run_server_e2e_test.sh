@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# End-to-end CTest driver for the network serving subsystem, using the real
+# binaries: one `xpathsat_server` on a unix socket, driven by concurrent
+# `xpathsat_cli --connect` clients.
+#
+# Phase 1 (shared warm engine): two clients run the same workload
+# CONCURRENTLY against one server; afterwards a third client replays the
+# workload and must see memo hits on every result line plus cross-client
+# evidence in the shared `stats` JSON.
+#
+# Phase 2 (cancellation): against a --threads 1 --no-memo server, a client
+# floods the lone worker with NP head-of-line searches, then cancels the
+# still-queued tail ticket by its acked id. The submission/decide speed gap
+# makes success overwhelmingly likely per attempt; the loop retries a few
+# times so scheduler noise cannot flake the test.
+#
+# Usage: run_server_e2e_test.sh <xpathsat_server> <xpathsat_cli> <work-dir>
+set -u
+
+SERVER_BIN=$1
+CLI_BIN=$2
+WORK_DIR=$3
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+rm -rf "$WORK_DIR"
+mkdir -p "$WORK_DIR"
+cd "$WORK_DIR" || fail "cannot enter $WORK_DIR"
+
+cat > heavy.dtd <<'EOF'
+root catalog
+catalog -> section*
+section -> heading, item*, appendix
+heading -> eps
+item -> title, price, (variant + eps), note*
+title -> eps
+price -> eps
+variant -> swatch, swatch*
+swatch -> eps
+note -> ref
+ref -> eps
+appendix -> note*
+EOF
+
+SERVER_PID=
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null
+    wait "$SERVER_PID" 2>/dev/null
+  fi
+}
+trap cleanup EXIT
+
+start_server() { # args: extra server flags...; sets SERVER_PID, waits for readiness
+  rm -f e2e.sock server.out
+  "$SERVER_BIN" --unix e2e.sock "$@" > server.out 2> server.err &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening unix" server.out 2>/dev/null && return 0
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died: $(cat server.err)"
+    sleep 0.1
+  done
+  fail "server never became ready"
+}
+
+stop_server() {
+  kill -TERM "$SERVER_PID" || fail "cannot signal server"
+  wait "$SERVER_PID" || fail "server exited nonzero"
+  SERVER_PID=
+}
+
+make_workload() { # args: dtd-name out-file
+  local name=$1 out=$2
+  {
+    echo "dtd $name heavy.dtd"
+    for q in "section/item" "**/note" "section/heading" "**/item[title]" \
+             "section/item[title && note]" "nosuchlabel"; do
+      for _ in 1 2 3; do echo "query $name $q"; done
+    done
+    echo "flush"
+    echo "quit"
+  } > "$out"
+}
+
+expect_in() { # args: needle file
+  grep -qF -- "$1" "$2" || fail "missing '$1' in $2:
+$(cat "$2")"
+}
+
+# ---- Phase 1: two concurrent clients + memo-warm replay -------------------
+start_server
+
+make_workload alpha alpha.txt
+make_workload beta beta.txt
+"$CLI_BIN" --connect unix:e2e.sock < alpha.txt > alpha.out 2>&1 &
+ALPHA_PID=$!
+"$CLI_BIN" --connect unix:e2e.sock < beta.txt > beta.out 2>&1 &
+BETA_PID=$!
+wait "$ALPHA_PID" || fail "alpha client failed: $(cat alpha.out)"
+wait "$BETA_PID" || fail "beta client failed: $(cat beta.out)"
+
+for out in alpha.out beta.out; do
+  expect_in "ok dtd" "$out"
+  expect_in "ok flush" "$out"
+  expect_in "ok quit" "$out"
+  expect_in "[unsat  ] nosuchlabel" "$out"
+  n_results=$(grep -c -- " -- " "$out") || true
+  [ "$n_results" -eq 18 ] || fail "$out: expected 18 result lines, got $n_results"
+done
+
+# Replay on a fresh connection: every verdict must come from the memo the
+# first two clients primed (cross-client memo hits), and the shared stats
+# JSON must show the one compiled schema serving all registrations.
+{
+  echo "dtd gamma heavy.dtd"
+  sed -n 's/^query alpha /query gamma /p' alpha.txt
+  echo "flush"
+  echo "stats"
+  echo "quit"
+} | "$CLI_BIN" --connect unix:e2e.sock > gamma.out 2>&1 \
+  || fail "gamma client failed: $(cat gamma.out)"
+
+n_results=$(grep -c -- " -- " gamma.out) || true
+[ "$n_results" -eq 18 ] || fail "gamma: expected 18 result lines, got $n_results"
+n_memo=$(grep -- " -- " gamma.out | grep -c " memo") || true
+[ "$n_memo" -eq 18 ] || fail "gamma: expected all 18 results memo-warm, got $n_memo:
+$(cat gamma.out)"
+expect_in 'stats {"requests": 54' gamma.out
+expect_in '"dtd_cache_misses": 1' gamma.out
+expect_in '"dtd_cache_hits": 2' gamma.out
+
+stop_server
+# The server's shutdown stats line repeats the shared JSON.
+expect_in '"requests": 54' server.out
+
+# ---- Phase 2: cancel a still-queued ticket by id --------------------------
+start_server --threads 1 --no-memo
+
+cancelled=0
+for attempt in $(seq 1 5); do
+  {
+    echo "dtd cat heavy.dtd"
+    # NP head-of-line work (hundreds of microseconds per decision on one
+    # worker) arriving at submission speed: the tail stays queued long
+    # enough to cancel it from the same connection.
+    for _ in $(seq 1 200); do echo "query cat **/item[title && note]"; done
+    echo "query cat section/item"
+    echo "cancel FIRST+200"
+    echo "flush"
+    echo "quit"
+  } > cancel_template.txt
+
+  # Ticket ids are engine-global and acked as `ok query ID`; learn the base
+  # id with a 1-query probe, then target base+201 (200 heavy + 1 tail).
+  probe=$(printf 'dtd p heavy.dtd\nquery p section/item\nflush\nquit\n' \
+          | "$CLI_BIN" --connect unix:e2e.sock | sed -n 's/^ok query //p')
+  [ -n "$probe" ] || fail "probe client got no ack"
+  target=$((probe + 201))
+  sed "s/cancel FIRST+200/cancel $target/" cancel_template.txt \
+    | "$CLI_BIN" --connect unix:e2e.sock > cancel.out 2>&1 \
+    || fail "cancel client failed: $(cat cancel.out)"
+  if grep -q "ok cancel $target" cancel.out; then
+    expect_in "$target [unknown] section/item -- cancelled" cancel.out
+    cancelled=1
+    break
+  fi
+  echo "attempt $attempt: tail ticket already ran; retrying" >&2
+done
+[ "$cancelled" -eq 1 ] || fail "cancel-by-id never won in 5 attempts"
+
+stop_server
+expect_in '"cancellations": 1' server.out
+
+echo "server e2e: concurrent clients, cross-client memo, cancel-by-id OK"

@@ -1,0 +1,498 @@
+// The serving subsystem end to end, in process (so the ASan/TSan CI jobs see
+// every thread): ServerSession semantics over a collecting sink, and
+// SocketServer over real unix/TCP sockets — two concurrent clients sharing
+// one engine, cross-client memo hits, cancel-by-id of still-queued work,
+// malformed/oversized input, and drain-on-disconnect.
+#include "src/server/socket_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/server/protocol.h"
+#include "src/server/session.h"
+#include "src/util/net.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace server {
+namespace {
+
+// The engine_test heavy-traffic idiom: `**/item[title && note]` against this
+// schema routes to the NP skeleton search (hundreds of microseconds each) —
+// a head-of-line batch of them keeps a single worker busy while queued work
+// is cancelled.
+constexpr char kHeavyDtdText[] = R"(root catalog
+catalog -> section*
+section -> heading, item*, appendix
+heading -> eps
+item -> title, price, (variant + eps), note*
+title -> eps
+price -> eps
+variant -> swatch, swatch*
+swatch -> eps
+note -> ref
+ref -> eps
+appendix -> note*
+)";
+constexpr char kHeavyQuery[] = "**/item[title && note]";
+
+std::string WriteTempDtd(const std::string& name) {
+  std::string path = testing::TempDir() + name;
+  std::ofstream out(path);
+  out << kHeavyDtdText;
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+// Collects sink output; the engine emits from worker threads.
+struct SinkLog {
+  std::mutex mu;
+  std::vector<std::string> lines;
+  void operator()(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  }
+  std::vector<std::string> snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return lines;
+  }
+  bool Contains(const std::string& needle) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const std::string& l : lines) {
+      if (l.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+// --- ServerSession over a collecting sink (no sockets) -------------------
+
+TEST(ServerSessionTest, FullCommandCycle) {
+  SatEngine engine;
+  std::string dtd_path = WriteTempDtd("session_cycle.dtd");
+  auto log = std::make_shared<SinkLog>();
+  SessionOptions opt;
+  ServerSession session(&engine, opt,
+                        [log](const std::string& l) { (*log)(l); });
+
+  EXPECT_TRUE(session.HandleLine("dtd cat " + dtd_path));
+  EXPECT_TRUE(log->Contains("ok dtd cat fp="));
+  EXPECT_TRUE(session.HandleLine("query cat section/item"));
+  EXPECT_TRUE(session.HandleLine("q cat nosuchlabel"));
+  EXPECT_TRUE(session.HandleLine("flush"));
+  EXPECT_TRUE(log->Contains("ok flush"));
+  EXPECT_TRUE(log->Contains("[sat    ] section/item"));
+  EXPECT_TRUE(log->Contains("[unsat  ] nosuchlabel"));
+  EXPECT_TRUE(session.HandleLine("stats"));
+  EXPECT_TRUE(log->Contains("stats {\"requests\": 2"));
+  EXPECT_TRUE(session.HandleLine("drop cat"));
+  EXPECT_TRUE(log->Contains("ok drop cat"));
+  // Errors keep the session alive...
+  EXPECT_TRUE(session.HandleLine("query cat section"));
+  EXPECT_TRUE(log->Contains("err unknown-dtd 'cat'"));
+  EXPECT_TRUE(session.HandleLine("drop cat"));
+  EXPECT_TRUE(session.HandleLine("bogus"));
+  EXPECT_TRUE(log->Contains("err unknown-verb 'bogus'"));
+  EXPECT_TRUE(session.HandleLine("cancel 424242"));
+  EXPECT_TRUE(log->Contains("err unknown-ticket 424242"));
+  // ...and quit ends it.
+  EXPECT_FALSE(session.HandleLine("quit"));
+  EXPECT_TRUE(log->Contains("ok quit"));
+  EXPECT_FALSE(session.HandleLine("stats"));
+  EXPECT_EQ(session.queries_submitted(), 2u);
+}
+
+TEST(ServerSessionTest, QueryAckPrecedesItsResultLine) {
+  SatEngine engine;
+  std::string dtd_path = WriteTempDtd("session_ack.dtd");
+  auto log = std::make_shared<SinkLog>();
+  ServerSession session(&engine, SessionOptions{},
+                        [log](const std::string& l) { (*log)(l); });
+  ASSERT_TRUE(session.HandleLine("dtd cat " + dtd_path));
+  ASSERT_TRUE(session.HandleLine("query cat section"));
+  session.Drain();
+  std::vector<std::string> lines = log->snapshot();
+  int ack_at = -1, result_at = -1;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].rfind("ok query ", 0) == 0) ack_at = static_cast<int>(i);
+    if (lines[i].find("[sat    ] section") != std::string::npos) {
+      result_at = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(ack_at, 0);
+  ASSERT_GE(result_at, 0);
+  EXPECT_LT(ack_at, result_at);
+}
+
+TEST(ServerSessionTest, CancelStillQueuedTicketById) {
+  SatEngineOptions eopt;
+  eopt.num_threads = 1;  // heavy head-of-line blocks the only worker
+  eopt.memo_capacity = 0;
+  SatEngine engine(eopt);
+  std::string dtd_path = WriteTempDtd("session_cancel.dtd");
+  auto log = std::make_shared<SinkLog>();
+  ServerSession session(&engine, SessionOptions{},
+                        [log](const std::string& l) { (*log)(l); });
+  ASSERT_TRUE(session.HandleLine("dtd cat " + dtd_path));
+  // A tail request submitted behind 40 NP head-of-line searches is still
+  // queued when the cancel lands — unless the scheduler stalls this thread
+  // at exactly the wrong moment under full-suite load, so retry with a
+  // fresh batch instead of trusting one timing window.
+  uint64_t cancelled_id = 0;
+  for (int attempt = 0; attempt < 5 && cancelled_id == 0; ++attempt) {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(
+          session.HandleLine(std::string("query cat ") + kHeavyQuery));
+    }
+    ASSERT_TRUE(session.HandleLine("query cat section/item"));
+    uint64_t tail_id = 0;
+    for (const std::string& l : log->snapshot()) {
+      if (l.rfind("ok query ", 0) == 0) {
+        tail_id = std::stoull(l.substr(9));  // last ack wins
+      }
+    }
+    ASSERT_GT(tail_id, 0u);
+    ASSERT_TRUE(session.HandleLine("cancel " + std::to_string(tail_id)));
+    if (log->Contains("ok cancel " + std::to_string(tail_id))) {
+      cancelled_id = tail_id;
+    }
+  }
+  ASSERT_GT(cancelled_id, 0u) << "cancel never won in 5 attempts";
+  // Cancelled tickets still resolve: their result line is pipelined with
+  // algorithm "cancelled".
+  EXPECT_TRUE(log->Contains(std::to_string(cancelled_id) +
+                            " [unknown] section/item -- cancelled"));
+  // Second cancel of the same id: the ticket already completed.
+  ASSERT_TRUE(session.HandleLine("cancel " + std::to_string(cancelled_id)));
+  EXPECT_TRUE(log->Contains("err unknown-ticket"));
+  session.HandleLine("flush");
+  EXPECT_EQ(engine.stats().cancellations, 1u);
+}
+
+// --- SocketServer over real sockets --------------------------------------
+
+// Minimal line-protocol client for the tests: blocking reads with
+// wait-until-predicate helpers over the accumulated reply lines.
+class TestClient {
+ public:
+  explicit TestClient(net::ScopedFd fd) : fd_(std::move(fd)) {
+    reader_ = std::thread([this] {
+      net::LineReader reader(fd_.get(), protocol::kMaxLineBytes);
+      std::string line, error;
+      for (;;) {
+        net::LineReader::Event ev = reader.ReadLine(&line, &error);
+        if (ev == net::LineReader::Event::kEof ||
+            ev == net::LineReader::Event::kError) {
+          break;
+        }
+        if (ev != net::LineReader::Event::kLine) continue;
+        std::lock_guard<std::mutex> lock(mu_);
+        lines_.push_back(line);
+        cv_.notify_all();
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      eof_ = true;
+      cv_.notify_all();
+    });
+  }
+  ~TestClient() {
+    // shutdown (not close) wakes the reader if it is blocked in read(2).
+    ::shutdown(fd_.get(), SHUT_RDWR);
+    if (reader_.joinable()) reader_.join();
+  }
+
+  void Send(const std::string& line) {
+    Status s = net::WriteAll(fd_.get(), line + "\n");
+    ASSERT_TRUE(s.ok()) << s.message();
+  }
+
+  /// Blocks until some reply line (at or after the consume cursor) contains
+  /// one of `needles`; returns that line and advances the cursor past it.
+  /// Fails the test (and returns empty) after `timeout_ms` or on EOF
+  /// without a match.
+  std::string WaitForAny(const std::vector<std::string>& needles,
+                         int64_t timeout_ms = 30000) {
+    std::unique_lock<std::mutex> lock(mu_);
+    std::string found;
+    bool ok = cv_.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms), [&] {
+          for (size_t i = scanned_; i < lines_.size(); ++i) {
+            for (const std::string& needle : needles) {
+              if (lines_[i].find(needle) != std::string::npos) {
+                found = lines_[i];
+                scanned_ = i + 1;
+                return true;
+              }
+            }
+          }
+          scanned_ = lines_.size();
+          return eof_;
+        });
+    EXPECT_TRUE(ok && !found.empty())
+        << "no reply containing '" << needles[0] << "' (got "
+        << lines_.size() << " lines, eof=" << eof_ << ")";
+    return found;
+  }
+
+  std::string WaitFor(const std::string& needle, int64_t timeout_ms = 30000) {
+    return WaitForAny({needle}, timeout_ms);
+  }
+
+  /// Scans ALL received lines (ignoring the consume cursor).
+  bool SawLine(const std::string& needle) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& l : lines_) {
+      if (l.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  void WaitForEof(int64_t timeout_ms = 30000) {
+    std::unique_lock<std::mutex> lock(mu_);
+    EXPECT_TRUE(cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                             [&] { return eof_; }));
+  }
+
+  std::vector<std::string> lines() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  net::ScopedFd fd_;
+  std::thread reader_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::string> lines_;
+  size_t scanned_ = 0;
+  bool eof_ = false;
+};
+
+// Short, collision-free unix socket path (sockaddr_un caps ~107 bytes, so
+// TempDir-based paths are risky; cwd-relative is safe under CTest).
+std::string SocketPath(const char* tag) {
+  return std::string("srvtest_") + tag + "_" + std::to_string(getpid()) +
+         ".sock";
+}
+
+TEST(SocketServerTest, TwoConcurrentClientsShareOneEngineAndItsMemo) {
+  SatEngine engine;
+  std::string dtd_path = WriteTempDtd("socket_multi.dtd");
+  SocketServerOptions opt;
+  opt.unix_path = SocketPath("multi");
+  SocketServer server(&engine, opt);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<std::string> queries = {
+      "section/item", "**/note", "section/heading", "**/item[title]",
+      "nosuchlabel"};
+  // Phase 1: two clients connected at once, interleaving batches against
+  // their own DTD namespaces (one shared engine underneath).
+  auto run_client = [&](const char* name) {
+    Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+    ASSERT_TRUE(fd.ok()) << fd.error();
+    TestClient client(std::move(fd).value());
+    client.Send(std::string("dtd ") + name + " " + dtd_path);
+    client.WaitFor("ok dtd");
+    for (int round = 0; round < 3; ++round) {
+      for (const std::string& q : queries) {
+        client.Send(std::string("query ") + name + " " + q);
+      }
+      client.Send("flush");
+      client.WaitFor("ok flush");
+    }
+    client.Send("quit");
+    client.WaitFor("ok quit");
+    client.WaitForEof();
+    // Every query got its result line.
+    int results = 0;
+    for (const std::string& l : client.lines()) {
+      if (l.find(" -- ") != std::string::npos) ++results;
+    }
+    EXPECT_EQ(results, static_cast<int>(queries.size()) * 3);
+  };
+  std::thread a(run_client, "alpha");
+  std::thread b(run_client, "beta");
+  a.join();
+  b.join();
+
+  // Phase 2 (deterministic cross-client check): a THIRD client replays the
+  // same queries and must be answered entirely from the memo the first two
+  // primed — same schema file, same engine, different connection.
+  Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+  ASSERT_TRUE(fd.ok()) << fd.error();
+  TestClient replay(std::move(fd).value());
+  replay.Send("dtd gamma " + dtd_path);
+  replay.WaitFor("ok dtd");
+  for (const std::string& q : queries) replay.Send("query gamma " + q);
+  replay.Send("flush");
+  replay.WaitFor("ok flush");
+  int memo_results = 0;
+  for (const std::string& l : replay.lines()) {
+    if (l.find(" -- ") != std::string::npos) {
+      EXPECT_NE(l.find(" memo"), std::string::npos) << l;
+      ++memo_results;
+    }
+  }
+  EXPECT_EQ(memo_results, static_cast<int>(queries.size()));
+  // The shared stats confirm it: cross-client memo hits and one compiled
+  // schema serving all three registrations.
+  replay.Send("stats");
+  std::string stats = replay.WaitFor("stats {");
+  EXPECT_NE(stats.find("\"dtd_cache_hits\": 2"), std::string::npos) << stats;
+  SatEngineStats s = engine.stats();
+  EXPECT_GE(s.memo_hits, queries.size());
+  EXPECT_EQ(s.dtd_cache_misses, 1u);
+  EXPECT_EQ(server.connections_accepted(), 3u);
+
+  server.Stop();
+}
+
+TEST(SocketServerTest, CancelByIdAcrossTheSocket) {
+  SatEngineOptions eopt;
+  eopt.num_threads = 1;
+  eopt.memo_capacity = 0;
+  SatEngine engine(eopt);
+  std::string dtd_path = WriteTempDtd("socket_cancel.dtd");
+  SocketServerOptions opt;
+  opt.unix_path = SocketPath("cancel");
+  SocketServer server(&engine, opt);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+  ASSERT_TRUE(fd.ok()) << fd.error();
+  TestClient client(std::move(fd).value());
+  client.Send("dtd cat " + dtd_path);
+  client.WaitFor("ok dtd");
+  // Ticket ids are engine-global and this engine is fresh, so attempt k
+  // (1-based) submits ids (k-1)*41+1 .. k*41; the tail is k*41. The tail
+  // sits queued behind 40 NP searches on one worker — cancellable unless
+  // full-suite load stalls this thread at the wrong instant, hence the
+  // retry loop instead of one timing window.
+  uint64_t cancelled_id = 0;
+  for (int attempt = 1; attempt <= 5 && cancelled_id == 0; ++attempt) {
+    for (int i = 0; i < 40; ++i) {
+      client.Send(std::string("query cat ") + kHeavyQuery);
+    }
+    client.Send("query cat section/item");
+    const uint64_t tail_id = static_cast<uint64_t>(attempt) * 41;
+    client.WaitFor("ok query " + std::to_string(tail_id));
+    client.Send("cancel " + std::to_string(tail_id));
+    std::string reply = client.WaitForAny(
+        {"ok cancel " + std::to_string(tail_id),
+         "err not-cancellable " + std::to_string(tail_id),
+         "err unknown-ticket " + std::to_string(tail_id)});
+    if (reply.rfind("ok cancel", 0) == 0) cancelled_id = tail_id;
+  }
+  ASSERT_GT(cancelled_id, 0u) << "cancel never won in 5 attempts";
+  // TryCancel fulfils the ticket synchronously, so the pipelined result
+  // line (algorithm "cancelled") was emitted just before the `ok cancel`
+  // ack the loop consumed.
+  EXPECT_TRUE(client.SawLine(std::to_string(cancelled_id) +
+                             " [unknown] section/item -- cancelled"));
+  client.Send("quit");
+  client.WaitFor("ok quit");
+  EXPECT_EQ(engine.stats().cancellations, 1u);
+  server.Stop();
+}
+
+TEST(SocketServerTest, MalformedAndOversizedLinesAnswerErrAndKeepGoing) {
+  SatEngine engine;
+  std::string dtd_path = WriteTempDtd("socket_err.dtd");
+  SocketServerOptions opt;
+  opt.unix_path = SocketPath("err");
+  opt.max_line_bytes = 1024;  // small cap so the test stays cheap
+  SocketServer server(&engine, opt);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+  ASSERT_TRUE(fd.ok()) << fd.error();
+  TestClient client(std::move(fd).value());
+  client.Send("frobnicate everything");
+  client.WaitFor("err unknown-verb 'frobnicate'");
+  client.Send("query");
+  client.WaitFor("err bad-args query");
+  client.Send("query cat " + std::string(4096, 'x'));
+  client.WaitFor("err oversized-line");
+  // Also when the whole oversized line (and its newline) lands in ONE read
+  // chunk — the cap must hold whether or not the reader ever saw the
+  // buffer grow past it incrementally.
+  client.Send("query cat " + std::string(2000, 'y'));
+  client.WaitFor("err oversized-line");
+  // The connection survives all of it.
+  client.Send("dtd cat " + dtd_path);
+  client.WaitFor("ok dtd cat");
+  client.Send("query cat section");
+  client.WaitFor("[sat    ] section");
+  client.Send("quit");
+  client.WaitFor("ok quit");
+  server.Stop();
+}
+
+TEST(SocketServerTest, TcpListenerOnEphemeralPort) {
+  SatEngine engine;
+  std::string dtd_path = WriteTempDtd("socket_tcp.dtd");
+  SocketServerOptions opt;
+  opt.tcp_port = 0;  // ephemeral
+  SocketServer server(&engine, opt);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.tcp_port(), 0);
+
+  Result<net::ScopedFd> fd = net::ConnectTcp("127.0.0.1", server.tcp_port());
+  ASSERT_TRUE(fd.ok()) << fd.error();
+  TestClient client(std::move(fd).value());
+  client.Send("dtd cat " + dtd_path);
+  client.WaitFor("ok dtd");
+  client.Send("query cat **/note");
+  client.WaitFor("[sat    ] **/note");
+  client.Send("quit");
+  client.WaitFor("ok quit");
+  client.WaitForEof();
+  server.Stop();
+}
+
+TEST(SocketServerTest, AbruptDisconnectDrainsInFlightWork) {
+  // A client that vanishes mid-batch must not wedge or crash the server:
+  // its session drains against a dead socket and the engine finishes the
+  // work. (ASan/TSan turn lifetime mistakes here into hard failures.)
+  SatEngineOptions eopt;
+  eopt.num_threads = 1;
+  eopt.memo_capacity = 0;
+  SatEngine engine(eopt);
+  std::string dtd_path = WriteTempDtd("socket_abrupt.dtd");
+  SocketServerOptions opt;
+  opt.unix_path = SocketPath("abrupt");
+  SocketServer server(&engine, opt);
+  ASSERT_TRUE(server.Start().ok());
+  {
+    Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+    ASSERT_TRUE(fd.ok()) << fd.error();
+    TestClient client(std::move(fd).value());
+    client.Send("dtd cat " + dtd_path);
+    client.WaitFor("ok dtd");
+    for (int i = 0; i < 20; ++i) {
+      client.Send(std::string("query cat ") + kHeavyQuery);
+    }
+    // ~TestClient closes the socket with the batch still in flight.
+  }
+  // Stop() joins the connection thread, which waits for the session drain:
+  // returning at all is the assertion.
+  server.Stop();
+  EXPECT_EQ(engine.stats().requests, 20u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xpathsat

@@ -12,19 +12,22 @@
 //
 // Service mode (models steady-state traffic against one long-lived engine):
 //       xpathsat_cli --serve
-//     reads one command per stdin line:
-//       dtd NAME PATH     register the DTD file under NAME
-//       query NAME XPATH  submit XPATH against NAME (alias: q)
-//       drop NAME         release NAME's handle (in-flight requests keep
-//                         their own pins)
-//       flush             wait for and print pending responses (in
-//                         submission order; also triggered automatically
-//                         every 64 pending requests and at EOF)
-//       stats             print the engine stats summary
-//       quit              flush and exit
-//     Responses are printed as `NNN [verdict] query -- algorithm ...` where
-//     NNN is the submission id. Errors never abort the stream: they print as
-//     `error ...` lines and the loop continues.
+//     speaks the shared line protocol (src/server/protocol.h — the same
+//     parser and formatters as xpathsat_server) over stdin/stdout:
+//     dtd/query/drop/cancel/flush/stats/quit. `query` is acked immediately
+//     with `ok query ID`; the result line `ID [verdict] ...` is pipelined
+//     later by whichever engine thread completes the ticket, so results may
+//     arrive out of submission order. Malformed input (unknown verb,
+//     missing argument, oversized line) answers with a structured
+//     `err CODE detail` line and the stream continues.
+//
+// Client mode (drive a running xpathsat_server):
+//       xpathsat_cli --connect unix:PATH
+//       xpathsat_cli --connect HOST:PORT
+//     forwards stdin lines to the server and prints every reply line to
+//     stdout; exits when the server closes the connection (after `quit`) or
+//     stdin ends (the write side is shut down, then remaining replies are
+//     drained).
 //
 // Options:
 //   --threads N       worker threads, N >= 1 (default: hardware concurrency)
@@ -41,21 +44,27 @@
 //
 // Numeric flags are validated: garbage, trailing junk, or out-of-range
 // values are a usage error, not a silent misconfiguration.
+#include <sys/socket.h>
+
 #include <chrono>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/engine/sat_engine.h"
+#include "src/server/protocol.h"
+#include "src/server/session.h"
+#include "src/util/net.h"
 #include "src/xml/dtd.h"
 
 using namespace xpathsat;
@@ -67,6 +76,7 @@ struct CliOptions {
   std::string queries_file;
   std::string manifest_file;
   std::string json_file;
+  std::string connect_target;
   bool serve = false;
   long long threads = 0;
   long long repeat = 1;
@@ -78,7 +88,8 @@ struct CliOptions {
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s (--dtd FILE --queries FILE | --manifest FILE | --serve)\n"
+      "usage: %s (--dtd FILE --queries FILE | --manifest FILE | --serve |\n"
+      "           --connect unix:PATH | --connect HOST:PORT)\n"
       "          [--threads N] [--repeat K] [--deadline-ms M] [--no-memo]\n"
       "          [--json FILE] [--quiet]\n",
       argv0);
@@ -159,42 +170,11 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-const char* VerdictName(const SatResponse& r) {
-  if (!r.status.ok()) return "error";
-  switch (r.report.decision.verdict) {
-    case SatVerdict::kSat: return "sat";
-    case SatVerdict::kUnsat: return "unsat";
-    case SatVerdict::kUnknown: return "unknown";
-  }
-  return "unknown";
-}
-
 SatEngine MakeEngine(const CliOptions& opt) {
   SatEngineOptions engine_opt;
   engine_opt.num_threads = static_cast<int>(opt.threads);
   if (opt.no_memo) engine_opt.memo_capacity = 0;
   return SatEngine(engine_opt);
-}
-
-void PrintStatsSummary(const SatEngine& engine) {
-  SatEngineStats stats = engine.stats();
-  std::printf(
-      "stats requests=%llu dtd-cache=%llu/%llu query-cache=%llu/%llu "
-      "memo=%llu/%llu parse-errors=%llu cancellations=%llu "
-      "deadline-expirations=%llu live-handles=%llu\n",
-      static_cast<unsigned long long>(stats.requests),
-      static_cast<unsigned long long>(stats.dtd_cache_hits),
-      static_cast<unsigned long long>(stats.dtd_cache_hits +
-                                      stats.dtd_cache_misses),
-      static_cast<unsigned long long>(stats.query_cache_hits),
-      static_cast<unsigned long long>(stats.query_cache_hits +
-                                      stats.query_cache_misses),
-      static_cast<unsigned long long>(stats.memo_hits),
-      static_cast<unsigned long long>(stats.memo_hits + stats.memo_misses),
-      static_cast<unsigned long long>(stats.parse_errors),
-      static_cast<unsigned long long>(stats.cancellations),
-      static_cast<unsigned long long>(stats.deadline_expirations),
-      static_cast<unsigned long long>(engine.live_dtd_handles()));
 }
 
 void WriteJsonStats(std::ostream& out, const SatEngineStats& stats) {
@@ -211,119 +191,31 @@ void WriteJsonStats(std::ostream& out, const SatEngineStats& stats) {
 }
 
 // ---------------------------------------------------------------------------
-// Service mode
+// Service mode: the shared protocol session over stdin/stdout. One
+// implementation with xpathsat_server — this is just the stdin transport.
 
 int RunServe(const CliOptions& opt) {
   SatEngine engine = MakeEngine(opt);
-  std::map<std::string, DtdHandle> schemas;  // NAME -> live handle
-  struct Pending {
-    uint64_t id;
-    std::string query;
-    SatTicket ticket;
-  };
-  std::deque<Pending> pending;
-  constexpr size_t kPipelineWindow = 64;
-
-  auto flush = [&] {
-    while (!pending.empty()) {
-      Pending p = std::move(pending.front());
-      pending.pop_front();
-      SatResponse r = p.ticket.Get();
-      if (!r.status.ok()) {
-        std::printf("%llu [error  ] %s -- %s\n",
-                    static_cast<unsigned long long>(p.id), p.query.c_str(),
-                    r.status.message().c_str());
-        continue;
-      }
-      std::printf("%llu [%-7s] %s -- %s %.1fus%s%s\n",
-                  static_cast<unsigned long long>(p.id), VerdictName(r),
-                  p.query.c_str(), r.report.algorithm.c_str(), r.elapsed_us,
-                  r.query_cache_hit ? " q-cached" : "",
-                  r.memo_hit ? " memo" : "");
-    }
+  server::SessionOptions session_opt;
+  session_opt.deadline_ms = opt.deadline_ms;
+  // Engine threads emit result lines concurrently with the reader's acks.
+  std::mutex out_mu;
+  auto emit = [&out_mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
     std::fflush(stdout);
   };
-
-  std::string line;
-  bool quit = false;
-  while (!quit && std::getline(std::cin, line)) {
-    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
-      line.pop_back();
+  {
+    server::ServerSession session(&engine, session_opt, emit);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!session.HandleLine(line)) break;
     }
-    size_t start = line.find_first_not_of(" \t");
-    if (start == std::string::npos || line[start] == '#') continue;
-    std::istringstream ss(line.substr(start));
-    std::string cmd;
-    ss >> cmd;
-    if (cmd == "dtd") {
-      std::string name, path;
-      ss >> name >> path;
-      if (name.empty() || path.empty()) {
-        std::printf("error dtd: usage: dtd NAME PATH\n");
-        continue;
-      }
-      std::string text, error;
-      if (!ReadFile(path, &text, &error)) {
-        std::printf("error dtd %s: %s\n", name.c_str(), error.c_str());
-        continue;
-      }
-      Result<DtdHandle> handle = engine.RegisterDtdText(text);
-      if (!handle.ok()) {
-        std::printf("error dtd %s: %s\n", name.c_str(),
-                    handle.error().c_str());
-        continue;
-      }
-      // Re-registering a name swaps the handle; in-flight requests keep
-      // their pins on the old artifacts.
-      schemas[name] = std::move(handle).value();
-      std::printf("ok dtd %s fp=%016llx\n", name.c_str(),
-                  static_cast<unsigned long long>(schemas[name].fingerprint()));
-    } else if (cmd == "query" || cmd == "q") {
-      std::string name;
-      ss >> name;
-      std::string query;
-      std::getline(ss, query);
-      size_t qs = query.find_first_not_of(" \t");
-      query = qs == std::string::npos ? std::string() : query.substr(qs);
-      if (name.empty() || query.empty()) {
-        std::printf("error query: usage: query NAME XPATH\n");
-        continue;
-      }
-      auto it = schemas.find(name);
-      if (it == schemas.end()) {
-        std::printf("error query: unknown DTD name '%s'\n", name.c_str());
-        continue;
-      }
-      SatRequest r;
-      r.query = query;
-      r.dtd = it->second;
-      r.deadline_ms = opt.deadline_ms;
-      r.options.compute_witness = false;  // service traffic wants verdicts
-      SatTicket ticket = engine.Submit(std::move(r));
-      uint64_t id = ticket.id();
-      pending.push_back(Pending{id, query, std::move(ticket)});
-      if (pending.size() >= kPipelineWindow) flush();
-    } else if (cmd == "drop") {
-      std::string name;
-      ss >> name;
-      if (schemas.erase(name) > 0) {
-        std::printf("ok drop %s\n", name.c_str());
-      } else {
-        std::printf("error drop: unknown DTD name '%s'\n", name.c_str());
-      }
-    } else if (cmd == "flush") {
-      flush();
-      std::printf("ok flush\n");
-    } else if (cmd == "stats") {
-      PrintStatsSummary(engine);
-    } else if (cmd == "quit") {
-      quit = true;
-    } else {
-      std::printf("error: unknown command '%s'\n", cmd.c_str());
-    }
+    // ~ServerSession drains: every pending result line is printed before
+    // the final stats.
   }
-  flush();
-  PrintStatsSummary(engine);
+  emit(protocol::FormatStatsLine(engine.stats(), engine.live_dtd_handles()));
   if (!opt.json_file.empty()) {
     std::ofstream out(opt.json_file);
     if (!out) {
@@ -334,6 +226,74 @@ int RunServe(const CliOptions& opt) {
     WriteJsonStats(out, engine.stats());
     out << "}\n";
   }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Client mode: pipe stdin lines to a running xpathsat_server and print every
+// reply line. The reply stream is drained by a dedicated thread because the
+// server pipelines result lines out of order while we are still writing.
+
+int RunConnect(const CliOptions& opt) {
+  const std::string& target = opt.connect_target;
+  Result<net::ScopedFd> conn = [&]() -> Result<net::ScopedFd> {
+    if (target.rfind("unix:", 0) == 0) {
+      return net::ConnectUnix(target.substr(5));
+    }
+    size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      return Result<net::ScopedFd>::Error(
+          "bad --connect target '" + target +
+          "' (expected unix:PATH or HOST:PORT)");
+    }
+    errno = 0;
+    char* end = nullptr;
+    long port = std::strtol(target.c_str() + colon + 1, &end, 10);
+    if (errno != 0 || *end != '\0' || end == target.c_str() + colon + 1 ||
+        port < 1 || port > 65535) {
+      return Result<net::ScopedFd>::Error("bad port in '" + target + "'");
+    }
+    std::string host = target.substr(0, colon);
+    if (host.empty()) host = "127.0.0.1";
+    return net::ConnectTcp(host, static_cast<int>(port));
+  }();
+  if (!conn.ok()) {
+    std::fprintf(stderr, "%s\n", conn.error().c_str());
+    return 1;
+  }
+  const int fd = conn.value().get();
+
+  std::thread drain([fd] {
+    net::LineReader reader(fd, protocol::kMaxLineBytes);
+    std::string line, error;
+    for (;;) {
+      switch (reader.ReadLine(&line, &error)) {
+        case net::LineReader::Event::kLine:
+          std::fwrite(line.data(), 1, line.size(), stdout);
+          std::fputc('\n', stdout);
+          std::fflush(stdout);
+          break;
+        case net::LineReader::Event::kOversized:
+          break;  // keep draining; the server caps its own lines anyway
+        case net::LineReader::Event::kEof:
+        case net::LineReader::Event::kError:
+          return;
+      }
+    }
+  });
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    Status sent = net::WriteAll(fd, line + "\n");
+    if (!sent.ok()) {
+      std::fprintf(stderr, "connection lost: %s\n", sent.message().c_str());
+      break;
+    }
+  }
+  // No more requests: half-close so the server finishes the session (its
+  // EOF path drains in-flight work), then collect the remaining replies.
+  ::shutdown(fd, SHUT_WR);
+  drain.join();
   return 0;
 }
 
@@ -361,6 +321,8 @@ int main(int argc, char** argv) {
       opt.json_file = next("--json");
     } else if (arg == "--serve") {
       opt.serve = true;
+    } else if (arg == "--connect") {
+      opt.connect_target = next("--connect");
     } else if (arg == "--threads") {
       opt.threads = ParseIntFlag(argv[0], "--threads", next("--threads"), 1,
                                  1 << 20);
@@ -387,13 +349,14 @@ int main(int argc, char** argv) {
   bool single_mode = !opt.dtd_file.empty() || !opt.queries_file.empty();
   bool manifest_mode = !opt.manifest_file.empty();
   int modes = (single_mode ? 1 : 0) + (manifest_mode ? 1 : 0) +
-              (opt.serve ? 1 : 0);
+              (opt.serve ? 1 : 0) + (opt.connect_target.empty() ? 0 : 1);
   if (modes != 1 ||
       (single_mode && (opt.dtd_file.empty() || opt.queries_file.empty()))) {
     Usage(argv[0]);
     return 1;
   }
   if (opt.serve) return RunServe(opt);
+  if (!opt.connect_target.empty()) return RunConnect(opt);
 
   // Load the workload: register every referenced DTD once; requests carry
   // handles, so the engine keeps the compiled artifacts alive — the parsed
@@ -492,7 +455,7 @@ int main(int argc, char** argv) {
                   r.status.message().c_str());
       continue;
     }
-    std::printf("[%-7s] %-40s %-32s %9.1fus dtd=%016llx%s%s\n", VerdictName(r),
+    std::printf("[%-7s] %-40s %-32s %9.1fus dtd=%016llx%s%s\n", protocol::VerdictName(r),
                 workload[i].query.c_str(), r.report.algorithm.c_str(),
                 r.elapsed_us,
                 static_cast<unsigned long long>(r.dtd_fingerprint),
@@ -532,7 +495,7 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < last.size(); ++i) {
       const SatResponse& r = last[i];
       out << "    {\"query\": \"" << JsonEscape(workload[i].query)
-          << "\", \"verdict\": \"" << VerdictName(r) << "\", \"algorithm\": \""
+          << "\", \"verdict\": \"" << protocol::VerdictName(r) << "\", \"algorithm\": \""
           << JsonEscape(r.status.ok() ? r.report.algorithm
                                       : r.status.message())
           << "\", \"elapsed_us\": " << r.elapsed_us

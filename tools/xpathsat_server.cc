@@ -1,0 +1,142 @@
+// xpathsat_server — the network front end: serves the shared line protocol
+// (src/server/protocol.h) over a unix-domain socket and/or loopback TCP,
+// against ONE long-lived SatEngine shared by every connection. Clients
+// multiplexing over it share the compiled-DTD cache, the query cache, and
+// the verdict memo — repeat traffic is answered from the memo no matter
+// which client primed it.
+//
+//   xpathsat_server --unix PATH            listen on a unix socket
+//   xpathsat_server --tcp PORT             listen on 127.0.0.1:PORT
+//                                          (PORT 0 picks an ephemeral port)
+//   (both listeners may be given together)
+//
+// Options:
+//   --host ADDR        TCP bind address (default 127.0.0.1; this server has
+//                      no auth layer — widen deliberately)
+//   --threads N        engine worker threads (default: hardware concurrency)
+//   --deadline-ms M    per-request deadline cap applied to every query
+//   --no-memo          disable verdict memoization
+//
+// On startup one `listening ...` line per listener is printed to stdout (the
+// TCP line carries the actually-bound port), then the server runs until
+// SIGINT/SIGTERM, at which point connections are drained, a final
+// `stats {...}` JSON line is printed, and it exits 0.
+//
+// Drive it with `xpathsat_cli --connect unix:PATH` / `--connect HOST:PORT`,
+// or anything that speaks lines (nc works; see the README protocol spec).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/engine/sat_engine.h"
+#include "src/server/protocol.h"
+#include "src/server/socket_server.h"
+
+using namespace xpathsat;
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--unix PATH | --tcp PORT) [--host ADDR]\n"
+               "          [--threads N] [--deadline-ms M] [--no-memo]\n",
+               argv0);
+}
+
+long long ParseIntFlag(const char* argv0, const char* flag, const char* text,
+                       long long min_value, long long max_value) {
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < min_value ||
+      v > max_value) {
+    std::fprintf(stderr,
+                 "%s: invalid value '%s' (expected an integer in [%lld, "
+                 "%lld])\n",
+                 flag, text, min_value, max_value);
+    Usage(argv0);
+    std::exit(1);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::SocketServerOptions server_opt;
+  SatEngineOptions engine_opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", what);
+        Usage(argv[0]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      server_opt.unix_path = next("--unix");
+    } else if (arg == "--tcp") {
+      server_opt.tcp_port = static_cast<int>(
+          ParseIntFlag(argv[0], "--tcp", next("--tcp"), 0, 65535));
+    } else if (arg == "--host") {
+      server_opt.tcp_host = next("--host");
+    } else if (arg == "--threads") {
+      engine_opt.num_threads = static_cast<int>(
+          ParseIntFlag(argv[0], "--threads", next("--threads"), 1, 1 << 20));
+    } else if (arg == "--deadline-ms") {
+      server_opt.session.deadline_ms = ParseIntFlag(
+          argv[0], "--deadline-ms", next("--deadline-ms"), 0,
+          1000LL * 1000 * 1000);
+    } else if (arg == "--no-memo") {
+      engine_opt.memo_capacity = 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 1;
+    }
+  }
+  if (server_opt.unix_path.empty() && server_opt.tcp_port < 0) {
+    Usage(argv[0]);
+    return 1;
+  }
+
+  // Block the shutdown signals before any thread exists so every thread
+  // inherits the mask and sigwait below is the one delivery point.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  SatEngine engine(engine_opt);
+  server::SocketServer server(&engine, server_opt);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", started.message().c_str());
+    return 1;
+  }
+  if (!server.unix_path().empty()) {
+    std::printf("listening unix %s\n", server.unix_path().c_str());
+  }
+  if (server.tcp_port() >= 0) {
+    std::printf("listening tcp %d\n", server.tcp_port());
+  }
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&mask, &sig);
+  std::fprintf(stderr, "shutting down (%s)\n", strsignal(sig));
+  server.Stop();
+  std::printf("%s\n",
+              protocol::FormatStatsLine(engine.stats(),
+                                        engine.live_dtd_handles())
+                  .c_str());
+  return 0;
+}
