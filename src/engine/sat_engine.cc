@@ -196,14 +196,64 @@ int SatTicket::WaitAny(const std::vector<SatTicket>& tickets,
   return result;
 }
 
+namespace {
+
+// The engine-wide shard target: the cache_shards option (0 = hardware
+// default) rounded up to a power of two and clamped to 64, BEFORE any
+// per-cache capacity constraint. This is what cache_shards() reports.
+size_t ResolveShardTarget(size_t cache_shards_option) {
+  size_t requested = cache_shards_option == 0 ? DefaultCacheShards()
+                                              : cache_shards_option;
+  size_t shards = 1;
+  while (shards < requested && shards < 64) shards <<= 1;
+  return shards;
+}
+
+// Per-cache cap: halve the target until every shard can hold at least the
+// cache's entry floor (max_shards = capacity / floor). The query cache
+// needs >= 2 per shard (a canonical entry and its raw alias must never
+// evict each other), and the DTD cache >= 4 per shard (its capacity is
+// small and a per-shard LRU of 1 would recompile-thrash alternating
+// registrations that hash together).
+size_t CapShards(size_t target, size_t max_shards) {
+  while (target > max_shards && target > 1) target >>= 1;
+  return target;
+}
+
+}  // namespace
+
+SatEngineOptions SatEngine::Normalize(SatEngineOptions options) {
+  if (options.dtd_cache_capacity < 1) options.dtd_cache_capacity = 1;
+  if (options.query_cache_capacity < 2) options.query_cache_capacity = 2;
+  return options;
+}
+
+// The engine caches skip the caches' own probe counters (count_probes =
+// false): the engine keeps its per-request counters itself, and a second
+// contended counter cacheline per probe is exactly the serialization this
+// PR removes.
 SatEngine::SatEngine(const SatEngineOptions& options)
-    : options_(options),
+    : options_(Normalize(options)),
+      resolved_shards_(ResolveShardTarget(options_.cache_shards)),
+      dtd_cache_(options_.dtd_cache_capacity,
+                 CapShards(resolved_shards_, options_.dtd_cache_capacity / 4),
+                 /*count_probes=*/false),
+      query_cache_(
+          options_.query_cache_capacity,
+          CapShards(resolved_shards_, options_.query_cache_capacity / 2),
+          /*count_probes=*/false),
+      // Sized even when disabled (ShardedLruCache has no empty state); the
+      // memo_enabled gate in Execute keeps a disabled memo untouched.
+      memo_(options_.memo_capacity > 0 ? options_.memo_capacity : 1,
+            resolved_shards_, /*count_probes=*/false),
+      rewrite_cache_(options_.rewrite_cache_capacity > 0
+                         ? std::make_unique<RewriteCache>(
+                               options_.rewrite_cache_capacity,
+                               resolved_shards_)
+                         : nullptr),
       live_handles_(std::make_shared<std::atomic<uint64_t>>(0)),
       reaper_([this] { ReaperLoop(); }),
-      pool_(options.num_threads) {
-  if (options_.dtd_cache_capacity < 1) options_.dtd_cache_capacity = 1;
-  if (options_.query_cache_capacity < 2) options_.query_cache_capacity = 2;
-}
+      pool_(options_.num_threads) {}
 
 SatEngine::~SatEngine() {
   {
@@ -221,41 +271,29 @@ SatEngine::~SatEngine() {
 std::shared_ptr<const CompiledDtd> SatEngine::LookupDtd(const Dtd& dtd,
                                                         uint64_t fp,
                                                         bool* hit) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = dtd_index_.find(fp);
-    if (it != dtd_index_.end()) {
-      std::shared_ptr<const CompiledDtd> cached = it->second->second;
-      // Verify the hit: a fingerprint collision (64-bit FNV; constructible
-      // by an adversary) must never serve verdicts for the wrong schema.
-      if (cached->dtd.EquivalentTo(dtd)) {
-        dtd_lru_.splice(dtd_lru_.begin(), dtd_lru_, it->second);
-        if (hit) *hit = true;
-        return cached;
-      }
-    }
+  // Verify hits: a fingerprint collision (64-bit FNV; constructible by an
+  // adversary) must never serve verdicts for the wrong schema.
+  std::optional<std::shared_ptr<const CompiledDtd>> cached =
+      dtd_cache_.LookupIf(fp, [&](std::shared_ptr<const CompiledDtd>& v) {
+        return v->dtd.EquivalentTo(dtd);
+      });
+  if (cached.has_value()) {
+    if (hit) *hit = true;
+    return *cached;
   }
-  // Compile outside the lock: a slow compilation must not serialize the
-  // pool. Two racing threads may compile the same DTD; the first insert wins.
+  // Compile outside any lock: a slow compilation must not serialize the
+  // pool. Two racing threads may compile the same DTD; the first insert
+  // wins and both use the winner.
   std::shared_ptr<const CompiledDtd> compiled = CompiledDtd::Compile(dtd);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = dtd_index_.find(fp);
-  if (it != dtd_index_.end()) {
-    if (it->second->second->dtd.EquivalentTo(dtd)) {
-      dtd_lru_.splice(dtd_lru_.begin(), dtd_lru_, it->second);
+  std::shared_ptr<const CompiledDtd> resident =
+      dtd_cache_.InsertIfAbsent(fp, compiled);
+  if (resident != compiled) {
+    if (resident->dtd.EquivalentTo(dtd)) {
       if (hit) *hit = true;  // raced: someone else filled it first
-      return it->second->second;
+      return resident;
     }
     // Colliding slot stays with its current owner; serve this registration
     // from the fresh artifacts without caching them.
-    if (hit) *hit = false;
-    return compiled;
-  }
-  dtd_lru_.emplace_front(fp, compiled);
-  dtd_index_[fp] = dtd_lru_.begin();
-  while (dtd_lru_.size() > options_.dtd_cache_capacity) {
-    dtd_index_.erase(dtd_lru_.back().first);
-    dtd_lru_.pop_back();
   }
   if (hit) *hit = false;
   return compiled;
@@ -270,7 +308,7 @@ DtdHandle SatEngine::RegisterDtd(const Dtd& dtd) {
   std::shared_ptr<const CompiledDtd> compiled =
       LookupDtd(dtd, dtd.Fingerprint(), &hit);
   (hit ? dtd_cache_hits_ : dtd_cache_misses_)
-      .fetch_add(1, std::memory_order_relaxed);
+      .fetch_add(1, std::memory_order_release);
   auto pin = std::make_shared<engine_internal::DtdPin>();
   pin->compiled = std::move(compiled);
   pin->id = next_handle_id_.fetch_add(1, std::memory_order_relaxed);
@@ -289,14 +327,11 @@ Result<DtdHandle> SatEngine::RegisterDtdText(const std::string& dtd_text) {
 
 std::shared_ptr<const SatEngine::CachedQuery> SatEngine::LookupQuery(
     const std::string& text, bool* hit, std::string* parse_error) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = query_index_.find(text);
-    if (it != query_index_.end()) {
-      query_lru_.splice(query_lru_.begin(), query_lru_, it->second);
-      *hit = true;
-      return it->second->second;
-    }
+  std::optional<std::shared_ptr<const CachedQuery>> cached =
+      query_cache_.Lookup(text);
+  if (cached.has_value()) {
+    *hit = true;
+    return *cached;
   }
   Result<std::unique_ptr<PathExpr>> parsed = ParsePath(text);
   if (!parsed.ok()) {
@@ -309,25 +344,16 @@ std::shared_ptr<const SatEngine::CachedQuery> SatEngine::LookupQuery(
   entry->features = DetectFeatures(*entry->ast);
   entry->canonical = entry->ast->ToString();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  // Textual variants of one query share the canonical entry.
-  auto canon_it = query_index_.find(entry->canonical);
-  std::shared_ptr<const CachedQuery> result;
-  if (canon_it != query_index_.end()) {
-    query_lru_.splice(query_lru_.begin(), query_lru_, canon_it->second);
-    result = canon_it->second->second;
-  } else {
-    query_lru_.emplace_front(entry->canonical, entry);
-    query_index_[entry->canonical] = query_lru_.begin();
-    result = entry;
-  }
-  if (text != result->canonical && !query_index_.count(text)) {
-    query_lru_.emplace_front(text, result);
-    query_index_[text] = query_lru_.begin();
-  }
-  while (query_lru_.size() > options_.query_cache_capacity) {
-    query_index_.erase(query_lru_.back().first);
-    query_lru_.pop_back();
+  // Textual variants of one query share the canonical entry (racing parsers
+  // of the same canonical form converge on the first insert); the raw text
+  // becomes an alias key pointing at the shared entry. The key is copied out
+  // first: the value argument moves `entry`, and argument evaluation order
+  // is unspecified.
+  const std::string canonical = entry->canonical;
+  std::shared_ptr<const CachedQuery> result =
+      query_cache_.InsertIfAbsent(canonical, std::move(entry));
+  if (text != result->canonical) {
+    query_cache_.InsertIfAbsent(text, result);
   }
   *hit = false;
   return result;
@@ -346,7 +372,7 @@ SatResponse SatEngine::Execute(const SatRequest& request,
     // The reaper normally cancels expired queued work before a worker ever
     // sees it; this check closes the race where a worker picks the job up
     // in the same instant the deadline passes.
-    deadline_expirations_.fetch_add(1, std::memory_order_relaxed);
+    deadline_expirations_.fetch_add(1, std::memory_order_release);
     return NotRunResponse("deadline",
                           "deadline expired before execution started");
   }
@@ -356,9 +382,9 @@ SatResponse SatEngine::Execute(const SatRequest& request,
   std::shared_ptr<const CachedQuery> query =
       LookupQuery(request.query, &query_hit, &parse_error);
   (query_hit ? query_cache_hits_ : query_cache_misses_)
-      .fetch_add(1, std::memory_order_relaxed);
+      .fetch_add(1, std::memory_order_release);
   if (query == nullptr) {
-    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    parse_errors_.fetch_add(1, std::memory_order_release);
     resp.status = Status::Error("query parse error: " + parse_error);
     return resp;
   }
@@ -376,66 +402,51 @@ SatResponse SatEngine::Execute(const SatRequest& request,
     memo_key = MemoKey(query->canonical, compiled->fingerprint,
                        request.options.Digest());
     std::shared_ptr<const SatReport> memoized;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = memo_index_.find(memo_key);
-      if (it != memo_index_.end()) {
-        MemoEntry& entry = it->second->second;
-        // Same fingerprint does not imply the same schema (64-bit FNV):
-        // serve the memo only for the DTD it was computed against. Pointer
-        // equality is the fast path (handles share one CompiledDtd).
-        if (entry.compiled == compiled ||
-            entry.compiled->dtd.EquivalentTo(compiled->dtd)) {
-          // Refresh the pin after an eviction+recompile so subsequent hits
-          // for this handle take the pointer fast path, not the structural
-          // check under mu_.
-          entry.compiled = compiled;
-          memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
-          memoized = entry.report;
-        }
+    memo_.LookupWith(memo_key, [&](MemoEntry& entry) {
+      // Same fingerprint does not imply the same schema (64-bit FNV):
+      // serve the memo only for the DTD it was computed against. Pointer
+      // equality is the fast path (handles share one CompiledDtd).
+      if (entry.compiled != compiled &&
+          !entry.compiled->dtd.EquivalentTo(compiled->dtd)) {
+        return false;
       }
-    }
+      // Refresh the pin after an eviction+recompile so subsequent hits
+      // for this handle take the pointer fast path, not the structural
+      // check under the shard lock.
+      entry.compiled = compiled;
+      memoized = entry.report;
+      return true;
+    });
     if (memoized != nullptr) {
-      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      memo_hits_.fetch_add(1, std::memory_order_release);
       resp.report = *memoized;
       resp.memo_hit = true;
       resp.status = Status::Ok();
       return resp;
     }
-    memo_misses_.fetch_add(1, std::memory_order_relaxed);
+    memo_misses_.fetch_add(1, std::memory_order_release);
   }
 
   Clock::time_point start = Clock::now();
   resp.report = DecideSatisfiability(*query->ast, query->features, *compiled,
-                                     request.options);
+                                     request.options, rewrite_cache_.get());
   resp.elapsed_us =
       std::chrono::duration<double, std::micro>(Clock::now() - start).count();
   resp.status = Status::Ok();
 
   if (memo_enabled) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = memo_index_.find(memo_key);
-    if (it != memo_index_.end()) {
-      // Raced with another thread (or the key is owned by a fingerprint-
-      // colliding schema): keep the incumbent entry.
-      memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
-    } else {
-      MemoEntry entry;
-      entry.compiled = compiled;
-      entry.report = std::make_shared<const SatReport>(resp.report);
-      memo_lru_.emplace_front(memo_key, std::move(entry));
-      memo_index_[memo_key] = memo_lru_.begin();
-      while (memo_lru_.size() > options_.memo_capacity) {
-        memo_index_.erase(memo_lru_.back().first);
-        memo_lru_.pop_back();
-      }
-    }
+    // On a race (or a key owned by a fingerprint-colliding schema) the
+    // incumbent entry keeps the slot; this response was already computed.
+    MemoEntry entry;
+    entry.compiled = compiled;
+    entry.report = std::make_shared<const SatReport>(resp.report);
+    memo_.InsertIfAbsent(memo_key, std::move(entry));
   }
   return resp;
 }
 
 SatTicket SatEngine::Submit(SatRequest request) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(1, std::memory_order_release);
   auto state = std::make_shared<engine_internal::TicketState>();
   state->id = next_ticket_id_.fetch_add(1, std::memory_order_relaxed);
   state->job = std::make_shared<CancellableJob>();
@@ -484,7 +495,7 @@ SatTicket SatEngine::Submit(SatRequest request) {
 bool SatEngine::TryCancel(const SatTicket& ticket) {
   if (!ticket.valid()) return false;
   if (!ticket.state_->job->TryCancel()) return false;
-  cancellations_.fetch_add(1, std::memory_order_relaxed);
+  cancellations_.fetch_add(1, std::memory_order_release);
   ticket.state_->Fulfill(
       NotRunResponse("cancelled", "cancelled before execution started"));
   return true;
@@ -512,7 +523,7 @@ void SatEngine::ReaperLoop() {
     lock.unlock();
     // Outside the lock: Submit must never block behind promise fulfilment.
     if (state->job->TryCancel()) {
-      deadline_expirations_.fetch_add(1, std::memory_order_relaxed);
+      deadline_expirations_.fetch_add(1, std::memory_order_release);
       state->Fulfill(NotRunResponse(
           "deadline", "deadline expired before execution started"));
     }
@@ -540,18 +551,30 @@ uint64_t SatEngine::live_dtd_handles() const {
 }
 
 SatEngineStats SatEngine::stats() const {
+  // Load order is part of the contract (see SatEngineStats): per-request
+  // *outcome* counters first, `requests` last, all with acquire ordering
+  // against the release increments. A request's `requests` bump
+  // happens-before its outcome bump (Submit enqueues through the pool's
+  // queue lock before the worker runs), so any outcome this snapshot
+  // observes has its request already counted by the later `requests` load —
+  // the documented <= invariants hold for every snapshot, mid-flight
+  // included.
   SatEngineStats s;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.dtd_cache_hits = dtd_cache_hits_.load(std::memory_order_relaxed);
-  s.dtd_cache_misses = dtd_cache_misses_.load(std::memory_order_relaxed);
-  s.query_cache_hits = query_cache_hits_.load(std::memory_order_relaxed);
-  s.query_cache_misses = query_cache_misses_.load(std::memory_order_relaxed);
-  s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
-  s.memo_misses = memo_misses_.load(std::memory_order_relaxed);
-  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
-  s.cancellations = cancellations_.load(std::memory_order_relaxed);
+  s.memo_hits = memo_hits_.load(std::memory_order_acquire);
+  s.memo_misses = memo_misses_.load(std::memory_order_acquire);
+  s.parse_errors = parse_errors_.load(std::memory_order_acquire);
+  s.cancellations = cancellations_.load(std::memory_order_acquire);
   s.deadline_expirations =
-      deadline_expirations_.load(std::memory_order_relaxed);
+      deadline_expirations_.load(std::memory_order_acquire);
+  s.query_cache_hits = query_cache_hits_.load(std::memory_order_acquire);
+  s.query_cache_misses = query_cache_misses_.load(std::memory_order_acquire);
+  if (rewrite_cache_ != nullptr) {
+    s.rewrite_cache_hits = rewrite_cache_->hits();
+    s.rewrite_cache_misses = rewrite_cache_->misses();
+  }
+  s.dtd_cache_hits = dtd_cache_hits_.load(std::memory_order_acquire);
+  s.dtd_cache_misses = dtd_cache_misses_.load(std::memory_order_acquire);
+  s.requests = requests_.load(std::memory_order_acquire);
   return s;
 }
 

@@ -23,13 +23,25 @@
 //     fulfilment path: computed, cancelled, expired) or SatTicket::WaitAny
 //     instead of one blocking Get per ticket — this is what the socket
 //     server (src/server/) pipelines out-of-order responses with.
-//   * Verdict memoization: an LRU cache keyed by (canonical query printing,
-//     DTD fingerprint, SatOptions::Digest()) sitting above the artifact
-//     caches; a repeat request returns the memoized SatReport without
-//     touching the deciders at all.
+//   * Verdict memoization: a sharded LRU cache keyed by (canonical query
+//     printing, DTD fingerprint, SatOptions::Digest()) sitting above the
+//     artifact caches; a repeat request returns the memoized SatReport
+//     without touching the deciders at all.
 //   * A query cache keyed by the canonical ToString() printing of the parsed
 //     AST (with a raw-text alias so byte-identical requests skip the parser
 //     entirely) holding the AST plus its fragment profile.
+//   * A Prop 3.3 rewrite cache (RewriteCache, src/sat/compiled_dtd.h) keyed
+//     by (canonical query, DTD fingerprint), threaded into the deciders so
+//     the f(p) rewriting — the dominant miss-path cost of the PTIME filter
+//     fragments (Thm 6.8(1)/4.4) — is computed once per (query, DTD) pair
+//     and reused by every later miss, across threads and connections.
+//
+// All four caches are built on ShardedLruCache (src/util/): per-shard
+// mutexes, shard by key hash, per-shard LRU with an aggregate capacity, so
+// concurrent clients funneling into one engine (the socket server's shape)
+// do not serialize on a single cache mutex. SatEngineOptions::cache_shards
+// tunes the shard count; 1 reproduces the old single-mutex layout exactly
+// (the parity baseline in tests and benches).
 //
 // Verdict parity: for every request the engine returns exactly what
 // DecideSatisfiability(parse(query), dtd, options) returns — the caches and
@@ -45,8 +57,6 @@
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <list>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -56,6 +66,7 @@
 #include <vector>
 
 #include "src/sat/satisfiability.h"
+#include "src/util/sharded_lru_cache.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
 #include "src/xml/dtd.h"
@@ -84,6 +95,18 @@ struct SatEngineOptions {
   /// Memoized verdicts kept (LRU by (canonical query, DTD fingerprint,
   /// options digest)). 0 disables verdict memoization entirely.
   size_t memo_capacity = 8192;
+  /// Memoized Prop 3.3 rewrites kept (LRU by (canonical query, DTD
+  /// fingerprint)); serves the miss path of the Thm 6.8(1)/6.8(2)/4.4
+  /// pipelines. 0 disables rewrite caching (every miss re-runs f(p)).
+  size_t rewrite_cache_capacity = 4096;
+  /// Shard target for all four caches: rounded up to a power of two and
+  /// clamped to [1, 64]; 0 picks a hardware default (smallest power of two
+  /// >= core count), 1 reproduces the single-mutex layout (one lock, exact
+  /// global LRU order). Each cache then lowers its own count where its
+  /// capacity demands a per-shard entry floor: >= 1 everywhere, >= 2 for
+  /// the query cache (a canonical entry and its raw-text alias must fit in
+  /// one shard together), >= 4 for the small, expensive-miss DTD cache.
+  size_t cache_shards = 0;
 };
 
 /// A refcounted registration of a compiled DTD with a SatEngine. Copyable
@@ -199,6 +222,25 @@ class SatTicket {
 };
 
 /// Monotonic counters over the engine's lifetime.
+///
+/// Snapshot consistency: stats() is not one atomic snapshot (counters are
+/// independent atomics updated lock-free on the hot path), but it is more
+/// than a bag of racy reads. Every counter is monotonic, increments use
+/// release ordering, and stats() loads the per-request *outcome* counters
+/// BEFORE loading `requests` (with acquire ordering), so every snapshot —
+/// even one taken mid-flight from another thread — satisfies:
+///
+///   memo_hits + memo_misses + parse_errors + cancellations
+///       + deadline_expirations <= requests
+///   query_cache_hits + query_cache_misses <= requests
+///
+/// (each request contributes to at most one outcome counter, and its
+/// `requests` increment happens-before its outcome increment via the pool's
+/// queue). Exact totals hold at quiescence: once every submitted ticket has
+/// been observed complete (Get/WaitFor returned, or a callback fired), a
+/// subsequent stats() call accounts for all of them exactly —
+/// tests/cache_stress_test.cc asserts both the mid-flight invariants and
+/// the exact quiescent totals.
 struct SatEngineStats {
   uint64_t requests = 0;
   /// RegisterDtd calls resolved from / compiled into the artifact cache.
@@ -211,6 +253,12 @@ struct SatEngineStats {
   /// neither counter.
   uint64_t memo_hits = 0;
   uint64_t memo_misses = 0;
+  /// Prop 3.3 rewrite-cache probes from inside the deciders. Not
+  /// per-request: a memo hit probes zero times, a miss-path request probes
+  /// once per decider that rewrites (usually one, occasionally two when the
+  /// dispatch falls through); 0/0 when the rewrite cache is disabled.
+  uint64_t rewrite_cache_hits = 0;
+  uint64_t rewrite_cache_misses = 0;
   uint64_t parse_errors = 0;
   /// Tickets revoked while queued via TryCancel.
   uint64_t cancellations = 0;
@@ -267,6 +315,11 @@ class SatEngine {
   /// counter).
   uint64_t live_dtd_handles() const;
   int num_threads() const { return pool_.num_threads(); }
+  /// The resolved engine-wide shard target (cache_shards rounded up to a
+  /// power of two, clamped to [1, 64]). Individual caches may run with
+  /// fewer shards where their capacity demands a per-shard entry floor —
+  /// see SatEngineOptions::cache_shards.
+  size_t cache_shards() const { return resolved_shards_; }
 
  private:
   struct CachedQuery {
@@ -284,6 +337,10 @@ class SatEngine {
 
   using Clock = std::chrono::steady_clock;
 
+  /// Clamps capacities (dtd >= 1, query >= 2) once, before the caches are
+  /// constructed from the stored options.
+  static SatEngineOptions Normalize(SatEngineOptions options);
+
   SatResponse Execute(const SatRequest& request, Clock::time_point submitted);
   std::shared_ptr<const CompiledDtd> LookupDtd(const Dtd& dtd, uint64_t fp,
                                                bool* hit);
@@ -293,22 +350,32 @@ class SatEngine {
   void ReaperLoop();
 
   SatEngineOptions options_;
+  // cache_shards resolved (power of two in [1, 64]) before per-cache
+  // capacity floors; what cache_shards() reports.
+  size_t resolved_shards_ = 1;
 
-  mutable std::mutex mu_;
-  // DTD cache: LRU list of (fingerprint, artifacts), most recent first.
-  std::list<std::pair<uint64_t, std::shared_ptr<const CompiledDtd>>> dtd_lru_;
-  std::map<uint64_t, decltype(dtd_lru_)::iterator> dtd_index_;
+  // The sharded cache core (per-shard mutexes; no engine-wide cache lock
+  // anywhere). All values are shared_ptr-like handles, so readers never
+  // hold a shard lock while using an entry.
+  //
+  // DTD cache: fingerprint -> artifacts. Hits are verified against the
+  // source DTD (EquivalentTo) — a colliding registration is served fresh,
+  // uncached, and the incumbent keeps the slot.
+  ShardedLruCache<uint64_t, std::shared_ptr<const CompiledDtd>> dtd_cache_;
   // Query cache: keys are canonical printings plus raw-text aliases, all
-  // pointing at shared entries (an entry dies when its last key is evicted).
-  std::list<std::pair<std::string, std::shared_ptr<const CachedQuery>>>
-      query_lru_;
-  std::map<std::string, decltype(query_lru_)::iterator> query_index_;
-  // Verdict memo: LRU of (composite key -> entry). The key string is the
-  // canonical query printing followed by the raw 8-byte fingerprint and
-  // options digest (exact, not hashed — no collision surface beyond the
-  // fingerprint, which the entry verifies).
-  std::list<std::pair<std::string, MemoEntry>> memo_lru_;
-  std::map<std::string, decltype(memo_lru_)::iterator> memo_index_;
+  // pointing at shared entries (each key is its own LRU slot; the entry
+  // dies when its last key is evicted).
+  ShardedLruCache<std::string, std::shared_ptr<const CachedQuery>>
+      query_cache_;
+  // Verdict memo: composite key -> entry. The key string is the canonical
+  // query printing followed by the raw 8-byte fingerprint and options
+  // digest (exact, not hashed — no collision surface beyond the
+  // fingerprint, which the entry verifies). Sized max(1, memo_capacity);
+  // unused when memo_capacity == 0.
+  ShardedLruCache<std::string, MemoEntry> memo_;
+  // Prop 3.3 rewrite cache, threaded into the deciders through
+  // DecideSatisfiability; null when rewrite_cache_capacity == 0.
+  std::unique_ptr<RewriteCache> rewrite_cache_;
 
   // Live-handle registry: shared with every DtdPin so handle release can
   // retire its registration even after the engine is gone.
@@ -316,8 +383,9 @@ class SatEngine {
   std::atomic<uint64_t> next_handle_id_{1};
   std::atomic<uint64_t> next_ticket_id_{1};
 
-  // Counters are atomics so the request hot path never takes mu_ just to
-  // account for itself.
+  // Lock-free counters: the request hot path never takes any lock just to
+  // account for itself. Release increments + the ordered acquire loads in
+  // stats() give the snapshot contract documented on SatEngineStats.
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> dtd_cache_hits_{0};
   std::atomic<uint64_t> dtd_cache_misses_{0};

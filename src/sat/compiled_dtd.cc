@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "src/xml/generator.h"
+#include "src/xpath/ast.h"
+#include "src/xpath/rewrites.h"
 
 namespace xpathsat {
 
@@ -161,9 +163,68 @@ std::map<std::string, Nfa> BuildTerminatingRestrictedNfas(
   return nfas;
 }
 
+namespace {
+
+// Cache key: the canonical printing (exact), a separator that cannot appear
+// in a printed query, then the raw 8 fingerprint bytes — the same shape as
+// the engine's memo key, minus the options digest (SatOptions do not affect
+// the rewrite).
+std::string RewriteKey(const std::string& canonical, uint64_t fingerprint) {
+  std::string key;
+  key.reserve(canonical.size() + 9);
+  key.append(canonical);
+  key.push_back('\0');
+  for (int i = 0; i < 8; ++i) {
+    key.push_back(static_cast<char>((fingerprint >> (8 * i)) & 0xff));
+  }
+  return key;
+}
+
+}  // namespace
+
+RewriteCache::RewriteCache(size_t capacity, size_t num_shards)
+    : cache_(capacity, num_shards) {}
+
+Result<std::shared_ptr<const PathExpr>> RewriteCache::GetOrRewrite(
+    const PathExpr& p, const CompiledDtd& compiled) {
+  const std::string key = RewriteKey(p.ToString(), compiled.fingerprint);
+  std::shared_ptr<const PathExpr> served;
+  cache_.LookupWith(key, [&](Entry& entry) {
+    // Pointer equality is the fast path (CompiledDtds compiled once and
+    // shared carry one shared_dtd); the structural check only runs after an
+    // eviction+recompile, and the pin is refreshed so later hits for the
+    // new artifacts take the fast path again — the verdict memo's pattern.
+    if (entry.source != compiled.shared_dtd) {
+      if (!entry.source->EquivalentTo(compiled.dtd)) return false;
+      if (compiled.shared_dtd != nullptr) entry.source = compiled.shared_dtd;
+    }
+    served = entry.rewritten;
+    return true;
+  });
+  if (served != nullptr) return served;
+
+  Result<std::unique_ptr<PathExpr>> rewritten =
+      RewriteForNormalizedDtd(p, compiled.dtd, compiled.norm);
+  if (!rewritten.ok()) {
+    return Result<std::shared_ptr<const PathExpr>>::Error(rewritten.error());
+  }
+  std::shared_ptr<const PathExpr> result(std::move(rewritten).value());
+  Entry entry;
+  entry.source = compiled.shared_dtd != nullptr
+                     ? compiled.shared_dtd
+                     : std::make_shared<const Dtd>(compiled.dtd);
+  entry.rewritten = result;
+  // Keep the incumbent on a race or a fingerprint collision: either way this
+  // request serves the AST it just computed (identical on a race — the
+  // rewrite is deterministic — and necessarily its own on a collision).
+  cache_.InsertIfAbsent(key, std::move(entry));
+  return result;
+}
+
 std::shared_ptr<const CompiledDtd> CompiledDtd::Compile(const Dtd& dtd) {
   auto cd = std::make_shared<CompiledDtd>();
   cd->dtd = dtd;
+  cd->shared_dtd = std::make_shared<const Dtd>(dtd);
   cd->fingerprint = dtd.Fingerprint();
   cd->disjunction_free = dtd.IsDisjunctionFree();
   cd->graph = LabelGraph::Build(dtd);

@@ -19,10 +19,14 @@
 #include <string>
 
 #include "src/automata/nfa.h"
+#include "src/util/sharded_lru_cache.h"
+#include "src/util/status.h"
 #include "src/xml/dtd.h"
 #include "src/xml/normalize.h"
 
 namespace xpathsat {
+
+class PathExpr;
 
 /// Does L(re) contain a word with an occurrence of `target` in which every
 /// symbol is terminating? This is the exact condition for `target` to appear
@@ -62,6 +66,11 @@ std::map<std::string, Nfa> BuildTerminatingRestrictedNfas(
 /// shared_ptr<const CompiledDtd>.
 struct CompiledDtd {
   Dtd dtd;               ///< the source DTD (owning copy)
+  /// The same schema behind a shared_ptr, for caches that pin schema
+  /// identity per entry (RewriteCache collision verification) — a refcount
+  /// bump per entry instead of a Dtd copy per entry. Set by Compile; may be
+  /// null on hand-built instances (callers fall back to copying `dtd`).
+  std::shared_ptr<const Dtd> shared_dtd;
   uint64_t fingerprint;  ///< Dtd::Fingerprint() of `dtd` (the cache key)
   bool disjunction_free = false;
 
@@ -79,6 +88,55 @@ struct CompiledDtd {
   LabelGraph norm_graph;
 
   static std::shared_ptr<const CompiledDtd> Compile(const Dtd& dtd);
+};
+
+/// Sharded memo for the Prop 3.3 query rewriting f(p), keyed by (canonical
+/// query printing, Dtd::Fingerprint()).
+///
+/// Both PTIME decision pipelines that dominate warm filter traffic —
+/// Thm 6.8(1) and Thm 4.4 — start by rewriting the query onto the normal
+/// form N(D), and that per-(query, DTD) rewrite is the bulk of the remaining
+/// per-request cost once the DTD artifacts are precompiled. The engine owns
+/// one RewriteCache and threads it through DecideSatisfiability into the
+/// deciders, so a rewrite computed by any request (on any thread, from any
+/// connection) is reused by every later miss on the same (query, DTD) pair
+/// — including requests whose verdict-memo key differs (other SatOptions
+/// digests, evicted memo entries, or a memo-disabled engine).
+///
+/// Correctness: fingerprints are 64-bit FNV and can collide, so every hit is
+/// verified against the source DTD the entry was rewritten for
+/// (Dtd::EquivalentTo); a colliding second DTD never serves the first DTD's
+/// rewrite — it computes its own, uncached (the incumbent keeps the slot),
+/// exactly like the engine's artifact-cache collision rule. Rewrite errors
+/// are never cached. Thread-safe; the returned ASTs are immutable and shared
+/// freely across threads.
+class RewriteCache {
+ public:
+  /// `capacity` is the aggregate entry budget; `num_shards` as in
+  /// ShardedLruCache (0 picks the hardware default, 1 gives global LRU).
+  explicit RewriteCache(size_t capacity, size_t num_shards = 0);
+
+  /// Returns f(p) for `compiled`'s normal form, from the cache or computed
+  /// (and cached) on miss. The error is RewriteForNormalizedDtd's when the
+  /// query is outside the rewriting's fragment.
+  Result<std::shared_ptr<const PathExpr>> GetOrRewrite(
+      const PathExpr& p, const CompiledDtd& compiled);
+
+  /// Aggregate probe counters (a rejected fingerprint-collision hit counts
+  /// as a miss). A single request can probe more than once when the dispatch
+  /// tries several deciders.
+  uint64_t hits() const { return cache_.hits(); }
+  uint64_t misses() const { return cache_.misses(); }
+  size_t num_shards() const { return cache_.num_shards(); }
+
+ private:
+  struct Entry {
+    /// The schema the rewrite was computed against — the collision check
+    /// (same fingerprint does not imply the same DTD).
+    std::shared_ptr<const Dtd> source;
+    std::shared_ptr<const PathExpr> rewritten;
+  };
+  ShardedLruCache<std::string, Entry> cache_;
 };
 
 }  // namespace xpathsat

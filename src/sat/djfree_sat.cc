@@ -134,6 +134,16 @@ Result<SatDecision> FragmentError() {
       "supported by the Thm 6.8(1) procedure");
 }
 
+// The DP over an already-rewritten f(p).
+Result<SatDecision> DjFreeDecide(const PathExpr& fp, const NormalizedDtd& norm,
+                                 const LabelGraph& norm_graph) {
+  DjFreeSolver solver(norm.dtd, norm_graph);
+  if (solver.Decide(fp)) {
+    return SatDecision::SatNoWitness("Thm 6.8(1) reach/sat DP (normalized)");
+  }
+  return SatDecision::Unsat("Thm 6.8(1) reach/sat DP (normalized)");
+}
+
 // The per-query pipeline over precomputed (original, normal form, graph).
 // Callers have already checked PathInFragment.
 Result<SatDecision> DjFreeImpl(const PathExpr& p, const Dtd& original,
@@ -142,11 +152,7 @@ Result<SatDecision> DjFreeImpl(const PathExpr& p, const Dtd& original,
   Result<std::unique_ptr<PathExpr>> fp =
       RewriteForNormalizedDtd(p, original, norm);
   if (!fp.ok()) return Result<SatDecision>::Error(fp.error());
-  DjFreeSolver solver(norm.dtd, norm_graph);
-  if (solver.Decide(*fp.value())) {
-    return SatDecision::SatNoWitness("Thm 6.8(1) reach/sat DP (normalized)");
-  }
-  return SatDecision::Unsat("Thm 6.8(1) reach/sat DP (normalized)");
+  return DjFreeDecide(*fp.value(), norm, norm_graph);
 }
 
 }  // namespace
@@ -162,10 +168,17 @@ Result<SatDecision> DisjunctionFreeSat(const PathExpr& p, const Dtd& dtd) {
 }
 
 Result<SatDecision> DisjunctionFreeSat(const PathExpr& p,
-                                       const CompiledDtd& compiled) {
+                                       const CompiledDtd& compiled,
+                                       RewriteCache* rewrites) {
   if (!PathInFragment(p)) return FragmentError();
   if (!compiled.disjunction_free) {
     return Result<SatDecision>::Error("DTD is not disjunction-free");
+  }
+  if (rewrites != nullptr) {
+    Result<std::shared_ptr<const PathExpr>> fp =
+        rewrites->GetOrRewrite(p, compiled);
+    if (!fp.ok()) return Result<SatDecision>::Error(fp.error());
+    return DjFreeDecide(*fp.value(), compiled.norm, compiled.norm_graph);
   }
   return DjFreeImpl(p, compiled.dtd, compiled.norm, compiled.norm_graph);
 }
@@ -181,13 +194,14 @@ Result<SatDecision> UpDownDisjunctionFreeSat(const PathExpr& p,
 }
 
 Result<SatDecision> UpDownDisjunctionFreeSat(const PathExpr& p,
-                                             const CompiledDtd& compiled) {
+                                             const CompiledDtd& compiled,
+                                             RewriteCache* rewrites) {
   Result<UpDownRewrite> rw = RewriteUpDownToQualifiers(p);
   if (!rw.ok()) return Result<SatDecision>::Error(rw.error());
   if (rw.value().always_unsat) {
     return SatDecision::Unsat("query ascends above the root (Thm 6.8(2))");
   }
-  return DisjunctionFreeSat(*rw.value().path, compiled);
+  return DisjunctionFreeSat(*rw.value().path, compiled, rewrites);
 }
 
 }  // namespace xpathsat

@@ -22,18 +22,25 @@ Result<SatDecision> DisjunctionFreeSat(const PathExpr& p, const Dtd& dtd);
 
 /// Same decision over precompiled artifacts (normal form + normalized label
 /// graph); only the per-query f(p) rewriting and DP remain. Thread-safe for
-/// concurrent calls sharing one CompiledDtd.
+/// concurrent calls sharing one CompiledDtd. A non-null `rewrites` memoizes
+/// the Prop 3.3 f(p) rewriting across calls (the engine threads its sharded
+/// RewriteCache through here); verdicts are identical either way.
 Result<SatDecision> DisjunctionFreeSat(const PathExpr& p,
-                                       const CompiledDtd& compiled);
+                                       const CompiledDtd& compiled,
+                                       RewriteCache* rewrites = nullptr);
 
 /// Decides (p, dtd) for p in X(↓,↑) (steps only) and disjunction-free `dtd`,
 /// by rewriting into X(↓,[]) (Thm 6.8(2)) and delegating.
 Result<SatDecision> UpDownDisjunctionFreeSat(const PathExpr& p,
                                              const Dtd& dtd);
 
-/// Precompiled-artifact variant of the Thm 6.8(2) procedure.
+/// Precompiled-artifact variant of the Thm 6.8(2) procedure. `rewrites`
+/// memoizes the f(p) step of the delegated Thm 6.8(1) decision (keyed by the
+/// X(↓,[]) query the up/down rewriting produces, which is deterministic per
+/// input query).
 Result<SatDecision> UpDownDisjunctionFreeSat(const PathExpr& p,
-                                             const CompiledDtd& compiled);
+                                             const CompiledDtd& compiled,
+                                             RewriteCache* rewrites = nullptr);
 
 }  // namespace xpathsat
 

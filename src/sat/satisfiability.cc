@@ -25,8 +25,11 @@ SatReport Report(SatDecision d, std::string algorithm) {
 // The Sec. 8 dispatch, written once for all entry points: `compiled` is
 // null for the one-shot facade (each decider builds its own DTD artifacts)
 // and non-null for the batch engine (artifacts reused across queries).
+// `rewrite_cache` (engine path only) memoizes the Prop 3.3 f(p) rewriting
+// inside the deciders that use it.
 SatReport Dispatch(const PathExpr& p, const Features& f, const Dtd& dtd,
-                   const CompiledDtd* compiled, const SatOptions& options) {
+                   const CompiledDtd* compiled, const SatOptions& options,
+                   RewriteCache* rewrite_cache) {
 
   // X(↓,↓*,∪): Thm 4.1 (PTIME).
   if (!f.qualifier && !f.negation && !f.data_values && !f.HasUpward() &&
@@ -50,12 +53,14 @@ SatReport Dispatch(const PathExpr& p, const Features& f, const Dtd& dtd,
       compiled ? compiled->disjunction_free : dtd.IsDisjunctionFree();
   if (disjunction_free && !f.negation && !f.data_values && !f.HasSibling()) {
     if (!f.HasUpward()) {
-      Result<SatDecision> r = compiled ? DisjunctionFreeSat(p, *compiled)
-                                       : DisjunctionFreeSat(p, dtd);
+      Result<SatDecision> r =
+          compiled ? DisjunctionFreeSat(p, *compiled, rewrite_cache)
+                   : DisjunctionFreeSat(p, dtd);
       if (r.ok()) return Report(std::move(r).value(), "djfree-dp (Thm 6.8(1))");
     } else if (!f.qualifier && !f.union_op && !f.HasRecursion()) {
-      Result<SatDecision> r = compiled ? UpDownDisjunctionFreeSat(p, *compiled)
-                                       : UpDownDisjunctionFreeSat(p, dtd);
+      Result<SatDecision> r =
+          compiled ? UpDownDisjunctionFreeSat(p, *compiled, rewrite_cache)
+                   : UpDownDisjunctionFreeSat(p, dtd);
       if (r.ok()) {
         return Report(std::move(r).value(), "updown-rewrite (Thm 6.8(2))");
       }
@@ -64,9 +69,10 @@ SatReport Dispatch(const PathExpr& p, const Features& f, const Dtd& dtd,
 
   // Positive fragment: Thm 4.4 (NP).
   if (f.IsPositive() && !f.HasSibling()) {
-    Result<SatDecision> r = compiled
-                                ? SkeletonSat(p, *compiled, options.skeleton_caps)
-                                : SkeletonSat(p, dtd, options.skeleton_caps);
+    Result<SatDecision> r =
+        compiled
+            ? SkeletonSat(p, *compiled, options.skeleton_caps, rewrite_cache)
+            : SkeletonSat(p, dtd, options.skeleton_caps);
     if (r.ok()) return Report(std::move(r).value(), "skeleton (Thm 4.4)");
   }
 
@@ -105,18 +111,22 @@ uint64_t SatOptions::Digest() const {
 
 SatReport DecideSatisfiability(const PathExpr& p, const Dtd& dtd,
                                const SatOptions& options) {
-  return Dispatch(p, DetectFeatures(p), dtd, nullptr, options);
+  return Dispatch(p, DetectFeatures(p), dtd, nullptr, options, nullptr);
 }
 
 SatReport DecideSatisfiability(const PathExpr& p, const CompiledDtd& compiled,
-                               const SatOptions& options) {
-  return Dispatch(p, DetectFeatures(p), compiled.dtd, &compiled, options);
+                               const SatOptions& options,
+                               RewriteCache* rewrite_cache) {
+  return Dispatch(p, DetectFeatures(p), compiled.dtd, &compiled, options,
+                  rewrite_cache);
 }
 
 SatReport DecideSatisfiability(const PathExpr& p, const Features& features,
                                const CompiledDtd& compiled,
-                               const SatOptions& options) {
-  return Dispatch(p, features, compiled.dtd, &compiled, options);
+                               const SatOptions& options,
+                               RewriteCache* rewrite_cache) {
+  return Dispatch(p, features, compiled.dtd, &compiled, options,
+                  rewrite_cache);
 }
 
 SatReport DecideSatisfiabilityNoDtd(const PathExpr& p,

@@ -77,15 +77,20 @@ SatReport DecideSatisfiability(const PathExpr& p, const Dtd& dtd,
 /// Same dispatch over precompiled per-DTD artifacts: the fragment routing is
 /// identical (same verdicts, same algorithms), but the DTD-side setup the
 /// deciders normally rebuild per call is reused. Thread-safe for concurrent
-/// calls sharing one CompiledDtd; used by the batch SatEngine.
+/// calls sharing one CompiledDtd; used by the batch SatEngine. A non-null
+/// `rewrite_cache` additionally memoizes the Prop 3.3 f(p) rewriting of the
+/// Thm 6.8(1)/6.8(2)/4.4 pipelines across calls (the engine threads its
+/// sharded cache through here); verdicts are identical either way.
 SatReport DecideSatisfiability(const PathExpr& p, const CompiledDtd& compiled,
-                               const SatOptions& options = {});
+                               const SatOptions& options = {},
+                               RewriteCache* rewrite_cache = nullptr);
 
 /// As above with a precomputed fragment profile (`features` must equal
 /// DetectFeatures(p) — the engine's query cache stores it alongside the AST).
 SatReport DecideSatisfiability(const PathExpr& p, const Features& features,
                                const CompiledDtd& compiled,
-                               const SatOptions& options = {});
+                               const SatOptions& options = {},
+                               RewriteCache* rewrite_cache = nullptr);
 
 /// Satisfiability in the absence of DTDs (Sec. 6.4).
 SatReport DecideSatisfiabilityNoDtd(const PathExpr& p,

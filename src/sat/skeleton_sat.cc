@@ -605,17 +605,31 @@ class SkeletonSearch {
 
 }  // namespace
 
-// The per-query search over a (possibly precomputed) normal form.
+// The per-query search over a (possibly precomputed) normal form. `compiled`
+// and `rewrites` are both non-null only on the engine path, where the f(p)
+// rewriting is served from the sharded RewriteCache instead of recomputed.
 static Result<SatDecision> SkeletonSatImpl(const PathExpr& p, const Dtd& dtd,
                                            const NormalizedDtd& norm,
-                                           const SkeletonSatOptions& options) {
+                                           const SkeletonSatOptions& options,
+                                           const CompiledDtd* compiled,
+                                           RewriteCache* rewrites) {
   if (!PathPositive(p)) {
     return Result<SatDecision>::Error(
         "query outside the positive fragment X(down,ds,up,as,union,[],=): "
         "negation/sibling axes not supported by the Thm 4.4 procedure");
   }
-  Result<std::unique_ptr<PathExpr>> fp = RewriteForNormalizedDtd(p, dtd, norm);
-  if (!fp.ok()) return Result<SatDecision>::Error(fp.error());
+  std::shared_ptr<const PathExpr> fp;
+  if (rewrites != nullptr && compiled != nullptr) {
+    Result<std::shared_ptr<const PathExpr>> r =
+        rewrites->GetOrRewrite(p, *compiled);
+    if (!r.ok()) return Result<SatDecision>::Error(r.error());
+    fp = std::move(r).value();
+  } else {
+    Result<std::unique_ptr<PathExpr>> r =
+        RewriteForNormalizedDtd(p, dtd, norm);
+    if (!r.ok()) return Result<SatDecision>::Error(r.error());
+    fp = std::shared_ptr<const PathExpr>(std::move(r).value());
+  }
   int psize = p.Size();
   int dsize = norm.dtd.Size();
   int max_nodes =
@@ -630,7 +644,7 @@ static Result<SatDecision> SkeletonSatImpl(const PathExpr& p, const Dtd& dtd,
           : std::min(64, options.desc_repeat_cap *
                                  static_cast<int>(norm.dtd.types().size()) +
                              2);
-  SkeletonSearch search(*fp.value(), norm.dtd, norm.new_types, options);
+  SkeletonSearch search(*fp, norm.dtd, norm.new_types, options);
   search.SetBounds(max_nodes, max_desc);
   SatDecision d = search.Run();
   if (d.sat() && d.witness.has_value()) {
@@ -642,12 +656,15 @@ static Result<SatDecision> SkeletonSatImpl(const PathExpr& p, const Dtd& dtd,
 
 Result<SatDecision> SkeletonSat(const PathExpr& p, const Dtd& dtd,
                                 const SkeletonSatOptions& options) {
-  return SkeletonSatImpl(p, dtd, NormalizeDtd(dtd), options);
+  return SkeletonSatImpl(p, dtd, NormalizeDtd(dtd), options, nullptr,
+                         nullptr);
 }
 
 Result<SatDecision> SkeletonSat(const PathExpr& p, const CompiledDtd& compiled,
-                                const SkeletonSatOptions& options) {
-  return SkeletonSatImpl(p, compiled.dtd, compiled.norm, options);
+                                const SkeletonSatOptions& options,
+                                RewriteCache* rewrites) {
+  return SkeletonSatImpl(p, compiled.dtd, compiled.norm, options, &compiled,
+                         rewrites);
 }
 
 }  // namespace xpathsat

@@ -46,9 +46,12 @@ Result<SatDecision> SkeletonSat(const PathExpr& p, const Dtd& dtd,
                                 const SkeletonSatOptions& options = {});
 
 /// Same decision reusing the precompiled normal form N(D). Thread-safe for
-/// concurrent calls sharing one CompiledDtd.
+/// concurrent calls sharing one CompiledDtd. A non-null `rewrites` memoizes
+/// the Prop 3.3 f(p) rewriting across calls (the engine threads its sharded
+/// RewriteCache through here); verdicts are identical either way.
 Result<SatDecision> SkeletonSat(const PathExpr& p, const CompiledDtd& compiled,
-                                const SkeletonSatOptions& options = {});
+                                const SkeletonSatOptions& options = {},
+                                RewriteCache* rewrites = nullptr);
 
 }  // namespace xpathsat
 

@@ -200,6 +200,8 @@ std::string FormatStatsLine(const SatEngineStats& stats,
       << ", \"query_cache_misses\": " << stats.query_cache_misses
       << ", \"memo_hits\": " << stats.memo_hits
       << ", \"memo_misses\": " << stats.memo_misses
+      << ", \"rewrite_cache_hits\": " << stats.rewrite_cache_hits
+      << ", \"rewrite_cache_misses\": " << stats.rewrite_cache_misses
       << ", \"parse_errors\": " << stats.parse_errors
       << ", \"cancellations\": " << stats.cancellations
       << ", \"deadline_expirations\": " << stats.deadline_expirations

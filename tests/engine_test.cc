@@ -6,8 +6,10 @@
 #include "src/engine/sat_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -236,6 +238,9 @@ TEST(SatEngineTest, MemoEvictsLeastRecentlyUsed) {
   Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
   SatEngineOptions opt;
   opt.memo_capacity = 2;
+  // Eviction order is LRU per shard; pin one shard so the global LRU order
+  // this test asserts is exact regardless of the host's core count.
+  opt.cache_shards = 1;
   SatEngine engine(opt);
   DtdHandle handle = engine.RegisterDtd(d);
   auto run = [&](const char* q) {
@@ -564,6 +569,181 @@ TEST_P(EngineFacadeParity, RandomizedAgreementUnderConcurrency) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFacadeParity, ::testing::Range(0, 12));
+
+// Witness-inclusive comparison key for parity checks: verdict + algorithm +
+// the exact witness printing (or its absence).
+std::string ResponseKey(const SatResponse& r) {
+  if (!r.status.ok()) return "error:" + r.status.message();
+  std::string key = r.report.algorithm + "/";
+  switch (r.report.decision.verdict) {
+    case SatVerdict::kSat: key += "sat"; break;
+    case SatVerdict::kUnsat: key += "unsat"; break;
+    case SatVerdict::kUnknown: key += "unknown"; break;
+  }
+  if (r.report.decision.witness.has_value()) {
+    key += "/" + r.report.decision.witness->ToString();
+  }
+  return key;
+}
+
+// Satellite property test: across randomized (DTD, query) seeds, a
+// cache-warm engine (memo + rewrite cache serving everything) returns
+// bit-identical verdicts AND witnesses to a cold engine with every cache
+// layer that could alter results disabled (--no-memo semantics plus no
+// rewrite cache). The rewrite cache sits on the miss path of the PTIME
+// filter pipelines, so the workload is filter-heavy positive traffic.
+TEST(RewriteCacheParity, WarmEngineMatchesColdNoMemoAcrossSeeds) {
+  uint64_t rewrite_probes = 0;
+  for (int seed = 0; seed < 40; ++seed) {
+    Rng rng(seed * 7919 + 13);
+    Dtd dtd = RandomDtd(&rng, rng.Percent(30), /*allow_attrs=*/true);
+    RandomPathOptions popt;  // positive fragment: filters, unions, recursion
+    std::vector<std::string> labels = {"A", "B", "C", "r"};
+
+    SatEngineOptions warm_opt;
+    warm_opt.num_threads = 2;
+    SatEngine warm(warm_opt);
+    SatEngineOptions cold_opt;
+    cold_opt.num_threads = 2;
+    cold_opt.memo_capacity = 0;
+    cold_opt.rewrite_cache_capacity = 0;
+    SatEngine cold(cold_opt);
+    DtdHandle warm_handle = warm.RegisterDtd(dtd);
+    DtdHandle cold_handle = cold.RegisterDtd(dtd);
+
+    std::vector<SatRequest> warm_batch;
+    std::vector<SatRequest> cold_batch;
+    for (int i = 0; i < 6; ++i) {
+      std::unique_ptr<PathExpr> p = RandomPath(&rng, labels, 3, popt);
+      // Force a filter wrapper on half the queries so the Thm 6.8(1)/4.4
+      // rewrite pipelines are exercised even when the random draw was plain.
+      std::string text = i % 2 == 0
+                             ? p->ToString()
+                             : "(" + p->ToString() + ")[" +
+                                   labels[rng.Below(labels.size())] + "]";
+      SatRequest r;
+      r.query = text;
+      warm_batch.push_back(r);
+      warm_batch.back().dtd = warm_handle;
+      cold_batch.push_back(r);
+      cold_batch.back().dtd = cold_handle;
+    }
+
+    // Prime the warm engine, then compare its fully warm round (memo +
+    // rewrite hits) against the cold engine's from-scratch decisions.
+    warm.RunBatch(warm_batch);
+    std::vector<SatResponse> warm_out = warm.RunBatch(warm_batch);
+    std::vector<SatResponse> cold_out = cold.RunBatch(cold_batch);
+    ASSERT_EQ(warm_out.size(), cold_out.size());
+    for (size_t i = 0; i < warm_out.size(); ++i) {
+      EXPECT_EQ(ResponseKey(warm_out[i]), ResponseKey(cold_out[i]))
+          << "seed " << seed << ": " << warm_batch[i].query;
+      if (warm_out[i].status.ok()) {
+        EXPECT_TRUE(warm_out[i].memo_hit) << warm_batch[i].query;
+      }
+    }
+    SatEngineStats stats = warm.stats();
+    rewrite_probes += stats.rewrite_cache_hits + stats.rewrite_cache_misses;
+    EXPECT_EQ(cold.stats().rewrite_cache_hits, 0u);
+    EXPECT_EQ(cold.stats().rewrite_cache_misses, 0u);
+  }
+  // The workload must actually have exercised the rewrite cache.
+  EXPECT_GT(rewrite_probes, 0u);
+}
+
+// Tentpole parity: the sharded cache core returns bit-identical responses
+// to the single-shard (old single-mutex) layout on randomized concurrent
+// workloads — cold rounds, warm rounds, and memo-hit rounds alike.
+TEST(ShardedCacheParity, ShardedEngineMatchesSingleShardRandomized) {
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(seed * 271 + 17);
+    std::vector<std::string> labels = {"A", "B", "C", "r"};
+    RandomPathOptions popt;
+    popt.allow_upward = true;
+    std::vector<Dtd> dtds;
+    for (int i = 0; i < 2; ++i) {
+      dtds.push_back(RandomDtd(&rng, rng.Percent(30), /*allow_attrs=*/true));
+    }
+
+    SatEngineOptions sharded_opt;
+    sharded_opt.num_threads = 4;
+    sharded_opt.cache_shards = 8;
+    SatEngine sharded(sharded_opt);
+    SatEngineOptions single_opt;
+    single_opt.num_threads = 4;
+    single_opt.cache_shards = 1;
+    SatEngine single(single_opt);
+    EXPECT_GT(sharded.cache_shards(), 1u);
+    EXPECT_EQ(single.cache_shards(), 1u);
+
+    std::vector<DtdHandle> sharded_handles, single_handles;
+    for (const Dtd& d : dtds) {
+      sharded_handles.push_back(sharded.RegisterDtd(d));
+      single_handles.push_back(single.RegisterDtd(d));
+    }
+    std::vector<SatRequest> sharded_batch, single_batch;
+    for (int i = 0; i < 24; ++i) {
+      size_t pick = rng.Below(dtds.size());
+      std::unique_ptr<PathExpr> p = RandomPath(&rng, labels, 3, popt);
+      SatRequest r;
+      r.query = p->ToString();
+      sharded_batch.push_back(r);
+      sharded_batch.back().dtd = sharded_handles[pick];
+      single_batch.push_back(r);
+      single_batch.back().dtd = single_handles[pick];
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<SatResponse> a = sharded.RunBatch(sharded_batch);
+      std::vector<SatResponse> b = single.RunBatch(single_batch);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(ResponseKey(a[i]), ResponseKey(b[i]))
+            << "seed " << seed << " pass " << pass << ": "
+            << sharded_batch[i].query;
+      }
+    }
+  }
+}
+
+// Shard stress, in-suite edition (the heavyweight battery with exact stats
+// accounting lives in tests/cache_stress_test.cc under the `stress` CTest
+// label): 8 caller threads hammer one engine's sharded memo and the shared
+// rewrite cache; every response must carry the reference verdict.
+TEST(SatEngineTest, EightThreadsHammerTheShardedMemo) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  const std::vector<std::string> queries = {"A", "B",      "A/B",
+                                            "**/B", ".[A && B]", "C"};
+  SatEngineOptions opt;
+  opt.num_threads = 4;
+  SatEngine engine(opt);
+  DtdHandle handle = engine.RegisterDtd(d);
+  std::vector<bool> expected;
+  for (const std::string& q : queries) {
+    expected.push_back(DecideSatisfiability(*Path(q), d).sat());
+  }
+  std::atomic<int> bad{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 8; ++t) {
+    callers.emplace_back([&, t] {
+      for (int i = 0; i < 60; ++i) {
+        size_t pick = static_cast<size_t>(t + i) % queries.size();
+        SatRequest r;
+        r.query = queries[pick];
+        r.dtd = handle;
+        SatResponse resp = engine.Run(r);
+        if (!resp.status.ok() || resp.report.sat() != expected[pick]) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& c : callers) c.join();
+  EXPECT_EQ(bad.load(), 0);
+  SatEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 8u * 60u);
+  EXPECT_EQ(stats.memo_hits + stats.memo_misses, 8u * 60u);
+  EXPECT_GE(stats.memo_hits, 8u * 60u - queries.size() * 8u);
+}
 
 // --- Completion callbacks and WaitAny ------------------------------------
 

@@ -1,11 +1,13 @@
 #include "src/sat/satisfiability.h"
 
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/xpath/evaluator.h"
+#include "src/xpath/rewrites.h"
 #include "tests/test_util.h"
 
 namespace xpathsat {
@@ -117,6 +119,107 @@ TEST(SatOptionsDigestTest, EveryFieldIsSignificant) {
   SatOptions swapped;
   std::swap(swapped.bounded_caps.max_depth, swapped.bounded_caps.max_star);
   EXPECT_NE(swapped.Digest(), base);
+}
+
+// --- RewriteCache: the sharded Prop 3.3 f(p) memo --------------------------
+
+TEST(RewriteCacheTest, ServesTheExactRewriteAndHitsOnRepeat) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> C\nB -> eps\nC -> eps\n");
+  std::shared_ptr<const CompiledDtd> compiled = CompiledDtd::Compile(d);
+  RewriteCache cache(64);
+  std::unique_ptr<PathExpr> p = Path(".[A && B]/**/C");
+
+  Result<std::shared_ptr<const PathExpr>> first =
+      cache.GetOrRewrite(*p, *compiled);
+  ASSERT_TRUE(first.ok()) << first.error();
+  Result<std::unique_ptr<PathExpr>> direct =
+      RewriteForNormalizedDtd(*p, compiled->dtd, compiled->norm);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(first.value()->ToString(), direct.value()->ToString());
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // The repeat serves the SAME AST object (no recomputation).
+  Result<std::shared_ptr<const PathExpr>> second =
+      cache.GetOrRewrite(*p, *compiled);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().get(), first.value().get());
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(RewriteCacheTest, RandomizedParityWithDirectRewrite) {
+  // 40 randomized (DTD, query) seeds: the cached rewrite prints identically
+  // to the direct Prop 3.3 rewrite, and the second probe always hits.
+  for (int seed = 0; seed < 40; ++seed) {
+    Rng rng(seed * 3571 + 7);
+    Dtd d = RandomDtd(&rng, rng.Percent(30), /*allow_attrs=*/true);
+    std::shared_ptr<const CompiledDtd> compiled = CompiledDtd::Compile(d);
+    RewriteCache cache(64);
+    RandomPathOptions popt;  // no sibling axes: inside the rewrite fragment
+    std::unique_ptr<PathExpr> p =
+        RandomPath(&rng, {"A", "B", "C", "r"}, 3, popt);
+    Result<std::unique_ptr<PathExpr>> direct =
+        RewriteForNormalizedDtd(*p, compiled->dtd, compiled->norm);
+    Result<std::shared_ptr<const PathExpr>> via_cache =
+        cache.GetOrRewrite(*p, *compiled);
+    ASSERT_EQ(direct.ok(), via_cache.ok()) << "seed " << seed;
+    if (!direct.ok()) continue;  // errors are passed through, never cached
+    EXPECT_EQ(via_cache.value()->ToString(), direct.value()->ToString())
+        << "seed " << seed << ": " << p->ToString();
+    Result<std::shared_ptr<const PathExpr>> again =
+        cache.GetOrRewrite(*p, *compiled);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().get(), via_cache.value().get()) << "seed " << seed;
+  }
+}
+
+TEST(RewriteCacheTest, FingerprintCollidingDtdNeverServesForeignRewrite) {
+  // A 64-bit FNV collision cannot be constructed cheaply, so forge one: two
+  // structurally different schemas whose CompiledDtd carries the SAME
+  // fingerprint field. The cache must detect the collision (EquivalentTo
+  // verification), serve the second schema its OWN rewrite, and leave the
+  // incumbent entry in place.
+  Dtd d1 = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  Dtd d2 = ParseDtdOrDie("root r\nr -> A, A, C\nA -> C\nC -> eps\n");
+  std::shared_ptr<const CompiledDtd> c1 = CompiledDtd::Compile(d1);
+  CompiledDtd forged = *CompiledDtd::Compile(d2);
+  forged.fingerprint = c1->fingerprint;  // the collision
+
+  RewriteCache cache(64);
+  std::unique_ptr<PathExpr> p = Path(".[A]/*");
+
+  Result<std::shared_ptr<const PathExpr>> for_d1 =
+      cache.GetOrRewrite(*p, *c1);
+  ASSERT_TRUE(for_d1.ok()) << for_d1.error();
+  Result<std::shared_ptr<const PathExpr>> for_forged =
+      cache.GetOrRewrite(*p, forged);
+  ASSERT_TRUE(for_forged.ok()) << for_forged.error();
+  // Never the first schema's AST...
+  EXPECT_NE(for_forged.value().get(), for_d1.value().get());
+  // ...but exactly the forged schema's own direct rewrite.
+  Result<std::unique_ptr<PathExpr>> direct2 =
+      RewriteForNormalizedDtd(*p, forged.dtd, forged.norm);
+  ASSERT_TRUE(direct2.ok());
+  EXPECT_EQ(for_forged.value()->ToString(), direct2.value()->ToString());
+  // The colliding probe counted as a miss, and the incumbent still serves
+  // the original schema.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  Result<std::shared_ptr<const PathExpr>> d1_again =
+      cache.GetOrRewrite(*p, *c1);
+  ASSERT_TRUE(d1_again.ok());
+  EXPECT_EQ(d1_again.value().get(), for_d1.value().get());
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(RewriteCacheTest, ErrorsArePassedThroughUncached) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A*\nA -> eps\n");
+  std::shared_ptr<const CompiledDtd> compiled = CompiledDtd::Compile(d);
+  RewriteCache cache(64);
+  std::unique_ptr<PathExpr> sibling = Path("A/>");  // outside the fragment
+  EXPECT_FALSE(cache.GetOrRewrite(*sibling, *compiled).ok());
+  EXPECT_FALSE(cache.GetOrRewrite(*sibling, *compiled).ok());
+  EXPECT_EQ(cache.hits(), 0u);  // never cached, never served
 }
 
 TEST(SatisfiabilityTest, WitnessesAreVerifiable) {

@@ -360,6 +360,64 @@ TEST(SocketServerTest, TwoConcurrentClientsShareOneEngineAndItsMemo) {
   server.Stop();
 }
 
+TEST(SocketServerTest, CrossClientRewriteCacheReuseWithMemoDisabled) {
+  // With the verdict memo off, every request walks the miss path — so the
+  // second client's filter traffic must be served its Prop 3.3 rewrites
+  // from the cache the FIRST client populated (cross-client rewrite reuse),
+  // and the stats line must surface the new counters.
+  SatEngineOptions eopt;
+  eopt.num_threads = 2;
+  eopt.memo_capacity = 0;
+  SatEngine engine(eopt);
+  std::string dtd_path = WriteTempDtd("socket_rewrite.dtd");
+  SocketServerOptions opt;
+  opt.unix_path = SocketPath("rewrite");
+  SocketServer server(&engine, opt);
+  ASSERT_TRUE(server.Start().ok());
+
+  // kHeavyQuery is a positive filter query: it routes to the Thm 4.4
+  // skeleton search, whose first step is the f(p) rewrite.
+  auto run_client = [&](const char* name, int repeats) {
+    Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+    ASSERT_TRUE(fd.ok()) << fd.error();
+    TestClient client(std::move(fd).value());
+    client.Send(std::string("dtd ") + name + " " + dtd_path);
+    client.WaitFor("ok dtd");
+    for (int i = 0; i < repeats; ++i) {
+      client.Send(std::string("query ") + name + " " + kHeavyQuery);
+      // Flush between requests: concurrent first-misses would both compute
+      // the rewrite (benign race, but it would blur the exact miss count
+      // asserted below).
+      client.Send("flush");
+      client.WaitFor("ok flush");
+    }
+    client.Send("quit");
+    client.WaitFor("ok quit");
+  };
+  run_client("alpha", 2);  // primes the rewrite cache (first request misses)
+  SatEngineStats primed = engine.stats();
+  EXPECT_GE(primed.rewrite_cache_hits, 1u);  // alpha's own repeat already hits
+  run_client("beta", 3);   // a different connection, same (query, DTD) pair
+
+  SatEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.memo_hits + stats.memo_misses, 0u);  // memo really off
+  EXPECT_EQ(stats.rewrite_cache_misses, 1u);  // one rewrite, ever
+  EXPECT_GE(stats.rewrite_cache_hits, primed.rewrite_cache_hits + 3);
+
+  // The wire stats line carries the counters for scripted clients.
+  Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+  ASSERT_TRUE(fd.ok()) << fd.error();
+  TestClient probe(std::move(fd).value());
+  probe.Send("stats");
+  std::string line = probe.WaitFor("stats {");
+  EXPECT_NE(line.find("\"rewrite_cache_hits\": "), std::string::npos) << line;
+  EXPECT_NE(line.find("\"rewrite_cache_misses\": 1"), std::string::npos)
+      << line;
+  probe.Send("quit");
+  probe.WaitFor("ok quit");
+  server.Stop();
+}
+
 TEST(SocketServerTest, CancelByIdAcrossTheSocket) {
   SatEngineOptions eopt;
   eopt.num_threads = 1;

@@ -109,12 +109,17 @@ TEST(CancellableJobTest, CompletedJobCannotBeCancelled) {
 }
 
 TEST(CancellableJobTest, PrePublishedControlBlockIsHonored) {
-  ThreadPool pool(2);
   auto job = std::make_shared<CancellableJob>();
   std::promise<int> result;
   std::future<int> f = result.get_future();
-  pool.SubmitCancellable(job, [&result] { result.set_value(7); });
-  EXPECT_EQ(f.get(), 7);
+  {
+    ThreadPool pool(2);
+    pool.SubmitCancellable(job, [&result] { result.set_value(7); });
+    EXPECT_EQ(f.get(), 7);
+    // The worker flips the job to done AFTER the body returns, so the state
+    // is only guaranteed once the pool has drained — assert after join, not
+    // right after the future resolves (that ordering was a flake).
+  }
   EXPECT_TRUE(job->done());
 }
 

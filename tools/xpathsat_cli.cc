@@ -185,6 +185,8 @@ void WriteJsonStats(std::ostream& out, const SatEngineStats& stats) {
       << ", \"query_cache_misses\": " << stats.query_cache_misses
       << ", \"memo_hits\": " << stats.memo_hits
       << ", \"memo_misses\": " << stats.memo_misses
+      << ", \"rewrite_cache_hits\": " << stats.rewrite_cache_hits
+      << ", \"rewrite_cache_misses\": " << stats.rewrite_cache_misses
       << ", \"parse_errors\": " << stats.parse_errors
       << ", \"cancellations\": " << stats.cancellations
       << ", \"deadline_expirations\": " << stats.deadline_expirations << "}";
@@ -471,6 +473,7 @@ int main(int argc, char** argv) {
       "%d sat, %d unsat, %d unknown, %d error\n"
       "wall %.1f ms (%.0f req/s) | dtd cache %llu/%llu hits | "
       "query cache %llu/%llu hits | memo %llu/%llu hits | "
+      "rewrite cache %llu/%llu hits | "
       "%llu cancellations | %llu deadline expirations\n",
       workload.size(), opt.repeat, engine.num_threads(), n_sat, n_unsat,
       n_unknown, n_error, wall_ms, throughput,
@@ -482,6 +485,9 @@ int main(int argc, char** argv) {
                                       stats.query_cache_misses),
       static_cast<unsigned long long>(stats.memo_hits),
       static_cast<unsigned long long>(stats.memo_hits + stats.memo_misses),
+      static_cast<unsigned long long>(stats.rewrite_cache_hits),
+      static_cast<unsigned long long>(stats.rewrite_cache_hits +
+                                      stats.rewrite_cache_misses),
       static_cast<unsigned long long>(stats.cancellations),
       static_cast<unsigned long long>(stats.deadline_expirations));
 
