@@ -11,6 +11,7 @@
 // thousands of requests drawn from a few hundred distinct queries spanning
 // the PTIME fragments (Thm 4.1 reach, Thm 7.1 sibling chains, Thm 6.8(1)
 // filters) plus a slice of NP skeleton-search traffic.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -417,6 +418,71 @@ int main(int argc, char** argv) {
     report.Add("server_roundtrip_fraction_of_submit_pipelined",
                (kRequests / server_s) /
                    report.Get("engine_submit_pipelined_1thread_requests_per_s"),
+               "x");
+  }
+
+  // Idle connections held while serving: the reactor's resource claim in
+  // numbers. One live client's sequential stats round trips are timed with
+  // an empty server and again with hundreds of idle connections parked on
+  // it; the fraction is what the idle herd costs live traffic (the stress
+  // suite asserts >= 0.9 on the same shape).
+  {
+    const int kIdleHerd = 500;
+    const int kPings = 500;
+    SatEngineOptions opt;
+    opt.num_threads = 1;
+    SatEngine engine(opt);
+    server::SocketServerOptions server_opt;
+    server_opt.unix_path = "bench_engine_idle.sock";
+    server::SocketServer server(&engine, server_opt);
+    Status started = server.Start();
+    BenchCheck(started.ok(), "idle-phase server starts: " + started.message());
+
+    Result<net::ScopedFd> conn = net::ConnectUnix(server_opt.unix_path);
+    BenchCheck(conn.ok(), "idle-phase client connects: " + conn.error());
+    net::LineReader live_reader(conn.value().get(), protocol::kMaxLineBytes);
+    auto ping_rate = [&] {
+      std::string line, error;
+      Clock::time_point start = Clock::now();
+      for (int i = 0; i < kPings; ++i) {
+        Status sent = net::WriteAll(conn.value().get(), "stats\n");
+        BenchCheck(sent.ok(), "idle-phase send: " + sent.message());
+        net::LineReader::Event ev = live_reader.ReadLine(&line, &error);
+        BenchCheck(ev == net::LineReader::Event::kLine &&
+                       line.rfind("stats {", 0) == 0,
+                   "idle-phase stats reply");
+      }
+      return kPings / Seconds(start, Clock::now());
+    };
+    ping_rate();  // warm-up
+    double alone = 0;
+    for (int round = 0; round < 3; ++round) {
+      alone = std::max(alone, ping_rate());
+    }
+
+    std::vector<net::ScopedFd> idle;
+    idle.reserve(kIdleHerd);
+    while (idle.size() < static_cast<size_t>(kIdleHerd)) {
+      Result<net::ScopedFd> fd = net::ConnectUnix(server_opt.unix_path);
+      if (!fd.ok()) {  // listen backlog outrun; let the reactor catch up
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
+      idle.push_back(std::move(fd).value());
+    }
+    while (server.connections_active() <
+           static_cast<uint64_t>(kIdleHerd) + 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    double crowded = 0;
+    for (int round = 0; round < 3; ++round) {
+      crowded = std::max(crowded, ping_rate());
+    }
+    server.Stop();
+
+    report.Add("server_roundtrips_per_s_idle0", alone, "req/s");
+    report.Add("server_roundtrips_per_s_idle500", crowded, "req/s");
+    report.Add("server_roundtrip_fraction_under_idle_load", crowded / alone,
                "x");
   }
 

@@ -464,7 +464,8 @@ SatTicket SatEngine::Submit(SatRequest request) {
   // can possibly start — Submit, TryCancel, and the reaper all go through
   // the same CAS arbitration.
   pool_.SubmitCancellable(
-      state->job, [this, state, request = std::move(request), submitted] {
+      state->job, [this, state, request = std::move(request),
+                   submitted]() mutable {
         // The promise is always fulfilled: an exception escaping a pool job
         // would std::terminate the process (and break every ticket copy),
         // so decider failures surface as error responses instead.
@@ -479,6 +480,11 @@ SatTicket SatEngine::Submit(SatRequest request) {
           resp = SatResponse();
           resp.status = Status::Error("internal error");
         }
+        // Drop the worker's request copy (and its DtdHandle pin) before
+        // fulfilment: a caller that observes Get() returning must also
+        // observe live_dtd_handles() without this job's pin, otherwise the
+        // gauge transiently overcounts until the pool discards the closure.
+        request = SatRequest();
         state->Fulfill(std::move(resp));
       });
   if (deadline_ms > 0) {

@@ -47,6 +47,8 @@ ParseResult BadArgs(Verb verb, const char* usage) {
 
 const char* VerbName(Verb verb) {
   switch (verb) {
+    case Verb::kAuth: return "auth";
+    case Verb::kHealth: return "health";
     case Verb::kDtd: return "dtd";
     case Verb::kQuery: return "query";
     case Verb::kDrop: return "drop";
@@ -90,7 +92,20 @@ ParseResult ParseCommandLine(const std::string& line) {
   ParseResult r;
   r.status = ParseStatus::kCommand;
   Command& cmd = r.command;
-  if (verb_text == "dtd") {
+  if (verb_text == "auth") {
+    cmd.verb = Verb::kAuth;
+    // The secret is the whole remainder, so secrets may contain spaces;
+    // empty is malformed (an auth-less server wants no auth line at all).
+    cmd.arg = TrimmedRemainder(rest);
+    if (cmd.arg.empty()) {
+      return BadArgs(Verb::kAuth, "auth SECRET");
+    }
+  } else if (verb_text == "health") {
+    cmd.verb = Verb::kHealth;
+    if (!TrimmedRemainder(rest).empty()) {
+      return BadArgs(Verb::kHealth, "health");
+    }
+  } else if (verb_text == "dtd") {
     cmd.verb = Verb::kDtd;
     cmd.name = TakeToken(&rest);
     cmd.arg = TrimmedRemainder(rest);
@@ -141,6 +156,10 @@ ParseResult ParseCommandLine(const std::string& line) {
 
 std::string FormatCommand(const Command& command) {
   switch (command.verb) {
+    case Verb::kAuth:
+      return "auth " + command.arg;
+    case Verb::kHealth:
+      return "health";
     case Verb::kDtd:
       return "dtd " + command.name + " " + command.arg;
     case Verb::kQuery:
@@ -190,10 +209,10 @@ std::string FormatResultLine(uint64_t ticket_id, const std::string& query,
          (response.memo_hit ? " memo" : "");
 }
 
-std::string FormatStatsLine(const SatEngineStats& stats,
+std::string FormatStatsJson(const SatEngineStats& stats,
                             uint64_t live_dtd_handles) {
   std::ostringstream out;
-  out << "stats {\"requests\": " << stats.requests
+  out << "{\"requests\": " << stats.requests
       << ", \"dtd_cache_hits\": " << stats.dtd_cache_hits
       << ", \"dtd_cache_misses\": " << stats.dtd_cache_misses
       << ", \"query_cache_hits\": " << stats.query_cache_hits
@@ -207,6 +226,11 @@ std::string FormatStatsLine(const SatEngineStats& stats,
       << ", \"deadline_expirations\": " << stats.deadline_expirations
       << ", \"live_dtd_handles\": " << live_dtd_handles << "}";
   return out.str();
+}
+
+std::string FormatStatsLine(const SatEngineStats& stats,
+                            uint64_t live_dtd_handles) {
+  return "stats " + FormatStatsJson(stats, live_dtd_handles);
 }
 
 }  // namespace protocol

@@ -5,6 +5,10 @@
 // Requests are single lines, verb first ('#'-comments and blank lines are
 // ignored):
 //
+//   auth SECRET         authenticate (required first, when the server was
+//                       started with a shared secret)
+//   health              liveness/metrics probe as one JSON line — the one
+//                       verb allowed WITHOUT auth (load balancers probe it)
 //   dtd NAME PATH       register the DTD file at PATH under NAME
 //   query NAME XPATH    submit XPATH against NAME (alias: q)
 //   drop NAME           release NAME's handle
@@ -17,14 +21,19 @@
 //
 //   ok dtd NAME fp=FP          ok query ID        ok drop NAME
 //   ok cancel ID               ok flush           ok quit
+//   ok auth                    auth accepted
 //   ID [verdict] XPATH -- ...  completion line for ticket ID (may arrive
 //                              out of submission order; [verdict] is one of
 //                              sat/unsat/unknown/error)
 //   stats {...}                single-line JSON, same field names as --json
+//   health {...}               single-line JSON for probes (engine stats,
+//                              plus server connection counters when served
+//                              by xpathsat_server)
 //   err CODE detail            structured error; CODE is a stable slug
 //                              (unknown-verb, bad-args, oversized-line,
 //                              unknown-dtd, unknown-ticket, not-cancellable,
-//                              dtd-parse, io)
+//                              dtd-parse, io, auth-required, bad-auth,
+//                              busy, throttled, idle-timeout)
 //
 // Malformed input (unknown verb, missing argument, oversized line) always
 // answers with an `err` line and keeps the session alive — nothing is
@@ -46,6 +55,8 @@ namespace protocol {
 constexpr size_t kMaxLineBytes = 64 * 1024;
 
 enum class Verb {
+  kAuth,
+  kHealth,
   kDtd,
   kQuery,
   kDrop,
@@ -59,7 +70,8 @@ enum class Verb {
 struct Command {
   Verb verb = Verb::kFlush;
   std::string name;        // dtd/query/drop: the schema name
-  std::string arg;         // dtd: the path; query: the XPath text
+  std::string arg;         // dtd: the path; query: the XPath text;
+                           // auth: the secret
   uint64_t ticket_id = 0;  // cancel
 };
 
@@ -110,9 +122,13 @@ std::string FormatQueryAck(uint64_t ticket_id);
 std::string FormatResultLine(uint64_t ticket_id, const std::string& query,
                              const SatResponse& response);
 
-/// `stats {json}`: one line, field names mirroring the CLI's --json output
-/// (requests, dtd_cache_hits, ..., deadline_expirations) plus
-/// live_dtd_handles, so scripted clients parse instead of scraping.
+/// The bare stats JSON object (no tag), field names mirroring the CLI's
+/// --json output (requests, dtd_cache_hits, ..., deadline_expirations) plus
+/// live_dtd_handles — shared by the `stats` and `health` reply lines.
+std::string FormatStatsJson(const SatEngineStats& stats,
+                            uint64_t live_dtd_handles);
+
+/// `stats {json}`: one line, so scripted clients parse instead of scraping.
 std::string FormatStatsLine(const SatEngineStats& stats,
                             uint64_t live_dtd_handles);
 

@@ -24,8 +24,9 @@ struct ServerSession::Shared {
 ServerSession::ServerSession(SatEngine* engine, SessionOptions options,
                              LineSink sink)
     : engine_(engine),
-      options_(options),
-      shared_(std::make_shared<Shared>()) {
+      options_(std::move(options)),
+      shared_(std::make_shared<Shared>()),
+      authed_(options_.auth_secret.empty()) {
   shared_->sink = std::move(sink);
 }
 
@@ -49,7 +50,10 @@ bool ServerSession::HandleLine(const std::string& line) {
       return true;
     case protocol::ParseStatus::kError:
       shared_->sink(parsed.error_line);
-      return true;
+      // An unauthenticated peer gets exactly one malformed line before the
+      // session ends — no protocol probing without the secret.
+      if (!authed_) closed_ = true;
+      return !closed_;
     case protocol::ParseStatus::kCommand:
       HandleCommand(parsed.command);
       return !closed_;
@@ -59,7 +63,41 @@ bool ServerSession::HandleLine(const std::string& line) {
 
 void ServerSession::HandleCommand(const protocol::Command& command) {
   using protocol::Verb;
+  // Auth gate: before the secret is presented, only `auth` and `health`
+  // exist. Everything else answers a structured error and ends the session
+  // (one strike — an unauthenticated peer cannot keep probing verbs).
+  if (!authed_ && command.verb != Verb::kAuth &&
+      command.verb != Verb::kHealth) {
+    EmitError("auth-required",
+              std::string(protocol::VerbName(command.verb)) +
+                  " before auth; send `auth SECRET` first");
+    closed_ = true;
+    return;
+  }
   switch (command.verb) {
+    case Verb::kAuth:
+      // With no secret configured, auth is an idempotent no-op so clients
+      // may send it unconditionally. A wrong secret always closes the
+      // session — even one that already authenticated.
+      if (!options_.auth_secret.empty() &&
+          command.arg != options_.auth_secret) {
+        EmitError("bad-auth", "secret mismatch");
+        closed_ = true;
+        return;
+      }
+      authed_ = true;
+      shared_->sink("ok auth");
+      return;
+    case Verb::kHealth:
+      // Deliberately unauthenticated: load balancers and liveness probes
+      // hit this without the secret.
+      shared_->sink("health " +
+                    (options_.health_json
+                         ? options_.health_json()
+                         : protocol::FormatStatsJson(
+                               engine_->stats(),
+                               engine_->live_dtd_handles())));
+      return;
     case Verb::kDtd: {
       std::ifstream in(command.arg);
       if (!in) {

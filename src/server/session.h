@@ -50,6 +50,16 @@ struct SessionOptions {
   /// sends) instead of queueing unbounded work in the shared engine. Must
   /// be >= 1.
   size_t max_inflight = 1024;
+  /// Shared secret. When nonempty, the session starts unauthenticated: the
+  /// ONLY verbs accepted are `auth SECRET` (right secret -> `ok auth`;
+  /// wrong -> `err bad-auth` and the session closes) and `health` (always
+  /// unauthenticated, so load balancers can probe without the secret).
+  /// Anything else answers `err auth-required` and closes the session.
+  std::string auth_secret;
+  /// Producer for the `health` reply's JSON object. The socket server
+  /// injects one that merges its connection counters with the engine stats;
+  /// unset falls back to the engine stats JSON alone.
+  std::function<std::string()> health_json;
 };
 
 class ServerSession {
@@ -93,6 +103,7 @@ class ServerSession {
   std::map<std::string, DtdHandle> schemas_;
   uint64_t queries_submitted_ = 0;
   bool closed_ = false;
+  bool authed_ = false;  // vacuously true when no secret is configured
 };
 
 }  // namespace server

@@ -1,23 +1,25 @@
 // SocketServer: the network front end over one long-lived SatEngine.
 //
-// Listens on a unix-domain socket and/or a loopback TCP port and speaks the
-// shared line protocol (src/server/protocol.h). Every accepted connection
-// gets its own ServerSession — its own DTD-name namespace and in-flight
-// ticket table — but all sessions share the ONE engine, so its compiled-DTD
-// cache, query cache, and verdict memo are shared across clients: client B
-// gets memo hits on traffic client A already decided.
+// Listens on a unix-domain socket and/or a TCP port and speaks the shared
+// line protocol (src/server/protocol.h). Every accepted connection gets its
+// own ServerSession — its own DTD-name namespace and in-flight ticket table
+// — but all sessions share the ONE engine, so its compiled-DTD cache, query
+// cache, and verdict memo are shared across clients: client B gets memo
+// hits on traffic client A already decided.
 //
-// Concurrency model: one accept thread per listener plus one reader thread
-// per connection (finished connections are reaped as new ones arrive).
-// Result lines are NOT written by the reader thread — they are pipelined
-// out of order by the engine threads that complete each ticket, through the
-// session's completion callbacks, serialized per connection by a write
-// mutex. A connection doing a large batch therefore has results streaming
-// back while its reader is still parsing requests.
+// Concurrency model: a single REACTOR thread owns readiness and framing —
+// an epoll (poll(2) fallback) event loop that accepts, reads nonblockingly,
+// decodes lines, enforces the idle-timeout timer wheel, the connection cap,
+// and per-IP accept throttling. Decoded lines are handed to a fixed worker
+// pool through a bounded queue (one token per connection needing service,
+// so per-connection line order is preserved and a connection is never
+// handled by two workers at once). Result lines are NOT written by either —
+// they are pipelined out of order by the engine threads that complete each
+// ticket, through the session's completion callbacks, serialized per
+// connection by a write mutex.
 //
-// Thread-per-connection is deliberate: sessions are few and long-lived
-// (clients multiplex many requests over one connection), so the scaling
-// pressure is on the engine, not the socket layer.
+// This is what makes 10k idle connections on one process possible: an idle
+// connection costs one fd and a timer-wheel slot, not a thread.
 //
 // Lifecycle: construct -> Start() -> ... -> Stop() (idempotent; also run by
 // the destructor). The engine must outlive Stop(). Stop shuts every
@@ -29,14 +31,17 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/engine/sat_engine.h"
 #include "src/server/protocol.h"
 #include "src/server/session.h"
+#include "src/util/bounded_queue.h"
 #include "src/util/net.h"
 #include "src/util/status.h"
 
@@ -50,14 +55,37 @@ struct SocketServerOptions {
   /// TCP listener port; -1 disables, 0 binds an ephemeral port (read it
   /// back from tcp_port() after Start).
   int tcp_port = -1;
-  /// TCP bind address; loopback by default — this server has no auth layer,
-  /// so binding wider than loopback is an explicit caller decision.
+  /// TCP bind address; loopback by default — binding wider than loopback is
+  /// an explicit caller decision (pair it with auth_secret).
   std::string tcp_host = "127.0.0.1";
-  /// Forwarded to every connection's session.
+  /// Forwarded to every connection's session (auth_secret and health_json
+  /// below override the corresponding session fields).
   SessionOptions session;
   /// Per-line byte cap before a connection's input is answered with
   /// `err oversized-line` and discarded to the next newline.
   size_t max_line_bytes = protocol::kMaxLineBytes;
+
+  // --- production hardening -----------------------------------------------
+
+  /// Cap on live connections; an accept beyond it is answered with one
+  /// `err busy ...` line and closed. 0: unlimited.
+  size_t max_connections = 0;
+  /// A connection with no traffic (reads or result writes) for this long is
+  /// evicted with `err idle-timeout ...`. 0: never.
+  int64_t idle_timeout_ms = 0;
+  /// Shared secret: when nonempty every connection must present
+  /// `auth SECRET` before its first verb (`health` stays open for load
+  /// balancers).
+  std::string auth_secret;
+  /// Per-IP accept throttle for TCP connections (token bucket, refilled at
+  /// this rate, burst = the same value): an accept beyond it is answered
+  /// with `err throttled ...` and closed. 0: off. Unix-domain connections
+  /// are exempt (no peer address to bucket).
+  int tcp_accepts_per_ip_per_sec = 0;
+  /// Session worker pool size; 0 picks hardware_concurrency clamped to
+  /// [2, 8]. These workers run HandleLine (parse + submit + acks); the
+  /// engine's own pool does the deciding.
+  int worker_threads = 0;
 };
 
 class SocketServer {
@@ -69,8 +97,9 @@ class SocketServer {
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  /// Opens the configured listeners and starts accepting. Fails (and opens
-  /// nothing) when no listener is configured or a bind fails.
+  /// Opens the configured listeners and starts the reactor and workers.
+  /// Fails (and opens nothing — a partially-bound unix socket file is
+  /// unlinked again) when no listener is configured or a bind fails.
   Status Start();
 
   /// Stops accepting, shuts down every connection (sessions drain their
@@ -82,42 +111,107 @@ class SocketServer {
   int tcp_port() const { return bound_tcp_port_; }
   const std::string& unix_path() const { return options_.unix_path; }
 
+  /// Connections actually admitted to service (rejected/throttled/stop-race
+  /// accepts are NOT counted here — see connections_rejected()).
   uint64_t connections_accepted() const {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
+  /// Admitted connections not yet torn down.
   uint64_t connections_active() const {
     return connections_active_.load(std::memory_order_relaxed);
   }
+  /// Accepts answered `err busy` (max_connections cap).
+  uint64_t connections_rejected() const {
+    return connections_rejected_.load(std::memory_order_relaxed);
+  }
+  /// Accepts answered `err throttled` (per-IP rate).
+  uint64_t connections_throttled() const {
+    return connections_throttled_.load(std::memory_order_relaxed);
+  }
+  /// Connections evicted by the idle timeout.
+  uint64_t idle_evictions() const {
+    return idle_evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// The `health` reply's JSON object: server connection counters plus the
+  /// engine stats (also what load balancers poll).
+  std::string HealthJson() const;
 
  private:
-  struct Connection {
+  struct Connection;
+  struct Listener {
     net::ScopedFd fd;
-    std::thread thread;
-    std::atomic<bool> done{false};
+    bool is_tcp = false;
+  };
+  struct IpBucket {
+    double tokens = 0;
+    int64_t last_ms = 0;
   };
 
-  void AcceptLoop(int listen_fd);
-  void ServeConnection(Connection* connection);
-  void ReapFinishedLocked();
+  // Reactor side (all on the reactor thread unless noted).
+  void ReactorLoop();
+  void AcceptReady(const Listener& listener);
+  void AdmitConnection(net::ScopedFd fd, bool is_tcp,
+                       const std::string& peer_ip);
+  void ReadReady(const std::shared_ptr<Connection>& conn);
+  void CloseInput(const std::shared_ptr<Connection>& conn, bool timed_out);
+  void ScheduleLocked(const std::shared_ptr<Connection>& conn);
+  void DrainControl();
+  void BeginShutdown();
+  bool ThrottleAllows(const std::string& peer_ip, int64_t now_ms);
+
+  // Timer wheel (reactor thread).
+  void WheelInsert(Connection* conn, int64_t expire_in_ms);
+  void WheelRemove(Connection* conn);
+  void AdvanceWheel(int64_t now_ms);
+
+  // Worker side.
+  void WorkerLoop();
+  void ProcessConnection(const std::shared_ptr<Connection>& conn);
+  void TearDown(const std::shared_ptr<Connection>& conn, bool timed_out);
+
+  // Any thread.
+  void Wake();
 
   SatEngine* engine_;
   SocketServerOptions options_;
   int bound_tcp_port_ = -1;
   // Whether ListenUnix actually bound (and thus created) the socket file:
-  // Stop must only unlink what Start created — never a pre-existing path a
+  // only ever unlink what Start created — never a pre-existing path a
   // failed Start refused to touch.
   bool unix_bound_ = false;
 
-  std::vector<net::ScopedFd> listeners_;
-  std::vector<std::thread> accept_threads_;
+  std::vector<Listener> listeners_;
+  net::ScopedFd wake_read_;
+  net::ScopedFd wake_write_;
+  std::unique_ptr<net::Poller> poller_;
+  std::thread reactor_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::unique_ptr<BoundedQueue<std::shared_ptr<Connection>>> work_queue_;
 
-  std::mutex conn_mu_;
-  std::list<Connection> connections_;
+  // Reactor-thread state.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+  std::unordered_map<std::string, IpBucket> ip_buckets_;
+  std::vector<std::list<Connection*>> wheel_;
+  size_t wheel_cursor_ = 0;
+  size_t wheel_span_ticks_ = 0;
+  int64_t wheel_tick_ms_ = 0;
+  int64_t next_tick_at_ms_ = 0;
+  bool shutdown_begun_ = false;
+
+  // Cross-thread control hand-off to the reactor (retired connections to
+  // erase, drained connections whose reads should resume).
+  std::mutex ctrl_mu_;
+  std::vector<std::shared_ptr<Connection>> ctrl_retired_;
+  std::vector<std::shared_ptr<Connection>> ctrl_resumable_;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> connections_throttled_{0};
+  std::atomic<uint64_t> idle_evictions_{0};
 };
 
 }  // namespace server

@@ -1,0 +1,97 @@
+// A bounded, closeable MPMC queue: the hand-off between the socket
+// reactor (producer: one readiness thread) and the fixed session worker
+// pool (consumers). Bounded so a stalled consumer side back-pressures the
+// producer instead of queueing without limit; closeable so shutdown drains
+// deterministically — after Close, Push is refused and Pop returns the
+// remaining items, then false.
+//
+// Plain mutex + two condvars. The serving layer enqueues coarse tokens (one
+// per connection needing work), so queue contention is negligible next to
+// the work items — same reasoning as ThreadPool, same idiom as the Wazuh
+// engine's accept/worker hand-off queue.
+#ifndef XPATHSAT_UTIL_BOUNDED_QUEUE_H_
+#define XPATHSAT_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace xpathsat {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` must be >= 1 (values below are clamped up).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full; returns false (dropping `item`) once
+  /// the queue is closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item. Returns false only when the queue is closed
+  /// AND drained — items enqueued before Close are always delivered.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Refuses further pushes and wakes every waiter. Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_UTIL_BOUNDED_QUEUE_H_

@@ -1,14 +1,22 @@
 #include "src/util/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <unordered_set>
 
 namespace xpathsat {
 namespace net {
@@ -26,6 +34,16 @@ void ScopedFd::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+Status ValidatePort(int port, bool allow_ephemeral) {
+  const int min_port = allow_ephemeral ? 0 : 1;
+  if (port < min_port || port > 65535) {
+    return Status::Error("port " + std::to_string(port) +
+                         " out of range [" + std::to_string(min_port) +
+                         ", 65535]");
+  }
+  return Status::Ok();
 }
 
 Result<ScopedFd> ListenUnix(const std::string& path, int backlog) {
@@ -63,6 +81,10 @@ Result<ScopedFd> ListenUnix(const std::string& path, int backlog) {
 
 Result<ScopedFd> ListenTcp(const std::string& host, int port,
                            int* actual_port, int backlog) {
+  Status port_ok = ValidatePort(port, /*allow_ephemeral=*/true);
+  if (!port_ok.ok()) {
+    return Result<ScopedFd>::Error("listen: " + port_ok.message());
+  }
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -105,6 +127,36 @@ Result<ScopedFd> Accept(int listen_fd) {
   }
 }
 
+Result<ScopedFd> AcceptWithPeer(int listen_fd, std::string* peer_ip,
+                                bool* would_block) {
+  if (would_block != nullptr) *would_block = false;
+  for (;;) {
+    sockaddr_storage peer;
+    socklen_t peer_len = sizeof(peer);
+    int fd = ::accept(listen_fd, reinterpret_cast<sockaddr*>(&peer),
+                      &peer_len);
+    if (fd >= 0) {
+      if (peer_ip != nullptr) {
+        peer_ip->clear();
+        if (peer.ss_family == AF_INET) {
+          char buf[INET_ADDRSTRLEN];
+          const sockaddr_in* in = reinterpret_cast<const sockaddr_in*>(&peer);
+          if (::inet_ntop(AF_INET, &in->sin_addr, buf, sizeof(buf))) {
+            *peer_ip = buf;
+          }
+        }
+      }
+      return ScopedFd(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (would_block != nullptr) *would_block = true;
+      return Result<ScopedFd>::Error("accept: would block");
+    }
+    return Result<ScopedFd>::Error(Errno("accept"));
+  }
+}
+
 Result<ScopedFd> ConnectUnix(const std::string& path) {
   sockaddr_un addr;
   std::memset(&addr, 0, sizeof(addr));
@@ -124,6 +176,10 @@ Result<ScopedFd> ConnectUnix(const std::string& path) {
 }
 
 Result<ScopedFd> ConnectTcp(const std::string& host, int port) {
+  Status port_ok = ValidatePort(port, /*allow_ephemeral=*/false);
+  if (!port_ok.ok()) {
+    return Result<ScopedFd>::Error("connect: " + port_ok.message());
+  }
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -142,21 +198,50 @@ Result<ScopedFd> ConnectTcp(const std::string& host, int port) {
   return fd;
 }
 
-Status WriteAll(int fd, const std::string& data) {
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::Error(Errno("fcntl(F_GETFL)"));
+  int wanted = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) != 0) {
+    return Status::Error(Errno("fcntl(F_SETFL)"));
+  }
+  return Status::Ok();
+}
+
+namespace internal {
+
+Status WriteAllWith(const std::function<ssize_t(const char*, size_t)>& send_fn,
+                    const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    ssize_t n = send_fn(data.data() + off, data.size() - off);
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      // A zero-length send makes no progress and sets no errno — reporting
+      // strerror(errno) here would surface whatever some earlier call left
+      // behind. Name the condition instead.
+      return Status::Error("send: short write (connection closed)");
+    }
+    if (errno == EINTR) continue;
     return Status::Error(Errno("send"));
   }
   return Status::Ok();
 }
 
-LineReader::Event LineReader::ReadLine(std::string* line, std::string* error) {
+}  // namespace internal
+
+Status WriteAll(int fd, const std::string& data) {
+  return internal::WriteAllWith(
+      [fd](const char* buf, size_t len) {
+        return ::send(fd, buf, len, MSG_NOSIGNAL);
+      },
+      data);
+}
+
+LineDecoder::Event LineDecoder::Next(std::string* line) {
   for (;;) {
     // Consume what the buffer already holds.
     size_t nl = buffer_.find('\n', scanned_);
@@ -207,17 +292,155 @@ LineReader::Event LineReader::ReadLine(std::string* line, std::string* error) {
       }
       return Event::kEof;
     }
+    return Event::kNone;
+  }
+}
 
+LineReader::Event LineReader::ReadLine(std::string* line, std::string* error) {
+  for (;;) {
+    switch (decoder_.Next(line)) {
+      case LineDecoder::Event::kLine:
+        return Event::kLine;
+      case LineDecoder::Event::kOversized:
+        return Event::kOversized;
+      case LineDecoder::Event::kEof:
+        return Event::kEof;
+      case LineDecoder::Event::kNone:
+        break;  // need more bytes
+    }
     char chunk[4096];
     ssize_t n = ::read(fd_, chunk, sizeof(chunk));
     if (n > 0) {
-      buffer_.append(chunk, static_cast<size_t>(n));
+      decoder_.Feed(chunk, static_cast<size_t>(n));
     } else if (n == 0) {
-      eof_ = true;
+      decoder_.SignalEof();
     } else if (errno != EINTR) {
       *error = std::strerror(errno);
       return Event::kError;
     }
+  }
+}
+
+// --- Poller ---------------------------------------------------------------
+
+struct Poller::Impl {
+#if defined(__linux__)
+  ScopedFd epoll_fd;
+  bool use_epoll = false;
+#endif
+  // poll(2) fallback state (also the only state off-Linux).
+  std::vector<pollfd> poll_fds;
+  std::unordered_set<int> watched;
+};
+
+Poller::Poller(bool force_poll) : impl_(new Impl) {
+#if defined(__linux__)
+  if (!force_poll) {
+    impl_->epoll_fd = ScopedFd(::epoll_create1(EPOLL_CLOEXEC));
+    impl_->use_epoll = impl_->epoll_fd.valid();
+  }
+#else
+  (void)force_poll;
+#endif
+}
+
+Poller::~Poller() = default;
+
+bool Poller::ok() const {
+#if defined(__linux__)
+  if (impl_->use_epoll) return impl_->epoll_fd.valid();
+#endif
+  return true;
+}
+
+size_t Poller::watched_fds() const { return impl_->watched.size(); }
+
+Status Poller::Add(int fd) {
+  if (impl_->watched.count(fd) > 0) {
+    return Status::Error("poller: fd " + std::to_string(fd) +
+                         " already watched");
+  }
+#if defined(__linux__)
+  if (impl_->use_epoll) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.fd = fd;
+    if (::epoll_ctl(impl_->epoll_fd.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return Status::Error(Errno("epoll_ctl(ADD)"));
+    }
+    impl_->watched.insert(fd);
+    return Status::Ok();
+  }
+#endif
+  pollfd p;
+  std::memset(&p, 0, sizeof(p));
+  p.fd = fd;
+  p.events = POLLIN;
+  impl_->poll_fds.push_back(p);
+  impl_->watched.insert(fd);
+  return Status::Ok();
+}
+
+Status Poller::Remove(int fd) {
+  if (impl_->watched.erase(fd) == 0) {
+    return Status::Error("poller: fd " + std::to_string(fd) + " not watched");
+  }
+#if defined(__linux__)
+  if (impl_->use_epoll) {
+    if (::epoll_ctl(impl_->epoll_fd.get(), EPOLL_CTL_DEL, fd, nullptr) != 0) {
+      return Status::Error(Errno("epoll_ctl(DEL)"));
+    }
+    return Status::Ok();
+  }
+#endif
+  auto& fds = impl_->poll_fds;
+  fds.erase(std::remove_if(fds.begin(), fds.end(),
+                           [fd](const pollfd& p) { return p.fd == fd; }),
+            fds.end());
+  return Status::Ok();
+}
+
+Result<int> Poller::Wait(std::vector<Ready>* out, int timeout_ms) {
+  out->clear();
+#if defined(__linux__)
+  if (impl_->use_epoll) {
+    epoll_event events[64];
+    for (;;) {
+      int n = ::epoll_wait(impl_->epoll_fd.get(), events, 64, timeout_ms);
+      if (n >= 0) {
+        for (int i = 0; i < n; ++i) {
+          Ready r;
+          r.fd = events[i].data.fd;
+          if (events[i].events & (EPOLLIN | EPOLLRDHUP)) r.events |= kReadable;
+          if (events[i].events & EPOLLHUP) r.events |= kHangup;
+          if (events[i].events & EPOLLERR) r.events |= kError;
+          out->push_back(r);
+        }
+        return n;
+      }
+      if (errno == EINTR) continue;
+      return Result<int>::Error(Errno("epoll_wait"));
+    }
+  }
+#endif
+  for (;;) {
+    int n = ::poll(impl_->poll_fds.empty() ? nullptr : impl_->poll_fds.data(),
+                   static_cast<nfds_t>(impl_->poll_fds.size()), timeout_ms);
+    if (n >= 0) {
+      for (const pollfd& p : impl_->poll_fds) {
+        if (p.revents == 0) continue;
+        Ready r;
+        r.fd = p.fd;
+        if (p.revents & POLLIN) r.events |= kReadable;
+        if (p.revents & POLLHUP) r.events |= kHangup | kReadable;
+        if (p.revents & (POLLERR | POLLNVAL)) r.events |= kError;
+        out->push_back(r);
+      }
+      return static_cast<int>(out->size());
+    }
+    if (errno == EINTR) continue;
+    return Result<int>::Error(Errno("poll"));
   }
 }
 

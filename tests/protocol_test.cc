@@ -25,6 +25,20 @@ TEST(ProtocolParseTest, BlankAndCommentLinesAreEmpty) {
 }
 
 TEST(ProtocolParseTest, ParsesEveryVerb) {
+  ParseResult auth = Parse("auth hunter2");
+  ASSERT_EQ(auth.status, ParseStatus::kCommand);
+  EXPECT_EQ(auth.command.verb, Verb::kAuth);
+  EXPECT_EQ(auth.command.arg, "hunter2");
+
+  // The secret is the whole remainder: interior spaces survive.
+  ParseResult spaced = Parse("auth open sesame  ");
+  ASSERT_EQ(spaced.status, ParseStatus::kCommand);
+  EXPECT_EQ(spaced.command.arg, "open sesame");
+
+  ParseResult health = Parse("health");
+  ASSERT_EQ(health.status, ParseStatus::kCommand);
+  EXPECT_EQ(health.command.verb, Verb::kHealth);
+
   ParseResult dtd = Parse("dtd catalog schemas/catalog.dtd");
   ASSERT_EQ(dtd.status, ParseStatus::kCommand);
   EXPECT_EQ(dtd.command.verb, Verb::kDtd);
@@ -75,7 +89,8 @@ TEST(ProtocolParseTest, UnknownVerbIsAStructuredError) {
 TEST(ProtocolParseTest, MissingArgumentsAreStructuredErrors) {
   // Truncated forms of every argumented verb.
   for (const char* line : {"dtd", "dtd onlyname", "query", "query onlyname",
-                           "q", "q onlyname", "drop", "cancel"}) {
+                           "q", "q onlyname", "drop", "cancel", "auth",
+                           "auth   "}) {
     ParseResult r = Parse(line);
     ASSERT_EQ(r.status, ParseStatus::kError) << line;
     EXPECT_EQ(r.error_line.rfind("err bad-args", 0), 0u)
@@ -84,8 +99,8 @@ TEST(ProtocolParseTest, MissingArgumentsAreStructuredErrors) {
 }
 
 TEST(ProtocolParseTest, TrailingJunkOnExactArityVerbsIsAnError) {
-  for (const char* line :
-       {"drop a b", "cancel 7 extra", "flush now", "stats -v", "quit 0"}) {
+  for (const char* line : {"drop a b", "cancel 7 extra", "flush now",
+                           "stats -v", "quit 0", "health check"}) {
     ParseResult r = Parse(line);
     ASSERT_EQ(r.status, ParseStatus::kError) << line;
     EXPECT_EQ(r.error_line.rfind("err bad-args", 0), 0u) << line;
@@ -133,7 +148,17 @@ TEST(ProtocolRoundTripTest, FormatThenParseIsIdentity) {
   };
   for (int i = 0; i < 500; ++i) {
     Command c;
-    switch (rng.IntIn(0, 6)) {
+    switch (rng.IntIn(0, 8)) {
+      case 7:
+        c.verb = Verb::kAuth;
+        // Interior spaces are legal in secrets (the arg is the remainder);
+        // leading/trailing ones are not round-trippable by design.
+        c.arg = random_token(name_chars, 1, 12) + " " +
+                random_token(name_chars, 1, 12);
+        break;
+      case 8:
+        c.verb = Verb::kHealth;
+        break;
       case 0:
         c.verb = Verb::kDtd;
         c.name = random_token(name_chars, 1, 12);

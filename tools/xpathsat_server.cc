@@ -11,11 +11,16 @@
 //   (both listeners may be given together)
 //
 // Options:
-//   --host ADDR        TCP bind address (default 127.0.0.1; this server has
-//                      no auth layer — widen deliberately)
-//   --threads N        engine worker threads (default: hardware concurrency)
-//   --deadline-ms M    per-request deadline cap applied to every query
-//   --no-memo          disable verdict memoization
+//   --host ADDR          TCP bind address (default 127.0.0.1; pair anything
+//                        wider with --auth-secret)
+//   --threads N          engine worker threads (default: hardware concurrency)
+//   --deadline-ms M      per-request deadline cap applied to every query
+//   --no-memo            disable verdict memoization
+//   --max-conns N        cap live connections; excess accepts get one
+//                        `err busy ...` line and are closed (default: unlimited)
+//   --idle-timeout-ms M  evict connections silent for M ms with
+//                        `err idle-timeout ...` (default: never)
+//   --auth-secret S      require `auth S` before any verb except `health`
 //
 // On startup one `listening ...` line per listener is printed to stdout (the
 // TCP line carries the actually-bound port), then the server runs until
@@ -41,7 +46,9 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--unix PATH | --tcp PORT) [--host ADDR]\n"
-               "          [--threads N] [--deadline-ms M] [--no-memo]\n",
+               "          [--threads N] [--deadline-ms M] [--no-memo]\n"
+               "          [--max-conns N] [--idle-timeout-ms M]\n"
+               "          [--auth-secret S]\n",
                argv0);
 }
 
@@ -93,6 +100,16 @@ int main(int argc, char** argv) {
           1000LL * 1000 * 1000);
     } else if (arg == "--no-memo") {
       engine_opt.memo_capacity = 0;
+    } else if (arg == "--max-conns") {
+      server_opt.max_connections = static_cast<size_t>(
+          ParseIntFlag(argv[0], "--max-conns", next("--max-conns"), 1,
+                       1 << 20));
+    } else if (arg == "--idle-timeout-ms") {
+      server_opt.idle_timeout_ms =
+          ParseIntFlag(argv[0], "--idle-timeout-ms", next("--idle-timeout-ms"),
+                       1, 1000LL * 1000 * 1000);
+    } else if (arg == "--auth-secret") {
+      server_opt.auth_secret = next("--auth-secret");
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
