@@ -27,6 +27,7 @@
 
 #include "bench/bench_util.h"
 #include "src/engine/sat_engine.h"
+#include "src/obs/metrics.h"
 #include "src/sat/satisfiability.h"
 #include "src/server/protocol.h"
 #include "src/server/socket_server.h"
@@ -140,6 +141,13 @@ std::vector<std::string> MakeQueryPool(Rng* rng, int distinct) {
 
 double Seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -269,6 +277,22 @@ int main(int argc, char** argv) {
     report.Add("memo_speedup_vs_facade_loop", baseline_s / memo_best_s, "x");
     BenchCheck(engine.stats().memo_hits >= 3u * kRequests,
                "memo hit counter covers the warm rounds");
+
+    // Memo-warm latency distribution: a separate blocking-Run loop so the
+    // throughput rounds above stay free of per-request clock reads. Every
+    // call is a memo hit, so this is the steady-state service latency of
+    // repeat traffic.
+    obs::Histogram memo_latency;
+    for (size_t i = 0; i < 1000; ++i) {
+      const SatRequest& r = workload[i % workload.size()];
+      uint64_t start_ns = NowNs();
+      SatResponse resp = engine.Run(r);
+      memo_latency.Record(NowNs() - start_ns);
+      BenchCheck(resp.status.ok() && resp.memo_hit,
+                 "memo-warm latency loop is all memo hits");
+    }
+    AddLatencyPercentiles(&report, "engine_memo_warm_latency",
+                          memo_latency.TakeSnapshot());
   }
 
   // Submit-pipelined: the async API — submit the entire stream up front,
@@ -328,7 +352,12 @@ int main(int argc, char** argv) {
     struct Drain {
       std::mutex mu;
       std::condition_variable cv;
-      std::vector<std::pair<uint64_t, std::string>> results;  // id, verdict
+      struct Received {
+        uint64_t id;
+        std::string verdict;
+        uint64_t arrived_ns;  // reader-side receipt timestamp
+      };
+      std::vector<Received> results;
       int flush_acks = 0;
       bool eof = false;
     } drain;
@@ -354,8 +383,9 @@ int main(int argc, char** argv) {
           std::string verdict = line.substr(open + 1, close - open - 1);
           while (!verdict.empty() && verdict.back() == ' ')
             verdict.pop_back();
+          uint64_t arrived_ns = NowNs();
           std::lock_guard<std::mutex> lock(drain.mu);
-          drain.results.emplace_back(id, std::move(verdict));
+          drain.results.push_back({id, std::move(verdict), arrived_ns});
         } else if (line == "ok flush") {
           std::lock_guard<std::mutex> lock(drain.mu);
           ++drain.flush_acks;
@@ -378,8 +408,15 @@ int main(int argc, char** argv) {
     send("flush");
     wait_flush(1);
 
+    // Timed round: per-request send timestamps feed the round-trip latency
+    // histogram (result lines carry engine-global ticket ids, so id ->
+    // submission index is exact; see the drain comment above).
+    std::vector<uint64_t> send_ns(sequence.size(), 0);
     t0 = Clock::now();
-    for (const std::string& q : sequence) send("q cat " + q);  // timed
+    for (size_t i = 0; i < sequence.size(); ++i) {
+      send_ns[i] = NowNs();
+      send("q cat " + sequence[i]);
+    }
     send("flush");
     wait_flush(2);
     double server_s = Seconds(t0, Clock::now());
@@ -403,12 +440,20 @@ int main(int argc, char** argv) {
       return names[0];
     };
     size_t timed_results = 0;
-    for (const auto& [id, verdict] : drain.results) {
-      BenchCheck(id >= 1 && id <= 2ull * kRequests, "wire ticket id range");
-      if (id <= static_cast<uint64_t>(kRequests)) continue;  // warm round
-      size_t index = static_cast<size_t>(id) - kRequests - 1;
-      BenchCheck(verdict == verdict_name(expected[index]),
+    obs::Histogram roundtrip_latency;
+    for (const auto& received : drain.results) {
+      BenchCheck(received.id >= 1 && received.id <= 2ull * kRequests,
+                 "wire ticket id range");
+      if (received.id <= static_cast<uint64_t>(kRequests)) continue;  // warm
+      size_t index = static_cast<size_t>(received.id) - kRequests - 1;
+      BenchCheck(received.verdict == verdict_name(expected[index]),
                  "wire vs facade disagree on " + sequence[index]);
+      // Pipelined round trip: send-to-result, including the queueing behind
+      // the rest of the in-flight stream (this is service latency under
+      // full pipelining, not an isolated ping).
+      roundtrip_latency.Record(received.arrived_ns >= send_ns[index]
+                                   ? received.arrived_ns - send_ns[index]
+                                   : 0);
       ++timed_results;
     }
     BenchCheck(timed_results == static_cast<size_t>(kRequests),
@@ -419,6 +464,8 @@ int main(int argc, char** argv) {
                (kRequests / server_s) /
                    report.Get("engine_submit_pipelined_1thread_requests_per_s"),
                "x");
+    AddLatencyPercentiles(&report, "server_unix_roundtrip_latency",
+                          roundtrip_latency.TakeSnapshot());
   }
 
   // Idle connections held while serving: the reactor's resource claim in

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/util/rng.h"
 
 namespace xpathsat {
@@ -68,6 +69,18 @@ class BenchReport {
   };
   std::vector<Metric> metrics_;
 };
+
+/// Folds a latency histogram snapshot into the report as four `<phase>_*_us`
+/// metrics. Percentiles are the log2-bucket upper bounds the histogram
+/// reports (within 2x of the true value — see src/obs/metrics.h); max is
+/// exact.
+inline void AddLatencyPercentiles(BenchReport* report, const std::string& phase,
+                                  const obs::Histogram::Snapshot& snapshot) {
+  report->Add(phase + "_p50_us", snapshot.PercentileNs(0.50) / 1e3, "us");
+  report->Add(phase + "_p90_us", snapshot.PercentileNs(0.90) / 1e3, "us");
+  report->Add(phase + "_p99_us", snapshot.PercentileNs(0.99) / 1e3, "us");
+  report->Add(phase + "_max_us", snapshot.max_ns / 1e3, "us");
+}
 
 /// The `--json FILE` convention for standalone bench mains: returns the path
 /// following a `--json` argument, or `fallback` when absent.

@@ -100,7 +100,14 @@ SatResponse NotRunResponse(const char* algorithm, const char* why) {
   resp.status = Status::Ok();
   resp.report.decision = SatDecision::Unknown(why);
   resp.report.algorithm = algorithm;
+  resp.trace.route = algorithm;
   return resp;
+}
+
+uint64_t ToNs(std::chrono::steady_clock::duration d) {
+  if (d.count() < 0) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
 }
 
 }  // namespace
@@ -252,8 +259,21 @@ SatEngine::SatEngine(const SatEngineOptions& options)
                                resolved_shards_)
                          : nullptr),
       live_handles_(std::make_shared<std::atomic<uint64_t>>(0)),
+      slow_log_(options_.slow_log_capacity),
+      start_time_(Clock::now()),
       reaper_([this] { ReaperLoop(); }),
-      pool_(options_.num_threads) {}
+      pool_(options_.num_threads) {
+  // Resolve the per-phase histograms once; the request path then mutates
+  // them lock-free through these pointers. (reaper_ only touches the route
+  // counters, which are constructed before it starts.)
+  hist_queue_ns_ = metrics_.histogram("request_queue_ns");
+  hist_parse_ns_ = metrics_.histogram("request_parse_ns");
+  hist_rewrite_ns_ = metrics_.histogram("request_rewrite_ns");
+  hist_decide_ns_ = metrics_.histogram("request_decide_ns");
+  hist_total_ns_ = metrics_.histogram("request_total_ns");
+  hist_dtd_compile_ns_ = metrics_.histogram("dtd_compile_ns");
+  slow_requests_ = metrics_.counter("slow_requests");
+}
 
 SatEngine::~SatEngine() {
   {
@@ -305,8 +325,13 @@ std::shared_ptr<const CompiledDtd> SatEngine::CompileAndCache(const Dtd& dtd) {
 
 DtdHandle SatEngine::RegisterDtd(const Dtd& dtd) {
   bool hit = false;
+  const Clock::time_point compile_start = Clock::now();
   std::shared_ptr<const CompiledDtd> compiled =
       LookupDtd(dtd, dtd.Fingerprint(), &hit);
+  // DTD compilation happens here, at registration (requests carry pinned
+  // artifacts), so the compile histogram lives on this path: one record per
+  // actual compilation, none for cache hits.
+  if (!hit) hist_dtd_compile_ns_->Record(ToNs(Clock::now() - compile_start));
   (hit ? dtd_cache_hits_ : dtd_cache_misses_)
       .fetch_add(1, std::memory_order_release);
   auto pin = std::make_shared<engine_internal::DtdPin>();
@@ -326,17 +351,23 @@ Result<DtdHandle> SatEngine::RegisterDtdText(const std::string& dtd_text) {
 }
 
 std::shared_ptr<const SatEngine::CachedQuery> SatEngine::LookupQuery(
-    const std::string& text, bool* hit, std::string* parse_error) {
+    const std::string& text, bool* hit, std::string* parse_error,
+    uint64_t* parse_ns) {
   std::optional<std::shared_ptr<const CachedQuery>> cached =
       query_cache_.Lookup(text);
   if (cached.has_value()) {
     *hit = true;
     return *cached;
   }
+  // The parse span covers real parse/canonicalize work only: cache hits
+  // leave *parse_ns at 0 (and record nothing), so the parse histogram is a
+  // distribution over actual parses, not over requests.
+  const Clock::time_point parse_start = Clock::now();
   Result<std::unique_ptr<PathExpr>> parsed = ParsePath(text);
   if (!parsed.ok()) {
     *hit = false;
     *parse_error = parsed.error();
+    *parse_ns = ToNs(Clock::now() - parse_start);
     return nullptr;
   }
   auto entry = std::make_shared<CachedQuery>();
@@ -356,36 +387,75 @@ std::shared_ptr<const SatEngine::CachedQuery> SatEngine::LookupQuery(
     query_cache_.InsertIfAbsent(text, result);
   }
   *hit = false;
+  *parse_ns = ToNs(Clock::now() - parse_start);
   return result;
 }
 
+void SatEngine::FinishTrace(SatResponse* resp, const SatRequest& request,
+                            uint64_t ticket_id, Clock::time_point submitted,
+                            Clock::time_point end) {
+  obs::RequestTrace& t = resp->trace;
+  t.total_ns = ToNs(end - submitted);
+  // Phase histograms are distributions over phases that actually ran:
+  // queue wait and the total span exist for every executed request, but a
+  // zero parse/rewrite/decide span means the phase was skipped (cache hit,
+  // memo hit) and is not recorded.
+  hist_queue_ns_->Record(t.queue_ns);
+  if (t.parse_ns != 0) hist_parse_ns_->Record(t.parse_ns);
+  if (t.rewrite_ns != 0) hist_rewrite_ns_->Record(t.rewrite_ns);
+  if (t.decide_ns != 0) hist_decide_ns_->Record(t.decide_ns);
+  hist_total_ns_->Record(t.total_ns);
+  route_counters_.Increment(t.route);
+  if (options_.slow_request_ns > 0 &&
+      t.total_ns >= static_cast<uint64_t>(options_.slow_request_ns)) {
+    slow_requests_->Increment();
+    obs::SlowQueryRecord rec;
+    rec.ticket_id = ticket_id;
+    rec.dtd_fingerprint = resp->dtd_fingerprint;
+    rec.query = request.query;
+    rec.trace = t;
+    slow_log_.Push(std::move(rec));
+  }
+}
+
 SatResponse SatEngine::Execute(const SatRequest& request,
-                               Clock::time_point submitted) {
+                               Clock::time_point submitted,
+                               uint64_t ticket_id) {
+  const Clock::time_point picked_up = Clock::now();
   SatResponse resp;
+  resp.trace.queue_ns = ToNs(picked_up - submitted);
   if (!request.dtd.valid()) {
     resp.status = Status::Error("request has no DTD handle");
+    resp.trace.route = "invalid-request";
+    FinishTrace(&resp, request, ticket_id, submitted, Clock::now());
     return resp;
   }
   if (request.deadline_ms > 0 &&
-      Clock::now() - submitted >=
+      picked_up - submitted >=
           std::chrono::milliseconds(request.deadline_ms)) {
     // The reaper normally cancels expired queued work before a worker ever
     // sees it; this check closes the race where a worker picks the job up
     // in the same instant the deadline passes.
     deadline_expirations_.fetch_add(1, std::memory_order_release);
-    return NotRunResponse("deadline",
+    resp = NotRunResponse("deadline",
                           "deadline expired before execution started");
+    resp.trace.queue_ns = ToNs(picked_up - submitted);
+    FinishTrace(&resp, request, ticket_id, submitted, Clock::now());
+    return resp;
   }
 
   bool query_hit = false;
   std::string parse_error;
   std::shared_ptr<const CachedQuery> query =
-      LookupQuery(request.query, &query_hit, &parse_error);
+      LookupQuery(request.query, &query_hit, &parse_error,
+                  &resp.trace.parse_ns);
   (query_hit ? query_cache_hits_ : query_cache_misses_)
       .fetch_add(1, std::memory_order_release);
   if (query == nullptr) {
     parse_errors_.fetch_add(1, std::memory_order_release);
     resp.status = Status::Error("query parse error: " + parse_error);
+    resp.trace.route = "parse-error";
+    FinishTrace(&resp, request, ticket_id, submitted, Clock::now());
     return resp;
   }
   resp.query_cache_hit = query_hit;
@@ -393,6 +463,8 @@ SatResponse SatEngine::Execute(const SatRequest& request,
 
   // The handle pins the artifacts: no per-request fingerprinting, cache
   // probe, or equivalence check — registration already paid for those.
+  // (resp.trace.compile_ns therefore stays 0 on every request path; DTD
+  // compilation is measured at RegisterDtd time into dtd_compile_ns.)
   std::shared_ptr<const CompiledDtd> compiled = request.dtd.compiled();
   resp.dtd_fingerprint = compiled->fingerprint;
 
@@ -422,17 +494,26 @@ SatResponse SatEngine::Execute(const SatRequest& request,
       resp.report = *memoized;
       resp.memo_hit = true;
       resp.status = Status::Ok();
+      resp.trace.route = "memo-hit";
+      FinishTrace(&resp, request, ticket_id, submitted, Clock::now());
       return resp;
     }
     memo_misses_.fetch_add(1, std::memory_order_release);
   }
 
+  // Reset this thread's rewrite accumulator so the span below is exactly
+  // this request's Prop 3.3 work (a sub-span of decide_ns).
+  RewriteCache::TakeThreadRewriteNs();
   Clock::time_point start = Clock::now();
   resp.report = DecideSatisfiability(*query->ast, query->features, *compiled,
                                      request.options, rewrite_cache_.get());
+  const Clock::time_point decided = Clock::now();
   resp.elapsed_us =
-      std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+      std::chrono::duration<double, std::micro>(decided - start).count();
   resp.status = Status::Ok();
+  resp.trace.decide_ns = ToNs(decided - start);
+  resp.trace.rewrite_ns = RewriteCache::TakeThreadRewriteNs();
+  resp.trace.route = resp.report.algorithm;
 
   if (memo_enabled) {
     // On a race (or a key owned by a fingerprint-colliding schema) the
@@ -442,6 +523,7 @@ SatResponse SatEngine::Execute(const SatRequest& request,
     entry.report = std::make_shared<const SatReport>(resp.report);
     memo_.InsertIfAbsent(memo_key, std::move(entry));
   }
+  FinishTrace(&resp, request, ticket_id, submitted, Clock::now());
   return resp;
 }
 
@@ -471,7 +553,7 @@ SatTicket SatEngine::Submit(SatRequest request) {
         // so decider failures surface as error responses instead.
         SatResponse resp;
         try {
-          resp = Execute(request, submitted);
+          resp = Execute(request, submitted, state->id);
         } catch (const std::exception& e) {
           resp = SatResponse();
           resp.status =
@@ -502,6 +584,9 @@ bool SatEngine::TryCancel(const SatTicket& ticket) {
   if (!ticket.valid()) return false;
   if (!ticket.state_->job->TryCancel()) return false;
   cancellations_.fetch_add(1, std::memory_order_release);
+  // Never-executed fulfilments bump their route counter but no phase
+  // histograms — the request has no spans to speak of.
+  route_counters_.Increment("cancelled");
   ticket.state_->Fulfill(
       NotRunResponse("cancelled", "cancelled before execution started"));
   return true;
@@ -530,6 +615,7 @@ void SatEngine::ReaperLoop() {
     // Outside the lock: Submit must never block behind promise fulfilment.
     if (state->job->TryCancel()) {
       deadline_expirations_.fetch_add(1, std::memory_order_release);
+      route_counters_.Increment("deadline");
       state->Fulfill(NotRunResponse(
           "deadline", "deadline expired before execution started"));
     }
@@ -581,7 +667,20 @@ SatEngineStats SatEngine::stats() const {
   s.dtd_cache_hits = dtd_cache_hits_.load(std::memory_order_acquire);
   s.dtd_cache_misses = dtd_cache_misses_.load(std::memory_order_acquire);
   s.requests = requests_.load(std::memory_order_acquire);
+  s.uptime_ms = uptime_ms();
+  s.snapshot_seq = NextSnapshotSeq();
   return s;
+}
+
+uint64_t SatEngine::uptime_ms() const {
+  return ToNs(Clock::now() - start_time_) / 1000000;
+}
+
+uint64_t SatEngine::NextSnapshotSeq() const {
+  // Sequence numbers start at 1; relaxed is enough — the value only needs
+  // to be distinct and increasing across emissions, not ordered against
+  // other counters.
+  return snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace xpathsat

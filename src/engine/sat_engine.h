@@ -65,6 +65,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sat/satisfiability.h"
 #include "src/util/sharded_lru_cache.h"
 #include "src/util/status.h"
@@ -107,6 +109,15 @@ struct SatEngineOptions {
   /// the query cache (a canonical entry and its raw-text alias must fit in
   /// one shard together), >= 4 for the small, expensive-miss DTD cache.
   size_t cache_shards = 0;
+  /// Requests whose end-to-end latency (queue wait included) reaches this
+  /// threshold are copied — query text, fingerprint, route, span breakdown —
+  /// into the slow-query log (drained via DrainSlowLog / the `slow` protocol
+  /// verb). <= 0 disables the log; the fast path pays one comparison either
+  /// way. Default 10ms.
+  int64_t slow_request_ns = 10 * 1000 * 1000;
+  /// Slow-query ring capacity; when full the oldest record is dropped (and
+  /// counted) rather than blocking or growing.
+  size_t slow_log_capacity = 64;
 };
 
 /// A refcounted registration of a compiled DTD with a SatEngine. Copyable
@@ -167,6 +178,10 @@ struct SatResponse {
   bool memo_hit = false;
   /// Decision time in microseconds (excludes queue wait; ~0 on memo hits).
   double elapsed_us = 0.0;
+  /// Per-phase span breakdown and the dispatch route that produced the
+  /// verdict ("memo-hit" when the deciders never ran). Spans for phases the
+  /// request skipped are 0.
+  obs::RequestTrace trace;
 };
 
 /// Handle to a submitted request: a stable id plus a future for the
@@ -265,6 +280,12 @@ struct SatEngineStats {
   /// Requests cancelled (or caught at pickup) because their deadline passed
   /// before they started.
   uint64_t deadline_expirations = 0;
+  /// Milliseconds since the engine was constructed; lets probes detect
+  /// restarts. Not part of the <= invariants above.
+  uint64_t uptime_ms = 0;
+  /// Monotonically increasing snapshot number, bumped by every stats() /
+  /// metrics emission over this engine; lets scrapers detect stale reads.
+  uint64_t snapshot_seq = 0;
 };
 
 class SatEngine {
@@ -311,6 +332,28 @@ class SatEngine {
   std::shared_ptr<const CompiledDtd> CompileAndCache(const Dtd& dtd);
 
   SatEngineStats stats() const;
+
+  /// The engine's metrics registry: per-phase latency histograms
+  /// (request_queue_ns, request_parse_ns, request_rewrite_ns,
+  /// request_decide_ns, request_total_ns, dtd_compile_ns) and the
+  /// slow_requests counter. Mutated lock-free by the request path; render
+  /// with obs::RenderMetricsJson / RenderMetricsProm.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Per-dispatch-route fulfilment counters: one increment per completed
+  /// request, keyed by SatReport::algorithm (the Sec. 8 dispatch cell) or a
+  /// synthetic route ("memo-hit", "cancelled", "deadline", "parse-error",
+  /// "invalid-request").
+  const obs::RouteCounters& routes() const { return route_counters_; }
+  /// Returns and clears the slow-query ring (oldest first) plus the count of
+  /// records dropped to the capacity bound since the last drain.
+  obs::SlowQueryLog::Drained DrainSlowLog() { return slow_log_.Drain(); }
+  /// Milliseconds since construction.
+  uint64_t uptime_ms() const;
+  /// Bumps and returns the engine-wide snapshot sequence number (also
+  /// stamped into stats()); every emitted stats/metrics snapshot gets a
+  /// distinct, increasing value.
+  uint64_t NextSnapshotSeq() const;
+
   /// Registrations currently pinned by live handles (a gauge, not a
   /// counter).
   uint64_t live_dtd_handles() const;
@@ -341,12 +384,22 @@ class SatEngine {
   /// constructed from the stored options.
   static SatEngineOptions Normalize(SatEngineOptions options);
 
-  SatResponse Execute(const SatRequest& request, Clock::time_point submitted);
+  SatResponse Execute(const SatRequest& request, Clock::time_point submitted,
+                      uint64_t ticket_id);
   std::shared_ptr<const CompiledDtd> LookupDtd(const Dtd& dtd, uint64_t fp,
                                                bool* hit);
   std::shared_ptr<const CachedQuery> LookupQuery(const std::string& text,
                                                  bool* hit,
-                                                 std::string* parse_error);
+                                                 std::string* parse_error,
+                                                 uint64_t* parse_ns);
+  /// Completes resp->trace (total span), records the phase histograms and
+  /// the route counter, and admits the request to the slow-query log when it
+  /// crossed the threshold. Every Execute exit path funnels through here;
+  /// never-executed fulfilments (TryCancel, reaper) bump only their route
+  /// counter.
+  void FinishTrace(SatResponse* resp, const SatRequest& request,
+                   uint64_t ticket_id, Clock::time_point submitted,
+                   Clock::time_point end);
   void ReaperLoop();
 
   SatEngineOptions options_;
@@ -396,6 +449,21 @@ class SatEngine {
   std::atomic<uint64_t> parse_errors_{0};
   std::atomic<uint64_t> cancellations_{0};
   std::atomic<uint64_t> deadline_expirations_{0};
+
+  // Observability: the histograms are resolved once here (registry lookups
+  // are mutex-guarded) and mutated lock-free by the request path.
+  obs::MetricsRegistry metrics_;
+  obs::RouteCounters route_counters_;
+  obs::SlowQueryLog slow_log_;
+  obs::Histogram* hist_queue_ns_ = nullptr;
+  obs::Histogram* hist_parse_ns_ = nullptr;
+  obs::Histogram* hist_rewrite_ns_ = nullptr;
+  obs::Histogram* hist_decide_ns_ = nullptr;
+  obs::Histogram* hist_total_ns_ = nullptr;
+  obs::Histogram* hist_dtd_compile_ns_ = nullptr;
+  obs::Counter* slow_requests_ = nullptr;
+  Clock::time_point start_time_;
+  mutable std::atomic<uint64_t> snapshot_seq_{0};
 
   // Deadline reaper: min-heap of (expiry, ticket) drained by a dedicated
   // thread that TryCancels expired still-queued work. Entries hold weak

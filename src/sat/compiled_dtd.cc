@@ -1,6 +1,7 @@
 #include "src/sat/compiled_dtd.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -182,8 +183,20 @@ std::string RewriteKey(const std::string& canonical, uint64_t fingerprint) {
 
 }  // namespace
 
+namespace {
+// Per-thread rewrite-work accumulator behind TakeThreadRewriteNs(). A plain
+// thread_local (no atomics): only the owning thread reads or writes it.
+thread_local uint64_t g_thread_rewrite_ns = 0;
+}  // namespace
+
 RewriteCache::RewriteCache(size_t capacity, size_t num_shards)
     : cache_(capacity, num_shards) {}
+
+uint64_t RewriteCache::TakeThreadRewriteNs() {
+  const uint64_t taken = g_thread_rewrite_ns;
+  g_thread_rewrite_ns = 0;
+  return taken;
+}
 
 Result<std::shared_ptr<const PathExpr>> RewriteCache::GetOrRewrite(
     const PathExpr& p, const CompiledDtd& compiled) {
@@ -203,8 +216,13 @@ Result<std::shared_ptr<const PathExpr>> RewriteCache::GetOrRewrite(
   });
   if (served != nullptr) return served;
 
+  const auto rewrite_start = std::chrono::steady_clock::now();
   Result<std::unique_ptr<PathExpr>> rewritten =
       RewriteForNormalizedDtd(p, compiled.dtd, compiled.norm);
+  g_thread_rewrite_ns += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - rewrite_start)
+          .count());
   if (!rewritten.ok()) {
     return Result<std::shared_ptr<const PathExpr>>::Error(rewritten.error());
   }

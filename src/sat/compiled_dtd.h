@@ -129,6 +129,14 @@ class RewriteCache {
   uint64_t misses() const { return cache_.misses(); }
   size_t num_shards() const { return cache_.num_shards(); }
 
+  /// Returns the nanoseconds this thread has spent computing Prop 3.3
+  /// rewrites (GetOrRewrite miss paths) since the last call, and resets the
+  /// accumulator to zero. Thread-local, so a caller that resets it before
+  /// dispatching and reads it after gets exactly the rewrite work its own
+  /// request performed — the engine's rewrite-span hook. Cache hits
+  /// accumulate nothing.
+  static uint64_t TakeThreadRewriteNs();
+
  private:
   struct Entry {
     /// The schema the rewrite was computed against — the collision check

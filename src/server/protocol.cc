@@ -55,6 +55,8 @@ const char* VerbName(Verb verb) {
     case Verb::kCancel: return "cancel";
     case Verb::kFlush: return "flush";
     case Verb::kStats: return "stats";
+    case Verb::kMetrics: return "metrics";
+    case Verb::kSlow: return "slow";
     case Verb::kQuit: return "quit";
   }
   return "?";
@@ -140,11 +142,21 @@ ParseResult ParseCommandLine(const std::string& line) {
                                    "' is not a positive ticket id");
     }
     cmd.ticket_id = id;
+  } else if (verb_text == "metrics") {
+    cmd.verb = Verb::kMetrics;
+    // Bare `metrics` answers one JSON line; the only recognised mode
+    // argument is `prom` (the multi-line text exposition).
+    cmd.arg = TrimmedRemainder(rest);
+    if (!cmd.arg.empty() && cmd.arg != "prom") {
+      return BadArgs(Verb::kMetrics, "metrics [prom]");
+    }
   } else if (verb_text == "flush" || verb_text == "stats" ||
-             verb_text == "quit") {
+             verb_text == "slow" || verb_text == "quit") {
     cmd.verb = verb_text == "flush"
                    ? Verb::kFlush
-                   : (verb_text == "stats" ? Verb::kStats : Verb::kQuit);
+                   : (verb_text == "stats"
+                          ? Verb::kStats
+                          : (verb_text == "slow" ? Verb::kSlow : Verb::kQuit));
     if (!TrimmedRemainder(rest).empty()) {
       return BadArgs(cmd.verb, verb_text.c_str());
     }
@@ -172,6 +184,10 @@ std::string FormatCommand(const Command& command) {
       return "flush";
     case Verb::kStats:
       return "stats";
+    case Verb::kMetrics:
+      return command.arg.empty() ? "metrics" : "metrics " + command.arg;
+    case Verb::kSlow:
+      return "slow";
     case Verb::kQuit:
       return "quit";
   }
@@ -224,6 +240,8 @@ std::string FormatStatsJson(const SatEngineStats& stats,
       << ", \"parse_errors\": " << stats.parse_errors
       << ", \"cancellations\": " << stats.cancellations
       << ", \"deadline_expirations\": " << stats.deadline_expirations
+      << ", \"uptime_ms\": " << stats.uptime_ms
+      << ", \"snapshot_seq\": " << stats.snapshot_seq
       << ", \"live_dtd_handles\": " << live_dtd_handles << "}";
   return out.str();
 }

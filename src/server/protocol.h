@@ -15,6 +15,10 @@
 //   cancel ID           cancel the still-queued ticket ID
 //   flush               block until every pending result line is emitted
 //   stats               engine statistics as one JSON line
+//   metrics [prom]      latency histograms + per-route counters: one JSON
+//                       line, or a multi-line Prometheus text exposition
+//                       (terminated by "# EOF") with `metrics prom`
+//   slow                drain the slow-query log as one JSON line
 //   quit                flush and close the session
 //
 // Replies are single lines, tagged by their first token:
@@ -29,6 +33,11 @@
 //   health {...}               single-line JSON for probes (engine stats,
 //                              plus server connection counters when served
 //                              by xpathsat_server)
+//   metrics {...}              single-line JSON (histogram summaries with
+//                              p50/p90/p99, route counters); `metrics prom`
+//                              instead emits the multi-line exposition
+//                              ending with a bare "# EOF" line
+//   slow {...}                 single-line JSON draining the slow-query log
 //   err CODE detail            structured error; CODE is a stable slug
 //                              (unknown-verb, bad-args, oversized-line,
 //                              unknown-dtd, unknown-ticket, not-cancellable,
@@ -63,6 +72,8 @@ enum class Verb {
   kCancel,
   kFlush,
   kStats,
+  kMetrics,
+  kSlow,
   kQuit,
 };
 
@@ -71,7 +82,7 @@ struct Command {
   Verb verb = Verb::kFlush;
   std::string name;        // dtd/query/drop: the schema name
   std::string arg;         // dtd: the path; query: the XPath text;
-                           // auth: the secret
+                           // auth: the secret; metrics: "" or "prom"
   uint64_t ticket_id = 0;  // cancel
 };
 
@@ -123,8 +134,10 @@ std::string FormatResultLine(uint64_t ticket_id, const std::string& query,
                              const SatResponse& response);
 
 /// The bare stats JSON object (no tag), field names mirroring the CLI's
-/// --json output (requests, dtd_cache_hits, ..., deadline_expirations) plus
-/// live_dtd_handles — shared by the `stats` and `health` reply lines.
+/// --json output (requests, dtd_cache_hits, ..., deadline_expirations,
+/// uptime_ms, snapshot_seq) plus live_dtd_handles — the single source of
+/// truth for engine-stats fields, shared by the `stats` and `health` reply
+/// lines and the CLI's --json output.
 std::string FormatStatsJson(const SatEngineStats& stats,
                             uint64_t live_dtd_handles);
 

@@ -6,8 +6,27 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace xpathsat {
 namespace server {
+
+namespace {
+
+// Fallback `metrics` render over the engine's registry alone — the --serve
+// shape. The socket server injects producers that merge its own reactor and
+// queue metrics into the same render.
+obs::MetricsRenderInput EngineRenderInput(SatEngine* engine) {
+  obs::MetricsRenderInput in;
+  in.registries = {&engine->metrics()};
+  in.routes = &engine->routes();
+  in.uptime_ms = engine->uptime_ms();
+  in.snapshot_seq = engine->NextSnapshotSeq();
+  return in;
+}
+
+}  // namespace
 
 // Result callbacks run on engine threads and may outlive the session object
 // by a few instructions (the callback's notify after its erase); everything
@@ -198,8 +217,47 @@ void ServerSession::HandleCommand(const protocol::Command& command) {
       shared_->sink("ok flush");
       return;
     case Verb::kStats:
-      shared_->sink(protocol::FormatStatsLine(engine_->stats(),
-                                              engine_->live_dtd_handles()));
+      // Same injection pattern as health: the socket server serves the
+      // merged connection+engine object for both verbs, so `stats` over a
+      // socket and `health` never disagree on fields; the fallback is the
+      // engine-only object (the `--serve` shape).
+      shared_->sink("stats " +
+                    (options_.stats_json
+                         ? options_.stats_json()
+                         : protocol::FormatStatsJson(
+                               engine_->stats(),
+                               engine_->live_dtd_handles())));
+      return;
+    case Verb::kMetrics: {
+      if (command.arg == "prom") {
+        // The exposition is inherently multi-line; the sink contract is one
+        // line per call, so split here. The producer guarantees a trailing
+        // "# EOF" line, which is the client's end-of-reply marker.
+        const std::string text =
+            options_.metrics_prom
+                ? options_.metrics_prom()
+                : obs::RenderMetricsProm(EngineRenderInput(engine_));
+        size_t start = 0;
+        while (start < text.size()) {
+          size_t nl = text.find('\n', start);
+          if (nl == std::string::npos) nl = text.size();
+          if (nl > start) shared_->sink(text.substr(start, nl - start));
+          start = nl + 1;
+        }
+      } else {
+        shared_->sink("metrics " +
+                      (options_.metrics_json
+                           ? options_.metrics_json()
+                           : obs::RenderMetricsJson(
+                                 EngineRenderInput(engine_))));
+      }
+      return;
+    }
+    case Verb::kSlow:
+      // Draining is destructive and engine-global (the log is shared across
+      // sessions, like the stats): whichever operator session asks first
+      // gets the records.
+      shared_->sink("slow " + obs::RenderSlowJson(engine_->DrainSlowLog()));
       return;
     case Verb::kQuit:
       Drain();

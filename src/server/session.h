@@ -60,6 +60,17 @@ struct SessionOptions {
   /// injects one that merges its connection counters with the engine stats;
   /// unset falls back to the engine stats JSON alone.
   std::function<std::string()> health_json;
+  /// Producer for the `stats` reply's JSON object. The socket server injects
+  /// the same merged object it serves for `health` (single source of truth);
+  /// unset falls back to the engine stats JSON alone (the `--serve` shape).
+  std::function<std::string()> stats_json;
+  /// Producer for the `metrics` reply's JSON object. Unset falls back to the
+  /// engine's registry + route counters alone; the socket server injects one
+  /// that merges its reactor/queue gauges in.
+  std::function<std::string()> metrics_json;
+  /// Producer for the `metrics prom` multi-line text exposition (must end
+  /// with a "# EOF" line). Same fallback/injection split as metrics_json.
+  std::function<std::string()> metrics_prom;
 };
 
 class ServerSession {

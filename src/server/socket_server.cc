@@ -40,6 +40,12 @@ int64_t NowMs() {
       .count();
 }
 
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 struct WriteState {
   std::mutex mu;
   bool dead = false;
@@ -74,6 +80,10 @@ struct SocketServer::Connection {
     bool oversized = false;
   };
 
+  // When the connection's current worker-queue token was pushed; read by the
+  // popping worker to record the queue-wait histogram.
+  std::atomic<int64_t> enqueued_at_ns{0};
+
   std::mutex work_mu;
   std::deque<PendingLine> pending;
   size_t pending_bytes = 0;
@@ -90,7 +100,11 @@ struct SocketServer::Connection {
 };
 
 SocketServer::SocketServer(SatEngine* engine, SocketServerOptions options)
-    : engine_(engine), options_(std::move(options)) {}
+    : engine_(engine), options_(std::move(options)) {
+  queue_depth_ = metrics_.gauge("worker_queue_depth");
+  queue_wait_hist_ = metrics_.histogram("worker_queue_wait_ns");
+  reactor_busy_hist_ = metrics_.histogram("reactor_loop_busy_ns");
+}
 
 SocketServer::~SocketServer() { Stop(); }
 
@@ -107,6 +121,40 @@ std::string SocketServer::HealthJson() const {
                                    engine_->live_dtd_handles())
       << "}";
   return out.str();
+}
+
+void SocketServer::MirrorConnectionGauges() {
+  // Snapshot-time mirror so scrapers get the connection counters in the same
+  // exposition as the histograms; the relaxed atomics stay the live source.
+  metrics_.gauge("connections_active")
+      ->Set(static_cast<int64_t>(connections_active()));
+  metrics_.gauge("connections_accepted")
+      ->Set(static_cast<int64_t>(connections_accepted()));
+  metrics_.gauge("connections_rejected")
+      ->Set(static_cast<int64_t>(connections_rejected()));
+  metrics_.gauge("connections_throttled")
+      ->Set(static_cast<int64_t>(connections_throttled()));
+  metrics_.gauge("idle_evictions")
+      ->Set(static_cast<int64_t>(idle_evictions()));
+}
+
+obs::MetricsRenderInput SocketServer::BuildRenderInput() {
+  obs::MetricsRenderInput in;
+  in.registries = {&engine_->metrics(), &metrics_};
+  in.routes = &engine_->routes();
+  in.uptime_ms = engine_->uptime_ms();
+  in.snapshot_seq = engine_->NextSnapshotSeq();
+  return in;
+}
+
+std::string SocketServer::MetricsJson() {
+  MirrorConnectionGauges();
+  return obs::RenderMetricsJson(BuildRenderInput());
+}
+
+std::string SocketServer::MetricsProm() {
+  MirrorConnectionGauges();
+  return obs::RenderMetricsProm(BuildRenderInput());
 }
 
 Status SocketServer::Start() {
@@ -239,6 +287,9 @@ void SocketServer::ReactorLoop() {
           std::max<int64_t>(0, next_tick_at_ms_ - NowMs()));
     }
     Result<int> waited = poller_->Wait(&ready, timeout_ms);
+    // Loop lag metric: time spent processing this batch of events (idle
+    // Wait time excluded) — the reactor's serving headroom.
+    const int64_t busy_start_ns = NowNs();
     if (!waited.ok()) {
       // A broken poller cannot serve; tear everything down as if stopping.
       stopping_.store(true);
@@ -264,6 +315,8 @@ void SocketServer::ReactorLoop() {
       if (it != connections_.end()) ReadReady(it->second);
     }
     if (!wheel_.empty()) AdvanceWheel(NowMs());
+    reactor_busy_hist_->Record(static_cast<uint64_t>(
+        std::max<int64_t>(0, NowNs() - busy_start_ns)));
     if (stopping_.load()) {
       if (!shutdown_begun_) BeginShutdown();
       DrainControl();
@@ -385,6 +438,11 @@ void SocketServer::AdmitConnection(net::ScopedFd fd, bool is_tcp,
   SessionOptions session_opt = options_.session;
   session_opt.auth_secret = options_.auth_secret;
   session_opt.health_json = [this] { return HealthJson(); };
+  // `stats` answers the same merged object as `health` — one source of
+  // truth, so the two verbs can never disagree on fields.
+  session_opt.stats_json = [this] { return HealthJson(); };
+  session_opt.metrics_json = [this] { return MetricsJson(); };
+  session_opt.metrics_prom = [this] { return MetricsProm(); };
   std::shared_ptr<WriteState> write_state = conn->write_state;
   std::shared_ptr<std::atomic<int64_t>> activity = conn->last_activity_ms;
   conn->session.reset(new ServerSession(
@@ -512,6 +570,8 @@ void SocketServer::ReadReady(const std::shared_ptr<Connection>& conn) {
 void SocketServer::ScheduleLocked(const std::shared_ptr<Connection>& conn) {
   if (conn->scheduled || conn->torn_down) return;
   conn->scheduled = true;
+  conn->enqueued_at_ns.store(NowNs(), std::memory_order_relaxed);
+  queue_depth_->Add(1);
   work_queue_->Push(conn);
 }
 
@@ -603,6 +663,13 @@ void SocketServer::AdvanceWheel(int64_t now_ms) {
 void SocketServer::WorkerLoop() {
   std::shared_ptr<Connection> conn;
   while (work_queue_->Pop(&conn)) {
+    queue_depth_->Add(-1);
+    const int64_t enqueued_ns =
+        conn->enqueued_at_ns.load(std::memory_order_relaxed);
+    if (enqueued_ns != 0) {
+      queue_wait_hist_->Record(
+          static_cast<uint64_t>(std::max<int64_t>(0, NowNs() - enqueued_ns)));
+    }
     ProcessConnection(conn);
     conn.reset();
   }
@@ -648,6 +715,8 @@ void SocketServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
       // scheduled stays true: nothing may re-enqueue mid-teardown.
     } else if (!conn->pending.empty()) {
       // More lines arrived while this batch ran: keep the token.
+      conn->enqueued_at_ns.store(NowNs(), std::memory_order_relaxed);
+      queue_depth_->Add(1);
       work_queue_->Push(conn);
       return;
     } else {

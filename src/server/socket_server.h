@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/engine/sat_engine.h"
+#include "src/obs/metrics.h"
 #include "src/server/protocol.h"
 #include "src/server/session.h"
 #include "src/util/bounded_queue.h"
@@ -134,8 +135,17 @@ class SocketServer {
   }
 
   /// The `health` reply's JSON object: server connection counters plus the
-  /// engine stats (also what load balancers poll).
+  /// engine stats (also what load balancers poll). The socket-served `stats`
+  /// verb answers this same object — one source of truth for both.
   std::string HealthJson() const;
+
+  /// The `metrics` reply's JSON object: engine histograms/routes merged
+  /// with the server's reactor-loop and worker-queue metrics (connection
+  /// counters mirrored in as gauges at snapshot time).
+  std::string MetricsJson();
+  /// The `metrics prom` multi-line text exposition over the same merged
+  /// inputs; ends with a "# EOF" line.
+  std::string MetricsProm();
 
  private:
   struct Connection;
@@ -172,6 +182,10 @@ class SocketServer {
 
   // Any thread.
   void Wake();
+
+  // Observability plumbing (metrics definitions in the ctor).
+  obs::MetricsRenderInput BuildRenderInput();
+  void MirrorConnectionGauges();
 
   SatEngine* engine_;
   SocketServerOptions options_;
@@ -212,6 +226,13 @@ class SocketServer {
   std::atomic<uint64_t> connections_rejected_{0};
   std::atomic<uint64_t> connections_throttled_{0};
   std::atomic<uint64_t> idle_evictions_{0};
+
+  // Server-side metrics: worker-queue depth/wait and reactor-loop busy time,
+  // mutated lock-free on the serving paths through pre-resolved pointers.
+  obs::MetricsRegistry metrics_;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  obs::Histogram* reactor_busy_hist_ = nullptr;
 };
 
 }  // namespace server

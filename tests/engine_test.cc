@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -868,6 +869,176 @@ TEST(SatTicketCallbackTest, WaitAnyTimesOutAndSkipsInvalid) {
   tickets.insert(tickets.begin(), SatTicket());
   EXPECT_EQ(SatTicket::WaitAny(tickets, -1), 1);
   EXPECT_TRUE(tickets[1].Get().status.ok());
+}
+
+// --- Request traces and the observability surfaces --------------------------
+
+TEST(SatEngineTest, TraceSpansCoverThePhasesThatRan) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  SatEngineOptions opt;
+  opt.num_threads = 1;
+  SatEngine engine(opt);
+  SatRequest r;
+  r.query = "**/B";
+  r.dtd = engine.RegisterDtd(d);
+
+  SatResponse miss = engine.Run(r);
+  ASSERT_TRUE(miss.status.ok());
+  EXPECT_FALSE(miss.memo_hit);
+  // Cold request: the query was parsed and a decider ran; DTD compilation
+  // happened at RegisterDtd time, never on the request path.
+  EXPECT_GT(miss.trace.parse_ns, 0u);
+  EXPECT_GT(miss.trace.decide_ns, 0u);
+  EXPECT_EQ(miss.trace.compile_ns, 0u);
+  EXPECT_GE(miss.trace.total_ns, miss.trace.decide_ns);
+  EXPECT_EQ(miss.trace.route, miss.report.algorithm);
+
+  SatResponse hit = engine.Run(r);
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.memo_hit);
+  // Memo hit: no phase beyond the lookup ran, so every phase span is zero
+  // and the route is the synthetic memo cell.
+  EXPECT_EQ(hit.trace.parse_ns, 0u);
+  EXPECT_EQ(hit.trace.compile_ns, 0u);
+  EXPECT_EQ(hit.trace.rewrite_ns, 0u);
+  EXPECT_EQ(hit.trace.decide_ns, 0u);
+  EXPECT_GT(hit.trace.total_ns, 0u);
+  EXPECT_EQ(hit.trace.route, "memo-hit");
+}
+
+TEST(SatEngineTest, RouteCountersMatchTheDispatchMatrix) {
+  // The same fragment x DTD-class cells dispatch_matrix_test pins, driven
+  // through the engine: every fulfilment must land on the counter of its
+  // dispatch cell, and the counts must add up exactly.
+  Dtd general = ParseDtdOrDie("root r\nr -> A + B\nA -> eps\nB -> eps\n");
+  Dtd djfree =
+      ParseDtdOrDie("root r\nr -> A, B*\nA -> C\nB -> eps\nC -> eps\n");
+  struct RouteCase {
+    const char* query;
+    const Dtd* dtd;
+    const char* algorithm;  // substring of the expected dispatch cell
+  };
+  const RouteCase cases[] = {
+      {"A", &general, "Thm 4.1"},
+      {"A|B", &general, "Thm 4.1"},
+      {"A/>", &djfree, "Thm 7.1"},
+      {"A[C]", &djfree, "Thm 6.8(1)"},
+      {"A/^/B", &djfree, "Thm 6.8(2)"},
+      {".[A || B]", &general, "Thm 4.4"},
+      {".[!(A)]", &general, "bounded-model"},
+  };
+  SatEngineOptions opt;
+  opt.num_threads = 1;
+  opt.memo_capacity = 0;  // every request must reach its decider
+  SatEngine engine(opt);
+  DtdHandle hg = engine.RegisterDtd(general);
+  DtdHandle hd = engine.RegisterDtd(djfree);
+  for (const RouteCase& c : cases) {
+    SatRequest r;
+    r.query = c.query;
+    r.dtd = (c.dtd == &general) ? hg : hd;
+    SatResponse resp = engine.Run(r);
+    ASSERT_TRUE(resp.status.ok()) << c.query;
+    EXPECT_EQ(resp.trace.route, resp.report.algorithm) << c.query;
+    EXPECT_NE(resp.trace.route.find(c.algorithm), std::string::npos)
+        << c.query << " routed to '" << resp.trace.route << "'";
+  }
+  std::map<std::string, uint64_t> routes = engine.routes().TakeSnapshot();
+  uint64_t total = 0;
+  auto count_for = [&](const std::string& needle) {
+    uint64_t n = 0;
+    for (const auto& [name, count] : routes) {
+      if (name.find(needle) != std::string::npos) n += count;
+    }
+    return n;
+  };
+  for (const auto& [name, count] : routes) total += count;
+  EXPECT_EQ(total, 7u);
+  EXPECT_EQ(count_for("Thm 4.1"), 2u);
+  EXPECT_EQ(count_for("Thm 7.1"), 1u);
+  EXPECT_EQ(count_for("Thm 6.8(1)"), 1u);
+  EXPECT_EQ(count_for("Thm 6.8(2)"), 1u);
+  EXPECT_EQ(count_for("Thm 4.4"), 1u);
+  EXPECT_EQ(count_for("bounded-model"), 1u);
+}
+
+TEST(SatEngineTest, PhaseHistogramsCountExecutedRequests) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n");
+  SatEngineOptions opt;
+  opt.num_threads = 1;
+  SatEngine engine(opt);
+  SatRequest r;
+  r.query = "A/B";
+  r.dtd = engine.RegisterDtd(d);
+  for (int i = 0; i < 5; ++i) engine.Run(r);
+
+  const obs::Histogram* total =
+      engine.metrics().FindHistogram("request_total_ns");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->TakeSnapshot().count, 5u);
+  const obs::Histogram* queue =
+      engine.metrics().FindHistogram("request_queue_ns");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->TakeSnapshot().count, 5u);
+  // parse/decide are distributions over the phases that RAN: one cold
+  // request, four memo hits.
+  const obs::Histogram* parse =
+      engine.metrics().FindHistogram("request_parse_ns");
+  ASSERT_NE(parse, nullptr);
+  EXPECT_EQ(parse->TakeSnapshot().count, 1u);
+  const obs::Histogram* decide =
+      engine.metrics().FindHistogram("request_decide_ns");
+  ASSERT_NE(decide, nullptr);
+  EXPECT_EQ(decide->TakeSnapshot().count, 1u);
+}
+
+TEST(SatEngineTest, SlowLogCapturesRequestsOverThreshold) {
+  Dtd d = MakeHeavyDtd();
+  SatEngineOptions opt;
+  opt.num_threads = 1;
+  opt.slow_request_ns = 1;  // everything is slow
+  SatEngine engine(opt);
+  SatRequest r;
+  r.query = "**/item[title && note]";
+  r.dtd = engine.RegisterDtd(d);
+  engine.Run(r);
+  engine.Run(r);
+
+  obs::SlowQueryLog::Drained drained = engine.DrainSlowLog();
+  ASSERT_EQ(drained.records.size(), 2u);
+  EXPECT_EQ(drained.records[0].query, r.query);
+  EXPECT_EQ(drained.records[0].dtd_fingerprint, d.Fingerprint());
+  EXPECT_FALSE(drained.records[0].trace.route.empty());
+  EXPECT_GT(drained.records[0].trace.total_ns, 0u);
+  EXPECT_LT(drained.records[0].seq, drained.records[1].seq);
+  EXPECT_EQ(drained.records[1].trace.route, "memo-hit");
+  // Drain is destructive; the slow_requests counter saw both.
+  EXPECT_TRUE(engine.DrainSlowLog().records.empty());
+  const obs::Counter* slow = engine.metrics().FindCounter("slow_requests");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_EQ(slow->value(), 2u);
+}
+
+TEST(SatEngineTest, SlowLogThresholdZeroDisablesIt) {
+  Dtd d = ParseDtdOrDie("root r\nr -> A\nA -> eps\n");
+  SatEngineOptions opt;
+  opt.num_threads = 1;
+  opt.slow_request_ns = 0;
+  SatEngine engine(opt);
+  SatRequest r;
+  r.query = "A";
+  r.dtd = engine.RegisterDtd(d);
+  engine.Run(r);
+  EXPECT_TRUE(engine.DrainSlowLog().records.empty());
+}
+
+TEST(SatEngineTest, StatsCarryUptimeAndMonotonicSnapshotSeq) {
+  SatEngine engine;
+  SatEngineStats a = engine.stats();
+  SatEngineStats b = engine.stats();
+  EXPECT_GT(a.snapshot_seq, 0u);
+  EXPECT_GT(b.snapshot_seq, a.snapshot_seq);
+  EXPECT_GE(b.uptime_ms, a.uptime_ms);
 }
 
 }  // namespace

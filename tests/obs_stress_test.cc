@@ -1,0 +1,135 @@
+// Contention battery for the lock-free metrics core: many threads hammering
+// ONE histogram / one route table, with exact accounting asserted at
+// quiescence (all writers joined). Runs in the default suite and under the
+// `stress` CTest label, which the TSan CI job re-runs with
+// `--repeat until-fail:3` — a lost update or a racy snapshot here is a bug,
+// not a flake.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "src/util/rng.h"
+
+namespace xpathsat {
+namespace obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kRecordsPerThread = 50000;
+
+TEST(ObsStress, HistogramIsExactAtQuiescence) {
+  Histogram hist;
+  // Deterministic per-thread value streams so the expected totals can be
+  // recomputed exactly after the fact.
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&hist, t] {
+      Rng rng(0x5eed + static_cast<uint64_t>(t));
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        hist.Record(rng.Below(1ull << 30));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  uint64_t expected_count = 0, expected_sum = 0, expected_max = 0;
+  uint64_t expected_buckets[Histogram::kNumBuckets] = {0};
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(0x5eed + static_cast<uint64_t>(t));
+    for (int i = 0; i < kRecordsPerThread; ++i) {
+      uint64_t v = rng.Below(1ull << 30);
+      ++expected_count;
+      expected_sum += v;
+      if (v > expected_max) expected_max = v;
+      ++expected_buckets[Histogram::BucketIndex(v)];
+    }
+  }
+
+  Histogram::Snapshot s = hist.TakeSnapshot();
+  EXPECT_EQ(s.count, expected_count);
+  EXPECT_EQ(s.sum_ns, expected_sum);
+  EXPECT_EQ(s.max_ns, expected_max);
+  EXPECT_EQ(s.BucketTotal(), expected_count);
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    EXPECT_EQ(s.buckets[b], expected_buckets[b]) << "bucket " << b;
+  }
+}
+
+TEST(ObsStress, MidFlightSnapshotsNeverUndercount) {
+  // The release/acquire contract: a snapshot taken while writers are live
+  // must never observe bucket totals below the observed count.
+  Histogram hist;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&hist, &stop, t] {
+      Rng rng(0xabc + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        hist.Record(rng.Below(1u << 16));
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    Histogram::Snapshot s = hist.TakeSnapshot();
+    EXPECT_GE(s.BucketTotal(), s.count);
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+}
+
+TEST(ObsStress, RouteCountersAreExactAtQuiescence) {
+  RouteCounters rc;
+  const std::vector<std::string> routes = {
+      "reach-dp (Thm 4.1)", "sibling-nfa (Thm 7.1)", "djfree-dp (Thm 6.8(1))",
+      "skeleton (Thm 4.4)", "memo-hit", "cancelled"};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&rc, &routes, t] {
+      Rng rng(0xf00 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        rc.Increment(routes[rng.Below(routes.size())]);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  std::map<std::string, uint64_t> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(0xf00 + static_cast<uint64_t>(t));
+    for (int i = 0; i < kRecordsPerThread; ++i) {
+      ++expected[routes[rng.Below(routes.size())]];
+    }
+  }
+  EXPECT_EQ(rc.TakeSnapshot(), expected);
+}
+
+TEST(ObsStress, RegistryRegistrationRaces) {
+  // First-use registration from many threads must converge on one object
+  // per name with no lost increments.
+  MetricsRegistry reg;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&reg] {
+      for (int i = 0; i < 10000; ++i) {
+        reg.counter("shared")->Increment();
+        reg.histogram("shared_hist")->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(reg.FindCounter("shared")->value(),
+            static_cast<uint64_t>(kThreads) * 10000);
+  EXPECT_EQ(reg.FindHistogram("shared_hist")->TakeSnapshot().count,
+            static_cast<uint64_t>(kThreads) * 10000);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xpathsat

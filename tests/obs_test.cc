@@ -1,0 +1,335 @@
+// Unit battery for the observability core (src/obs): histogram bucket
+// geometry and percentile bounds checked against a sorted-vector oracle,
+// route counters (including slot exhaustion), the registry, the two render
+// formats, and the slow-query ring's drop/drain accounting.
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/trace.h"
+#include "src/util/rng.h"
+
+namespace xpathsat {
+namespace obs {
+namespace {
+
+// --- Histogram bucket geometry ---------------------------------------------
+
+TEST(HistogramBuckets, ZeroHasItsOwnBucket) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBoundNs(0), 0u);
+}
+
+TEST(HistogramBuckets, PowerOfTwoBoundaries) {
+  // Bucket i (1 <= i <= 62) holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  for (int i = 1; i <= 62; ++i) {
+    uint64_t lo = 1ull << (i - 1);
+    EXPECT_EQ(Histogram::BucketIndex(lo), i) << "lower edge of bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(2 * lo - 1), i)
+        << "upper edge of bucket " << i;
+  }
+}
+
+TEST(HistogramBuckets, TopBucketAbsorbsEverything) {
+  EXPECT_EQ(Histogram::BucketIndex(1ull << 62), 63);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 63);
+  EXPECT_EQ(Histogram::BucketUpperBoundNs(63), UINT64_MAX);
+}
+
+TEST(HistogramBuckets, UpperBoundIsInclusiveAndTight) {
+  // Every value fits its own bucket's bound and overflows the previous one.
+  const uint64_t probes[] = {0,    1,       2,          3,        4,
+                             5,    1023,    1024,       1025,     999999,
+                             1u << 20, (1ull << 40) + 7, UINT64_MAX};
+  for (uint64_t v : probes) {
+    int b = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBoundNs(b)) << v;
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBoundNs(b - 1)) << v;
+    }
+  }
+}
+
+// --- Histogram recording and percentiles -----------------------------------
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h;
+  Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum_ns, 0u);
+  EXPECT_EQ(s.max_ns, 0u);
+  EXPECT_EQ(s.BucketTotal(), 0u);
+  EXPECT_EQ(s.PercentileNs(0.5), 0u);
+  EXPECT_EQ(s.PercentileNs(0.99), 0u);
+}
+
+TEST(Histogram, SingleThreadedExactness) {
+  Histogram h;
+  uint64_t expected_sum = 0;
+  const uint64_t values[] = {0, 1, 1, 7, 1000, 1000000, 123456789};
+  for (uint64_t v : values) {
+    h.Record(v);
+    expected_sum += v;
+  }
+  Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 7u);
+  EXPECT_EQ(s.sum_ns, expected_sum);
+  EXPECT_EQ(s.max_ns, 123456789u);
+  EXPECT_EQ(s.BucketTotal(), s.count);
+  EXPECT_EQ(s.buckets[0], 1u);                          // the 0
+  EXPECT_EQ(s.buckets[Histogram::BucketIndex(1)], 2u);  // the two 1s
+}
+
+TEST(Histogram, PercentilesAgainstSortedOracle) {
+  // The reported pXX must be >= the true pXX (it is a bucket upper bound)
+  // and no looser than the bound of the bucket holding the true value.
+  Rng rng(0x0b5e7'ab1e);
+  Histogram h;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    // Span many magnitudes, like real latencies do.
+    uint64_t v = rng.Below(1ull << rng.IntIn(1, 34));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  Histogram::Snapshot s = h.TakeSnapshot();
+  ASSERT_EQ(s.count, values.size());
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    if (rank < 1) rank = 1;
+    uint64_t oracle = values[rank - 1];
+    uint64_t reported = s.PercentileNs(q);
+    EXPECT_GE(reported, oracle) << "q=" << q;
+    EXPECT_LE(reported,
+              Histogram::BucketUpperBoundNs(Histogram::BucketIndex(oracle)))
+        << "q=" << q;
+  }
+  // p100 is clamped to the exact max, not the top bucket's bound.
+  EXPECT_EQ(s.PercentileNs(1.0), values.back());
+}
+
+// --- RouteCounters ----------------------------------------------------------
+
+TEST(RouteCounters, CountsByName) {
+  RouteCounters rc;
+  rc.Increment("reach-dp (Thm 4.1)");
+  rc.Increment("reach-dp (Thm 4.1)");
+  rc.Increment("memo-hit", 5);
+  std::map<std::string, uint64_t> snap = rc.TakeSnapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap["reach-dp (Thm 4.1)"], 2u);
+  EXPECT_EQ(snap["memo-hit"], 5u);
+}
+
+TEST(RouteCounters, SlotExhaustionLandsOnOverflow) {
+  RouteCounters rc;
+  const size_t kDistinct = RouteCounters::kNumSlots + 50;
+  for (size_t i = 0; i < kDistinct; ++i) {
+    rc.Increment("route-" + std::to_string(i));
+  }
+  std::map<std::string, uint64_t> snap = rc.TakeSnapshot();
+  uint64_t total = 0;
+  for (const auto& [name, count] : snap) total += count;
+  // Nothing is lost: named slots plus the overflow sentinel account for
+  // every increment.
+  EXPECT_EQ(total, kDistinct);
+  ASSERT_TRUE(snap.count("(overflow)"));
+  EXPECT_EQ(snap["(overflow)"], 50u);
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+TEST(MetricsRegistry, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("requests");
+  EXPECT_EQ(reg.counter("requests"), c);
+  Gauge* g = reg.gauge("depth");
+  EXPECT_EQ(reg.gauge("depth"), g);
+  Histogram* h = reg.histogram("latency");
+  EXPECT_EQ(reg.histogram("latency"), h);
+
+  c->Increment(3);
+  g->Set(-2);
+  h->Record(100);
+
+  EXPECT_EQ(reg.FindCounter("requests"), c);
+  EXPECT_EQ(reg.FindCounter("nope"), nullptr);
+  EXPECT_EQ(reg.FindGauge("nope"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("nope"), nullptr);
+
+  MetricsRegistry::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters["requests"], 3u);
+  EXPECT_EQ(snap.gauges["depth"], -2);
+  EXPECT_EQ(snap.histograms["latency"].count, 1u);
+}
+
+// --- JsonEscape -------------------------------------------------------------
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// --- Render formats ---------------------------------------------------------
+
+MetricsRenderInput MakeInput(const MetricsRegistry* reg,
+                             const RouteCounters* routes) {
+  MetricsRenderInput in;
+  in.registries = {reg};
+  in.routes = routes;
+  in.uptime_ms = 1234;
+  in.snapshot_seq = 7;
+  return in;
+}
+
+TEST(RenderMetricsJson, OneLineWithAllSections) {
+  MetricsRegistry reg;
+  reg.counter("slow_requests")->Increment(2);
+  reg.gauge("worker_queue_depth")->Set(3);
+  reg.histogram("request_total_ns")->Record(1500);
+  RouteCounters routes;
+  routes.Increment("memo-hit", 4);
+
+  std::string json = RenderMetricsJson(MakeInput(&reg, &routes));
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"uptime_ms\": 1234"), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot_seq\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"slow_requests\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"worker_queue_depth\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"request_total_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"memo-hit\": 4"), std::string::npos);
+}
+
+TEST(RenderMetricsProm, ExpositionShape) {
+  MetricsRegistry reg;
+  reg.counter("slow_requests")->Increment(1);
+  reg.histogram("request_total_ns")->Record(1000);
+  reg.histogram("request_total_ns")->Record(2000);
+  RouteCounters routes;
+  routes.Increment("sibling-nfa (Thm 7.1)", 3);
+
+  std::string text = RenderMetricsProm(MakeInput(&reg, &routes));
+  // Every metric is namespaced; names are sanitized for the format.
+  EXPECT_NE(text.find("xpathsat_slow_requests 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE xpathsat_request_total_ns histogram"),
+            std::string::npos);
+  // The +Inf bucket and the sum/count series are mandatory for a histogram.
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("xpathsat_request_total_ns_sum 3000"),
+            std::string::npos);
+  EXPECT_NE(text.find("xpathsat_request_total_ns_count 2"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "xpathsat_requests_by_route_total{route=\"sibling-nfa (Thm 7.1)\"} 3"),
+      std::string::npos);
+  // The exposition is terminated by an EOF marker line.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(RenderMetricsProm, CumulativeBucketsAreMonotonic) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h");
+  Rng rng(42);
+  for (int i = 0; i < 300; ++i) h->Record(rng.Below(1u << 20));
+  std::string text = RenderMetricsProm(MakeInput(&reg, nullptr));
+  uint64_t prev = 0;
+  size_t pos = 0;
+  int buckets_seen = 0;
+  while ((pos = text.find("_bucket{le=", pos)) != std::string::npos) {
+    size_t brace = text.find("} ", pos);
+    ASSERT_NE(brace, std::string::npos);
+    uint64_t cumulative = std::strtoull(text.c_str() + brace + 2, nullptr, 10);
+    EXPECT_GE(cumulative, prev);
+    prev = cumulative;
+    ++buckets_seen;
+    pos = brace;
+  }
+  EXPECT_GT(buckets_seen, 1);
+  EXPECT_EQ(prev, 300u);  // the +Inf bucket carries the full count
+}
+
+// --- SlowQueryLog -----------------------------------------------------------
+
+SlowQueryRecord MakeRecord(const std::string& query) {
+  SlowQueryRecord r;
+  r.ticket_id = 11;
+  r.dtd_fingerprint = 0xabcd;
+  r.query = query;
+  r.trace.total_ns = 42000000;
+  r.trace.route = "skeleton (Thm 4.4)";
+  return r;
+}
+
+TEST(SlowQueryLog, AssignsSequenceAndDrainsOldestFirst) {
+  SlowQueryLog log(8);
+  log.Push(MakeRecord("a"));
+  log.Push(MakeRecord("b"));
+  SlowQueryLog::Drained d = log.Drain();
+  EXPECT_EQ(d.dropped, 0u);
+  ASSERT_EQ(d.records.size(), 2u);
+  EXPECT_EQ(d.records[0].query, "a");
+  EXPECT_EQ(d.records[1].query, "b");
+  EXPECT_LT(d.records[0].seq, d.records[1].seq);
+
+  // Drain clears; sequence numbers keep rising across drains.
+  log.Push(MakeRecord("c"));
+  SlowQueryLog::Drained d2 = log.Drain();
+  ASSERT_EQ(d2.records.size(), 1u);
+  EXPECT_GT(d2.records[0].seq, d.records[1].seq);
+}
+
+TEST(SlowQueryLog, CapacityBoundDropsOldestAndCounts) {
+  SlowQueryLog log(3);
+  for (int i = 0; i < 10; ++i) log.Push(MakeRecord(std::to_string(i)));
+  SlowQueryLog::Drained d = log.Drain();
+  EXPECT_EQ(d.dropped, 7u);
+  ASSERT_EQ(d.records.size(), 3u);
+  EXPECT_EQ(d.records[0].query, "7");
+  EXPECT_EQ(d.records[2].query, "9");
+  // The dropped counter resets with the drain.
+  EXPECT_EQ(log.Drain().dropped, 0u);
+}
+
+TEST(SlowQueryLog, ZeroCapacityDropsEverything) {
+  SlowQueryLog log(0);
+  log.Push(MakeRecord("x"));
+  SlowQueryLog::Drained d = log.Drain();
+  EXPECT_EQ(d.dropped, 1u);
+  EXPECT_TRUE(d.records.empty());
+}
+
+TEST(RenderSlowJsonTest, OneLineWithEscapedQuery) {
+  SlowQueryLog log(4);
+  log.Push(MakeRecord("section/item[\"odd\"]"));
+  std::string json = RenderSlowJson(log.Drain());
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+  EXPECT_NE(json.find("section/item[\\\"odd\\\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"route\": \"skeleton (Thm 4.4)\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total_ns\": 42000000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xpathsat

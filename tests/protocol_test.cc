@@ -70,6 +70,17 @@ TEST(ProtocolParseTest, ParsesEveryVerb) {
   EXPECT_EQ(Parse("flush").command.verb, Verb::kFlush);
   EXPECT_EQ(Parse("stats").command.verb, Verb::kStats);
   EXPECT_EQ(Parse("quit").command.verb, Verb::kQuit);
+  EXPECT_EQ(Parse("slow").command.verb, Verb::kSlow);
+
+  // `metrics` takes an optional mode argument; only "prom" is defined.
+  ParseResult metrics = Parse("metrics");
+  ASSERT_EQ(metrics.status, ParseStatus::kCommand);
+  EXPECT_EQ(metrics.command.verb, Verb::kMetrics);
+  EXPECT_EQ(metrics.command.arg, "");
+  ParseResult prom = Parse("metrics prom");
+  ASSERT_EQ(prom.status, ParseStatus::kCommand);
+  EXPECT_EQ(prom.command.verb, Verb::kMetrics);
+  EXPECT_EQ(prom.command.arg, "prom");
 }
 
 TEST(ProtocolParseTest, ToleratesWhitespaceAndCrLf) {
@@ -100,7 +111,8 @@ TEST(ProtocolParseTest, MissingArgumentsAreStructuredErrors) {
 
 TEST(ProtocolParseTest, TrailingJunkOnExactArityVerbsIsAnError) {
   for (const char* line : {"drop a b", "cancel 7 extra", "flush now",
-                           "stats -v", "quit 0", "health check"}) {
+                           "stats -v", "quit 0", "health check", "slow 5",
+                           "metrics json", "metrics prom extra"}) {
     ParseResult r = Parse(line);
     ASSERT_EQ(r.status, ParseStatus::kError) << line;
     EXPECT_EQ(r.error_line.rfind("err bad-args", 0), 0u) << line;
@@ -148,7 +160,14 @@ TEST(ProtocolRoundTripTest, FormatThenParseIsIdentity) {
   };
   for (int i = 0; i < 500; ++i) {
     Command c;
-    switch (rng.IntIn(0, 8)) {
+    switch (rng.IntIn(0, 10)) {
+      case 9:
+        c.verb = Verb::kMetrics;
+        if (rng.Percent(50)) c.arg = "prom";
+        break;
+      case 10:
+        c.verb = Verb::kSlow;
+        break;
       case 7:
         c.verb = Verb::kAuth;
         // Interior spaces are legal in secrets (the arg is the remainder);
@@ -224,6 +243,8 @@ TEST(ProtocolFormatTest, StatsLineIsSingleLineJsonWithJsonFieldNames) {
   stats.requests = 11;
   stats.memo_hits = 5;
   stats.memo_misses = 6;
+  stats.uptime_ms = 9876;
+  stats.snapshot_seq = 4;
   std::string line = FormatStatsLine(stats, 3);
   EXPECT_EQ(line.rfind("stats {", 0), 0u) << line;
   EXPECT_EQ(line.find('\n'), std::string::npos);
@@ -233,6 +254,7 @@ TEST(ProtocolFormatTest, StatsLineIsSingleLineJsonWithJsonFieldNames) {
         "\"query_cache_hits\": 0", "\"query_cache_misses\": 0",
         "\"memo_hits\": 5", "\"memo_misses\": 6", "\"parse_errors\": 0",
         "\"cancellations\": 0", "\"deadline_expirations\": 0",
+        "\"uptime_ms\": 9876", "\"snapshot_seq\": 4",
         "\"live_dtd_handles\": 3"}) {
     EXPECT_NE(line.find(field), std::string::npos) << field << " in " << line;
   }

@@ -1,0 +1,93 @@
+# CTest driver linting the `metrics prom` exposition: drives a short
+# workload through `xpathsat_cli --serve`, then checks that every line of
+# the exposition block parses as either a `#` comment or a
+# `xpathsat_<name>{labels}? <integer>` sample, that the mandatory histogram
+# series (+Inf bucket, _sum, _count) and the route family are present, and
+# that the block is terminated by the `# EOF` marker.
+#
+# Invoked as:
+#   cmake -DCLI=<xpathsat_cli> -DWORK_DIR=<scratch dir> -P run_metrics_prom_lint.cmake
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=... -DWORK_DIR=... -P run_metrics_prom_lint.cmake")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+file(WRITE ${WORK_DIR}/lint_a.dtd "root r\nr -> A, B*\nA -> eps\nB -> eps\n")
+# Repeat one query so the memo-hit route shows up; flush so every request
+# has been traced before the exposition is taken.
+file(WRITE ${WORK_DIR}/lint_input.txt
+"dtd a lint_a.dtd
+query a A
+query a B
+query a A
+flush
+metrics prom
+quit
+")
+
+execute_process(
+  COMMAND ${CLI} --serve
+  WORKING_DIRECTORY ${WORK_DIR}
+  INPUT_FILE ${WORK_DIR}/lint_input.txt
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_rv)
+if(NOT serve_rv EQUAL 0)
+  message(FATAL_ERROR "--serve exited with ${serve_rv}\nstdout:\n${serve_out}\nstderr:\n${serve_err}")
+endif()
+
+function(expect_contains needle)
+  string(FIND "${serve_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "exposition missing '${needle}'\noutput:\n${serve_out}")
+  endif()
+endfunction()
+
+# Mandatory series: at least one histogram with its +Inf bucket, sum, and
+# count, the slow-request counter, and the per-route counter family with the
+# routes this workload must have taken.
+expect_contains("# TYPE xpathsat_request_total_ns histogram")
+expect_contains("_bucket{le=\"+Inf\"}")
+expect_contains("xpathsat_request_total_ns_sum")
+expect_contains("xpathsat_request_total_ns_count 3")
+expect_contains("# TYPE xpathsat_requests_by_route_total counter")
+expect_contains("{route=\"memo-hit\"} 1")
+expect_contains("# EOF")
+
+# Line-level lint: from the first exposition line to the `# EOF` marker,
+# every line must be a comment or a `name{labels}? value` sample.
+string(REPLACE "\n" ";" lines "${serve_out}")
+set(in_block FALSE)
+set(saw_eof FALSE)
+set(sample_count 0)
+foreach(line IN LISTS lines)
+  if(NOT in_block)
+    if(line MATCHES "^# TYPE xpathsat_")
+      set(in_block TRUE)
+    else()
+      continue()
+    endif()
+  endif()
+  if(line STREQUAL "# EOF")
+    # Terminator: everything after it is ordinary session output again.
+    set(saw_eof TRUE)
+    break()
+  elseif(line MATCHES "^# (TYPE|HELP) xpathsat_[a-zA-Z0-9_]+")
+    # comment line: fine
+  elseif(line MATCHES "^xpathsat_[a-zA-Z0-9_]+({[^{}]*})? -?[0-9]+$")
+    math(EXPR sample_count "${sample_count} + 1")
+  else()
+    message(FATAL_ERROR "unparseable exposition line: '${line}'")
+  endif()
+endforeach()
+if(NOT in_block)
+  message(FATAL_ERROR "no exposition block found\noutput:\n${serve_out}")
+endif()
+if(NOT saw_eof)
+  message(FATAL_ERROR "exposition block not terminated by '# EOF'")
+endif()
+if(sample_count LESS 10)
+  message(FATAL_ERROR "suspiciously few samples (${sample_count}) in the exposition")
+endif()
+
+message(STATUS "metrics prom exposition lint OK (${sample_count} samples)")

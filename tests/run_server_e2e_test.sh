@@ -116,6 +116,9 @@ done
   sed -n 's/^query alpha /query gamma /p' alpha.txt
   echo "flush"
   echo "stats"
+  echo "metrics"
+  echo "metrics prom"
+  echo "slow"
   echo "quit"
 } | "$CLI_BIN" --connect unix:e2e.sock > gamma.out 2>&1 \
   || fail "gamma client failed: $(cat gamma.out)"
@@ -125,16 +128,33 @@ n_results=$(grep -c -- " -- " gamma.out) || true
 n_memo=$(grep -- " -- " gamma.out | grep -c " memo") || true
 [ "$n_memo" -eq 18 ] || fail "gamma: expected all 18 results memo-warm, got $n_memo:
 $(cat gamma.out)"
-expect_in 'stats {"requests": 54' gamma.out
+# Socket-served `stats` is the same merged object as `health`: server
+# connection counters wrapping the engine stats.
+expect_in 'stats {"status": "ok"' gamma.out
+expect_in '"connections_active": ' gamma.out
+expect_in '"requests": 54' gamma.out
 expect_in '"dtd_cache_misses": 1' gamma.out
 expect_in '"dtd_cache_hits": 2' gamma.out
+# The metrics surfaces over a live socket: per-phase histograms and
+# per-route counters in the JSON object, the Prometheus exposition with its
+# EOF marker, and the (possibly empty) slow-query drain.
+expect_in 'metrics {"uptime_ms"' gamma.out
+expect_in '"request_total_ns"' gamma.out
+expect_in '"memo-hit"' gamma.out
+expect_in 'xpathsat_request_total_ns_count' gamma.out
+expect_in '{route="memo-hit"}' gamma.out
+expect_in 'xpathsat_worker_queue_wait_ns_count' gamma.out
+expect_in '# EOF' gamma.out
+expect_in 'slow {"dropped"' gamma.out
 
 stop_server
 # The server's shutdown stats line repeats the shared JSON.
 expect_in '"requests": 54' server.out
 
 # ---- Phase 2: cancel a still-queued ticket by id --------------------------
-start_server --threads 1 --no-memo
+# Also exercises --metrics-dump-ms: the server dumps the merged metrics JSON
+# to stderr while it runs (checked after stop_server below).
+start_server --threads 1 --no-memo --metrics-dump-ms 200
 
 cancelled=0
 for attempt in $(seq 1 5); do
@@ -170,5 +190,6 @@ done
 
 stop_server
 expect_in '"cancellations": 1' server.out
+expect_in 'metrics {"uptime_ms"' server.err
 
 echo "server e2e: concurrent clients, cross-client memo, cancel-by-id OK"

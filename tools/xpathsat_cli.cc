@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "src/engine/sat_engine.h"
+#include "src/obs/metrics.h"
 #include "src/server/protocol.h"
 #include "src/server/session.h"
 #include "src/util/net.h"
@@ -177,19 +178,38 @@ SatEngine MakeEngine(const CliOptions& opt) {
   return SatEngine(engine_opt);
 }
 
-void WriteJsonStats(std::ostream& out, const SatEngineStats& stats) {
-  out << "\"stats\": {\"requests\": " << stats.requests
-      << ", \"dtd_cache_hits\": " << stats.dtd_cache_hits
-      << ", \"dtd_cache_misses\": " << stats.dtd_cache_misses
-      << ", \"query_cache_hits\": " << stats.query_cache_hits
-      << ", \"query_cache_misses\": " << stats.query_cache_misses
-      << ", \"memo_hits\": " << stats.memo_hits
-      << ", \"memo_misses\": " << stats.memo_misses
-      << ", \"rewrite_cache_hits\": " << stats.rewrite_cache_hits
-      << ", \"rewrite_cache_misses\": " << stats.rewrite_cache_misses
-      << ", \"parse_errors\": " << stats.parse_errors
-      << ", \"cancellations\": " << stats.cancellations
-      << ", \"deadline_expirations\": " << stats.deadline_expirations << "}";
+// One source of truth for the stats object: the protocol formatter the
+// server's `stats`/`health` verbs use (so the CLI JSON carries uptime_ms,
+// snapshot_seq, and live_dtd_handles like everything else).
+void WriteJsonStats(std::ostream& out, const SatEngine& engine) {
+  out << "\"stats\": "
+      << protocol::FormatStatsJson(engine.stats(), engine.live_dtd_handles());
+}
+
+// Per-phase latency summaries from the engine's histograms: only phases that
+// actually ran appear (e.g. no "request_parse_ns" in a fully query-cached
+// round). Percentiles are log2-bucket upper bounds — see src/obs/metrics.h.
+void WriteJsonLatency(std::ostream& out, const SatEngine& engine) {
+  static const char* const kPhases[] = {
+      "request_queue_ns",  "request_parse_ns", "request_rewrite_ns",
+      "request_decide_ns", "request_total_ns", "dtd_compile_ns"};
+  out << "\"latency\": {";
+  bool first = true;
+  for (const char* name : kPhases) {
+    const obs::Histogram* hist = engine.metrics().FindHistogram(name);
+    if (hist == nullptr) continue;
+    obs::Histogram::Snapshot s = hist->TakeSnapshot();
+    if (s.count == 0) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << name << "\": {\"count\": " << s.count
+        << ", \"sum_ns\": " << s.sum_ns
+        << ", \"p50_ns\": " << s.PercentileNs(0.50)
+        << ", \"p90_ns\": " << s.PercentileNs(0.90)
+        << ", \"p99_ns\": " << s.PercentileNs(0.99)
+        << ", \"max_ns\": " << s.max_ns << "}";
+  }
+  out << "}";
 }
 
 // ---------------------------------------------------------------------------
@@ -225,7 +245,9 @@ int RunServe(const CliOptions& opt) {
       return 1;
     }
     out << "{";
-    WriteJsonStats(out, engine.stats());
+    WriteJsonStats(out, engine);
+    out << ", ";
+    WriteJsonLatency(out, engine);
     out << "}\n";
   }
   return 0;
@@ -490,6 +512,18 @@ int main(int argc, char** argv) {
                                       stats.rewrite_cache_misses),
       static_cast<unsigned long long>(stats.cancellations),
       static_cast<unsigned long long>(stats.deadline_expirations));
+  if (const obs::Histogram* hist =
+          engine.metrics().FindHistogram("request_total_ns")) {
+    obs::Histogram::Snapshot s = hist->TakeSnapshot();
+    if (s.count > 0) {
+      std::printf(
+          "request latency p50/p90/p99/max: %.1f/%.1f/%.1f/%.1f us "
+          "(log2-bucket upper bounds over %llu request(s))\n",
+          s.PercentileNs(0.50) / 1e3, s.PercentileNs(0.90) / 1e3,
+          s.PercentileNs(0.99) / 1e3, s.max_ns / 1e3,
+          static_cast<unsigned long long>(s.count));
+    }
+  }
 
   if (!opt.json_file.empty()) {
     std::ofstream out(opt.json_file);
@@ -516,7 +550,9 @@ int main(int argc, char** argv) {
         << ", \"unknown\": " << n_unknown << ", \"error\": " << n_error
         << ", \"wall_ms\": " << wall_ms
         << ", \"requests_per_s\": " << throughput << ", ";
-    WriteJsonStats(out, stats);
+    WriteJsonStats(out, engine);
+    out << ", ";
+    WriteJsonLatency(out, engine);
     out << "}\n}\n";
   }
   return n_error > 0 ? 2 : 0;

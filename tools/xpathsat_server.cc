@@ -21,6 +21,8 @@
 //   --idle-timeout-ms M  evict connections silent for M ms with
 //                        `err idle-timeout ...` (default: never)
 //   --auth-secret S      require `auth S` before any verb except `health`
+//   --metrics-dump-ms M  dump the merged metrics JSON (the `metrics` verb's
+//                        object) to stderr every M ms, one line per dump
 //
 // On startup one `listening ...` line per listener is printed to stdout (the
 // TCP line carries the actually-bound port), then the server runs until
@@ -29,11 +31,15 @@
 //
 // Drive it with `xpathsat_cli --connect unix:PATH` / `--connect HOST:PORT`,
 // or anything that speaks lines (nc works; see the README protocol spec).
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "src/engine/sat_engine.h"
 #include "src/server/protocol.h"
@@ -48,7 +54,7 @@ void Usage(const char* argv0) {
                "usage: %s (--unix PATH | --tcp PORT) [--host ADDR]\n"
                "          [--threads N] [--deadline-ms M] [--no-memo]\n"
                "          [--max-conns N] [--idle-timeout-ms M]\n"
-               "          [--auth-secret S]\n",
+               "          [--auth-secret S] [--metrics-dump-ms M]\n",
                argv0);
 }
 
@@ -74,6 +80,7 @@ long long ParseIntFlag(const char* argv0, const char* flag, const char* text,
 int main(int argc, char** argv) {
   server::SocketServerOptions server_opt;
   SatEngineOptions engine_opt;
+  long long metrics_dump_ms = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&](const char* what) -> const char* {
@@ -110,6 +117,10 @@ int main(int argc, char** argv) {
                        1, 1000LL * 1000 * 1000);
     } else if (arg == "--auth-secret") {
       server_opt.auth_secret = next("--auth-secret");
+    } else if (arg == "--metrics-dump-ms") {
+      metrics_dump_ms =
+          ParseIntFlag(argv[0], "--metrics-dump-ms", next("--metrics-dump-ms"),
+                       1, 1000LL * 1000 * 1000);
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -147,9 +158,37 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
 
+  // Periodic metrics dump: the same merged JSON object the `metrics` verb
+  // serves, one line to stderr per period (scrapeable without a connection).
+  std::mutex dump_mu;
+  std::condition_variable dump_cv;
+  bool dump_stop = false;
+  std::thread dump_thread;
+  if (metrics_dump_ms > 0) {
+    dump_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(dump_mu);
+      while (!dump_cv.wait_for(lock,
+                               std::chrono::milliseconds(metrics_dump_ms),
+                               [&] { return dump_stop; })) {
+        lock.unlock();
+        std::string json = server.MetricsJson();
+        std::fprintf(stderr, "metrics %s\n", json.c_str());
+        lock.lock();
+      }
+    });
+  }
+
   int sig = 0;
   sigwait(&mask, &sig);
   std::fprintf(stderr, "shutting down (%s)\n", strsignal(sig));
+  if (dump_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(dump_mu);
+      dump_stop = true;
+    }
+    dump_cv.notify_all();
+    dump_thread.join();
+  }
   server.Stop();
   std::printf("%s\n",
               protocol::FormatStatsLine(engine.stats(),
