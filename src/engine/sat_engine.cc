@@ -1,8 +1,11 @@
 #include "src/engine/sat_engine.h"
 
 #include <iterator>
+#include <list>
 #include <utility>
 
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/xpath/parser.h"
 
 namespace xpathsat {
@@ -29,9 +32,10 @@ struct TicketState {
   // waiters by iterator when it returns — while fulfilled is still false
   // the iterators are owned by this list; after the flip they belong to
   // Fulfill's drained copy and must not be touched.
-  std::mutex cb_mu;
-  bool fulfilled = false;
-  std::list<std::function<void(const SatResponse&)>> callbacks;
+  util::Mutex cb_mu;
+  bool fulfilled GUARDED_BY(cb_mu) = false;
+  std::list<std::function<void(const SatResponse&)>> callbacks
+      GUARDED_BY(cb_mu);
 
   // The single fulfilment point: drains the registered callbacks, resolves
   // the promise, then runs the drained callbacks on the calling thread.
@@ -47,7 +51,7 @@ struct TicketState {
   void Fulfill(SatResponse response) {
     std::list<std::function<void(const SatResponse&)>> ready;
     {
-      std::lock_guard<std::mutex> lock(cb_mu);
+      util::MutexLock lock(cb_mu);
       fulfilled = true;
       ready.splice(ready.begin(), callbacks);
     }
@@ -124,7 +128,7 @@ std::shared_ptr<const CompiledDtd> DtdHandle::compiled() const {
 
 void SatTicket::OnComplete(std::function<void(const SatResponse&)> cb) const {
   {
-    std::lock_guard<std::mutex> lock(state_->cb_mu);
+    util::MutexLock lock(state_->cb_mu);
     if (!state_->fulfilled) {
       state_->callbacks.push_back(std::move(cb));
       return;
@@ -139,9 +143,9 @@ int SatTicket::WaitAny(const std::vector<SatTicket>& tickets,
                        int64_t timeout_ms) {
   using engine_internal::TicketState;
   struct Waiter {
-    std::mutex mu;
-    std::condition_variable cv;
-    int ready = -1;
+    util::Mutex mu;
+    util::CondVar cv;
+    int ready GUARDED_BY(mu) = -1;
   };
   // Registrations are deregistered by iterator on every exit path, so a
   // caller polling WaitAny in a loop over long-queued tickets does not
@@ -161,7 +165,7 @@ int SatTicket::WaitAny(const std::vector<SatTicket>& tickets,
     if (!tickets[i].valid()) continue;
     any_valid = true;
     std::shared_ptr<TicketState> state = tickets[i].state_;
-    std::lock_guard<std::mutex> lock(state->cb_mu);
+    util::MutexLock lock(state->cb_mu);
     if (state->fulfilled) {
       ready_now = static_cast<int>(i);
       break;
@@ -171,30 +175,34 @@ int SatTicket::WaitAny(const std::vector<SatTicket>& tickets,
           std::shared_ptr<Waiter> w = weak.lock();
           if (w == nullptr) return;
           {
-            std::lock_guard<std::mutex> lock(w->mu);
+            util::MutexLock lock(w->mu);
             if (w->ready < 0 || static_cast<size_t>(w->ready) > i) {
               w->ready = static_cast<int>(i);
             }
           }
-          w->cv.notify_all();
+          w->cv.NotifyAll();
         });
     auto where = std::prev(state->callbacks.end());
     registrations.push_back(Registration{std::move(state), where});
   }
   int result = ready_now;
   if (result < 0 && any_valid) {
-    std::unique_lock<std::mutex> lock(waiter->mu);
-    auto ready = [&] { return waiter->ready >= 0; };
+    util::MutexLock lock(waiter->mu);
     if (timeout_ms < 0) {
-      waiter->cv.wait(lock, ready);
+      while (waiter->ready < 0) waiter->cv.Wait(waiter->mu);
     } else {
-      waiter->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                          ready);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(timeout_ms);
+      // WaitUntil returns false only on deadline expiry, which ends the
+      // loop with ready still -1 — the documented timeout result.
+      while (waiter->ready < 0 &&
+             waiter->cv.WaitUntil(waiter->mu, deadline)) {
+      }
     }
     result = waiter->ready;  // -1 on timeout
   }
   for (Registration& registration : registrations) {
-    std::lock_guard<std::mutex> lock(registration.state->cb_mu);
+    util::MutexLock lock(registration.state->cb_mu);
     // After fulfilment the iterator belongs to Fulfill's drained list.
     if (!registration.state->fulfilled) {
       registration.state->callbacks.erase(registration.where);
@@ -277,10 +285,10 @@ SatEngine::SatEngine(const SatEngineOptions& options)
 
 SatEngine::~SatEngine() {
   {
-    std::lock_guard<std::mutex> lock(reaper_mu_);
+    util::MutexLock lock(reaper_mu_);
     reaper_stop_ = true;
   }
-  reaper_cv_.notify_all();
+  reaper_cv_.NotifyAll();
   if (reaper_.joinable()) reaper_.join();
   // pool_ is destroyed next (it is the last member): queued jobs drain and
   // fulfil their promises while the caches are still alive. Deadlines no
@@ -571,11 +579,11 @@ SatTicket SatEngine::Submit(SatRequest request) {
       });
   if (deadline_ms > 0) {
     {
-      std::lock_guard<std::mutex> lock(reaper_mu_);
+      util::MutexLock lock(reaper_mu_);
       deadlines_.push(DeadlineEntry{
           submitted + std::chrono::milliseconds(deadline_ms), state});
     }
-    reaper_cv_.notify_one();
+    reaper_cv_.NotifyOne();
   }
   return ticket;
 }
@@ -593,33 +601,36 @@ bool SatEngine::TryCancel(const SatTicket& ticket) {
 }
 
 void SatEngine::ReaperLoop() {
-  std::unique_lock<std::mutex> lock(reaper_mu_);
   for (;;) {
-    if (reaper_stop_) return;
-    if (deadlines_.empty()) {
-      reaper_cv_.wait(lock);
-      continue;
+    std::shared_ptr<engine_internal::TicketState> expired;
+    {
+      util::MutexLock lock(reaper_mu_);
+      for (;;) {
+        if (reaper_stop_) return;
+        if (deadlines_.empty()) {
+          reaper_cv_.Wait(reaper_mu_);
+          continue;
+        }
+        const Clock::time_point when = deadlines_.top().when;
+        if (Clock::now() < when) {
+          // Woken early by a new (possibly earlier) deadline or by
+          // shutdown; loop re-evaluates either way.
+          reaper_cv_.WaitUntil(reaper_mu_, when);
+          continue;
+        }
+        expired = deadlines_.top().state.lock();
+        deadlines_.pop();
+        if (expired == nullptr) continue;  // completed and released long ago
+        break;
+      }
     }
-    const Clock::time_point when = deadlines_.top().when;
-    if (Clock::now() < when) {
-      // Woken early by a new (possibly earlier) deadline or by shutdown;
-      // loop re-evaluates either way.
-      reaper_cv_.wait_until(lock, when);
-      continue;
-    }
-    std::shared_ptr<engine_internal::TicketState> state =
-        deadlines_.top().state.lock();
-    deadlines_.pop();
-    if (state == nullptr) continue;  // completed and released long ago
-    lock.unlock();
     // Outside the lock: Submit must never block behind promise fulfilment.
-    if (state->job->TryCancel()) {
+    if (expired->job->TryCancel()) {
       deadline_expirations_.fetch_add(1, std::memory_order_release);
       route_counters_.Increment("deadline");
-      state->Fulfill(NotRunResponse(
+      expired->Fulfill(NotRunResponse(
           "deadline", "deadline expired before execution started"));
     }
-    lock.lock();
   }
 }
 

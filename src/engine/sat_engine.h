@@ -53,12 +53,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -68,8 +66,10 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sat/satisfiability.h"
+#include "src/util/mutex.h"
 #include "src/util/sharded_lru_cache.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 #include "src/xml/dtd.h"
 #include "src/xpath/ast.h"
@@ -477,12 +477,12 @@ class SatEngine {
       return when > other.when;
     }
   };
-  std::mutex reaper_mu_;
-  std::condition_variable reaper_cv_;
+  util::Mutex reaper_mu_;
+  util::CondVar reaper_cv_;
   std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
                       std::greater<DeadlineEntry>>
-      deadlines_;
-  bool reaper_stop_ = false;
+      deadlines_ GUARDED_BY(reaper_mu_);
+  bool reaper_stop_ GUARDED_BY(reaper_mu_) = false;
   std::thread reaper_;
 
   ThreadPool pool_;  // last member: workers must die before the caches

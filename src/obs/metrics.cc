@@ -140,47 +140,47 @@ std::map<std::string, uint64_t> RouteCounters::TakeSnapshot() const {
 // MetricsRegistry
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot.reset(new Counter());
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot.reset(new Gauge());
   return slot.get();
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot.reset(new Histogram());
   return slot.get();
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   Snapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& kv : counters_) snap.counters[kv.first] = kv.second->value();
   for (const auto& kv : gauges_) snap.gauges[kv.first] = kv.second->value();
   for (const auto& kv : histograms_) {

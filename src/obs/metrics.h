@@ -19,11 +19,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <string>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <string>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace xpathsat {
 namespace obs {
@@ -147,10 +149,11 @@ class MetricsRegistry {
   Snapshot TakeSnapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// Inputs for the two render formats. Registries are merged in order; on a

@@ -9,7 +9,7 @@ namespace xpathsat {
 namespace obs {
 
 void SlowQueryLog::Push(SlowQueryRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   record.seq = next_seq_++;
   if (capacity_ == 0) {
     ++dropped_;
@@ -24,7 +24,7 @@ void SlowQueryLog::Push(SlowQueryRecord record) {
 
 SlowQueryLog::Drained SlowQueryLog::Drain() {
   Drained out;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   out.dropped = dropped_;
   dropped_ = 0;
   out.records.swap(ring_);

@@ -12,9 +12,11 @@
 /// integer comparison.
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace xpathsat {
 namespace obs {
@@ -63,10 +65,11 @@ class SlowQueryLog {
 
  private:
   const size_t capacity_;
-  std::mutex mu_;
-  uint64_t next_seq_ = 0;
-  uint64_t dropped_ = 0;
-  std::vector<SlowQueryRecord> ring_;  // ring_[.. ] ordered oldest-first
+  util::Mutex mu_;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  // ring_[..] ordered oldest-first
+  std::vector<SlowQueryRecord> ring_ GUARDED_BY(mu_);
 };
 
 /// One-line JSON object: {"dropped": N, "records": [...]}, each record with

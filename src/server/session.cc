@@ -1,13 +1,13 @@
 #include "src/server/session.h"
 
-#include <condition_variable>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace xpathsat {
 namespace server {
@@ -33,11 +33,11 @@ obs::MetricsRenderInput EngineRenderInput(SatEngine* engine) {
 // they touch lives here, behind a shared_ptr they hold.
 struct ServerSession::Shared {
   LineSink sink;
-  std::mutex mu;
-  std::condition_variable cv;
+  util::Mutex mu;
+  util::CondVar cv;
   // Engine ticket id -> ticket, while the result line is still owed. This
   // is the cancellation surface: `cancel ID` resolves against this table.
-  std::map<uint64_t, SatTicket> inflight;
+  std::map<uint64_t, SatTicket> inflight GUARDED_BY(mu);
 };
 
 ServerSession::ServerSession(SatEngine* engine, SessionOptions options,
@@ -57,8 +57,8 @@ void ServerSession::EmitError(const std::string& code,
 }
 
 void ServerSession::Drain() {
-  std::unique_lock<std::mutex> lock(shared_->mu);
-  shared_->cv.wait(lock, [&] { return shared_->inflight.empty(); });
+  util::MutexLock lock(shared_->mu);
+  while (!shared_->inflight.empty()) shared_->cv.Wait(shared_->mu);
 }
 
 bool ServerSession::HandleLine(const std::string& line) {
@@ -151,9 +151,10 @@ void ServerSession::HandleCommand(const protocol::Command& command) {
         // makes progress.
         const size_t cap =
             options_.max_inflight < 1 ? 1 : options_.max_inflight;
-        std::unique_lock<std::mutex> lock(shared_->mu);
-        shared_->cv.wait(lock,
-                         [&] { return shared_->inflight.size() < cap; });
+        util::MutexLock lock(shared_->mu);
+        while (shared_->inflight.size() >= cap) {
+          shared_->cv.Wait(shared_->mu);
+        }
       }
       SatRequest request;
       request.query = command.arg;
@@ -164,7 +165,7 @@ void ServerSession::HandleCommand(const protocol::Command& command) {
       const uint64_t id = ticket.id();
       ++queries_submitted_;
       {
-        std::lock_guard<std::mutex> lock(shared_->mu);
+        util::MutexLock lock(shared_->mu);
         shared_->inflight.emplace(id, ticket);
       }
       // Ack first so the client learns the cancellable id before (never
@@ -174,10 +175,10 @@ void ServerSession::HandleCommand(const protocol::Command& command) {
                          query = command.arg](const SatResponse& response) {
         shared->sink(protocol::FormatResultLine(id, query, response));
         {
-          std::lock_guard<std::mutex> lock(shared->mu);
+          util::MutexLock lock(shared->mu);
           shared->inflight.erase(id);
         }
-        shared->cv.notify_all();
+        shared->cv.NotifyAll();
       });
       return;
     }
@@ -191,7 +192,7 @@ void ServerSession::HandleCommand(const protocol::Command& command) {
     case Verb::kCancel: {
       SatTicket ticket;
       {
-        std::lock_guard<std::mutex> lock(shared_->mu);
+        util::MutexLock lock(shared_->mu);
         auto it = shared_->inflight.find(command.ticket_id);
         if (it != shared_->inflight.end()) ticket = it->second;
       }

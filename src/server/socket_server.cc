@@ -46,58 +46,7 @@ int64_t NowNs() {
       .count();
 }
 
-struct WriteState {
-  std::mutex mu;
-  bool dead = false;
-};
-
 }  // namespace
-
-// One admitted connection. Field groups by owner:
-//  * reactor-only: poller/wheel bookkeeping — never touched off the reactor
-//  * work_mu: the reactor->worker hand-off (pending lines + flags)
-//  * shared: fd (stable until destruction), session (created at admit,
-//    destroyed by the tearing-down worker), write/activity state (any
-//    thread, internally synchronized)
-struct SocketServer::Connection {
-  explicit Connection(size_t max_line_bytes) : decoder(max_line_bytes) {}
-
-  net::ScopedFd fd;
-  bool is_tcp = false;
-  std::string peer_ip;
-  net::LineDecoder decoder;  // reactor thread only
-  std::unique_ptr<ServerSession> session;
-  std::shared_ptr<WriteState> write_state = std::make_shared<WriteState>();
-  // Stamped by the reactor on reads and by completion threads on result
-  // writes; the timer wheel consults it before evicting, so a connection
-  // only waiting on long decisions (results still streaming out) is not
-  // "idle".
-  std::shared_ptr<std::atomic<int64_t>> last_activity_ms =
-      std::make_shared<std::atomic<int64_t>>(0);
-
-  struct PendingLine {
-    std::string text;
-    bool oversized = false;
-  };
-
-  // When the connection's current worker-queue token was pushed; read by the
-  // popping worker to record the queue-wait histogram.
-  std::atomic<int64_t> enqueued_at_ns{0};
-
-  std::mutex work_mu;
-  std::deque<PendingLine> pending;
-  size_t pending_bytes = 0;
-  bool scheduled = false;     // a queue token exists or a worker is active
-  bool input_closed = false;  // the reactor will feed no more lines
-  bool timed_out = false;     // teardown should emit err idle-timeout
-  bool paused = false;        // reactor removed the fd from the poller
-  bool torn_down = false;     // session destroyed; retire pending
-
-  // Reactor-only bookkeeping.
-  bool in_poller = false;
-  size_t wheel_bucket = SIZE_MAX;
-  std::list<Connection*>::iterator wheel_pos;
-};
 
 SocketServer::SocketServer(SatEngine* engine, SocketServerOptions options)
     : engine_(engine), options_(std::move(options)) {
@@ -448,7 +397,7 @@ void SocketServer::AdmitConnection(net::ScopedFd fd, bool is_tcp,
   conn->session.reset(new ServerSession(
       engine_, std::move(session_opt),
       [raw_fd, write_state, activity](const std::string& line) {
-        std::lock_guard<std::mutex> lock(write_state->mu);
+        util::MutexLock lock(write_state->mu);
         if (write_state->dead) return;
         if (net::WriteAll(raw_fd, line + "\n").ok()) {
           activity->store(NowMs(), std::memory_order_relaxed);
@@ -475,7 +424,7 @@ void SocketServer::AdmitConnection(net::ScopedFd fd, bool is_tcp,
 
 void SocketServer::ReadReady(const std::shared_ptr<Connection>& conn) {
   {
-    std::lock_guard<std::mutex> lock(conn->work_mu);
+    util::MutexLock lock(conn->work_mu);
     if (conn->input_closed) {
       // A worker already closed this connection (quit/bad-auth) but its
       // retire control has not reached us yet: stop watching, skip reading.
@@ -529,7 +478,7 @@ void SocketServer::ReadReady(const std::shared_ptr<Connection>& conn) {
   // input order.
   bool should_pause = false;
   {
-    std::lock_guard<std::mutex> lock(conn->work_mu);
+    util::MutexLock lock(conn->work_mu);
     std::string line;
     for (;;) {
       net::LineDecoder::Event ev = conn->decoder.Next(&line);
@@ -582,7 +531,7 @@ void SocketServer::CloseInput(const std::shared_ptr<Connection>& conn,
     conn->in_poller = false;
   }
   WheelRemove(conn.get());
-  std::lock_guard<std::mutex> lock(conn->work_mu);
+  util::MutexLock lock(conn->work_mu);
   if (conn->input_closed) return;
   conn->input_closed = true;
   conn->timed_out = timed_out;
@@ -593,12 +542,12 @@ void SocketServer::DrainControl() {
   std::vector<std::shared_ptr<Connection>> retired;
   std::vector<std::shared_ptr<Connection>> resumable;
   {
-    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    util::MutexLock lock(ctrl_mu_);
     retired.swap(ctrl_retired_);
     resumable.swap(ctrl_resumable_);
   }
   for (const std::shared_ptr<Connection>& conn : resumable) {
-    std::lock_guard<std::mutex> lock(conn->work_mu);
+    util::MutexLock lock(conn->work_mu);
     if (!conn->paused || conn->input_closed || conn->torn_down) continue;
     conn->paused = false;
     if (!conn->in_poller && poller_->Add(conn->fd.get()).ok()) {
@@ -680,7 +629,7 @@ void SocketServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
   bool input_closed;
   bool timed_out;
   {
-    std::lock_guard<std::mutex> lock(conn->work_mu);
+    util::MutexLock lock(conn->work_mu);
     if (conn->torn_down) {  // stale token
       conn->scheduled = false;
       return;
@@ -707,7 +656,7 @@ void SocketServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
   bool do_teardown = false;
   bool signal_resume = false;
   {
-    std::lock_guard<std::mutex> lock(conn->work_mu);
+    util::MutexLock lock(conn->work_mu);
     if (!open) conn->input_closed = input_closed = true;
     if (input_closed && conn->pending.empty()) {
       do_teardown = true;
@@ -730,7 +679,7 @@ void SocketServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
   }
   if (signal_resume) {
     {
-      std::lock_guard<std::mutex> lock(ctrl_mu_);
+      util::MutexLock lock(ctrl_mu_);
       ctrl_resumable_.push_back(conn);
     }
     Wake();
@@ -750,13 +699,13 @@ void SocketServer::TearDown(const std::shared_ptr<Connection>& conn,
   conn->session.reset();
   ::shutdown(conn->fd.get(), SHUT_RDWR);
   {
-    std::lock_guard<std::mutex> lock(conn->work_mu);
+    util::MutexLock lock(conn->work_mu);
     conn->torn_down = true;
     conn->scheduled = false;
   }
   connections_active_.fetch_sub(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    util::MutexLock lock(ctrl_mu_);
     ctrl_retired_.push_back(conn);
   }
   Wake();

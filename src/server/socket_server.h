@@ -30,9 +30,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -43,8 +43,10 @@
 #include "src/server/protocol.h"
 #include "src/server/session.h"
 #include "src/util/bounded_queue.h"
+#include "src/util/mutex.h"
 #include "src/util/net.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace xpathsat {
 namespace server {
@@ -148,7 +150,71 @@ class SocketServer {
   std::string MetricsProm();
 
  private:
-  struct Connection;
+  // Per-connection write-side state, shared between the session's output
+  // sink (runs on engine completion threads) and the teardown path. The
+  // first failed/timed-out write latches `dead`; every later write is
+  // skipped instead of paying the send timeout again.
+  struct WriteState {
+    util::Mutex mu;
+    bool dead GUARDED_BY(mu) = false;
+  };
+
+  // One admitted connection. Field groups by owner:
+  //  * reactor-only: poller/wheel bookkeeping — never touched off the
+  //    reactor thread
+  //  * work_mu: the reactor->worker hand-off (pending lines + flags),
+  //    GUARDED_BY so a Clang -Wthread-safety build proves the hand-off
+  //  * shared: fd (stable until destruction), session (created at admit,
+  //    destroyed by the tearing-down worker), write/activity state (any
+  //    thread, internally synchronized)
+  //
+  // Defined here (not in the .cc) so lock-held helpers like ScheduleLocked
+  // can spell their REQUIRES(conn->work_mu) contract on the declaration.
+  struct Connection {
+    explicit Connection(size_t max_line_bytes) : decoder(max_line_bytes) {}
+
+    net::ScopedFd fd;
+    bool is_tcp = false;
+    std::string peer_ip;
+    net::LineDecoder decoder;  // reactor thread only
+    std::unique_ptr<ServerSession> session;
+    std::shared_ptr<WriteState> write_state = std::make_shared<WriteState>();
+    // Stamped by the reactor on reads and by completion threads on result
+    // writes; the timer wheel consults it before evicting, so a connection
+    // only waiting on long decisions (results still streaming out) is not
+    // "idle".
+    std::shared_ptr<std::atomic<int64_t>> last_activity_ms =
+        std::make_shared<std::atomic<int64_t>>(0);
+
+    struct PendingLine {
+      std::string text;
+      bool oversized = false;
+    };
+
+    // When the connection's current worker-queue token was pushed; read by
+    // the popping worker to record the queue-wait histogram.
+    std::atomic<int64_t> enqueued_at_ns{0};
+
+    util::Mutex work_mu;
+    std::deque<PendingLine> pending GUARDED_BY(work_mu);
+    size_t pending_bytes GUARDED_BY(work_mu) = 0;
+    // a queue token exists or a worker is active
+    bool scheduled GUARDED_BY(work_mu) = false;
+    // the reactor will feed no more lines
+    bool input_closed GUARDED_BY(work_mu) = false;
+    // teardown should emit err idle-timeout
+    bool timed_out GUARDED_BY(work_mu) = false;
+    // reactor removed the fd from the poller
+    bool paused GUARDED_BY(work_mu) = false;
+    // session destroyed; retire pending
+    bool torn_down GUARDED_BY(work_mu) = false;
+
+    // Reactor-only bookkeeping.
+    bool in_poller = false;
+    size_t wheel_bucket = SIZE_MAX;
+    std::list<Connection*>::iterator wheel_pos;
+  };
+
   struct Listener {
     net::ScopedFd fd;
     bool is_tcp = false;
@@ -165,7 +231,8 @@ class SocketServer {
                        const std::string& peer_ip);
   void ReadReady(const std::shared_ptr<Connection>& conn);
   void CloseInput(const std::shared_ptr<Connection>& conn, bool timed_out);
-  void ScheduleLocked(const std::shared_ptr<Connection>& conn);
+  void ScheduleLocked(const std::shared_ptr<Connection>& conn)
+      REQUIRES(conn->work_mu);
   void DrainControl();
   void BeginShutdown();
   bool ThrottleAllows(const std::string& peer_ip, int64_t now_ms);
@@ -215,9 +282,11 @@ class SocketServer {
 
   // Cross-thread control hand-off to the reactor (retired connections to
   // erase, drained connections whose reads should resume).
-  std::mutex ctrl_mu_;
-  std::vector<std::shared_ptr<Connection>> ctrl_retired_;
-  std::vector<std::shared_ptr<Connection>> ctrl_resumable_;
+  util::Mutex ctrl_mu_;
+  std::vector<std::shared_ptr<Connection>> ctrl_retired_
+      GUARDED_BY(ctrl_mu_);
+  std::vector<std::shared_ptr<Connection>> ctrl_resumable_
+      GUARDED_BY(ctrl_mu_);
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};

@@ -5,18 +5,21 @@
 // deterministically — after Close, Push is refused and Pop returns the
 // remaining items, then false.
 //
-// Plain mutex + two condvars. The serving layer enqueues coarse tokens (one
-// per connection needing work), so queue contention is negligible next to
-// the work items — same reasoning as ThreadPool, same idiom as the Wazuh
-// engine's accept/worker hand-off queue.
+// Plain mutex + two condvars, with the lock discipline stated in the types:
+// every queue field is GUARDED_BY(mu_), so a Clang -Wthread-safety build
+// proves no path touches them unlocked. The serving layer enqueues coarse
+// tokens (one per connection needing work), so queue contention is
+// negligible next to the work items — same reasoning as ThreadPool, same
+// idiom as the Wazuh engine's accept/worker hand-off queue.
 #ifndef XPATHSAT_UTIL_BOUNDED_QUEUE_H_
 #define XPATHSAT_UTIL_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace xpathsat {
 
@@ -33,51 +36,50 @@ class BoundedQueue {
   /// Blocks while the queue is full; returns false (dropping `item`) once
   /// the queue is closed.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    util::MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking push; false when full or closed.
   bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks for the next item. Returns false only when the queue is closed
   /// AND drained — items enqueued before Close are always delivered.
   bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    util::MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Refuses further pushes and wakes every waiter. Idempotent.
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -85,11 +87,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar not_empty_;
+  util::CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace xpathsat

@@ -1,0 +1,119 @@
+// util::Mutex / util::MutexLock / util::CondVar: the project's ONLY mutex
+// vocabulary outside this header.
+//
+// Mutex wraps std::mutex in a CAPABILITY("mutex") type so Clang's
+// thread-safety analysis (-Wthread-safety, enabled with -Werror in the
+// clang-static-analysis CI job) can prove the lock discipline: every guarded
+// field is GUARDED_BY its mutex, every lock-held helper is REQUIRES, and a
+// field access without the lock is a compile error — not a TSan hope.
+// std::mutex itself is deliberately banned outside src/util/ by the
+// invariant linter (tools/lint/check_invariants.py), because a naked
+// std::mutex is invisible to the analysis.
+//
+// CondVar wraps std::condition_variable against Mutex. It exposes ONLY
+// un-predicated waits (Wait / WaitFor / WaitUntil): predicate waits take
+// lambdas that run with the lock held, which the analysis cannot see into —
+// callers write the standard `while (!predicate) cv.Wait(mu);` loop instead,
+// keeping every guarded-field read inside an analyzed scope. All waits
+// handle spurious wakeups the usual way (the caller's loop re-checks).
+//
+// There is intentionally no manual Lock()/Unlock() surface on the public
+// idiom: MutexLock is scoped-only, so lock scopes are always block scopes
+// and the analysis (and the reader) can match acquire to release by eye.
+#ifndef XPATHSAT_UTIL_MUTEX_H_
+#define XPATHSAT_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace xpathsat {
+namespace util {
+
+class CondVar;
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock: acquires on construction, releases on destruction. The one
+/// way the project takes a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over util::Mutex. Every wait REQUIRES the mutex: the
+/// caller holds it (via MutexLock), the wait releases it while blocking and
+/// re-acquires before returning — standard condition-variable semantics,
+/// expressed so the analysis knows the lock is held on both sides of the
+/// call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken).
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the scoped MutexLock stays the owner.
+    // The analysis sees no Lock/Unlock here, which is exactly right: the
+    // capability is held on entry and on return.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Waits until `deadline`; returns false iff the deadline passed (a
+  /// spurious wakeup before the deadline returns true — callers loop on
+  /// their predicate either way).
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status != std::cv_status::timeout;
+  }
+
+  /// Waits up to `timeout`; returns false iff it elapsed.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu,
+               const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace util
+}  // namespace xpathsat
+
+#endif  // XPATHSAT_UTIL_MUTEX_H_

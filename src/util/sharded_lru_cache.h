@@ -30,6 +30,13 @@
 //     counter value also observes every cache mutation that preceded it
 //     (the engine's stats-snapshot invariants build on this).
 //
+// Lock discipline (Clang -Wthread-safety checked): each shard's LRU list
+// and index are GUARDED_BY that shard's mutex; the under-lock bodies live
+// in REQUIRES-annotated helpers so the analysis proves every access path.
+// Caller `accept` predicates run under the shard lock but only ever see the
+// resident value V& — never the cache structures — so they carry no
+// capability requirements of their own.
+//
 // Not provided (by design, nothing needs them yet): erase, resize, iteration.
 #ifndef XPATHSAT_UTIL_SHARDED_LRU_CACHE_H_
 #define XPATHSAT_UTIL_SHARDED_LRU_CACHE_H_
@@ -39,13 +46,14 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "src/util/hashing.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace xpathsat {
 
@@ -118,17 +126,15 @@ class ShardedLruCache {
   template <typename Accept>
   bool LookupWith(const K& key, Accept&& accept) {
     Shard& shard = ShardFor(key);
+    bool hit = false;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      auto it = shard.index.find(key);
-      if (it != shard.index.end() && accept(it->second->second)) {
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-        if (count_probes_) hits_.fetch_add(1, std::memory_order_release);
-        return true;
-      }
+      util::MutexLock lock(shard.mu);
+      hit = LookupInShard(shard, key, accept);
     }
-    if (count_probes_) misses_.fetch_add(1, std::memory_order_release);
-    return false;
+    if (count_probes_) {
+      (hit ? hits_ : misses_).fetch_add(1, std::memory_order_release);
+    }
+    return hit;
   }
 
   /// Inserts key -> value unless the key is already resident, and returns
@@ -137,27 +143,17 @@ class ShardedLruCache {
   /// callers pair it with a Lookup/LookupIf that already did.
   V InsertIfAbsent(const K& key, V value) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.index.find(key);
-    if (it != shard.index.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      return it->second->second;
-    }
-    shard.lru.emplace_front(key, std::move(value));
-    shard.index[key] = shard.lru.begin();
-    while (shard.lru.size() > per_shard_capacity_) {
-      shard.index.erase(shard.lru.back().first);
-      shard.lru.pop_back();
-    }
-    return shard.lru.front().second;
+    util::MutexLock lock(shard.mu);
+    return InsertInShard(shard, key, std::move(value));
   }
 
   /// Entries currently resident, summed across shards (racy under traffic).
   size_t size() const {
     size_t total = 0;
     for (size_t s = 0; s <= mask_; ++s) {
-      std::lock_guard<std::mutex> lock(shards_[s].mu);
-      total += shards_[s].lru.size();
+      Shard& shard = shards_[s];
+      util::MutexLock lock(shard.mu);
+      total += shard.lru.size();
     }
     return total;
   }
@@ -171,11 +167,39 @@ class ShardedLruCache {
   // alignas(64): shard locks on separate cache lines, so contention on one
   // shard does not false-share with its neighbors.
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::list<std::pair<K, V>> lru;  // most recent first
+    mutable util::Mutex mu;
+    std::list<std::pair<K, V>> lru GUARDED_BY(mu);  // most recent first
     std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator>
-        index;
+        index GUARDED_BY(mu);
   };
+
+  /// The under-lock half of LookupWith: probe, verify via `accept`, touch
+  /// to the LRU front. Returns whether an accepted hit was found.
+  template <typename Accept>
+  bool LookupInShard(Shard& shard, const K& key, Accept& accept)
+      REQUIRES(shard.mu) {
+    auto it = shard.index.find(key);
+    if (it == shard.index.end() || !accept(it->second->second)) return false;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return true;
+  }
+
+  /// The under-lock half of InsertIfAbsent: keep-incumbent insert plus the
+  /// per-shard LRU eviction.
+  V InsertInShard(Shard& shard, const K& key, V value) REQUIRES(shard.mu) {
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->second;
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index[key] = shard.lru.begin();
+    while (shard.lru.size() > per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+    }
+    return shard.lru.front().second;
+  }
 
   Shard& ShardFor(const K& key) {
     // Mix the hash before masking: std::hash of integers is identity on the

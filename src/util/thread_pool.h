@@ -10,6 +10,9 @@
 // this is what lets the SatEngine's deadline reaper cancel queued work
 // instead of letting it expire on a worker.
 //
+// The queue and stop flag are GUARDED_BY(mu_): a Clang -Wthread-safety
+// build proves every access (including the shutdown path) holds the lock.
+//
 // The pool is intentionally minimal: no work stealing, no priorities. The
 // SatEngine submits coarse-grained jobs (one satisfiability decision each),
 // so queue contention is negligible next to the work items.
@@ -17,15 +20,16 @@
 #define XPATHSAT_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace xpathsat {
 
@@ -90,10 +94,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       stopping_ = true;
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     for (std::thread& w : workers_) w.join();
   }
 
@@ -109,10 +113,10 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
-    wake_.notify_one();
+    wake_.NotifyOne();
     return result;
   }
 
@@ -130,14 +134,14 @@ class ThreadPool {
     auto body = std::make_shared<typename std::decay<Fn>::type>(
         std::forward<Fn>(fn));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       queue_.emplace_back([job = std::move(job), body] {
         if (!job->TryStart()) return;  // cancelled while queued
         (*body)();
         job->Finish();
       });
     }
-    wake_.notify_one();
+    wake_.NotifyOne();
   }
 
   /// As above, creating and returning a fresh control block.
@@ -153,8 +157,8 @@ class ThreadPool {
     for (;;) {
       std::function<void()> job;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        util::MutexLock lock(mu_);
+        while (!stopping_ && queue_.empty()) wake_.Wait(mu_);
         if (queue_.empty()) return;  // stopping_ with a drained queue
         job = std::move(queue_.front());
         queue_.pop_front();
@@ -163,10 +167,10 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  util::Mutex mu_;
+  util::CondVar wake_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,94 @@
+// Unit tests for src/util/flags.h — the shared strict integer-flag parser
+// that replaced the byte-identical ParseIntFlag copies in xpathsat_cli and
+// xpathsat_server (the dup-helper lint rule now guards against that class of
+// copy-paste). The contract: the ENTIRE argument must be a base-10 integer
+// inside [min, max]; anything else fails with a caller-prependable message.
+#include "src/util/flags.h"
+
+#include <climits>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace xpathsat {
+namespace {
+
+TEST(ParseIntTest, AcceptsPlainIntegers) {
+  flags::ParsedInt parsed = flags::ParseInt("42", 0, 100);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value, 42);
+  EXPECT_TRUE(parsed.error.empty());
+}
+
+TEST(ParseIntTest, AcceptsBoundsInclusive) {
+  EXPECT_TRUE(flags::ParseInt("0", 0, 65535).ok);
+  EXPECT_TRUE(flags::ParseInt("65535", 0, 65535).ok);
+  EXPECT_EQ(flags::ParseInt("65535", 0, 65535).value, 65535);
+}
+
+TEST(ParseIntTest, AcceptsNegativeWhenRangeAllows) {
+  flags::ParsedInt parsed = flags::ParseInt("-7", -10, 10);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value, -7);
+}
+
+TEST(ParseIntTest, AcceptsExplicitPlusSign) {
+  // strtoll semantics: a leading '+' is part of a valid base-10 integer.
+  flags::ParsedInt parsed = flags::ParseInt("+5", 0, 10);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value, 5);
+}
+
+TEST(ParseIntTest, RejectsOutOfRange) {
+  EXPECT_FALSE(flags::ParseInt("65536", 0, 65535).ok);
+  EXPECT_FALSE(flags::ParseInt("-1", 0, 65535).ok);
+}
+
+TEST(ParseIntTest, RejectsEmptyAndBlank) {
+  EXPECT_FALSE(flags::ParseInt("", 0, 100).ok);
+  EXPECT_FALSE(flags::ParseInt(" ", 0, 100).ok);
+}
+
+TEST(ParseIntTest, ToleratesLeadingWhitespaceOnly) {
+  // strtoll semantics: leading whitespace is skipped, trailing is junk.
+  EXPECT_TRUE(flags::ParseInt(" 7", 0, 100).ok);
+  EXPECT_FALSE(flags::ParseInt("7 ", 0, 100).ok);
+}
+
+TEST(ParseIntTest, RejectsTrailingJunk) {
+  EXPECT_FALSE(flags::ParseInt("7x", 0, 100).ok);
+  EXPECT_FALSE(flags::ParseInt("7 ", 0, 100).ok);
+  EXPECT_FALSE(flags::ParseInt("1e3", 0, 10000).ok);
+  EXPECT_FALSE(flags::ParseInt("0x10", 0, 100).ok);
+}
+
+TEST(ParseIntTest, RejectsNonNumeric) {
+  EXPECT_FALSE(flags::ParseInt("abc", 0, 100).ok);
+  EXPECT_FALSE(flags::ParseInt("--3", 0, 100).ok);
+}
+
+TEST(ParseIntTest, RejectsOverflow) {
+  // Far beyond long long: strtoll sets ERANGE.
+  EXPECT_FALSE(
+      flags::ParseInt("99999999999999999999999", LLONG_MIN, LLONG_MAX).ok);
+  EXPECT_FALSE(
+      flags::ParseInt("-99999999999999999999999", LLONG_MIN, LLONG_MAX).ok);
+}
+
+TEST(ParseIntTest, ErrorMessageNamesValueAndRange) {
+  flags::ParsedInt parsed = flags::ParseInt("x7", 0, 65535);
+  ASSERT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.error,
+            "invalid value 'x7' (expected an integer in [0, 65535])");
+}
+
+TEST(ParseIntTest, WideOpenRangeRoundTripsExtremes) {
+  EXPECT_EQ(flags::ParseInt("9223372036854775807", LLONG_MIN, LLONG_MAX).value,
+            LLONG_MAX);
+  EXPECT_EQ(
+      flags::ParseInt("-9223372036854775808", LLONG_MIN, LLONG_MAX).value,
+      LLONG_MIN);
+}
+
+}  // namespace
+}  // namespace xpathsat

@@ -1,0 +1,21 @@
+// Fixture: three banned patterns in one file — std::regex, rand(), and a raw
+// pthread call. The banned-pattern rule must flag each.
+#include <cstdlib>
+#include <pthread.h>
+#include <regex>
+
+namespace fixture {
+
+bool Matches(const char* text) {
+  std::regex pattern("(a+)+$");
+  return std::regex_search(text, pattern);
+}
+
+int Jitter() { return rand() % 100; }
+
+void Spawn(void* (*fn)(void*)) {
+  pthread_t tid;
+  pthread_create(&tid, nullptr, fn, nullptr);
+}
+
+}  // namespace fixture

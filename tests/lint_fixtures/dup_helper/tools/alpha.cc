@@ -1,0 +1,22 @@
+// Fixture: ParseCount below is byte-identical to the copy in beta.cc and is
+// over the dup-helper statement threshold — the rule must flag the pair.
+#include <cerrno>
+#include <cstdlib>
+
+namespace {
+
+long long ParseCount(const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text) value = -1;
+  if (errno != 0) value = -1;
+  if (value < 0) return -1;
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return argc > 1 && ParseCount(argv[1]) >= 0 ? 0 : 1;
+}

@@ -1,0 +1,17 @@
+// Fixture: emits two error slugs; README.md documents only `err known` —
+// the err-slug-doc rule must flag `phantom-code`.
+#include <string>
+
+namespace fixture {
+
+void EmitError(const std::string& code, const std::string& detail);
+
+void Handle(bool ok) {
+  if (ok) {
+    EmitError("known", "documented in the fixture README");
+  } else {
+    EmitError("phantom-code", "deliberately undocumented");
+  }
+}
+
+}  // namespace fixture

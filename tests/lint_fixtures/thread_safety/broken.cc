@@ -1,0 +1,28 @@
+// Thread-safety fixture, broken half: writes a GUARDED_BY field without
+// holding its mutex. MUST FAIL to compile under
+//   clang++ -Werror -Wthread-safety -Wthread-safety-beta
+// — if it ever compiles, the annotation gate is not actually gating
+// (tests/run_thread_safety_fixture_test.sh asserts the failure).
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(long amount) {
+    balance_ += amount;  // no lock held: -Wthread-safety error expected here
+  }
+
+ private:
+  xpathsat::util::Mutex mu_;
+  long balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Thread-safety fixture, correct half: every guarded-field access happens
+// under a MutexLock scope. Must compile clean under
+//   clang++ -Werror -Wthread-safety -Wthread-safety-beta
+// (driven by tests/run_thread_safety_fixture_test.sh).
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(long amount) {
+    xpathsat::util::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  long balance() {
+    xpathsat::util::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  xpathsat::util::Mutex mu_;
+  long balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

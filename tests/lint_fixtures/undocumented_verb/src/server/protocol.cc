@@ -1,0 +1,18 @@
+// Fixture: verb `ghost` exists in the VerbName switch (and is dispatched in
+// session.cc) but has no README protocol-table row — the verb-doc rule must
+// flag the missing row.
+namespace fixture {
+
+enum class Verb { kHealth, kGhost };
+
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kHealth:
+      return "health";
+    case Verb::kGhost:
+      return "ghost";
+  }
+  return "?";
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: dispatches both verbs, so the only missing invariant is the
+// README row for `ghost`.
+namespace fixture {
+
+enum class Verb { kHealth, kGhost };
+
+void HandleCommand(Verb verb) {
+  switch (verb) {
+    case Verb::kHealth:
+      break;
+    case Verb::kGhost:
+      break;
+  }
+}
+
+}  // namespace fixture

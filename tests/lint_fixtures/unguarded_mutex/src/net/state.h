@@ -1,0 +1,24 @@
+// Fixture: a naked std::mutex outside src/util/ — invisible to the Clang
+// thread-safety analysis, so the mutex-guard rule must flag it.
+#ifndef FIXTURE_NET_STATE_H_
+#define FIXTURE_NET_STATE_H_
+
+#include <mutex>
+
+namespace fixture {
+
+class State {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_NET_STATE_H_

@@ -1,0 +1,35 @@
+# Negative self-test driver for the invariant linter: runs
+#   ${PYTHON} ${LINTER} --root ${FIXTURE_ROOT} --rules ${RULE}
+# against one seeded-violation fixture tree (tests/lint_fixtures/*) and
+# asserts the linter (a) exits nonzero and (b) prints the machine-readable
+# failure line for exactly the expected rule. A linter regression that stops
+# the rule from firing fails this test.
+#
+# Required -D vars: PYTHON, LINTER, FIXTURE_ROOT, RULE.
+foreach(var PYTHON LINTER FIXTURE_ROOT RULE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_lint_fixture_test.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${PYTHON} ${LINTER} --root ${FIXTURE_ROOT} --rules ${RULE}
+  OUTPUT_VARIABLE lint_stdout
+  ERROR_VARIABLE lint_stderr
+  RESULT_VARIABLE lint_exit)
+
+message(STATUS "linter exit=${lint_exit} on fixture ${FIXTURE_ROOT}")
+message(STATUS "linter stdout:\n${lint_stdout}")
+
+if(lint_exit EQUAL 0)
+  message(FATAL_ERROR
+    "linter PASSED on seeded-violation fixture ${FIXTURE_ROOT} — rule "
+    "'${RULE}' no longer fires")
+endif()
+if(NOT lint_stdout MATCHES "INVARIANT-FAIL rule=${RULE} ")
+  message(FATAL_ERROR
+    "linter failed (exit ${lint_exit}) but without the expected "
+    "'INVARIANT-FAIL rule=${RULE}' line — wrong rule fired, or the "
+    "machine-readable output format regressed.\nstderr:\n${lint_stderr}")
+endif()
+message(STATUS "fixture correctly rejected by rule '${RULE}'")

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Proves the Clang thread-safety annotation gate actually gates:
+#   - lint_fixtures/thread_safety/ok.cc (locks held correctly) must compile
+#     clean under clang++ -Werror -Wthread-safety -Wthread-safety-beta;
+#   - lint_fixtures/thread_safety/broken.cc (guarded field written without
+#     its mutex) MUST fail to compile, with a -Wthread-safety diagnostic.
+#
+# Usage: run_thread_safety_fixture_test.sh REPO_ROOT FIXTURE_DIR
+# Exit: 0 pass, 1 fail, 77 skip (no clang++ — CTest SKIP_RETURN_CODE; the
+# clang-static-analysis CI job installs clang and runs this for real).
+set -u -o pipefail
+
+repo_root="${1:?usage: $0 REPO_ROOT FIXTURE_DIR}"
+fixture_dir="${2:?usage: $0 REPO_ROOT FIXTURE_DIR}"
+
+cxx="${CLANGXX:-}"
+if [ -z "${cxx}" ]; then
+  for candidate in clang++ clang++-18 clang++-17 clang++-16 clang++-15 \
+      clang++-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      cxx="${candidate}"
+      break
+    fi
+  done
+fi
+if [ -z "${cxx}" ]; then
+  echo "thread-safety fixture: clang++ not found; skipping (exit 77)" >&2
+  exit 77
+fi
+
+flags=(-std=c++17 -fsyntax-only -I "${repo_root}"
+       -Werror -Wthread-safety -Wthread-safety-beta)
+
+echo "thread-safety fixture: ${cxx} ${flags[*]}"
+
+if ! "${cxx}" "${flags[@]}" "${fixture_dir}/ok.cc"; then
+  echo "FAIL: ok.cc (correct locking) did not compile clean" >&2
+  exit 1
+fi
+echo "ok.cc: clean (as required)"
+
+diag="$("${cxx}" "${flags[@]}" "${fixture_dir}/broken.cc" 2>&1)"
+status=$?
+if [ "${status}" -eq 0 ]; then
+  echo "FAIL: broken.cc (guarded field written without its lock) compiled —" \
+    "the -Wthread-safety gate is not gating" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" <<<"${diag}"; then
+  echo "FAIL: broken.cc failed for a reason other than -Wthread-safety:" >&2
+  echo "${diag}" >&2
+  exit 1
+fi
+echo "broken.cc: rejected with a thread-safety diagnostic (as required)"

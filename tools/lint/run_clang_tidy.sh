@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every first-party
+# translation unit in the compilation database.
+#
+#   tools/lint/run_clang_tidy.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build and must contain compile_commands.json
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level CMakeLists.txt, so any
+# configured build dir has one). Third-party/system TUs are excluded; only
+# src/ and tools/ sources are checked, with header diagnostics restricted by
+# HeaderFilterRegex in .clang-tidy.
+#
+# Exit codes: 0 clean, 1 findings (WarningsAsErrors promotes every enabled
+# check), 77 clang-tidy not installed (CTest maps 77 to SKIP so local GCC-only
+# environments skip; the clang-static-analysis CI job installs clang-tidy and
+# runs this for real), 2 usage/setup error.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+tidy="${CLANG_TIDY:-}"
+if [ -z "${tidy}" ]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+      clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy="${candidate}"
+      break
+    fi
+  done
+fi
+if [ -z "${tidy}" ]; then
+  echo "run_clang_tidy: clang-tidy not found; skipping (exit 77)" >&2
+  exit 77
+fi
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "run_clang_tidy: ${build_dir}/compile_commands.json missing —" \
+    "configure first: cmake -B ${build_dir} -S ${repo_root}" >&2
+  exit 2
+fi
+
+# First-party TUs only, straight from the compilation database (no find(1)
+# guessing — if it isn't compiled, it isn't checked).
+mapfile -t sources < <(
+  python3 - "${build_dir}/compile_commands.json" "${repo_root}" <<'PY'
+import json, os, sys
+root = sys.argv[2]
+for entry in json.load(open(sys.argv[1])):
+    path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith(("src" + os.sep, "tools" + os.sep)):
+        print(path)
+PY
+)
+if [ "${#sources[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no first-party sources in compilation database" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: ${tidy} over ${#sources[@]} TUs (db: ${build_dir})"
+status=0
+"${tidy}" -p "${build_dir}" --quiet "${sources[@]}" || status=$?
+if [ "${status}" -ne 0 ]; then
+  echo "run_clang_tidy: findings detected (exit ${status})" >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean"

@@ -55,7 +55,6 @@
 #include <iostream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -65,6 +64,8 @@
 #include "src/obs/metrics.h"
 #include "src/server/protocol.h"
 #include "src/server/session.h"
+#include "src/util/flags.h"
+#include "src/util/mutex.h"
 #include "src/util/net.h"
 #include "src/xml/dtd.h"
 
@@ -96,24 +97,17 @@ void Usage(const char* argv0) {
       argv0);
 }
 
-/// Strict integer flag parsing: the whole argument must be a base-10 integer
-/// in [min_value, max_value]. Anything else (garbage, trailing junk,
-/// negative counts, overflow) is a usage error.
+/// Strict integer flag parsing (shared validation in src/util/flags.h):
+/// garbage, trailing junk, negative counts, and overflow are usage errors.
 long long ParseIntFlag(const char* argv0, const char* flag, const char* text,
                        long long min_value, long long max_value) {
-  errno = 0;
-  char* end = nullptr;
-  long long v = std::strtoll(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0' || v < min_value ||
-      v > max_value) {
-    std::fprintf(stderr,
-                 "%s: invalid value '%s' (expected an integer in [%lld, "
-                 "%lld])\n",
-                 flag, text, min_value, max_value);
+  flags::ParsedInt parsed = flags::ParseInt(text, min_value, max_value);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "%s: %s\n", flag, parsed.error.c_str());
     Usage(argv0);
     std::exit(1);
   }
-  return v;
+  return parsed.value;
 }
 
 bool ReadLines(const std::string& path, std::vector<std::string>* out,
@@ -221,9 +215,9 @@ int RunServe(const CliOptions& opt) {
   server::SessionOptions session_opt;
   session_opt.deadline_ms = opt.deadline_ms;
   // Engine threads emit result lines concurrently with the reader's acks.
-  std::mutex out_mu;
+  util::Mutex out_mu;
   auto emit = [&out_mu](const std::string& line) {
-    std::lock_guard<std::mutex> lock(out_mu);
+    util::MutexLock lock(out_mu);
     std::fwrite(line.data(), 1, line.size(), stdout);
     std::fputc('\n', stdout);
     std::fflush(stdout);

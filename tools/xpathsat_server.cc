@@ -32,18 +32,18 @@
 // Drive it with `xpathsat_cli --connect unix:PATH` / `--connect HOST:PORT`,
 // or anything that speaks lines (nc works; see the README protocol spec).
 #include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "src/engine/sat_engine.h"
 #include "src/server/protocol.h"
 #include "src/server/socket_server.h"
+#include "src/util/flags.h"
+#include "src/util/mutex.h"
 
 using namespace xpathsat;
 
@@ -60,19 +60,13 @@ void Usage(const char* argv0) {
 
 long long ParseIntFlag(const char* argv0, const char* flag, const char* text,
                        long long min_value, long long max_value) {
-  errno = 0;
-  char* end = nullptr;
-  long long v = std::strtoll(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0' || v < min_value ||
-      v > max_value) {
-    std::fprintf(stderr,
-                 "%s: invalid value '%s' (expected an integer in [%lld, "
-                 "%lld])\n",
-                 flag, text, min_value, max_value);
+  flags::ParsedInt parsed = flags::ParseInt(text, min_value, max_value);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "%s: %s\n", flag, parsed.error.c_str());
     Usage(argv0);
     std::exit(1);
   }
-  return v;
+  return parsed.value;
 }
 
 }  // namespace
@@ -160,20 +154,28 @@ int main(int argc, char** argv) {
 
   // Periodic metrics dump: the same merged JSON object the `metrics` verb
   // serves, one line to stderr per period (scrapeable without a connection).
-  std::mutex dump_mu;
-  std::condition_variable dump_cv;
-  bool dump_stop = false;
+  util::Mutex dump_mu;
+  util::CondVar dump_cv;
+  bool dump_stop = false;  // guarded by dump_mu
   std::thread dump_thread;
   if (metrics_dump_ms > 0) {
     dump_thread = std::thread([&] {
-      std::unique_lock<std::mutex> lock(dump_mu);
-      while (!dump_cv.wait_for(lock,
-                               std::chrono::milliseconds(metrics_dump_ms),
-                               [&] { return dump_stop; })) {
-        lock.unlock();
+      for (;;) {
+        {
+          util::MutexLock lock(dump_mu);
+          const auto deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(metrics_dump_ms);
+          // WaitUntil returns false exactly at period expiry; a stop
+          // notification ends the wait (and the thread) early.
+          while (!dump_stop && dump_cv.WaitUntil(dump_mu, deadline)) {
+          }
+          if (dump_stop) return;
+        }
+        // Render and print outside the lock: MetricsJson walks the engine
+        // registries and must not serialize against the stop path.
         std::string json = server.MetricsJson();
         std::fprintf(stderr, "metrics %s\n", json.c_str());
-        lock.lock();
       }
     });
   }
@@ -183,10 +185,10 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "shutting down (%s)\n", strsignal(sig));
   if (dump_thread.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(dump_mu);
+      util::MutexLock lock(dump_mu);
       dump_stop = true;
     }
-    dump_cv.notify_all();
+    dump_cv.NotifyAll();
     dump_thread.join();
   }
   server.Stop();
