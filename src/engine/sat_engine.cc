@@ -2,8 +2,11 @@
 
 #include <iterator>
 #include <list>
+#include <map>
 #include <utility>
+#include <vector>
 
+#include "src/store/snapshot.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
 #include "src/xpath/parser.h"
@@ -280,7 +283,13 @@ SatEngine::SatEngine(const SatEngineOptions& options)
   hist_decide_ns_ = metrics_.histogram("request_decide_ns");
   hist_total_ns_ = metrics_.histogram("request_total_ns");
   hist_dtd_compile_ns_ = metrics_.histogram("dtd_compile_ns");
+  hist_store_load_ns_ = metrics_.histogram("artifact_store_load_ns");
   slow_requests_ = metrics_.counter("slow_requests");
+  ctr_store_dtds_loaded_ = metrics_.counter("store_dtds_loaded");
+  ctr_store_memos_loaded_ = metrics_.counter("store_memos_loaded");
+  ctr_store_records_corrupt_ = metrics_.counter("store_records_corrupt");
+  ctr_store_records_rejected_ = metrics_.counter("store_records_rejected");
+  ctr_store_version_rejects_ = metrics_.counter("store_version_rejects");
 }
 
 SatEngine::~SatEngine() {
@@ -649,6 +658,229 @@ SatResponse SatEngine::Run(const SatRequest& request) {
   return Submit(request).Get();
 }
 
+SnapshotSaveResult SatEngine::SaveSnapshot(const std::string& path) const {
+  SnapshotSaveResult result;
+
+  // Phase 1: collect, under the shard locks, shared_ptr copies only.
+  // ForEach visits one shard at a time, so a save racing live traffic holds
+  // no lock for longer than one shard walk and serializes nothing global.
+  std::map<uint64_t, std::shared_ptr<const CompiledDtd>> schemas;
+  dtd_cache_.ForEach(
+      [&](const uint64_t& fp, const std::shared_ptr<const CompiledDtd>& v) {
+        schemas.emplace(fp, v);
+      });
+  std::vector<std::pair<std::string, MemoEntry>> memos;
+  if (options_.memo_capacity > 0) {
+    memos.reserve(memo_.size());
+    memo_.ForEach([&](const std::string& key, const MemoEntry& entry) {
+      memos.emplace_back(key, entry);
+    });
+  }
+
+  // Phase 2: serialize and write, outside every lock. Memo entries whose
+  // artifacts were evicted from the DTD cache add them back to the schema
+  // set (a loaded memo must be verifiable against a schema from the same
+  // file); a memo whose fingerprint slot is owned by a different,
+  // non-equivalent schema (a collision where the other schema holds the
+  // cache slot) is dropped — one schema per fingerprint per file.
+  store::SnapshotWriter writer;
+  result.status = writer.Open(path);
+  if (!result.status.ok()) return result;
+
+  for (auto& kv : memos) {
+    const uint64_t fp = kv.second.compiled->fingerprint;
+    auto it = schemas.find(fp);
+    if (it == schemas.end()) {
+      schemas.emplace(fp, kv.second.compiled);
+    } else if (it->second != kv.second.compiled &&
+               !it->second->dtd.EquivalentTo(kv.second.compiled->dtd)) {
+      kv.second.report = nullptr;  // marks the entry dropped
+    }
+  }
+  for (const auto& kv : schemas) {
+    result.status = writer.Append(store::RecordTag::kCompiledDtd,
+                                  store::EncodeCompiledDtdRecord(*kv.second));
+    if (!result.status.ok()) return result;
+    ++result.dtds_saved;
+  }
+  for (const auto& kv : memos) {
+    if (kv.second.report == nullptr) continue;
+    // Memo keys are canonical + '\0' + raw fingerprint + raw digest
+    // (MemoKey); recover the pieces rather than re-deriving them.
+    const std::string& key = kv.first;
+    if (key.size() < 17 || key[key.size() - 17] != '\0') continue;
+    store::MemoRecord record;
+    record.canonical_query = key.substr(0, key.size() - 17);
+    record.dtd_fingerprint = kv.second.compiled->fingerprint;
+    uint64_t digest = 0;
+    for (int i = 0; i < 8; ++i) {
+      digest |= static_cast<uint64_t>(
+                    static_cast<uint8_t>(key[key.size() - 8 + i]))
+                << (8 * i);
+    }
+    record.options_digest = digest;
+    const SatReport& report = *kv.second.report;
+    record.algorithm = report.algorithm;
+    record.verdict = report.decision.verdict;
+    record.note = report.decision.note;
+    record.has_witness = report.decision.witness.has_value();
+    if (record.has_witness) record.witness = *report.decision.witness;
+    result.status =
+        writer.Append(store::RecordTag::kMemoEntry,
+                      store::EncodeMemoRecord(record));
+    if (!result.status.ok()) return result;
+    ++result.memos_saved;
+  }
+  result.status = writer.Commit();
+  return result;
+}
+
+SnapshotLoadResult SatEngine::LoadSnapshot(const std::string& path) {
+  const Clock::time_point load_start = Clock::now();
+  SnapshotLoadResult result;
+
+  store::SnapshotReader reader;
+  store::SnapshotOpenError open_error;
+  if (!reader.Open(path, &open_error)) {
+    switch (open_error.kind) {
+      case store::SnapshotOpenError::Kind::kBadVersion:
+        result.error_kind = SnapshotLoadResult::ErrorKind::kVersion;
+        result.file_version = open_error.file_version;
+        store_version_rejects_.fetch_add(1, std::memory_order_release);
+        ctr_store_version_rejects_->Increment();
+        break;
+      case store::SnapshotOpenError::Kind::kBadMagic:
+        result.error_kind = SnapshotLoadResult::ErrorKind::kCorrupt;
+        break;
+      default:
+        result.error_kind = SnapshotLoadResult::ErrorKind::kIo;
+        break;
+    }
+    result.status = Status::Error(open_error.detail);
+    return result;
+  }
+
+  // Schemas decoded AND verified from this file, by fingerprint. Memo
+  // records attach only through this map — never to whatever happens to be
+  // resident under their claimed fingerprint — so a forged fingerprint can
+  // not graft a memo onto an unrelated schema.
+  std::map<uint64_t, std::shared_ptr<const CompiledDtd>> file_schemas;
+  const bool memo_enabled = options_.memo_capacity > 0;
+
+  for (;;) {
+    uint8_t tag = 0;
+    std::string payload;
+    store::SnapshotReader::Outcome outcome = reader.Next(&tag, &payload);
+    if (outcome == store::SnapshotReader::Outcome::kEof) break;
+    if (outcome == store::SnapshotReader::Outcome::kTruncated) {
+      result.truncated = true;
+      ++result.corrupt_records;
+      continue;  // Next() reports kEof from here on
+    }
+    if (outcome == store::SnapshotReader::Outcome::kCorrupt) {
+      ++result.corrupt_records;
+      continue;
+    }
+    if (tag == static_cast<uint8_t>(store::RecordTag::kCompiledDtd)) {
+      Result<std::shared_ptr<const CompiledDtd>> decoded =
+          store::DecodeCompiledDtdRecord(payload);
+      if (!decoded.ok()) {
+        ++result.rejected_records;
+        continue;
+      }
+      std::shared_ptr<const CompiledDtd> compiled = std::move(decoded).value();
+      const uint64_t fp = compiled->fingerprint;
+      // Admission runs the exact in-memory hit path: verify an equivalent
+      // incumbent (and share its artifacts), otherwise keep-incumbent
+      // insert. A non-equivalent incumbent keeps the cache slot and the
+      // decoded schema stays file-local — memos from this file still verify
+      // against it, but it never displaces live state.
+      std::optional<std::shared_ptr<const CompiledDtd>> incumbent =
+          dtd_cache_.LookupIf(fp,
+                              [&](std::shared_ptr<const CompiledDtd>& v) {
+                                return v->dtd.EquivalentTo(compiled->dtd);
+                              });
+      if (incumbent.has_value()) {
+        file_schemas[fp] = *incumbent;
+      } else {
+        std::shared_ptr<const CompiledDtd> resident =
+            dtd_cache_.InsertIfAbsent(fp, compiled);
+        file_schemas[fp] = resident->dtd.EquivalentTo(compiled->dtd)
+                               ? resident
+                               : compiled;
+      }
+      ++result.dtds_loaded;
+      store_dtds_loaded_.fetch_add(1, std::memory_order_release);
+      ctr_store_dtds_loaded_->Increment();
+    } else if (tag == static_cast<uint8_t>(store::RecordTag::kMemoEntry)) {
+      if (!memo_enabled) continue;  // nothing to warm; not a data problem
+      Result<store::MemoRecord> decoded = store::DecodeMemoRecord(payload);
+      if (!decoded.ok()) {
+        ++result.rejected_records;
+        continue;
+      }
+      store::MemoRecord record = std::move(decoded).value();
+      auto it = file_schemas.find(record.dtd_fingerprint);
+      if (it == file_schemas.end()) {
+        // No schema in this file derives the claimed fingerprint: the memo
+        // cannot be verified, so it is never trusted.
+        ++result.rejected_records;
+        continue;
+      }
+      MemoEntry entry;
+      entry.compiled = it->second;
+      auto report = std::make_shared<SatReport>();
+      report->algorithm = std::move(record.algorithm);
+      report->decision.verdict = record.verdict;
+      report->decision.note = std::move(record.note);
+      if (record.has_witness) {
+        report->decision.witness = std::move(record.witness);
+      }
+      entry.report = std::move(report);
+      memo_.InsertIfAbsent(MemoKey(record.canonical_query,
+                                   record.dtd_fingerprint,
+                                   record.options_digest),
+                           std::move(entry));
+      ++result.memos_loaded;
+      store_memos_loaded_.fetch_add(1, std::memory_order_release);
+      ctr_store_memos_loaded_->Increment();
+    } else {
+      // Unknown record tag within a compatible version: additive kinds from
+      // a newer writer. Counted so operators see them, never guessed at.
+      ++result.rejected_records;
+    }
+  }
+  if (result.corrupt_records > 0) {
+    store_records_corrupt_.fetch_add(result.corrupt_records,
+                                     std::memory_order_release);
+    ctr_store_records_corrupt_->Increment(result.corrupt_records);
+  }
+  if (result.rejected_records > 0) {
+    store_records_rejected_.fetch_add(result.rejected_records,
+                                      std::memory_order_release);
+    ctr_store_records_rejected_->Increment(result.rejected_records);
+  }
+
+  // Stamp the load as a first-class observable phase: histogram + route
+  // counter always, and a RequestTrace into the slow-query log when the
+  // load crossed the slow threshold (warm restarts show up exactly where
+  // slow requests do).
+  const uint64_t load_ns = ToNs(Clock::now() - load_start);
+  hist_store_load_ns_->Record(load_ns);
+  route_counters_.Increment("artifact-store-load");
+  if (options_.slow_request_ns > 0 &&
+      load_ns >= static_cast<uint64_t>(options_.slow_request_ns)) {
+    obs::SlowQueryRecord rec;
+    rec.query = "<snapshot:" + path + ">";
+    rec.trace.store_load_ns = load_ns;
+    rec.trace.total_ns = load_ns;
+    rec.trace.route = "artifact-store-load";
+    slow_log_.Push(std::move(rec));
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
 uint64_t SatEngine::live_dtd_handles() const {
   return live_handles_->load(std::memory_order_relaxed);
 }
@@ -677,6 +909,14 @@ SatEngineStats SatEngine::stats() const {
   }
   s.dtd_cache_hits = dtd_cache_hits_.load(std::memory_order_acquire);
   s.dtd_cache_misses = dtd_cache_misses_.load(std::memory_order_acquire);
+  s.store_dtds_loaded = store_dtds_loaded_.load(std::memory_order_acquire);
+  s.store_memos_loaded = store_memos_loaded_.load(std::memory_order_acquire);
+  s.store_records_corrupt =
+      store_records_corrupt_.load(std::memory_order_acquire);
+  s.store_records_rejected =
+      store_records_rejected_.load(std::memory_order_acquire);
+  s.store_version_rejects =
+      store_version_rejects_.load(std::memory_order_acquire);
   s.requests = requests_.load(std::memory_order_acquire);
   s.uptime_ms = uptime_ms();
   s.snapshot_seq = NextSnapshotSeq();

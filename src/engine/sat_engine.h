@@ -236,6 +236,45 @@ class SatTicket {
   std::shared_ptr<engine_internal::TicketState> state_;
 };
 
+/// Outcome of SatEngine::SaveSnapshot.
+struct SnapshotSaveResult {
+  Status status;
+  /// CompiledDtd records written (resident artifacts plus artifacts pinned
+  /// only by memo entries).
+  uint64_t dtds_saved = 0;
+  /// Memo records written.
+  uint64_t memos_saved = 0;
+};
+
+/// Outcome of SatEngine::LoadSnapshot. A load never fails the engine: open
+/// errors leave it untouched (cold), and per-record problems are skipped and
+/// counted — `status` is an error only when the file could not be read at
+/// all (mapped onto a structured kind for wire `err` slugs).
+struct SnapshotLoadResult {
+  enum class ErrorKind {
+    kNone,     ///< the file opened and was scanned
+    kIo,       ///< the file could not be opened/read (`err io`)
+    kCorrupt,  ///< not a snapshot file — bad magic (`err store-corrupt`)
+    kVersion,  ///< incompatible format version (`err store-version`)
+  };
+  Status status;
+  ErrorKind error_kind = ErrorKind::kNone;
+  /// The version an incompatible file claims (ErrorKind::kVersion only).
+  uint32_t file_version = 0;
+  /// Verified CompiledDtd records admitted (or matched to an equivalent
+  /// incumbent already in the cache).
+  uint64_t dtds_loaded = 0;
+  /// Memo records attached to a schema verified from this file.
+  uint64_t memos_loaded = 0;
+  /// Records that failed their CRC or ended mid-record (skipped).
+  uint64_t corrupt_records = 0;
+  /// Records that decoded but failed verification — forged fingerprint,
+  /// malformed artifacts, memo without its schema (skipped).
+  uint64_t rejected_records = 0;
+  /// True when the scan ended at a torn tail instead of a clean EOF.
+  bool truncated = false;
+};
+
 /// Monotonic counters over the engine's lifetime.
 ///
 /// Snapshot consistency: stats() is not one atomic snapshot (counters are
@@ -280,6 +319,15 @@ struct SatEngineStats {
   /// Requests cancelled (or caught at pickup) because their deadline passed
   /// before they started.
   uint64_t deadline_expirations = 0;
+  /// Artifact-store (snapshot) counters, bumped by LoadSnapshot: verified
+  /// DTD records admitted, memo records attached, records skipped for CRC
+  /// failure / truncation, records rejected by verification, and whole-file
+  /// version rejections. Not per-request; not part of the <= invariants.
+  uint64_t store_dtds_loaded = 0;
+  uint64_t store_memos_loaded = 0;
+  uint64_t store_records_corrupt = 0;
+  uint64_t store_records_rejected = 0;
+  uint64_t store_version_rejects = 0;
   /// Milliseconds since the engine was constructed; lets probes detect
   /// restarts. Not part of the <= invariants above.
   uint64_t uptime_ms = 0;
@@ -330,6 +378,28 @@ class SatEngine {
   /// Compiles `dtd` through the cache without registering a handle (cache
   /// warm-up; RegisterDtd uses this internally).
   std::shared_ptr<const CompiledDtd> CompileAndCache(const Dtd& dtd);
+
+  /// Writes a versioned snapshot (src/store/snapshot.h) of the compiled-DTD
+  /// artifacts and the verdict memo to `path`, atomically (temp + rename).
+  /// Entries are collected by walking the sharded caches one shard at a
+  /// time under that shard's lock (shared_ptr copies only — serialization
+  /// happens outside every lock), so a save concurrent with live traffic is
+  /// safe and captures a consistent-per-shard view. Artifacts referenced by
+  /// memo entries but already evicted from the DTD cache are persisted too,
+  /// so every saved memo record can be re-verified on load.
+  SnapshotSaveResult SaveSnapshot(const std::string& path) const;
+
+  /// Warms the caches from a snapshot at `path`. Per-record trust chain:
+  /// a record must pass its CRC, its embedded schema must re-derive the
+  /// fingerprint it is keyed by, and memo entries attach only to a schema
+  /// decoded and verified from the same file — corrupt, truncated, or
+  /// colliding records are skipped and counted, never trusted. Insertions
+  /// go through the same keep-incumbent paths as live registration, so a
+  /// load never clobbers hotter in-memory state, and the runtime
+  /// EquivalentTo hit checks still guard every warm entry. The whole load
+  /// is stamped as an `artifact-store-load` span (histogram, route counter,
+  /// RequestTrace into the slow-query log when over threshold).
+  SnapshotLoadResult LoadSnapshot(const std::string& path);
 
   SatEngineStats stats() const;
 
@@ -449,6 +519,12 @@ class SatEngine {
   std::atomic<uint64_t> parse_errors_{0};
   std::atomic<uint64_t> cancellations_{0};
   std::atomic<uint64_t> deadline_expirations_{0};
+  // Artifact-store load accounting (LoadSnapshot; not per-request).
+  std::atomic<uint64_t> store_dtds_loaded_{0};
+  std::atomic<uint64_t> store_memos_loaded_{0};
+  std::atomic<uint64_t> store_records_corrupt_{0};
+  std::atomic<uint64_t> store_records_rejected_{0};
+  std::atomic<uint64_t> store_version_rejects_{0};
 
   // Observability: the histograms are resolved once here (registry lookups
   // are mutex-guarded) and mutated lock-free by the request path.
@@ -461,7 +537,15 @@ class SatEngine {
   obs::Histogram* hist_decide_ns_ = nullptr;
   obs::Histogram* hist_total_ns_ = nullptr;
   obs::Histogram* hist_dtd_compile_ns_ = nullptr;
+  obs::Histogram* hist_store_load_ns_ = nullptr;
   obs::Counter* slow_requests_ = nullptr;
+  // Store counters mirrored into the metrics registry so `metrics` /
+  // `metrics prom` expose warm-load health without a stats() call.
+  obs::Counter* ctr_store_dtds_loaded_ = nullptr;
+  obs::Counter* ctr_store_memos_loaded_ = nullptr;
+  obs::Counter* ctr_store_records_corrupt_ = nullptr;
+  obs::Counter* ctr_store_records_rejected_ = nullptr;
+  obs::Counter* ctr_store_version_rejects_ = nullptr;
   Clock::time_point start_time_;
   mutable std::atomic<uint64_t> snapshot_seq_{0};
 

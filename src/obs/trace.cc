@@ -46,6 +46,7 @@ std::string RenderSlowJson(const SlowQueryLog::Drained& drained) {
        << ", \"compile_ns\": " << r.trace.compile_ns
        << ", \"rewrite_ns\": " << r.trace.rewrite_ns
        << ", \"decide_ns\": " << r.trace.decide_ns
+       << ", \"store_load_ns\": " << r.trace.store_load_ns
        << ", \"total_ns\": " << r.trace.total_ns << '}';
     first = false;
   }

@@ -31,6 +31,7 @@ struct RequestTrace {
   uint64_t compile_ns = 0;  ///< DTD artifact compilation on the request path
   uint64_t rewrite_ns = 0;  ///< Prop 3.3 rewrite work (0 on rewrite-cache hit)
   uint64_t decide_ns = 0;   ///< dispatch + decider execution
+  uint64_t store_load_ns = 0;  ///< artifact-store snapshot load (warm restart); 0 on requests
   uint64_t total_ns = 0;    ///< Submit() to fulfilment
   /// Dispatch-table cell that produced the verdict (SatReport::algorithm),
   /// or one of the synthetic routes "memo-hit" / "cancelled" / "deadline" /

@@ -57,6 +57,8 @@ const char* VerbName(Verb verb) {
     case Verb::kStats: return "stats";
     case Verb::kMetrics: return "metrics";
     case Verb::kSlow: return "slow";
+    case Verb::kSave: return "save";
+    case Verb::kLoad: return "load";
     case Verb::kQuit: return "quit";
   }
   return "?";
@@ -150,6 +152,14 @@ ParseResult ParseCommandLine(const std::string& line) {
     if (!cmd.arg.empty() && cmd.arg != "prom") {
       return BadArgs(Verb::kMetrics, "metrics [prom]");
     }
+  } else if (verb_text == "save" || verb_text == "load") {
+    cmd.verb = verb_text == "save" ? Verb::kSave : Verb::kLoad;
+    // The path is the whole remainder (paths may contain spaces).
+    cmd.arg = TrimmedRemainder(rest);
+    if (cmd.arg.empty()) {
+      return BadArgs(cmd.verb,
+                     cmd.verb == Verb::kSave ? "save PATH" : "load PATH");
+    }
   } else if (verb_text == "flush" || verb_text == "stats" ||
              verb_text == "slow" || verb_text == "quit") {
     cmd.verb = verb_text == "flush"
@@ -188,6 +198,10 @@ std::string FormatCommand(const Command& command) {
       return command.arg.empty() ? "metrics" : "metrics " + command.arg;
     case Verb::kSlow:
       return "slow";
+    case Verb::kSave:
+      return "save " + command.arg;
+    case Verb::kLoad:
+      return "load " + command.arg;
     case Verb::kQuit:
       return "quit";
   }
@@ -240,6 +254,11 @@ std::string FormatStatsJson(const SatEngineStats& stats,
       << ", \"parse_errors\": " << stats.parse_errors
       << ", \"cancellations\": " << stats.cancellations
       << ", \"deadline_expirations\": " << stats.deadline_expirations
+      << ", \"store_dtds_loaded\": " << stats.store_dtds_loaded
+      << ", \"store_memos_loaded\": " << stats.store_memos_loaded
+      << ", \"store_records_corrupt\": " << stats.store_records_corrupt
+      << ", \"store_records_rejected\": " << stats.store_records_rejected
+      << ", \"store_version_rejects\": " << stats.store_version_rejects
       << ", \"uptime_ms\": " << stats.uptime_ms
       << ", \"snapshot_seq\": " << stats.snapshot_seq
       << ", \"live_dtd_handles\": " << live_dtd_handles << "}";

@@ -19,6 +19,8 @@
 //                       line, or a multi-line Prometheus text exposition
 //                       (terminated by "# EOF") with `metrics prom`
 //   slow                drain the slow-query log as one JSON line
+//   save PATH           write a compiled-artifact snapshot to PATH
+//   load PATH           warm the caches from the snapshot at PATH
 //   quit                flush and close the session
 //
 // Replies are single lines, tagged by their first token:
@@ -38,11 +40,16 @@
 //                              instead emits the multi-line exposition
 //                              ending with a bare "# EOF" line
 //   slow {...}                 single-line JSON draining the slow-query log
+//   ok save dtds=N memos=M     snapshot written (N artifact, M memo records)
+//   ok load dtds=N memos=M skipped=K
+//                              caches warmed; K records were skipped
+//                              (corrupt, truncated, or failed verification)
 //   err CODE detail            structured error; CODE is a stable slug
 //                              (unknown-verb, bad-args, oversized-line,
 //                              unknown-dtd, unknown-ticket, not-cancellable,
 //                              dtd-parse, io, auth-required, bad-auth,
-//                              busy, throttled, idle-timeout)
+//                              busy, throttled, idle-timeout,
+//                              store-corrupt, store-version)
 //
 // Malformed input (unknown verb, missing argument, oversized line) always
 // answers with an `err` line and keeps the session alive — nothing is
@@ -74,6 +81,8 @@ enum class Verb {
   kStats,
   kMetrics,
   kSlow,
+  kSave,
+  kLoad,
   kQuit,
 };
 
@@ -82,7 +91,8 @@ struct Command {
   Verb verb = Verb::kFlush;
   std::string name;        // dtd/query/drop: the schema name
   std::string arg;         // dtd: the path; query: the XPath text;
-                           // auth: the secret; metrics: "" or "prom"
+                           // auth: the secret; metrics: "" or "prom";
+                           // save/load: the snapshot path
   uint64_t ticket_id = 0;  // cancel
 };
 

@@ -260,6 +260,41 @@ void ServerSession::HandleCommand(const protocol::Command& command) {
       // gets the records.
       shared_->sink("slow " + obs::RenderSlowJson(engine_->DrainSlowLog()));
       return;
+    case Verb::kSave: {
+      // Drain first so verdicts this session already submitted are in the
+      // memo before the walk (other sessions' in-flight work is captured
+      // best-effort — the caches are engine-global).
+      Drain();
+      SnapshotSaveResult saved = engine_->SaveSnapshot(command.arg);
+      if (!saved.status.ok()) {
+        EmitError("io", "save: " + saved.status.message());
+        return;
+      }
+      shared_->sink("ok save dtds=" + std::to_string(saved.dtds_saved) +
+                    " memos=" + std::to_string(saved.memos_saved));
+      return;
+    }
+    case Verb::kLoad: {
+      SnapshotLoadResult loaded = engine_->LoadSnapshot(command.arg);
+      if (!loaded.status.ok()) {
+        switch (loaded.error_kind) {
+          case SnapshotLoadResult::ErrorKind::kVersion:
+            EmitError("store-version", "load: " + loaded.status.message());
+            return;
+          case SnapshotLoadResult::ErrorKind::kCorrupt:
+            EmitError("store-corrupt", "load: " + loaded.status.message());
+            return;
+          default:
+            EmitError("io", "load: " + loaded.status.message());
+            return;
+        }
+      }
+      shared_->sink(
+          "ok load dtds=" + std::to_string(loaded.dtds_loaded) +
+          " memos=" + std::to_string(loaded.memos_loaded) + " skipped=" +
+          std::to_string(loaded.corrupt_records + loaded.rejected_records));
+      return;
+    }
     case Verb::kQuit:
       Drain();
       shared_->sink("ok quit");

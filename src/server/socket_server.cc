@@ -202,7 +202,18 @@ Status SocketServer::Start() {
 }
 
 void SocketServer::Stop() {
-  if (!started_.load() || stopping_.exchange(true)) return;
+  if (!started_.load()) return;
+  // The whole teardown runs under stop_mu_, and `stopped_` latches when it
+  // is done. The old gate (`stopping_.exchange(true)`) let a second caller
+  // — or any caller after the reactor's poller-failure self-stop had set
+  // stopping_ — return immediately while threads were still live, so
+  // shutdown-path actions sequenced after Stop() (stats dump,
+  // --save-on-exit snapshot) could run against a serving server. Now every
+  // caller leaves only once the stop is complete.
+  util::MutexLock lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true);
   if (!reactor_thread_.joinable()) {
     // Start failed before spawning threads; its fail() already cleaned up.
     return;
@@ -657,7 +668,15 @@ void SocketServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
   bool signal_resume = false;
   {
     util::MutexLock lock(conn->work_mu);
-    if (!open) conn->input_closed = input_closed = true;
+    if (!open) conn->input_closed = true;
+    // Re-read under the lock, never trust the pre-batch copy: while this
+    // batch ran, ReadReady (peer EOF) or CloseInput (shutdown, idle
+    // eviction) may have closed the input — and their ScheduleLocked was
+    // suppressed by this worker's outstanding token, so the close is
+    // observable only HERE. Acting on the stale copy leaked the connection
+    // (no one ever retires it) and wedged Stop(), which joins a reactor
+    // waiting for exactly that retirement.
+    input_closed = conn->input_closed;
     if (input_closed && conn->pending.empty()) {
       do_teardown = true;
       timed_out = timed_out || conn->timed_out;

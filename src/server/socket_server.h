@@ -106,7 +106,12 @@ class SocketServer {
   Status Start();
 
   /// Stops accepting, shuts down every connection (sessions drain their
-  /// in-flight tickets first), and joins all threads. Idempotent.
+  /// in-flight tickets first), and joins all threads. Idempotent, and —
+  /// crucially for shutdown-path actions like `--save-on-exit` — every
+  /// caller returns only after the stop is COMPLETE: a Stop() racing
+  /// another Stop(), or racing the reactor's own poller-failure self-stop
+  /// mid-accept, waits for the teardown instead of returning while threads
+  /// are still serving.
   void Stop();
 
   /// Bound TCP port after Start (useful with tcp_port = 0); -1 when no TCP
@@ -290,6 +295,12 @@ class SocketServer {
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
+  // Serializes the teardown itself: the winner joins threads holding
+  // stop_mu_, so a concurrent (or repeated) Stop() blocks until stopped_
+  // flips rather than returning from the stopping_ gate while the server
+  // is still live.
+  util::Mutex stop_mu_;
+  bool stopped_ GUARDED_BY(stop_mu_) = false;
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_active_{0};
   std::atomic<uint64_t> connections_rejected_{0};

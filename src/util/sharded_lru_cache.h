@@ -37,7 +37,10 @@
 // resident value V& — never the cache structures — so they carry no
 // capability requirements of their own.
 //
-// Not provided (by design, nothing needs them yet): erase, resize, iteration.
+// Not provided (by design, nothing needs them yet): erase, resize. Snapshot
+// iteration exists as ForEach (added for the persistent artifact store's
+// save path): shard-at-a-time under each shard's lock, MRU-first within a
+// shard, no cross-shard order.
 #ifndef XPATHSAT_UTIL_SHARDED_LRU_CACHE_H_
 #define XPATHSAT_UTIL_SHARDED_LRU_CACHE_H_
 
@@ -147,6 +150,23 @@ class ShardedLruCache {
     return InsertInShard(shard, key, std::move(value));
   }
 
+  /// Visits every resident entry as fn(const K&, const V&), one shard at a
+  /// time under that shard's lock (MRU-first within a shard; no global
+  /// order). Entries inserted or evicted concurrently in shards not yet
+  /// visited may or may not be seen — a consistent-per-shard snapshot, not
+  /// a global one. `fn` runs under a shard lock: it must be quick, must not
+  /// block, and must not reenter this cache. Does not touch LRU order and
+  /// counts no probes. The artifact store's save path walks the caches with
+  /// this.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t s = 0; s <= mask_; ++s) {
+      Shard& shard = shards_[s];
+      util::MutexLock lock(shard.mu);
+      ForEachInShard(shard, fn);
+    }
+  }
+
   /// Entries currently resident, summed across shards (racy under traffic).
   size_t size() const {
     size_t total = 0;
@@ -199,6 +219,12 @@ class ShardedLruCache {
       shard.lru.pop_back();
     }
     return shard.lru.front().second;
+  }
+
+  /// The under-lock half of ForEach.
+  template <typename Fn>
+  void ForEachInShard(Shard& shard, Fn& fn) const REQUIRES(shard.mu) {
+    for (const auto& kv : shard.lru) fn(kv.first, kv.second);
   }
 
   Shard& ShardFor(const K& key) {

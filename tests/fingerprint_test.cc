@@ -114,6 +114,32 @@ TEST(FingerprintTest, EquivalentToMatchesTheFingerprintEquivalence) {
   }
 }
 
+TEST(FingerprintTest, GoldenValuesPinCrossProcessStability) {
+  // The artifact store (src/store/) keys snapshot records by
+  // Dtd::Fingerprint() and re-derives it in a DIFFERENT process at load
+  // time, so the hash must be bit-stable across processes and builds (it is
+  // FNV-1a over canonical renderings — src/util/hashing.h — never
+  // std::hash, whose value is implementation-defined). These golden values
+  // pin that contract. If this test starts failing, the on-disk key space
+  // changed: bump store::kSnapshotFormatVersion and add a README
+  // "Persistence" changelog row — do NOT just update the constants here.
+  EXPECT_EQ(
+      ParseDtdOrDie("root r\nr -> A, B*\nA -> eps\nB -> eps\n").Fingerprint(),
+      0x532ff8f5c5e360e7ull);
+  EXPECT_EQ(ParseDtdOrDie(
+                "root catalog\ncatalog -> section*\n"
+                "section -> heading, item*\nheading -> eps\n"
+                "item -> title, (variant + eps), note*\ntitle -> eps\n"
+                "variant -> eps\nnote -> eps\n"
+                "attrs item: id lang\nattrs note: ref\n")
+                .Fingerprint(),
+            0x14ea852f1ab6611eull);
+  EXPECT_EQ(
+      ParseDtdOrDie("root r\nr -> A\nA -> A + eps\nattrs r: id\n")
+          .Fingerprint(),
+      0x386daaea0aaa003full);
+}
+
 TEST(FingerprintTest, NoCollisionsAcrossARandomFamily) {
   // Every pair of textually distinct random DTDs in a 200-strong family gets
   // a distinct fingerprint (64-bit space; a single collision here means the

@@ -1,0 +1,15 @@
+// Seeded violation: the format constant was bumped to 2, but the fixture's
+// README changelog below documents only v1 — the store-version rule must
+// fire.
+#ifndef FIXTURE_STORE_SNAPSHOT_H_
+#define FIXTURE_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+
+namespace fixture {
+
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+
+}  // namespace fixture
+
+#endif  // FIXTURE_STORE_SNAPSHOT_H_

@@ -192,4 +192,64 @@ stop_server
 expect_in '"cancellations": 1' server.out
 expect_in 'metrics {"uptime_ms"' server.err
 
-echo "server e2e: concurrent clients, cross-client memo, cancel-by-id OK"
+# ---- Phase 3: warm restart (--save-on-exit -> --warm-from) ----------------
+# Prime a server, let SIGTERM write the snapshot, restart --warm-from it:
+# the restarted process must answer the whole replay from the warmed memo
+# (every result line memo-tagged) and surface the load in its store stats.
+start_server --save-on-exit warm.snap
+
+make_workload delta delta.txt
+"$CLI_BIN" --connect unix:e2e.sock < delta.txt > delta.out 2>&1 \
+  || fail "delta client failed: $(cat delta.out)"
+expect_in "ok flush" delta.out
+
+stop_server
+expect_in "saved snapshot warm.snap" server.err
+[ -s warm.snap ] || fail "--save-on-exit left no snapshot"
+
+start_server --warm-from warm.snap
+expect_in "warmed from warm.snap" server.err
+
+{
+  echo "dtd epsilon heavy.dtd"
+  sed -n 's/^query delta /query epsilon /p' delta.txt
+  echo "flush"
+  echo "stats"
+  # The wire verbs too: a live save, a reload of it, and the structured
+  # errors for a corrupt file and a future-version file.
+  echo "save wire.snap"
+  echo "load wire.snap"
+  echo "load corrupt.snap"
+  echo "load vfuture.snap"
+  echo "quit"
+} > epsilon.txt
+printf 'NOTASNAP....' > corrupt.snap
+cp warm.snap vfuture.snap
+printf '\x63' | dd of=vfuture.snap bs=1 seek=8 count=1 conv=notrunc 2>/dev/null
+
+"$CLI_BIN" --connect unix:e2e.sock < epsilon.txt > epsilon.out 2>&1 \
+  || fail "epsilon client failed: $(cat epsilon.out)"
+
+# First and every verdict of the restarted process comes from the warmed
+# memo: no connection primed it in THIS process lifetime.
+n_results=$(grep -c -- " -- " epsilon.out) || true
+[ "$n_results" -eq 18 ] || fail "epsilon: expected 18 result lines, got $n_results"
+n_memo=$(grep -- " -- " epsilon.out | grep -c " memo") || true
+[ "$n_memo" -eq 18 ] || fail "epsilon: expected all 18 results memo-warm after restart, got $n_memo:
+$(cat epsilon.out)"
+expect_in '"store_dtds_loaded": 1' epsilon.out
+expect_in '"store_memos_loaded": 6' epsilon.out
+expect_in '"dtd_cache_hits": 1' epsilon.out
+expect_in 'ok save dtds=1 memos=6' epsilon.out
+expect_in 'ok load dtds=1' epsilon.out
+expect_in 'err store-corrupt' epsilon.out
+expect_in 'err store-version' epsilon.out
+
+stop_server
+# Cumulative: 6 memos from --warm-from plus 6 from the wire `load`; the
+# corrupt and future-version files contributed nothing but the version
+# reject counter.
+expect_in '"store_memos_loaded": 12' server.out
+expect_in '"store_version_rejects": 1' server.out
+
+echo "server e2e: concurrent clients, cross-client memo, cancel-by-id, warm restart OK"

@@ -855,6 +855,62 @@ TEST(SocketServerTest, StartPartialFailureUnlinksTheUnixSocketFile) {
   retry.Stop();
 }
 
+TEST(SocketServerTest, ConcurrentStopsAllBlockUntilShutdownIsComplete) {
+  // Regression, two shutdown races: (1) Stop() used to gate on
+  // `stopping_.exchange(true)`, so a caller racing another Stop() (second
+  // signal, destructor, the reactor's poller-failure self-stop) returned
+  // IMMEDIATELY while threads were still serving — and shutdown-path
+  // actions sequenced after it (stats dump, --save-on-exit snapshot) ran
+  // against a live server. (2) A worker finishing a line batch tested its
+  // stale pre-batch `input_closed` copy, so a close landing mid-batch
+  // (here: BeginShutdown's CloseInput while the 8 queries are being
+  // handled, whose ScheduleLocked the worker's own token suppresses) was
+  // dropped — the connection was never retired and Stop() hung joining a
+  // reactor waiting for exactly that. Now every caller must observe a
+  // complete stop: after ANY Stop() returns, the unix socket file is
+  // unlinked and no new connection is possible.
+  SatEngine engine;
+  std::string dtd_path = WriteTempDtd("socket_stopraces.dtd");
+  SocketServerOptions opt;
+  opt.unix_path = SocketPath("stopraces");
+  SocketServer server(&engine, opt);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Keep a connection live with in-flight heavy work so the stop actually
+  // has draining to do (an idle stop would mask the race).
+  Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+  ASSERT_TRUE(fd.ok()) << fd.error();
+  TestClient client(std::move(fd).value());
+  client.Send("dtd d " + dtd_path);
+  client.WaitFor("ok dtd");
+  for (int i = 0; i < 8; ++i) {
+    client.Send(std::string("query d ") + kHeavyQuery);
+  }
+
+  constexpr int kStoppers = 4;
+  std::atomic<int> returned{0};
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(kStoppers);
+  for (int i = 0; i < kStoppers; ++i) {
+    stoppers.emplace_back([&] {
+      server.Stop();
+      // The invariant under test: the moment MY Stop() returns — winner or
+      // late arrival — the socket file is gone and connects are refused.
+      struct stat st;
+      EXPECT_EQ(::stat(opt.unix_path.c_str(), &st), -1)
+          << "Stop() returned before the unix socket was unlinked";
+      Result<net::ScopedFd> refused = net::ConnectUnix(opt.unix_path);
+      EXPECT_FALSE(refused.ok())
+          << "Stop() returned while the server still accepts connections";
+      returned.fetch_add(1);
+    });
+  }
+  for (std::thread& t : stoppers) t.join();
+  EXPECT_EQ(returned.load(), kStoppers);
+  // Still idempotent after the dust settles.
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace xpathsat

@@ -1,0 +1,597 @@
+// Persistent compiled-artifact store (src/store/snapshot.h) and the engine's
+// SaveSnapshot/LoadSnapshot on top of it. The robustness battery feeds the
+// loader every kind of damaged snapshot — truncated, CRC-flipped,
+// version-mismatched, fingerprint-forged — and asserts each degrades to a
+// counted skip, never a crash, never a trusted record.
+#include "src/store/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/sat_engine.h"
+#include "src/sat/compiled_dtd.h"
+#include "src/xml/dtd.h"
+#include "tests/test_util.h"
+
+namespace xpathsat {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// The mid-size schema used throughout: attributes, stars, a disjunction (so
+// disjunction_free artifacts and the general-path artifacts both exist).
+Dtd MakeCatalogDtd() {
+  return ParseDtdOrDie(R"(root catalog
+catalog -> section*
+section -> heading, item*
+heading -> eps
+item -> title, (variant + eps), note*
+title -> eps
+variant -> eps
+note -> eps
+attrs item: id lang
+attrs note: ref
+)");
+}
+
+// --- Primitive codecs -----------------------------------------------------
+
+TEST(SnapshotCodecTest, Crc32MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  const char* check = "123456789";
+  EXPECT_EQ(store::Crc32(check, 9), 0xCBF43926u);
+  // Seed chaining over discontiguous pieces equals one contiguous pass.
+  uint32_t piecewise = store::Crc32(check, 4);
+  piecewise = store::Crc32(check + 4, 5, piecewise);
+  EXPECT_EQ(piecewise, 0xCBF43926u);
+  EXPECT_EQ(store::Crc32("", 0), 0u);
+}
+
+TEST(SnapshotCodecTest, PrimitiveRoundTrip) {
+  std::string buf;
+  store::PutU8(&buf, 0xAB);
+  store::PutU32(&buf, 0xDEADBEEFu);
+  store::PutU64(&buf, 0x0123456789ABCDEFull);
+  store::PutBool(&buf, true);
+  store::PutBool(&buf, false);
+  store::PutString(&buf, "hello\0world");  // embedded NUL is fine
+  store::ByteReader reader(buf);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  bool b1 = false, b2 = true;
+  std::string s;
+  EXPECT_TRUE(reader.ReadU8(&u8));
+  EXPECT_TRUE(reader.ReadU32(&u32));
+  EXPECT_TRUE(reader.ReadU64(&u64));
+  EXPECT_TRUE(reader.ReadBool(&b1));
+  EXPECT_TRUE(reader.ReadBool(&b2));
+  EXPECT_TRUE(reader.ReadString(&s));
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_EQ(s, "hello");  // PutString took the C-string up to the NUL
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SnapshotCodecTest, ByteReaderLatchesOnUnderflow) {
+  std::string buf;
+  store::PutU32(&buf, 7);
+  store::ByteReader reader(buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(reader.ReadU64(&v));  // only 4 bytes present
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.AtEnd());
+  uint32_t u = 0;
+  EXPECT_FALSE(reader.ReadU32(&u));  // latched: nothing reads after a miss
+}
+
+// --- File writer / reader -------------------------------------------------
+
+TEST(SnapshotFileTest, WriteReadRoundTrip) {
+  const std::string path = TempPath("snap_roundtrip.xpsnap");
+  store::SnapshotWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(
+      writer.Append(store::RecordTag::kCompiledDtd, "payload-one").ok());
+  ASSERT_TRUE(writer.Append(store::RecordTag::kMemoEntry, "").ok());
+  ASSERT_TRUE(writer.Commit().ok());
+
+  store::SnapshotReader reader;
+  store::SnapshotOpenError err;
+  ASSERT_TRUE(reader.Open(path, &err)) << err.detail;
+  uint8_t tag = 0;
+  std::string payload;
+  EXPECT_EQ(reader.Next(&tag, &payload),
+            store::SnapshotReader::Outcome::kRecord);
+  EXPECT_EQ(tag, static_cast<uint8_t>(store::RecordTag::kCompiledDtd));
+  EXPECT_EQ(payload, "payload-one");
+  EXPECT_EQ(reader.Next(&tag, &payload),
+            store::SnapshotReader::Outcome::kRecord);
+  EXPECT_EQ(tag, static_cast<uint8_t>(store::RecordTag::kMemoEntry));
+  EXPECT_EQ(payload, "");
+  EXPECT_EQ(reader.Next(&tag, &payload), store::SnapshotReader::Outcome::kEof);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, CommitIsAtomicViaRename) {
+  const std::string path = TempPath("snap_atomic.xpsnap");
+  WriteFile(path, "previous contents");
+  {
+    // Abandoned writer (no Commit): the existing file must survive.
+    store::SnapshotWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.Append(store::RecordTag::kMemoEntry, "x").ok());
+  }
+  EXPECT_EQ(ReadFile(path), "previous contents");
+  // And the temporary was removed.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, MissingFileIsAnIoOpenError) {
+  store::SnapshotReader reader;
+  store::SnapshotOpenError err;
+  EXPECT_FALSE(reader.Open(TempPath("snap_nonexistent.xpsnap"), &err));
+  EXPECT_EQ(err.kind, store::SnapshotOpenError::Kind::kIo);
+}
+
+TEST(SnapshotFileTest, BadMagicIsRejected) {
+  const std::string path = TempPath("snap_badmagic.xpsnap");
+  WriteFile(path, "NOTASNAP\x01\x00\x00\x00");
+  store::SnapshotReader reader;
+  store::SnapshotOpenError err;
+  EXPECT_FALSE(reader.Open(path, &err));
+  EXPECT_EQ(err.kind, store::SnapshotOpenError::Kind::kBadMagic);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, NewerFormatVersionIsRejectedWithTheClaimedVersion) {
+  const std::string path = TempPath("snap_badversion.xpsnap");
+  store::SnapshotWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.Commit().ok());
+  // Patch the version field (bytes 8..11, little-endian) to a future value.
+  std::string data = ReadFile(path);
+  ASSERT_GE(data.size(), 12u);
+  data[8] = 99;
+  data[9] = data[10] = data[11] = 0;
+  WriteFile(path, data);
+
+  store::SnapshotReader reader;
+  store::SnapshotOpenError err;
+  EXPECT_FALSE(reader.Open(path, &err));
+  EXPECT_EQ(err.kind, store::SnapshotOpenError::Kind::kBadVersion);
+  EXPECT_EQ(err.file_version, 99u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, FlippedPayloadByteIsCorruptAndScanContinues) {
+  const std::string path = TempPath("snap_crcflip.xpsnap");
+  store::SnapshotWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.Append(store::RecordTag::kMemoEntry, "aaaa").ok());
+  ASSERT_TRUE(writer.Append(store::RecordTag::kMemoEntry, "bbbb").ok());
+  ASSERT_TRUE(writer.Commit().ok());
+  // Flip one byte inside the FIRST record's payload (header is 12 bytes,
+  // record head is 5: tag + u32 len).
+  std::string data = ReadFile(path);
+  data[12 + 5] ^= 0x40;
+  WriteFile(path, data);
+
+  store::SnapshotReader reader;
+  store::SnapshotOpenError err;
+  ASSERT_TRUE(reader.Open(path, &err)) << err.detail;
+  uint8_t tag = 0;
+  std::string payload;
+  EXPECT_EQ(reader.Next(&tag, &payload),
+            store::SnapshotReader::Outcome::kCorrupt);
+  // The damage is contained: the second record still reads clean.
+  EXPECT_EQ(reader.Next(&tag, &payload),
+            store::SnapshotReader::Outcome::kRecord);
+  EXPECT_EQ(payload, "bbbb");
+  EXPECT_EQ(reader.Next(&tag, &payload), store::SnapshotReader::Outcome::kEof);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, TruncatedFileStopsTheScan) {
+  const std::string path = TempPath("snap_trunc.xpsnap");
+  store::SnapshotWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.Append(store::RecordTag::kMemoEntry, "aaaa").ok());
+  ASSERT_TRUE(
+      writer.Append(store::RecordTag::kMemoEntry, "bbbbbbbb").ok());
+  ASSERT_TRUE(writer.Commit().ok());
+  // Cut the file mid-way through the second record's payload.
+  std::string data = ReadFile(path);
+  WriteFile(path, data.substr(0, data.size() - 6));
+
+  store::SnapshotReader reader;
+  store::SnapshotOpenError err;
+  ASSERT_TRUE(reader.Open(path, &err)) << err.detail;
+  uint8_t tag = 0;
+  std::string payload;
+  EXPECT_EQ(reader.Next(&tag, &payload),
+            store::SnapshotReader::Outcome::kRecord);
+  EXPECT_EQ(payload, "aaaa");
+  EXPECT_EQ(reader.Next(&tag, &payload),
+            store::SnapshotReader::Outcome::kTruncated);
+  // Terminal: further calls report eof, not another truncation.
+  EXPECT_EQ(reader.Next(&tag, &payload), store::SnapshotReader::Outcome::kEof);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, AbsurdLengthFieldIsCorruptionNotAnAllocation) {
+  const std::string path = TempPath("snap_hugelen.xpsnap");
+  store::SnapshotWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.Append(store::RecordTag::kMemoEntry, "aaaa").ok());
+  ASSERT_TRUE(writer.Commit().ok());
+  // Overwrite the length field with ~4GiB; the reader must refuse to
+  // allocate and treat the scan as unrecoverable from here.
+  std::string data = ReadFile(path);
+  data[13] = data[14] = data[15] = data[16] = '\xff';
+  WriteFile(path, data);
+
+  store::SnapshotReader reader;
+  store::SnapshotOpenError err;
+  ASSERT_TRUE(reader.Open(path, &err)) << err.detail;
+  uint8_t tag = 0;
+  std::string payload;
+  EXPECT_EQ(reader.Next(&tag, &payload),
+            store::SnapshotReader::Outcome::kCorrupt);
+  EXPECT_EQ(reader.Next(&tag, &payload), store::SnapshotReader::Outcome::kEof);
+  std::remove(path.c_str());
+}
+
+// --- Artifact record codecs -----------------------------------------------
+
+void ExpectLabelGraphEq(const LabelGraph& a, const LabelGraph& b) {
+  EXPECT_EQ(a.terminating, b.terminating);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.closure, b.closure);
+}
+
+TEST(CompiledDtdRecordTest, RoundTripsEveryArtifact) {
+  Dtd dtd = MakeCatalogDtd();
+  std::shared_ptr<const CompiledDtd> compiled = CompiledDtd::Compile(dtd);
+  std::string payload = store::EncodeCompiledDtdRecord(*compiled);
+  Result<std::shared_ptr<const CompiledDtd>> decoded =
+      store::DecodeCompiledDtdRecord(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  const CompiledDtd& out = *decoded.value();
+
+  EXPECT_TRUE(out.dtd.EquivalentTo(compiled->dtd));
+  EXPECT_EQ(out.fingerprint, compiled->fingerprint);
+  EXPECT_EQ(out.disjunction_free, compiled->disjunction_free);
+  ASSERT_NE(out.shared_dtd, nullptr);
+  EXPECT_TRUE(out.shared_dtd->EquivalentTo(compiled->dtd));
+  ExpectLabelGraphEq(out.graph, compiled->graph);
+  ExpectLabelGraphEq(out.norm_graph, compiled->norm_graph);
+  EXPECT_EQ(out.min_sizes, compiled->min_sizes);
+  EXPECT_TRUE(out.norm.dtd.EquivalentTo(compiled->norm.dtd));
+  EXPECT_EQ(out.norm.new_types, compiled->norm.new_types);
+  ASSERT_EQ(out.content_nfas.size(), compiled->content_nfas.size());
+  for (const auto& kv : compiled->content_nfas) {
+    auto it = out.content_nfas.find(kv.first);
+    ASSERT_NE(it, out.content_nfas.end()) << kv.first;
+    EXPECT_EQ(it->second.num_states, kv.second.num_states);
+    EXPECT_EQ(it->second.start, kv.second.start);
+    EXPECT_EQ(it->second.accepting, kv.second.accepting);
+    EXPECT_EQ(it->second.trans, kv.second.trans);
+  }
+}
+
+TEST(CompiledDtdRecordTest, ForgedFingerprintIsRejected) {
+  Dtd dtd = MakeCatalogDtd();
+  std::shared_ptr<const CompiledDtd> compiled = CompiledDtd::Compile(dtd);
+  // A structurally valid record whose claimed key does not derive from its
+  // own schema: the decoder must reject it even though every CRC passes.
+  CompiledDtd forged = *compiled;
+  forged.fingerprint = compiled->fingerprint ^ 0x1;
+  Result<std::shared_ptr<const CompiledDtd>> decoded =
+      store::DecodeCompiledDtdRecord(store::EncodeCompiledDtdRecord(forged));
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(CompiledDtdRecordTest, TruncatedPayloadIsRejected) {
+  Dtd dtd = MakeCatalogDtd();
+  std::string payload =
+      store::EncodeCompiledDtdRecord(*CompiledDtd::Compile(dtd));
+  for (size_t cut : {payload.size() - 1, payload.size() / 2, size_t{3}}) {
+    Result<std::shared_ptr<const CompiledDtd>> decoded =
+        store::DecodeCompiledDtdRecord(payload.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(MemoRecordTest, RoundTripsWithAndWithoutWitness) {
+  store::MemoRecord record;
+  record.canonical_query = "catalog/section/item[title]";
+  record.dtd_fingerprint = 0x1122334455667788ull;
+  record.options_digest = 0x99AABBCCDDEEFF00ull;
+  record.algorithm = "thm-6.8(1)";
+  record.verdict = SatVerdict::kSat;
+  record.note = "memoized";
+  record.has_witness = true;
+  int root = record.witness.CreateRoot("catalog");
+  int section = record.witness.AddChild(root, "section");
+  int item = record.witness.AddChild(section, "item");
+  record.witness.SetAttr(item, "id", "1");
+  record.witness.AddChild(item, "title");
+
+  Result<store::MemoRecord> decoded =
+      store::DecodeMemoRecord(store::EncodeMemoRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().canonical_query, record.canonical_query);
+  EXPECT_EQ(decoded.value().dtd_fingerprint, record.dtd_fingerprint);
+  EXPECT_EQ(decoded.value().options_digest, record.options_digest);
+  EXPECT_EQ(decoded.value().algorithm, record.algorithm);
+  EXPECT_EQ(decoded.value().verdict, record.verdict);
+  EXPECT_EQ(decoded.value().note, record.note);
+  ASSERT_TRUE(decoded.value().has_witness);
+  EXPECT_EQ(decoded.value().witness.ToString(), record.witness.ToString());
+
+  record.has_witness = false;
+  record.verdict = SatVerdict::kUnsat;
+  decoded = store::DecodeMemoRecord(store::EncodeMemoRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_FALSE(decoded.value().has_witness);
+  EXPECT_EQ(decoded.value().verdict, SatVerdict::kUnsat);
+}
+
+TEST(MemoRecordTest, GarbagePayloadIsRejectedNotCrashed) {
+  EXPECT_FALSE(store::DecodeMemoRecord("").ok());
+  EXPECT_FALSE(store::DecodeMemoRecord("garbage").ok());
+  std::string bad;
+  store::PutString(&bad, "q");
+  EXPECT_FALSE(store::DecodeMemoRecord(bad).ok());
+}
+
+// --- Engine save / load ---------------------------------------------------
+
+TEST(EngineSnapshotTest, SaveLoadRoundTripWarmsCachesAndMemo) {
+  const std::string path = TempPath("snap_engine_roundtrip.xpsnap");
+  Dtd dtd = MakeCatalogDtd();
+  uint64_t saved_dtds = 0;
+  {
+    SatEngine engine;
+    DtdHandle handle = engine.RegisterDtd(dtd);
+    for (const char* q : {"section/item", "**/item", "section/missing"}) {
+      SatRequest r;
+      r.query = q;
+      r.dtd = handle;
+      SatResponse resp = engine.Run(r);
+      ASSERT_TRUE(resp.status.ok()) << q;
+    }
+    SnapshotSaveResult saved = engine.SaveSnapshot(path);
+    ASSERT_TRUE(saved.status.ok()) << saved.status.message();
+    EXPECT_EQ(saved.dtds_saved, 1u);
+    EXPECT_EQ(saved.memos_saved, 3u);
+    saved_dtds = saved.dtds_saved;
+  }
+  {
+    // A fresh engine (a restarted process, as far as the store can tell).
+    SatEngine engine;
+    SnapshotLoadResult loaded = engine.LoadSnapshot(path);
+    ASSERT_TRUE(loaded.status.ok()) << loaded.status.message();
+    EXPECT_EQ(loaded.dtds_loaded, saved_dtds);
+    EXPECT_EQ(loaded.memos_loaded, 3u);
+    EXPECT_EQ(loaded.corrupt_records, 0u);
+    EXPECT_EQ(loaded.rejected_records, 0u);
+    EXPECT_FALSE(loaded.truncated);
+
+    SatEngineStats stats = engine.stats();
+    EXPECT_EQ(stats.store_dtds_loaded, 1u);
+    EXPECT_EQ(stats.store_memos_loaded, 3u);
+    EXPECT_EQ(stats.store_records_corrupt, 0u);
+    EXPECT_EQ(stats.store_records_rejected, 0u);
+
+    // The first request after a warm load: DTD compilation is a cache hit
+    // and the verdict comes straight from the warmed memo.
+    DtdHandle handle = engine.RegisterDtd(dtd);
+    SatRequest r;
+    r.query = "**/item";
+    r.dtd = handle;
+    SatResponse resp = engine.Run(r);
+    ASSERT_TRUE(resp.status.ok());
+    EXPECT_TRUE(resp.report.sat());
+    EXPECT_TRUE(resp.memo_hit);
+    stats = engine.stats();
+    EXPECT_EQ(stats.dtd_cache_hits, 1u);
+    EXPECT_EQ(stats.dtd_cache_misses, 0u);
+    EXPECT_EQ(stats.memo_hits, 1u);
+    // And the verdicts agree with a cold engine on all three queries.
+    for (const auto& [q, want_sat] :
+         std::map<std::string, bool>{{"section/item", true},
+                                     {"**/item", true},
+                                     {"section/missing", false}}) {
+      SatRequest probe;
+      probe.query = q;
+      probe.dtd = handle;
+      SatResponse got = engine.Run(probe);
+      ASSERT_TRUE(got.status.ok()) << q;
+      EXPECT_EQ(got.report.sat(), want_sat) << q;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EngineSnapshotTest, LoadDegradesOnDamageWithCounters) {
+  const std::string path = TempPath("snap_engine_damaged.xpsnap");
+  Dtd dtd = MakeCatalogDtd();
+  {
+    SatEngine engine;
+    DtdHandle handle = engine.RegisterDtd(dtd);
+    SatRequest r;
+    r.query = "**/item";
+    r.dtd = handle;
+    ASSERT_TRUE(engine.Run(r).status.ok());
+    ASSERT_TRUE(engine.SaveSnapshot(path).status.ok());
+  }
+  // Flip a byte inside the first record (the lone DTD record): the DTD is
+  // lost, and the memo that depends on it must then be rejected — a memo
+  // never attaches to a schema that did not verify from the same file.
+  std::string data = ReadFile(path);
+  data[12 + 5] ^= 0x01;
+  WriteFile(path, data);
+  {
+    SatEngine engine;
+    SnapshotLoadResult loaded = engine.LoadSnapshot(path);
+    ASSERT_TRUE(loaded.status.ok());  // damage degrades; it never fails
+    EXPECT_EQ(loaded.dtds_loaded, 0u);
+    EXPECT_EQ(loaded.memos_loaded, 0u);
+    EXPECT_EQ(loaded.corrupt_records, 1u);
+    EXPECT_EQ(loaded.rejected_records, 1u);
+    SatEngineStats stats = engine.stats();
+    EXPECT_EQ(stats.store_records_corrupt, 1u);
+    EXPECT_EQ(stats.store_records_rejected, 1u);
+    // The engine still works cold.
+    DtdHandle handle = engine.RegisterDtd(dtd);
+    SatRequest r;
+    r.query = "**/item";
+    r.dtd = handle;
+    SatResponse resp = engine.Run(r);
+    ASSERT_TRUE(resp.status.ok());
+    EXPECT_TRUE(resp.report.sat());
+    EXPECT_FALSE(resp.memo_hit);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EngineSnapshotTest, LoadRejectsNewerVersionAndStartsCold) {
+  const std::string path = TempPath("snap_engine_version.xpsnap");
+  {
+    SatEngine engine;
+    ASSERT_TRUE(engine.SaveSnapshot(path).status.ok());
+  }
+  std::string data = ReadFile(path);
+  ASSERT_GE(data.size(), 12u);
+  data[8] = static_cast<char>(store::kSnapshotFormatVersion + 1);
+  WriteFile(path, data);
+  SatEngine engine;
+  SnapshotLoadResult loaded = engine.LoadSnapshot(path);
+  EXPECT_FALSE(loaded.status.ok());
+  EXPECT_EQ(loaded.error_kind, SnapshotLoadResult::ErrorKind::kVersion);
+  EXPECT_EQ(loaded.file_version, store::kSnapshotFormatVersion + 1);
+  EXPECT_EQ(engine.stats().store_version_rejects, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EngineSnapshotTest, LoadRejectsForgedFingerprintRecords) {
+  const std::string path = TempPath("snap_engine_forged.xpsnap");
+  Dtd dtd = MakeCatalogDtd();
+  std::shared_ptr<const CompiledDtd> compiled = CompiledDtd::Compile(dtd);
+  CompiledDtd forged = *compiled;
+  forged.fingerprint = compiled->fingerprint ^ 0xF00D;
+  // Hand-write a snapshot holding the forged DTD record plus a memo claiming
+  // the forged fingerprint: both must be rejected (the memo's fingerprint
+  // resolves to no VERIFIED schema), and nothing reaches the caches.
+  store::SnapshotWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer
+                  .Append(store::RecordTag::kCompiledDtd,
+                          store::EncodeCompiledDtdRecord(forged))
+                  .ok());
+  store::MemoRecord memo;
+  memo.canonical_query = "**/item";
+  memo.dtd_fingerprint = forged.fingerprint;
+  memo.algorithm = "forged";
+  memo.verdict = SatVerdict::kSat;
+  ASSERT_TRUE(writer
+                  .Append(store::RecordTag::kMemoEntry,
+                          store::EncodeMemoRecord(memo))
+                  .ok());
+  ASSERT_TRUE(writer.Commit().ok());
+
+  SatEngine engine;
+  SnapshotLoadResult loaded = engine.LoadSnapshot(path);
+  ASSERT_TRUE(loaded.status.ok());
+  EXPECT_EQ(loaded.dtds_loaded, 0u);
+  EXPECT_EQ(loaded.memos_loaded, 0u);
+  EXPECT_EQ(loaded.rejected_records, 2u);
+  EXPECT_EQ(engine.stats().store_records_rejected, 2u);
+  // No poisoning: the forged memo's verdict never surfaces.
+  DtdHandle handle = engine.RegisterDtd(dtd);
+  SatRequest r;
+  r.query = "**/item";
+  r.dtd = handle;
+  SatResponse resp = engine.Run(r);
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_FALSE(resp.memo_hit);
+  std::remove(path.c_str());
+}
+
+TEST(EngineSnapshotTest, UnknownRecordTagsAreSkippedAndCounted) {
+  const std::string path = TempPath("snap_engine_unknown.xpsnap");
+  store::SnapshotWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(
+      writer.Append(static_cast<store::RecordTag>(250), "future kind").ok());
+  ASSERT_TRUE(writer.Commit().ok());
+  SatEngine engine;
+  SnapshotLoadResult loaded = engine.LoadSnapshot(path);
+  ASSERT_TRUE(loaded.status.ok());
+  EXPECT_EQ(loaded.rejected_records, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EngineSnapshotTest, MemoDisabledEngineLoadsSchemasOnly) {
+  const std::string path = TempPath("snap_engine_nomemo.xpsnap");
+  Dtd dtd = MakeCatalogDtd();
+  {
+    SatEngine engine;
+    DtdHandle handle = engine.RegisterDtd(dtd);
+    SatRequest r;
+    r.query = "**/item";
+    r.dtd = handle;
+    ASSERT_TRUE(engine.Run(r).status.ok());
+    ASSERT_TRUE(engine.SaveSnapshot(path).status.ok());
+  }
+  SatEngineOptions opt;
+  opt.memo_capacity = 0;
+  SatEngine engine(opt);
+  SnapshotLoadResult loaded = engine.LoadSnapshot(path);
+  ASSERT_TRUE(loaded.status.ok());
+  EXPECT_EQ(loaded.dtds_loaded, 1u);
+  EXPECT_EQ(loaded.memos_loaded, 0u);
+  EXPECT_EQ(loaded.rejected_records, 0u);  // not a data problem
+  std::remove(path.c_str());
+}
+
+TEST(EngineSnapshotTest, SaveIntoUnwritableDirectoryFailsCleanly) {
+  SatEngine engine;
+  SnapshotSaveResult saved =
+      engine.SaveSnapshot("/nonexistent-dir/xpathsat.snap");
+  EXPECT_FALSE(saved.status.ok());
+  EXPECT_EQ(saved.dtds_saved, 0u);
+}
+
+}  // namespace
+}  // namespace xpathsat

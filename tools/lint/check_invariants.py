@@ -29,6 +29,11 @@ Rules (ids are stable; failures print one machine-readable line each):
   err-slug-doc    every `err CODE` slug emitted by src/server/ (EmitError,
                   FormatErr, and protocol.cc's Error helper) appears in the
                   README as `err CODE`.
+  store-version   the snapshot format constant kSnapshotFormatVersion in
+                  src/store/snapshot.h has a matching changelog row
+                  (`| v<N> |`) in the README "Persistence" section — a
+                  format bump without documented migration notes is how
+                  operators get surprised by `err store-version`.
   dup-helper      no two tools/*.cc files define a same-named free function
                   with an identical normalized body of >= 6 statements —
                   the copy-paste class that produced two byte-identical
@@ -49,7 +54,7 @@ import re
 import sys
 
 ALL_RULES = ("verb-doc", "mutex-guard", "banned-pattern", "err-slug-doc",
-             "dup-helper")
+             "store-version", "dup-helper")
 
 # ---------------------------------------------------------------------------
 # Helpers
@@ -256,6 +261,38 @@ def rule_err_slug_doc(root):
     return findings
 
 
+SNAPSHOT_VERSION = re.compile(
+    r"\bkSnapshotFormatVersion\s*=\s*(\d+)\s*;")
+
+
+def rule_store_version(root):
+    """The on-disk format version must have a README changelog row: bumping
+    kSnapshotFormatVersion invalidates every deployed snapshot (old readers
+    reject newer files), so the bump and its migration notes land together."""
+    snapshot_h = os.path.join(root, "src", "store", "snapshot.h")
+    if not os.path.isfile(snapshot_h):
+        return []  # no artifact store in this tree; nothing to tie together
+    m = SNAPSHOT_VERSION.search(strip_comments(read(snapshot_h)))
+    if not m:
+        return [(rel(root, snapshot_h),
+                 "kSnapshotFormatVersion not found "
+                 "(extraction pattern broke?)")]
+    version = int(m.group(1))
+    readme_path = os.path.join(root, "README.md")
+    if not os.path.isfile(readme_path):
+        return [("README.md", "missing (required by store-version rule)")]
+    row = re.compile(r"^\|\s*v" + str(version) + r"\s*\|", re.MULTILINE)
+    if not row.search(read(readme_path)):
+        return [("README.md",
+                 "snapshot format version %d (kSnapshotFormatVersion, "
+                 "src/store/snapshot.h) has no changelog row in the README "
+                 "Persistence section — add a '| v%d | ... |' row describing "
+                 "the format (and what invalidated older snapshots) in the "
+                 "same change that bumps the constant"
+                 % (version, version))]
+    return []
+
+
 # A free-function definition head: return type + name + params + '{'.
 # Intentionally naive (no templates/attributes) — tools/ code is plain.
 FUNC_HEAD = re.compile(
@@ -312,6 +349,7 @@ RULES = {
     "mutex-guard": rule_mutex_guard,
     "banned-pattern": rule_banned_pattern,
     "err-slug-doc": rule_err_slug_doc,
+    "store-version": rule_store_version,
     "dup-helper": rule_dup_helper,
 }
 

@@ -23,11 +23,20 @@
 //   --auth-secret S      require `auth S` before any verb except `health`
 //   --metrics-dump-ms M  dump the merged metrics JSON (the `metrics` verb's
 //                        object) to stderr every M ms, one line per dump
+//   --warm-from PATH     before listening, warm the engine caches from the
+//                        compiled-artifact snapshot at PATH (src/store/).
+//                        A missing, corrupt, or version-incompatible
+//                        snapshot logs a warning and starts cold — warm
+//                        restart is an optimization, never a dependency
+//   --save-on-exit PATH  on shutdown, after connections drain, write a
+//                        snapshot to PATH (atomically; pair with
+//                        --warm-from PATH for warm restarts)
 //
 // On startup one `listening ...` line per listener is printed to stdout (the
 // TCP line carries the actually-bound port), then the server runs until
-// SIGINT/SIGTERM, at which point connections are drained, a final
-// `stats {...}` JSON line is printed, and it exits 0.
+// SIGINT/SIGTERM, at which point connections are drained, the --save-on-exit
+// snapshot (if any) is written, a final `stats {...}` JSON line is printed,
+// and it exits 0.
 //
 // Drive it with `xpathsat_cli --connect unix:PATH` / `--connect HOST:PORT`,
 // or anything that speaks lines (nc works; see the README protocol spec).
@@ -54,7 +63,8 @@ void Usage(const char* argv0) {
                "usage: %s (--unix PATH | --tcp PORT) [--host ADDR]\n"
                "          [--threads N] [--deadline-ms M] [--no-memo]\n"
                "          [--max-conns N] [--idle-timeout-ms M]\n"
-               "          [--auth-secret S] [--metrics-dump-ms M]\n",
+               "          [--auth-secret S] [--metrics-dump-ms M]\n"
+               "          [--warm-from PATH] [--save-on-exit PATH]\n",
                argv0);
 }
 
@@ -75,6 +85,8 @@ int main(int argc, char** argv) {
   server::SocketServerOptions server_opt;
   SatEngineOptions engine_opt;
   long long metrics_dump_ms = 0;
+  std::string warm_from;
+  std::string save_on_exit;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&](const char* what) -> const char* {
@@ -115,6 +127,10 @@ int main(int argc, char** argv) {
       metrics_dump_ms =
           ParseIntFlag(argv[0], "--metrics-dump-ms", next("--metrics-dump-ms"),
                        1, 1000LL * 1000 * 1000);
+    } else if (arg == "--warm-from") {
+      warm_from = next("--warm-from");
+    } else if (arg == "--save-on-exit") {
+      save_on_exit = next("--save-on-exit");
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -138,6 +154,24 @@ int main(int argc, char** argv) {
   pthread_sigmask(SIG_BLOCK, &mask, nullptr);
 
   SatEngine engine(engine_opt);
+  // Warm restart: load before Start() so the very first connection already
+  // sees warm caches. Failure of any kind degrades to a cold start — the
+  // snapshot is an optimization, never a dependency.
+  if (!warm_from.empty()) {
+    SnapshotLoadResult loaded = engine.LoadSnapshot(warm_from);
+    if (!loaded.status.ok()) {
+      std::fprintf(stderr, "--warm-from %s: %s (starting cold)\n",
+                   warm_from.c_str(), loaded.status.message().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "warmed from %s: dtds=%llu memos=%llu skipped=%llu\n",
+                   warm_from.c_str(),
+                   static_cast<unsigned long long>(loaded.dtds_loaded),
+                   static_cast<unsigned long long>(loaded.memos_loaded),
+                   static_cast<unsigned long long>(loaded.corrupt_records +
+                                                   loaded.rejected_records));
+    }
+  }
   server::SocketServer server(&engine, server_opt);
   Status started = server.Start();
   if (!started.ok()) {
@@ -191,7 +225,23 @@ int main(int argc, char** argv) {
     dump_cv.NotifyAll();
     dump_thread.join();
   }
+  // Stop() returns only after a COMPLETE stop, even when it races another
+  // stop path (the reactor's poller-failure self-stop, a second signal):
+  // the shutdown actions below — snapshot save, stats dump — run strictly
+  // after every connection has drained.
   server.Stop();
+  if (!save_on_exit.empty()) {
+    SnapshotSaveResult saved = engine.SaveSnapshot(save_on_exit);
+    if (!saved.status.ok()) {
+      std::fprintf(stderr, "--save-on-exit %s: %s\n", save_on_exit.c_str(),
+                   saved.status.message().c_str());
+    } else {
+      std::fprintf(stderr, "saved snapshot %s: dtds=%llu memos=%llu\n",
+                   save_on_exit.c_str(),
+                   static_cast<unsigned long long>(saved.dtds_saved),
+                   static_cast<unsigned long long>(saved.memos_saved));
+    }
+  }
   std::printf("%s\n",
               protocol::FormatStatsLine(engine.stats(),
                                         engine.live_dtd_handles())
