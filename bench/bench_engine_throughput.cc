@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/client/client.h"
 #include "src/engine/sat_engine.h"
 #include "src/obs/metrics.h"
 #include "src/sat/satisfiability.h"
@@ -148,6 +149,16 @@ uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           Clock::now().time_since_epoch())
           .count());
+}
+
+// The verdict token a wire result line carries for an engine verdict.
+const char* VerdictName(SatVerdict v) {
+  switch (v) {
+    case SatVerdict::kSat: return "sat";
+    case SatVerdict::kUnsat: return "unsat";
+    case SatVerdict::kUnknown: return "unknown";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -501,15 +512,6 @@ int main(int argc, char** argv) {
     server.Stop();
 
     // Verdict parity over the wire, by ticket id.
-    const char* names[] = {"?", "sat", "unsat", "unknown"};
-    auto verdict_name = [&](SatVerdict v) {
-      switch (v) {
-        case SatVerdict::kSat: return names[1];
-        case SatVerdict::kUnsat: return names[2];
-        case SatVerdict::kUnknown: return names[3];
-      }
-      return names[0];
-    };
     size_t timed_results = 0;
     obs::Histogram roundtrip_latency;
     for (const auto& received : drain.results) {
@@ -517,7 +519,7 @@ int main(int argc, char** argv) {
                  "wire ticket id range");
       if (received.id <= static_cast<uint64_t>(kRequests)) continue;  // warm
       size_t index = static_cast<size_t>(received.id) - kRequests - 1;
-      BenchCheck(received.verdict == verdict_name(expected[index]),
+      BenchCheck(received.verdict == VerdictName(expected[index]),
                  "wire vs facade disagree on " + sequence[index]);
       // Pipelined round trip: send-to-result, including the queueing behind
       // the rest of the in-flight stream (this is service latency under
@@ -537,6 +539,188 @@ int main(int argc, char** argv) {
                "x");
     AddLatencyPercentiles(&report, "server_unix_roundtrip_latency",
                           roundtrip_latency.TakeSnapshot());
+  }
+
+  // Multi-client batched wire traffic: the negotiated framing end to end.
+  // Four client::Client connections ask for `hello batch binary`, split the
+  // fixed sequence, and drive it as `batch N` units of 1, 16, and 256
+  // members — each unit one length-prefixed write, one ack, callbacks by
+  // ticket id. Same warm-artifact/memo-off engine work as the
+  // Submit-pipelined phase, but with the engine pool sized to the host, so
+  // the figure answers the ROADMAP question directly: once framing is
+  // amortized, the wire stops being the bottleneck and batched socket
+  // traffic beats the 1-thread in-process Submit ceiling. Every member
+  // verdict is still cross-checked against the facade by ticket id.
+  {
+    const int kClients = 4;
+    const int kPerClient = kRequests / kClients;
+    int cores = static_cast<int>(std::thread::hardware_concurrency());
+    if (cores < 2) cores = 2;
+    SatEngineOptions opt;
+    opt.num_threads = cores > 4 ? 4 : cores;
+    opt.memo_capacity = 0;
+    SatEngine engine(opt);
+    // Warm the compiled-DTD/query/rewrite caches in-process so every wire
+    // round measures steady-state decide work, like the phases above.
+    check_round(engine.RunBatch(make_workload(engine.RegisterDtd(dtd))),
+                "wire-batch warm");
+
+    server::SocketServerOptions server_opt;
+    server_opt.unix_path = "bench_engine_wire.sock";
+    server::SocketServer server(&engine, server_opt);
+    Status started = server.Start();
+    BenchCheck(started.ok(), "wire-batch server starts: " + started.message());
+    const char* dtd_path = "bench_engine_catalog.dtd";
+    {
+      std::ofstream out(dtd_path);
+      out << kCatalogDtdText;
+      BenchCheck(out.good(), "catalog DTD file written");
+    }
+
+    std::vector<std::unique_ptr<client::Client>> clients;
+    for (int c = 0; c < kClients; ++c) {
+      client::ClientOptions copt;
+      copt.target = "unix:" + server_opt.unix_path;
+      copt.negotiate_batch = true;
+      copt.negotiate_binary = true;
+      Result<std::unique_ptr<client::Client>> conn =
+          client::Client::Connect(copt);
+      BenchCheck(conn.ok(), "wire client connects: " + conn.error());
+      BenchCheck(conn.value()->batch_granted() &&
+                     conn.value()->binary_granted(),
+                 "server grants batch + binary framing");
+      Result<std::string> ack =
+          conn.value()->Call(std::string("dtd cat ") + dtd_path);
+      BenchCheck(ack.ok() && ack.value().rfind("ok dtd", 0) == 0,
+                 "wire client registers the schema");
+      clients.push_back(std::move(conn).value());
+    }
+
+    // One timed round at a given batch size: all four clients submit their
+    // slice as batch units without waiting on the done barriers, so the
+    // whole stream stays pipelined; the round ends when the last member's
+    // result callback fires. SubmitBatch blocks for its ack, so each client
+    // keeps two driver threads pulling chunks off a shared cursor — two ack
+    // waits in flight per connection, which is what keeps the smallest
+    // batch size from degenerating into lockstep ping-pong.
+    auto wire_round = [&](size_t batch_size) {
+      struct ClientRound {
+        std::mutex mu;
+        // (slice offset of member 0, handle) per submitted batch.
+        std::vector<std::pair<size_t, client::Client::BatchHandle>> handles;
+        std::map<uint64_t, std::string> verdicts;
+        std::atomic<size_t> cursor{0};
+      };
+      std::vector<ClientRound> rounds(kClients);
+      std::atomic<int> remaining{kRequests};
+      std::atomic<int> bad{0};
+      std::mutex done_mu;
+      std::condition_variable done_cv;
+
+      const int kDriversPerClient = 2;
+      Clock::time_point start = Clock::now();
+      std::vector<std::thread> drivers;
+      drivers.reserve(kClients * kDriversPerClient);
+      for (int c = 0; c < kClients; ++c) {
+        ClientRound& mine = rounds[static_cast<size_t>(c)];
+        const size_t base = static_cast<size_t>(c) * kPerClient;
+        for (int d = 0; d < kDriversPerClient; ++d) {
+          drivers.emplace_back([&, c, base] {
+            ClientRound& round = rounds[static_cast<size_t>(c)];
+            auto per_item = [&round, &bad, &remaining, &done_mu, &done_cv](
+                                const Status& st,
+                                const client::QueryOutcome& outcome) {
+              if (!st.ok()) {
+                bad.fetch_add(1);
+              } else {
+                std::lock_guard<std::mutex> lock(round.mu);
+                round.verdicts[outcome.ticket_id] = outcome.verdict;
+              }
+              if (remaining.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(done_mu);
+                done_cv.notify_all();
+              }
+            };
+            for (;;) {
+              size_t off = round.cursor.fetch_add(batch_size);
+              if (off >= static_cast<size_t>(kPerClient)) break;
+              size_t n = batch_size;
+              if (off + n > static_cast<size_t>(kPerClient)) {
+                n = static_cast<size_t>(kPerClient) - off;
+              }
+              std::vector<std::string> chunk(
+                  sequence.begin() + static_cast<long>(base + off),
+                  sequence.begin() + static_cast<long>(base + off + n));
+              Result<client::Client::BatchHandle> h =
+                  clients[static_cast<size_t>(c)]->SubmitBatch("cat", chunk,
+                                                               per_item);
+              BenchCheck(h.ok(), "wire batch submits: " +
+                                     (h.ok() ? std::string() : h.error()));
+              std::lock_guard<std::mutex> lock(round.mu);
+              round.handles.emplace_back(off, std::move(h).value());
+            }
+          });
+        }
+        (void)mine;
+      }
+      for (std::thread& d : drivers) d.join();
+      {
+        std::unique_lock<std::mutex> lock(done_mu);
+        done_cv.wait(lock, [&] { return remaining.load() <= 0; });
+      }
+      double round_s = Seconds(start, Clock::now());
+      BenchCheck(bad.load() == 0, "every wire batch member completed ok");
+
+      // Parity: batch handles carry the ticket ids in member order and each
+      // handle remembers its slice offset, so id -> submission index is
+      // exact per client.
+      for (int c = 0; c < kClients; ++c) {
+        ClientRound& mine = rounds[static_cast<size_t>(c)];
+        const size_t base = static_cast<size_t>(c) * kPerClient;
+        size_t members = 0;
+        for (const auto& entry : mine.handles) {
+          const client::Client::BatchHandle& h = entry.second;
+          BenchCheck(h.seq > 0, "batch framing was actually negotiated");
+          size_t index = base + entry.first;
+          for (uint64_t id : h.ids) {
+            auto it = mine.verdicts.find(id);
+            BenchCheck(it != mine.verdicts.end(),
+                       "a result line arrived for every batch member");
+            BenchCheck(it->second == VerdictName(expected[index]),
+                       "wire batch vs facade disagree on " + sequence[index]);
+            ++index;
+            ++members;
+          }
+        }
+        BenchCheck(members == static_cast<size_t>(kPerClient),
+                   "every member of every batch was acked");
+      }
+      return kRequests / round_s;
+    };
+
+    const size_t kBatchSizes[] = {1, 16, 256};
+    double submit_1thread =
+        report.Get("engine_submit_pipelined_1thread_requests_per_s");
+    double best_fraction = 0;
+    for (size_t batch_size : kBatchSizes) {
+      double best = 0;
+      for (int round = 0; round < 2; ++round) {
+        best = std::max(best, wire_round(batch_size));
+      }
+      char name[64];
+      std::snprintf(name, sizeof(name),
+                    "server_wire_batch%zu_requests_per_s", batch_size);
+      report.Add(name, best, "req/s");
+      std::snprintf(name, sizeof(name),
+                    "server_wire_batch%zu_fraction_of_submit_pipelined",
+                    batch_size);
+      report.Add(name, best / submit_1thread, "x");
+      best_fraction = std::max(best_fraction, best / submit_1thread);
+    }
+    report.Add("server_wire_best_vs_submit_pipelined", best_fraction, "x");
+
+    clients.clear();  // destructors half-close and join before server teardown
+    server.Stop();
   }
 
   // Idle connections held while serving: the reactor's resource claim in
@@ -806,6 +990,20 @@ int main(int argc, char** argv) {
                "memo-warm engine >= 10x facade loop");
     BenchCheck(report.Get("warm_restart_first_verdict_vs_memo_hit") <= 2.0,
                "warm-restart first verdict within 2x of in-memory memo hit");
+    // The framing bar (ROADMAP's wire-bottleneck item): batched socket
+    // traffic holds per-request parity with the in-process Submit path at
+    // every batch size, and beats it outright at the best one.
+    for (size_t batch_size : {size_t{1}, size_t{16}, size_t{256}}) {
+      char name[64];
+      std::snprintf(name, sizeof(name),
+                    "server_wire_batch%zu_fraction_of_submit_pipelined",
+                    batch_size);
+      BenchCheck(report.Get(name) >= 0.95,
+                 "batched wire traffic >= 0.95x in-process Submit at every "
+                 "batch size");
+    }
+    BenchCheck(report.Get("server_wire_best_vs_submit_pipelined") > 1.0,
+               "batched wire traffic beats 1-thread in-process Submit");
   }
 
   report.WriteJson(json_path, "engine_throughput");

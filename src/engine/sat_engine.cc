@@ -277,6 +277,7 @@ SatEngine::SatEngine(const SatEngineOptions& options)
   // Resolve the per-phase histograms once; the request path then mutates
   // them lock-free through these pointers. (reaper_ only touches the route
   // counters, which are constructed before it starts.)
+  hist_wire_decode_ns_ = metrics_.histogram("request_wire_decode_ns");
   hist_queue_ns_ = metrics_.histogram("request_queue_ns");
   hist_parse_ns_ = metrics_.histogram("request_parse_ns");
   hist_rewrite_ns_ = metrics_.histogram("request_rewrite_ns");
@@ -413,10 +414,14 @@ void SatEngine::FinishTrace(SatResponse* resp, const SatRequest& request,
                             Clock::time_point end) {
   obs::RequestTrace& t = resp->trace;
   t.total_ns = ToNs(end - submitted);
+  // The wire-decode span is measured by the serving layer before Submit and
+  // rides in on the request; in-process callers leave it 0.
+  t.wire_decode_ns = request.wire_decode_ns;
   // Phase histograms are distributions over phases that actually ran:
   // queue wait and the total span exist for every executed request, but a
   // zero parse/rewrite/decide span means the phase was skipped (cache hit,
   // memo hit) and is not recorded.
+  if (t.wire_decode_ns != 0) hist_wire_decode_ns_->Record(t.wire_decode_ns);
   hist_queue_ns_->Record(t.queue_ns);
   if (t.parse_ns != 0) hist_parse_ns_->Record(t.parse_ns);
   if (t.rewrite_ns != 0) hist_rewrite_ns_->Record(t.rewrite_ns);

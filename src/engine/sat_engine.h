@@ -163,6 +163,11 @@ struct SatRequest {
   /// — it does not wait for a worker. A request that starts in time runs to
   /// completion. 0 disables the cap.
   int64_t deadline_ms = 0;
+  /// Transport framing decode cost for this request (nanoseconds), stamped
+  /// by the serving layer before Submit. Copied into the response's
+  /// RequestTrace so wire overhead shows up next to the engine spans; 0 for
+  /// in-process callers.
+  uint64_t wire_decode_ns = 0;
 };
 
 /// One response.
@@ -531,6 +536,7 @@ class SatEngine {
   obs::MetricsRegistry metrics_;
   obs::RouteCounters route_counters_;
   obs::SlowQueryLog slow_log_;
+  obs::Histogram* hist_wire_decode_ns_ = nullptr;
   obs::Histogram* hist_queue_ns_ = nullptr;
   obs::Histogram* hist_parse_ns_ = nullptr;
   obs::Histogram* hist_rewrite_ns_ = nullptr;

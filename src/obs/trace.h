@@ -26,6 +26,7 @@ namespace obs {
 /// compilation happens at RegisterDtd time (pinned artifacts), so
 /// compile_ns is nonzero only for requests that compiled inline.
 struct RequestTrace {
+  uint64_t wire_decode_ns = 0;  ///< transport framing decode (0 off the wire)
   uint64_t queue_ns = 0;    ///< Submit() to worker pickup
   uint64_t parse_ns = 0;    ///< parse + canonicalize + feature detection (0 on query-cache hit)
   uint64_t compile_ns = 0;  ///< DTD artifact compilation on the request path

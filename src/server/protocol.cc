@@ -49,8 +49,10 @@ const char* VerbName(Verb verb) {
   switch (verb) {
     case Verb::kAuth: return "auth";
     case Verb::kHealth: return "health";
+    case Verb::kHello: return "hello";
     case Verb::kDtd: return "dtd";
     case Verb::kQuery: return "query";
+    case Verb::kBatch: return "batch";
     case Verb::kDrop: return "drop";
     case Verb::kCancel: return "cancel";
     case Verb::kFlush: return "flush";
@@ -109,6 +111,26 @@ ParseResult ParseCommandLine(const std::string& line) {
     if (!TrimmedRemainder(rest).empty()) {
       return BadArgs(Verb::kHealth, "health");
     }
+  } else if (verb_text == "hello") {
+    cmd.verb = Verb::kHello;
+    // Zero or more feature tokens, each `batch` or `binary`, no repeats.
+    // The canonical form preserves request order (`hello binary batch`
+    // round-trips as-is).
+    bool saw_batch = false;
+    bool saw_binary = false;
+    for (;;) {
+      std::string token = TakeToken(&rest);
+      if (token.empty()) break;
+      bool duplicate = (token == "batch" && saw_batch) ||
+                       (token == "binary" && saw_binary);
+      if ((token != "batch" && token != "binary") || duplicate) {
+        return BadArgs(Verb::kHello, "hello [batch] [binary]");
+      }
+      if (token == "batch") saw_batch = true;
+      if (token == "binary") saw_binary = true;
+      if (!cmd.arg.empty()) cmd.arg += ' ';
+      cmd.arg += token;
+    }
   } else if (verb_text == "dtd") {
     cmd.verb = Verb::kDtd;
     cmd.name = TakeToken(&rest);
@@ -144,6 +166,26 @@ ParseResult ParseCommandLine(const std::string& line) {
                                    "' is not a positive ticket id");
     }
     cmd.ticket_id = id;
+  } else if (verb_text == "batch") {
+    cmd.verb = Verb::kBatch;
+    std::string count_text = TakeToken(&rest);
+    if (count_text.empty() || !TrimmedRemainder(rest).empty()) {
+      return BadArgs(Verb::kBatch, "batch N");
+    }
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long count = std::strtoull(count_text.c_str(), &end, 10);
+    if (errno != 0 || end == count_text.c_str() || *end != '\0' ||
+        count_text[0] == '-' || count_text[0] == '+' || count == 0) {
+      return Error("bad-args", "batch: '" + count_text +
+                                   "' is not a positive request count");
+    }
+    if (count > kMaxBatchRequests) {
+      return Error("bad-args",
+                   "batch: " + count_text + " requests (max " +
+                       std::to_string(kMaxBatchRequests) + ")");
+    }
+    cmd.batch_count = count;
   } else if (verb_text == "metrics") {
     cmd.verb = Verb::kMetrics;
     // Bare `metrics` answers one JSON line; the only recognised mode
@@ -182,10 +224,14 @@ std::string FormatCommand(const Command& command) {
       return "auth " + command.arg;
     case Verb::kHealth:
       return "health";
+    case Verb::kHello:
+      return command.arg.empty() ? "hello" : "hello " + command.arg;
     case Verb::kDtd:
       return "dtd " + command.name + " " + command.arg;
     case Verb::kQuery:
       return "query " + command.name + " " + command.arg;
+    case Verb::kBatch:
+      return "batch " + std::to_string(command.batch_count);
     case Verb::kDrop:
       return "drop " + command.name;
     case Verb::kCancel:
@@ -221,6 +267,36 @@ std::string FormatDtdAck(const std::string& name, uint64_t fingerprint) {
 
 std::string FormatQueryAck(uint64_t ticket_id) {
   return "ok query " + std::to_string(ticket_id);
+}
+
+std::string FormatHelloAck(const std::string& granted) {
+  return granted.empty() ? "ok hello" : "ok hello " + granted;
+}
+
+std::string FormatBatchAck(uint64_t seq, const std::vector<uint64_t>& ids) {
+  std::string line = "ok batch " + std::to_string(seq) + " ids";
+  for (uint64_t id : ids) {
+    line += ' ';
+    line += std::to_string(id);
+  }
+  return line;
+}
+
+std::string FormatBatchDone(uint64_t seq) {
+  return "ok batch " + std::to_string(seq) + " done";
+}
+
+std::string EncodeFrame(const std::string& payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 5);
+  frame.push_back('\0');
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xff));
+  frame.push_back(static_cast<char>((n >> 16) & 0xff));
+  frame.push_back(static_cast<char>((n >> 8) & 0xff));
+  frame.push_back(static_cast<char>(n & 0xff));
+  frame += payload;
+  return frame;
 }
 
 std::string FormatResultLine(uint64_t ticket_id, const std::string& query,

@@ -8,9 +8,22 @@
 //   auth SECRET         authenticate (required first, when the server was
 //                       started with a shared secret)
 //   health              liveness/metrics probe as one JSON line — the one
-//                       verb allowed WITHOUT auth (load balancers probe it)
+//                       verb allowed WITHOUT auth (load balancers probe it).
+//                       Pre-auth, when a secret is configured, the payload is
+//                       redacted to {"status", "uptime_ms"}; the full merged
+//                       stats object needs auth (or no secret configured)
+//   hello [FEATURE...]  negotiate optional wire features; FEATURE is `batch`
+//                       and/or `binary`. The reply names what was granted
 //   dtd NAME PATH       register the DTD file at PATH under NAME
 //   query NAME XPATH    submit XPATH against NAME (alias: q)
+//   batch N             (needs `hello batch`) the next N lines are query/q
+//                       requests submitted as one unit: nothing dispatches
+//                       until all N arrived and validated, then one ack
+//                       carries every ticket id and one barrier line follows
+//                       the last result. A non-query member, a malformed
+//                       member, or EOF before line N discards the whole
+//                       batch with `err batch-mismatch` — never a partial
+//                       dispatch
 //   drop NAME           release NAME's handle
 //   cancel ID           cancel the still-queued ticket ID
 //   flush               block until every pending result line is emitted
@@ -28,6 +41,16 @@
 //   ok dtd NAME fp=FP          ok query ID        ok drop NAME
 //   ok cancel ID               ok flush           ok quit
 //   ok auth                    auth accepted
+//   ok hello [FEATURE...]      negotiation reply listing exactly the granted
+//                              features (`binary` is granted only on
+//                              transports that can carry frames — the socket
+//                              server, not --serve's stdin)
+//   ok batch SEQ ids ID...     batch accepted: all N members submitted; the
+//                              N ticket ids, in member order. SEQ is a
+//                              per-session batch number
+//   ok batch SEQ done          barrier: every member's result line has been
+//                              emitted (arrives after the last result, out
+//                              of FIFO reply order)
 //   ID [verdict] XPATH -- ...  completion line for ticket ID (may arrive
 //                              out of submission order; [verdict] is one of
 //                              sat/unsat/unknown/error)
@@ -49,7 +72,15 @@
 //                              unknown-dtd, unknown-ticket, not-cancellable,
 //                              dtd-parse, io, auth-required, bad-auth,
 //                              busy, throttled, idle-timeout,
-//                              store-corrupt, store-version)
+//                              store-corrupt, store-version,
+//                              batch-mismatch, bad-frame)
+//
+// Binary framing (negotiated with `hello binary`): a request may arrive as a
+// length-prefixed frame [0x00][u32 length, big-endian][payload] instead of a
+// newline-terminated line; the payload is one request line without its
+// newline. Replies are always text lines. A frame before negotiation, a
+// declared length over kMaxLineBytes, or a frame truncated by EOF answers
+// `err bad-frame` and closes the connection (a binary stream cannot resync).
 //
 // Malformed input (unknown verb, missing argument, oversized line) always
 // answers with an `err` line and keeps the session alive — nothing is
@@ -59,6 +90,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/engine/sat_engine.h"
 
@@ -70,11 +102,18 @@ namespace protocol {
 /// bound.
 constexpr size_t kMaxLineBytes = 64 * 1024;
 
+/// Hard cap on `batch N`. Bounds collect-state memory per session and keeps
+/// the worst-case `ok batch SEQ ids ...` ack line (20 digits + space per id)
+/// comfortably under kMaxLineBytes.
+constexpr uint64_t kMaxBatchRequests = 1024;
+
 enum class Verb {
   kAuth,
   kHealth,
+  kHello,
   kDtd,
   kQuery,
+  kBatch,
   kDrop,
   kCancel,
   kFlush,
@@ -92,8 +131,11 @@ struct Command {
   std::string name;        // dtd/query/drop: the schema name
   std::string arg;         // dtd: the path; query: the XPath text;
                            // auth: the secret; metrics: "" or "prom";
-                           // save/load: the snapshot path
+                           // save/load: the snapshot path; hello: the
+                           // requested features, space-joined ("", "batch",
+                           // "binary", "batch binary", "binary batch")
   uint64_t ticket_id = 0;  // cancel
+  uint64_t batch_count = 0;  // batch: N, in [1, kMaxBatchRequests]
 };
 
 enum class ParseStatus {
@@ -137,6 +179,22 @@ std::string FormatDtdAck(const std::string& name, uint64_t fingerprint);
 /// `ok query ID` — submission ack carrying the engine ticket id, which is
 /// the id a later `cancel` addresses and the tag on the result line.
 std::string FormatQueryAck(uint64_t ticket_id);
+
+/// `ok hello` / `ok hello batch binary` — exactly the granted features, in
+/// the order they were requested.
+std::string FormatHelloAck(const std::string& granted);
+
+/// `ok batch SEQ ids ID...` — every member's engine ticket id, member order.
+std::string FormatBatchAck(uint64_t seq, const std::vector<uint64_t>& ids);
+
+/// `ok batch SEQ done` — the post-last-result barrier line.
+std::string FormatBatchDone(uint64_t seq);
+
+/// Wraps one request line into a binary frame:
+/// [0x00][u32 length, big-endian][payload]. The shared encoder for clients;
+/// the decoder lives in net::LineDecoder. `payload` must not exceed
+/// kMaxLineBytes (enforced by the caller; the server answers bad-frame).
+std::string EncodeFrame(const std::string& payload);
 
 /// `ID [verdict] XPATH -- algorithm elapsed-us [q-cached] [memo]`, or
 /// `ID [error  ] XPATH -- message` when the response failed.

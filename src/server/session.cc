@@ -38,6 +38,11 @@ struct ServerSession::Shared {
   // Engine ticket id -> ticket, while the result line is still owed. This
   // is the cancellation surface: `cancel ID` resolves against this table.
   std::map<uint64_t, SatTicket> inflight GUARDED_BY(mu);
+  // Batch seq -> member results still owed. The callback that decrements a
+  // count to zero emits the `ok batch SEQ done` barrier — before erasing
+  // its own inflight entry, so Drain() cannot return with a done line still
+  // unsent.
+  std::map<uint64_t, uint64_t> batch_outstanding GUARDED_BY(mu);
 };
 
 ServerSession::ServerSession(SatEngine* engine, SessionOptions options,
@@ -62,8 +67,28 @@ void ServerSession::Drain() {
 }
 
 bool ServerSession::HandleLine(const std::string& line) {
+  return HandleWire(line, /*binary_frame=*/false, /*decode_ns=*/0);
+}
+
+bool ServerSession::HandleWire(const std::string& payload, bool binary_frame,
+                               uint64_t decode_ns) {
   if (closed_) return false;
-  protocol::ParseResult parsed = protocol::ParseCommandLine(line);
+  if (binary_frame && !binary_granted_) {
+    // A frame before (or without) `hello binary` is a framing violation;
+    // close rather than guess where the peer's stream state is.
+    EmitError("bad-frame",
+              "binary framing not negotiated; send `hello binary` first");
+    closed_ = true;
+    return false;
+  }
+  current_decode_ns_ = decode_ns;
+  protocol::ParseResult parsed = protocol::ParseCommandLine(payload);
+  if (batch_ != nullptr) {
+    // Mid-batch, every payload is a member (validated, buffered, never
+    // dispatched yet) until all `expected` have been consumed.
+    CollectBatchMember(parsed, decode_ns);
+    return !closed_;
+  }
   switch (parsed.status) {
     case protocol::ParseStatus::kEmpty:
       return true;
@@ -78,6 +103,141 @@ bool ServerSession::HandleLine(const std::string& line) {
       return !closed_;
   }
   return true;
+}
+
+void ServerSession::OnInputClosed() {
+  if (batch_ == nullptr) return;
+  EmitError("batch-mismatch",
+            "batch " + std::to_string(batch_->seq) + ": input ended after " +
+                std::to_string(batch_->received) + " of " +
+                std::to_string(batch_->expected) +
+                " members; nothing was submitted");
+  batch_.reset();
+}
+
+void ServerSession::CollectBatchMember(const protocol::ParseResult& parsed,
+                                       uint64_t decode_ns) {
+  using protocol::ParseStatus;
+  using protocol::Verb;
+  switch (parsed.status) {
+    case ParseStatus::kEmpty:
+      // Blank lines and comments are "nothing" everywhere in the protocol;
+      // they do not count toward N inside a batch either.
+      return;
+    case ParseStatus::kError:
+      if (!batch_->poisoned) {
+        batch_->poisoned = true;
+        batch_->error = "member " + std::to_string(batch_->received + 1) +
+                        " is malformed (" + parsed.error_line + ")";
+      }
+      break;
+    case ParseStatus::kCommand:
+      if (parsed.command.verb != Verb::kQuery) {
+        if (!batch_->poisoned) {
+          batch_->poisoned = true;
+          batch_->error = "member " + std::to_string(batch_->received + 1) +
+                          " is '" + protocol::VerbName(parsed.command.verb) +
+                          "'; only query/q may appear in a batch";
+        }
+      } else if (!batch_->poisoned) {
+        batch_->members.push_back(parsed.command);
+        batch_->member_decode_ns.push_back(decode_ns);
+      }
+      break;
+  }
+  ++batch_->received;
+  if (batch_->received == batch_->expected) DispatchBatch();
+}
+
+void ServerSession::DispatchBatch() {
+  std::unique_ptr<PendingBatch> batch = std::move(batch_);
+  const std::string seq_text = std::to_string(batch->seq);
+  if (!batch->poisoned) {
+    // Validate every member's schema before submitting ANY member: a batch
+    // either dispatches whole or not at all.
+    for (size_t i = 0; i < batch->members.size(); ++i) {
+      if (schemas_.find(batch->members[i].name) == schemas_.end()) {
+        batch->poisoned = true;
+        batch->error = "member " + std::to_string(i + 1) +
+                       ": unknown dtd '" + batch->members[i].name + "'";
+        break;
+      }
+    }
+  }
+  if (batch->poisoned) {
+    EmitError("batch-mismatch", "batch " + seq_text + ": " + batch->error +
+                                    "; batch discarded, nothing was "
+                                    "submitted");
+    return;
+  }
+  const size_t n = batch->members.size();
+  {
+    // One cap-wait up front for the whole batch (kBatch rejected any N over
+    // the cap). Waiting here is safe: earlier submissions' completion
+    // callbacks are already attached and will free slots. Between the wait
+    // and the last Submit there is no further blocking, so the
+    // attach-callbacks-after-ack step below cannot deadlock.
+    const size_t cap = options_.max_inflight < 1 ? 1 : options_.max_inflight;
+    util::MutexLock lock(shared_->mu);
+    while (shared_->inflight.size() + n > cap) {
+      shared_->cv.Wait(shared_->mu);
+    }
+  }
+  std::vector<SatTicket> tickets;
+  std::vector<uint64_t> ids;
+  tickets.reserve(n);
+  ids.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const protocol::Command& member = batch->members[i];
+    SatRequest request;
+    request.query = member.arg;
+    request.dtd = schemas_.find(member.name)->second;
+    request.deadline_ms = options_.deadline_ms;
+    request.options.compute_witness = options_.compute_witness;
+    request.wire_decode_ns = batch->member_decode_ns[i];
+    tickets.push_back(engine_->Submit(std::move(request)));
+    ids.push_back(tickets.back().id());
+    ++queries_submitted_;
+  }
+  {
+    util::MutexLock lock(shared_->mu);
+    for (size_t i = 0; i < n; ++i) {
+      shared_->inflight.emplace(ids[i], tickets[i]);
+    }
+    shared_->batch_outstanding.emplace(batch->seq, n);
+  }
+  // Ack (with every id) strictly before any result line: callbacks are
+  // attached only after the ack is out. A ticket that already completed
+  // runs its callback inline right here — still after the ack.
+  shared_->sink(protocol::FormatBatchAck(batch->seq, ids));
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t id = ids[i];
+    tickets[i].OnComplete([shared = shared_, id, seq = batch->seq,
+                           query = batch->members[i].arg](
+                              const SatResponse& response) {
+      shared->sink(protocol::FormatResultLine(id, query, response));
+      bool batch_done = false;
+      {
+        util::MutexLock lock(shared->mu);
+        auto it = shared->batch_outstanding.find(seq);
+        if (it != shared->batch_outstanding.end() && --it->second == 0) {
+          shared->batch_outstanding.erase(it);
+          batch_done = true;
+        }
+      }
+      // The done barrier goes out before this (final) member's inflight
+      // erase: every member that decremented earlier already emitted its
+      // result line, and Drain() keeps the session alive until the erase
+      // below — so `ok batch SEQ done` always follows the last result and
+      // always precedes teardown.
+      if (batch_done) shared->sink(protocol::FormatBatchDone(seq));
+      {
+        util::MutexLock lock(shared->mu);
+        shared->inflight.erase(id);
+      }
+      shared->cv.NotifyAll();
+    });
+  }
 }
 
 void ServerSession::HandleCommand(const protocol::Command& command) {
@@ -109,7 +269,15 @@ void ServerSession::HandleCommand(const protocol::Command& command) {
       return;
     case Verb::kHealth:
       // Deliberately unauthenticated: load balancers and liveness probes
-      // hit this without the secret.
+      // hit this without the secret. But pre-auth, when a secret is
+      // configured, the payload is a minimal liveness object — the full
+      // merged stats would hand cache/memo/store counters to any
+      // unauthenticated peer.
+      if (!authed_ && !options_.auth_secret.empty()) {
+        shared_->sink("health {\"status\": \"ok\", \"uptime_ms\": " +
+                      std::to_string(engine_->uptime_ms()) + "}");
+        return;
+      }
       shared_->sink("health " +
                     (options_.health_json
                          ? options_.health_json()
@@ -117,6 +285,53 @@ void ServerSession::HandleCommand(const protocol::Command& command) {
                                engine_->stats(),
                                engine_->live_dtd_handles())));
       return;
+    case Verb::kHello: {
+      // Grant exactly what this transport supports, echoing in request
+      // order; a feature missing from the reply was declined. Repeat hellos
+      // are fine (grants are sticky once given).
+      std::string granted;
+      std::string rest = command.arg;
+      size_t pos = 0;
+      while (pos < rest.size()) {
+        size_t space = rest.find(' ', pos);
+        if (space == std::string::npos) space = rest.size();
+        const std::string feature = rest.substr(pos, space - pos);
+        pos = space + 1;
+        if (feature == "batch") {
+          batch_granted_ = true;
+        } else if (feature == "binary") {
+          if (!options_.binary_frames_supported) continue;
+          binary_granted_ = true;
+        }
+        if (!granted.empty()) granted += ' ';
+        granted += feature;
+      }
+      shared_->sink(protocol::FormatHelloAck(granted));
+      return;
+    }
+    case Verb::kBatch: {
+      if (!batch_granted_) {
+        EmitError("batch-mismatch",
+                  "batch framing not negotiated; send `hello batch` first");
+        return;
+      }
+      const size_t cap = options_.max_inflight < 1 ? 1 : options_.max_inflight;
+      if (command.batch_count > cap) {
+        // A batch larger than the in-flight cap could never dispatch whole
+        // without blocking between submits; refuse it up front.
+        EmitError("batch-mismatch",
+                  "batch " + std::to_string(command.batch_count) +
+                      " exceeds this session's in-flight cap (" +
+                      std::to_string(cap) + ")");
+        return;
+      }
+      batch_.reset(new PendingBatch);
+      batch_->seq = next_batch_seq_++;
+      batch_->expected = command.batch_count;
+      // No ack yet: the ack carries the member ticket ids, so it can only
+      // go out after all members arrived, validated, and were submitted.
+      return;
+    }
     case Verb::kDtd: {
       std::ifstream in(command.arg);
       if (!in) {
@@ -161,6 +376,7 @@ void ServerSession::HandleCommand(const protocol::Command& command) {
       request.dtd = it->second;
       request.deadline_ms = options_.deadline_ms;
       request.options.compute_witness = options_.compute_witness;
+      request.wire_decode_ns = current_decode_ns_;
       SatTicket ticket = engine_->Submit(std::move(request));
       const uint64_t id = ticket.id();
       ++queries_submitted_;
@@ -238,11 +454,15 @@ void ServerSession::HandleCommand(const protocol::Command& command) {
             options_.metrics_prom
                 ? options_.metrics_prom()
                 : obs::RenderMetricsProm(EngineRenderInput(engine_));
+        // Every line is forwarded, including blank ones: the wire
+        // exposition must match the producer's rendering byte-for-byte
+        // (modulo line framing), or scrapers see different content through
+        // the socket than through --serve.
         size_t start = 0;
         while (start < text.size()) {
           size_t nl = text.find('\n', start);
           if (nl == std::string::npos) nl = text.size();
-          if (nl > start) shared_->sink(text.substr(start, nl - start));
+          shared_->sink(text.substr(start, nl - start));
           start = nl + 1;
         }
       } else {

@@ -243,6 +243,48 @@ Status WriteAll(int fd, const std::string& data) {
 
 LineDecoder::Event LineDecoder::Next(std::string* line) {
   for (;;) {
+    // Binary frames are detected at event boundaries only: a 0x00 marker at
+    // the front of the buffer (never mid-line, and never while discarding an
+    // oversized text line, where buffer_[0] is oversized-line tail).
+    if (allow_binary_ && !discarding_ && !buffer_.empty() &&
+        buffer_[0] == kFrameMarker) {
+      if (buffer_.size() >= kFrameHeaderBytes) {
+        const uint32_t declared =
+            (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[1]))
+             << 24) |
+            (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[2]))
+             << 16) |
+            (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[3]))
+             << 8) |
+            static_cast<uint32_t>(static_cast<unsigned char>(buffer_[4]));
+        if (declared > max_line_bytes_) {
+          *line = "frame declares " + std::to_string(declared) +
+                  " bytes (max " + std::to_string(max_line_bytes_) + ")";
+          buffer_.clear();
+          scanned_ = 0;
+          return Event::kBadFrame;
+        }
+        if (buffer_.size() >= kFrameHeaderBytes + declared) {
+          *line = buffer_.substr(kFrameHeaderBytes, declared);
+          buffer_.erase(0, kFrameHeaderBytes + declared);
+          scanned_ = 0;
+          return Event::kFrame;
+        }
+      }
+      if (eof_) {
+        *line = "frame truncated by EOF (" + std::to_string(buffer_.size()) +
+                " of " +
+                (buffer_.size() < kFrameHeaderBytes
+                     ? std::string("at least ") +
+                           std::to_string(kFrameHeaderBytes)
+                     : std::to_string(kFrameHeaderBytes) + "+payload") +
+                " bytes buffered)";
+        buffer_.clear();
+        scanned_ = 0;
+        return Event::kBadFrame;
+      }
+      return Event::kNone;  // partial header or payload: feed more bytes
+    }
     // Consume what the buffer already holds.
     size_t nl = buffer_.find('\n', scanned_);
     if (nl != std::string::npos) {
@@ -254,7 +296,11 @@ LineDecoder::Event LineDecoder::Next(std::string* line) {
         discarding_ = false;
         continue;
       }
-      if (nl > max_line_bytes_) {
+      // The '\r' of a CR-LF terminator is part of the terminator, not the
+      // line: discount it so CR-LF clients get the full content budget.
+      const size_t content =
+          nl - ((nl > 0 && buffer_[nl - 1] == '\r') ? 1 : 0);
+      if (content > max_line_bytes_) {
         // The whole oversized line arrived in one gulp (no incremental
         // overflow was ever seen): still report it, never return it.
         *line = buffer_.substr(0, 64);
@@ -262,8 +308,7 @@ LineDecoder::Event LineDecoder::Next(std::string* line) {
         scanned_ = 0;
         return Event::kOversized;
       }
-      *line = buffer_.substr(0, nl);
-      if (!line->empty() && line->back() == '\r') line->pop_back();
+      *line = buffer_.substr(0, content);
       buffer_.erase(0, nl + 1);
       scanned_ = 0;
       return Event::kLine;
@@ -272,9 +317,14 @@ LineDecoder::Event LineDecoder::Next(std::string* line) {
     if (discarding_) {
       buffer_.clear();  // still mid-oversized-line: drop and keep reading
       scanned_ = 0;
-    } else if (buffer_.size() > max_line_bytes_) {
-      // Report once with a short prefix for the error message, then swallow
-      // the rest of the line.
+    } else if (buffer_.size() -
+                   ((!buffer_.empty() && buffer_.back() == '\r') ? 1 : 0) >
+               max_line_bytes_) {
+      // Incremental overflow mid-line. A single trailing '\r' may be a
+      // CR-LF terminator whose '\n' has not arrived yet, so it does not
+      // count against the cap (a '\r' anywhere else is line content and
+      // does). Report once with a short prefix for the error message, then
+      // swallow the rest of the line.
       *line = buffer_.substr(0, 64);
       buffer_.clear();
       scanned_ = 0;
@@ -300,9 +350,13 @@ LineReader::Event LineReader::ReadLine(std::string* line, std::string* error) {
   for (;;) {
     switch (decoder_.Next(line)) {
       case LineDecoder::Event::kLine:
+      case LineDecoder::Event::kFrame:  // unreachable: binary stays off here
         return Event::kLine;
       case LineDecoder::Event::kOversized:
         return Event::kOversized;
+      case LineDecoder::Event::kBadFrame:  // unreachable: binary stays off
+        *error = *line;
+        return Event::kError;
       case LineDecoder::Event::kEof:
         return Event::kEof;
       case LineDecoder::Event::kNone:

@@ -1,0 +1,19 @@
+// The lagging client: kKnownVerbs is missing "hello" and kKnownErrSlugs is
+// missing "bad-frame", both of which the server half of this fixture
+// speaks.
+#include <cstddef>
+
+namespace client {
+
+const char* const kKnownVerbs[] = {
+    "query",
+};
+const size_t kKnownVerbCount = sizeof(kKnownVerbs) / sizeof(kKnownVerbs[0]);
+
+const char* const kKnownErrSlugs[] = {
+    "bad-args",
+};
+const size_t kKnownErrSlugCount =
+    sizeof(kKnownErrSlugs) / sizeof(kKnownErrSlugs[0]);
+
+}  // namespace client

@@ -1,0 +1,24 @@
+// Seeded violation: the server speaks "hello" (and emits the "bad-frame"
+// slug below), but this tree's src/client/ arrays list neither — the
+// client-sync rule must fire for both.
+#include <string>
+
+namespace protocol {
+
+enum class Verb { kQuery, kHello };
+
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kQuery: return "query";
+    case Verb::kHello: return "hello";
+  }
+  return "?";
+}
+
+std::string Error(const char* code, const std::string& detail) {
+  return std::string("err ") + code + " " + detail;
+}
+
+std::string Reject() { return Error("bad-frame", "boom"); }
+
+}  // namespace protocol

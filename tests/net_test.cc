@@ -203,6 +203,177 @@ TEST(LineDecoderTest, CrLfAndEmptyLines) {
   EXPECT_EQ(events[2].second, "two");
 }
 
+// Regression: the '\r' of a CR-LF terminator used to count against
+// max_line_bytes, giving CR-LF clients one byte less budget than LF clients.
+// The cap is on line *content*; the terminator — one byte or two — is free.
+TEST(LineDecoderTest, CrLfTerminatorDoesNotCountAgainstTheCap) {
+  const std::string exact(8, 'a');
+  const std::string over(9, 'b');
+  struct Case {
+    std::string input;
+    LineDecoder::Event want;
+    std::string want_line;  // checked for kLine only
+  };
+  const Case cases[] = {
+      {exact + "\n", LineDecoder::Event::kLine, exact},
+      {exact + "\r\n", LineDecoder::Event::kLine, exact},
+      {over + "\n", LineDecoder::Event::kOversized, ""},
+      {over + "\r\n", LineDecoder::Event::kOversized, ""},
+  };
+  for (const Case& c : cases) {
+    // All at once: the terminated-line limit check sees the whole line.
+    {
+      LineDecoder decoder(/*max_line_bytes=*/8);
+      decoder.Feed(c.input.data(), c.input.size());
+      auto events = DrainAll(&decoder);
+      ASSERT_EQ(events.size(), 1u) << c.input;
+      EXPECT_EQ(events[0].first, c.want) << c.input;
+      if (c.want == LineDecoder::Event::kLine) {
+        EXPECT_EQ(events[0].second, c.want_line);
+      }
+    }
+    // Byte by byte: the incremental limit check must not fire early on the
+    // pending '\r' either.
+    {
+      LineDecoder decoder(/*max_line_bytes=*/8);
+      std::vector<std::pair<LineDecoder::Event, std::string>> events;
+      for (char b : c.input) {
+        decoder.Feed(&b, 1);
+        auto drained = DrainAll(&decoder);
+        events.insert(events.end(), drained.begin(), drained.end());
+      }
+      ASSERT_EQ(events.size(), 1u) << c.input;
+      EXPECT_EQ(events[0].first, c.want) << c.input;
+      if (c.want == LineDecoder::Event::kLine) {
+        EXPECT_EQ(events[0].second, c.want_line);
+      }
+    }
+  }
+}
+
+TEST(LineDecoderTest, UnterminatedEofTailWithCrGetsTheFullCap) {
+  // exactly-max content + '\r' + EOF: the trailing '\r' is stripped like a
+  // terminator fragment, not charged as content.
+  {
+    LineDecoder decoder(/*max_line_bytes=*/8);
+    const std::string input = std::string(8, 'a') + "\r";
+    decoder.Feed(input.data(), input.size());
+    std::string out;
+    EXPECT_EQ(decoder.Next(&out), LineDecoder::Event::kNone);
+    decoder.SignalEof();
+    auto events = DrainAll(&decoder);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].first, LineDecoder::Event::kLine);
+    EXPECT_EQ(events[0].second, std::string(8, 'a'));
+    EXPECT_EQ(events[1].first, LineDecoder::Event::kEof);
+  }
+  // max+1 content + '\r' + EOF is still oversized.
+  {
+    LineDecoder decoder(/*max_line_bytes=*/8);
+    const std::string input = std::string(9, 'a') + "\r";
+    decoder.Feed(input.data(), input.size());
+    decoder.SignalEof();
+    auto events = DrainAll(&decoder);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].first, LineDecoder::Event::kOversized);
+    EXPECT_EQ(events[1].first, LineDecoder::Event::kEof);
+  }
+  // A '\r' that is NOT trailing is ordinary content and counts: 8 content
+  // bytes where one is '\r' mid-line stays a line; '\r' + 8 more is over.
+  {
+    LineDecoder decoder(/*max_line_bytes=*/8);
+    const std::string input = "abc\rdefg\n";  // 8 content bytes
+    decoder.Feed(input.data(), input.size());
+    auto events = DrainAll(&decoder);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].first, LineDecoder::Event::kLine);
+    EXPECT_EQ(events[0].second, "abc\rdefg");
+  }
+}
+
+// --- LineDecoder binary frames ----------------------------------------------
+
+std::string Frame(const std::string& payload) {
+  std::string frame(1, LineDecoder::kFrameMarker);
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xff));
+  frame.push_back(static_cast<char>((n >> 16) & 0xff));
+  frame.push_back(static_cast<char>((n >> 8) & 0xff));
+  frame.push_back(static_cast<char>(n & 0xff));
+  frame += payload;
+  return frame;
+}
+
+TEST(LineDecoderTest, BinaryFramesInterleaveWithTextLines) {
+  LineDecoder decoder(/*max_line_bytes=*/64);
+  decoder.set_allow_binary(true);
+  const std::string input =
+      "text one\n" + Frame("query d q1") + Frame("") + "text two\r\n";
+  // Byte-by-byte feed exercises partial headers and partial payloads.
+  std::vector<std::pair<LineDecoder::Event, std::string>> events;
+  for (char b : input) {
+    decoder.Feed(&b, 1);
+    auto drained = DrainAll(&decoder);
+    events.insert(events.end(), drained.begin(), drained.end());
+  }
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].first, LineDecoder::Event::kLine);
+  EXPECT_EQ(events[0].second, "text one");
+  EXPECT_EQ(events[1].first, LineDecoder::Event::kFrame);
+  EXPECT_EQ(events[1].second, "query d q1");
+  EXPECT_EQ(events[2].first, LineDecoder::Event::kFrame);
+  EXPECT_EQ(events[2].second, "");
+  EXPECT_EQ(events[3].first, LineDecoder::Event::kLine);
+  EXPECT_EQ(events[3].second, "text two");
+}
+
+TEST(LineDecoderTest, FramePayloadIsVerbatimIncludingNewlinesAndNuls) {
+  LineDecoder decoder(/*max_line_bytes=*/64);
+  decoder.set_allow_binary(true);
+  const std::string payload = std::string("a\nb\r\n\0c", 7);
+  const std::string input = Frame(payload);
+  decoder.Feed(input.data(), input.size());
+  auto events = DrainAll(&decoder);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first, LineDecoder::Event::kFrame);
+  EXPECT_EQ(events[0].second, payload);
+}
+
+TEST(LineDecoderTest, FrameDeclaringMoreThanMaxLineBytesIsBadFrame) {
+  LineDecoder decoder(/*max_line_bytes=*/64);
+  decoder.set_allow_binary(true);
+  std::string header(1, LineDecoder::kFrameMarker);
+  header += std::string("\xff\xff\xff\xff", 4);  // 4 GiB declared
+  decoder.Feed(header.data(), header.size());
+  std::string out;
+  EXPECT_EQ(decoder.Next(&out), LineDecoder::Event::kBadFrame);
+  EXPECT_NE(out.find("4294967295"), std::string::npos) << out;
+}
+
+TEST(LineDecoderTest, FrameTruncatedByEofIsBadFrameNotAHang) {
+  // Truncated mid-header and truncated mid-payload.
+  for (size_t keep : {1u, 3u, 7u}) {
+    LineDecoder decoder(/*max_line_bytes=*/64);
+    decoder.set_allow_binary(true);
+    const std::string frame = Frame("payload");
+    decoder.Feed(frame.data(), std::min(keep, frame.size()));
+    std::string out;
+    EXPECT_EQ(decoder.Next(&out), LineDecoder::Event::kNone);
+    decoder.SignalEof();
+    EXPECT_EQ(decoder.Next(&out), LineDecoder::Event::kBadFrame) << keep;
+  }
+}
+
+TEST(LineDecoderTest, WithoutOptInAMarkerByteIsJustLineContent) {
+  LineDecoder decoder(/*max_line_bytes=*/64);
+  const std::string input = std::string("\0abc\n", 5);
+  decoder.Feed(input.data(), input.size());
+  auto events = DrainAll(&decoder);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first, LineDecoder::Event::kLine);
+  EXPECT_EQ(events[0].second, std::string("\0abc", 4));
+}
+
 // --- LineReader (blocking loop over the decoder) ----------------------------
 
 TEST(LineReaderTest, BoundaryLinesAcrossARealPipe) {

@@ -83,6 +83,55 @@ TEST(ProtocolParseTest, ParsesEveryVerb) {
   EXPECT_EQ(prom.command.arg, "prom");
 }
 
+TEST(ProtocolParseTest, HelloNegotiatesFeatureTokens) {
+  ParseResult bare = Parse("hello");
+  ASSERT_EQ(bare.status, ParseStatus::kCommand);
+  EXPECT_EQ(bare.command.verb, Verb::kHello);
+  EXPECT_EQ(bare.command.arg, "");
+
+  ParseResult batch = Parse("hello batch");
+  ASSERT_EQ(batch.status, ParseStatus::kCommand);
+  EXPECT_EQ(batch.command.arg, "batch");
+
+  ParseResult binary = Parse("hello binary");
+  ASSERT_EQ(binary.status, ParseStatus::kCommand);
+  EXPECT_EQ(binary.command.arg, "binary");
+
+  // Request order is preserved (the grant echoes it back).
+  EXPECT_EQ(Parse("hello batch binary").command.arg, "batch binary");
+  EXPECT_EQ(Parse("hello binary batch").command.arg, "binary batch");
+}
+
+TEST(ProtocolParseTest, HelloRejectsUnknownAndDuplicateFeatures) {
+  for (const char* line : {"hello gzip", "hello batch batch",
+                           "hello binary binary", "hello batch gzip",
+                           "hello batch binary batch"}) {
+    ParseResult r = Parse(line);
+    ASSERT_EQ(r.status, ParseStatus::kError) << line;
+    EXPECT_EQ(r.error_line.rfind("err bad-args", 0), 0u) << line;
+  }
+}
+
+TEST(ProtocolParseTest, BatchTakesAPositiveBoundedCount) {
+  ParseResult one = Parse("batch 1");
+  ASSERT_EQ(one.status, ParseStatus::kCommand);
+  EXPECT_EQ(one.command.verb, Verb::kBatch);
+  EXPECT_EQ(one.command.batch_count, 1u);
+
+  ParseResult max = Parse("batch 1024");
+  ASSERT_EQ(max.status, ParseStatus::kCommand);
+  EXPECT_EQ(max.command.batch_count, kMaxBatchRequests);
+
+  for (const char* line :
+       {"batch", "batch x", "batch 0", "batch -3", "batch +3", "batch 12junk",
+        "batch 1 extra", "batch 1025", "batch 99999999999999999999999"}) {
+    ParseResult r = Parse(line);
+    ASSERT_EQ(r.status, ParseStatus::kError) << line;
+    EXPECT_EQ(r.error_line.rfind("err bad-args", 0), 0u)
+        << line << " -> " << r.error_line;
+  }
+}
+
 TEST(ProtocolParseTest, ToleratesWhitespaceAndCrLf) {
   ParseResult r = Parse("  query   a    A/B \t\r");
   ASSERT_EQ(r.status, ParseStatus::kCommand);
@@ -160,13 +209,26 @@ TEST(ProtocolRoundTripTest, FormatThenParseIsIdentity) {
   };
   for (int i = 0; i < 500; ++i) {
     Command c;
-    switch (rng.IntIn(0, 10)) {
+    switch (rng.IntIn(0, 12)) {
       case 9:
         c.verb = Verb::kMetrics;
         if (rng.Percent(50)) c.arg = "prom";
         break;
       case 10:
         c.verb = Verb::kSlow;
+        break;
+      case 11: {
+        c.verb = Verb::kHello;
+        static const char* const kFeatureSets[] = {"", "batch", "binary",
+                                                   "batch binary",
+                                                   "binary batch"};
+        c.arg = kFeatureSets[rng.IntIn(0, 4)];
+        break;
+      }
+      case 12:
+        c.verb = Verb::kBatch;
+        c.batch_count = static_cast<uint64_t>(
+            rng.IntIn(1, static_cast<int>(kMaxBatchRequests)));
         break;
       case 7:
         c.verb = Verb::kAuth;
@@ -213,6 +275,7 @@ TEST(ProtocolRoundTripTest, FormatThenParseIsIdentity) {
     EXPECT_EQ(r.command.name, c.name) << line;
     EXPECT_EQ(r.command.arg, c.arg) << line;
     EXPECT_EQ(r.command.ticket_id, c.ticket_id) << line;
+    EXPECT_EQ(r.command.batch_count, c.batch_count) << line;
   }
 }
 
@@ -264,6 +327,26 @@ TEST(ProtocolFormatTest, AckShapes) {
   EXPECT_EQ(FormatQueryAck(41), "ok query 41");
   EXPECT_EQ(FormatDtdAck("cat", 0xabcdef), "ok dtd cat fp=0000000000abcdef");
   EXPECT_EQ(FormatErr("unknown-dtd", "'x'"), "err unknown-dtd 'x'");
+  EXPECT_EQ(FormatHelloAck(""), "ok hello");
+  EXPECT_EQ(FormatHelloAck("batch binary"), "ok hello batch binary");
+  EXPECT_EQ(FormatBatchAck(3, {7, 8, 9}), "ok batch 3 ids 7 8 9");
+  EXPECT_EQ(FormatBatchDone(3), "ok batch 3 done");
+}
+
+TEST(ProtocolFormatTest, EncodeFrameIsMarkerLengthPayload) {
+  std::string frame = EncodeFrame("query a b");
+  ASSERT_EQ(frame.size(), 5u + 9u);
+  EXPECT_EQ(frame[0], '\0');
+  EXPECT_EQ(frame[1], '\0');
+  EXPECT_EQ(frame[2], '\0');
+  EXPECT_EQ(frame[3], '\0');
+  EXPECT_EQ(frame[4], '\x09');
+  EXPECT_EQ(frame.substr(5), "query a b");
+
+  // Lengths above one byte land big-endian in the header.
+  std::string big = EncodeFrame(std::string(0x0102, 'x'));
+  EXPECT_EQ(big[3], '\x01');
+  EXPECT_EQ(big[4], '\x02');
 }
 
 }  // namespace

@@ -147,9 +147,43 @@ expect_in 'xpathsat_worker_queue_wait_ns_count' gamma.out
 expect_in '# EOF' gamma.out
 expect_in 'slow {"dropped"' gamma.out
 
+# Batch framing over the real socket: negotiate with `hello batch`, submit
+# three members under one barrier, and check the ack/results/done shape. The
+# memo the earlier clients primed answers all three instantly, which is the
+# point: the barrier ordering must hold even when results race the ack.
+{
+  echo "hello batch"
+  echo "dtd zeta heavy.dtd"
+  echo "batch 3"
+  echo "query zeta section/item"
+  echo "query zeta **/note"
+  echo "query zeta nosuchlabel"
+  echo "flush"
+  echo "quit"
+} | "$CLI_BIN" --connect unix:e2e.sock > zeta.out 2>&1 \
+  || fail "zeta client failed: $(cat zeta.out)"
+expect_in "ok hello batch" zeta.out
+grep -qE '^ok batch [0-9]+ ids [0-9]+ [0-9]+ [0-9]+$' zeta.out \
+  || fail "zeta: no batch ack carrying 3 ticket ids:
+$(cat zeta.out)"
+grep -qE '^ok batch [0-9]+ done$' zeta.out \
+  || fail "zeta: batch done barrier never arrived:
+$(cat zeta.out)"
+n_results=$(grep -c -- " -- " zeta.out) || true
+[ "$n_results" -eq 3 ] || fail "zeta: expected 3 batched results, got $n_results"
+expect_in "[unsat  ] nosuchlabel" zeta.out
+
+# Without the grant, `batch` is refused with err batch-mismatch and the
+# session stays usable: the quit on the same connection still answers.
+printf 'batch 2\nquit\n' | "$CLI_BIN" --connect unix:e2e.sock > nogrant.out 2>&1 \
+  || fail "nogrant client failed: $(cat nogrant.out)"
+expect_in "err batch-mismatch" nogrant.out
+expect_in "ok quit" nogrant.out
+
 stop_server
-# The server's shutdown stats line repeats the shared JSON.
-expect_in '"requests": 54' server.out
+# The server's shutdown stats line repeats the shared JSON (54 requests from
+# the three workload clients plus zeta's 3 batched members).
+expect_in '"requests": 57' server.out
 
 # ---- Phase 2: cancel a still-queued ticket by id --------------------------
 # Also exercises --metrics-dump-ms: the server dumps the merged metrics JSON

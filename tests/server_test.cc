@@ -13,6 +13,7 @@
 #include <cerrno>
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -185,6 +186,207 @@ TEST(ServerSessionTest, CancelStillQueuedTicketById) {
   EXPECT_EQ(engine.stats().cancellations, 1u);
 }
 
+TEST(ServerSessionTest, HelloGrantsOnlyTransportSupportedFeatures) {
+  SatEngine engine;
+  auto log = std::make_shared<SinkLog>();
+  {
+    // Default transport (stdin-style): binary is silently not granted.
+    ServerSession session(&engine, SessionOptions{},
+                          [log](const std::string& l) { (*log)(l); });
+    EXPECT_TRUE(session.HandleLine("hello"));
+    EXPECT_TRUE(log->Contains("ok hello"));
+    EXPECT_TRUE(session.HandleLine("hello batch binary"));
+    std::vector<std::string> lines = log->snapshot();
+    EXPECT_EQ(lines.back(), "ok hello batch");
+  }
+  {
+    SessionOptions opt;
+    opt.binary_frames_supported = true;
+    ServerSession session(&engine, opt,
+                          [log](const std::string& l) { (*log)(l); });
+    EXPECT_TRUE(session.HandleLine("hello binary batch"));
+    // The grant echoes the request order.
+    EXPECT_EQ(log->snapshot().back(), "ok hello binary batch");
+  }
+}
+
+TEST(ServerSessionTest, BatchWithoutGrantIsRefusedAndSessionSurvives) {
+  SatEngine engine;
+  auto log = std::make_shared<SinkLog>();
+  ServerSession session(&engine, SessionOptions{},
+                        [log](const std::string& l) { (*log)(l); });
+  EXPECT_TRUE(session.HandleLine("batch 2"));
+  EXPECT_TRUE(log->Contains("err batch-mismatch batch framing not "
+                            "negotiated; send `hello batch` first"));
+  // Not a one-strike offense post-auth: the session keeps serving, and the
+  // would-be members parse as ordinary commands.
+  EXPECT_TRUE(session.HandleLine("stats"));
+  EXPECT_TRUE(log->Contains("stats {"));
+}
+
+TEST(ServerSessionTest, BatchSubmitsAllMembersUnderOneBarrier) {
+  SatEngine engine;
+  std::string dtd_path = WriteTempDtd("session_batch.dtd");
+  auto log = std::make_shared<SinkLog>();
+  ServerSession session(&engine, SessionOptions{},
+                        [log](const std::string& l) { (*log)(l); });
+  ASSERT_TRUE(session.HandleLine("hello batch"));
+  ASSERT_TRUE(session.HandleLine("dtd cat " + dtd_path));
+  ASSERT_TRUE(session.HandleLine("batch 3"));
+  // Members are collected, not dispatched: no ack until the Nth line.
+  ASSERT_TRUE(session.HandleLine("query cat section/item"));
+  ASSERT_TRUE(session.HandleLine("# a comment inside the batch"));
+  ASSERT_TRUE(session.HandleLine(""));  // blank lines don't count either
+  EXPECT_FALSE(log->Contains("ok batch"));
+  ASSERT_TRUE(session.HandleLine("q cat nosuchlabel"));
+  ASSERT_TRUE(session.HandleLine("query cat **/note"));
+  session.Drain();
+  EXPECT_TRUE(log->Contains("ok batch 1 ids 1 2 3"));
+  EXPECT_TRUE(log->Contains("[sat    ] section/item"));
+  EXPECT_TRUE(log->Contains("[unsat  ] nosuchlabel"));
+  EXPECT_TRUE(log->Contains("ok batch 1 done"));
+  EXPECT_EQ(session.queries_submitted(), 3u);
+  // The barrier comes after every member's result line — and after Drain
+  // returns, it has been emitted (no done line leaking past teardown).
+  std::vector<std::string> lines = log->snapshot();
+  size_t done_at = 0, last_result_at = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i] == "ok batch 1 done") done_at = i;
+    if (lines[i].find("] ") != std::string::npos &&
+        std::isdigit(static_cast<unsigned char>(lines[i][0]))) {
+      last_result_at = i;
+    }
+  }
+  EXPECT_GT(done_at, last_result_at);
+  // A second batch gets the next seq.
+  ASSERT_TRUE(session.HandleLine("batch 1"));
+  ASSERT_TRUE(session.HandleLine("query cat section"));
+  session.Drain();
+  EXPECT_TRUE(log->Contains("ok batch 2 ids 4"));
+  EXPECT_TRUE(log->Contains("ok batch 2 done"));
+}
+
+TEST(ServerSessionTest, PoisonedBatchDispatchesNothing) {
+  SatEngine engine;
+  std::string dtd_path = WriteTempDtd("session_poison.dtd");
+  auto log = std::make_shared<SinkLog>();
+  ServerSession session(&engine, SessionOptions{},
+                        [log](const std::string& l) { (*log)(l); });
+  ASSERT_TRUE(session.HandleLine("hello batch"));
+  ASSERT_TRUE(session.HandleLine("dtd cat " + dtd_path));
+
+  // A malformed member line.
+  ASSERT_TRUE(session.HandleLine("batch 2"));
+  ASSERT_TRUE(session.HandleLine("query cat section"));
+  ASSERT_TRUE(session.HandleLine("frobnicate"));
+  EXPECT_TRUE(log->Contains("err batch-mismatch batch 1: member 2 is "
+                            "malformed"));
+  EXPECT_TRUE(log->Contains("batch discarded, nothing was submitted"));
+
+  // A non-query verb as a member.
+  ASSERT_TRUE(session.HandleLine("batch 2"));
+  ASSERT_TRUE(session.HandleLine("stats"));
+  ASSERT_TRUE(session.HandleLine("query cat section"));
+  EXPECT_TRUE(log->Contains("member 1 is 'stats'; only query/q may appear"));
+
+  // An unknown schema, caught at dispatch validation — before ANY submit,
+  // so a half-good batch still submits nothing.
+  ASSERT_TRUE(session.HandleLine("batch 2"));
+  ASSERT_TRUE(session.HandleLine("query cat section"));
+  ASSERT_TRUE(session.HandleLine("query nosuch section"));
+  EXPECT_TRUE(log->Contains("member 2: unknown dtd 'nosuch'"));
+
+  EXPECT_EQ(session.queries_submitted(), 0u);
+  EXPECT_EQ(engine.stats().requests, 0u);
+  EXPECT_FALSE(log->Contains("ok batch"));
+  // The session itself survives every refused batch.
+  ASSERT_TRUE(session.HandleLine("query cat section"));
+  session.Drain();
+  EXPECT_TRUE(log->Contains("[sat    ] section"));
+}
+
+TEST(ServerSessionTest, BatchInterruptedByEofDispatchesNothing) {
+  SatEngine engine;
+  std::string dtd_path = WriteTempDtd("session_batch_eof.dtd");
+  auto log = std::make_shared<SinkLog>();
+  ServerSession session(&engine, SessionOptions{},
+                        [log](const std::string& l) { (*log)(l); });
+  ASSERT_TRUE(session.HandleLine("hello batch"));
+  ASSERT_TRUE(session.HandleLine("dtd cat " + dtd_path));
+  ASSERT_TRUE(session.HandleLine("batch 3"));
+  ASSERT_TRUE(session.HandleLine("query cat section"));
+  session.OnInputClosed();
+  EXPECT_TRUE(log->Contains(
+      "err batch-mismatch batch 1: input ended after 1 of 3 members; "
+      "nothing was submitted"));
+  EXPECT_EQ(session.queries_submitted(), 0u);
+  session.OnInputClosed();  // idempotent: one error line total
+  std::vector<std::string> lines = log->snapshot();
+  int mismatches = 0;
+  for (const std::string& l : lines) {
+    if (l.find("err batch-mismatch") != std::string::npos) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 1);
+}
+
+TEST(ServerSessionTest, BatchLargerThanInflightCapIsRefusedUpFront) {
+  // A batch submits all members before any completion callback can free a
+  // slot, so a batch wider than the cap could never make progress — it is
+  // refused at `batch N` time instead of deadlocking the reader.
+  SatEngine engine;
+  auto log = std::make_shared<SinkLog>();
+  SessionOptions opt;
+  opt.max_inflight = 4;
+  ServerSession session(&engine, opt,
+                        [log](const std::string& l) { (*log)(l); });
+  ASSERT_TRUE(session.HandleLine("hello batch"));
+  ASSERT_TRUE(session.HandleLine("batch 5"));
+  EXPECT_TRUE(
+      log->Contains("err batch-mismatch batch 5 exceeds this session's "
+                    "in-flight cap (4)"));
+  // No member collection started: the next line is an ordinary command.
+  ASSERT_TRUE(session.HandleLine("stats"));
+  EXPECT_TRUE(log->Contains("stats {"));
+}
+
+TEST(ServerSessionTest, WireFramesRequireNegotiation) {
+  SatEngine engine;
+  auto log = std::make_shared<SinkLog>();
+  SessionOptions opt;
+  opt.binary_frames_supported = true;
+  ServerSession session(&engine, opt,
+                        [log](const std::string& l) { (*log)(l); });
+  // A binary-framed payload before `hello binary`: the stream cannot be
+  // trusted any further, so the session closes.
+  EXPECT_FALSE(session.HandleWire("stats", /*binary_frame=*/true, 100));
+  EXPECT_TRUE(log->Contains(
+      "err bad-frame binary framing not negotiated; send `hello binary`"));
+  EXPECT_FALSE(session.HandleLine("stats"));  // closed for good
+}
+
+TEST(ServerSessionTest, MetricsPromForwardsExpositionVerbatim) {
+  // Regression: the prom splitter used to drop blank lines, corrupting the
+  // text exposition (blank separator lines are content; scrapers and the
+  // lint gate both see byte-exact output).
+  SatEngine engine;
+  auto log = std::make_shared<SinkLog>();
+  SessionOptions opt;
+  opt.metrics_prom = [] {
+    return std::string("# HELP x_total things\n# TYPE x_total counter\n"
+                       "\nx_total 1\n# EOF\n");
+  };
+  ServerSession session(&engine, opt,
+                        [log](const std::string& l) { (*log)(l); });
+  ASSERT_TRUE(session.HandleLine("metrics prom"));
+  std::vector<std::string> lines = log->snapshot();
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0], "# HELP x_total things");
+  EXPECT_EQ(lines[1], "# TYPE x_total counter");
+  EXPECT_EQ(lines[2], "");  // the blank separator survives
+  EXPECT_EQ(lines[3], "x_total 1");
+  EXPECT_EQ(lines[4], "# EOF");
+}
+
 // --- SocketServer over real sockets --------------------------------------
 
 // Minimal line-protocol client for the tests: blocking reads with
@@ -221,6 +423,16 @@ class TestClient {
     Status s = net::WriteAll(fd_.get(), line + "\n");
     ASSERT_TRUE(s.ok()) << s.message();
   }
+
+  /// Writes raw bytes with no newline appended (binary frame tests).
+  void SendBytes(const std::string& bytes) {
+    Status s = net::WriteAll(fd_.get(), bytes);
+    ASSERT_TRUE(s.ok()) << s.message();
+  }
+
+  /// Half-closes the write side: the server sees EOF while this client can
+  /// still read its final replies.
+  void ShutdownWrites() { ::shutdown(fd_.get(), SHUT_WR); }
 
   /// Send for connections the server may already have closed (reject /
   /// throttle races): EPIPE is expected there, not a test failure.
@@ -509,6 +721,126 @@ TEST(SocketServerTest, MalformedAndOversizedLinesAnswerErrAndKeepGoing) {
   server.Stop();
 }
 
+TEST(SocketServerTest, BatchAndBinaryFramingAcrossTheSocket) {
+  SatEngineOptions eopt;
+  eopt.slow_request_ns = 1;  // every request traces: the JSON shape is the
+                             // assertion, not actual slowness
+  SatEngine engine(eopt);
+  std::string dtd_path = WriteTempDtd("socket_batch.dtd");
+  SocketServerOptions opt;
+  opt.unix_path = SocketPath("batch");
+  SocketServer server(&engine, opt);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+  ASSERT_TRUE(fd.ok()) << fd.error();
+  TestClient client(std::move(fd).value());
+  client.Send("hello batch binary");
+  // The socket transport supports binary frames, so both are granted.
+  client.WaitFor("ok hello batch binary");
+  client.Send("dtd cat " + dtd_path);
+  client.WaitFor("ok dtd cat");
+  // The whole batch as binary frames in one write — the bulk-client shape.
+  std::string wire = protocol::EncodeFrame("batch 2");
+  wire += protocol::EncodeFrame("query cat section/item");
+  wire += protocol::EncodeFrame("q cat nosuchlabel");
+  client.SendBytes(wire);
+  client.WaitFor("ok batch 1 ids");
+  client.WaitFor("[sat    ] section/item");
+  client.WaitFor("[unsat  ] nosuchlabel");
+  client.WaitFor("ok batch 1 done");
+  // Text and binary interleave freely after negotiation; wire-decode cost
+  // for framed requests lands in the slow-trace JSON.
+  client.Send("slow");
+  std::string slow = client.WaitFor("slow {");
+  EXPECT_NE(slow.find("\"wire_decode_ns\":"), std::string::npos) << slow;
+  client.Send("quit");
+  client.WaitFor("ok quit");
+  server.Stop();
+}
+
+TEST(SocketServerTest, UnNegotiatedBinaryFrameIsFatal) {
+  SatEngine engine;
+  SocketServerOptions opt;
+  opt.unix_path = SocketPath("noneg");
+  SocketServer server(&engine, opt);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+  ASSERT_TRUE(fd.ok()) << fd.error();
+  TestClient client(std::move(fd).value());
+  client.SendBytes(protocol::EncodeFrame("stats"));
+  client.WaitFor("err bad-frame binary framing not negotiated");
+  client.WaitForEof();
+  server.Stop();
+}
+
+TEST(SocketServerTest, MalformedFramesAnswerBadFrameAndNeverHang) {
+  SatEngine engine;
+  SocketServerOptions opt;
+  opt.unix_path = SocketPath("badframe");
+  opt.max_line_bytes = 1024;
+  SocketServer server(&engine, opt);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // A frame declaring an absurd length: fatal immediately (no buffering
+    // of a 4 GiB "payload", no waiting for bytes that never come).
+    Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+    ASSERT_TRUE(fd.ok()) << fd.error();
+    TestClient client(std::move(fd).value());
+    client.Send("hello binary");
+    client.WaitFor("ok hello binary");
+    std::string huge(5, '\0');
+    huge[1] = huge[2] = huge[3] = huge[4] = '\xff';
+    client.SendBytes(huge);
+    std::string err = client.WaitFor("err bad-frame");
+    EXPECT_NE(err.find("4294967295"), std::string::npos) << err;
+    client.WaitForEof();
+  }
+  {
+    // A frame truncated by EOF — mid-header and mid-payload both: the
+    // session answers a structured error and tears down instead of hanging.
+    for (size_t keep : {1u, 3u, 7u}) {
+      Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+      ASSERT_TRUE(fd.ok()) << fd.error();
+      TestClient client(std::move(fd).value());
+      client.Send("hello binary");
+      client.WaitFor("ok hello binary");
+      std::string frame = protocol::EncodeFrame("stats");
+      client.SendBytes(frame.substr(0, keep));
+      client.ShutdownWrites();
+      client.WaitFor("err bad-frame");
+      client.WaitForEof();
+    }
+  }
+  server.Stop();
+}
+
+TEST(SocketServerTest, BatchInterruptedByEofAnswersBatchMismatch) {
+  SatEngine engine;
+  std::string dtd_path = WriteTempDtd("socket_batch_eof.dtd");
+  SocketServerOptions opt;
+  opt.unix_path = SocketPath("batcheof");
+  SocketServer server(&engine, opt);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
+  ASSERT_TRUE(fd.ok()) << fd.error();
+  TestClient client(std::move(fd).value());
+  client.Send("hello batch");
+  client.WaitFor("ok hello batch");
+  client.Send("dtd cat " + dtd_path);
+  client.WaitFor("ok dtd cat");
+  client.Send("batch 3");
+  client.Send("query cat section");
+  client.ShutdownWrites();
+  client.WaitFor("err batch-mismatch batch 1: input ended after 1 of 3");
+  client.WaitForEof();
+  server.Stop();
+  EXPECT_EQ(engine.stats().requests, 0u);
+}
+
 TEST(SocketServerTest, TcpListenerOnEphemeralPort) {
   SatEngine engine;
   std::string dtd_path = WriteTempDtd("socket_tcp.dtd");
@@ -616,7 +948,7 @@ TEST(SocketServerTest, AuthGateAcrossTheSocket) {
   server.Stop();
 }
 
-TEST(SocketServerTest, HealthIsUnauthenticatedAndCarriesServerCounters) {
+TEST(SocketServerTest, HealthIsUnauthenticatedButRedactedBeforeAuth) {
   SatEngine engine;
   SocketServerOptions opt;
   opt.unix_path = SocketPath("health");
@@ -627,18 +959,27 @@ TEST(SocketServerTest, HealthIsUnauthenticatedAndCarriesServerCounters) {
   Result<net::ScopedFd> fd = net::ConnectUnix(opt.unix_path);
   ASSERT_TRUE(fd.ok()) << fd.error();
   TestClient client(std::move(fd).value());
-  // No auth line sent: health must still answer (load-balancer probes),
-  // and the session must stay open for more probes.
+  // No auth line sent: health must still answer (load-balancer probes) —
+  // but only liveness. The merged engine/connection counters are for
+  // authenticated clients; a probe port must not leak workload telemetry.
   client.Send("health");
   std::string first = client.WaitFor("health {");
   EXPECT_NE(first.find("\"status\": \"ok\""), std::string::npos) << first;
-  EXPECT_NE(first.find("\"connections_active\": 1"), std::string::npos)
-      << first;
-  EXPECT_NE(first.find("\"engine\": {"), std::string::npos) << first;
+  EXPECT_NE(first.find("\"uptime_ms\":"), std::string::npos) << first;
+  EXPECT_EQ(first.find("connections_active"), std::string::npos) << first;
+  EXPECT_EQ(first.find("\"engine\""), std::string::npos) << first;
+  EXPECT_EQ(first.find("requests"), std::string::npos) << first;
+  // The session stays open for more probes.
   client.Send("health");
   client.WaitFor("health {");
   client.Send("auth s3cret");
   client.WaitFor("ok auth");
+  // Post-auth the same verb serves the full merged object again.
+  client.Send("health");
+  std::string full = client.WaitFor("health {");
+  EXPECT_NE(full.find("\"connections_active\": 1"), std::string::npos)
+      << full;
+  EXPECT_NE(full.find("\"engine\": {"), std::string::npos) << full;
   client.Send("quit");
   client.WaitFor("ok quit");
   server.Stop();

@@ -34,6 +34,12 @@ Rules (ids are stable; failures print one machine-readable line each):
                   (`| v<N> |`) in the README "Persistence" section — a
                   format bump without documented migration notes is how
                   operators get surprised by `err store-version`.
+  client-sync     every protocol verb (src/server/protocol.cc VerbName
+                  switch) appears in src/client/'s kKnownVerbs array, and
+                  every err slug emitted under src/server/ appears in its
+                  kKnownErrSlugs array — the client library must not lag
+                  the server's wire surface. Vacuous when the tree has no
+                  src/client/ (other fixtures) or no protocol.cc.
   dup-helper      no two tools/*.cc files define a same-named free function
                   with an identical normalized body of >= 6 statements —
                   the copy-paste class that produced two byte-identical
@@ -54,7 +60,7 @@ import re
 import sys
 
 ALL_RULES = ("verb-doc", "mutex-guard", "banned-pattern", "err-slug-doc",
-             "store-version", "dup-helper")
+             "store-version", "client-sync", "dup-helper")
 
 # ---------------------------------------------------------------------------
 # Helpers
@@ -293,6 +299,62 @@ def rule_store_version(root):
     return []
 
 
+def extract_c_string_array(text, array_name):
+    """Returns the string literals in `const char* const NAME[] = {...}`,
+    or None when the array is not found."""
+    m = re.search(r"\b" + re.escape(array_name) +
+                  r"\s*\[\s*\]\s*=\s*\{([^}]*)\}", text)
+    if m is None:
+        return None
+    return re.findall(r'"([^"]*)"', m.group(1))
+
+
+def rule_client_sync(root):
+    """The client library ships the verb and err-slug vocabulary as data
+    (kKnownVerbs/kKnownErrSlugs); a server-side protocol addition that skips
+    the client would strand every library consumer on an older wire surface,
+    so the arrays must be supersets of what the server actually speaks."""
+    protocol_cc = os.path.join(root, "src", "server", "protocol.cc")
+    client_dir = os.path.join(root, "src", "client")
+    if not os.path.isfile(protocol_cc) or not os.path.isdir(client_dir):
+        return []  # nothing to tie together in this tree
+    client_text = ""
+    for path in source_files(root, (os.path.join("src", "client"),)):
+        client_text += read(path)
+    known_verbs = extract_c_string_array(client_text, "kKnownVerbs")
+    known_slugs = extract_c_string_array(client_text, "kKnownErrSlugs")
+    client_rel = os.path.join("src", "client")
+    if known_verbs is None or known_slugs is None:
+        return [(client_rel,
+                 "kKnownVerbs / kKnownErrSlugs array not found in "
+                 "src/client/ (extraction pattern broke?)")]
+    findings = []
+    server_verbs = re.findall(r'case\s+Verb::k\w+:\s*return\s+"([a-z]+)";',
+                              read(protocol_cc))
+    if not server_verbs:
+        return [(rel(root, protocol_cc),
+                 "no verbs found in VerbName switch "
+                 "(extraction pattern broke?)")]
+    for verb in server_verbs:
+        if verb not in known_verbs:
+            findings.append(
+                (client_rel,
+                 "protocol verb '%s' (src/server/protocol.cc VerbName) is "
+                 "missing from the client's kKnownVerbs array — the client "
+                 "library must track the server's wire surface" % verb))
+    slugs = set()
+    for path in source_files(root, (os.path.join("src", "server"),)):
+        for m in ERR_SITE.finditer(read(path)):
+            slugs.add(m.group(1))
+    for slug in sorted(slugs):
+        if slug not in known_slugs:
+            findings.append(
+                (client_rel,
+                 "err slug '%s' (emitted under src/server/) is missing from "
+                 "the client's kKnownErrSlugs array" % slug))
+    return findings
+
+
 # A free-function definition head: return type + name + params + '{'.
 # Intentionally naive (no templates/attributes) — tools/ code is plain.
 FUNC_HEAD = re.compile(
@@ -350,6 +412,7 @@ RULES = {
     "banned-pattern": rule_banned_pattern,
     "err-slug-doc": rule_err_slug_doc,
     "store-version": rule_store_version,
+    "client-sync": rule_client_sync,
     "dup-helper": rule_dup_helper,
 }
 

@@ -44,8 +44,6 @@
 //
 // Numeric flags are validated: garbage, trailing junk, or out-of-range
 // values are a usage error, not a silent misconfiguration.
-#include <sys/socket.h>
-
 #include <chrono>
 #include <cerrno>
 #include <cstdio>
@@ -60,13 +58,13 @@
 #include <thread>
 #include <vector>
 
+#include "src/client/client.h"
 #include "src/engine/sat_engine.h"
 #include "src/obs/metrics.h"
 #include "src/server/protocol.h"
 #include "src/server/session.h"
 #include "src/util/flags.h"
 #include "src/util/mutex.h"
-#include "src/util/net.h"
 #include "src/xml/dtd.h"
 
 using namespace xpathsat;
@@ -228,6 +226,9 @@ int RunServe(const CliOptions& opt) {
     while (std::getline(std::cin, line)) {
       if (!session.HandleLine(line)) break;
     }
+    // A batch still collecting members when stdin ends must be refused
+    // before the drain, so the client learns nothing was submitted.
+    session.OnInputClosed();
     // ~ServerSession drains: every pending result line is printed before
     // the final stats.
   }
@@ -249,60 +250,30 @@ int RunServe(const CliOptions& opt) {
 
 // ---------------------------------------------------------------------------
 // Client mode: pipe stdin lines to a running xpathsat_server and print every
-// reply line. The reply stream is drained by a dedicated thread because the
-// server pipelines result lines out of order while we are still writing.
+// reply line. This is client::Client in raw mode — the line tap prints every
+// reply verbatim (result lines are pipelined out of order while we are still
+// writing), SendRaw forwards stdin lines, and no hello/auth is sent so the
+// wire conversation is exactly what the user typed.
 
 int RunConnect(const CliOptions& opt) {
-  const std::string& target = opt.connect_target;
-  Result<net::ScopedFd> conn = [&]() -> Result<net::ScopedFd> {
-    if (target.rfind("unix:", 0) == 0) {
-      return net::ConnectUnix(target.substr(5));
-    }
-    size_t colon = target.rfind(':');
-    if (colon == std::string::npos) {
-      return Result<net::ScopedFd>::Error(
-          "bad --connect target '" + target +
-          "' (expected unix:PATH or HOST:PORT)");
-    }
-    errno = 0;
-    char* end = nullptr;
-    long port = std::strtol(target.c_str() + colon + 1, &end, 10);
-    if (errno != 0 || *end != '\0' || end == target.c_str() + colon + 1 ||
-        port < 1 || port > 65535) {
-      return Result<net::ScopedFd>::Error("bad port in '" + target + "'");
-    }
-    std::string host = target.substr(0, colon);
-    if (host.empty()) host = "127.0.0.1";
-    return net::ConnectTcp(host, static_cast<int>(port));
-  }();
+  client::ClientOptions client_opt;
+  client_opt.target = opt.connect_target;
+  Result<std::unique_ptr<client::Client>> conn =
+      client::Client::Connect(client_opt);
   if (!conn.ok()) {
     std::fprintf(stderr, "%s\n", conn.error().c_str());
     return 1;
   }
-  const int fd = conn.value().get();
-
-  std::thread drain([fd] {
-    net::LineReader reader(fd, protocol::kMaxLineBytes);
-    std::string line, error;
-    for (;;) {
-      switch (reader.ReadLine(&line, &error)) {
-        case net::LineReader::Event::kLine:
-          std::fwrite(line.data(), 1, line.size(), stdout);
-          std::fputc('\n', stdout);
-          std::fflush(stdout);
-          break;
-        case net::LineReader::Event::kOversized:
-          break;  // keep draining; the server caps its own lines anyway
-        case net::LineReader::Event::kEof:
-        case net::LineReader::Event::kError:
-          return;
-      }
-    }
+  std::unique_ptr<client::Client> remote = std::move(conn).value();
+  remote->set_line_tap([](const std::string& line) {
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
   });
 
   std::string line;
   while (std::getline(std::cin, line)) {
-    Status sent = net::WriteAll(fd, line + "\n");
+    Status sent = remote->SendRaw(line);
     if (!sent.ok()) {
       std::fprintf(stderr, "connection lost: %s\n", sent.message().c_str());
       break;
@@ -310,8 +281,8 @@ int RunConnect(const CliOptions& opt) {
   }
   // No more requests: half-close so the server finishes the session (its
   // EOF path drains in-flight work), then collect the remaining replies.
-  ::shutdown(fd, SHUT_WR);
-  drain.join();
+  remote->ShutdownWrites();
+  remote->WaitForServerEof();
   return 0;
 }
 
